@@ -1,0 +1,256 @@
+//! Frame-level acoustic features: log-energy, zero-crossing rate, and
+//! mel-cepstral coefficients (the front end of every CD-HMM in this crate).
+
+use crate::fft::magnitude_spectrum;
+
+/// Feature extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureConfig {
+    /// Samples per frame (power of two for the FFT).
+    pub frame_len: usize,
+    /// Hop between frame starts.
+    pub hop: usize,
+    /// Number of mel filterbank channels.
+    pub n_filters: usize,
+    /// Number of cepstral coefficients kept (c1..cN; c0 is replaced by
+    /// the explicit log-energy feature).
+    pub n_ceps: usize,
+    /// Sample rate in Hz.
+    pub sample_rate: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            frame_len: 256,
+            hop: 128,
+            n_filters: 20,
+            n_ceps: 10,
+            sample_rate: crate::SAMPLE_RATE,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// Feature vector dimensionality: log-energy + ZCR + cepstra.
+    pub fn dims(&self) -> usize {
+        2 + self.n_ceps
+    }
+
+    /// Number of frames a signal of `n` samples produces.
+    pub fn num_frames(&self, n: usize) -> usize {
+        if n < self.frame_len {
+            0
+        } else {
+            (n - self.frame_len) / self.hop + 1
+        }
+    }
+
+    /// Seconds per frame hop.
+    pub fn hop_secs(&self) -> f64 {
+        self.hop as f64 / self.sample_rate as f64
+    }
+
+    /// Converts a frame index to its centre sample.
+    pub fn frame_center(&self, frame: usize) -> usize {
+        frame * self.hop + self.frame_len / 2
+    }
+}
+
+fn hamming(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.54 - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (n - 1) as f64).cos())
+        .collect()
+}
+
+fn mel(f: f64) -> f64 {
+    2595.0 * (1.0 + f / 700.0).log10()
+}
+
+fn mel_inv(m: f64) -> f64 {
+    700.0 * (10f64.powf(m / 2595.0) - 1.0)
+}
+
+/// Triangular mel filterbank: `n_filters` rows over `n_bins` FFT bins.
+fn filterbank(cfg: &FeatureConfig, n_bins: usize) -> Vec<Vec<f64>> {
+    let f_lo = 80.0;
+    let f_hi = cfg.sample_rate as f64 / 2.0;
+    let m_lo = mel(f_lo);
+    let m_hi = mel(f_hi);
+    let centers: Vec<f64> = (0..cfg.n_filters + 2)
+        .map(|i| mel_inv(m_lo + (m_hi - m_lo) * i as f64 / (cfg.n_filters + 1) as f64))
+        .collect();
+    let bin_hz = cfg.sample_rate as f64 / cfg.frame_len as f64;
+    let mut bank = vec![vec![0.0; n_bins]; cfg.n_filters];
+    for (fi, row) in bank.iter_mut().enumerate() {
+        let (l, c, r) = (centers[fi], centers[fi + 1], centers[fi + 2]);
+        for (b, w) in row.iter_mut().enumerate() {
+            let f = b as f64 * bin_hz;
+            *w = if f >= l && f <= c {
+                (f - l) / (c - l).max(1e-9)
+            } else if f > c && f <= r {
+                (r - f) / (r - c).max(1e-9)
+            } else {
+                0.0
+            };
+        }
+    }
+    bank
+}
+
+/// DCT-II of a vector (orthonormal), returning `n_out` coefficients
+/// starting from index 1 (c0 excluded).
+fn dct_ceps(log_energies: &[f64], n_out: usize) -> Vec<f64> {
+    let n = log_energies.len();
+    (1..=n_out)
+        .map(|k| {
+            let s: f64 = log_energies
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| {
+                    e * ((2 * i + 1) as f64 * k as f64 * std::f64::consts::PI / (2.0 * n as f64))
+                        .cos()
+                })
+                .sum();
+            s * (2.0 / n as f64).sqrt()
+        })
+        .collect()
+}
+
+/// Extracts per-frame feature vectors `[log-energy, ZCR, c1..cN]`.
+pub fn extract_features(samples: &[f64], cfg: &FeatureConfig) -> Vec<Vec<f64>> {
+    let nframes = cfg.num_frames(samples.len());
+    if nframes == 0 {
+        return Vec::new();
+    }
+    let window = hamming(cfg.frame_len);
+    let n_bins = cfg.frame_len / 2 + 1;
+    let bank = filterbank(cfg, n_bins);
+    let mut out = Vec::with_capacity(nframes);
+    for f in 0..nframes {
+        let start = f * cfg.hop;
+        let frame = &samples[start..start + cfg.frame_len];
+        // Log energy.
+        let energy: f64 = frame.iter().map(|s| s * s).sum::<f64>() / cfg.frame_len as f64;
+        let log_energy = (energy + 1e-10).ln();
+        // Zero-crossing rate.
+        let zcr = frame
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count() as f64
+            / (cfg.frame_len - 1) as f64;
+        // Windowed spectrum → mel filterbank → log → DCT.
+        let windowed: Vec<f64> = frame.iter().zip(&window).map(|(s, w)| s * w).collect();
+        let mag = magnitude_spectrum(&windowed);
+        let fb: Vec<f64> = bank
+            .iter()
+            .map(|row| {
+                let e: f64 = row.iter().zip(&mag).map(|(w, m)| w * m * m).sum();
+                (e + 1e-10).ln()
+            })
+            .collect();
+        let mut vec = Vec::with_capacity(cfg.dims());
+        vec.push(log_energy);
+        vec.push(zcr * 10.0); // scale into a comparable range
+        vec.extend(dct_ceps(&fb, cfg.n_ceps));
+        out.push(vec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{babble, music, silence, SynthConfig, VoiceProfile};
+
+    fn cfg() -> FeatureConfig {
+        FeatureConfig::default()
+    }
+
+    #[test]
+    fn frame_counting() {
+        let c = cfg();
+        assert_eq!(c.num_frames(0), 0);
+        assert_eq!(c.num_frames(255), 0);
+        assert_eq!(c.num_frames(256), 1);
+        assert_eq!(c.num_frames(256 + 128), 2);
+        assert_eq!(c.dims(), 12);
+    }
+
+    #[test]
+    fn silence_has_low_energy() {
+        let synth = SynthConfig::default();
+        let c = cfg();
+        let quiet = extract_features(&silence(0.5, &synth), &c);
+        let loud = extract_features(&babble(&VoiceProfile::male("m"), 0.5, &synth), &c);
+        let mean_energy = |fs: &[Vec<f64>]| fs.iter().map(|f| f[0]).sum::<f64>() / fs.len() as f64;
+        assert!(mean_energy(&quiet) < mean_energy(&loud) - 3.0);
+    }
+
+    #[test]
+    fn noise_has_high_zcr() {
+        let synth = SynthConfig::default();
+        let c = cfg();
+        let noisy = extract_features(&crate::synth::noise(0.5, 0.1, &synth), &c);
+        let voiced = extract_features(&babble(&VoiceProfile::male("m"), 0.5, &synth), &c);
+        let mean_zcr = |fs: &[Vec<f64>]| fs.iter().map(|f| f[1]).sum::<f64>() / fs.len() as f64;
+        assert!(mean_zcr(&noisy) > mean_zcr(&voiced) * 1.5);
+    }
+
+    #[test]
+    fn speech_and_music_have_distinct_cepstra() {
+        let synth = SynthConfig::default();
+        let c = cfg();
+        let sp = extract_features(&babble(&VoiceProfile::male("m"), 1.0, &synth), &c);
+        let mu = extract_features(&music(1.0, &synth), &c);
+        let mean_vec = |fs: &[Vec<f64>]| -> Vec<f64> {
+            let mut m = vec![0.0; fs[0].len()];
+            for f in fs {
+                for (a, b) in m.iter_mut().zip(f) {
+                    *a += b;
+                }
+            }
+            m.iter().map(|v| v / fs.len() as f64).collect()
+        };
+        let (ms, mm) = (mean_vec(&sp), mean_vec(&mu));
+        let dist: f64 = ms[2..]
+            .iter()
+            .zip(&mm[2..])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "cepstral distance {dist}");
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let synth = SynthConfig::default();
+        let c = cfg();
+        for signal in [
+            silence(0.3, &synth),
+            vec![0.0; 2048],
+            babble(&VoiceProfile::child("k"), 0.3, &synth),
+        ] {
+            for frame in extract_features(&signal, &c) {
+                assert!(frame.iter().all(|v| v.is_finite()));
+                assert_eq!(frame.len(), c.dims());
+            }
+        }
+    }
+
+    #[test]
+    fn filterbank_covers_spectrum() {
+        let c = cfg();
+        let bank = filterbank(&c, c.frame_len / 2 + 1);
+        assert_eq!(bank.len(), c.n_filters);
+        // Every filter has some mass; middle bins are covered by some filter.
+        for row in &bank {
+            assert!(row.iter().sum::<f64>() > 0.0);
+        }
+        let coverage: Vec<f64> = (0..c.frame_len / 2 + 1)
+            .map(|b| bank.iter().map(|r| r[b]).sum())
+            .collect();
+        let covered = coverage[4..c.frame_len / 2].iter().filter(|&&v| v > 0.0).count();
+        assert!(covered as f64 > 0.9 * (c.frame_len / 2 - 4) as f64);
+    }
+}

@@ -1,0 +1,131 @@
+//! In-place radix-2 Cooley–Tukey FFT.
+
+/// A complex number as `(re, im)`.
+pub type Complex = (f64, f64);
+
+/// In-place FFT of a power-of-two-length buffer. Set `inverse` for the
+/// inverse transform (includes the 1/n scale).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length {n} not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = buf[start + k];
+                let (br, bi) = buf[start + k + len / 2];
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                buf[start + k] = (ar + tr, ai + ti);
+                buf[start + k + len / 2] = (ar - tr, ai - ti);
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            v.0 *= scale;
+            v.1 *= scale;
+        }
+    }
+}
+
+/// Magnitude spectrum of a real signal: returns `n/2 + 1` magnitudes.
+/// The input is zero-padded to the next power of two.
+pub fn magnitude_spectrum(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len().next_power_of_two().max(2);
+    let mut buf: Vec<Complex> = signal.iter().map(|&s| (s, 0.0)).collect();
+    buf.resize(n, (0.0, 0.0));
+    fft(&mut buf, false);
+    buf[..n / 2 + 1]
+        .iter()
+        .map(|&(re, im)| (re * re + im * im).sqrt())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn roundtrip() {
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fft(&mut buf, false);
+        fft(&mut buf, true);
+        for (a, b) in orig.iter().zip(&buf) {
+            assert!(close(a.0, b.0) && close(a.1, b.1));
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![(0.0, 0.0); 16];
+        buf[0] = (1.0, 0.0);
+        fft(&mut buf, false);
+        for &(re, im) in &buf {
+            assert!(close(re, 1.0) && close(im, 0.0));
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 256;
+        let k = 19;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let mag = magnitude_spectrum(&signal);
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k);
+    }
+
+    #[test]
+    fn parseval() {
+        let signal: Vec<Complex> = (0..128).map(|i| ((i as f64).sin() * 3.0, 0.0)).collect();
+        let e_time: f64 = signal.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum();
+        let mut buf = signal;
+        fft(&mut buf, false);
+        let e_freq: f64 = buf.iter().map(|c| c.0 * c.0 + c.1 * c.1).sum::<f64>() / 128.0;
+        assert!((e_time - e_freq).abs() < 1e-6 * e_time.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut buf = vec![(0.0, 0.0); 12];
+        fft(&mut buf, false);
+    }
+}

@@ -1,0 +1,315 @@
+//! Diagonal-covariance Gaussian mixture models with EM training.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Floor applied to variances to keep likelihoods finite.
+pub const VAR_FLOOR: f64 = 1e-4;
+
+/// A diagonal-covariance Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagGmm {
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+fn log_gauss(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut lp = 0.0;
+    for ((xi, mi), vi) in x.iter().zip(mean).zip(var) {
+        let d = xi - mi;
+        lp += -0.5 * ((2.0 * std::f64::consts::PI * vi).ln() + d * d / vi);
+    }
+    lp
+}
+
+impl DiagGmm {
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn dims(&self) -> usize {
+        self.means.first().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Builds a GMM from explicit parameters (weights are normalised).
+    pub fn from_parameters(weights: Vec<f64>, means: Vec<Vec<f64>>, vars: Vec<Vec<f64>>) -> Self {
+        assert_eq!(weights.len(), means.len());
+        assert_eq!(weights.len(), vars.len());
+        let z: f64 = weights.iter().sum();
+        let weights = weights.iter().map(|w| w / z).collect();
+        let vars = vars
+            .into_iter()
+            .map(|v| v.into_iter().map(|x| x.max(VAR_FLOOR)).collect())
+            .collect();
+        DiagGmm {
+            weights,
+            means,
+            vars,
+        }
+    }
+
+    /// Per-component log densities `ln(w_k) + ln N(x; μ_k, Σ_k)`.
+    fn component_log_densities(&self, x: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.means)
+            .zip(&self.vars)
+            .map(|((w, m), v)| w.max(1e-300).ln() + log_gauss(x, m, v))
+            .collect()
+    }
+
+    /// Log likelihood of one observation.
+    pub fn log_likelihood(&self, x: &[f64]) -> f64 {
+        log_sum_exp(&self.component_log_densities(x))
+    }
+
+    /// Mean log likelihood over a dataset.
+    pub fn avg_log_likelihood(&self, data: &[Vec<f64>]) -> f64 {
+        data.iter().map(|x| self.log_likelihood(x)).sum::<f64>() / data.len().max(1) as f64
+    }
+
+    /// Component posteriors `p(k | x)`.
+    pub fn posteriors(&self, x: &[f64]) -> Vec<f64> {
+        let lps = self.component_log_densities(x);
+        let z = log_sum_exp(&lps);
+        lps.iter().map(|lp| (lp - z).exp()).collect()
+    }
+
+    /// One weighted EM step: each frame `x_t` contributes with an external
+    /// occupancy weight `frame_weights[t]` (the state posterior γ when this
+    /// mixture is an HMM state's emission density). Frames with (near-)zero
+    /// weight are ignored; if the total weight is negligible the mixture is
+    /// left unchanged.
+    pub fn weighted_em_step(&mut self, data: &[Vec<f64>], frame_weights: &[f64]) {
+        assert_eq!(data.len(), frame_weights.len());
+        let k = self.num_components();
+        let dims = self.dims();
+        let mut w_acc = vec![0.0f64; k];
+        let mut m_acc = vec![vec![0.0f64; dims]; k];
+        let mut v_acc = vec![vec![0.0f64; dims]; k];
+        let mut total = 0.0;
+        for (x, &fw) in data.iter().zip(frame_weights) {
+            if fw <= 1e-12 {
+                continue;
+            }
+            total += fw;
+            let post = self.posteriors(x);
+            for (c, &p) in post.iter().enumerate() {
+                let w = p * fw;
+                w_acc[c] += w;
+                for d in 0..dims {
+                    m_acc[c][d] += w * x[d];
+                    v_acc[c][d] += w * x[d] * x[d];
+                }
+            }
+        }
+        if total < 1e-8 {
+            return;
+        }
+        for c in 0..k {
+            if w_acc[c] < 1e-8 {
+                continue; // starved component: keep previous parameters
+            }
+            for d in 0..dims {
+                let mean = m_acc[c][d] / w_acc[c];
+                let var = (v_acc[c][d] / w_acc[c] - mean * mean).max(VAR_FLOOR);
+                self.means[c][d] = mean;
+                self.vars[c][d] = var;
+            }
+            self.weights[c] = w_acc[c] / total;
+        }
+        let z: f64 = self.weights.iter().sum();
+        for w in self.weights.iter_mut() {
+            *w /= z;
+        }
+    }
+
+    /// Trains a `k`-component mixture with EM (`iters` iterations), with
+    /// deterministic initialisation from `seed` (random distinct points as
+    /// means, global variance as the initial spread).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or `k == 0`.
+    pub fn train(data: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> DiagGmm {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(k > 0, "k must be positive");
+        let dims = data[0].len();
+        let n = data.len();
+        // Global mean/variance for initialisation and flooring.
+        let mut gmean = vec![0.0; dims];
+        for x in data {
+            for (g, v) in gmean.iter_mut().zip(x) {
+                *g += v;
+            }
+        }
+        for g in gmean.iter_mut() {
+            *g /= n as f64;
+        }
+        let mut gvar = vec![0.0; dims];
+        for x in data {
+            for ((g, v), m) in gvar.iter_mut().zip(x).zip(&gmean) {
+                *g += (v - m) * (v - m);
+            }
+        }
+        for g in gvar.iter_mut() {
+            *g = (*g / n as f64).max(VAR_FLOOR);
+        }
+        // Pick k distinct starting means.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        let means: Vec<Vec<f64>> = idx.iter().take(k).map(|&i| data[i].clone()).collect();
+        let means = if means.len() < k {
+            // Fewer points than components: replicate with jitter.
+            (0..k).map(|i| data[i % n].clone()).collect()
+        } else {
+            means
+        };
+        let mut gmm = DiagGmm {
+            weights: vec![1.0 / k as f64; k],
+            means,
+            vars: vec![gvar.clone(); k],
+        };
+        for _ in 0..iters {
+            // E step: accumulate posteriors.
+            let mut w_acc = vec![0.0f64; k];
+            let mut m_acc = vec![vec![0.0f64; dims]; k];
+            let mut v_acc = vec![vec![0.0f64; dims]; k];
+            for x in data {
+                let post = gmm.posteriors(x);
+                for (c, &p) in post.iter().enumerate() {
+                    w_acc[c] += p;
+                    for d in 0..dims {
+                        m_acc[c][d] += p * x[d];
+                        v_acc[c][d] += p * x[d] * x[d];
+                    }
+                }
+            }
+            // M step.
+            for c in 0..k {
+                if w_acc[c] < 1e-8 {
+                    // Dead component: re-seed it at a random point.
+                    let i = idx[(c * 7 + 3) % n];
+                    gmm.means[c] = data[i].clone();
+                    gmm.vars[c] = gvar.clone();
+                    gmm.weights[c] = 1.0 / k as f64;
+                    continue;
+                }
+                for d in 0..dims {
+                    let mean = m_acc[c][d] / w_acc[c];
+                    let var = (v_acc[c][d] / w_acc[c] - mean * mean).max(VAR_FLOOR);
+                    gmm.means[c][d] = mean;
+                    gmm.vars[c][d] = var;
+                }
+                gmm.weights[c] = w_acc[c] / n as f64;
+            }
+            let z: f64 = gmm.weights.iter().sum();
+            for w in gmm.weights.iter_mut() {
+                *w /= z;
+            }
+        }
+        gmm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn two_cluster_data(seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.push(vec![
+                rng.gen_range(-0.5..0.5),
+                5.0 + rng.gen_range(-0.5..0.5),
+            ]);
+            data.push(vec![
+                8.0 + rng.gen_range(-0.5..0.5),
+                -3.0 + rng.gen_range(-0.5..0.5),
+            ]);
+        }
+        data
+    }
+
+    #[test]
+    fn single_gaussian_matches_moments() {
+        let data = vec![vec![1.0], vec![3.0], vec![5.0], vec![7.0]];
+        let g = DiagGmm::train(&data, 1, 10, 0);
+        assert!((g.means[0][0] - 4.0).abs() < 1e-9);
+        assert!((g.vars[0][0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn em_finds_two_clusters() {
+        let data = two_cluster_data(1);
+        let g = DiagGmm::train(&data, 2, 25, 42);
+        let mut means: Vec<Vec<f64>> = g.means.clone();
+        means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!((means[0][0] - 0.0).abs() < 0.3, "{:?}", means);
+        assert!((means[0][1] - 5.0).abs() < 0.3);
+        assert!((means[1][0] - 8.0).abs() < 0.3);
+        assert!((means[1][1] + 3.0).abs() < 0.3);
+        assert!((g.weights[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn likelihood_improves_with_training() {
+        let data = two_cluster_data(2);
+        let g1 = DiagGmm::train(&data, 2, 1, 7);
+        let g20 = DiagGmm::train(&data, 2, 20, 7);
+        assert!(g20.avg_log_likelihood(&data) >= g1.avg_log_likelihood(&data) - 1e-9);
+    }
+
+    #[test]
+    fn posteriors_sum_to_one() {
+        let data = two_cluster_data(3);
+        let g = DiagGmm::train(&data, 3, 10, 9);
+        for x in data.iter().take(10) {
+            let p = g.posteriors(x);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn likelihood_is_higher_on_own_data() {
+        let a = two_cluster_data(4);
+        let b: Vec<Vec<f64>> = a.iter().map(|x| vec![x[0] + 30.0, x[1] - 40.0]).collect();
+        let ga = DiagGmm::train(&a, 2, 15, 1);
+        assert!(ga.avg_log_likelihood(&a) > ga.avg_log_likelihood(&b) + 10.0);
+    }
+
+    #[test]
+    fn from_parameters_normalises() {
+        let g = DiagGmm::from_parameters(
+            vec![2.0, 2.0],
+            vec![vec![0.0], vec![1.0]],
+            vec![vec![1.0], vec![0.0]],
+        );
+        assert!((g.weights[0] - 0.5).abs() < 1e-12);
+        assert!(g.vars[1][0] >= VAR_FLOOR);
+        assert!(g.log_likelihood(&[0.5]).is_finite());
+    }
+
+    #[test]
+    fn more_components_than_points_is_handled() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let g = DiagGmm::train(&data, 4, 5, 0);
+        assert_eq!(g.num_components(), 4);
+        assert!(g.log_likelihood(&[0.5]).is_finite());
+    }
+}

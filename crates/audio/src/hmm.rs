@@ -1,0 +1,401 @@
+//! Continuous-density hidden Markov models with Gaussian-mixture emissions —
+//! "the main tool by means of which the above algorithms was implemented"
+//! (paper §3). Forward/backward run in log space; Baum–Welch re-estimates
+//! initial, transition, and emission parameters, preserving structural zeros
+//! (so a left-right topology stays left-right).
+
+use crate::gmm::DiagGmm;
+
+fn log_sum_exp(xs: impl Iterator<Item = f64>) -> f64 {
+    let xs: Vec<f64> = xs.collect();
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+const LOG_ZERO: f64 = f64::NEG_INFINITY;
+
+/// A continuous-density HMM.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    log_pi: Vec<f64>,
+    log_trans: Vec<Vec<f64>>,
+    states: Vec<DiagGmm>,
+}
+
+impl Hmm {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Emission mixture of one state.
+    pub fn state(&self, j: usize) -> &DiagGmm {
+        &self.states[j]
+    }
+
+    /// Builds a left-right (Bakis) chain: start in state 0, each state
+    /// self-loops with `self_prob` and advances with `1 − self_prob`; the
+    /// last state only self-loops.
+    pub fn left_right(states: Vec<DiagGmm>, self_prob: f64) -> Hmm {
+        let n = states.len();
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&self_prob));
+        let mut log_pi = vec![LOG_ZERO; n];
+        log_pi[0] = 0.0;
+        let mut log_trans = vec![vec![LOG_ZERO; n]; n];
+        for j in 0..n {
+            if j + 1 < n {
+                log_trans[j][j] = self_prob.ln();
+                log_trans[j][j + 1] = (1.0 - self_prob).ln();
+            } else {
+                log_trans[j][j] = 0.0;
+            }
+        }
+        Hmm {
+            log_pi,
+            log_trans,
+            states,
+        }
+    }
+
+    /// Builds a fully connected (ergodic) model with `self_prob` self-loops
+    /// and the remaining mass spread uniformly.
+    pub fn ergodic(states: Vec<DiagGmm>, self_prob: f64) -> Hmm {
+        let n = states.len();
+        assert!(n > 0);
+        let other = if n > 1 {
+            ((1.0 - self_prob) / (n - 1) as f64).ln()
+        } else {
+            LOG_ZERO
+        };
+        let log_pi = vec![(1.0 / n as f64).ln(); n];
+        let mut log_trans = vec![vec![other; n]; n];
+        for (j, row) in log_trans.iter_mut().enumerate() {
+            row[j] = if n > 1 { self_prob.ln() } else { 0.0 };
+        }
+        Hmm {
+            log_pi,
+            log_trans,
+            states,
+        }
+    }
+
+    fn emissions(&self, obs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        obs.iter()
+            .map(|x| self.states.iter().map(|g| g.log_likelihood(x)).collect())
+            .collect()
+    }
+
+    fn forward(&self, emit: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = self.num_states();
+        let t_len = emit.len();
+        let mut alpha = vec![vec![LOG_ZERO; n]; t_len];
+        for j in 0..n {
+            alpha[0][j] = self.log_pi[j] + emit[0][j];
+        }
+        for t in 1..t_len {
+            for j in 0..n {
+                let lse = log_sum_exp((0..n).map(|i| alpha[t - 1][i] + self.log_trans[i][j]));
+                alpha[t][j] = lse + emit[t][j];
+            }
+        }
+        alpha
+    }
+
+    fn backward(&self, emit: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = self.num_states();
+        let t_len = emit.len();
+        let mut beta = vec![vec![0.0; n]; t_len];
+        for t in (0..t_len.saturating_sub(1)).rev() {
+            for i in 0..n {
+                beta[t][i] = log_sum_exp(
+                    (0..n).map(|j| self.log_trans[i][j] + emit[t + 1][j] + beta[t + 1][j]),
+                );
+            }
+        }
+        beta
+    }
+
+    /// Log likelihood of an observation sequence (empty → 0).
+    pub fn log_likelihood(&self, obs: &[Vec<f64>]) -> f64 {
+        if obs.is_empty() {
+            return 0.0;
+        }
+        let emit = self.emissions(obs);
+        let alpha = self.forward(&emit);
+        log_sum_exp(alpha.last().expect("nonempty").iter().cloned())
+    }
+
+    /// Per-frame average log likelihood (length-normalised score used by
+    /// the spotting modules).
+    pub fn score(&self, obs: &[Vec<f64>]) -> f64 {
+        if obs.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        self.log_likelihood(obs) / obs.len() as f64
+    }
+
+    /// Viterbi decoding: the most likely state path and its log probability.
+    pub fn viterbi(&self, obs: &[Vec<f64>]) -> (Vec<usize>, f64) {
+        if obs.is_empty() {
+            return (Vec::new(), 0.0);
+        }
+        let n = self.num_states();
+        let emit = self.emissions(obs);
+        let t_len = obs.len();
+        let mut delta = vec![vec![LOG_ZERO; n]; t_len];
+        let mut psi = vec![vec![0usize; n]; t_len];
+        for j in 0..n {
+            delta[0][j] = self.log_pi[j] + emit[0][j];
+        }
+        for t in 1..t_len {
+            for j in 0..n {
+                let (best_i, best) = (0..n)
+                    .map(|i| (i, delta[t - 1][i] + self.log_trans[i][j]))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .expect("n > 0");
+                delta[t][j] = best + emit[t][j];
+                psi[t][j] = best_i;
+            }
+        }
+        let (mut state, logp) = delta[t_len - 1]
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (j, v))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("n > 0");
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = state;
+        for t in (1..t_len).rev() {
+            state = psi[t][state];
+            path[t - 1] = state;
+        }
+        (path, logp)
+    }
+
+    /// One Baum–Welch iteration over multiple sequences. Returns the total
+    /// log likelihood *before* the update (for convergence monitoring).
+    #[allow(clippy::needless_range_loop)] // index-coupled accumulators
+    pub fn baum_welch_step(&mut self, sequences: &[&[Vec<f64>]]) -> f64 {
+        let n = self.num_states();
+        let mut total_ll = 0.0;
+        let mut pi_acc = vec![0.0f64; n];
+        let mut trans_acc = vec![vec![0.0f64; n]; n];
+        // Per-state: flattened frames + occupancy weights for the GMM update.
+        let mut frames: Vec<Vec<f64>> = Vec::new();
+        let mut occupancy: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for seq in sequences {
+            if seq.is_empty() {
+                continue;
+            }
+            let emit = self.emissions(seq);
+            let alpha = self.forward(&emit);
+            let beta = self.backward(&emit);
+            let ll = log_sum_exp(alpha.last().expect("nonempty").iter().cloned());
+            total_ll += ll;
+            let t_len = seq.len();
+            for t in 0..t_len {
+                frames.push(seq[t].clone());
+                for j in 0..n {
+                    let gamma = (alpha[t][j] + beta[t][j] - ll).exp();
+                    occupancy[j].push(gamma);
+                    if t == 0 {
+                        pi_acc[j] += gamma;
+                    }
+                }
+            }
+            for t in 0..t_len - 1 {
+                for i in 0..n {
+                    if alpha[t][i] == LOG_ZERO {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if self.log_trans[i][j] == LOG_ZERO {
+                            continue;
+                        }
+                        let xi = (alpha[t][i]
+                            + self.log_trans[i][j]
+                            + emit[t + 1][j]
+                            + beta[t + 1][j]
+                            - ll)
+                            .exp();
+                        trans_acc[i][j] += xi;
+                    }
+                }
+            }
+        }
+        // Update π.
+        let pi_total: f64 = pi_acc.iter().sum();
+        if pi_total > 1e-12 {
+            for j in 0..n {
+                self.log_pi[j] = if pi_acc[j] > 1e-12 {
+                    (pi_acc[j] / pi_total).ln()
+                } else {
+                    LOG_ZERO
+                };
+            }
+        }
+        // Update transitions (structural zeros stay zero).
+        for i in 0..n {
+            let row_total: f64 = trans_acc[i].iter().sum();
+            if row_total < 1e-12 {
+                continue;
+            }
+            for j in 0..n {
+                if self.log_trans[i][j] != LOG_ZERO {
+                    self.log_trans[i][j] = if trans_acc[i][j] > 1e-12 {
+                        (trans_acc[i][j] / row_total).ln()
+                    } else {
+                        LOG_ZERO
+                    };
+                }
+            }
+        }
+        // Update emissions.
+        for j in 0..n {
+            self.states[j].weighted_em_step(&frames, &occupancy[j]);
+        }
+        total_ll
+    }
+
+    /// Runs `iters` Baum–Welch iterations; returns the log-likelihood trace
+    /// (one entry per iteration, computed before each update).
+    pub fn train(&mut self, sequences: &[&[Vec<f64>]], iters: usize) -> Vec<f64> {
+        (0..iters).map(|_| self.baum_welch_step(sequences)).collect()
+    }
+
+    /// Flat-start initialisation for a left-right model: every training
+    /// sequence is cut into `n_states` equal spans; span `j` trains state
+    /// `j`'s mixture.
+    pub fn flat_start_left_right(
+        sequences: &[&[Vec<f64>]],
+        n_states: usize,
+        n_mix: usize,
+        self_prob: f64,
+        seed: u64,
+    ) -> Hmm {
+        let mut buckets: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_states];
+        for seq in sequences {
+            let t_len = seq.len();
+            for (t, frame) in seq.iter().enumerate() {
+                let j = (t * n_states / t_len.max(1)).min(n_states - 1);
+                buckets[j].push(frame.clone());
+            }
+        }
+        let states: Vec<DiagGmm> = buckets
+            .iter()
+            .enumerate()
+            .map(|(j, b)| {
+                assert!(
+                    !b.is_empty(),
+                    "flat start: state {j} received no frames (sequences too short)"
+                );
+                DiagGmm::train(b, n_mix, 8, seed.wrapping_add(j as u64))
+            })
+            .collect();
+        Hmm::left_right(states, self_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D mixture centred at `mu`.
+    fn gauss_state(mu: f64, var: f64) -> DiagGmm {
+        DiagGmm::from_parameters(vec![1.0], vec![vec![mu]], vec![vec![var]])
+    }
+
+    fn seq(values: &[f64]) -> Vec<Vec<f64>> {
+        values.iter().map(|&v| vec![v]).collect()
+    }
+
+    #[test]
+    fn viterbi_tracks_state_change() {
+        let hmm = Hmm::left_right(vec![gauss_state(0.0, 0.5), gauss_state(10.0, 0.5)], 0.7);
+        let obs = seq(&[0.1, -0.2, 0.05, 9.8, 10.2, 9.9]);
+        let (path, logp) = hmm.viterbi(&obs);
+        assert_eq!(path, vec![0, 0, 0, 1, 1, 1]);
+        assert!(logp.is_finite());
+    }
+
+    #[test]
+    fn left_right_never_goes_back() {
+        let hmm = Hmm::left_right(
+            vec![gauss_state(0.0, 1.0), gauss_state(5.0, 1.0), gauss_state(-5.0, 1.0)],
+            0.5,
+        );
+        // Even though the tail matches state 0 better, a left-right path
+        // cannot return.
+        let obs = seq(&[0.0, 5.0, -5.0, -5.0, 0.1]);
+        let (path, _) = hmm.viterbi(&obs);
+        for w in path.windows(2) {
+            assert!(w[1] >= w[0], "path went backwards: {path:?}");
+        }
+    }
+
+    #[test]
+    fn likelihood_prefers_matching_sequences() {
+        let hmm = Hmm::left_right(vec![gauss_state(0.0, 1.0), gauss_state(8.0, 1.0)], 0.6);
+        let good = seq(&[0.0, 0.3, 7.8, 8.1]);
+        let bad = seq(&[8.0, 8.0, 0.0, 0.0]); // reversed order
+        assert!(hmm.log_likelihood(&good) > hmm.log_likelihood(&bad) + 5.0);
+    }
+
+    #[test]
+    fn ergodic_allows_any_order() {
+        let hmm = Hmm::ergodic(vec![gauss_state(0.0, 1.0), gauss_state(8.0, 1.0)], 0.6);
+        let ba = seq(&[8.0, 0.0, 8.0, 0.0]);
+        let (path, _) = hmm.viterbi(&ba);
+        assert_eq!(path, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn baum_welch_increases_likelihood() {
+        // Start with poorly placed means; BW must improve the fit.
+        let mut hmm = Hmm::left_right(vec![gauss_state(1.0, 4.0), gauss_state(3.0, 4.0)], 0.5);
+        let train1 = seq(&[0.0, 0.2, -0.1, 0.1, 9.9, 10.1, 10.0, 9.8]);
+        let train2 = seq(&[0.1, -0.2, 0.0, 10.2, 10.0, 9.9]);
+        let seqs: Vec<&[Vec<f64>]> = vec![&train1, &train2];
+        let trace = hmm.train(&seqs, 12);
+        assert!(
+            trace.last().unwrap() > &(trace[0] + 1.0),
+            "trace {trace:?}"
+        );
+        // The learned means straddle the two clusters.
+        let (path, _) = hmm.viterbi(&train1);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn flat_start_builds_sane_model() {
+        let a = seq(&[0.0, 0.1, -0.1, 5.0, 5.1, 4.9, 10.0, 10.1, 9.9]);
+        let b = seq(&[0.2, -0.2, 0.0, 4.8, 5.2, 5.0, 10.2, 9.8, 10.0]);
+        let seqs: Vec<&[Vec<f64>]> = vec![&a, &b];
+        let hmm = Hmm::flat_start_left_right(&seqs, 3, 1, 0.5, 0);
+        assert_eq!(hmm.num_states(), 3);
+        let (path, _) = hmm.viterbi(&a);
+        assert_eq!(path, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn empty_sequence_is_harmless() {
+        let hmm = Hmm::left_right(vec![gauss_state(0.0, 1.0)], 0.5);
+        assert_eq!(hmm.log_likelihood(&[]), 0.0);
+        let (path, _) = hmm.viterbi(&[]);
+        assert!(path.is_empty());
+        assert_eq!(hmm.score(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn score_is_length_normalised() {
+        let hmm = Hmm::left_right(vec![gauss_state(0.0, 1.0)], 0.5);
+        let short = seq(&[0.0, 0.0]);
+        let long = seq(&[0.0; 20]);
+        assert!((hmm.score(&short) - hmm.score(&long)).abs() < 0.1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # rcmo-audio — the voice-processing module
+//!
+//! Reimplementation of the paper's audio browsing stack (Cohen \[8\]): the
+//! tele-consulting system must answer "how many speakers participate? who
+//! are they? what is the subject?" over stored audio. The tool chain:
+//!
+//! * [`synth`] — synthetic speech/music/noise generators with ground-truth
+//!   labels (the substitute for clinical recordings);
+//! * [`fft`] — radix-2 FFT;
+//! * [`features`] — framing, windowing, log filterbank + cepstral features;
+//! * [`gmm`] — diagonal-covariance Gaussian mixtures with EM training;
+//! * [`hmm`] — continuous-density HMMs (GMM emissions, forward/backward in
+//!   log space, Viterbi, Baum–Welch) — "the main tool by means of which the
+//!   above algorithms was implemented is the Continuous Density HMM";
+//! * [`segment`] — automatic audio segmentation (signal vs. background
+//!   noise; speech vs. music vs. artifacts);
+//! * [`speechkind`] — pitch tracking and male/female/child speech typing;
+//! * [`wordspot`] — keyword spotting with keyword models + a garbage model;
+//! * [`speaker`] — text-independent speaker spotting and speaker-turn
+//!   segmentation (the paper's Fig. 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod fft;
+pub mod gmm;
+pub mod hmm;
+pub mod segment;
+pub mod speaker;
+pub mod speechkind;
+pub mod synth;
+pub mod wordspot;
+
+pub use features::{extract_features, FeatureConfig};
+pub use gmm::DiagGmm;
+pub use hmm::Hmm;
+pub use segment::{segment_audio, AudioClass, Segment, SegmenterModel};
+pub use speaker::{SpeakerModel, SpeakerSpotter};
+pub use speechkind::{pitch_track, segment_speech_kinds, SpeechKind};
+pub use synth::{SynthConfig, VoiceProfile};
+pub use wordspot::{WordSpotter, WordSpotterConfig};
+
+/// Sample rate used throughout the synthetic experiments (Hz).
+pub const SAMPLE_RATE: usize = 8_000;

@@ -1,0 +1,298 @@
+//! Speech-type segmentation: "segmenting speech data into various types of
+//! speech signals such as male speech, female speech, child speech" (paper
+//! §3). Classification rides on fundamental-frequency (pitch) estimation by
+//! normalised autocorrelation, the classic voiced-speech discriminator.
+
+use crate::features::FeatureConfig;
+use crate::segment::{merge_segments, AudioClass, Segment, SegmenterModel};
+use std::ops::Range;
+
+/// Speech sub-types distinguished by pitch range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpeechKind {
+    /// Typical adult male range (≈ 80–160 Hz).
+    Male,
+    /// Typical adult female range (≈ 160–255 Hz).
+    Female,
+    /// Typical child range (≳ 255 Hz).
+    Child,
+}
+
+impl SpeechKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpeechKind::Male => "male",
+            SpeechKind::Female => "female",
+            SpeechKind::Child => "child",
+        }
+    }
+
+    /// Classifies a fundamental frequency in Hz.
+    pub fn from_pitch(f0: f64) -> SpeechKind {
+        if f0 < 160.0 {
+            SpeechKind::Male
+        } else if f0 < 255.0 {
+            SpeechKind::Female
+        } else {
+            SpeechKind::Child
+        }
+    }
+}
+
+/// Pitch search band in Hz (covers male fundamentals up to children's).
+pub const PITCH_MIN_HZ: f64 = 70.0;
+/// Upper end of the pitch search band.
+pub const PITCH_MAX_HZ: f64 = 420.0;
+
+/// Estimates the fundamental frequency of one frame by normalised
+/// autocorrelation. Returns `None` for unvoiced/silent frames (no lag with
+/// a normalised correlation above `voicing_threshold`).
+pub fn pitch_of_frame(
+    frame: &[f64],
+    sample_rate: usize,
+    voicing_threshold: f64,
+) -> Option<f64> {
+    let n = frame.len();
+    let energy: f64 = frame.iter().map(|s| s * s).sum();
+    if energy < 1e-6 {
+        return None;
+    }
+    let lag_min = (sample_rate as f64 / PITCH_MAX_HZ).floor() as usize;
+    let lag_max = ((sample_rate as f64 / PITCH_MIN_HZ).ceil() as usize).min(n - 1);
+    if lag_min >= lag_max {
+        return None;
+    }
+    let corr_at = |lag: usize| -> f64 {
+        let mut num = 0.0;
+        let mut e1 = 0.0;
+        let mut e2 = 0.0;
+        for i in 0..n - lag {
+            num += frame[i] * frame[i + lag];
+            e1 += frame[i] * frame[i];
+            e2 += frame[i + lag] * frame[i + lag];
+        }
+        let denom = (e1 * e2).sqrt();
+        if denom < 1e-12 {
+            0.0
+        } else {
+            num / denom
+        }
+    };
+    let corrs: Vec<f64> = (lag_min..=lag_max).map(corr_at).collect();
+    let best = corrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if best < voicing_threshold {
+        return None;
+    }
+    // Octave-error guard: a lag of 2T or 4T correlates as well as the true
+    // period T, so take the *smallest* lag within a whisker of the best.
+    let lag = corrs
+        .iter()
+        .position(|&c| c >= best - 0.03)
+        .map(|i| i + lag_min)
+        .expect("best exists");
+    Some(sample_rate as f64 / lag as f64)
+}
+
+/// Per-frame pitch track over a signal (frame grid from [`FeatureConfig`]).
+pub fn pitch_track(samples: &[f64], cfg: &FeatureConfig) -> Vec<Option<f64>> {
+    let nframes = cfg.num_frames(samples.len());
+    (0..nframes)
+        .map(|f| {
+            let start = f * cfg.hop;
+            pitch_of_frame(&samples[start..start + cfg.frame_len], cfg.sample_rate, 0.55)
+        })
+        .collect()
+}
+
+/// Median of the voiced pitches within a frame range, if at least
+/// `min_voiced` frames are voiced.
+pub fn median_pitch(track: &[Option<f64>], frames: Range<usize>, min_voiced: usize) -> Option<f64> {
+    let mut voiced: Vec<f64> = track[frames.start.min(track.len())..frames.end.min(track.len())]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    if voiced.len() < min_voiced {
+        return None;
+    }
+    voiced.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(voiced[voiced.len() / 2])
+}
+
+/// A speech segment refined with its speaker type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeechSegment {
+    /// Frame range of the segment.
+    pub frames: Range<usize>,
+    /// The sub-type (`None` when too little voicing to decide).
+    pub kind: Option<SpeechKind>,
+    /// Median fundamental frequency of the segment, when voiced.
+    pub median_f0: Option<f64>,
+}
+
+/// Runs the class segmenter, then refines every `Speech` segment with a
+/// pitch-based male/female/child label. Non-speech segments pass through in
+/// the first return value untouched.
+pub fn segment_speech_kinds(
+    model: &SegmenterModel,
+    samples: &[f64],
+) -> (Vec<Segment>, Vec<SpeechSegment>) {
+    let labels = crate::segment::median_smooth(&model.classify_frames(samples), 5);
+    let segments = merge_segments(&labels);
+    let track = pitch_track(samples, model.features());
+    let speech = segments
+        .iter()
+        .filter(|s| s.class == AudioClass::Speech)
+        .map(|s| {
+            let median_f0 = median_pitch(&track, s.frames.clone(), 5);
+            SpeechSegment {
+                frames: s.frames.clone(),
+                kind: median_f0.map(SpeechKind::from_pitch),
+                median_f0,
+            }
+        })
+        .collect();
+    (segments, speech)
+}
+
+/// Splits one speech span into sub-segments wherever the smoothed pitch
+/// crosses a kind boundary (male↔female↔child turns inside one speech
+/// segment, e.g. a dialogue without pauses).
+pub fn split_by_kind(
+    track: &[Option<f64>],
+    frames: Range<usize>,
+    min_len: usize,
+) -> Vec<SpeechSegment> {
+    // Smooth the per-frame kinds with a small median window first.
+    let kinds: Vec<Option<SpeechKind>> = (frames.start..frames.end)
+        .map(|f| {
+            let lo = f.saturating_sub(4).max(frames.start);
+            let hi = (f + 5).min(frames.end);
+            median_pitch(track, lo..hi, 3).map(SpeechKind::from_pitch)
+        })
+        .collect();
+    let mut out: Vec<SpeechSegment> = Vec::new();
+    let base = frames.start;
+    let mut start = 0usize;
+    for i in 1..=kinds.len() {
+        if i == kinds.len() || kinds[i] != kinds[start] {
+            if i - start >= min_len {
+                out.push(SpeechSegment {
+                    frames: base + start..base + i,
+                    kind: kinds[start],
+                    median_f0: median_pitch(track, base + start..base + i, 1),
+                });
+            } else if let Some(last) = out.last_mut() {
+                // Absorb a too-short run into the previous segment.
+                last.frames.end = base + i;
+            }
+            start = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{self, SynthConfig, VoiceProfile};
+
+    fn cfg() -> FeatureConfig {
+        FeatureConfig::default()
+    }
+
+    #[test]
+    fn pitch_of_pure_tone() {
+        let sr = 8_000usize;
+        for f0 in [100.0f64, 200.0, 320.0] {
+            let frame: Vec<f64> = (0..512)
+                .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / sr as f64).sin())
+                .collect();
+            let est = pitch_of_frame(&frame, sr, 0.5).expect("voiced");
+            assert!(
+                (est - f0).abs() / f0 < 0.08,
+                "estimated {est:.1} Hz for a {f0:.0} Hz tone"
+            );
+        }
+    }
+
+    #[test]
+    fn silence_and_noise_are_unvoiced() {
+        let synth = SynthConfig::default();
+        assert!(pitch_of_frame(&vec![0.0; 512], 8_000, 0.5).is_none());
+        let noise = synth::noise(0.1, 0.1, &synth);
+        let voiced = pitch_track(&noise, &cfg())
+            .iter()
+            .filter(|p| p.is_some())
+            .count();
+        let total = cfg().num_frames(noise.len());
+        assert!(voiced * 3 < total, "{voiced}/{total} noise frames voiced");
+    }
+
+    #[test]
+    fn synthetic_voices_classify_correctly() {
+        let synth = SynthConfig::default();
+        let c = cfg();
+        for (voice, want) in [
+            (VoiceProfile::male("m"), SpeechKind::Male),
+            (VoiceProfile::female("f"), SpeechKind::Female),
+            (VoiceProfile::child("c"), SpeechKind::Child),
+        ] {
+            let audio = synth::babble(&voice, 1.0, &synth);
+            let track = pitch_track(&audio, &c);
+            let f0 = median_pitch(&track, 0..track.len(), 5).expect("voiced speech");
+            assert_eq!(
+                SpeechKind::from_pitch(f0),
+                want,
+                "{}: median f0 {f0:.1} Hz",
+                voice.name
+            );
+        }
+    }
+
+    #[test]
+    fn speech_segments_get_kinds() {
+        let synth = SynthConfig { seed: 77, ..SynthConfig::default() };
+        let model = SegmenterModel::train_default(3);
+        let mut track = synth::silence(0.5, &synth);
+        track.extend(synth::babble(&VoiceProfile::male("m"), 1.2, &synth));
+        let (segments, speech) = segment_speech_kinds(&model, &track);
+        assert!(!segments.is_empty());
+        assert_eq!(speech.len(), 1, "{speech:?}");
+        assert_eq!(speech[0].kind, Some(SpeechKind::Male));
+    }
+
+    #[test]
+    fn dialogue_splits_at_kind_boundaries() {
+        let synth = SynthConfig { seed: 5, ..SynthConfig::default() };
+        let c = cfg();
+        let mut audio = synth::babble(&VoiceProfile::male("m"), 1.2, &synth);
+        audio.extend(synth::babble(
+            &VoiceProfile::child("k"),
+            1.2,
+            &SynthConfig { seed: 6, ..synth },
+        ));
+        let track = pitch_track(&audio, &c);
+        let n = track.len();
+        let parts = split_by_kind(&track, 0..n, 8);
+        let kinds: Vec<Option<SpeechKind>> = parts.iter().map(|p| p.kind).collect();
+        assert!(
+            kinds.contains(&Some(SpeechKind::Male)) && kinds.contains(&Some(SpeechKind::Child)),
+            "kinds {kinds:?}"
+        );
+        // Segments tile the range in order.
+        assert_eq!(parts.first().unwrap().frames.start, 0);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].frames.end, w[1].frames.start);
+        }
+    }
+
+    #[test]
+    fn median_pitch_needs_enough_voicing() {
+        let track = vec![None, Some(100.0), None, Some(110.0)];
+        assert_eq!(median_pitch(&track, 0..4, 3), None);
+        assert_eq!(median_pitch(&track, 0..4, 2), Some(110.0));
+        assert_eq!(median_pitch(&track, 0..1, 1), None);
+    }
+}

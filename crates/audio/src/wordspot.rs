@@ -1,0 +1,356 @@
+//! Keyword ("word") spotting: keyword HMMs plus a garbage model.
+//!
+//! Per the paper (after Rose \[22\]): "word spotting algorithms accept a list
+//! of keywords, and raise a flag when one of these words is present in the
+//! continuous speech data. Word spotting systems are usually based on
+//! keyword models and a 'garbage' model that models all speech that is not
+//! a keyword. ... This algorithm works well when the keywords list is a
+//! priori known and keyword models may be trained in advance."
+//!
+//! Keywords here are phoneme sequences (see [`crate::synth::PHONEMES`]); a
+//! left-right CD-HMM per keyword is trained on synthetic utterances from
+//! several voices, the garbage model is an ergodic CD-HMM over free speech,
+//! and spotting slides a window over the test audio scoring
+//! `keyword − garbage` per frame (a length-normalised log-likelihood ratio)
+//! with local-maximum suppression.
+
+use crate::features::{extract_features, FeatureConfig};
+use crate::hmm::Hmm;
+use crate::synth::{self, SynthConfig, VoiceProfile, PHONEME_SECS};
+
+/// Spotting configuration.
+#[derive(Debug, Clone)]
+pub struct WordSpotterConfig {
+    /// Feature extraction used for training and spotting.
+    pub features: FeatureConfig,
+    /// HMM states per keyword phoneme.
+    pub states_per_phoneme: usize,
+    /// Mixture components per HMM state.
+    pub mixtures: usize,
+    /// Training voices.
+    pub voices: Vec<VoiceProfile>,
+    /// Baum–Welch iterations per keyword model.
+    pub train_iters: usize,
+    /// Score threshold for raising a flag.
+    pub threshold: f64,
+}
+
+impl Default for WordSpotterConfig {
+    fn default() -> Self {
+        WordSpotterConfig {
+            features: FeatureConfig::default(),
+            states_per_phoneme: 2,
+            mixtures: 2,
+            voices: vec![
+                VoiceProfile::male("train-m"),
+                VoiceProfile::female("train-f"),
+            ],
+            train_iters: 4,
+            threshold: -50.0,
+        }
+    }
+}
+
+/// One detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The detected keyword's index in the spotter's list.
+    pub word: usize,
+    /// Frame where the window started.
+    pub frame: usize,
+    /// Log-likelihood-ratio score per frame.
+    pub score: f64,
+}
+
+/// A trained keyword spotter.
+#[derive(Debug, Clone)]
+pub struct WordSpotter {
+    cfg: WordSpotterConfig,
+    keywords: Vec<(String, Vec<usize>, Hmm)>,
+    garbage: Hmm,
+}
+
+impl WordSpotter {
+    /// Trains keyword models and the garbage model. Each keyword is a
+    /// `(name, phoneme sequence)` pair.
+    pub fn train(keywords: &[(&str, Vec<usize>)], cfg: WordSpotterConfig, seed: u64) -> Self {
+        // Garbage: free speech from all training voices.
+        let mut garbage_frames: Vec<Vec<Vec<f64>>> = Vec::new();
+        for (i, voice) in cfg.voices.iter().enumerate() {
+            let sc = SynthConfig {
+                seed: seed ^ (0xBAD * (i as u64 + 1)),
+                ..SynthConfig::default()
+            };
+            let audio = synth::babble(voice, 2.5, &sc);
+            garbage_frames.push(extract_features(&audio, &cfg.features));
+        }
+        let garbage_refs: Vec<&[Vec<f64>]> =
+            garbage_frames.iter().map(|s| s.as_slice()).collect();
+        let all_garbage: Vec<Vec<f64>> = garbage_frames.iter().flatten().cloned().collect();
+        let garbage_gmms: Vec<crate::gmm::DiagGmm> = (0..3)
+            .map(|i| crate::gmm::DiagGmm::train(&all_garbage, cfg.mixtures, 8, seed + i))
+            .collect();
+        let mut garbage = Hmm::ergodic(garbage_gmms, 0.7);
+        garbage.train(&garbage_refs, 2);
+
+        let mut models = Vec::new();
+        for (w, (name, phonemes)) in keywords.iter().enumerate() {
+            let mut utterances: Vec<Vec<Vec<f64>>> = Vec::new();
+            for (i, voice) in cfg.voices.iter().enumerate() {
+                for rep in 0..3u64 {
+                    let sc = SynthConfig {
+                        seed: seed
+                            .wrapping_add(w as u64 * 7907)
+                            .wrapping_add(i as u64 * 131)
+                            .wrapping_add(rep * 17),
+                        ..SynthConfig::default()
+                    };
+                    let audio = synth::speech(voice, phonemes, &sc);
+                    // Train at several sample offsets: in continuous speech
+                    // the utterance never lands on the frame grid, and the
+                    // state Gaussians must tolerate shifted boundary frames.
+                    for offset in [0usize, 43, 96] {
+                        if offset < audio.len() {
+                            utterances.push(extract_features(&audio[offset..], &cfg.features));
+                        }
+                    }
+                }
+            }
+            let refs: Vec<&[Vec<f64>]> = utterances.iter().map(|s| s.as_slice()).collect();
+            let n_states = (cfg.states_per_phoneme * phonemes.len()).max(2);
+            let mut hmm =
+                Hmm::flat_start_left_right(&refs, n_states, cfg.mixtures, 0.6, seed + w as u64);
+            hmm.train(&refs, cfg.train_iters);
+            models.push((name.to_string(), phonemes.clone(), hmm));
+        }
+        WordSpotter {
+            cfg,
+            keywords: models,
+            garbage,
+        }
+    }
+
+    /// Per-frame log likelihood of keyword `word` on a frame span.
+    pub fn keyword_score(&self, word: usize, frames: &[Vec<f64>]) -> f64 {
+        self.keywords[word].2.score(frames)
+    }
+
+    /// Per-frame log likelihood of the garbage model on a frame span.
+    pub fn garbage_score(&self, frames: &[Vec<f64>]) -> f64 {
+        self.garbage.score(frames)
+    }
+
+    /// Keyword names in index order.
+    pub fn keyword_names(&self) -> Vec<&str> {
+        self.keywords.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Frames one keyword utterance spans.
+    fn word_frames(&self, word: usize) -> usize {
+        let secs = self.keywords[word].1.len() as f64 * PHONEME_SECS;
+        let samples = (secs * self.cfg.features.sample_rate as f64) as usize;
+        self.cfg.features.num_frames(samples).max(2)
+    }
+
+    /// Raw score trace for one keyword: for each window start frame, the
+    /// per-frame log-likelihood ratio of keyword vs. garbage.
+    pub fn score_trace(&self, frames: &[Vec<f64>], word: usize) -> Vec<f64> {
+        let win = self.word_frames(word);
+        if frames.len() < win {
+            return Vec::new();
+        }
+        let hop = self.hop_frames(word);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + win <= frames.len() {
+            // Trim one frame on each side: the utterance never falls exactly
+            // on the frame grid, and a left-right model is punishing about a
+            // boundary frame that mixes in neighbouring audio.
+            let window = if win > 4 {
+                &frames[start + 1..start + win - 1]
+            } else {
+                &frames[start..start + win]
+            };
+            let s = self.keywords[word].2.score(window) - self.garbage.score(window);
+            out.push(s);
+            start += hop;
+        }
+        out
+    }
+
+    /// Window hop in frames for a keyword (matches [`Self::score_trace`]).
+    /// Dense (hop 1 for short words) so a left-right keyword model aligns
+    /// with the true utterance start.
+    pub fn hop_frames(&self, word: usize) -> usize {
+        (self.word_frames(word) / 8).max(1)
+    }
+
+    /// Spots keywords in audio samples; hits are local maxima of the score
+    /// trace above the configured threshold.
+    pub fn spot(&self, samples: &[f64]) -> Vec<Hit> {
+        let frames = extract_features(samples, &self.cfg.features);
+        let mut hits = Vec::new();
+        for word in 0..self.keywords.len() {
+            let trace = self.score_trace(&frames, word);
+            let hop = self.hop_frames(word);
+            for (i, &s) in trace.iter().enumerate() {
+                if s <= self.cfg.threshold {
+                    continue;
+                }
+                let prev = if i > 0 { trace[i - 1] } else { f64::NEG_INFINITY };
+                let next = *trace.get(i + 1).unwrap_or(&f64::NEG_INFINITY);
+                if s >= prev && s >= next {
+                    hits.push(Hit {
+                        word,
+                        frame: i * hop,
+                        score: s,
+                    });
+                }
+            }
+        }
+        hits.sort_by_key(|h| h.frame);
+        hits
+    }
+}
+
+/// One operating point of a detection trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Threshold the point was computed at.
+    pub threshold: f64,
+    /// True positive rate.
+    pub tpr: f64,
+    /// False alarms accepted at this threshold.
+    pub false_alarms: usize,
+}
+
+/// Sweeps thresholds over positive/negative score populations to produce a
+/// detection curve (the standard word-spotting evaluation).
+pub fn roc(positives: &[f64], negatives: &[f64], steps: usize) -> Vec<RocPoint> {
+    if positives.is_empty() {
+        return Vec::new();
+    }
+    let lo = positives
+        .iter()
+        .chain(negatives)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = positives
+        .iter()
+        .chain(negatives)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    (0..steps)
+        .map(|i| {
+            let t = lo + (hi - lo) * i as f64 / (steps - 1).max(1) as f64;
+            let tp = positives.iter().filter(|&&s| s > t).count();
+            let fa = negatives.iter().filter(|&&s| s > t).count();
+            RocPoint {
+                threshold: t,
+                tpr: tp as f64 / positives.len() as f64,
+                false_alarms: fa,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly distinct keywords.
+    fn keywords() -> Vec<(&'static str, Vec<usize>)> {
+        vec![("lesion", vec![0, 1, 4]), ("biopsy", vec![2, 5, 3])]
+    }
+
+    fn spotter() -> WordSpotter {
+        WordSpotter::train(&keywords(), WordSpotterConfig::default(), 31)
+    }
+
+    #[test]
+    fn keyword_scores_higher_on_its_own_word() {
+        let sp = spotter();
+        // A held-out voice utters each keyword.
+        let voice = VoiceProfile {
+            name: "held-out".to_string(),
+            pitch_hz: 135.0,
+            formant_scale: 1.05,
+        };
+        let sc = SynthConfig {
+            seed: 777,
+            ..SynthConfig::default()
+        };
+        let cfg = FeatureConfig::default();
+        let a = extract_features(&synth::speech(&voice, &[0, 1, 4], &sc), &cfg);
+        let b = extract_features(&synth::speech(&voice, &[2, 5, 3], &sc), &cfg);
+        let s_aa = sp.keyword_score(0, &a);
+        let s_ab = sp.keyword_score(0, &b);
+        assert!(
+            s_aa > s_ab,
+            "keyword 0 on own word {s_aa:.2} vs other {s_ab:.2}"
+        );
+        let s_bb = sp.keyword_score(1, &b);
+        let s_ba = sp.keyword_score(1, &a);
+        assert!(s_bb > s_ba);
+    }
+
+    #[test]
+    fn spotting_finds_embedded_keyword() {
+        let sp = spotter();
+        let voice = VoiceProfile::male("held-out");
+        let sc = SynthConfig {
+            seed: 4242,
+            ..SynthConfig::default()
+        };
+        // carrier speech + keyword 0 + carrier speech
+        let mut audio = synth::babble(&voice, 0.6, &sc);
+        let kw_start_frame = {
+            let f = FeatureConfig::default();
+            f.num_frames(audio.len())
+        };
+        audio.extend(synth::speech(&voice, &[0, 1, 4], &SynthConfig { seed: 4243, ..sc }));
+        audio.extend(synth::babble(&voice, 0.6, &SynthConfig { seed: 4244, ..sc }));
+
+        let hits = sp.spot(&audio);
+        let word0_hits: Vec<&Hit> = hits.iter().filter(|h| h.word == 0).collect();
+        assert!(!word0_hits.is_empty(), "keyword 0 not spotted: {hits:?}");
+        let best = word0_hits
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        let tolerance = sp.word_frames(0);
+        assert!(
+            (best.frame as i64 - kw_start_frame as i64).unsigned_abs() as usize <= tolerance,
+            "hit at frame {} but keyword starts near {kw_start_frame}",
+            best.frame
+        );
+    }
+
+    #[test]
+    fn score_trace_empty_for_short_audio() {
+        let sp = spotter();
+        assert!(sp.score_trace(&[], 0).is_empty());
+        let hits = sp.spot(&vec![0.0; 100]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn roc_is_monotone_in_threshold() {
+        let pos = vec![1.0, 2.0, 3.0, 4.0];
+        let neg = vec![-1.0, 0.0, 0.5, 2.5];
+        let curve = roc(&pos, &neg, 10);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1].threshold >= w[0].threshold);
+            assert!(w[1].tpr <= w[0].tpr, "tpr must fall as threshold rises");
+            assert!(w[1].false_alarms <= w[0].false_alarms);
+        }
+        assert!(roc(&[], &neg, 5).is_empty());
+    }
+
+    #[test]
+    fn keyword_names_are_exposed() {
+        let sp = spotter();
+        assert_eq!(sp.keyword_names(), vec!["lesion", "biopsy"]);
+    }
+}

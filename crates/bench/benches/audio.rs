@@ -1,0 +1,62 @@
+//! Voice-processing benchmarks (experiment E9): feature extraction,
+//! GMM scoring, and CD-HMM Viterbi throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rcmo_audio::features::{extract_features, FeatureConfig};
+use rcmo_audio::gmm::DiagGmm;
+use rcmo_audio::hmm::Hmm;
+use rcmo_audio::synth::{babble, SynthConfig, VoiceProfile};
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let cfg = FeatureConfig::default();
+    let audio = babble(&VoiceProfile::male("m"), 5.0, &SynthConfig::default());
+    let mut group = c.benchmark_group("audio/features_5s");
+    group.throughput(Throughput::Elements(cfg.num_frames(audio.len()) as u64));
+    group.bench_function("extract", |b| {
+        b.iter(|| black_box(extract_features(&audio, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_gmm(c: &mut Criterion) {
+    let cfg = FeatureConfig::default();
+    let audio = babble(&VoiceProfile::female("f"), 3.0, &SynthConfig::default());
+    let frames = extract_features(&audio, &cfg);
+    let gmm = DiagGmm::train(&frames, 4, 10, 1);
+    c.bench_function("audio/gmm_loglik_per_frame", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % frames.len();
+            black_box(gmm.log_likelihood(&frames[i]))
+        })
+    });
+    let mut group = c.benchmark_group("audio/gmm_train");
+    group.sample_size(10);
+    group.bench_function("k4_10iters", |b| {
+        b.iter(|| black_box(DiagGmm::train(&frames, 4, 10, 1)))
+    });
+    group.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let cfg = FeatureConfig::default();
+    let audio = babble(&VoiceProfile::male("m"), 2.0, &SynthConfig::default());
+    let frames = extract_features(&audio, &cfg);
+    let states: Vec<DiagGmm> = (0..6)
+        .map(|i| DiagGmm::train(&frames, 2, 6, i as u64))
+        .collect();
+    let hmm = Hmm::left_right(states, 0.6);
+    let mut group = c.benchmark_group("audio/hmm");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("viterbi_6state", |b| {
+        b.iter(|| black_box(hmm.viterbi(&frames)))
+    });
+    group.bench_function("forward_loglik_6state", |b| {
+        b.iter(|| black_box(hmm.log_likelihood(&frames)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features, bench_gmm, bench_viterbi);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Layered codec benchmarks (experiment E8): encode/decode throughput and
+//! the cost of multi-resolution extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcmo_codec::{decode, decode_resolution, encode, EncoderConfig};
+use rcmo_imaging::ct_phantom;
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode");
+    group.sample_size(20);
+    for size in [64usize, 128, 256] {
+        let img = ct_phantom(size, 3, 1).unwrap();
+        group.throughput(Throughput::Bytes((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &img, |b, img| {
+            b.iter(|| black_box(encode(img, &EncoderConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decode");
+    group.sample_size(20);
+    for size in [64usize, 128, 256] {
+        let img = ct_phantom(size, 3, 1).unwrap();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        group.throughput(Throughput::Bytes((size * size) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &bytes, |b, bytes| {
+            b.iter(|| black_box(decode(bytes).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multires(c: &mut Criterion) {
+    let img = ct_phantom(256, 3, 1).unwrap();
+    let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+    let mut group = c.benchmark_group("codec/decode_resolution");
+    for drop in [0usize, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(drop), &drop, |b, &drop| {
+            b.iter(|| black_box(decode_resolution(&bytes, drop).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_multires);
+criterion_main!(benches);

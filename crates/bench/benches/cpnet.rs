@@ -1,0 +1,82 @@
+//! CP-network reasoning benchmarks (experiment E2 performance side):
+//! optimal outcome / completion vs. network size, and preference-ordered
+//! enumeration throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcmo_core::cpnet::samples::{chain_net, random_net, RandomNetSpec};
+use rcmo_core::{PartialAssignment, Value, VarId};
+use std::hint::black_box;
+
+fn bench_optimal_outcome(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpnet/optimal_outcome");
+    for vars in [16usize, 64, 256, 1024] {
+        let net = random_net(&RandomNetSpec {
+            vars,
+            max_domain: 3,
+            max_parents: 3,
+            seed: 7,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &net, |b, net| {
+            b.iter(|| black_box(net.optimal_outcome()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimal_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpnet/optimal_completion");
+    for vars in [16usize, 64, 256, 1024] {
+        let net = chain_net(vars, 3, 9);
+        let mut ev = PartialAssignment::empty(vars);
+        for i in (0..vars).step_by(4) {
+            ev.set(VarId(i as u32), Value(1));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &(net, ev), |b, (net, ev)| {
+            b.iter(|| black_box(net.optimal_completion(ev)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpnet/top32_outcomes");
+    for vars in [8usize, 16, 32] {
+        let net = random_net(&RandomNetSpec {
+            vars,
+            max_domain: 2,
+            max_parents: 2,
+            seed: 3,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &net, |b, net| {
+            b.iter(|| {
+                let ev = PartialAssignment::empty(net.len());
+                let v: Vec<_> = net.outcomes_by_preference(&ev).take(32).collect();
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let net = random_net(&RandomNetSpec {
+        vars: 256,
+        max_domain: 3,
+        max_parents: 3,
+        seed: 5,
+    });
+    c.bench_function("cpnet/encode_256", |b| b.iter(|| black_box(net.to_bytes())));
+    let bytes = net.to_bytes();
+    c.bench_function("cpnet/decode_256", |b| {
+        b.iter(|| black_box(rcmo_core::CpNet::from_bytes(&bytes).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_optimal_outcome,
+    bench_optimal_completion,
+    bench_enumeration,
+    bench_codec
+);
+criterion_main!(benches);

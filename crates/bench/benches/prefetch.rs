@@ -1,0 +1,48 @@
+//! Prefetch-policy benchmarks (experiment E10): full simulated sessions per
+//! policy, and the planner's own planning cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcmo_bench::medical_document;
+use rcmo_core::{PartialAssignment, PrefetchConfig, PrefetchPlanner};
+use rcmo_netsim::{simulate_session, Link, PolicyKind, SessionConfig};
+use std::hint::black_box;
+
+fn bench_session(c: &mut Criterion) {
+    let doc = medical_document(4, 4);
+    let mut group = c.benchmark_group("prefetch/session_30_clicks");
+    group.sample_size(20);
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
+            b.iter(|| {
+                black_box(simulate_session(
+                    &doc,
+                    &SessionConfig {
+                        steps: 30,
+                        buffer_bytes: 256 * 1024,
+                        link: Link::new(1_000_000.0, 0.04),
+                        policy,
+                        ..SessionConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetch/plan");
+    for (folders, leaves) in [(2usize, 4usize), (4, 8), (8, 8)] {
+        let doc = medical_document(folders, leaves);
+        let planner = PrefetchPlanner::new(PrefetchConfig { top_k: 64, decay: 0.9 });
+        let ev = PartialAssignment::empty(doc.net().len());
+        let n = doc.num_components();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {
+            b.iter(|| black_box(planner.plan(doc, &ev, 512 * 1024).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Change-propagation benchmarks (experiment E1): delta broadcast cost as
+//! the number of partners in a room grows — "that change is immediately
+//! propagated to other clients in the room".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcmo_bench::consultation_fixture;
+use rcmo_imaging::LineElement;
+use rcmo_server::Action;
+use std::hint::black_box;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation/annotation_broadcast");
+    for partners in [2usize, 4, 8, 16] {
+        let (srv, doc_id, image_id) = consultation_fixture(partners);
+        let room = srv.create_room("user-0", "bench", doc_id).unwrap();
+        let conns: Vec<_> = (0..partners)
+            .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+            .collect();
+        srv.open_image(room, "user-0", image_id).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(partners), &srv, |b, srv| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                srv.act(
+                    room,
+                    "user-0",
+                    Action::AddLine {
+                        object: image_id,
+                        element: LineElement { x0: i % 64, y0: 0, x1: 0, y1: i % 64, intensity: 200 },
+                    },
+                )
+                .unwrap();
+                // Drain so channels stay bounded in memory.
+                for c in &conns {
+                    while c.events.try_recv().is_ok() {}
+                }
+            })
+        });
+        black_box(conns);
+    }
+    group.finish();
+}
+
+fn bench_choice_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation/choice_with_reconfig");
+    for partners in [2usize, 8] {
+        let (srv, doc_id, _) = consultation_fixture(partners);
+        let room = srv.create_room("user-0", "bench", doc_id).unwrap();
+        let conns: Vec<_> = (0..partners)
+            .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(partners), &srv, |b, srv| {
+            let mut form = 0usize;
+            b.iter(|| {
+                form = (form + 1) % 2;
+                srv.act(
+                    room,
+                    "user-0",
+                    Action::Choose { component: rcmo_core::ComponentId(2), form },
+                )
+                .unwrap();
+                for c in &conns {
+                    while c.events.try_recv().is_ok() {}
+                }
+            })
+        });
+        black_box(conns);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast, bench_choice_reconfig);
+criterion_main!(benches);

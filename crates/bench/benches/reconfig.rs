@@ -1,0 +1,66 @@
+//! Presentation (re)configuration latency (experiment E3): the paper's
+//! §4.4 worries that "large amounts of information must be delivered to the
+//! user quickly, on demand" — this measures defaultPresentation() and
+//! reconfigPresentation() against document size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcmo_bench::medical_document;
+use rcmo_core::{ComponentId, PresentationEngine, ViewerChoice, ViewerSession};
+use std::hint::black_box;
+
+fn bench_default_presentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("presentation/default");
+    for (folders, leaves) in [(2usize, 4usize), (4, 8), (8, 16), (16, 32)] {
+        let doc = medical_document(folders, leaves);
+        let engine = PresentationEngine::new();
+        let n = doc.num_components();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {
+            b.iter(|| black_box(engine.default_presentation(doc)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconfigure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("presentation/reconfigure");
+    for (folders, leaves) in [(2usize, 4usize), (4, 8), (8, 16), (16, 32)] {
+        let doc = medical_document(folders, leaves);
+        let engine = PresentationEngine::new();
+        let mut session = ViewerSession::new("bench");
+        // Three explicit choices, like an active viewer.
+        for (i, c_id) in [2u32, 5, 7].iter().enumerate() {
+            let comp = ComponentId(*c_id % doc.num_components() as u32);
+            if doc.forms(comp).map(|f| f.len() > 1).unwrap_or(false)
+                && doc.parent(comp).ok().flatten().is_some()
+            {
+                let _ = session.choose(&doc, ViewerChoice { component: comp, form: i % 2 });
+            }
+        }
+        let n = doc.num_components();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(doc, session),
+            |b, (doc, session)| b.iter(|| black_box(engine.presentation_for(doc, session).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_local_operation(c: &mut Criterion) {
+    let doc = medical_document(4, 8);
+    c.bench_function("presentation/apply_local_operation", |b| {
+        b.iter_batched(
+            || ViewerSession::new("bench"),
+            |mut session| {
+                session
+                    .apply_local_operation(&doc, ComponentId(2), 0, "segmentation")
+                    .unwrap();
+                black_box(session)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_default_presentation, bench_reconfigure, bench_local_operation);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Storage engine benchmarks (experiment E6): row insert/lookup throughput
+//! and BLOB streaming — the paths behind every fetch/store in Figure 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rcmo_storage::{Column, ColumnType, Database, RowValue, Schema};
+use std::hint::black_box;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("ID", ColumnType::U64),
+        Column::new("FLD_NAME", ColumnType::Text),
+        Column::new("FLD_DATA", ColumnType::Bytes),
+    ])
+    .unwrap()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/insert_1k_rows");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| {
+            let db = Database::in_memory().unwrap();
+            let mut tx = db.begin().unwrap();
+            tx.create_table("T", schema()).unwrap();
+            for i in 0..1_000u64 {
+                tx.insert(
+                    "T",
+                    vec![
+                        RowValue::Null,
+                        RowValue::Text(format!("row{i}")),
+                        RowValue::Bytes(vec![0u8; 64]),
+                    ],
+                )
+                .unwrap();
+            }
+            tx.commit().unwrap();
+            black_box(db)
+        })
+    });
+    group.finish();
+}
+
+fn bench_point_get(c: &mut Criterion) {
+    let db = Database::in_memory().unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", schema()).unwrap();
+        for i in 0..10_000u64 {
+            tx.insert(
+                "T",
+                vec![RowValue::Null, RowValue::Text(format!("row{i}")), RowValue::Bytes(vec![0u8; 32])],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    c.bench_function("storage/point_get_of_10k", |b| {
+        let mut k = 1u64;
+        b.iter(|| {
+            let mut tx = db.begin().unwrap();
+            let row = tx.get("T", k % 10_000 + 1).unwrap();
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(row)
+        })
+    });
+}
+
+fn bench_blob(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/blob");
+    for size in [64 * 1024usize, 1024 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let payload = vec![0xA5u8; size];
+        group.bench_with_input(BenchmarkId::new("write", size), &payload, |b, payload| {
+            let db = Database::in_memory().unwrap();
+            b.iter(|| {
+                let mut tx = db.begin().unwrap();
+                let id = tx.put_blob(payload).unwrap();
+                tx.commit().unwrap();
+                black_box(id)
+            })
+        });
+        let db = Database::in_memory().unwrap();
+        let id = {
+            let mut tx = db.begin().unwrap();
+            let id = tx.put_blob(&payload).unwrap();
+            tx.commit().unwrap();
+            id
+        };
+        group.bench_with_input(BenchmarkId::new("read", size), &id, |b, &id| {
+            b.iter(|| {
+                let mut tx = db.begin().unwrap();
+                black_box(tx.get_blob(id).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_scan(c: &mut Criterion) {
+    let db = Database::in_memory().unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", schema()).unwrap();
+        for i in 0..10_000u64 {
+            tx.insert(
+                "T",
+                vec![RowValue::Null, RowValue::Text(format!("r{i}")), RowValue::Bytes(vec![])],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    c.bench_function("storage/range_100_of_10k", |b| {
+        b.iter(|| {
+            let mut tx = db.begin().unwrap();
+            black_box(tx.range("T", 5_000, 5_099).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_point_get, bench_blob, bench_range_scan);
+criterion_main!(benches);

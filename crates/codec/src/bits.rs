@@ -1,0 +1,279 @@
+//! Bit-level I/O and the entropy codes used by the layer encoders:
+//! Exp-Golomb universal codes plus zero-run-length coding of quantised
+//! coefficient streams.
+
+/// MSB-first bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the last byte (0..8); 0 means byte-aligned.
+    fill: u8,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes one bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.fill == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.fill);
+        }
+        self.fill = (self.fill + 1) % 8;
+    }
+
+    /// Writes `n` low bits of `v`, MSB first.
+    pub fn put_bits(&mut self, v: u64, n: u8) {
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Exp-Golomb code for an unsigned value.
+    pub fn put_ue(&mut self, v: u64) {
+        let x = v + 1;
+        let len = 64 - x.leading_zeros() as u8; // bit length of x
+        for _ in 0..len - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(x, len);
+    }
+
+    /// Exp-Golomb code for a signed value (zigzag mapped).
+    pub fn put_se(&mut self, v: i64) {
+        let zz = if v >= 0 { (v as u64) << 1 } else { ((-v as u64) << 1) - 1 };
+        self.put_ue(zz);
+    }
+
+    /// Pads to a byte boundary and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.fill == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.fill as usize
+        }
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+/// Error: ran out of bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits;
+
+impl<'a> BitReader<'a> {
+    /// Reads from a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    pub fn get_bit(&mut self) -> Result<bool, OutOfBits> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(OutOfBits);
+        }
+        let bit = (self.bytes[byte] >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits, MSB first.
+    pub fn get_bits(&mut self, n: u8) -> Result<u64, OutOfBits> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.get_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    pub fn get_ue(&mut self) -> Result<u64, OutOfBits> {
+        let mut zeros = 0u8;
+        while !self.get_bit()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(OutOfBits);
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok(((1u64 << zeros) | rest) - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    pub fn get_se(&mut self) -> Result<i64, OutOfBits> {
+        let zz = self.get_ue()?;
+        Ok(if zz % 2 == 0 {
+            (zz >> 1) as i64
+        } else {
+            -(((zz + 1) >> 1) as i64)
+        })
+    }
+}
+
+/// Encodes a quantised coefficient stream with zero-run coding: each token
+/// is `(run-of-zeros, nonzero value)`; a final token flushes trailing zeros
+/// with value 0.
+pub fn encode_coeffs(w: &mut BitWriter, coeffs: &[i32]) {
+    let mut run = 0u64;
+    for &c in coeffs {
+        if c == 0 {
+            run += 1;
+        } else {
+            w.put_ue(run);
+            w.put_se(c as i64);
+            run = 0;
+        }
+    }
+    // Terminator: the remaining zeros and an explicit 0 value.
+    w.put_ue(run);
+    w.put_se(0);
+}
+
+/// Decodes `n` coefficients written by [`encode_coeffs`].
+pub fn decode_coeffs(r: &mut BitReader<'_>, n: usize) -> Result<Vec<i32>, OutOfBits> {
+    let mut out = Vec::with_capacity(n);
+    loop {
+        let run = r.get_ue()?;
+        let val = r.get_se()?;
+        for _ in 0..run {
+            if out.len() >= n {
+                return Err(OutOfBits);
+            }
+            out.push(0);
+        }
+        if val == 0 {
+            // Terminator: its run must flush exactly the remaining zeros.
+            if out.len() != n {
+                return Err(OutOfBits);
+            }
+            return Ok(out);
+        }
+        if out.len() >= n {
+            return Err(OutOfBits);
+        }
+        out.push(val as i32);
+        if out.len() == n {
+            // Consume the terminator.
+            let run = r.get_ue()?;
+            let val = r.get_se()?;
+            if run != 0 || val != 0 {
+                return Err(OutOfBits);
+            }
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bits(0b1011, 4);
+        w.put_bit(false);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().unwrap());
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert!(!r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn ue_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [0u64, 1, 2, 3, 4, 7, 8, 100, 12345, 1 << 40];
+        for &v in &values {
+            w.put_ue(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_ue().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn se_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [0i64, 1, -1, 2, -2, 100, -100, 65535, -65535];
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.get_se().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn out_of_bits_detected() {
+        let bytes = [0u8]; // 8 zero bits: an unterminated ue prefix
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_ue().is_err());
+        let mut r2 = BitReader::new(&[]);
+        assert!(r2.get_bit().is_err());
+    }
+
+    #[test]
+    fn coeff_roundtrip_dense_and_sparse() {
+        for coeffs in [
+            vec![0i32; 50],
+            vec![1, -2, 3, -4, 5],
+            {
+                let mut v = vec![0i32; 100];
+                v[3] = 7;
+                v[50] = -120;
+                v[99] = 1;
+                v
+            },
+            vec![],
+        ] {
+            let mut w = BitWriter::new();
+            encode_coeffs(&mut w, &coeffs);
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(decode_coeffs(&mut r, coeffs.len()).unwrap(), coeffs);
+        }
+    }
+
+    #[test]
+    fn sparse_streams_are_small() {
+        let mut sparse = vec![0i32; 4096];
+        sparse[17] = 3;
+        let mut w = BitWriter::new();
+        encode_coeffs(&mut w, &sparse);
+        let n = w.finish().len();
+        assert!(n < 16, "sparse block coded in {n} bytes");
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.put_bits(0, 9);
+        assert_eq!(w.bit_len(), 10);
+    }
+}

@@ -1,0 +1,185 @@
+//! 8×8 block DCT-II — the "local cosine" basis of the residual layers.
+//!
+//! The paper's module uses local cosine bases (block cosine transforms with
+//! smooth windows) for residual coding; an 8×8 DCT-II with zigzag coefficient
+//! ordering captures the same role (and is exactly the JPEG kernel, whose
+//! blocking artifacts the multi-layer scheme was designed to compensate).
+
+use std::sync::OnceLock;
+
+/// Block edge length.
+pub const N: usize = 8;
+
+fn cos_table() -> &'static [[f64; N]; N] {
+    static TABLE: OnceLock<[[f64; N]; N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0; N]; N];
+        for (k, row) in t.iter_mut().enumerate() {
+            for (n, v) in row.iter_mut().enumerate() {
+                *v = ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / (2.0 * N as f64))
+                    .cos();
+            }
+        }
+        t
+    })
+}
+
+#[inline]
+fn alpha(k: usize) -> f64 {
+    if k == 0 {
+        (1.0 / N as f64).sqrt()
+    } else {
+        (2.0 / N as f64).sqrt()
+    }
+}
+
+/// Forward 2-D DCT-II of an 8×8 block (row-major, orthonormal).
+pub fn forward(block: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(block.len(), N * N);
+    let t = cos_table();
+    let mut tmp = [0.0f64; N * N];
+    // Rows.
+    for y in 0..N {
+        for k in 0..N {
+            let mut s = 0.0;
+            for n in 0..N {
+                s += block[y * N + n] * t[k][n];
+            }
+            tmp[y * N + k] = alpha(k) * s;
+        }
+    }
+    // Columns.
+    let mut out = vec![0.0f64; N * N];
+    for x in 0..N {
+        for k in 0..N {
+            let mut s = 0.0;
+            for n in 0..N {
+                s += tmp[n * N + x] * t[k][n];
+            }
+            out[k * N + x] = alpha(k) * s;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT (DCT-III) of an 8×8 coefficient block.
+pub fn inverse(coeffs: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(coeffs.len(), N * N);
+    let t = cos_table();
+    let mut tmp = [0.0f64; N * N];
+    // Columns.
+    for x in 0..N {
+        for n in 0..N {
+            let mut s = 0.0;
+            for k in 0..N {
+                s += alpha(k) * coeffs[k * N + x] * t[k][n];
+            }
+            tmp[n * N + x] = s;
+        }
+    }
+    // Rows.
+    let mut out = vec![0.0f64; N * N];
+    for y in 0..N {
+        for n in 0..N {
+            let mut s = 0.0;
+            for k in 0..N {
+                s += alpha(k) * tmp[y * N + k] * t[k][n];
+            }
+            out[y * N + n] = s;
+        }
+    }
+    out
+}
+
+/// The JPEG zigzag scan order for an 8×8 block.
+pub fn zigzag_order() -> &'static [usize; N * N] {
+    static ORDER: OnceLock<[usize; N * N]> = OnceLock::new();
+    ORDER.get_or_init(|| {
+        let mut order = [0usize; N * N];
+        let mut idx = 0;
+        for s in 0..2 * N - 1 {
+            let range: Vec<usize> = if s % 2 == 0 {
+                (0..=s.min(N - 1)).rev().collect()
+            } else {
+                (0..=s.min(N - 1)).collect()
+            };
+            for y in range {
+                let x = s - y;
+                if x < N && y < N {
+                    order[idx] = y * N + x;
+                    idx += 1;
+                }
+            }
+        }
+        order
+    })
+}
+
+/// Reorders a block into zigzag order.
+pub fn to_zigzag(block: &[f64]) -> Vec<f64> {
+    zigzag_order().iter().map(|&i| block[i]).collect()
+}
+
+/// Undoes [`to_zigzag`].
+pub fn from_zigzag(zz: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; N * N];
+    for (z, &i) in zigzag_order().iter().enumerate() {
+        out[i] = zz[z];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Vec<f64> {
+        (0..64).map(|i| ((i * 29 % 64) as f64) - 31.5).collect()
+    }
+
+    #[test]
+    fn dct_roundtrip() {
+        let b = sample_block();
+        let c = forward(&b);
+        let r = inverse(&c);
+        for (x, y) in b.iter().zip(&r) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal() {
+        let b = sample_block();
+        let c = forward(&b);
+        let e0: f64 = b.iter().map(|v| v * v).sum();
+        let e1: f64 = c.iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_block_is_pure_dc() {
+        let b = vec![3.0; 64];
+        let c = forward(&b);
+        assert!((c[0] - 24.0).abs() < 1e-9, "DC = 8 × 3");
+        assert!(c[1..].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in order.iter() {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1, "second entry is (0,1)");
+        assert_eq!(order[63], 63);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        let b = sample_block();
+        assert_eq!(from_zigzag(&to_zigzag(&b)), b);
+    }
+}

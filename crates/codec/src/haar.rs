@@ -1,0 +1,283 @@
+//! 2-D separable wavelet transforms: orthonormal Haar and CDF 5/3 lifting.
+//!
+//! Both operate in place on a [`Plane`] whose dimensions must be divisible
+//! by `2^levels`. After `forward`, the plane holds the standard quad-tree
+//! subband layout: the `w/2^L × h/2^L` top-left corner is the deepest
+//! approximation (LL_L); each level's LH/HL/HH bands surround their LL.
+
+use crate::plane::Plane;
+
+/// 1-D orthonormal Haar step: `n` samples → n/2 averages then n/2 details.
+fn haar_fwd_1d(row: &mut [f64], scratch: &mut [f64]) {
+    let half = row.len() / 2;
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    for i in 0..half {
+        let a = row[2 * i];
+        let b = row[2 * i + 1];
+        scratch[i] = (a + b) * s;
+        scratch[half + i] = (a - b) * s;
+    }
+    row.copy_from_slice(&scratch[..row.len()]);
+}
+
+fn haar_inv_1d(row: &mut [f64], scratch: &mut [f64]) {
+    let half = row.len() / 2;
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    for i in 0..half {
+        let avg = row[i];
+        let diff = row[half + i];
+        scratch[2 * i] = (avg + diff) * s;
+        scratch[2 * i + 1] = (avg - diff) * s;
+    }
+    row.copy_from_slice(&scratch[..row.len()]);
+}
+
+/// 1-D CDF 5/3 lifting step (LeGall), with symmetric boundary extension:
+/// predict odds from even neighbours, update evens, then deinterleave to
+/// `[low | high]`.
+fn cdf53_fwd_1d(row: &mut [f64], scratch: &mut [f64]) {
+    let n = row.len();
+    let half = n / 2;
+    // Predict: d[i] = x[2i+1] - (x[2i] + x[2i+2]) / 2
+    for i in 0..half {
+        let left = row[2 * i];
+        let right = if 2 * i + 2 < n { row[2 * i + 2] } else { row[2 * i] };
+        scratch[half + i] = row[2 * i + 1] - 0.5 * (left + right);
+    }
+    // Update: s[i] = x[2i] + (d[i-1] + d[i]) / 4
+    for i in 0..half {
+        let dl = if i > 0 { scratch[half + i - 1] } else { scratch[half] };
+        let dr = scratch[half + i];
+        scratch[i] = row[2 * i] + 0.25 * (dl + dr);
+    }
+    row.copy_from_slice(&scratch[..n]);
+}
+
+fn cdf53_inv_1d(row: &mut [f64], scratch: &mut [f64]) {
+    let n = row.len();
+    let half = n / 2;
+    // Un-update evens.
+    for i in 0..half {
+        let dl = if i > 0 { row[half + i - 1] } else { row[half] };
+        let dr = row[half + i];
+        scratch[2 * i] = row[i] - 0.25 * (dl + dr);
+    }
+    // Un-predict odds.
+    for i in 0..half {
+        let left = scratch[2 * i];
+        let right = if 2 * i + 2 < n { scratch[2 * i + 2] } else { scratch[2 * i] };
+        scratch[2 * i + 1] = row[half + i] + 0.5 * (left + right);
+    }
+    row.copy_from_slice(&scratch[..n]);
+}
+
+/// Which wavelet filters the main layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Orthonormal Haar.
+    Haar,
+    /// CDF 5/3 (LeGall) lifting.
+    Cdf53,
+}
+
+fn fwd_1d(kind: Kind, row: &mut [f64], scratch: &mut [f64]) {
+    match kind {
+        Kind::Haar => haar_fwd_1d(row, scratch),
+        Kind::Cdf53 => cdf53_fwd_1d(row, scratch),
+    }
+}
+
+fn inv_1d(kind: Kind, row: &mut [f64], scratch: &mut [f64]) {
+    match kind {
+        Kind::Haar => haar_inv_1d(row, scratch),
+        Kind::Cdf53 => cdf53_inv_1d(row, scratch),
+    }
+}
+
+fn transform_level(plane: &mut Plane, w: usize, h: usize, kind: Kind, inverse: bool) {
+    let mut scratch = vec![0.0; w.max(h)];
+    let stride = plane.width();
+    if !inverse {
+        // Rows then columns.
+        for y in 0..h {
+            let mut row: Vec<f64> = (0..w).map(|x| plane.data()[y * stride + x]).collect();
+            fwd_1d(kind, &mut row, &mut scratch);
+            for (x, v) in row.into_iter().enumerate() {
+                plane.data_mut()[y * stride + x] = v;
+            }
+        }
+        for x in 0..w {
+            let mut col: Vec<f64> = (0..h).map(|y| plane.data()[y * stride + x]).collect();
+            fwd_1d(kind, &mut col, &mut scratch);
+            for (y, v) in col.into_iter().enumerate() {
+                plane.data_mut()[y * stride + x] = v;
+            }
+        }
+    } else {
+        // Columns then rows (reverse order).
+        for x in 0..w {
+            let mut col: Vec<f64> = (0..h).map(|y| plane.data()[y * stride + x]).collect();
+            inv_1d(kind, &mut col, &mut scratch);
+            for (y, v) in col.into_iter().enumerate() {
+                plane.data_mut()[y * stride + x] = v;
+            }
+        }
+        for y in 0..h {
+            let mut row: Vec<f64> = (0..w).map(|x| plane.data()[y * stride + x]).collect();
+            inv_1d(kind, &mut row, &mut scratch);
+            for (x, v) in row.into_iter().enumerate() {
+                plane.data_mut()[y * stride + x] = v;
+            }
+        }
+    }
+}
+
+/// Multi-level forward transform in place.
+///
+/// # Panics
+/// Panics unless both dimensions are divisible by `2^levels`.
+pub fn forward(plane: &mut Plane, levels: usize, kind: Kind) {
+    let (w, h) = (plane.width(), plane.height());
+    assert!(levels > 0, "need at least one level");
+    assert_eq!(w % (1 << levels), 0, "width not divisible by 2^levels");
+    assert_eq!(h % (1 << levels), 0, "height not divisible by 2^levels");
+    let (mut cw, mut ch) = (w, h);
+    for _ in 0..levels {
+        transform_level(plane, cw, ch, kind, false);
+        cw /= 2;
+        ch /= 2;
+    }
+}
+
+/// Multi-level inverse transform in place (must match `forward`'s levels).
+pub fn inverse(plane: &mut Plane, levels: usize, kind: Kind) {
+    let (w, h) = (plane.width(), plane.height());
+    let mut sizes = Vec::with_capacity(levels);
+    let (mut cw, mut ch) = (w, h);
+    for _ in 0..levels {
+        sizes.push((cw, ch));
+        cw /= 2;
+        ch /= 2;
+    }
+    for &(cw, ch) in sizes.iter().rev() {
+        transform_level(plane, cw, ch, kind, true);
+    }
+}
+
+/// Reconstructs only the deepest approximation band: an image of size
+/// `w/2^levels × h/2^levels` (rescaled to pixel range). Used for
+/// multi-resolution delivery.
+pub fn extract_ll(plane: &Plane, levels: usize, kind: Kind) -> Plane {
+    let w = plane.width() >> levels;
+    let h = plane.height() >> levels;
+    let mut out = Plane::new(w, h);
+    // Each Haar level scales the average by √2 per dimension (factor 2 per
+    // 2-D level); CDF 5/3 keeps the DC gain at 1 per level.
+    let scale = match kind {
+        Kind::Haar => (1u64 << levels) as f64,
+        Kind::Cdf53 => 1.0,
+    };
+    for y in 0..h {
+        for x in 0..w {
+            out.set(x, y, plane.get(x, y) / scale);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plane(w: usize, h: usize) -> Plane {
+        let data: Vec<f64> = (0..w * h)
+            .map(|i| ((i * 37 % 97) as f64) - 48.0 + 0.25 * (i as f64).sin())
+            .collect();
+        Plane::from_data(w, h, data)
+    }
+
+    fn max_err(a: &Plane, b: &Plane) -> f64 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn haar_roundtrip() {
+        let orig = sample_plane(32, 16);
+        let mut p = orig.clone();
+        forward(&mut p, 3, Kind::Haar);
+        inverse(&mut p, 3, Kind::Haar);
+        assert!(max_err(&orig, &p) < 1e-9);
+    }
+
+    #[test]
+    fn cdf53_roundtrip() {
+        let orig = sample_plane(64, 32);
+        let mut p = orig.clone();
+        forward(&mut p, 4, Kind::Cdf53);
+        inverse(&mut p, 4, Kind::Cdf53);
+        assert!(max_err(&orig, &p) < 1e-9);
+    }
+
+    #[test]
+    fn haar_energy_preserved() {
+        // Orthonormal transform: Parseval.
+        let orig = sample_plane(16, 16);
+        let e0: f64 = orig.data().iter().map(|v| v * v).sum();
+        let mut p = orig.clone();
+        forward(&mut p, 2, Kind::Haar);
+        let e1: f64 = p.data().iter().map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-6 * e0.max(1.0));
+    }
+
+    #[test]
+    fn constant_image_compacts_to_dc() {
+        let p0 = Plane::from_data(8, 8, vec![5.0; 64]);
+        let mut p = p0.clone();
+        forward(&mut p, 3, Kind::Haar);
+        // All energy in the single LL coefficient.
+        let nonzero = p.data().iter().filter(|v| v.abs() > 1e-9).count();
+        assert_eq!(nonzero, 1);
+        assert!((p.get(0, 0) - 5.0 * 8.0).abs() < 1e-9);
+        // CDF 5/3: DC gain 1, detail bands vanish too.
+        let mut q = p0.clone();
+        forward(&mut q, 3, Kind::Cdf53);
+        let nonzero = q.data().iter().filter(|v| v.abs() > 1e-9).count();
+        assert_eq!(nonzero, 1);
+        assert!((q.get(0, 0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_ll_matches_downsampling_for_smooth_images() {
+        // A smooth gradient: the LL band at level 1 should be close to the
+        // 2×2 block averages.
+        let p = Plane::from_data(
+            8,
+            8,
+            (0..64).map(|i| (i % 8) as f64 * 4.0).collect(),
+        );
+        let mut t = p.clone();
+        forward(&mut t, 1, Kind::Haar);
+        let ll = extract_ll(&t, 1, Kind::Haar);
+        for y in 0..4 {
+            for x in 0..4 {
+                let avg = (p.get(2 * x, 2 * y)
+                    + p.get(2 * x + 1, 2 * y)
+                    + p.get(2 * x, 2 * y + 1)
+                    + p.get(2 * x + 1, 2 * y + 1))
+                    / 4.0;
+                assert!((ll.get(x, y) - avg).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width not divisible")]
+    fn dimension_check() {
+        let mut p = Plane::new(6, 8);
+        forward(&mut p, 2, Kind::Haar);
+    }
+}

@@ -1,0 +1,230 @@
+//! Wavelet-packet best-basis coding of residual tiles.
+//!
+//! A full wavelet packet decomposition recursively splits every subband, not
+//! just the approximation. The *best basis* (Coifman–Wickerhauser) prunes
+//! this tree: a node is split only if the total cost of its four transformed
+//! children is lower than coding the node's own coefficients. We use the
+//! ℓ¹ cost (valid for the orthonormal Haar step) and code the chosen tree
+//! as one bit per node (split/leaf) followed by the leaf coefficients in
+//! DFS order, dead-zone quantised and zero-run coded.
+
+use crate::bits::{decode_coeffs, encode_coeffs, BitReader, BitWriter, OutOfBits};
+use crate::quant::{dequantize, quantize};
+
+/// Edge length of the dyadic tiles residual planes are partitioned into.
+pub const TILE: usize = 32;
+
+/// Leaves are never smaller than this edge length.
+pub const MIN_BLOCK: usize = 4;
+
+/// One orthonormal 2-D Haar analysis step: `n×n` block → four `n/2×n/2`
+/// subbands `[LL, LH, HL, HH]`.
+fn haar_step(block: &[f64], n: usize) -> [Vec<f64>; 4] {
+    let half = n / 2;
+    let mut ll = vec![0.0; half * half];
+    let mut lh = vec![0.0; half * half];
+    let mut hl = vec![0.0; half * half];
+    let mut hh = vec![0.0; half * half];
+    for y in 0..half {
+        for x in 0..half {
+            let a = block[(2 * y) * n + 2 * x];
+            let b = block[(2 * y) * n + 2 * x + 1];
+            let c = block[(2 * y + 1) * n + 2 * x];
+            let d = block[(2 * y + 1) * n + 2 * x + 1];
+            let i = y * half + x;
+            ll[i] = (a + b + c + d) / 2.0;
+            lh[i] = (a - b + c - d) / 2.0; // horizontal detail
+            hl[i] = (a + b - c - d) / 2.0; // vertical detail
+            hh[i] = (a - b - c + d) / 2.0; // diagonal detail
+        }
+    }
+    [ll, lh, hl, hh]
+}
+
+/// Inverse of [`haar_step`].
+fn haar_unstep(bands: &[Vec<f64>; 4], n: usize) -> Vec<f64> {
+    let half = n / 2;
+    let mut out = vec![0.0; n * n];
+    for y in 0..half {
+        for x in 0..half {
+            let i = y * half + x;
+            let (ll, lh, hl, hh) = (bands[0][i], bands[1][i], bands[2][i], bands[3][i]);
+            out[(2 * y) * n + 2 * x] = (ll + lh + hl + hh) / 2.0;
+            out[(2 * y) * n + 2 * x + 1] = (ll - lh + hl - hh) / 2.0;
+            out[(2 * y + 1) * n + 2 * x] = (ll + lh - hl - hh) / 2.0;
+            out[(2 * y + 1) * n + 2 * x + 1] = (ll - lh - hl + hh) / 2.0;
+        }
+    }
+    out
+}
+
+/// The pruned packet tree over one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketNode {
+    /// Code these coefficients directly.
+    Leaf(Vec<f64>),
+    /// One Haar step applied; children are `[LL, LH, HL, HH]`.
+    Split(Box<[PacketNode; 4]>),
+}
+
+fn l1(coeffs: &[f64]) -> f64 {
+    coeffs.iter().map(|c| c.abs()).sum()
+}
+
+/// Builds the best-basis tree for an `n×n` block; returns the tree and its
+/// cost.
+fn analyze(block: Vec<f64>, n: usize) -> (PacketNode, f64) {
+    let leaf_cost = l1(&block);
+    if n / 2 < MIN_BLOCK {
+        return (PacketNode::Leaf(block), leaf_cost);
+    }
+    let bands = haar_step(&block, n);
+    let mut children = Vec::with_capacity(4);
+    let mut split_cost = 0.0;
+    for band in bands {
+        let (node, cost) = analyze(band, n / 2);
+        split_cost += cost;
+        children.push(node);
+    }
+    if split_cost < leaf_cost {
+        let boxed: Box<[PacketNode; 4]> = match children.try_into() {
+            Ok(arr) => Box::new(arr),
+            Err(_) => unreachable!("exactly four children"),
+        };
+        (PacketNode::Split(boxed), split_cost)
+    } else {
+        (PacketNode::Leaf(block), leaf_cost)
+    }
+}
+
+fn write_node(w: &mut BitWriter, node: &PacketNode, q: f64) {
+    match node {
+        PacketNode::Leaf(coeffs) => {
+            w.put_bit(false);
+            encode_coeffs(w, &quantize(coeffs, q));
+        }
+        PacketNode::Split(children) => {
+            w.put_bit(true);
+            for c in children.iter() {
+                write_node(w, c, q);
+            }
+        }
+    }
+}
+
+fn read_node(r: &mut BitReader<'_>, n: usize, q: f64) -> Result<Vec<f64>, OutOfBits> {
+    let split = r.get_bit()?;
+    if !split {
+        let syms = decode_coeffs(r, n * n)?;
+        return Ok(dequantize(&syms, q));
+    }
+    if n / 2 < MIN_BLOCK {
+        return Err(OutOfBits); // malformed: split below minimum block size
+    }
+    let mut bands: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for band in bands.iter_mut() {
+        *band = read_node(r, n / 2, q)?;
+    }
+    Ok(haar_unstep(&bands, n))
+}
+
+/// Encodes one `n×n` tile (best-basis analysis + quantised leaves).
+pub fn encode_tile(w: &mut BitWriter, block: Vec<f64>, n: usize, q: f64) {
+    let (tree, _) = analyze(block, n);
+    write_node(w, &tree, q);
+}
+
+/// Decodes one `n×n` tile back to (lossy) samples.
+pub fn decode_tile(r: &mut BitReader<'_>, n: usize, q: f64) -> Result<Vec<f64>, OutOfBits> {
+    read_node(r, n, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(block: Vec<f64>, n: usize, q: f64) -> Vec<f64> {
+        let mut w = BitWriter::new();
+        encode_tile(&mut w, block, n, q);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        decode_tile(&mut r, n, q).unwrap()
+    }
+
+    #[test]
+    fn haar_step_roundtrip() {
+        let block: Vec<f64> = (0..64).map(|i| (i * 7 % 23) as f64 - 11.0).collect();
+        let bands = haar_step(&block, 8);
+        let back = haar_unstep(&bands, 8);
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn haar_step_preserves_energy() {
+        let block: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.37).sin() * 9.0).collect();
+        let e0: f64 = block.iter().map(|v| v * v).sum();
+        let bands = haar_step(&block, 16);
+        let e1: f64 = bands.iter().flat_map(|b| b.iter()).map(|v| v * v).sum();
+        assert!((e0 - e1).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn smooth_tile_splits_constant_codes_tiny() {
+        // A smooth gradient benefits from splitting (energy compaction).
+        let smooth: Vec<f64> = (0..TILE * TILE)
+            .map(|i| (i / TILE) as f64 + (i % TILE) as f64)
+            .collect();
+        let (tree, _) = analyze(smooth.clone(), TILE);
+        assert!(matches!(tree, PacketNode::Split(_)), "smooth block splits");
+        // Coding the constant tile takes very few bytes.
+        let mut w = BitWriter::new();
+        encode_tile(&mut w, vec![0.0; TILE * TILE], TILE, 1.0);
+        assert!(w.finish().len() < 8);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded() {
+        let block: Vec<f64> = (0..TILE * TILE)
+            .map(|i| ((i as f64) * 0.11).sin() * 40.0 + ((i / TILE) as f64) * 0.5)
+            .collect();
+        for &q in &[0.5, 2.0, 8.0] {
+            let back = roundtrip(block.clone(), TILE, q);
+            let rmse = (block
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / block.len() as f64)
+                .sqrt();
+            // Orthonormal basis: per-coefficient error ≤ q, so RMSE ≤ q
+            // (loose but sufficient to show monotone behaviour).
+            assert!(rmse <= q, "rmse {rmse} at step {q}");
+        }
+    }
+
+    #[test]
+    fn finer_quantiser_costs_more_bits() {
+        let block: Vec<f64> = (0..TILE * TILE)
+            .map(|i| ((i as f64) * 0.23).cos() * 25.0)
+            .collect();
+        let size = |q: f64| {
+            let mut w = BitWriter::new();
+            encode_tile(&mut w, block.clone(), TILE, q);
+            w.finish().len()
+        };
+        assert!(size(0.5) > size(4.0));
+        assert!(size(4.0) >= size(16.0));
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let block: Vec<f64> = (0..TILE * TILE).map(|i| (i % 9) as f64).collect();
+        let mut w = BitWriter::new();
+        encode_tile(&mut w, block, TILE, 1.0);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes[..2.min(bytes.len())]);
+        assert!(decode_tile(&mut r, TILE, 1.0).is_err());
+    }
+}

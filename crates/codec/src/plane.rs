@@ -1,0 +1,198 @@
+//! `f64` coefficient planes: the working representation of the codec.
+
+use rcmo_imaging::GrayImage;
+
+/// A 2-D array of `f64` samples, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Plane {
+    /// A zero plane.
+    pub fn new(width: usize, height: usize) -> Self {
+        Plane {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps raw samples.
+    pub fn from_data(width: usize, height: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), width * height);
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Converts an image to a centred plane (pixel − 128).
+    pub fn from_image(img: &GrayImage) -> Self {
+        Plane {
+            width: img.width(),
+            height: img.height(),
+            data: img.pixels().iter().map(|&p| p as f64 - 128.0).collect(),
+        }
+    }
+
+    /// Converts back to an image (adds 128, rounds, clamps).
+    pub fn to_image(&self) -> GrayImage {
+        let pixels: Vec<u8> = self
+            .data
+            .iter()
+            .map(|&v| (v + 128.0).round().clamp(0.0, 255.0) as u8)
+            .collect();
+        GrayImage::from_pixels(self.width, self.height, pixels)
+            .expect("plane dimensions are valid")
+    }
+
+    /// Plane width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw samples.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw samples.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sets sample `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Pads to at least `(w, h)` by edge replication.
+    pub fn pad_to(&self, w: usize, h: usize) -> Plane {
+        let w = w.max(self.width);
+        let h = h.max(self.height);
+        let mut out = Plane::new(w, h);
+        for y in 0..h {
+            let sy = y.min(self.height - 1);
+            for x in 0..w {
+                let sx = x.min(self.width - 1);
+                out.set(x, y, self.get(sx, sy));
+            }
+        }
+        out
+    }
+
+    /// Top-left crop.
+    pub fn crop(&self, w: usize, h: usize) -> Plane {
+        assert!(w <= self.width && h <= self.height);
+        let mut out = Plane::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                out.set(x, y, self.get(x, y));
+            }
+        }
+        out
+    }
+
+    /// Copies the square block at `(bx, by)` of size `n`.
+    pub fn block(&self, bx: usize, by: usize, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * n);
+        for y in 0..n {
+            for x in 0..n {
+                out.push(self.get(bx + x, by + y));
+            }
+        }
+        out
+    }
+
+    /// Writes a square block back at `(bx, by)`.
+    pub fn set_block(&mut self, bx: usize, by: usize, n: usize, block: &[f64]) {
+        for y in 0..n {
+            for x in 0..n {
+                self.set(bx + x, by + y, block[y * n + x]);
+            }
+        }
+    }
+
+    /// `self − other`, element-wise.
+    pub fn sub(&self, other: &Plane) -> Plane {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        Plane {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// `self += other`, element-wise.
+    pub fn add_assign(&mut self, other: &Plane) {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip() {
+        let img = GrayImage::from_fn(9, 7, |x, y| ((x * 13 + y * 31) % 256) as u8).unwrap();
+        let p = Plane::from_image(&img);
+        assert_eq!(p.to_image(), img);
+    }
+
+    #[test]
+    fn pad_replicates_edges() {
+        let p = Plane::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let q = p.pad_to(4, 3);
+        assert_eq!(q.get(3, 0), 2.0);
+        assert_eq!(q.get(0, 2), 3.0);
+        assert_eq!(q.get(3, 2), 4.0);
+        assert_eq!(q.crop(2, 2), p);
+    }
+
+    #[test]
+    fn blocks_roundtrip() {
+        let mut p = Plane::new(8, 8);
+        let block: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        p.set_block(4, 4, 4, &block);
+        assert_eq!(p.block(4, 4, 4), block);
+        assert_eq!(p.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Plane::from_data(2, 1, vec![5.0, 7.0]);
+        let b = Plane::from_data(2, 1, vec![2.0, 3.0]);
+        let d = a.sub(&b);
+        assert_eq!(d.data(), &[3.0, 4.0]);
+        let mut c = b.clone();
+        c.add_assign(&d);
+        assert_eq!(c, a);
+    }
+}

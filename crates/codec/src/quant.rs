@@ -1,0 +1,60 @@
+//! Uniform dead-zone quantisation of transform coefficients.
+
+/// Quantises with step `q`: values in `(-q, q)` map to 0 (the dead zone),
+/// everything else to `round(v / q)`.
+pub fn quantize(coeffs: &[f64], q: f64) -> Vec<i32> {
+    debug_assert!(q > 0.0);
+    coeffs
+        .iter()
+        .map(|&v| {
+            let s = v / q;
+            if s.abs() < 1.0 {
+                0
+            } else {
+                s.round() as i32
+            }
+        })
+        .collect()
+}
+
+/// Reconstructs coefficient values (`symbol × q`).
+pub fn dequantize(symbols: &[i32], q: f64) -> Vec<f64> {
+    symbols.iter().map(|&s| s as f64 * q).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_zone_zeroes_small_values() {
+        let q = quantize(&[0.0, 0.4, -0.9, 1.0, -1.6, 7.3], 1.0);
+        assert_eq!(q, vec![0, 0, 0, 1, -2, 7]);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_step() {
+        let vals: Vec<f64> = (0..100).map(|i| (i as f64 - 50.0) * 0.77).collect();
+        for &step in &[0.5, 2.0, 8.0] {
+            let syms = quantize(&vals, step);
+            let back = dequantize(&syms, step);
+            for (v, r) in vals.iter().zip(&back) {
+                assert!(
+                    (v - r).abs() <= step,
+                    "value {v}, reconstructed {r}, step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finer_steps_reduce_error() {
+        let vals: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 30.0).collect();
+        let err = |step: f64| -> f64 {
+            let back = dequantize(&quantize(&vals, step), step);
+            vals.iter().zip(&back).map(|(a, b)| (a - b).abs()).sum()
+        };
+        assert!(err(1.0) < err(4.0));
+        assert!(err(4.0) < err(16.0));
+    }
+}

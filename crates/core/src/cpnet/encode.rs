@@ -1,0 +1,206 @@
+//! Compact binary persistence for CP-networks.
+//!
+//! The paper stores the preference specification as a static part of the
+//! multimedia document inside the object database; this module provides the
+//! byte format used when a [`CpNet`] is written into a BLOB by the
+//! `rcmo-mediadb` layer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "CPN1" | u32 nvars
+//! per var:  str name | u16 ndom | ndom × str value-name
+//! per var:  u16 nparents | nparents × u32 parent-id
+//!           u32 nrows | nrows × ( u8 explicit | ndom × u16 value )
+//! str := u16 len | len bytes of UTF-8
+//! ```
+
+use super::{CpNet, CpTable, Ranking, Value, VarId, Variable};
+use crate::error::{CoreError, Result};
+
+const MAGIC: &[u8; 4] = b"CPN1";
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= u16::MAX as usize);
+        self.u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(CoreError::Codec(format!(
+                "unexpected end of stream at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CoreError::Codec("invalid UTF-8 in string".to_string()))
+    }
+}
+
+/// Serialises `net` to bytes; see the module-level docs for the layout.
+pub fn encode_net(net: &CpNet) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(256),
+    };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(net.vars.len() as u32);
+    for var in &net.vars {
+        w.str(&var.name);
+        w.u16(var.domain.len() as u16);
+        for d in &var.domain {
+            w.str(d);
+        }
+    }
+    for t in &net.tables {
+        w.u16(t.parents.len() as u16);
+        for p in &t.parents {
+            w.u32(p.0);
+        }
+        w.u32(t.rows.len() as u32);
+        for (row, &explicit) in t.rows.iter().zip(&t.explicit) {
+            w.u8(u8::from(explicit));
+            for v in row.order() {
+                w.u16(v.0);
+            }
+        }
+    }
+    w.buf
+}
+
+/// Decodes bytes produced by [`encode_net`], re-validating all structural
+/// invariants (domains, permutations, parent references, row counts).
+pub fn decode_net(bytes: &[u8]) -> Result<CpNet> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CoreError::Codec("bad magic; not a CPN1 stream".to_string()));
+    }
+    let nvars = r.u32()? as usize;
+    let mut vars = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let name = r.str()?;
+        let ndom = r.u16()? as usize;
+        if ndom == 0 {
+            return Err(CoreError::Codec(format!("variable '{name}' has empty domain")));
+        }
+        let mut domain = Vec::with_capacity(ndom);
+        for _ in 0..ndom {
+            domain.push(r.str()?);
+        }
+        vars.push(Variable { name, domain });
+    }
+    let mut tables = Vec::with_capacity(nvars);
+    for (i, var) in vars.iter().enumerate() {
+        let nparents = r.u16()? as usize;
+        let mut parents = Vec::with_capacity(nparents);
+        for _ in 0..nparents {
+            let p = r.u32()?;
+            if p as usize >= nvars || p as usize == i {
+                return Err(CoreError::Codec(format!(
+                    "variable '{}' has invalid parent id {p}",
+                    var.name
+                )));
+            }
+            parents.push(VarId(p));
+        }
+        let parent_domains: Vec<usize> = parents
+            .iter()
+            .map(|p| vars[p.idx()].domain.len())
+            .collect();
+        let expected_rows: usize = parent_domains.iter().product::<usize>().max(1);
+        let nrows = r.u32()? as usize;
+        if nrows != expected_rows {
+            return Err(CoreError::Codec(format!(
+                "variable '{}': stream has {nrows} rows, expected {expected_rows}",
+                var.name
+            )));
+        }
+        let dom = var.domain.len();
+        let mut rows = Vec::with_capacity(nrows);
+        let mut explicit = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            explicit.push(r.u8()? != 0);
+            let mut order = Vec::with_capacity(dom);
+            for _ in 0..dom {
+                order.push(Value(r.u16()?));
+            }
+            rows.push(Ranking::new(order, dom)?);
+        }
+        tables.push(CpTable {
+            parents,
+            parent_domains,
+            rows,
+            explicit,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(CoreError::Codec(format!(
+            "{} trailing bytes after network",
+            bytes.len() - r.pos
+        )));
+    }
+    let net = CpNet { vars, tables };
+    // Acyclicity is not guaranteed by the wire format; re-check.
+    let n = net.len();
+    let mut indeg: Vec<usize> = net.tables.iter().map(|t| t.parents.len()).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in net.tables.iter().enumerate() {
+        for p in &t.parents {
+            children[p.idx()].push(i);
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &c in &children[v] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if seen != n {
+        return Err(CoreError::Codec("decoded network contains a cycle".to_string()));
+    }
+    Ok(net)
+}

@@ -1,0 +1,346 @@
+//! Viewer-local CP-network extensions (paper, Section 4.2).
+//!
+//! When a viewer performs an operation on a component and decides its result
+//! is relevant only to herself, the derived variable is *not* merged into the
+//! document's CP-network. Instead it is stored in a per-viewer [`Extension`]:
+//! "the original CP-network should not be duplicated, and only the new
+//! variables with the corresponding CP-tables should be saved separately."
+//!
+//! [`ExtendedNet`] is a zero-copy view that presents the base network and an
+//! extension as one network, so every reasoning algorithm (optimal
+//! completion, dominance, ordered enumeration) applies unchanged.
+
+use super::{
+    CpNet, CpTable, Outcome, PartialAssignment, PreferenceNet, Ranking, Value, VarId, Variable,
+    MAX_CPT_ROWS, MAX_DOMAIN,
+};
+use crate::error::{CoreError, Result};
+use std::collections::HashSet;
+
+/// A set of extra variables layered on top of a base [`CpNet`].
+///
+/// Extension variables may have base variables and previously added
+/// extension variables as parents; base variables never depend on extension
+/// variables, so the combined graph stays acyclic by construction (still
+/// re-checked on `set_parents`).
+#[derive(Debug, Clone)]
+pub struct Extension {
+    /// Number of variables in the base network this extension targets.
+    base_vars: usize,
+    vars: Vec<Variable>,
+    tables: Vec<CpTable>,
+}
+
+impl Extension {
+    /// Creates an empty extension for a base network with `base.len()` vars.
+    pub fn new(base: &CpNet) -> Self {
+        Extension {
+            base_vars: base.len(),
+            vars: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Number of extension variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` if the extension adds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Number of base variables this extension was built against.
+    pub fn base_vars(&self) -> usize {
+        self.base_vars
+    }
+
+    /// Adds an extension variable; its id continues the base numbering.
+    pub fn add_variable(&mut self, name: &str, domain: &[&str]) -> Result<VarId> {
+        if domain.is_empty() || domain.len() > MAX_DOMAIN {
+            return Err(CoreError::BadDomain(format!(
+                "extension variable '{name}': domain size {}",
+                domain.len()
+            )));
+        }
+        let id = VarId((self.base_vars + self.vars.len()) as u32);
+        self.vars.push(Variable {
+            name: name.to_string(),
+            domain: domain.iter().map(|s| s.to_string()).collect(),
+        });
+        self.tables.push(CpTable::unconditional(domain.len()));
+        Ok(id)
+    }
+
+    fn ext_idx(&self, v: VarId) -> Result<usize> {
+        let i = v.idx();
+        if i < self.base_vars || i >= self.base_vars + self.vars.len() {
+            return Err(CoreError::UnknownVariable(v.0));
+        }
+        Ok(i - self.base_vars)
+    }
+
+    fn domain_size_any(&self, base: &CpNet, v: VarId) -> Result<usize> {
+        if v.idx() < self.base_vars {
+            Ok(base.domain_size(v))
+        } else {
+            Ok(self.vars[self.ext_idx(v)?].domain.len())
+        }
+    }
+
+    /// Declares the parents of extension variable `v`.
+    ///
+    /// Parents may be base variables or other extension variables, as long
+    /// as no cycle forms among extension variables.
+    pub fn set_parents(&mut self, base: &CpNet, v: VarId, parents: &[VarId]) -> Result<()> {
+        let vi = self.ext_idx(v)?;
+        let mut seen = HashSet::new();
+        let mut parent_domains = Vec::with_capacity(parents.len());
+        for &p in parents {
+            if p == v {
+                return Err(CoreError::CycleDetected(format!(
+                    "extension variable '{}' cannot be its own parent",
+                    self.vars[vi].name
+                )));
+            }
+            if !seen.insert(p) {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "duplicate parent {p}"
+                )));
+            }
+            parent_domains.push(self.domain_size_any(base, p)?);
+        }
+        // Cycle check within extension variables (base vars are sources).
+        if self.reaches(v, parents) {
+            return Err(CoreError::CycleDetected(format!(
+                "setting parents of extension variable '{}' creates a cycle",
+                self.vars[vi].name
+            )));
+        }
+        let mut rows = 1usize;
+        for &d in &parent_domains {
+            rows = rows.saturating_mul(d);
+            if rows > MAX_CPT_ROWS {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "CPT of extension variable '{}' exceeds {MAX_CPT_ROWS} rows",
+                    self.vars[vi].name
+                )));
+            }
+        }
+        let dom = self.vars[vi].domain.len();
+        self.tables[vi] = CpTable {
+            parents: parents.to_vec(),
+            parent_domains,
+            rows: vec![Ranking::identity(dom); rows],
+            explicit: vec![false; rows],
+        };
+        Ok(())
+    }
+
+    fn reaches(&self, target: VarId, from: &[VarId]) -> bool {
+        let mut stack: Vec<VarId> = from
+            .iter()
+            .copied()
+            .filter(|p| p.idx() >= self.base_vars)
+            .collect();
+        let mut visited = HashSet::new();
+        while let Some(v) = stack.pop() {
+            if v == target {
+                return true;
+            }
+            if visited.insert(v) {
+                let vi = v.idx() - self.base_vars;
+                stack.extend(
+                    self.tables[vi]
+                        .parents
+                        .iter()
+                        .copied()
+                        .filter(|p| p.idx() >= self.base_vars),
+                );
+            }
+        }
+        false
+    }
+
+    /// Authors a CPT row of extension variable `v` (same contract as
+    /// [`CpNet::set_preference`]).
+    pub fn set_preference(
+        &mut self,
+        v: VarId,
+        assignment: &[(VarId, Value)],
+        order: &[Value],
+    ) -> Result<()> {
+        let vi = self.ext_idx(v)?;
+        let parents = self.tables[vi].parents.clone();
+        if assignment.len() != parents.len() {
+            return Err(CoreError::BadParentAssignment(format!(
+                "extension variable '{}' has {} parents but assignment covers {}",
+                self.vars[vi].name,
+                parents.len(),
+                assignment.len()
+            )));
+        }
+        let mut parent_values = vec![None; parents.len()];
+        for &(p, val) in assignment {
+            match parents.iter().position(|&q| q == p) {
+                Some(slot) => {
+                    if parent_values[slot].replace(val).is_some() {
+                        return Err(CoreError::BadParentAssignment(format!(
+                            "parent {p} assigned twice"
+                        )));
+                    }
+                }
+                None => {
+                    return Err(CoreError::BadParentAssignment(format!(
+                        "{p} is not a parent of extension variable '{}'",
+                        self.vars[vi].name
+                    )))
+                }
+            }
+        }
+        let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
+        let dom = self.vars[vi].domain.len();
+        let ranking = Ranking::new(order.to_vec(), dom)?;
+        let row = self.tables[vi].row_index(&parent_values);
+        self.tables[vi].rows[row] = ranking;
+        self.tables[vi].explicit[row] = true;
+        Ok(())
+    }
+
+    /// Viewer-local variant of [`CpNet::add_derived_variable`]: adds the
+    /// derived operation variable to this extension only.
+    pub fn add_derived_variable(
+        &mut self,
+        base: &CpNet,
+        v: VarId,
+        trigger: Value,
+        name: &str,
+        applied_name: &str,
+        plain_name: &str,
+    ) -> Result<VarId> {
+        if v.idx() >= self.base_vars + self.vars.len() {
+            return Err(CoreError::UnknownVariable(v.0));
+        }
+        let parent_dom = self.domain_size_any(base, v)?;
+        if trigger.idx() >= parent_dom {
+            return Err(CoreError::ValueOutOfRange {
+                var: v.0,
+                value: trigger.0,
+                domain: parent_dom,
+            });
+        }
+        let d = self.add_variable(name, &[applied_name, plain_name])?;
+        self.set_parents(base, d, &[v])?;
+        for val in 0..parent_dom as u16 {
+            let order = if Value(val) == trigger {
+                [Value(0), Value(1)]
+            } else {
+                [Value(1), Value(0)]
+            };
+            self.set_preference(d, &[(v, Value(val))], &order)?;
+        }
+        Ok(d)
+    }
+
+    /// Validates that every CPT row of the extension was authored.
+    pub fn validate(&self) -> Result<()> {
+        for (i, t) in self.tables.iter().enumerate() {
+            for (r, set) in t.explicit.iter().enumerate() {
+                if !set {
+                    return Err(CoreError::Invalid(format!(
+                        "CPT row {r} of extension variable '{}' was never authored",
+                        self.vars[i].name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A read-only view fusing a base network and a viewer extension into one
+/// [`PreferenceNet`]. Variables `0..base.len()` are the base's; the rest are
+/// the extension's, in insertion order.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtendedNet<'a> {
+    base: &'a CpNet,
+    ext: &'a Extension,
+}
+
+impl<'a> ExtendedNet<'a> {
+    /// Fuses `base` and `ext`. Fails if `ext` was built for a different
+    /// number of base variables.
+    pub fn new(base: &'a CpNet, ext: &'a Extension) -> Result<Self> {
+        if ext.base_vars != base.len() {
+            return Err(CoreError::Invalid(format!(
+                "extension built for {} base variables, network has {}",
+                ext.base_vars,
+                base.len()
+            )));
+        }
+        Ok(ExtendedNet { base, ext })
+    }
+
+    /// The base network.
+    pub fn base(&self) -> &CpNet {
+        self.base
+    }
+
+    /// The extension.
+    pub fn extension(&self) -> &Extension {
+        self.ext
+    }
+
+    /// Best outcome over the fused variable set consistent with `evidence`.
+    pub fn optimal_completion(&self, evidence: &PartialAssignment) -> Outcome {
+        super::reason::optimal_completion(self, evidence)
+    }
+}
+
+impl<'a> PreferenceNet for ExtendedNet<'a> {
+    fn num_vars(&self) -> usize {
+        self.base.len() + self.ext.vars.len()
+    }
+
+    fn domain_size(&self, v: VarId) -> usize {
+        if v.idx() < self.base.len() {
+            self.base.domain_size(v)
+        } else {
+            self.ext.vars[v.idx() - self.base.len()].domain.len()
+        }
+    }
+
+    fn parents(&self, v: VarId) -> &[VarId] {
+        if v.idx() < self.base.len() {
+            self.base.parents(v)
+        } else {
+            &self.ext.tables[v.idx() - self.base.len()].parents
+        }
+    }
+
+    fn ranking(&self, v: VarId, parent_values: &[Value]) -> &Ranking {
+        if v.idx() < self.base.len() {
+            self.base.ranking(v, parent_values)
+        } else {
+            let t = &self.ext.tables[v.idx() - self.base.len()];
+            &t.rows[t.row_index(parent_values)]
+        }
+    }
+
+    fn var_name(&self, v: VarId) -> &str {
+        if v.idx() < self.base.len() {
+            self.base.var_name(v)
+        } else {
+            &self.ext.vars[v.idx() - self.base.len()].name
+        }
+    }
+
+    fn value_name(&self, v: VarId, val: Value) -> &str {
+        if v.idx() < self.base.len() {
+            self.base.value_name(v, val)
+        } else {
+            &self.ext.vars[v.idx() - self.base.len()].domain[val.idx()]
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! CP-networks: qualitative, graphical models of conditional preference.
+//!
+//! A CP-network (Boutilier, Brafman, Hoos & Poole, UAI 1999) is a directed
+//! acyclic graph over a set of *variables*. In this system every variable is
+//! a component of a multimedia document and its *domain* is the set of
+//! alternative presentation forms of that component (flat, segmented, icon,
+//! hidden, ...). Each variable `v` carries a *conditional preference table*
+//! (CPT): for every assignment to the parents `Π(v)` the table stores a total
+//! order over `D(v)`, read under a *ceteris paribus* (all else being equal)
+//! assumption.
+//!
+//! The module provides construction and validation ([`CpNet`]), the two
+//! queries the presentation engine needs online — the preferentially optimal
+//! outcome and the optimal completion of viewer evidence — and the heavier
+//! off-line machinery: dominance testing through improving-flip search and
+//! preference-ordered outcome enumeration (used by the prefetch planner).
+
+mod encode;
+mod extend;
+mod reason;
+pub mod samples;
+
+pub use encode::{decode_net, encode_net};
+pub use extend::{ExtendedNet, Extension};
+pub use reason::{
+    dominates, improving_flips, optimal_completion, outcome_rank_vector, FlipSearchOutcome,
+    OutcomeIter,
+};
+
+use crate::error::{CoreError, Result};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Identifier of a variable inside a [`CpNet`] (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A value of a variable: an index into the variable's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u16);
+
+impl Value {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A total order over the domain of one variable, most-preferred first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ranking {
+    order: Vec<Value>,
+    /// `position[d] = rank of value d` (0 = most preferred).
+    position: Vec<u16>,
+}
+
+impl Ranking {
+    /// Builds a ranking from an explicit order (most preferred first).
+    ///
+    /// Fails unless `order` is a permutation of `0..domain_size`.
+    pub fn new(order: Vec<Value>, domain_size: usize) -> Result<Self> {
+        if order.len() != domain_size {
+            return Err(CoreError::BadRanking(format!(
+                "ranking has {} entries, domain has {domain_size}",
+                order.len()
+            )));
+        }
+        let mut position = vec![u16::MAX; domain_size];
+        for (rank, v) in order.iter().enumerate() {
+            let d = v.idx();
+            if d >= domain_size {
+                return Err(CoreError::BadRanking(format!(
+                    "value {d} out of range for domain of size {domain_size}"
+                )));
+            }
+            if position[d] != u16::MAX {
+                return Err(CoreError::BadRanking(format!("value {d} appears twice")));
+            }
+            position[d] = rank as u16;
+        }
+        Ok(Ranking { order, position })
+    }
+
+    /// The identity ranking `0 ≻ 1 ≻ …` over a domain.
+    pub fn identity(domain_size: usize) -> Self {
+        let order: Vec<Value> = (0..domain_size as u16).map(Value).collect();
+        let position: Vec<u16> = (0..domain_size as u16).collect();
+        Ranking { order, position }
+    }
+
+    /// Values from most to least preferred.
+    #[inline]
+    pub fn order(&self) -> &[Value] {
+        &self.order
+    }
+
+    /// The most preferred value.
+    #[inline]
+    pub fn best(&self) -> Value {
+        self.order[0]
+    }
+
+    /// Rank of `v` (0 = most preferred).
+    #[inline]
+    pub fn rank_of(&self, v: Value) -> u16 {
+        self.position[v.idx()]
+    }
+
+    /// `true` if `a` is strictly preferred to `b` in this ranking.
+    #[inline]
+    pub fn prefers(&self, a: Value, b: Value) -> bool {
+        self.position[a.idx()] < self.position[b.idx()]
+    }
+
+    /// Values strictly preferred to `v`, best first.
+    pub fn better_than(&self, v: Value) -> &[Value] {
+        &self.order[..self.rank_of(v) as usize]
+    }
+}
+
+/// A complete assignment: one value per network variable.
+pub type Outcome = Vec<Value>;
+
+/// A partial assignment (evidence): `None` means unconstrained.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialAssignment {
+    values: Vec<Option<Value>>,
+}
+
+impl PartialAssignment {
+    /// An empty assignment over `n` variables.
+    pub fn empty(n: usize) -> Self {
+        PartialAssignment {
+            values: vec![None; n],
+        }
+    }
+
+    /// Fixes `var` to `value`.
+    pub fn set(&mut self, var: VarId, value: Value) {
+        if var.idx() >= self.values.len() {
+            self.values.resize(var.idx() + 1, None);
+        }
+        self.values[var.idx()] = Some(value);
+    }
+
+    /// Removes the constraint on `var`.
+    pub fn clear(&mut self, var: VarId) {
+        if var.idx() < self.values.len() {
+            self.values[var.idx()] = None;
+        }
+    }
+
+    /// The constraint on `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Value> {
+        self.values.get(var.idx()).copied().flatten()
+    }
+
+    /// Number of constrained variables.
+    pub fn len_set(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Iterates over `(var, value)` pairs that are constrained.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|val| (VarId(i as u32), val)))
+    }
+
+    /// Builds evidence from `(var, value)` pairs over `n` variables.
+    pub fn from_pairs(n: usize, pairs: &[(VarId, Value)]) -> Self {
+        let mut pa = Self::empty(n);
+        for &(v, val) in pairs {
+            pa.set(v, val);
+        }
+        pa
+    }
+
+    /// `true` if `outcome` agrees with every constraint.
+    pub fn consistent_with(&self, outcome: &[Value]) -> bool {
+        self.iter().all(|(v, val)| outcome[v.idx()] == val)
+    }
+}
+
+/// Conditional preference table of one variable.
+///
+/// Rows are stored densely, indexed by the mixed-radix encoding of the
+/// parent assignment (first parent is the most significant digit).
+#[derive(Debug, Clone)]
+pub struct CpTable {
+    parents: Vec<VarId>,
+    /// Domain sizes of the parents, in `parents` order.
+    parent_domains: Vec<usize>,
+    rows: Vec<Ranking>,
+    /// Whether each row was explicitly provided by the author.
+    explicit: Vec<bool>,
+}
+
+impl CpTable {
+    fn unconditional(domain_size: usize) -> Self {
+        CpTable {
+            parents: Vec::new(),
+            parent_domains: Vec::new(),
+            rows: vec![Ranking::identity(domain_size)],
+            explicit: vec![false],
+        }
+    }
+
+    /// The parent set `Π(v)`.
+    pub fn parents(&self) -> &[VarId] {
+        &self.parents
+    }
+
+    /// Number of rows (product of parent domain sizes).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The ranking stored in row `row`.
+    pub fn row(&self, row: usize) -> &Ranking {
+        &self.rows[row]
+    }
+
+    /// Whether row `row` was explicitly authored (vs. a default).
+    pub fn row_is_explicit(&self, row: usize) -> bool {
+        self.explicit[row]
+    }
+
+    fn row_index(&self, parent_values: &[Value]) -> usize {
+        debug_assert_eq!(parent_values.len(), self.parents.len());
+        let mut idx = 0usize;
+        for (val, &dom) in parent_values.iter().zip(&self.parent_domains) {
+            debug_assert!(val.idx() < dom);
+            idx = idx * dom + val.idx();
+        }
+        idx
+    }
+
+    /// Snapshots all rows as `(parent assignment, ranking)` pairs — used
+    /// when a table is re-authored with an extended parent set.
+    pub fn clone_rows(&self) -> Vec<(Vec<Value>, Ranking)> {
+        (0..self.num_rows())
+            .map(|r| (self.row_assignment(r), self.rows[r].clone()))
+            .collect()
+    }
+
+    /// Decodes row index `row` back into a parent assignment.
+    pub fn row_assignment(&self, mut row: usize) -> Vec<Value> {
+        let mut vals = vec![Value(0); self.parents.len()];
+        for (slot, &dom) in vals.iter_mut().zip(&self.parent_domains).rev() {
+            *slot = Value((row % dom) as u16);
+            row /= dom;
+        }
+        vals
+    }
+}
+
+/// Hard cap on the number of CPT rows per variable (guards against
+/// accidentally conditioning on too many parents).
+pub const MAX_CPT_ROWS: usize = 1 << 20;
+
+/// Hard cap on domain sizes (values are stored as `u16`).
+pub const MAX_DOMAIN: usize = u16::MAX as usize;
+
+/// The interface the reasoning algorithms need; implemented by [`CpNet`]
+/// itself and by [`ExtendedNet`] (a base net plus a viewer-local extension).
+pub trait PreferenceNet {
+    /// Number of variables.
+    fn num_vars(&self) -> usize;
+    /// Domain size of `v`.
+    fn domain_size(&self, v: VarId) -> usize;
+    /// Parent set of `v`.
+    fn parents(&self, v: VarId) -> &[VarId];
+    /// CPT row of `v` under `parent_values` (given in `parents(v)` order).
+    fn ranking(&self, v: VarId, parent_values: &[Value]) -> &Ranking;
+    /// Human-readable variable name.
+    fn var_name(&self, v: VarId) -> &str;
+    /// Human-readable value name.
+    fn value_name(&self, v: VarId, val: Value) -> &str;
+
+    /// A topological order of the variables (parents before children).
+    ///
+    /// The default implementation runs Kahn's algorithm; acyclicity is a
+    /// validated invariant so it cannot fail on a validated net.
+    fn topo_order(&self) -> Vec<VarId> {
+        let n = self.num_vars();
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<VarId>> = vec![Vec::new(); n];
+        for (i, deg) in indegree.iter_mut().enumerate() {
+            let v = VarId(i as u32);
+            for &p in self.parents(v) {
+                *deg += 1;
+                children[p.idx()].push(v);
+            }
+        }
+        let mut queue: Vec<VarId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(|i| VarId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &c in &children[v.idx()] {
+                indegree[c.idx()] -= 1;
+                if indegree[c.idx()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "net contains a cycle");
+        order
+    }
+
+    /// Collects the current values of `v`'s parents out of a full outcome.
+    fn parent_values(&self, v: VarId, outcome: &[Value]) -> Vec<Value> {
+        self.parents(v).iter().map(|p| outcome[p.idx()]).collect()
+    }
+}
+
+/// A variable of the network: a named domain of presentation alternatives.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    name: String,
+    domain: Vec<String>,
+}
+
+impl Variable {
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The names of the domain values.
+    pub fn domain(&self) -> &[String] {
+        &self.domain
+    }
+}
+
+/// A CP-network: an acyclic graph of variables with conditional preference
+/// tables. See the [module documentation](self) for the semantics.
+///
+/// # Example
+///
+/// The 5-variable network of the paper's Figure 2:
+///
+/// ```
+/// use rcmo_core::cpnet::{CpNet, Value, PreferenceNet};
+///
+/// let mut net = CpNet::new();
+/// let c1 = net.add_variable("c1", &["c1_1", "c1_2"]).unwrap();
+/// let c2 = net.add_variable("c2", &["c2_1", "c2_2"]).unwrap();
+/// let c3 = net.add_variable("c3", &["c3_1", "c3_2"]).unwrap();
+/// let c4 = net.add_variable("c4", &["c4_1", "c4_2"]).unwrap();
+/// let c5 = net.add_variable("c5", &["c5_1", "c5_2"]).unwrap();
+/// net.set_unconditional(c1, &[Value(0), Value(1)]).unwrap();
+/// net.set_unconditional(c2, &[Value(1), Value(0)]).unwrap();
+/// net.set_parents(c3, &[c1, c2]).unwrap();
+/// // (c1_1 ∧ c2_1) ∨ (c1_2 ∧ c2_2) : c3_1 ≻ c3_2 ; otherwise c3_2 ≻ c3_1
+/// net.set_preference(c3, &[(c1, Value(0)), (c2, Value(0))], &[Value(0), Value(1)]).unwrap();
+/// net.set_preference(c3, &[(c1, Value(1)), (c2, Value(1))], &[Value(0), Value(1)]).unwrap();
+/// net.set_preference(c3, &[(c1, Value(0)), (c2, Value(1))], &[Value(1), Value(0)]).unwrap();
+/// net.set_preference(c3, &[(c1, Value(1)), (c2, Value(0))], &[Value(1), Value(0)]).unwrap();
+/// net.set_parents(c4, &[c3]).unwrap();
+/// net.set_preference(c4, &[(c3, Value(0))], &[Value(0), Value(1)]).unwrap();
+/// net.set_preference(c4, &[(c3, Value(1))], &[Value(1), Value(0)]).unwrap();
+/// net.set_parents(c5, &[c3]).unwrap();
+/// net.set_preference(c5, &[(c3, Value(0))], &[Value(0), Value(1)]).unwrap();
+/// net.set_preference(c5, &[(c3, Value(1))], &[Value(1), Value(0)]).unwrap();
+/// net.validate().unwrap();
+///
+/// // c1 = c1_1, c2 = c2_2 ⇒ c3 = c3_2 ⇒ c4 = c4_2, c5 = c5_2
+/// let best = net.optimal_outcome();
+/// assert_eq!(best, vec![Value(0), Value(1), Value(1), Value(1), Value(1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpNet {
+    vars: Vec<Variable>,
+    tables: Vec<CpTable>,
+}
+
+impl CpNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        CpNet::default()
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` if the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Adds a variable with the given domain (value names).
+    ///
+    /// Its CPT starts unconditional with the identity ranking; use
+    /// [`set_unconditional`](Self::set_unconditional) or
+    /// [`set_parents`](Self::set_parents) + [`set_preference`](Self::set_preference)
+    /// to author real preferences.
+    pub fn add_variable(&mut self, name: &str, domain: &[&str]) -> Result<VarId> {
+        if domain.is_empty() {
+            return Err(CoreError::BadDomain(format!(
+                "variable '{name}' has an empty domain"
+            )));
+        }
+        if domain.len() > MAX_DOMAIN {
+            return Err(CoreError::BadDomain(format!(
+                "variable '{name}' has {} values; max is {MAX_DOMAIN}",
+                domain.len()
+            )));
+        }
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: name.to_string(),
+            domain: domain.iter().map(|s| s.to_string()).collect(),
+        });
+        self.tables.push(CpTable::unconditional(domain.len()));
+        Ok(id)
+    }
+
+    /// Access to a variable's metadata.
+    pub fn variable(&self, v: VarId) -> Result<&Variable> {
+        self.vars
+            .get(v.idx())
+            .ok_or(CoreError::UnknownVariable(v.0))
+    }
+
+    /// Access to a variable's CPT.
+    pub fn table(&self, v: VarId) -> Result<&CpTable> {
+        self.tables
+            .get(v.idx())
+            .ok_or(CoreError::UnknownVariable(v.0))
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Looks a value up by name within a variable's domain.
+    pub fn value_by_name(&self, v: VarId, name: &str) -> Option<Value> {
+        self.vars
+            .get(v.idx())?
+            .domain
+            .iter()
+            .position(|d| d == name)
+            .map(|i| Value(i as u16))
+    }
+
+    fn check_var(&self, v: VarId) -> Result<()> {
+        if v.idx() >= self.vars.len() {
+            return Err(CoreError::UnknownVariable(v.0));
+        }
+        Ok(())
+    }
+
+    fn check_value(&self, v: VarId, val: Value) -> Result<()> {
+        self.check_var(v)?;
+        let dom = self.vars[v.idx()].domain.len();
+        if val.idx() >= dom {
+            return Err(CoreError::ValueOutOfRange {
+                var: v.0,
+                value: val.0,
+                domain: dom,
+            });
+        }
+        Ok(())
+    }
+
+    /// Declares `Π(v) = parents` and resets `v`'s CPT to default rankings.
+    ///
+    /// Rejects self-parenting, duplicate parents, parent sets that would
+    /// create a directed cycle, and tables that would exceed
+    /// [`MAX_CPT_ROWS`].
+    pub fn set_parents(&mut self, v: VarId, parents: &[VarId]) -> Result<()> {
+        self.check_var(v)?;
+        let mut seen = HashSet::new();
+        for &p in parents {
+            self.check_var(p)?;
+            if p == v {
+                return Err(CoreError::CycleDetected(format!(
+                    "variable '{}' cannot be its own parent",
+                    self.vars[v.idx()].name
+                )));
+            }
+            if !seen.insert(p) {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "duplicate parent {p} for variable '{}'",
+                    self.vars[v.idx()].name
+                )));
+            }
+        }
+        // Cycle check: would v be reachable from itself through the new edges?
+        if self.reaches_any(v, parents) {
+            return Err(CoreError::CycleDetected(format!(
+                "setting parents of '{}' would create a cycle",
+                self.vars[v.idx()].name
+            )));
+        }
+        let parent_domains: Vec<usize> = parents
+            .iter()
+            .map(|p| self.vars[p.idx()].domain.len())
+            .collect();
+        let mut rows = 1usize;
+        for &d in &parent_domains {
+            rows = rows.saturating_mul(d);
+            if rows > MAX_CPT_ROWS {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "CPT of '{}' would exceed {MAX_CPT_ROWS} rows",
+                    self.vars[v.idx()].name
+                )));
+            }
+        }
+        let dom = self.vars[v.idx()].domain.len();
+        self.tables[v.idx()] = CpTable {
+            parents: parents.to_vec(),
+            parent_domains,
+            rows: vec![Ranking::identity(dom); rows],
+            explicit: vec![false; rows],
+        };
+        Ok(())
+    }
+
+    /// `true` if any of `from` can reach `target` through parent edges
+    /// (i.e. `target` is an ancestor-to-be of itself).
+    fn reaches_any(&self, target: VarId, from: &[VarId]) -> bool {
+        let mut stack: Vec<VarId> = from.to_vec();
+        let mut visited = HashSet::new();
+        while let Some(v) = stack.pop() {
+            if v == target {
+                return true;
+            }
+            if visited.insert(v) {
+                stack.extend(self.tables[v.idx()].parents.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Authors the CPT row of `v` under the given parent assignment.
+    ///
+    /// `assignment` must mention exactly the parents of `v` (in any order);
+    /// `order` is the full preference order over `D(v)`, most preferred
+    /// first.
+    pub fn set_preference(
+        &mut self,
+        v: VarId,
+        assignment: &[(VarId, Value)],
+        order: &[Value],
+    ) -> Result<()> {
+        self.check_var(v)?;
+        let parents = self.tables[v.idx()].parents.clone();
+        if assignment.len() != parents.len() {
+            return Err(CoreError::BadParentAssignment(format!(
+                "variable '{}' has {} parents but assignment covers {}",
+                self.vars[v.idx()].name,
+                parents.len(),
+                assignment.len()
+            )));
+        }
+        let mut parent_values = vec![None; parents.len()];
+        for &(p, val) in assignment {
+            self.check_value(p, val)?;
+            match parents.iter().position(|&q| q == p) {
+                Some(slot) => {
+                    if parent_values[slot].replace(val).is_some() {
+                        return Err(CoreError::BadParentAssignment(format!(
+                            "parent {p} assigned twice"
+                        )));
+                    }
+                }
+                None => {
+                    return Err(CoreError::BadParentAssignment(format!(
+                        "{p} is not a parent of '{}'",
+                        self.vars[v.idx()].name
+                    )))
+                }
+            }
+        }
+        let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
+        let dom = self.vars[v.idx()].domain.len();
+        let ranking = Ranking::new(order.to_vec(), dom)?;
+        let row = self.tables[v.idx()].row_index(&parent_values);
+        self.tables[v.idx()].rows[row] = ranking;
+        self.tables[v.idx()].explicit[row] = true;
+        Ok(())
+    }
+
+    /// Authors an unconditional preference for a parentless variable.
+    pub fn set_unconditional(&mut self, v: VarId, order: &[Value]) -> Result<()> {
+        self.check_var(v)?;
+        if !self.tables[v.idx()].parents.is_empty() {
+            return Err(CoreError::BadParentAssignment(format!(
+                "variable '{}' has parents; use set_preference",
+                self.vars[v.idx()].name
+            )));
+        }
+        let dom = self.vars[v.idx()].domain.len();
+        let ranking = Ranking::new(order.to_vec(), dom)?;
+        self.tables[v.idx()].rows[0] = ranking;
+        self.tables[v.idx()].explicit[0] = true;
+        Ok(())
+    }
+
+    /// Validates the network: acyclic (guaranteed by construction, but
+    /// re-checked), every CPT row a permutation (guaranteed by
+    /// construction), and every row explicitly authored.
+    ///
+    /// A network with default (identity) rows is still usable — the
+    /// presentation engine treats document order as the fallback preference —
+    /// but `validate` is strict so authoring omissions surface in tests.
+    pub fn validate(&self) -> Result<()> {
+        // Acyclicity via Kahn (topo_order asserts in debug; do it for real).
+        let n = self.len();
+        let mut indeg = vec![0usize; n];
+        for t in &self.tables {
+            for p in &t.parents {
+                if p.idx() >= n {
+                    return Err(CoreError::Invalid(format!("dangling parent {p}")));
+                }
+            }
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            indeg[i] = t.parents.len();
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tables.iter().enumerate() {
+            for p in &t.parents {
+                children[p.idx()].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &c in &children[v] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if seen != n {
+            return Err(CoreError::CycleDetected(
+                "network graph contains a cycle".to_string(),
+            ));
+        }
+        for (i, t) in self.tables.iter().enumerate() {
+            for (r, set) in t.explicit.iter().enumerate() {
+                if !set {
+                    return Err(CoreError::Invalid(format!(
+                        "CPT row {r} of variable '{}' was never authored",
+                        self.vars[i].name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The preferentially optimal outcome: a topological sweep assigning
+    /// every variable its most preferred value given its parents.
+    pub fn optimal_outcome(&self) -> Outcome {
+        reason::optimal_completion(self, &PartialAssignment::empty(self.len()))
+    }
+
+    /// The best outcome consistent with `evidence` (the paper's
+    /// "best completion of π"): evidence values are projected onto the
+    /// network before the top-down sweep.
+    pub fn optimal_completion(&self, evidence: &PartialAssignment) -> Outcome {
+        reason::optimal_completion(self, evidence)
+    }
+
+    /// Dominance query: does `better ≻ worse` hold in the CP-net order?
+    ///
+    /// Runs an improving-flip search from `worse` towards `better` with a
+    /// budget of `max_nodes` visited outcomes. See
+    /// [`reason::dominates`](FlipSearchOutcome).
+    pub fn dominates(
+        &self,
+        better: &[Value],
+        worse: &[Value],
+        max_nodes: usize,
+    ) -> FlipSearchOutcome {
+        reason::dominates(self, better, worse, max_nodes)
+    }
+
+    /// Enumerates outcomes from most to least preferred (a linear extension
+    /// of the CP-net partial order), optionally restricted by evidence.
+    pub fn outcomes_by_preference(&self, evidence: &PartialAssignment) -> OutcomeIter<'_, Self> {
+        OutcomeIter::new(self, evidence.clone())
+    }
+
+    /// Removes variable `v`, fixing its value to `fix` in every child's CPT.
+    ///
+    /// The policy of the paper's Section 4.2 for component removal: children
+    /// keep only the CPT rows in which the removed component took the value
+    /// it had at removal time. Variable ids above `v` shift down by one.
+    pub fn remove_variable(&mut self, v: VarId, fix: Value) -> Result<()> {
+        self.check_value(v, fix)?;
+        let vi = v.idx();
+        // Rebuild every table that conditions on v.
+        for i in 0..self.tables.len() {
+            if i == vi {
+                continue;
+            }
+            if let Some(slot) = self.tables[i].parents.iter().position(|&p| p == v) {
+                let old = &self.tables[i];
+                let mut new_parents = old.parents.clone();
+                new_parents.remove(slot);
+                let mut new_domains = old.parent_domains.clone();
+                new_domains.remove(slot);
+                let new_rows: usize = new_domains.iter().product::<usize>().max(1);
+                let mut rows = Vec::with_capacity(new_rows);
+                let mut explicit = Vec::with_capacity(new_rows);
+                for r in 0..new_rows {
+                    // Decode r under new_domains, splice `fix` back at `slot`,
+                    // re-encode under old domains.
+                    let mut vals = Vec::with_capacity(old.parents.len());
+                    let mut rr = r;
+                    let mut digits = vec![Value(0); new_domains.len()];
+                    for (d, &dom) in digits.iter_mut().zip(&new_domains).rev() {
+                        *d = Value((rr % dom) as u16);
+                        rr /= dom;
+                    }
+                    vals.extend_from_slice(&digits[..slot]);
+                    vals.push(fix);
+                    vals.extend_from_slice(&digits[slot..]);
+                    let old_idx = old.row_index(&vals);
+                    rows.push(old.rows[old_idx].clone());
+                    explicit.push(old.explicit[old_idx]);
+                }
+                self.tables[i] = CpTable {
+                    parents: new_parents,
+                    parent_domains: new_domains,
+                    rows,
+                    explicit,
+                };
+            }
+        }
+        self.vars.remove(vi);
+        self.tables.remove(vi);
+        // Shift ids in every parent list.
+        for t in &mut self.tables {
+            for p in &mut t.parents {
+                if p.idx() > vi {
+                    *p = VarId(p.0 - 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds the Section-4.2 *derived operation variable*: a new binary
+    /// variable `name` with domain `[applied_name, plain_name]`, single
+    /// parent `v`, preferring `applied` exactly when `v = trigger` (the
+    /// presentation form the component had when the viewer performed the
+    /// operation) and `plain` otherwise.
+    pub fn add_derived_variable(
+        &mut self,
+        v: VarId,
+        trigger: Value,
+        name: &str,
+        applied_name: &str,
+        plain_name: &str,
+    ) -> Result<VarId> {
+        self.check_value(v, trigger)?;
+        let d = self.add_variable(name, &[applied_name, plain_name])?;
+        self.set_parents(d, &[v])?;
+        let dom = self.vars[v.idx()].domain.len();
+        for val in 0..dom as u16 {
+            let order = if Value(val) == trigger {
+                [Value(0), Value(1)]
+            } else {
+                [Value(1), Value(0)]
+            };
+            self.set_preference(d, &[(v, Value(val))], &order)?;
+        }
+        Ok(d)
+    }
+
+    /// Renders an outcome with variable/value names, for logs and examples.
+    pub fn describe_outcome(&self, outcome: &[Value]) -> String {
+        let mut parts = Vec::with_capacity(outcome.len());
+        for (i, val) in outcome.iter().enumerate() {
+            let var = &self.vars[i];
+            let name = var
+                .domain
+                .get(val.idx())
+                .map(|s| s.as_str())
+                .unwrap_or("<?>");
+            parts.push(format!("{}={}", var.name, name));
+        }
+        parts.join(", ")
+    }
+
+    /// Serialises the network to a compact binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode::encode_net(self)
+    }
+
+    /// Reconstructs a network serialised with [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        encode::decode_net(bytes)
+    }
+}
+
+impl PreferenceNet for CpNet {
+    fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn domain_size(&self, v: VarId) -> usize {
+        self.vars[v.idx()].domain.len()
+    }
+
+    fn parents(&self, v: VarId) -> &[VarId] {
+        &self.tables[v.idx()].parents
+    }
+
+    fn ranking(&self, v: VarId, parent_values: &[Value]) -> &Ranking {
+        let t = &self.tables[v.idx()];
+        &t.rows[t.row_index(parent_values)]
+    }
+
+    fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.idx()].name
+    }
+
+    fn value_name(&self, v: VarId, val: Value) -> &str {
+        &self.vars[v.idx()].domain[val.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests;

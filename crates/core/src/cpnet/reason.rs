@@ -1,0 +1,229 @@
+//! Reasoning over CP-networks: optimal completion, dominance through
+//! improving-flip search, and preference-ordered outcome enumeration.
+//!
+//! All algorithms are generic over [`PreferenceNet`] so they run unchanged on
+//! a plain [`CpNet`](super::CpNet) and on an
+//! [`ExtendedNet`](super::ExtendedNet) (base network plus a viewer-local
+//! extension, Section 4.2 of the paper).
+
+use super::{Outcome, PartialAssignment, PreferenceNet, Value, VarId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Computes the best outcome consistent with `evidence`.
+///
+/// This is the paper's central online query: traverse the variables in a
+/// topological order; a variable constrained by the evidence keeps its
+/// evidence value, every other variable takes the most preferred value of
+/// its CPT row given the (already fixed) parent values. For acyclic networks
+/// this yields the unique most-preferred outcome among those consistent with
+/// the evidence (Boutilier et al. 1999, "forward sweep").
+pub fn optimal_completion<N: PreferenceNet>(net: &N, evidence: &PartialAssignment) -> Outcome {
+    let n = net.num_vars();
+    let mut outcome = vec![Value(0); n];
+    for v in net.topo_order() {
+        if let Some(val) = evidence.get(v) {
+            outcome[v.idx()] = val;
+        } else {
+            let parents = net.parent_values(v, &outcome);
+            outcome[v.idx()] = net.ranking(v, &parents).best();
+        }
+    }
+    outcome
+}
+
+/// All single-variable *improving flips* of `outcome`: pairs `(var, value)`
+/// such that replacing `outcome[var]` with `value` yields a strictly more
+/// preferred outcome (by the ceteris paribus reading of `var`'s CPT row).
+pub fn improving_flips<N: PreferenceNet>(net: &N, outcome: &[Value]) -> Vec<(VarId, Value)> {
+    let mut flips = Vec::new();
+    for i in 0..net.num_vars() {
+        let v = VarId(i as u32);
+        let parents = net.parent_values(v, outcome);
+        let ranking = net.ranking(v, &parents);
+        for &better in ranking.better_than(outcome[i]) {
+            flips.push((v, better));
+        }
+    }
+    flips
+}
+
+/// Result of a bounded improving-flip dominance search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipSearchOutcome {
+    /// An improving flip chain from `worse` to `better` was found:
+    /// `better ≻ worse` holds. Payload: chain length (number of flips).
+    Dominates(usize),
+    /// The reachable improving set was exhausted without hitting `better`:
+    /// `better ≻ worse` does **not** hold.
+    DoesNotDominate,
+    /// The node budget ran out before the search concluded.
+    Unknown,
+}
+
+/// Dominance query `better ≻ worse` via breadth-first improving-flip search
+/// starting at `worse`. Sound and complete when it terminates within
+/// `max_nodes` visited outcomes (Boutilier et al.: `o ≻ o'` iff there is an
+/// improving flip sequence from `o'` to `o`).
+pub fn dominates<N: PreferenceNet>(
+    net: &N,
+    better: &[Value],
+    worse: &[Value],
+    max_nodes: usize,
+) -> FlipSearchOutcome {
+    if better == worse {
+        return FlipSearchOutcome::DoesNotDominate; // ≻ is strict
+    }
+    let mut visited: HashSet<Vec<Value>> = HashSet::new();
+    let mut queue: VecDeque<(Vec<Value>, usize)> = VecDeque::new();
+    visited.insert(worse.to_vec());
+    queue.push_back((worse.to_vec(), 0));
+    while let Some((cur, depth)) = queue.pop_front() {
+        for (v, val) in improving_flips(net, &cur) {
+            let mut next = cur.clone();
+            next[v.idx()] = val;
+            if next.as_slice() == better {
+                return FlipSearchOutcome::Dominates(depth + 1);
+            }
+            if visited.len() >= max_nodes {
+                return FlipSearchOutcome::Unknown;
+            }
+            if visited.insert(next.clone()) {
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    FlipSearchOutcome::DoesNotDominate
+}
+
+/// The rank vector of an outcome: for each variable in topological order,
+/// the position (0 = best) of its value in its CPT row. Comparing rank
+/// vectors lexicographically yields a total order that is a linear extension
+/// of the CP-net partial order ("topological-lexicographic" ordering).
+fn rank_vector<N: PreferenceNet>(net: &N, topo: &[VarId], outcome: &[Value]) -> Vec<u16> {
+    topo.iter()
+        .map(|&v| {
+            let parents = net.parent_values(v, outcome);
+            net.ranking(v, &parents).rank_of(outcome[v.idx()])
+        })
+        .collect()
+}
+
+/// A search node in the preference-ordered enumeration: a prefix of the
+/// topological order assigned, keyed by its (lexicographic) rank vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EnumNode {
+    /// Rank positions of the assigned prefix (the priority key).
+    key: Vec<u16>,
+    /// Values for the first `key.len()` variables of the topological order.
+    prefix: Vec<Value>,
+}
+
+impl Ord for EnumNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; we wrap in Reverse at the call site, so
+        // plain lexicographic comparison here means "smaller key pops first".
+        self.key.cmp(&other.key).then_with(|| self.prefix.cmp(&other.prefix))
+    }
+}
+
+impl PartialOrd for EnumNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Iterator over complete outcomes from most to least preferred.
+///
+/// Performs best-first search over topological-order prefixes, with the
+/// prefix rank vector as the priority. Because every variable's parents
+/// precede it in the topological order, extending a prefix never changes the
+/// ranks already committed, so prefix keys are monotone and the first time a
+/// complete outcome pops it is in its final order. The emitted sequence is a
+/// linear extension of the CP-net preference order (verified by property
+/// tests against flip-chain dominance).
+///
+/// Evidence restricts the enumeration to consistent outcomes.
+pub struct OutcomeIter<'a, N: PreferenceNet> {
+    net: &'a N,
+    topo: Vec<VarId>,
+    evidence: PartialAssignment,
+    heap: BinaryHeap<Reverse<EnumNode>>,
+    emitted: usize,
+}
+
+impl<'a, N: PreferenceNet> OutcomeIter<'a, N> {
+    pub(super) fn new(net: &'a N, evidence: PartialAssignment) -> Self {
+        let topo = net.topo_order();
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(EnumNode {
+            key: Vec::new(),
+            prefix: Vec::new(),
+        }));
+        OutcomeIter {
+            net,
+            topo,
+            evidence,
+            heap,
+            emitted: 0,
+        }
+    }
+
+    /// Number of outcomes emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Converts a topo-order prefix into an outcome indexed by variable id.
+    fn prefix_to_outcome(&self, prefix: &[Value]) -> Vec<Value> {
+        let mut outcome = vec![Value(0); self.net.num_vars()];
+        for (slot, &v) in self.topo.iter().enumerate().take(prefix.len()) {
+            outcome[v.idx()] = prefix[slot];
+        }
+        outcome
+    }
+}
+
+impl<'a, N: PreferenceNet> Iterator for OutcomeIter<'a, N> {
+    type Item = Outcome;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(Reverse(node)) = self.heap.pop() {
+            if node.prefix.len() == self.topo.len() {
+                self.emitted += 1;
+                return Some(self.prefix_to_outcome(&node.prefix));
+            }
+            let v = self.topo[node.prefix.len()];
+            // Parents of v are all earlier in topo order, hence assigned.
+            let partial = self.prefix_to_outcome(&node.prefix);
+            let parents = self.net.parent_values(v, &partial);
+            let ranking = self.net.ranking(v, &parents);
+            match self.evidence.get(v) {
+                Some(fixed) => {
+                    let mut key = node.key.clone();
+                    key.push(ranking.rank_of(fixed));
+                    let mut prefix = node.prefix.clone();
+                    prefix.push(fixed);
+                    self.heap.push(Reverse(EnumNode { key, prefix }));
+                }
+                None => {
+                    for (rank, &val) in ranking.order().iter().enumerate() {
+                        let mut key = node.key.clone();
+                        key.push(rank as u16);
+                        let mut prefix = node.prefix.clone();
+                        prefix.push(val);
+                        self.heap.push(Reverse(EnumNode { key, prefix }));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: the rank vector of `outcome` in `net`'s topological order.
+/// Lower is better; the optimal outcome has the all-zero vector.
+pub fn outcome_rank_vector<N: PreferenceNet>(net: &N, outcome: &[Value]) -> Vec<u16> {
+    let topo = net.topo_order();
+    rank_vector(net, &topo, outcome)
+}

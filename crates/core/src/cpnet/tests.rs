@@ -1,0 +1,405 @@
+use super::samples::{chain_net, figure2_net, random_net, RandomNetSpec};
+use super::*;
+use crate::cpnet::reason::outcome_rank_vector;
+
+fn all_outcomes(net: &CpNet) -> Vec<Outcome> {
+    let mut outcomes = vec![Vec::new()];
+    for i in 0..net.len() {
+        let dom = net.domain_size(VarId(i as u32));
+        let mut next = Vec::with_capacity(outcomes.len() * dom);
+        for o in &outcomes {
+            for d in 0..dom as u16 {
+                let mut o2 = o.clone();
+                o2.push(Value(d));
+                next.push(o2);
+            }
+        }
+        outcomes = next;
+    }
+    outcomes
+}
+
+#[test]
+fn empty_net_has_empty_outcome() {
+    let net = CpNet::new();
+    assert!(net.is_empty());
+    assert!(net.optimal_outcome().is_empty());
+    net.validate().unwrap();
+}
+
+#[test]
+fn add_variable_rejects_empty_domain() {
+    let mut net = CpNet::new();
+    assert!(matches!(
+        net.add_variable("x", &[]),
+        Err(CoreError::BadDomain(_))
+    ));
+}
+
+#[test]
+fn set_parents_rejects_self_and_duplicates() {
+    let mut net = CpNet::new();
+    let a = net.add_variable("a", &["0", "1"]).unwrap();
+    let b = net.add_variable("b", &["0", "1"]).unwrap();
+    assert!(matches!(
+        net.set_parents(a, &[a]),
+        Err(CoreError::CycleDetected(_))
+    ));
+    assert!(matches!(
+        net.set_parents(a, &[b, b]),
+        Err(CoreError::BadParentAssignment(_))
+    ));
+}
+
+#[test]
+fn set_parents_rejects_cycle() {
+    let mut net = CpNet::new();
+    let a = net.add_variable("a", &["0", "1"]).unwrap();
+    let b = net.add_variable("b", &["0", "1"]).unwrap();
+    let c = net.add_variable("c", &["0", "1"]).unwrap();
+    net.set_parents(b, &[a]).unwrap();
+    net.set_parents(c, &[b]).unwrap();
+    assert!(matches!(
+        net.set_parents(a, &[c]),
+        Err(CoreError::CycleDetected(_))
+    ));
+}
+
+#[test]
+fn validate_flags_unauthored_rows() {
+    let mut net = CpNet::new();
+    let a = net.add_variable("a", &["0", "1"]).unwrap();
+    let b = net.add_variable("b", &["0", "1"]).unwrap();
+    net.set_unconditional(a, &[Value(0), Value(1)]).unwrap();
+    net.set_parents(b, &[a]).unwrap();
+    net.set_preference(b, &[(a, Value(0))], &[Value(1), Value(0)])
+        .unwrap();
+    // Row a=1 never authored.
+    assert!(matches!(net.validate(), Err(CoreError::Invalid(_))));
+    net.set_preference(b, &[(a, Value(1))], &[Value(0), Value(1)])
+        .unwrap();
+    net.validate().unwrap();
+}
+
+#[test]
+fn ranking_rejects_non_permutations() {
+    assert!(Ranking::new(vec![Value(0), Value(0)], 2).is_err());
+    assert!(Ranking::new(vec![Value(0)], 2).is_err());
+    assert!(Ranking::new(vec![Value(0), Value(2)], 2).is_err());
+    let r = Ranking::new(vec![Value(1), Value(0)], 2).unwrap();
+    assert_eq!(r.best(), Value(1));
+    assert!(r.prefers(Value(1), Value(0)));
+    assert_eq!(r.better_than(Value(0)), &[Value(1)]);
+    assert!(r.better_than(Value(1)).is_empty());
+}
+
+#[test]
+fn figure2_optimal_outcome_matches_paper() {
+    let (net, [c1, c2, c3, c4, c5]) = figure2_net();
+    let best = net.optimal_outcome();
+    // c1 = c1_1 (preferred), c2 = c2_2 (preferred), hence c3 = c3_2,
+    // hence c4 = c4_2 and c5 = c5_2.
+    assert_eq!(best[c1.idx()], Value(0));
+    assert_eq!(best[c2.idx()], Value(1));
+    assert_eq!(best[c3.idx()], Value(1));
+    assert_eq!(best[c4.idx()], Value(1));
+    assert_eq!(best[c5.idx()], Value(1));
+}
+
+#[test]
+fn figure2_optimal_completion_under_evidence() {
+    let (net, [c1, c2, c3, c4, c5]) = figure2_net();
+    // Viewer insists on c2 = c2_1. Then c1 = c1_1 stays, c3 row (c1_1, c2_1)
+    // prefers c3_1, and the children follow with c4_1, c5_1.
+    let mut ev = PartialAssignment::empty(net.len());
+    ev.set(c2, Value(0));
+    let best = net.optimal_completion(&ev);
+    assert_eq!(best[c1.idx()], Value(0));
+    assert_eq!(best[c2.idx()], Value(0));
+    assert_eq!(best[c3.idx()], Value(0));
+    assert_eq!(best[c4.idx()], Value(0));
+    assert_eq!(best[c5.idx()], Value(0));
+}
+
+#[test]
+fn optimal_outcome_has_no_improving_flip() {
+    let (net, _) = figure2_net();
+    let best = net.optimal_outcome();
+    assert!(improving_flips(&net, &best).is_empty());
+}
+
+#[test]
+fn optimal_outcome_dominates_every_other_outcome() {
+    let (net, _) = figure2_net();
+    let best = net.optimal_outcome();
+    for o in all_outcomes(&net) {
+        if o == best {
+            continue;
+        }
+        assert!(
+            matches!(net.dominates(&best, &o, 10_000), FlipSearchOutcome::Dominates(_)),
+            "best must dominate {o:?}"
+        );
+    }
+}
+
+#[test]
+fn dominance_is_strict() {
+    let (net, _) = figure2_net();
+    let best = net.optimal_outcome();
+    assert_eq!(
+        net.dominates(&best, &best, 1_000),
+        FlipSearchOutcome::DoesNotDominate
+    );
+}
+
+#[test]
+fn dominance_budget_reports_unknown() {
+    let net = chain_net(12, 2, 7);
+    let best = net.optimal_outcome();
+    let mut worst = best.clone();
+    // Flip everything to something non-optimal where possible.
+    for v in worst.iter_mut() {
+        *v = Value(1 - v.0);
+    }
+    match net.dominates(&best, &worst, 2) {
+        FlipSearchOutcome::Unknown | FlipSearchOutcome::Dominates(_) => {}
+        o => panic!("tiny budget should give Unknown (or quick hit), got {o:?}"),
+    }
+}
+
+#[test]
+fn outcome_iter_starts_at_optimum_and_is_exhaustive() {
+    let (net, _) = figure2_net();
+    let evidence = PartialAssignment::empty(net.len());
+    let ordered: Vec<Outcome> = net.outcomes_by_preference(&evidence).collect();
+    assert_eq!(ordered.len(), 32);
+    assert_eq!(ordered[0], net.optimal_outcome());
+    // No duplicates.
+    let unique: std::collections::HashSet<_> = ordered.iter().cloned().collect();
+    assert_eq!(unique.len(), 32);
+}
+
+#[test]
+fn outcome_iter_is_linear_extension_of_dominance() {
+    let (net, _) = figure2_net();
+    let ordered: Vec<Outcome> = net
+        .outcomes_by_preference(&PartialAssignment::empty(net.len()))
+        .collect();
+    // If o_i comes after o_j in the enumeration, o_i must not dominate o_j.
+    for (i, oi) in ordered.iter().enumerate() {
+        for oj in ordered.iter().take(i) {
+            assert_eq!(
+                net.dominates(oi, oj, 100_000),
+                FlipSearchOutcome::DoesNotDominate,
+                "later outcome {oi:?} dominates earlier {oj:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn outcome_iter_respects_evidence() {
+    let (net, [_, c2, ..]) = figure2_net();
+    let mut ev = PartialAssignment::empty(net.len());
+    ev.set(c2, Value(0));
+    let ordered: Vec<Outcome> = net.outcomes_by_preference(&ev).collect();
+    assert_eq!(ordered.len(), 16);
+    assert!(ordered.iter().all(|o| o[c2.idx()] == Value(0)));
+    assert_eq!(ordered[0], net.optimal_completion(&ev));
+}
+
+#[test]
+fn rank_vector_of_optimum_is_zero() {
+    let (net, _) = figure2_net();
+    let best = net.optimal_outcome();
+    assert!(outcome_rank_vector(&net, &best).iter().all(|&r| r == 0));
+}
+
+#[test]
+fn derived_variable_prefers_applied_only_at_trigger() {
+    let (mut net, [_, _, c3, ..]) = figure2_net();
+    let d = net
+        .add_derived_variable(c3, Value(1), "c3'", "segmented", "flat")
+        .unwrap();
+    net.validate().unwrap();
+    // Optimal outcome has c3 = c3_2 (value 1, the trigger) ⇒ segmented.
+    let best = net.optimal_outcome();
+    assert_eq!(best[d.idx()], Value(0), "segmented preferred at trigger");
+    // Under evidence forcing c3 = c3_1, plain is preferred.
+    let mut ev = PartialAssignment::empty(net.len());
+    ev.set(c3, Value(0));
+    let o = net.optimal_completion(&ev);
+    assert_eq!(o[d.idx()], Value(1));
+}
+
+#[test]
+fn remove_variable_slices_child_tables() {
+    let (mut net, [c1, c2, c3, c4, _c5]) = figure2_net();
+    let _ = (c1, c4);
+    // Remove c2, fixing it at c2_1 (value 0). c3's CPT then conditions on
+    // c1 only, keeping the rows where c2 = c2_1:
+    //   c1_1: c3_1 ≻ c3_2 ; c1_2: c3_2 ≻ c3_1.
+    net.remove_variable(c2, Value(0)).unwrap();
+    assert_eq!(net.len(), 4);
+    net.validate().unwrap();
+    let best = net.optimal_outcome();
+    // Ids shifted: c1 = 0, c3 = 1, c4 = 2, c5 = 3.
+    assert_eq!(best[0], Value(0)); // c1_1
+    assert_eq!(best[1], Value(0)); // c3_1 because (c1_1, c2_1) row kept
+    assert_eq!(best[2], Value(0)); // c4_1
+    assert_eq!(best[3], Value(0)); // c5_1
+    let _ = c3;
+}
+
+#[test]
+fn remove_root_variable_shifts_parent_ids() {
+    let mut net = CpNet::new();
+    let a = net.add_variable("a", &["0", "1"]).unwrap();
+    let b = net.add_variable("b", &["0", "1"]).unwrap();
+    let c = net.add_variable("c", &["0", "1"]).unwrap();
+    net.set_unconditional(a, &[Value(0), Value(1)]).unwrap();
+    net.set_unconditional(b, &[Value(1), Value(0)]).unwrap();
+    net.set_parents(c, &[b]).unwrap();
+    net.set_preference(c, &[(b, Value(0))], &[Value(0), Value(1)])
+        .unwrap();
+    net.set_preference(c, &[(b, Value(1))], &[Value(1), Value(0)])
+        .unwrap();
+    net.remove_variable(a, Value(0)).unwrap();
+    net.validate().unwrap();
+    // b is now id 0, c id 1, and c's parent must have shifted to b's new id.
+    assert_eq!(net.parents(VarId(1)), &[VarId(0)]);
+    let best = net.optimal_outcome();
+    assert_eq!(best, vec![Value(1), Value(1)]); // b=1 preferred; under b=1, c=1
+}
+
+#[test]
+fn encode_decode_roundtrip_figure2() {
+    let (net, _) = figure2_net();
+    let bytes = net.to_bytes();
+    let back = CpNet::from_bytes(&bytes).unwrap();
+    assert_eq!(back.len(), net.len());
+    assert_eq!(back.optimal_outcome(), net.optimal_outcome());
+    back.validate().unwrap();
+    for i in 0..net.len() {
+        let v = VarId(i as u32);
+        assert_eq!(back.var_name(v), net.var_name(v));
+        assert_eq!(back.parents(v), net.parents(v));
+    }
+}
+
+#[test]
+fn decode_rejects_garbage() {
+    assert!(CpNet::from_bytes(b"").is_err());
+    assert!(CpNet::from_bytes(b"NOPE").is_err());
+    let (net, _) = figure2_net();
+    let mut bytes = net.to_bytes();
+    bytes.push(0); // trailing byte
+    assert!(CpNet::from_bytes(&bytes).is_err());
+    let bytes = net.to_bytes();
+    assert!(CpNet::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+}
+
+#[test]
+fn extension_adds_viewer_local_variable() {
+    let (net, [_, _, c3, ..]) = figure2_net();
+    let mut ext = Extension::new(&net);
+    let d = ext
+        .add_derived_variable(&net, c3, Value(1), "c3'", "segmented", "flat")
+        .unwrap();
+    ext.validate().unwrap();
+    assert_eq!(d, VarId(5));
+    let fused = ExtendedNet::new(&net, &ext).unwrap();
+    assert_eq!(fused.num_vars(), 6);
+    let best = fused.optimal_completion(&PartialAssignment::empty(6));
+    assert_eq!(best[5], Value(0)); // segmented, since c3 = trigger at optimum
+    // The base network is untouched.
+    assert_eq!(net.len(), 5);
+}
+
+#[test]
+fn extension_rejects_wrong_base() {
+    let (net, _) = figure2_net();
+    let ext = Extension::new(&net);
+    let other = CpNet::new();
+    assert!(ExtendedNet::new(&other, &ext).is_err());
+}
+
+#[test]
+fn extension_cycle_rejected() {
+    let (net, _) = figure2_net();
+    let mut ext = Extension::new(&net);
+    let x = ext.add_variable("x", &["0", "1"]).unwrap();
+    let y = ext.add_variable("y", &["0", "1"]).unwrap();
+    ext.set_parents(&net, y, &[x]).unwrap();
+    assert!(matches!(
+        ext.set_parents(&net, x, &[y]),
+        Err(CoreError::CycleDetected(_))
+    ));
+}
+
+#[test]
+fn random_nets_validate_and_optimum_is_flip_free() {
+    for seed in 0..20 {
+        let net = random_net(&RandomNetSpec {
+            vars: 12,
+            max_domain: 4,
+            max_parents: 3,
+            seed,
+        });
+        let best = net.optimal_outcome();
+        assert!(
+            improving_flips(&net, &best).is_empty(),
+            "seed {seed}: optimum has an improving flip"
+        );
+        let bytes = net.to_bytes();
+        let back = CpNet::from_bytes(&bytes).unwrap();
+        assert_eq!(back.optimal_outcome(), best, "seed {seed}: codec mismatch");
+    }
+}
+
+#[test]
+fn partial_assignment_helpers() {
+    let mut pa = PartialAssignment::empty(3);
+    assert_eq!(pa.len_set(), 0);
+    pa.set(VarId(1), Value(2));
+    assert_eq!(pa.get(VarId(1)), Some(Value(2)));
+    assert_eq!(pa.len_set(), 1);
+    assert!(pa.consistent_with(&[Value(0), Value(2), Value(0)]));
+    assert!(!pa.consistent_with(&[Value(0), Value(1), Value(0)]));
+    pa.clear(VarId(1));
+    assert_eq!(pa.get(VarId(1)), None);
+    let pairs = PartialAssignment::from_pairs(3, &[(VarId(0), Value(1)), (VarId(2), Value(0))]);
+    let set: Vec<_> = pairs.iter().collect();
+    assert_eq!(set, vec![(VarId(0), Value(1)), (VarId(2), Value(0))]);
+}
+
+#[test]
+fn describe_outcome_uses_names() {
+    let (net, _) = figure2_net();
+    let best = net.optimal_outcome();
+    let s = net.describe_outcome(&best);
+    assert!(s.contains("c1=c1_1"));
+    assert!(s.contains("c2=c2_2"));
+}
+
+#[test]
+fn lookup_by_name() {
+    let (net, [c1, ..]) = figure2_net();
+    assert_eq!(net.var_by_name("c1"), Some(c1));
+    assert_eq!(net.var_by_name("nope"), None);
+    assert_eq!(net.value_by_name(c1, "c1_2"), Some(Value(1)));
+    assert_eq!(net.value_by_name(c1, "zzz"), None);
+}
+
+#[test]
+fn table_row_assignment_roundtrip() {
+    let (net, [_, _, c3, ..]) = figure2_net();
+    let t = net.table(c3).unwrap();
+    assert_eq!(t.num_rows(), 4);
+    for row in 0..t.num_rows() {
+        let assignment = t.row_assignment(row);
+        assert_eq!(t.row_index(&assignment), row);
+        assert!(t.row_is_explicit(row));
+    }
+}

@@ -1,0 +1,53 @@
+//! # rcmo-core — preference-based multimedia presentation
+//!
+//! This crate implements the primary contribution of *Remote Conferencing
+//! with Multimedia Objects* (Gudes, Domshlak & Orlov, EDBT 2002 Workshops):
+//! a presentation module that decides **what** parts of a hierarchically
+//! structured multimedia document are shown and **how**, by combining
+//!
+//! * the **author's** qualitative preferences, captured off-line as a
+//!   [CP-network](cpnet::CpNet) (conditional preferences under a
+//!   *ceteris paribus* reading, Boutilier et al. 1999),
+//! * the **viewer's** explicit choices during a session, treated as evidence
+//!   that constrains the admissible presentations, and
+//! * **resource constraints** (bandwidth / client buffer), handled by the
+//!   preference-based [prefetch] planner.
+//!
+//! The crate is organised as follows:
+//!
+//! * [`cpnet`] — the generic CP-network model: variables, conditional
+//!   preference tables, validation, optimal-outcome and optimal-completion
+//!   queries, dominance testing through improving-flip search, preference-
+//!   ordered outcome enumeration, and viewer-local network extensions.
+//! * [`document`] — the multimedia document model of the paper's Section 5.1:
+//!   composite and primitive components, presentation forms, and the
+//!   invariants that tie a document to its CP-network.
+//! * [`presentation`] — the presentation engine: `defaultPresentation()`,
+//!   `reconfigPresentation(eventList)`, and the online update policies of
+//!   Section 4.2 (adding/removing components, operation-derived variables,
+//!   global vs. viewer-local updates).
+//! * [`prefetch`] — ranking of components by the likelihood that a viewer
+//!   will request them (Section 4.4), used by `rcmo-netsim` to fill client
+//!   buffers ahead of time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpnet;
+pub mod document;
+pub mod error;
+pub mod prefetch;
+pub mod presentation;
+
+pub use cpnet::{
+    CpNet, ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Ranking, Value,
+    VarId,
+};
+pub use document::{
+    ComponentId, ComponentKind, FormKind, MediaRef, MultimediaDocument, PresentationForm,
+};
+pub use error::CoreError;
+pub use prefetch::{PrefetchConfig, PrefetchPlan, PrefetchPlanner};
+pub use presentation::{
+    Presentation, PresentationDelta, PresentationEngine, ViewerChoice, ViewerSession,
+};

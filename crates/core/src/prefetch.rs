@@ -1,0 +1,297 @@
+//! Preference-based pre-fetching of document components (paper, Section 4.4;
+//! Domshlak & Shimony, *Predicting Likely Components in CP-net based
+//! Multimedia Systems*, TR CS-01-09).
+//!
+//! Bandwidth and client buffer limits prevent downloading a whole document
+//! ahead of time, so the system downloads "components most likely to be
+//! requested by the user, using the user's buffer as a cache". The CP-net is
+//! qualitative — it orders presentations but assigns no probabilities — so
+//! likelihood is *derived from the preference order*: the presentation
+//! engine enumerates outcomes from most to least preferred
+//! ([`crate::cpnet::CpNet::outcomes_by_preference`]), consistent with the
+//! viewer's current choices, and a geometric decay converts ranks into
+//! weights (the most preferred completions are the ones a rational author
+//! expects viewers to end up in). The weight of a `(component, form)` pair
+//! is the decayed mass of outcomes in which the component is shown in that
+//! form; a greedy value-per-byte rule then fills the client buffer.
+
+use crate::cpnet::PartialAssignment;
+use crate::document::{ComponentId, FormKind, MultimediaDocument};
+use crate::error::Result;
+
+/// Tuning knobs of the prefetch planner.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchConfig {
+    /// How many of the most preferred outcomes to aggregate over. Larger
+    /// values smooth the score landscape at enumeration cost.
+    pub top_k: usize,
+    /// Geometric decay applied per outcome rank (`weight(rank) = decay^rank`).
+    /// Must be in `(0, 1]`; `1.0` weighs the top-k outcomes uniformly.
+    pub decay: f64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            top_k: 32,
+            decay: 0.8,
+        }
+    }
+}
+
+/// The prefetch-worthiness of presenting one component in one form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormScore {
+    /// The component.
+    pub component: ComponentId,
+    /// The form index within that component.
+    pub form: usize,
+    /// Decayed preference mass (higher = more likely to be requested).
+    pub score: f64,
+    /// Bytes required to deliver this form.
+    pub cost_bytes: u64,
+}
+
+/// One planned transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchItem {
+    /// The component to prefetch.
+    pub component: ComponentId,
+    /// The form to prefetch.
+    pub form: usize,
+    /// The score that earned it a slot.
+    pub score: f64,
+    /// Its transfer cost.
+    pub cost_bytes: u64,
+}
+
+/// The set of transfers chosen to fill a client buffer.
+#[derive(Debug, Clone, Default)]
+pub struct PrefetchPlan {
+    /// Planned transfers, highest value-per-byte first.
+    pub items: Vec<PrefetchItem>,
+    /// Total bytes of the plan (never exceeds the buffer size given).
+    pub total_bytes: u64,
+}
+
+impl PrefetchPlan {
+    /// `true` if `(component, form)` is in the plan.
+    pub fn contains(&self, component: ComponentId, form: usize) -> bool {
+        self.items
+            .iter()
+            .any(|i| i.component == component && i.form == form)
+    }
+}
+
+/// Computes preference-derived request likelihoods and buffer plans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefetchPlanner {
+    cfg: PrefetchConfig,
+}
+
+impl PrefetchPlanner {
+    /// Creates a planner with the given configuration.
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        PrefetchPlanner { cfg }
+    }
+
+    /// Scores every `(component, form)` pair of `doc` under the viewer's
+    /// current `evidence`. Hidden forms score zero (nothing to transfer);
+    /// scores of the remaining forms are the decayed preference mass of the
+    /// top-k outcomes that present the component in that form *visibly*
+    /// (i.e. not inside a hidden composite).
+    pub fn scores(
+        &self,
+        doc: &MultimediaDocument,
+        evidence: &PartialAssignment,
+    ) -> Result<Vec<FormScore>> {
+        let ncomp = doc.num_components();
+        // score[c][f]
+        let mut score: Vec<Vec<f64>> = (0..ncomp)
+            .map(|i| vec![0.0; doc.forms(ComponentId(i as u32)).map(|f| f.len()).unwrap_or(0)])
+            .collect();
+        let mut weight = 1.0f64;
+        for (rank, outcome) in doc
+            .net()
+            .outcomes_by_preference(evidence)
+            .take(self.cfg.top_k)
+            .enumerate()
+        {
+            if rank > 0 {
+                weight *= self.cfg.decay;
+            }
+            // Visibility pass over the hierarchy for this outcome.
+            let mut visible = vec![false; ncomp];
+            for c in doc.iter_depth_first() {
+                let form = outcome[c.idx()].idx();
+                let own = doc.forms(c)?[form].kind != FormKind::Hidden;
+                let parent_ok = doc
+                    .parent(c)?
+                    .map(|p| visible[p.idx()])
+                    .unwrap_or(true);
+                visible[c.idx()] = own && parent_ok;
+                if visible[c.idx()] {
+                    score[c.idx()][form] += weight;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (i, per_form) in score.into_iter().enumerate() {
+            let c = ComponentId(i as u32);
+            let forms = doc.forms(c)?;
+            for (f, s) in per_form.into_iter().enumerate() {
+                if s > 0.0 && forms[f].kind != FormKind::Hidden {
+                    out.push(FormScore {
+                        component: c,
+                        form: f,
+                        score: s,
+                        cost_bytes: forms[f].cost_bytes,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(out)
+    }
+
+    /// Greedily fills a buffer of `buffer_bytes` with the highest
+    /// value-per-byte forms. Zero-cost forms are always included.
+    pub fn plan(
+        &self,
+        doc: &MultimediaDocument,
+        evidence: &PartialAssignment,
+        buffer_bytes: u64,
+    ) -> Result<PrefetchPlan> {
+        let mut scored = self.scores(doc, evidence)?;
+        scored.sort_by(|a, b| {
+            let ra = a.score / (a.cost_bytes.max(1) as f64);
+            let rb = b.score / (b.cost_bytes.max(1) as f64);
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut plan = PrefetchPlan::default();
+        for s in scored {
+            if s.cost_bytes == 0 || plan.total_bytes + s.cost_bytes <= buffer_bytes {
+                plan.total_bytes += s.cost_bytes;
+                plan.items.push(PrefetchItem {
+                    component: s.component,
+                    form: s.form,
+                    score: s.score,
+                    cost_bytes: s.cost_bytes,
+                });
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{MediaRef, PresentationForm};
+
+    fn doc_with_two_images() -> (MultimediaDocument, ComponentId, ComponentId) {
+        let mut doc = MultimediaDocument::new("record");
+        let ct = doc
+            .add_primitive(
+                doc.root(),
+                "CT",
+                MediaRef::None,
+                vec![
+                    PresentationForm::new("flat", FormKind::Flat, 100_000),
+                    PresentationForm::new("segmented", FormKind::Segmented, 150_000),
+                    PresentationForm::hidden(),
+                ],
+            )
+            .unwrap();
+        let xray = doc
+            .add_primitive(
+                doc.root(),
+                "X-ray",
+                MediaRef::None,
+                vec![
+                    PresentationForm::new("flat", FormKind::Flat, 80_000),
+                    PresentationForm::hidden(),
+                ],
+            )
+            .unwrap();
+        doc.validate().unwrap();
+        (doc, ct, xray)
+    }
+
+    #[test]
+    fn scores_prefer_the_optimal_presentation() {
+        let (doc, ct, _) = doc_with_two_images();
+        let planner = PrefetchPlanner::default();
+        let ev = PartialAssignment::empty(doc.net().len());
+        let scores = planner.scores(&doc, &ev).unwrap();
+        // The optimal outcome shows CT flat; that pair must score highest
+        // among CT's forms.
+        let flat = scores
+            .iter()
+            .find(|s| s.component == ct && s.form == 0)
+            .expect("flat CT scored");
+        let seg = scores.iter().find(|s| s.component == ct && s.form == 1);
+        if let Some(seg) = seg {
+            assert!(flat.score > seg.score);
+        }
+    }
+
+    #[test]
+    fn hidden_forms_never_scored() {
+        let (doc, _, _) = doc_with_two_images();
+        let planner = PrefetchPlanner::default();
+        let ev = PartialAssignment::empty(doc.net().len());
+        for s in planner.scores(&doc, &ev).unwrap() {
+            assert_ne!(
+                doc.forms(s.component).unwrap()[s.form].kind,
+                FormKind::Hidden
+            );
+        }
+    }
+
+    #[test]
+    fn plan_respects_buffer() {
+        let (doc, _, _) = doc_with_two_images();
+        let planner = PrefetchPlanner::default();
+        let ev = PartialAssignment::empty(doc.net().len());
+        let plan = planner.plan(&doc, &ev, 120_000).unwrap();
+        assert!(plan.total_bytes <= 120_000);
+        assert!(!plan.items.is_empty());
+        let unlimited = planner.plan(&doc, &ev, u64::MAX).unwrap();
+        assert!(unlimited.items.len() >= plan.items.len());
+    }
+
+    #[test]
+    fn evidence_shifts_scores() {
+        let (doc, ct, _) = doc_with_two_images();
+        let planner = PrefetchPlanner::default();
+        let mut ev = PartialAssignment::empty(doc.net().len());
+        ev.set(ct.var(), crate::cpnet::Value(1)); // viewer wants segmented
+        let scores = planner.scores(&doc, &ev).unwrap();
+        let seg = scores
+            .iter()
+            .find(|s| s.component == ct && s.form == 1)
+            .expect("segmented scored");
+        let flat = scores.iter().find(|s| s.component == ct && s.form == 0);
+        assert!(flat.is_none() || flat.unwrap().score < seg.score);
+    }
+
+    #[test]
+    fn zero_cost_forms_always_planned() {
+        let mut doc = MultimediaDocument::new("r");
+        let note = doc
+            .add_primitive(
+                doc.root(),
+                "note",
+                MediaRef::None,
+                vec![PresentationForm::new("flat", FormKind::Text, 0)],
+            )
+            .unwrap();
+        doc.validate().unwrap();
+        let planner = PrefetchPlanner::default();
+        let ev = PartialAssignment::empty(doc.net().len());
+        let plan = planner.plan(&doc, &ev, 0).unwrap();
+        assert!(plan.contains(note, 0));
+        assert_eq!(plan.total_bytes, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rcmo-imaging — raster images, phantoms, annotations, segmentation
+//!
+//! The substrate for the paper's image-processing module and the synthetic
+//! replacement for its medical image sources:
+//!
+//! * [`image`] — 8-bit grayscale raster images with resampling (zoom is the
+//!   first operation the paper's IP module lists).
+//! * [`phantom`] — Shepp-Logan-style CT phantoms and X-ray-like projections,
+//!   the stand-ins for the paper's clinical images (with ground truth).
+//! * [`annotate`] — vector overlays: text and line elements drawn *onto* an
+//!   image by conference partners, which can later be deleted ("deleting of
+//!   text elements and line elements") without damaging the pixels.
+//! * [`segment`] — Otsu thresholding, connected components, and the
+//!   "segmentation grid with possibility to fill different segments ...
+//!   with different colors or patterns".
+//! * [`metrics`] — MSE/PSNR used by the codec evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotate;
+pub mod image;
+pub mod metrics;
+pub mod phantom;
+pub mod segment;
+
+pub use annotate::{AnnotatedImage, ElementId, LineElement, TextElement};
+pub use image::{GrayImage, ImagingError};
+pub use metrics::{mse, psnr};
+pub use phantom::{ct_phantom, xray_projection};
+pub use segment::{segment_image, SegmentFill, Segmentation};

@@ -1,0 +1,72 @@
+//! Quality metrics used by the compression experiments.
+
+use crate::image::GrayImage;
+
+/// Mean squared error between two equally sized images.
+///
+/// # Panics
+/// Panics if the images have different dimensions (a programming error in
+/// an experiment harness, not a recoverable condition).
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let sum: f64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    sum / a.pixels().len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 255). Identical images give
+/// `f64::INFINITY`.
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images() {
+        let a = GrayImage::from_fn(8, 8, |x, y| (x * y) as u8).unwrap();
+        assert_eq!(mse(&a, &a), 0.0);
+        assert!(psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = GrayImage::from_fn(4, 1, |_, _| 10).unwrap();
+        let b = GrayImage::from_fn(4, 1, |_, _| 13).unwrap();
+        assert!((mse(&a, &b) - 9.0).abs() < 1e-12);
+        let p = psnr(&a, &b);
+        // 10 log10(255^2 / 9) ≈ 38.59 dB
+        assert!((p - 38.588).abs() < 0.01, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_orders_by_quality() {
+        let a = GrayImage::from_fn(16, 16, |x, _| (x * 16) as u8).unwrap();
+        let slightly = GrayImage::from_fn(16, 16, |x, _| ((x * 16) as u8).saturating_add(1)).unwrap();
+        let badly = GrayImage::from_fn(16, 16, |x, _| ((x * 16) as u8).saturating_add(30)).unwrap();
+        assert!(psnr(&a, &slightly) > psnr(&a, &badly));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = GrayImage::new(4, 4).unwrap();
+        let b = GrayImage::new(5, 4).unwrap();
+        let _ = mse(&a, &b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Synthetic medical images: CT phantoms and X-ray-like projections.
+//!
+//! The paper demonstrates on real CT/X-ray images we do not have; a
+//! Shepp-Logan-style ellipse phantom is the standard synthetic stand-in in
+//! the tomography literature. It exercises the same pipeline (smooth
+//! regions, sharp organ boundaries, small high-contrast lesions) and — being
+//! parametric — gives segmentation and compression experiments ground truth.
+
+use crate::image::{GrayImage, Result};
+
+/// One ellipse of a phantom: centre, semi-axes and rotation in normalised
+/// coordinates (`[-1, 1]`), plus an additive intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipse {
+    /// Centre x in `[-1, 1]`.
+    pub cx: f64,
+    /// Centre y in `[-1, 1]`.
+    pub cy: f64,
+    /// Semi-axis along x.
+    pub rx: f64,
+    /// Semi-axis along y.
+    pub ry: f64,
+    /// Rotation in radians.
+    pub theta: f64,
+    /// Additive intensity contribution (can be negative).
+    pub intensity: f64,
+}
+
+impl Ellipse {
+    /// `true` if the normalised point lies inside the ellipse.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        let (s, c) = self.theta.sin_cos();
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let xr = dx * c + dy * s;
+        let yr = -dx * s + dy * c;
+        (xr / self.rx).powi(2) + (yr / self.ry).powi(2) <= 1.0
+    }
+}
+
+/// The ellipse set of the standard head phantom (Shepp & Logan 1974,
+/// contrast-stretched variant so structures are visible in 8 bits).
+pub fn head_ellipses() -> Vec<Ellipse> {
+    vec![
+        Ellipse { cx: 0.0, cy: 0.0, rx: 0.69, ry: 0.92, theta: 0.0, intensity: 1.0 },
+        Ellipse { cx: 0.0, cy: -0.0184, rx: 0.6624, ry: 0.874, theta: 0.0, intensity: -0.8 },
+        Ellipse { cx: 0.22, cy: 0.0, rx: 0.11, ry: 0.31, theta: -0.3141, intensity: -0.2 },
+        Ellipse { cx: -0.22, cy: 0.0, rx: 0.16, ry: 0.41, theta: 0.3141, intensity: -0.2 },
+        Ellipse { cx: 0.0, cy: 0.35, rx: 0.21, ry: 0.25, theta: 0.0, intensity: 0.1 },
+        Ellipse { cx: 0.0, cy: 0.1, rx: 0.046, ry: 0.046, theta: 0.0, intensity: 0.1 },
+        Ellipse { cx: 0.0, cy: -0.1, rx: 0.046, ry: 0.046, theta: 0.0, intensity: 0.1 },
+        Ellipse { cx: -0.08, cy: -0.605, rx: 0.046, ry: 0.023, theta: 0.0, intensity: 0.1 },
+        Ellipse { cx: 0.0, cy: -0.605, rx: 0.023, ry: 0.023, theta: 0.0, intensity: 0.1 },
+        Ellipse { cx: 0.06, cy: -0.605, rx: 0.023, ry: 0.046, theta: 0.0, intensity: 0.1 },
+    ]
+}
+
+/// Renders a CT phantom of the given size. `lesions` extra small bright
+/// ellipses are scattered deterministically from `seed` (the "interesting
+/// findings" segmentation should isolate).
+pub fn ct_phantom(size: usize, lesions: usize, seed: u64) -> Result<GrayImage> {
+    let mut ellipses = head_ellipses();
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..lesions {
+        let cx = (next() - 0.5) * 0.8;
+        let cy = (next() - 0.5) * 0.8;
+        let r = 0.02 + next() * 0.05;
+        ellipses.push(Ellipse {
+            cx,
+            cy,
+            rx: r,
+            ry: r * (0.7 + next() * 0.6),
+            theta: next() * std::f64::consts::PI,
+            intensity: 0.55 + next() * 0.35,
+        });
+    }
+    GrayImage::from_fn(size, size, |px, py| {
+        let x = 2.0 * px as f64 / (size - 1) as f64 - 1.0;
+        let y = 2.0 * py as f64 / (size - 1) as f64 - 1.0;
+        let mut v = 0.0;
+        for e in &ellipses {
+            if e.contains(x, y) {
+                v += e.intensity;
+            }
+        }
+        (v.clamp(0.0, 1.3) / 1.3 * 255.0).round() as u8
+    })
+}
+
+/// A 1-D "X-ray" of the phantom: parallel-beam projection along the image
+/// columns, rendered back into an image strip for display. This mimics the
+/// correlated X-ray image a medical record stores next to the CT slice.
+pub fn xray_projection(ct: &GrayImage, strip_height: usize) -> Result<GrayImage> {
+    let w = ct.width();
+    let mut sums = vec![0u64; w];
+    for y in 0..ct.height() {
+        for (x, sum) in sums.iter_mut().enumerate() {
+            *sum += ct.get(x, y) as u64;
+        }
+    }
+    let max = *sums.iter().max().unwrap_or(&1).max(&1);
+    GrayImage::from_fn(w, strip_height.max(1), |x, _| {
+        (sums[x] * 255 / max) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phantom_has_head_structure() {
+        let img = ct_phantom(128, 0, 0).unwrap();
+        // Corners (outside the skull) are black; centre is mid-gray.
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(127, 127), 0);
+        let centre = img.get(64, 64);
+        assert!(centre > 10 && centre < 200, "centre = {centre}");
+        // The skull rim is brighter than the brain interior.
+        let rim = img.get(64, 6);
+        assert!(rim > centre, "rim {rim} vs centre {centre}");
+    }
+
+    #[test]
+    fn phantom_is_deterministic_per_seed() {
+        let a = ct_phantom(64, 3, 7).unwrap();
+        let b = ct_phantom(64, 3, 7).unwrap();
+        let c = ct_phantom(64, 3, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lesions_add_bright_pixels() {
+        let clean = ct_phantom(128, 0, 1).unwrap();
+        let sick = ct_phantom(128, 5, 1).unwrap();
+        assert!(sick.mean() > clean.mean(), "lesions raise mean intensity");
+        let bright = |im: &GrayImage| im.pixels().iter().filter(|&&p| p > 150).count();
+        assert!(bright(&sick) > bright(&clean));
+    }
+
+    #[test]
+    fn ellipse_containment() {
+        let e = Ellipse { cx: 0.0, cy: 0.0, rx: 0.5, ry: 0.25, theta: 0.0, intensity: 1.0 };
+        assert!(e.contains(0.0, 0.0));
+        assert!(e.contains(0.49, 0.0));
+        assert!(!e.contains(0.0, 0.3));
+        // Rotated by 90°, the axes swap.
+        let r = Ellipse { theta: std::f64::consts::FRAC_PI_2, ..e };
+        assert!(r.contains(0.0, 0.45));
+        assert!(!r.contains(0.45, 0.0));
+    }
+
+    #[test]
+    fn xray_projection_profile() {
+        let ct = ct_phantom(96, 0, 0).unwrap();
+        let xr = xray_projection(&ct, 16).unwrap();
+        assert_eq!(xr.width(), 96);
+        assert_eq!(xr.height(), 16);
+        // Edges (outside the head) project to ~0, the middle to the max.
+        assert!(xr.get(0, 0) < 10);
+        let mid = xr.get(48, 0);
+        assert!(mid > 100, "mid projection {mid}");
+        // All rows identical (it is a strip).
+        for x in 0..96 {
+            assert_eq!(xr.get(x, 0), xr.get(x, 15));
+        }
+    }
+}

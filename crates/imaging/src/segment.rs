@@ -1,0 +1,308 @@
+//! Image segmentation: Otsu thresholding, connected components, and the
+//! paper's "segmentation grid with possibility to fill different segments of
+//! the segmentation with different colors or patterns".
+
+use crate::image::{GrayImage, ImagingError, Result};
+
+/// How a segment is filled when the segmentation is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentFill {
+    /// Keep the original pixels.
+    Original,
+    /// Flat fill with an intensity.
+    Solid(u8),
+    /// Checkerboard of two intensities with the given cell size.
+    Checker(u8, u8, u8),
+    /// Diagonal stripes of two intensities with the given period.
+    Stripes(u8, u8, u8),
+}
+
+/// A labelling of every pixel into segments `0..num_segments` (label 0 is
+/// background) plus per-segment fill styles.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    width: usize,
+    height: usize,
+    labels: Vec<u32>,
+    num_segments: usize,
+    fills: Vec<SegmentFill>,
+}
+
+impl Segmentation {
+    /// The number of segments, including background segment 0.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// The label of pixel `(x, y)`.
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        self.labels[y * self.width + x]
+    }
+
+    /// Pixel count of a segment.
+    pub fn segment_size(&self, label: u32) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Sets the fill style of one segment.
+    pub fn set_fill(&mut self, label: u32, fill: SegmentFill) -> Result<()> {
+        let idx = label as usize;
+        if idx >= self.num_segments {
+            return Err(ImagingError::OutOfBounds(format!(
+                "segment {label} of {}",
+                self.num_segments
+            )));
+        }
+        self.fills[idx] = fill;
+        Ok(())
+    }
+
+    /// Renders the segmentation over the source image, applying fills and
+    /// drawing a 1-pixel boundary grid between different labels (the
+    /// paper's "segmentation grid").
+    pub fn render(&self, source: &GrayImage, grid_intensity: u8) -> Result<GrayImage> {
+        if source.width() != self.width || source.height() != self.height {
+            return Err(ImagingError::BadDimensions(format!(
+                "segmentation {}x{} vs image {}x{}",
+                self.width,
+                self.height,
+                source.width(),
+                source.height()
+            )));
+        }
+        let mut out = GrayImage::new(self.width, self.height)?;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let label = self.label(x, y) as usize;
+                let v = match self.fills[label] {
+                    SegmentFill::Original => source.get(x, y),
+                    SegmentFill::Solid(v) => v,
+                    SegmentFill::Checker(a, b, cell) => {
+                        let cell = cell.max(1) as usize;
+                        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                    SegmentFill::Stripes(a, b, period) => {
+                        let period = period.max(1) as usize;
+                        if ((x + y) / period).is_multiple_of(2) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                };
+                out.set(x, y, v);
+            }
+        }
+        // Boundary grid: a pixel whose right or lower neighbour has a
+        // different label is a boundary pixel.
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let l = self.label(x, y);
+                let boundary = (x + 1 < self.width && self.label(x + 1, y) != l)
+                    || (y + 1 < self.height && self.label(x, y + 1) != l);
+                if boundary {
+                    out.set(x, y, grid_intensity);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Otsu's threshold: maximises between-class variance over the histogram.
+#[allow(clippy::needless_range_loop)] // t is both index and threshold value
+pub fn otsu_threshold(img: &GrayImage) -> u8 {
+    let hist = img.histogram();
+    let total: u64 = hist.iter().sum();
+    let sum_all: f64 = hist.iter().enumerate().map(|(i, &c)| i as f64 * c as f64).sum();
+    let mut sum_b = 0.0f64;
+    let mut w_b = 0u64;
+    let mut best = 0u8;
+    let mut best_var = -1.0f64;
+    for t in 0..256usize {
+        w_b += hist[t];
+        if w_b == 0 {
+            continue;
+        }
+        let w_f = total - w_b;
+        if w_f == 0 {
+            break;
+        }
+        sum_b += t as f64 * hist[t] as f64;
+        let m_b = sum_b / w_b as f64;
+        let m_f = (sum_all - sum_b) / w_f as f64;
+        let var = w_b as f64 * w_f as f64 * (m_b - m_f) * (m_b - m_f);
+        if var > best_var {
+            best_var = var;
+            best = t as u8;
+        }
+    }
+    best
+}
+
+/// Segments an image: Otsu threshold, then 4-connected components of the
+/// foreground, labelled `1..`; background keeps label 0. Components smaller
+/// than `min_size` pixels are merged into the background.
+pub fn segment_image(img: &GrayImage, min_size: usize) -> Segmentation {
+    let threshold = otsu_threshold(img);
+    let w = img.width();
+    let h = img.height();
+    let mut labels = vec![0u32; w * h];
+    let mut next = 1u32;
+    for start in 0..w * h {
+        if labels[start] != 0 || img.pixels()[start] <= threshold {
+            continue;
+        }
+        // BFS flood fill.
+        let mut member = Vec::new();
+        let mut queue = vec![start];
+        labels[start] = next;
+        while let Some(p) = queue.pop() {
+            member.push(p);
+            let (x, y) = (p % w, p / w);
+            let mut push = |q: usize| {
+                if labels[q] == 0 && img.pixels()[q] > threshold {
+                    labels[q] = next;
+                    queue.push(q);
+                }
+            };
+            if x > 0 {
+                push(p - 1);
+            }
+            if x + 1 < w {
+                push(p + 1);
+            }
+            if y > 0 {
+                push(p - w);
+            }
+            if y + 1 < h {
+                push(p + w);
+            }
+        }
+        if member.len() < min_size {
+            for p in member {
+                labels[p] = 0;
+            }
+        } else {
+            next += 1;
+        }
+    }
+    let num_segments = next as usize;
+    Segmentation {
+        width: w,
+        height: h,
+        labels,
+        num_segments,
+        fills: vec![SegmentFill::Original; num_segments],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::ct_phantom;
+
+    fn two_blobs() -> GrayImage {
+        GrayImage::from_fn(32, 32, |x, y| {
+            let in_a = (4..10).contains(&x) && (4..10).contains(&y);
+            let in_b = (20..30).contains(&x) && (20..30).contains(&y);
+            if in_a || in_b {
+                220
+            } else {
+                10
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn otsu_separates_bimodal() {
+        let img = two_blobs();
+        let t = otsu_threshold(&img);
+        assert!((10..220).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn two_components_found() {
+        let seg = segment_image(&two_blobs(), 4);
+        assert_eq!(seg.num_segments(), 3, "background + 2 blobs");
+        assert_ne!(seg.label(5, 5), 0);
+        assert_ne!(seg.label(25, 25), 0);
+        assert_ne!(seg.label(5, 5), seg.label(25, 25));
+        assert_eq!(seg.label(0, 0), 0);
+        assert_eq!(seg.segment_size(seg.label(5, 5)), 36);
+    }
+
+    #[test]
+    fn min_size_filters_specks() {
+        let mut img = two_blobs();
+        img.set(0, 31, 255); // a single bright pixel
+        let seg = segment_image(&img, 4);
+        assert_eq!(seg.num_segments(), 3, "speck merged into background");
+        assert_eq!(seg.label(0, 31), 0);
+    }
+
+    #[test]
+    fn fills_and_grid_render() {
+        let img = two_blobs();
+        let mut seg = segment_image(&img, 4);
+        let a = seg.label(5, 5);
+        let b = seg.label(25, 25);
+        seg.set_fill(a, SegmentFill::Solid(140)).unwrap();
+        seg.set_fill(b, SegmentFill::Checker(0, 255, 2)).unwrap();
+        let r = seg.render(&img, 77).unwrap();
+        // Interior of A: solid fill.
+        assert_eq!(r.get(6, 6), 140);
+        // Interior of B: checkerboard values only.
+        let v = r.get(24, 24);
+        assert!(v == 0 || v == 255 || v == 77);
+        // Background keeps original pixels.
+        assert_eq!(r.get(15, 15), 10);
+        // Boundary pixels take the grid intensity somewhere around A.
+        assert_eq!(r.get(9, 6), 77);
+        assert!(seg.set_fill(99, SegmentFill::Original).is_err());
+    }
+
+    #[test]
+    fn render_rejects_dimension_mismatch() {
+        let seg = segment_image(&two_blobs(), 4);
+        let other = GrayImage::new(8, 8).unwrap();
+        assert!(seg.render(&other, 255).is_err());
+    }
+
+    #[test]
+    fn phantom_segments_contain_lesions() {
+        let img = ct_phantom(128, 4, 3).unwrap();
+        let seg = segment_image(&img, 6);
+        assert!(
+            seg.num_segments() >= 2,
+            "found {} segments",
+            seg.num_segments()
+        );
+        // Foreground coverage is a small fraction of the head.
+        let fg: usize = (1..seg.num_segments() as u32)
+            .map(|l| seg.segment_size(l))
+            .sum();
+        assert!(fg > 0 && fg < 128 * 128 / 2);
+    }
+
+    #[test]
+    fn stripes_fill_renders_two_intensities() {
+        let img = two_blobs();
+        let mut seg = segment_image(&img, 4);
+        let a = seg.label(5, 5);
+        seg.set_fill(a, SegmentFill::Stripes(10, 240, 2)).unwrap();
+        let r = seg.render(&img, 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for y in 5..9 {
+            for x in 5..9 {
+                seen.insert(r.get(x, y));
+            }
+        }
+        assert!(seen.contains(&10) && seen.contains(&240));
+    }
+}

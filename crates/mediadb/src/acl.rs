@@ -1,0 +1,149 @@
+//! Minimal access control: per-user levels checked on every operation.
+//!
+//! The paper grants clients operations "providing that the client has the
+//! appropriate permissions"; this module implements the smallest useful
+//! model — three ordered levels stored in a `USERS_TABLE`:
+//!
+//! * `Read` — fetch objects and documents,
+//! * `Write` — additionally store/update/delete objects,
+//! * `Admin` — additionally manage users and register media types.
+//!
+//! A fresh database is bootstrapped with the user `admin` at `Admin` level.
+
+use crate::error::{MediaError, Result};
+use rcmo_storage::{Column, ColumnType, Database, RowValue, Schema};
+
+/// Name of the users table.
+pub const USERS_TABLE: &str = "USERS_TABLE";
+
+/// Ordered access levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessLevel {
+    /// May fetch objects and documents.
+    Read,
+    /// May also create, update, and delete objects.
+    Write,
+    /// May also manage users and register media types.
+    Admin,
+}
+
+impl AccessLevel {
+    fn tag(self) -> i64 {
+        match self {
+            AccessLevel::Read => 0,
+            AccessLevel::Write => 1,
+            AccessLevel::Admin => 2,
+        }
+    }
+
+    fn from_tag(tag: i64) -> Option<AccessLevel> {
+        Some(match tag {
+            0 => AccessLevel::Read,
+            1 => AccessLevel::Write,
+            2 => AccessLevel::Admin,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessLevel::Read => "read",
+            AccessLevel::Write => "write",
+            AccessLevel::Admin => "admin",
+        }
+    }
+}
+
+fn users_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("ID", ColumnType::U64),
+        Column::new("NAME", ColumnType::Text),
+        Column::new("LEVEL", ColumnType::I64),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Creates the users table with the bootstrap admin. Idempotent.
+pub fn install(db: &Database) -> Result<()> {
+    let mut tx = db.begin()?;
+    if tx.table_names().iter().any(|t| t == USERS_TABLE) {
+        return Ok(());
+    }
+    tx.create_table(USERS_TABLE, users_schema())?;
+    tx.insert(
+        USERS_TABLE,
+        vec![
+            RowValue::Null,
+            RowValue::Text("admin".to_string()),
+            RowValue::I64(AccessLevel::Admin.tag()),
+        ],
+    )?;
+    tx.commit()?;
+    Ok(())
+}
+
+/// Adds or updates a user's level.
+pub fn put_user(db: &Database, user: &str, level: AccessLevel) -> Result<()> {
+    let mut tx = db.begin()?;
+    let existing = tx
+        .scan(USERS_TABLE)?
+        .into_iter()
+        .find(|r| matches!(&r[1], RowValue::Text(n) if n == user));
+    match existing {
+        Some(row) => {
+            let id = row[0].as_u64()?;
+            tx.update(
+                USERS_TABLE,
+                id,
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(user.to_string()),
+                    RowValue::I64(level.tag()),
+                ],
+            )?;
+        }
+        None => {
+            tx.insert(
+                USERS_TABLE,
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(user.to_string()),
+                    RowValue::I64(level.tag()),
+                ],
+            )?;
+        }
+    }
+    tx.commit()?;
+    Ok(())
+}
+
+/// Looks a user's level up.
+pub fn user_level(db: &Database, user: &str) -> Result<Option<AccessLevel>> {
+    let mut tx = db.begin()?;
+    for row in tx.scan(USERS_TABLE)? {
+        if matches!(&row[1], RowValue::Text(n) if n == user) {
+            let tag = match row[2] {
+                RowValue::I64(t) => t,
+                ref other => {
+                    return Err(MediaError::Malformed(format!(
+                        "user level column holds {other:?}"
+                    )))
+                }
+            };
+            return Ok(AccessLevel::from_tag(tag));
+        }
+    }
+    Ok(None)
+}
+
+/// Fails unless `user` holds at least `required`.
+pub fn require(db: &Database, user: &str, required: AccessLevel) -> Result<()> {
+    match user_level(db, user)? {
+        Some(level) if level >= required => Ok(()),
+        _ => Err(MediaError::Denied {
+            user: user.to_string(),
+            required: required.name(),
+        }),
+    }
+}

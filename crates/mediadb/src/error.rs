@@ -1,0 +1,61 @@
+//! Error type of the multimedia database layer.
+
+use rcmo_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the multimedia database layer.
+#[derive(Debug)]
+pub enum MediaError {
+    /// An error bubbled up from the storage engine.
+    Storage(StorageError),
+    /// The user lacks the required access level.
+    Denied {
+        /// The acting user.
+        user: String,
+        /// What the operation required.
+        required: &'static str,
+    },
+    /// An object id did not resolve.
+    NotFound {
+        /// The object table searched.
+        table: &'static str,
+        /// The missing id.
+        id: u64,
+    },
+    /// A media type name did not resolve / already exists.
+    Type(String),
+    /// A stored row had an unexpected shape (corruption or version skew).
+    Malformed(String),
+}
+
+impl fmt::Display for MediaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaError::Storage(e) => write!(f, "storage: {e}"),
+            MediaError::Denied { user, required } => {
+                write!(f, "user '{user}' lacks {required} access")
+            }
+            MediaError::NotFound { table, id } => write!(f, "no object {id} in {table}"),
+            MediaError::Type(m) => write!(f, "media type: {m}"),
+            MediaError::Malformed(m) => write!(f, "malformed row: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MediaError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for MediaError {
+    fn from(e: StorageError) -> Self {
+        MediaError::Storage(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MediaError>;

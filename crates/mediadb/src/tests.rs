@@ -1,0 +1,234 @@
+use super::*;
+use rcmo_storage::{Column, ColumnType, RowValue};
+
+fn fresh() -> MediaDb {
+    MediaDb::in_memory().unwrap()
+}
+
+fn sample_image(n: usize) -> ImageObject {
+    ImageObject {
+        name: "ct-scan".to_string(),
+        quality: 3,
+        texts: "lesion marker".to_string(),
+        cm: vec![9, 9, 9],
+        data: (0..n).map(|i| (i % 253) as u8).collect(),
+    }
+}
+
+#[test]
+fn schema_installed_with_builtin_types() {
+    let db = fresh();
+    let types = db.media_types().unwrap();
+    let names: Vec<&str> = types.iter().map(|t| t.name.as_str()).collect();
+    assert!(names.contains(&"Image"));
+    assert!(names.contains(&"Audio"));
+    assert!(names.contains(&"Compound"));
+    assert!(names.contains(&"Document"));
+    let img = types.iter().find(|t| t.name == "Image").unwrap();
+    assert_eq!(img.object_table, "IMAGE_OBJECTS_TABLE");
+}
+
+#[test]
+fn install_is_idempotent() {
+    let db = fresh();
+    // Re-running install on the shared database must not duplicate rows.
+    schema::install(db.database()).unwrap();
+    assert_eq!(db.media_types().unwrap().len(), 4);
+}
+
+#[test]
+fn image_crud_roundtrip() {
+    let db = fresh();
+    let img = sample_image(70_000);
+    let id = db.insert_image("admin", &img).unwrap();
+    let back = db.get_image("admin", id).unwrap();
+    assert_eq!(back, img);
+    let prefix = db.get_image_prefix("admin", id, 1_000).unwrap();
+    assert_eq!(prefix, &img.data[..1_000]);
+    db.delete_image("admin", id).unwrap();
+    assert!(matches!(
+        db.get_image("admin", id),
+        Err(MediaError::NotFound { .. })
+    ));
+}
+
+#[test]
+fn audio_crud_roundtrip() {
+    let db = fresh();
+    let audio = AudioObject {
+        filename: "consult.pcm".to_string(),
+        sectors: vec![1, 2, 3, 4],
+        data: (0..30_000).map(|i| (i % 200) as u8).collect(),
+    };
+    let id = db.insert_audio("admin", &audio).unwrap();
+    assert_eq!(db.get_audio("admin", id).unwrap(), audio);
+    db.delete_audio("admin", id).unwrap();
+    assert!(db.get_audio("admin", id).is_err());
+}
+
+#[test]
+fn audio_sector_update() {
+    let db = fresh();
+    let audio = AudioObject {
+        filename: "a.pcm".to_string(),
+        sectors: vec![],
+        data: vec![1, 2, 3, 4],
+    };
+    let id = db.insert_audio("admin", &audio).unwrap();
+    db.update_audio_sectors("admin", id, &[9, 9, 9]).unwrap();
+    let back = db.get_audio("admin", id).unwrap();
+    assert_eq!(back.sectors, vec![9, 9, 9]);
+    assert_eq!(back.data, vec![1, 2, 3, 4], "payload untouched");
+    assert!(db.update_audio_sectors("admin", 999, &[]).is_err());
+}
+
+#[test]
+fn compound_roundtrip() {
+    let db = fresh();
+    let cmp = CompoundObject {
+        filename: "report.bin".to_string(),
+        filesize: 12_345,
+        current_position: 77,
+        header: vec![0xCA, 0xFE],
+        data: vec![0u8; 12_345],
+    };
+    let id = db.insert_compound("admin", &cmp).unwrap();
+    assert_eq!(db.get_compound("admin", id).unwrap(), cmp);
+}
+
+#[test]
+fn document_store_update_list() {
+    let db = fresh();
+    let doc = DocumentObject {
+        title: "Patient 1".to_string(),
+        data: vec![1, 2, 3],
+    };
+    let id = db.insert_document("admin", &doc).unwrap();
+    assert_eq!(db.get_document("admin", id).unwrap(), doc);
+    let doc2 = DocumentObject {
+        title: "Patient 1 (rev)".to_string(),
+        data: vec![4; 10_000],
+    };
+    db.update_document("admin", id, &doc2).unwrap();
+    assert_eq!(db.get_document("admin", id).unwrap(), doc2);
+    let list = db.list_documents("admin").unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].label, "Patient 1 (rev)");
+    assert_eq!(list[0].bytes, 10_000);
+}
+
+#[test]
+fn list_objects_by_type() {
+    let db = fresh();
+    db.insert_image("admin", &sample_image(500)).unwrap();
+    db.insert_image("admin", &sample_image(700)).unwrap();
+    let list = db.list_objects("admin", "Image").unwrap();
+    assert_eq!(list.len(), 2);
+    assert!(list.iter().all(|o| o.label == "ct-scan"));
+    assert_eq!(list[0].bytes, 500);
+    assert!(db.list_objects("admin", "Nope").is_err());
+}
+
+#[test]
+fn permissions_enforced() {
+    let db = fresh();
+    // Unknown user: denied even for reads.
+    assert!(matches!(
+        db.get_image("nobody", 1),
+        Err(MediaError::Denied { .. })
+    ));
+    db.put_user("admin", "viewer", AccessLevel::Read).unwrap();
+    db.put_user("admin", "editor", AccessLevel::Write).unwrap();
+    // Viewer can read but not write.
+    assert!(matches!(
+        db.insert_image("viewer", &sample_image(10)),
+        Err(MediaError::Denied { .. })
+    ));
+    let id = db.insert_image("editor", &sample_image(10)).unwrap();
+    assert!(db.get_image("viewer", id).is_ok());
+    // Only admin manages users.
+    assert!(matches!(
+        db.put_user("editor", "x", AccessLevel::Read),
+        Err(MediaError::Denied { .. })
+    ));
+    // Levels can be upgraded.
+    db.put_user("admin", "viewer", AccessLevel::Write).unwrap();
+    assert!(db.insert_image("viewer", &sample_image(10)).is_ok());
+    assert_eq!(db.user_level("viewer").unwrap(), Some(AccessLevel::Write));
+    assert_eq!(db.user_level("ghost").unwrap(), None);
+}
+
+#[test]
+fn register_new_media_type() {
+    let db = fresh();
+    let ty = MediaType {
+        name: "Video".to_string(),
+        mime: "video/mjpeg".to_string(),
+        access_type: "stream".to_string(),
+        object_table: "VIDEO_OBJECTS_TABLE".to_string(),
+        description: "ultrasound clips".to_string(),
+    };
+    db.register_type(
+        "admin",
+        &ty,
+        vec![
+            Column::new("ID", ColumnType::U64),
+            Column::new("FLD_NAME", ColumnType::Text),
+            Column::new("FLD_FPS", ColumnType::I64),
+            Column::new("FLD_DATA", ColumnType::Blob),
+        ],
+    )
+    .unwrap();
+    assert_eq!(db.media_types().unwrap().len(), 5);
+    // The new object table is usable through the raw database handle.
+    let mut tx = db.database().begin().unwrap();
+    let blob = tx.put_blob(&[1, 2, 3]).unwrap();
+    let id = tx
+        .insert(
+            "VIDEO_OBJECTS_TABLE",
+            vec![
+                RowValue::Null,
+                RowValue::Text("us-clip".to_string()),
+                RowValue::I64(25),
+                RowValue::Blob(blob),
+            ],
+        )
+        .unwrap();
+    tx.commit().unwrap();
+    let list = db.list_objects("admin", "Video").unwrap();
+    assert_eq!(list.len(), 1);
+    assert_eq!(list[0].id, id);
+    assert_eq!(list[0].bytes, 3);
+    // Duplicate registration rejected.
+    assert!(db
+        .register_type("admin", &ty, vec![Column::new("ID", ColumnType::U64)])
+        .is_err());
+    // Non-admin rejected.
+    assert!(matches!(
+        db.register_type("nobody", &ty, vec![Column::new("ID", ColumnType::U64)]),
+        Err(MediaError::Denied { .. })
+    ));
+}
+
+#[test]
+fn persistence_of_media_objects() {
+    let dir = std::env::temp_dir().join(format!("rcmo-mdb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("media.db");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(rcmo_storage::db::wal_path_for(&path));
+    let img = sample_image(40_000);
+    let id;
+    {
+        let db = MediaDb::open(&path).unwrap();
+        id = db.insert_image("admin", &img).unwrap();
+    }
+    {
+        let db = MediaDb::open(&path).unwrap();
+        assert_eq!(db.get_image("admin", id).unwrap(), img);
+        // Built-in types are not re-inserted on reopen.
+        assert_eq!(db.media_types().unwrap().len(), 4);
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(rcmo_storage::db::wal_path_for(&path));
+}

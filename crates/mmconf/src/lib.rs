@@ -1,0 +1,55 @@
+//! # rcmo — remote conferencing with multimedia objects
+//!
+//! The umbrella crate of this workspace: a faithful, fully tested Rust
+//! reproduction of *Remote Conferencing with Multimedia Objects* (Gudes,
+//! Domshlak & Orlov, EDBT 2002 Workshops) — a client/server system for
+//! cooperative browsing of multimedia documents whose presentation is
+//! driven by CP-network preferences.
+//!
+//! ```
+//! use rcmo::core::{MultimediaDocument, PresentationEngine, MediaRef, PresentationForm, FormKind};
+//!
+//! // Author a tiny medical record with a preference network.
+//! let mut doc = MultimediaDocument::new("Patient 001");
+//! let ct = doc
+//!     .add_primitive(
+//!         doc.root(),
+//!         "CT image",
+//!         MediaRef::None,
+//!         vec![
+//!             PresentationForm::new("flat", FormKind::Flat, 500_000),
+//!             PresentationForm::hidden(),
+//!         ],
+//!     )
+//!     .unwrap();
+//! doc.validate().unwrap();
+//!
+//! let engine = PresentationEngine::new();
+//! let p = engine.default_presentation(&doc);
+//! assert!(p.is_visible(ct));
+//! ```
+//!
+//! The subsystem crates are re-exported under short names:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `rcmo-core` | CP-nets, documents, presentation, prefetch |
+//! | [`storage`] | `rcmo-storage` | page/WAL/B+tree/BLOB storage engine |
+//! | [`mediadb`] | `rcmo-mediadb` | the Figure-7 object-relational schema |
+//! | [`imaging`] | `rcmo-imaging` | images, phantoms, annotations, segmentation |
+//! | [`codec`] | `rcmo-codec` | multi-layered progressive image codec |
+//! | [`audio`] | `rcmo-audio` | CD-HMM voice processing |
+//! | [`server`] | `rcmo-server` | rooms, deltas, the interaction server |
+//! | [`netsim`] | `rcmo-netsim` | bandwidth/buffer simulation, prefetching |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rcmo_audio as audio;
+pub use rcmo_codec as codec;
+pub use rcmo_core as core;
+pub use rcmo_imaging as imaging;
+pub use rcmo_mediadb as mediadb;
+pub use rcmo_netsim as netsim;
+pub use rcmo_server as server;
+pub use rcmo_storage as storage;

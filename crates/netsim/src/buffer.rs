@@ -1,0 +1,190 @@
+//! The client buffer: an LRU cache of `(component, form)` renditions.
+
+use rcmo_core::ComponentId;
+use std::collections::HashMap;
+
+/// A cache key: one rendition of one component.
+pub type Rendition = (ComponentId, usize);
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups that found the rendition resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Renditions evicted to make room.
+    pub evictions: u64,
+}
+
+/// A byte-budgeted LRU buffer ("using the user's buffer as a cache").
+#[derive(Debug, Clone)]
+pub struct ClientBuffer {
+    capacity: u64,
+    used: u64,
+    resident: HashMap<Rendition, (u64, u64)>, // size, last-touch tick
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl ClientBuffer {
+    /// A buffer of `capacity` bytes.
+    pub fn new(capacity: u64) -> ClientBuffer {
+        ClientBuffer {
+            capacity,
+            used: 0,
+            resident: HashMap::new(),
+            tick: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Free bytes.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Looks a rendition up, recording a hit or miss and refreshing LRU
+    /// order on hit.
+    pub fn lookup(&mut self, r: Rendition) -> bool {
+        self.tick += 1;
+        match self.resident.get_mut(&r) {
+            Some(entry) => {
+                entry.1 = self.tick;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Checks residency without touching statistics or LRU order (used by
+    /// prefetch planners).
+    pub fn contains(&self, r: Rendition) -> bool {
+        self.resident.contains_key(&r)
+    }
+
+    /// Inserts a rendition, evicting least-recently-used entries as needed.
+    /// Renditions larger than the whole buffer are not cached (returns
+    /// `false`). Zero-sized renditions are always resident conceptually and
+    /// stored with size 0.
+    pub fn insert(&mut self, r: Rendition, size: u64) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        if let Some(old) = self.resident.remove(&r) {
+            self.used -= old.0;
+        }
+        while self.used + size > self.capacity {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(&k, _)| k)
+                .expect("used > 0 implies a resident entry");
+            let (vsize, _) = self.resident.remove(&victim).expect("victim resident");
+            self.used -= vsize;
+            self.stats.evictions += 1;
+        }
+        self.tick += 1;
+        self.resident.insert(r, (size, self.tick));
+        self.used += size;
+        true
+    }
+
+    /// Number of resident renditions.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// `true` if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Clears the buffer (keeps statistics).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(c: u32, f: usize) -> Rendition {
+        (ComponentId(c), f)
+    }
+
+    #[test]
+    fn insert_lookup_hit_miss() {
+        let mut buf = ClientBuffer::new(1000);
+        assert!(!buf.lookup(r(1, 0)));
+        assert!(buf.insert(r(1, 0), 400));
+        assert!(buf.lookup(r(1, 0)));
+        let s = buf.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(buf.used(), 400);
+        assert_eq!(buf.free(), 600);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut buf = ClientBuffer::new(1000);
+        buf.insert(r(1, 0), 400);
+        buf.insert(r(2, 0), 400);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(buf.lookup(r(1, 0)));
+        buf.insert(r(3, 0), 400);
+        assert!(buf.contains(r(1, 0)));
+        assert!(!buf.contains(r(2, 0)));
+        assert!(buf.contains(r(3, 0)));
+        assert_eq!(buf.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_rendition_rejected() {
+        let mut buf = ClientBuffer::new(100);
+        assert!(!buf.insert(r(1, 0), 101));
+        assert!(buf.insert(r(1, 0), 100));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_size() {
+        let mut buf = ClientBuffer::new(1000);
+        buf.insert(r(1, 0), 800);
+        buf.insert(r(1, 0), 100);
+        assert_eq!(buf.used(), 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn zero_size_and_clear() {
+        let mut buf = ClientBuffer::new(10);
+        assert!(buf.insert(r(1, 0), 0));
+        assert!(buf.contains(r(1, 0)));
+        assert_eq!(buf.used(), 0);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

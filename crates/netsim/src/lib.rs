@@ -1,0 +1,30 @@
+//! # rcmo-netsim — virtual-time network and client-buffer simulation
+//!
+//! The paper's Section 4.4 names the two resources that throttle dynamic
+//! multimedia presentation — "(i) communication bandwidth limitations, and
+//! (ii) limited client buffer size" — and proposes preference-based
+//! pre-fetching ("we download components most likely to be requested by the
+//! user, using the user's buffer as a cache"). This crate provides the
+//! deterministic test bench for that claim:
+//!
+//! * [`link`] — a bandwidth/latency link in virtual time;
+//! * [`buffer`] — an LRU client buffer keyed by `(component, form)`;
+//! * [`policy`] — prefetch policies: none, random, smallest-first, and the
+//!   CP-net preference-based planner from `rcmo-core`;
+//! * [`session`] — a simulated viewing session: a viewer whose clicks are
+//!   drawn from the document's own preference structure (plus noise)
+//!   browses the document over a constrained link; the harness measures
+//!   hit rates, response times, and wasted prefetch bytes per policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod link;
+pub mod policy;
+pub mod session;
+
+pub use buffer::ClientBuffer;
+pub use link::Link;
+pub use policy::{PrefetchPolicy, PolicyKind};
+pub use session::{simulate_session, SessionConfig, SessionStats};

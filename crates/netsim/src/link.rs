@@ -1,0 +1,107 @@
+//! A point-to-point link in virtual time.
+
+/// A network link with fixed bandwidth and propagation latency. Transfers
+/// are serialised (one outstanding transfer at a time), matching a single
+/// client connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency in seconds (charged once per transfer).
+    pub latency_s: f64,
+}
+
+impl Link {
+    /// A link; bandwidth must be positive.
+    pub fn new(bandwidth_bps: f64, latency_s: f64) -> Link {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(latency_s >= 0.0, "latency must be non-negative");
+        Link {
+            bandwidth_bps,
+            latency_s,
+        }
+    }
+
+    /// Common profiles used by the experiments: (name, link).
+    pub fn profiles() -> Vec<(&'static str, Link)> {
+        vec![
+            ("modem-56k", Link::new(56_000.0, 0.15)),
+            ("isdn-128k", Link::new(128_000.0, 0.08)),
+            ("dsl-1m", Link::new(1_000_000.0, 0.04)),
+            ("lan-10m", Link::new(10_000_000.0, 0.005)),
+        ]
+    }
+
+    /// Maps the link onto a tuning-variable band: level 0 when the
+    /// bandwidth meets the first threshold, otherwise one level per missed
+    /// threshold (thresholds in descending bits/s). Feeds the §4.4 tuning
+    /// variables of `rcmo-core`.
+    pub fn band(&self, thresholds_bps: &[f64]) -> usize {
+        thresholds_bps
+            .iter()
+            .filter(|&&t| self.bandwidth_bps < t)
+            .count()
+    }
+
+    /// Seconds to deliver `bytes` over this link.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+
+    /// Bytes deliverable within `secs` of pure transmission time (the idle
+    /// window a prefetcher may exploit); latency is charged per transfer by
+    /// the caller.
+    pub fn bytes_within(&self, secs: f64) -> u64 {
+        if secs <= 0.0 {
+            0
+        } else {
+            (secs * self.bandwidth_bps / 8.0) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let link = Link::new(1_000_000.0, 0.01);
+        let t1 = link.transfer_secs(125_000); // 1 Mbit
+        assert!((t1 - 1.01).abs() < 1e-9);
+        let t2 = link.transfer_secs(250_000);
+        assert!(t2 > t1);
+        assert!((link.transfer_secs(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_within_inverts_transfer() {
+        let link = Link::new(800_000.0, 0.0);
+        assert_eq!(link.bytes_within(1.0), 100_000);
+        assert_eq!(link.bytes_within(0.0), 0);
+        assert_eq!(link.bytes_within(-5.0), 0);
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_speed() {
+        let profiles = Link::profiles();
+        for w in profiles.windows(2) {
+            assert!(w[0].1.bandwidth_bps < w[1].1.bandwidth_bps);
+        }
+    }
+
+    #[test]
+    fn bands_from_thresholds() {
+        let thresholds = [1_000_000.0, 100_000.0];
+        assert_eq!(Link::new(10_000_000.0, 0.0).band(&thresholds), 0);
+        assert_eq!(Link::new(500_000.0, 0.0).band(&thresholds), 1);
+        assert_eq!(Link::new(56_000.0, 0.0).band(&thresholds), 2);
+        assert_eq!(Link::new(56_000.0, 0.0).band(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Link::new(0.0, 0.1);
+    }
+}

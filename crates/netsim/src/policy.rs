@@ -1,0 +1,203 @@
+//! Prefetch policies: what to pull into the client buffer during idle time.
+
+use crate::buffer::{ClientBuffer, Rendition};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rcmo_core::{
+    ComponentId, FormKind, MultimediaDocument, PartialAssignment, PrefetchConfig, PrefetchPlanner,
+};
+
+/// Which policy a simulation runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// No prefetching: every request pays the full transfer.
+    None,
+    /// Random renditions (a naive prefetcher).
+    Random,
+    /// Smallest renditions first (cheap but preference-blind).
+    SmallestFirst,
+    /// The paper's preference-based planner (CP-net likelihoods).
+    PreferenceBased,
+}
+
+impl PolicyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::None => "none",
+            PolicyKind::Random => "random",
+            PolicyKind::SmallestFirst => "smallest-first",
+            PolicyKind::PreferenceBased => "preference",
+        }
+    }
+
+    /// All policies, for sweeps.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::None,
+        PolicyKind::Random,
+        PolicyKind::SmallestFirst,
+        PolicyKind::PreferenceBased,
+    ];
+}
+
+/// A prefetch policy instance.
+#[derive(Debug, Clone)]
+pub struct PrefetchPolicy {
+    kind: PolicyKind,
+    planner: PrefetchPlanner,
+    rng: StdRng,
+}
+
+impl PrefetchPolicy {
+    /// Creates a policy. `seed` drives the random policy only.
+    pub fn new(kind: PolicyKind, seed: u64) -> PrefetchPolicy {
+        PrefetchPolicy {
+            kind,
+            planner: PrefetchPlanner::new(PrefetchConfig {
+                top_k: 256,
+                decay: 0.97,
+            }),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The policy kind.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Returns the next renditions to prefetch, best first, skipping what
+    /// is already resident. The caller transfers as many as the idle
+    /// window's byte budget allows.
+    pub fn candidates(
+        &mut self,
+        doc: &MultimediaDocument,
+        evidence: &PartialAssignment,
+        buffer: &ClientBuffer,
+    ) -> Vec<(Rendition, u64)> {
+        let all: Vec<(Rendition, u64)> = match self.kind {
+            PolicyKind::None => Vec::new(),
+            PolicyKind::Random => {
+                let mut v = all_renditions(doc);
+                v.shuffle(&mut self.rng);
+                v
+            }
+            PolicyKind::SmallestFirst => {
+                let mut v = all_renditions(doc);
+                v.sort_by_key(|&(_, size)| size);
+                v
+            }
+            PolicyKind::PreferenceBased => self
+                .planner
+                .plan(doc, evidence, buffer.capacity())
+                .map(|plan| {
+                    plan.items
+                        .into_iter()
+                        .map(|i| ((i.component, i.form), i.cost_bytes))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        };
+        all.into_iter()
+            .filter(|(r, _)| !buffer.contains(*r))
+            .collect()
+    }
+}
+
+/// Every non-hidden rendition of a document with its transfer cost.
+fn all_renditions(doc: &MultimediaDocument) -> Vec<(Rendition, u64)> {
+    let mut out = Vec::new();
+    for i in 0..doc.num_components() {
+        let c = ComponentId(i as u32);
+        if let Ok(forms) = doc.forms(c) {
+            for (f, form) in forms.iter().enumerate() {
+                if form.kind != FormKind::Hidden {
+                    out.push(((c, f), form.cost_bytes));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcmo_core::{MediaRef, PresentationForm};
+
+    fn doc() -> MultimediaDocument {
+        let mut doc = MultimediaDocument::new("d");
+        for (name, cost) in [("a", 10_000u64), ("b", 5_000), ("c", 20_000)] {
+            doc.add_primitive(
+                doc.root(),
+                name,
+                MediaRef::None,
+                vec![
+                    PresentationForm::new("flat", FormKind::Flat, cost),
+                    PresentationForm::hidden(),
+                ],
+            )
+            .unwrap();
+        }
+        doc.validate().unwrap();
+        doc
+    }
+
+    #[test]
+    fn none_policy_prefetches_nothing() {
+        let doc = doc();
+        let mut p = PrefetchPolicy::new(PolicyKind::None, 0);
+        let buf = ClientBuffer::new(100_000);
+        let ev = PartialAssignment::empty(doc.net().len());
+        assert!(p.candidates(&doc, &ev, &buf).is_empty());
+    }
+
+    #[test]
+    fn smallest_first_orders_by_size() {
+        let doc = doc();
+        let mut p = PrefetchPolicy::new(PolicyKind::SmallestFirst, 0);
+        let buf = ClientBuffer::new(100_000);
+        let ev = PartialAssignment::empty(doc.net().len());
+        let c = p.candidates(&doc, &ev, &buf);
+        let sizes: Vec<u64> = c.iter().map(|&(_, s)| s).collect();
+        assert_eq!(sizes, vec![0, 5_000, 10_000, 20_000]); // root is free
+    }
+
+    #[test]
+    fn resident_renditions_are_skipped() {
+        let doc = doc();
+        let mut p = PrefetchPolicy::new(PolicyKind::PreferenceBased, 0);
+        let mut buf = ClientBuffer::new(100_000);
+        let ev = PartialAssignment::empty(doc.net().len());
+        let first = p.candidates(&doc, &ev, &buf);
+        assert!(!first.is_empty());
+        for &(r, s) in &first {
+            buf.insert(r, s);
+        }
+        assert!(p.candidates(&doc, &ev, &buf).is_empty());
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let doc = doc();
+        let buf = ClientBuffer::new(100_000);
+        let ev = PartialAssignment::empty(doc.net().len());
+        let a = PrefetchPolicy::new(PolicyKind::Random, 7).candidates(&doc, &ev, &buf);
+        let b = PrefetchPolicy::new(PolicyKind::Random, 7).candidates(&doc, &ev, &buf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hidden_forms_never_offered() {
+        let doc = doc();
+        for kind in PolicyKind::ALL {
+            let mut p = PrefetchPolicy::new(kind, 1);
+            let buf = ClientBuffer::new(100_000);
+            let ev = PartialAssignment::empty(doc.net().len());
+            for ((c, f), _) in p.candidates(&doc, &ev, &buf) {
+                assert_ne!(doc.forms(c).unwrap()[f].kind, FormKind::Hidden);
+            }
+        }
+    }
+}

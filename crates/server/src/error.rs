@@ -1,0 +1,92 @@
+//! Error type of the interaction server.
+
+use std::fmt;
+
+/// Errors raised by room and server operations.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Bubbled up from the multimedia database.
+    Media(rcmo_mediadb::MediaError),
+    /// Bubbled up from the presentation module.
+    Core(rcmo_core::CoreError),
+    /// Bubbled up from the imaging module.
+    Imaging(rcmo_imaging::ImagingError),
+    /// A room id did not resolve.
+    UnknownRoom(u64),
+    /// The user is not a member of the room.
+    NotInRoom {
+        /// The user.
+        user: String,
+        /// The room.
+        room: u64,
+    },
+    /// A shared object id did not resolve inside the room.
+    UnknownObject(u64),
+    /// The object is frozen by another partner.
+    Frozen {
+        /// The object.
+        object: u64,
+        /// Who holds the freeze.
+        holder: String,
+    },
+    /// The user attempted to release a freeze they do not hold / freeze an
+    /// already frozen object.
+    FreezeConflict(String),
+    /// The user is already in the room.
+    AlreadyJoined(String),
+    /// Anything else that indicates a caller bug.
+    Invalid(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Media(e) => write!(f, "media db: {e}"),
+            ServerError::Core(e) => write!(f, "presentation: {e}"),
+            ServerError::Imaging(e) => write!(f, "imaging: {e}"),
+            ServerError::UnknownRoom(r) => write!(f, "unknown room {r}"),
+            ServerError::NotInRoom { user, room } => {
+                write!(f, "user '{user}' is not in room {room}")
+            }
+            ServerError::UnknownObject(o) => write!(f, "unknown shared object {o}"),
+            ServerError::Frozen { object, holder } => {
+                write!(f, "object {object} is frozen by '{holder}'")
+            }
+            ServerError::FreezeConflict(m) => write!(f, "freeze conflict: {m}"),
+            ServerError::AlreadyJoined(u) => write!(f, "user '{u}' already joined"),
+            ServerError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Media(e) => Some(e),
+            ServerError::Core(e) => Some(e),
+            ServerError::Imaging(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rcmo_mediadb::MediaError> for ServerError {
+    fn from(e: rcmo_mediadb::MediaError) -> Self {
+        ServerError::Media(e)
+    }
+}
+
+impl From<rcmo_core::CoreError> for ServerError {
+    fn from(e: rcmo_core::CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}
+
+impl From<rcmo_imaging::ImagingError> for ServerError {
+    fn from(e: rcmo_imaging::ImagingError) -> Self {
+        ServerError::Imaging(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ServerError>;

@@ -1,0 +1,306 @@
+//! Actions (client → server), deltas (the changed part of an object), and
+//! room events (server → every client in the room).
+
+use rcmo_core::ComponentId;
+use rcmo_imaging::{ElementId, LineElement, TextElement};
+
+/// What a client asks the interaction server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Explicitly choose a presentation form for a component (feeds the
+    /// presentation module as evidence).
+    Choose {
+        /// The component clicked.
+        component: ComponentId,
+        /// The chosen form index.
+        form: usize,
+    },
+    /// Withdraw the explicit choice on a component.
+    Unchoose {
+        /// The component.
+        component: ComponentId,
+    },
+    /// Write text onto a shared image.
+    AddText {
+        /// The shared object.
+        object: u64,
+        /// The text element.
+        element: TextElement,
+    },
+    /// Draw a line onto a shared image.
+    AddLine {
+        /// The shared object.
+        object: u64,
+        /// The line element.
+        element: LineElement,
+    },
+    /// Delete an annotation element from a shared image.
+    DeleteElement {
+        /// The shared object.
+        object: u64,
+        /// The element to remove.
+        element: ElementId,
+    },
+    /// Perform an image operation on a component (recorded as a derived
+    /// CP-net variable per Section 4.2). `global` decides whether the
+    /// result is merged into the shared document or kept viewer-local.
+    ApplyOperation {
+        /// The component operated on.
+        component: ComponentId,
+        /// The form the component was presented in.
+        trigger_form: usize,
+        /// Operation name ("segmentation", "zoom", ...).
+        operation: String,
+        /// Global (all viewers) or viewer-local.
+        global: bool,
+    },
+    /// Freeze a shared object (only the holder may modify it).
+    Freeze {
+        /// The object to freeze.
+        object: u64,
+    },
+    /// Release a frozen object.
+    Release {
+        /// The object to release.
+        object: u64,
+    },
+    /// Free-text chat.
+    Chat {
+        /// The message.
+        text: String,
+    },
+}
+
+/// Conditions a dynamic event trigger can watch for (the paper's future
+/// work: "integrating broadcasting and dynamic event triggers into the
+/// system").
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerCondition {
+    /// Fires when any operation is applied to this component.
+    OperationOn {
+        /// The watched component.
+        component: ComponentId,
+    },
+    /// Fires when this shared object changes (annotation added/removed).
+    ObjectChanged {
+        /// The watched object.
+        object: u64,
+    },
+    /// Fires when a chat message contains the needle (case-sensitive).
+    ChatContains {
+        /// The substring watched for.
+        needle: String,
+    },
+    /// Fires when a partner's explicit choice targets this component.
+    ChoiceOn {
+        /// The watched component.
+        component: ComponentId,
+    },
+}
+
+impl TriggerCondition {
+    /// `true` if `event` satisfies this condition.
+    pub fn matches(&self, event: &RoomEvent) -> bool {
+        match (self, event) {
+            (
+                TriggerCondition::OperationOn { component },
+                RoomEvent::OperationApplied { component: c, .. },
+            ) => component == c,
+            (
+                TriggerCondition::ObjectChanged { object },
+                RoomEvent::ObjectChanged { object: o, .. },
+            ) => object == o,
+            (TriggerCondition::ChatContains { needle }, RoomEvent::Chat { text, .. }) => {
+                text.contains(needle)
+            }
+            (
+                TriggerCondition::ChoiceOn { component },
+                RoomEvent::ChoiceMade { component: c, .. },
+            ) => component == c,
+            _ => false,
+        }
+    }
+}
+
+/// The changed part of a shared object — the unit of propagation. The
+/// hierarchical object structure means a delta is a small fraction of the
+/// object ("sending only the relevant parts of the object for redisplay").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// A text element appeared on an image.
+    TextAdded {
+        /// The element's id.
+        id: ElementId,
+        /// The element.
+        element: TextElement,
+    },
+    /// A line element appeared on an image.
+    LineAdded {
+        /// The element's id.
+        id: ElementId,
+        /// The element.
+        element: LineElement,
+    },
+    /// An annotation element was removed.
+    ElementDeleted {
+        /// The removed element's id.
+        id: ElementId,
+    },
+}
+
+impl Delta {
+    /// Approximate wire size of the delta in bytes (used by the propagation
+    /// experiments; a full-object resend would cost the whole image).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Delta::TextAdded { element, .. } => 8 + 4 + 4 + 1 + 4 + element.text.len(),
+            Delta::LineAdded { .. } => 8 + 4 * 8 + 1,
+            Delta::ElementDeleted { .. } => 8,
+        }
+    }
+}
+
+/// What every client in a room receives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoomEvent {
+    /// A partner joined.
+    Joined {
+        /// Who.
+        user: String,
+    },
+    /// A partner left.
+    Left {
+        /// Who.
+        user: String,
+    },
+    /// A shared object changed; the delta carries only the changed part.
+    ObjectChanged {
+        /// The object.
+        object: u64,
+        /// Who changed it.
+        by: String,
+        /// The change.
+        delta: Delta,
+    },
+    /// A partner's explicit form choice (also evidence for presentations).
+    ChoiceMade {
+        /// Who chose.
+        user: String,
+        /// The component.
+        component: ComponentId,
+        /// The chosen form (`None` = choice withdrawn).
+        form: Option<usize>,
+    },
+    /// The shared document gained a global derived variable (an operation
+    /// whose result the actor deemed important for everyone).
+    OperationApplied {
+        /// Who performed it.
+        user: String,
+        /// The component operated on.
+        component: ComponentId,
+        /// The operation name.
+        operation: String,
+    },
+    /// An object was frozen.
+    Frozen {
+        /// The object.
+        object: u64,
+        /// The holder.
+        by: String,
+    },
+    /// A freeze was released.
+    Released {
+        /// The object.
+        object: u64,
+        /// Who released it.
+        by: String,
+    },
+    /// A viewer's presentation was recomputed; clients re-render.
+    PresentationChanged {
+        /// Whose presentation (every viewer has her own view).
+        viewer: String,
+        /// Bytes the viewer's client must fetch to render the new
+        /// presentation.
+        transfer_bytes: u64,
+    },
+    /// Chat message.
+    Chat {
+        /// Who.
+        user: String,
+        /// The message.
+        text: String,
+    },
+    /// A registered trigger fired (dynamic event triggers, the paper's
+    /// future work).
+    TriggerFired {
+        /// The trigger's id.
+        trigger: u64,
+        /// Who registered it.
+        owner: String,
+        /// What fired it, rendered for display.
+        cause: String,
+    },
+    /// An audio analysis ran on a stored object and its results were shared
+    /// with the room ("if one does keyword searches, the results will be
+    /// visible and usable to other partners").
+    AudioAnalysed {
+        /// The audio object analysed.
+        object: u64,
+        /// Who ran the analysis.
+        by: String,
+        /// Human-readable result summary (per-segment lines).
+        summary: String,
+    },
+}
+
+impl RoomEvent {
+    /// Approximate wire size in bytes (for the propagation experiment).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            RoomEvent::Joined { user } | RoomEvent::Left { user } => 1 + user.len(),
+            RoomEvent::ObjectChanged { by, delta, .. } => 1 + 8 + by.len() + delta.encoded_len(),
+            RoomEvent::ChoiceMade { user, .. } => 1 + user.len() + 4 + 4,
+            RoomEvent::OperationApplied { user, operation, .. } => {
+                1 + user.len() + 4 + operation.len()
+            }
+            RoomEvent::Frozen { by, .. } | RoomEvent::Released { by, .. } => 1 + 8 + by.len(),
+            RoomEvent::PresentationChanged { viewer, .. } => 1 + viewer.len() + 8,
+            RoomEvent::Chat { user, text } => 1 + user.len() + text.len(),
+            RoomEvent::AudioAnalysed { by, summary, .. } => 1 + 8 + by.len() + summary.len(),
+            RoomEvent::TriggerFired { owner, cause, .. } => 1 + 8 + owner.len() + cause.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_sizes_are_small() {
+        let text = Delta::TextAdded {
+            id: ElementId(1),
+            element: TextElement {
+                x: 1,
+                y: 2,
+                text: "lesion here".to_string(),
+                intensity: 255,
+                scale: 1,
+            },
+        };
+        assert!(text.encoded_len() < 64);
+        let line = Delta::LineAdded {
+            id: ElementId(2),
+            element: LineElement { x0: 0, y0: 0, x1: 9, y1: 9, intensity: 200 },
+        };
+        assert!(line.encoded_len() < 64);
+        assert_eq!(Delta::ElementDeleted { id: ElementId(3) }.encoded_len(), 8);
+    }
+
+    #[test]
+    fn event_sizes_scale_with_payload() {
+        let small = RoomEvent::Chat { user: "a".into(), text: "hi".into() };
+        let big = RoomEvent::Chat { user: "a".into(), text: "x".repeat(100) };
+        assert!(big.encoded_len() > small.encoded_len());
+    }
+}

@@ -1,0 +1,32 @@
+//! # rcmo-server — the interaction server
+//!
+//! The middle tier of the paper's Figure 1: "responsible for the
+//! cooperative work in the system ... keeps track of all objects in and out
+//! of shared rooms. If a client makes a change on a multimedia object, that
+//! change is immediately propagated to other clients in the room. The
+//! interaction server also calls the database server to fetch and store
+//! objects ... and keeps track of user actions and transfers them to the
+//! presentation module."
+//!
+//! * [`events`] — the action/event/delta model. Deltas are *hierarchical*:
+//!   only the changed part of an object (one annotation element, one form
+//!   choice) crosses the wire, mirroring "the hierarchical structure of the
+//!   object permits sending only the relevant parts of the object".
+//! * [`room`] — shared rooms: membership, the in-room object registry, the
+//!   change buffer, freeze/release, per-viewer presentation sessions.
+//! * [`server`] — the [`server::InteractionServer`]
+//!   facade gluing rooms, the presentation engine, and the multimedia
+//!   database together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod events;
+pub mod room;
+pub mod server;
+
+pub use error::ServerError;
+pub use events::{Action, Delta, RoomEvent};
+pub use room::{RoomId, SharedObjectId};
+pub use server::{ClientConnection, InteractionServer};

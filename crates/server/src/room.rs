@@ -1,0 +1,463 @@
+//! Shared rooms: membership, per-viewer presentation sessions, the in-room
+//! object registry, freeze/release, and delta broadcast.
+
+use crate::error::{Result, ServerError};
+use crate::events::{Action, Delta, RoomEvent, TriggerCondition};
+use crossbeam::channel::Sender;
+use rcmo_core::{
+    MultimediaDocument, Presentation, PresentationEngine, ViewerChoice, ViewerSession,
+};
+use rcmo_imaging::AnnotatedImage;
+use std::collections::HashMap;
+
+/// Identifier of a room.
+pub type RoomId = u64;
+
+/// Identifier of a shared object inside a room (the multimedia database id
+/// of the underlying image object).
+pub type SharedObjectId = u64;
+
+/// Aggregate propagation statistics of a room.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoomStats {
+    /// Events delivered (events × recipients).
+    pub events_delivered: u64,
+    /// Total bytes delivered (approximate wire size × recipients).
+    pub bytes_delivered: u64,
+    /// Events appended to the room's change buffer.
+    pub changes_logged: u64,
+}
+
+#[derive(Debug)]
+struct Member {
+    name: String,
+    sender: Sender<RoomEvent>,
+}
+
+/// A shared room. All mutation goes through the
+/// [`InteractionServer`](crate::server::InteractionServer), which holds the
+/// room map lock, so `&mut self` here is exclusive by construction.
+#[derive(Debug)]
+pub struct Room {
+    /// Room id.
+    pub id: RoomId,
+    /// Display name.
+    pub name: String,
+    /// The multimedia database id of the room's document.
+    pub document_id: u64,
+    pub(crate) doc: MultimediaDocument,
+    members: Vec<Member>,
+    sessions: HashMap<String, ViewerSession>,
+    objects: HashMap<SharedObjectId, AnnotatedImage>,
+    freezes: HashMap<SharedObjectId, String>,
+    /// The "large memory buffer which maintains the changes made on the
+    /// changed objects".
+    change_log: Vec<RoomEvent>,
+    engine: PresentationEngine,
+    stats: RoomStats,
+    triggers: Vec<(u64, String, TriggerCondition)>,
+    next_trigger: u64,
+}
+
+impl Room {
+    pub(crate) fn new(id: RoomId, name: &str, document_id: u64, doc: MultimediaDocument) -> Room {
+        Room {
+            id,
+            name: name.to_string(),
+            document_id,
+            doc,
+            members: Vec::new(),
+            sessions: HashMap::new(),
+            objects: HashMap::new(),
+            freezes: HashMap::new(),
+            change_log: Vec::new(),
+            engine: PresentationEngine::new(),
+            stats: RoomStats::default(),
+            triggers: Vec::new(),
+            next_trigger: 1,
+        }
+    }
+
+    /// Current members.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Propagation statistics.
+    pub fn stats(&self) -> RoomStats {
+        self.stats
+    }
+
+    /// The room's change buffer (most recent last).
+    pub fn change_log(&self) -> &[RoomEvent] {
+        &self.change_log
+    }
+
+    /// The shared document.
+    pub fn document(&self) -> &MultimediaDocument {
+        &self.doc
+    }
+
+    /// Broadcasts an event to every member and appends it to the change
+    /// buffer.
+    fn broadcast(&mut self, event: RoomEvent) {
+        let size = event.encoded_len() as u64;
+        for m in &self.members {
+            // A disconnected receiver just drops the event; the member is
+            // reaped on the next leave/join cycle.
+            let _ = m.sender.send(event.clone());
+            self.stats.events_delivered += 1;
+            self.stats.bytes_delivered += size;
+        }
+        self.change_log.push(event);
+        self.stats.changes_logged += 1;
+    }
+
+    pub(crate) fn join(&mut self, user: &str, sender: Sender<RoomEvent>) -> Result<()> {
+        if self.members.iter().any(|m| m.name == user) {
+            return Err(ServerError::AlreadyJoined(user.to_string()));
+        }
+        self.members.push(Member {
+            name: user.to_string(),
+            sender,
+        });
+        self.sessions
+            .insert(user.to_string(), ViewerSession::new(user));
+        self.broadcast(RoomEvent::Joined {
+            user: user.to_string(),
+        });
+        Ok(())
+    }
+
+    pub(crate) fn leave(&mut self, user: &str) -> Result<()> {
+        let before = self.members.len();
+        self.members.retain(|m| m.name != user);
+        if self.members.len() == before {
+            return Err(ServerError::NotInRoom {
+                user: user.to_string(),
+                room: self.id,
+            });
+        }
+        self.sessions.remove(user);
+        // Freezes held by the leaver are released.
+        let released: Vec<SharedObjectId> = self
+            .freezes
+            .iter()
+            .filter(|(_, holder)| holder.as_str() == user)
+            .map(|(&o, _)| o)
+            .collect();
+        for object in released {
+            self.freezes.remove(&object);
+            self.broadcast(RoomEvent::Released {
+                object,
+                by: user.to_string(),
+            });
+        }
+        self.broadcast(RoomEvent::Left {
+            user: user.to_string(),
+        });
+        Ok(())
+    }
+
+    pub(crate) fn require_member(&self, user: &str) -> Result<()> {
+        if self.members.iter().any(|m| m.name == user) {
+            Ok(())
+        } else {
+            Err(ServerError::NotInRoom {
+                user: user.to_string(),
+                room: self.id,
+            })
+        }
+    }
+
+    fn check_not_frozen_by_other(&self, object: SharedObjectId, user: &str) -> Result<()> {
+        match self.freezes.get(&object) {
+            Some(holder) if holder != user => Err(ServerError::Frozen {
+                object,
+                holder: holder.clone(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Registers an object (a working copy of a database image) in the room.
+    pub(crate) fn insert_object(&mut self, id: SharedObjectId, image: AnnotatedImage) {
+        self.objects.insert(id, image);
+    }
+
+    /// Read access to a shared object.
+    pub fn object(&self, id: SharedObjectId) -> Result<&AnnotatedImage> {
+        self.objects.get(&id).ok_or(ServerError::UnknownObject(id))
+    }
+
+    /// Removes an object from the room ("changed objects are saved and
+    /// discarded from the room as soon as they are not needed").
+    pub(crate) fn take_object(&mut self, id: SharedObjectId) -> Result<AnnotatedImage> {
+        self.objects
+            .remove(&id)
+            .ok_or(ServerError::UnknownObject(id))
+    }
+
+    /// The viewer's current presentation of the room document.
+    pub fn presentation_for(&self, user: &str) -> Result<Presentation> {
+        let session = self
+            .sessions
+            .get(user)
+            .ok_or(ServerError::NotInRoom {
+                user: user.to_string(),
+                room: self.id,
+            })?;
+        Ok(self.engine.presentation_for(&self.doc, session)?)
+    }
+
+    /// Registers a dynamic event trigger owned by `user`; returns its id.
+    pub(crate) fn add_trigger(&mut self, user: &str, condition: TriggerCondition) -> Result<u64> {
+        self.require_member(user)?;
+        let id = self.next_trigger;
+        self.next_trigger += 1;
+        self.triggers.push((id, user.to_string(), condition));
+        Ok(id)
+    }
+
+    /// Removes a trigger; only its owner may do so.
+    pub(crate) fn remove_trigger(&mut self, user: &str, id: u64) -> Result<()> {
+        match self.triggers.iter().position(|(tid, _, _)| *tid == id) {
+            Some(i) if self.triggers[i].1 == user => {
+                self.triggers.remove(i);
+                Ok(())
+            }
+            Some(_) => Err(ServerError::Invalid(format!(
+                "trigger {id} is not owned by '{user}'"
+            ))),
+            None => Err(ServerError::Invalid(format!("no trigger {id}"))),
+        }
+    }
+
+    /// Registered triggers (id, owner).
+    pub fn triggers(&self) -> Vec<(u64, &str)> {
+        self.triggers
+            .iter()
+            .map(|(id, owner, _)| (*id, owner.as_str()))
+            .collect()
+    }
+
+    /// Scans events appended since `from` and fires matching triggers.
+    /// Trigger events themselves are never matched (no cascades).
+    fn fire_triggers(&mut self, from: usize) {
+        let mut fired: Vec<RoomEvent> = Vec::new();
+        for event in &self.change_log[from..] {
+            if matches!(event, RoomEvent::TriggerFired { .. }) {
+                continue;
+            }
+            for (id, owner, condition) in &self.triggers {
+                if condition.matches(event) {
+                    fired.push(RoomEvent::TriggerFired {
+                        trigger: *id,
+                        owner: owner.clone(),
+                        cause: format!("{event:?}"),
+                    });
+                }
+            }
+        }
+        for event in fired {
+            self.broadcast(event);
+        }
+    }
+
+    /// Applies a client action, propagating the resulting deltas. This is
+    /// the server's core dispatch (the paper's "use case: updating the
+    /// presentation", Fig. 4b, plus the object operations of §3).
+    pub(crate) fn act(&mut self, user: &str, action: Action) -> Result<()> {
+        self.require_member(user)?;
+        let log_start = self.change_log.len();
+        let result = self.act_inner(user, action);
+        if result.is_ok() {
+            self.fire_triggers(log_start);
+        }
+        result
+    }
+
+    fn act_inner(&mut self, user: &str, action: Action) -> Result<()> {
+        match action {
+            Action::Choose { component, form } => {
+                {
+                    let session = self.sessions.get_mut(user).expect("member has session");
+                    session.choose(&self.doc, ViewerChoice { component, form })?;
+                }
+                self.broadcast(RoomEvent::ChoiceMade {
+                    user: user.to_string(),
+                    component,
+                    form: Some(form),
+                });
+                self.push_presentation_update(user)?;
+            }
+            Action::Unchoose { component } => {
+                {
+                    let session = self.sessions.get_mut(user).expect("member has session");
+                    session.unchoose(component);
+                }
+                self.broadcast(RoomEvent::ChoiceMade {
+                    user: user.to_string(),
+                    component,
+                    form: None,
+                });
+                self.push_presentation_update(user)?;
+            }
+            Action::AddText { object, element } => {
+                self.check_not_frozen_by_other(object, user)?;
+                let img = self
+                    .objects
+                    .get_mut(&object)
+                    .ok_or(ServerError::UnknownObject(object))?;
+                let id = img.add_text(element.clone());
+                self.broadcast(RoomEvent::ObjectChanged {
+                    object,
+                    by: user.to_string(),
+                    delta: Delta::TextAdded { id, element },
+                });
+            }
+            Action::AddLine { object, element } => {
+                self.check_not_frozen_by_other(object, user)?;
+                let img = self
+                    .objects
+                    .get_mut(&object)
+                    .ok_or(ServerError::UnknownObject(object))?;
+                let id = img.add_line(element);
+                self.broadcast(RoomEvent::ObjectChanged {
+                    object,
+                    by: user.to_string(),
+                    delta: Delta::LineAdded { id, element },
+                });
+            }
+            Action::DeleteElement { object, element } => {
+                self.check_not_frozen_by_other(object, user)?;
+                let img = self
+                    .objects
+                    .get_mut(&object)
+                    .ok_or(ServerError::UnknownObject(object))?;
+                img.delete_element(element)?;
+                self.broadcast(RoomEvent::ObjectChanged {
+                    object,
+                    by: user.to_string(),
+                    delta: Delta::ElementDeleted { id: element },
+                });
+            }
+            Action::ApplyOperation {
+                component,
+                trigger_form,
+                operation,
+                global,
+            } => {
+                if global {
+                    self.doc
+                        .add_global_operation(component, trigger_form, &operation)?;
+                    // Viewer-local extensions were built against the old
+                    // network; the prototype's policy is to re-derive local
+                    // state after a global edit (identity rebase keeps the
+                    // explicit choices, drops extensions and context).
+                    let identity: Vec<Option<rcmo_core::ComponentId>> = (0..self
+                        .doc
+                        .num_components() as u32)
+                        .map(|i| Some(rcmo_core::ComponentId(i)))
+                        .collect();
+                    for session in self.sessions.values_mut() {
+                        session.rebase(&identity);
+                    }
+                    self.broadcast(RoomEvent::OperationApplied {
+                        user: user.to_string(),
+                        component,
+                        operation,
+                    });
+                    // Everyone's presentation may have changed.
+                    let names: Vec<String> =
+                        self.members.iter().map(|m| m.name.clone()).collect();
+                    for name in names {
+                        self.push_presentation_update(&name)?;
+                    }
+                } else {
+                    let session = self.sessions.get_mut(user).expect("member has session");
+                    session.apply_local_operation(&self.doc, component, trigger_form, &operation)?;
+                    self.push_presentation_update(user)?;
+                }
+            }
+            Action::Freeze { object } => {
+                if !self.objects.contains_key(&object) {
+                    return Err(ServerError::UnknownObject(object));
+                }
+                if let Some(holder) = self.freezes.get(&object) {
+                    return Err(ServerError::FreezeConflict(format!(
+                        "object {object} already frozen by '{holder}'"
+                    )));
+                }
+                self.freezes.insert(object, user.to_string());
+                self.broadcast(RoomEvent::Frozen {
+                    object,
+                    by: user.to_string(),
+                });
+            }
+            Action::Release { object } => {
+                match self.freezes.get(&object) {
+                    Some(holder) if holder == user => {
+                        self.freezes.remove(&object);
+                        self.broadcast(RoomEvent::Released {
+                            object,
+                            by: user.to_string(),
+                        });
+                    }
+                    Some(holder) => {
+                        return Err(ServerError::FreezeConflict(format!(
+                            "'{user}' cannot release a freeze held by '{holder}'"
+                        )))
+                    }
+                    None => {
+                        return Err(ServerError::FreezeConflict(format!(
+                            "object {object} is not frozen"
+                        )))
+                    }
+                }
+            }
+            Action::Chat { text } => {
+                self.broadcast(RoomEvent::Chat {
+                    user: user.to_string(),
+                    text,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcasts a server-wide announcement into this room (the sender
+    /// need not be a member — it is the administrator).
+    pub(crate) fn announce(&mut self, user: &str, text: &str) {
+        self.broadcast(RoomEvent::Chat {
+            user: format!("{user} (announcement)"),
+            text: text.to_string(),
+        });
+    }
+
+    /// Broadcasts a shared analysis result (cooperative audio browsing).
+    pub(crate) fn share_analysis(
+        &mut self,
+        user: &str,
+        object: SharedObjectId,
+        summary: &str,
+    ) -> Result<()> {
+        self.require_member(user)?;
+        self.broadcast(RoomEvent::AudioAnalysed {
+            object,
+            by: user.to_string(),
+            summary: summary.to_string(),
+        });
+        Ok(())
+    }
+
+    fn push_presentation_update(&mut self, viewer: &str) -> Result<()> {
+        let p = self.presentation_for(viewer)?;
+        let transfer = p.transfer_bytes(&self.doc);
+        self.broadcast(RoomEvent::PresentationChanged {
+            viewer: viewer.to_string(),
+            transfer_bytes: transfer,
+        });
+        Ok(())
+    }
+}

@@ -1,0 +1,289 @@
+//! The interaction server facade: rooms + presentation module + database.
+
+use crate::error::{Result, ServerError};
+use crate::events::{Action, RoomEvent, TriggerCondition};
+use crate::room::{Room, RoomId, RoomStats, SharedObjectId};
+use crossbeam::channel::{unbounded, Receiver};
+use std::sync::OnceLock;
+use parking_lot::Mutex;
+use rcmo_core::{MultimediaDocument, Presentation};
+use rcmo_imaging::{AnnotatedImage, GrayImage};
+use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A client's end of a room: the user name and the event stream.
+#[derive(Debug)]
+pub struct ClientConnection {
+    /// The room joined.
+    pub room: RoomId,
+    /// The member name.
+    pub user: String,
+    /// Events broadcast to the room (including this member's own actions,
+    /// so every client observes one identical total order).
+    pub events: Receiver<RoomEvent>,
+}
+
+/// The interaction server of Figure 1. Thread-safe: share by reference (or
+/// `Arc`) across client threads.
+pub struct InteractionServer {
+    db: MediaDb,
+    rooms: Mutex<HashMap<RoomId, Room>>,
+    next_room: AtomicU64,
+    /// Lazily trained audio segmenter shared by all rooms.
+    segmenter: OnceLock<rcmo_audio::SegmenterModel>,
+}
+
+impl std::fmt::Debug for InteractionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InteractionServer(rooms={})", self.rooms.lock().len())
+    }
+}
+
+impl InteractionServer {
+    /// Creates a server over a multimedia database.
+    pub fn new(db: MediaDb) -> InteractionServer {
+        InteractionServer {
+            db,
+            rooms: Mutex::new(HashMap::new()),
+            next_room: AtomicU64::new(1),
+            segmenter: OnceLock::new(),
+        }
+    }
+
+    /// The underlying multimedia database.
+    pub fn database(&self) -> &MediaDb {
+        &self.db
+    }
+
+    /// Creates a room around a stored document (fetched through the
+    /// database layer; requires read access).
+    pub fn create_room(&self, user: &str, name: &str, document_id: u64) -> Result<RoomId> {
+        let stored = self.db.get_document(user, document_id)?;
+        let doc = MultimediaDocument::from_bytes(&stored.data)?;
+        let id = self.next_room.fetch_add(1, Ordering::Relaxed);
+        self.rooms
+            .lock()
+            .insert(id, Room::new(id, name, document_id, doc));
+        Ok(id)
+    }
+
+    fn with_room<R>(&self, room: RoomId, f: impl FnOnce(&mut Room) -> Result<R>) -> Result<R> {
+        let mut rooms = self.rooms.lock();
+        let r = rooms.get_mut(&room).ok_or(ServerError::UnknownRoom(room))?;
+        f(r)
+    }
+
+    /// Joins a room; returns the event stream. Requires read access.
+    pub fn join(&self, room: RoomId, user: &str) -> Result<ClientConnection> {
+        self.db.list_documents(user)?; // cheap read-permission probe
+        let (tx, rx) = unbounded();
+        self.with_room(room, |r| r.join(user, tx))?;
+        Ok(ClientConnection {
+            room,
+            user: user.to_string(),
+            events: rx,
+        })
+    }
+
+    /// Leaves a room (held freezes are released).
+    pub fn leave(&self, room: RoomId, user: &str) -> Result<()> {
+        self.with_room(room, |r| r.leave(user))
+    }
+
+    /// Performs an action in a room.
+    pub fn act(&self, room: RoomId, user: &str, action: Action) -> Result<()> {
+        self.with_room(room, |r| r.act(user, action))
+    }
+
+    /// The viewer's current presentation of the room's document.
+    pub fn presentation(&self, room: RoomId, user: &str) -> Result<Presentation> {
+        self.with_room(room, |r| r.presentation_for(user))
+    }
+
+    /// The document hierarchy outline (the client GUI's left pane).
+    pub fn outline(&self, room: RoomId) -> Result<String> {
+        self.with_room(room, |r| Ok(r.document().outline()))
+    }
+
+    /// Brings a stored image object into the room as a shared working copy
+    /// (annotations accumulate on it). The payload may be a raw `GIM1`
+    /// image or a layered `LIC1` bitstream.
+    pub fn open_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<()> {
+        let obj = self.db.get_image(user, object_id)?;
+        let image = decode_image_payload(&obj)?;
+        self.with_room(room, |r| {
+            r.insert_object(object_id, AnnotatedImage::new(image));
+            Ok(())
+        })
+    }
+
+    /// Renders a shared object's current state (base + annotations).
+    pub fn render_object(&self, room: RoomId, object: SharedObjectId) -> Result<GrayImage> {
+        self.with_room(room, |r| Ok(r.object(object)?.render()))
+    }
+
+    /// Number of annotation elements on a shared object.
+    pub fn object_elements(&self, room: RoomId, object: SharedObjectId) -> Result<usize> {
+        self.with_room(room, |r| Ok(r.object(object)?.num_elements()))
+    }
+
+    /// Saves a shared object's annotated state back into the database
+    /// (serialised overlay in `FLD_CM`, base pixels unchanged) and discards
+    /// it from the room.
+    pub fn save_and_close_image(
+        &self,
+        room: RoomId,
+        user: &str,
+        object_id: u64,
+    ) -> Result<()> {
+        let annotated = self.with_room(room, |r| r.take_object(object_id))?;
+        let mut obj = self.db.get_image(user, object_id)?;
+        // Only the overlay is stored inline; the pixels stay in FLD_DATA.
+        obj.cm = annotated.overlay_to_bytes();
+        // Replace: delete + reinsert under the same logical name.
+        self.db.delete_image(user, object_id)?;
+        self.db.insert_image(user, &obj)?;
+        Ok(())
+    }
+
+    /// Persists the room's (possibly globally updated) document back to the
+    /// database.
+    pub fn save_document(&self, room: RoomId, user: &str) -> Result<()> {
+        let (doc_id, title, bytes) = self.with_room(room, |r| {
+            Ok((
+                r.document_id,
+                r.document().title().to_string(),
+                r.document().to_bytes(),
+            ))
+        })?;
+        self.db
+            .update_document(user, doc_id, &DocumentObject { title, data: bytes })?;
+        Ok(())
+    }
+
+    /// Runs automatic audio segmentation on a stored audio object (16-bit
+    /// LE PCM payload), persists the segments into the object's
+    /// `FLD_SECTORS`, and shares the result summary with the whole room —
+    /// the paper's cooperative voice processing: "if one does keyword
+    /// searches, the results will be visible and usable to other partners."
+    ///
+    /// Returns the detected segments. The segmenter is trained lazily on
+    /// first use and shared across rooms.
+    pub fn analyse_audio(
+        &self,
+        room: RoomId,
+        user: &str,
+        audio_id: u64,
+    ) -> Result<Vec<rcmo_audio::Segment>> {
+        // Authorise first: the analyst must be a room member before any
+        // side effect (the stored sectors) happens.
+        self.with_room(room, |r| r.require_member(user))?;
+        let obj = self.db.get_audio(user, audio_id)?;
+        let samples = rcmo_audio::synth::from_pcm16(&obj.data);
+        let model = self
+            .segmenter
+            .get_or_init(|| rcmo_audio::SegmenterModel::train_default(0xA11A));
+        let segments = rcmo_audio::segment_audio(model, &samples);
+        // Persist into FLD_SECTORS so future sessions reuse the analysis.
+        self.db.update_audio_sectors(
+            user,
+            audio_id,
+            &rcmo_audio::segment::encode_segments(&segments),
+        )?;
+        // Broadcast the summary to the room.
+        let hop = model.features().hop_secs();
+        let summary = segments
+            .iter()
+            .map(|s| {
+                format!(
+                    "{:.2}s-{:.2}s {}",
+                    s.frames.start as f64 * hop,
+                    s.frames.end as f64 * hop,
+                    s.class.name()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        self.with_room(room, |r| {
+            r.share_analysis(user, audio_id, &summary)
+        })?;
+        Ok(segments)
+    }
+
+    /// Registers a dynamic event trigger in a room; the owner (and every
+    /// other partner) receives a [`RoomEvent::TriggerFired`] whenever the
+    /// condition matches a subsequent room event.
+    pub fn add_trigger(
+        &self,
+        room: RoomId,
+        user: &str,
+        condition: TriggerCondition,
+    ) -> Result<u64> {
+        self.with_room(room, |r| r.add_trigger(user, condition))
+    }
+
+    /// Removes a trigger (owner only).
+    pub fn remove_trigger(&self, room: RoomId, user: &str, trigger: u64) -> Result<()> {
+        self.with_room(room, |r| r.remove_trigger(user, trigger))
+    }
+
+    /// Broadcasts an announcement into **every** room (the paper's
+    /// "broadcasting" future work). Requires admin access in the database.
+    pub fn broadcast_announcement(&self, user: &str, text: &str) -> Result<usize> {
+        if self.db.user_level(user)? != Some(rcmo_mediadb::AccessLevel::Admin) {
+            return Err(ServerError::Invalid(format!(
+                "'{user}' is not an administrator"
+            )));
+        }
+        let mut rooms = self.rooms.lock();
+        let mut reached = 0;
+        for room in rooms.values_mut() {
+            room.announce(user, text);
+            reached += 1;
+        }
+        Ok(reached)
+    }
+
+    /// Renders a viewer's presentation as text (the Figure-5 content pane):
+    /// what the viewer's client shows right now.
+    pub fn render_presentation(&self, room: RoomId, user: &str) -> Result<String> {
+        self.with_room(room, |r| {
+            let p = r.presentation_for(user)?;
+            Ok(p.render(r.document()))
+        })
+    }
+
+    /// Members of a room.
+    pub fn members(&self, room: RoomId) -> Result<Vec<String>> {
+        self.with_room(room, |r| {
+            Ok(r.member_names().iter().map(|s| s.to_string()).collect())
+        })
+    }
+
+    /// Propagation statistics of a room.
+    pub fn room_stats(&self, room: RoomId) -> Result<RoomStats> {
+        self.with_room(room, |r| Ok(r.stats()))
+    }
+
+    /// Length of a room's change buffer.
+    pub fn change_log_len(&self, room: RoomId) -> Result<usize> {
+        self.with_room(room, |r| Ok(r.change_log().len()))
+    }
+}
+
+/// Decodes an image object payload: raw (`GIM1`) or layered (`LIC1`).
+fn decode_image_payload(obj: &ImageObject) -> Result<GrayImage> {
+    if obj.data.starts_with(b"GIM1") {
+        Ok(GrayImage::from_bytes(&obj.data)?)
+    } else if obj.data.starts_with(b"LIC1") {
+        rcmo_codec::decode(&obj.data).map_err(|e| ServerError::Invalid(format!("codec: {e}")))
+    } else {
+        Err(ServerError::Invalid(
+            "image payload is neither GIM1 nor LIC1".to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests;

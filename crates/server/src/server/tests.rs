@@ -1,0 +1,581 @@
+use super::*;
+use crate::events::{Action, Delta};
+use rcmo_core::{ComponentId, FormKind, MediaRef, PresentationForm};
+use rcmo_imaging::{ct_phantom, LineElement, TextElement};
+
+/// Builds a database with one document (CT + X-ray under "Images") and one
+/// stored image object; returns (server, document id, image object id,
+/// CT component id, X-ray component id).
+fn setup() -> (InteractionServer, u64, u64, ComponentId, ComponentId) {
+    let db = MediaDb::in_memory().unwrap();
+    db.put_user("admin", "dr-a", rcmo_mediadb::AccessLevel::Write).unwrap();
+    db.put_user("admin", "dr-b", rcmo_mediadb::AccessLevel::Write).unwrap();
+
+    let ct_image = ct_phantom(64, 2, 5).unwrap();
+    let image_id = db
+        .insert_image(
+            "admin",
+            &ImageObject {
+                name: "ct-slice".to_string(),
+                quality: 0,
+                texts: String::new(),
+                cm: Vec::new(),
+                data: ct_image.to_bytes(),
+            },
+        )
+        .unwrap();
+
+    let mut doc = MultimediaDocument::new("Patient 071");
+    let images = doc.add_composite(doc.root(), "Images").unwrap();
+    let ct = doc
+        .add_primitive(
+            images,
+            "CT",
+            MediaRef::Stored {
+                media_type: "Image".to_string(),
+                object_id: image_id,
+            },
+            vec![
+                PresentationForm::new("flat", FormKind::Flat, 100_000),
+                PresentationForm::new("segmented", FormKind::Segmented, 130_000),
+                PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+    let xray = doc
+        .add_primitive(
+            images,
+            "X-ray",
+            MediaRef::None,
+            vec![
+                PresentationForm::new("flat", FormKind::Flat, 50_000),
+                PresentationForm::new("icon", FormKind::Icon, 2_000),
+                PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+    // Author preference: X-ray iconified while the CT is shown.
+    doc.author_parents(xray, &[ct]).unwrap();
+    doc.author_preference(xray, &[(ct, 0)], &[1, 0, 2]).unwrap();
+    doc.author_preference(xray, &[(ct, 1)], &[1, 0, 2]).unwrap();
+    doc.author_preference(xray, &[(ct, 2)], &[0, 1, 2]).unwrap();
+    doc.validate().unwrap();
+
+    let doc_id = db
+        .insert_document(
+            "admin",
+            &DocumentObject {
+                title: doc.title().to_string(),
+                data: doc.to_bytes(),
+            },
+        )
+        .unwrap();
+    (InteractionServer::new(db), doc_id, image_id, ct, xray)
+}
+
+fn drain(conn: &ClientConnection) -> Vec<RoomEvent> {
+    let mut out = Vec::new();
+    while let Ok(e) = conn.events.try_recv() {
+        out.push(e);
+    }
+    out
+}
+
+#[test]
+fn create_join_leave_lifecycle() {
+    let (srv, doc_id, _, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    assert_eq!(srv.members(room).unwrap(), vec!["dr-a", "dr-b"]);
+    // dr-a saw both joins; dr-b only its own.
+    let ea = drain(&a);
+    assert_eq!(
+        ea,
+        vec![
+            RoomEvent::Joined { user: "dr-a".into() },
+            RoomEvent::Joined { user: "dr-b".into() }
+        ]
+    );
+    assert_eq!(drain(&b).len(), 1);
+    srv.leave(room, "dr-b").unwrap();
+    assert_eq!(drain(&a), vec![RoomEvent::Left { user: "dr-b".into() }]);
+    assert!(srv.leave(room, "dr-b").is_err(), "double leave rejected");
+    assert!(srv.join(room, "dr-a").is_err(), "double join rejected");
+}
+
+#[test]
+fn unknown_room_and_unknown_user() {
+    let (srv, doc_id, _, _, _) = setup();
+    assert!(matches!(srv.join(99, "dr-a"), Err(ServerError::UnknownRoom(99))));
+    // "nobody" has no database permissions at all.
+    assert!(srv.create_room("nobody", "x", doc_id).is_err());
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    assert!(srv.join(room, "nobody").is_err());
+}
+
+#[test]
+fn choice_propagates_and_reconfigures() {
+    let (srv, doc_id, _, ct, xray) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    drain(&a);
+    drain(&b);
+
+    // Default: CT flat, X-ray icon.
+    let p = srv.presentation(room, "dr-a").unwrap();
+    assert_eq!(p.form(ct), 0);
+    assert_eq!(p.form(xray), 1);
+
+    // dr-a hides the CT: her X-ray flips to flat; dr-b is unaffected.
+    srv.act(room, "dr-a", Action::Choose { component: ct, form: 2 }).unwrap();
+    let pa = srv.presentation(room, "dr-a").unwrap();
+    assert_eq!(pa.form(ct), 2);
+    assert_eq!(pa.form(xray), 0);
+    let pb = srv.presentation(room, "dr-b").unwrap();
+    assert_eq!(pb.form(ct), 0, "dr-b keeps the default view");
+
+    // Both clients saw the same two events, in the same order.
+    let ea = drain(&a);
+    let eb = drain(&b);
+    assert_eq!(ea, eb);
+    assert!(matches!(ea[0], RoomEvent::ChoiceMade { form: Some(2), .. }));
+    assert!(matches!(ea[1], RoomEvent::PresentationChanged { .. }));
+
+    // Withdrawing restores the author default.
+    srv.act(room, "dr-a", Action::Unchoose { component: ct }).unwrap();
+    assert_eq!(srv.presentation(room, "dr-a").unwrap().form(ct), 0);
+}
+
+#[test]
+fn annotations_propagate_and_render() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    drain(&a);
+    drain(&b);
+
+    srv.act(
+        room,
+        "dr-a",
+        Action::AddText {
+            object: image_id,
+            element: TextElement {
+                x: 2,
+                y: 2,
+                text: "LESION".into(),
+                intensity: 255,
+                scale: 1,
+            },
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-b",
+        Action::AddLine {
+            object: image_id,
+            element: LineElement { x0: 0, y0: 0, x1: 60, y1: 60, intensity: 250 },
+        },
+    )
+    .unwrap();
+    assert_eq!(srv.object_elements(room, image_id).unwrap(), 2);
+
+    // Both partners received both deltas (and the deltas are small).
+    let eb = drain(&b);
+    assert_eq!(eb.len(), 2);
+    for e in &eb {
+        match e {
+            RoomEvent::ObjectChanged { delta, .. } => {
+                assert!(delta.encoded_len() < 100);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    // The render shows the ink.
+    let rendered = srv.render_object(room, image_id).unwrap();
+    let lit = rendered.pixels().iter().filter(|&&p| p >= 250).count();
+    assert!(lit > 20);
+
+    // dr-b deletes dr-a's text element.
+    let id = match &eb[0] {
+        RoomEvent::ObjectChanged { delta: Delta::TextAdded { id, .. }, .. } => *id,
+        other => panic!("expected TextAdded, got {other:?}"),
+    };
+    srv.act(room, "dr-b", Action::DeleteElement { object: image_id, element: id }).unwrap();
+    assert_eq!(srv.object_elements(room, image_id).unwrap(), 1);
+}
+
+#[test]
+fn freeze_blocks_other_partners() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+
+    srv.act(room, "dr-a", Action::Freeze { object: image_id }).unwrap();
+    // dr-b cannot annotate or re-freeze.
+    let text = Action::AddText {
+        object: image_id,
+        element: TextElement { x: 0, y: 0, text: "X".into(), intensity: 255, scale: 1 },
+    };
+    assert!(matches!(
+        srv.act(room, "dr-b", text.clone()),
+        Err(ServerError::Frozen { .. })
+    ));
+    assert!(matches!(
+        srv.act(room, "dr-b", Action::Freeze { object: image_id }),
+        Err(ServerError::FreezeConflict(_))
+    ));
+    // The holder still can.
+    srv.act(
+        room,
+        "dr-a",
+        Action::AddLine {
+            object: image_id,
+            element: LineElement { x0: 0, y0: 0, x1: 5, y1: 5, intensity: 200 },
+        },
+    )
+    .unwrap();
+    // Only the holder may release.
+    assert!(srv.act(room, "dr-b", Action::Release { object: image_id }).is_err());
+    srv.act(room, "dr-a", Action::Release { object: image_id }).unwrap();
+    srv.act(room, "dr-b", text).unwrap();
+}
+
+#[test]
+fn leaving_releases_freezes() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    srv.act(room, "dr-a", Action::Freeze { object: image_id }).unwrap();
+    srv.leave(room, "dr-a").unwrap();
+    let events = drain(&b);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RoomEvent::Released { .. })));
+    // dr-b can now freeze.
+    srv.act(room, "dr-b", Action::Freeze { object: image_id }).unwrap();
+}
+
+#[test]
+fn global_operation_affects_everyone_and_persists() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _b = srv.join(room, "dr-b").unwrap();
+
+    srv.act(
+        room,
+        "dr-a",
+        Action::ApplyOperation {
+            component: ct,
+            trigger_form: 0,
+            operation: "segmentation".into(),
+            global: true,
+        },
+    )
+    .unwrap();
+    for user in ["dr-a", "dr-b"] {
+        let p = srv.presentation(room, user).unwrap();
+        assert_eq!(p.derived_states().len(), 1, "{user} sees the derived var");
+        assert_eq!(p.derived_states()[0].1, "segmentation applied");
+    }
+    // Persist and reload through the database.
+    srv.save_document(room, "dr-a").unwrap();
+    let room2 = srv.create_room("dr-b", "second", doc_id).unwrap();
+    let _c = srv.join(room2, "dr-b").unwrap();
+    let p = srv.presentation(room2, "dr-b").unwrap();
+    assert_eq!(p.derived_states().len(), 1, "derived var survived storage");
+}
+
+#[test]
+fn local_operation_stays_private() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _b = srv.join(room, "dr-b").unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::ApplyOperation {
+            component: ct,
+            trigger_form: 0,
+            operation: "zoom".into(),
+            global: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(srv.presentation(room, "dr-a").unwrap().derived_states().len(), 1);
+    assert!(srv.presentation(room, "dr-b").unwrap().derived_states().is_empty());
+}
+
+#[test]
+fn layered_image_payload_can_be_opened() {
+    let (srv, doc_id, _, _, _) = setup();
+    let img = ct_phantom(64, 1, 9).unwrap();
+    let stream = rcmo_codec::encode(&img, &rcmo_codec::EncoderConfig::default()).unwrap();
+    let lic_id = srv
+        .database()
+        .insert_image(
+            "admin",
+            &ImageObject {
+                name: "layered-ct".into(),
+                quality: 1,
+                texts: String::new(),
+                cm: Vec::new(),
+                data: stream,
+            },
+        )
+        .unwrap();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    srv.open_image(room, "dr-a", lic_id).unwrap();
+    let rendered = srv.render_object(room, lic_id).unwrap();
+    assert_eq!(rendered.width(), 64);
+}
+
+#[test]
+fn save_and_close_image_persists_annotations() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::AddText {
+            object: image_id,
+            element: TextElement { x: 1, y: 1, text: "F1".into(), intensity: 255, scale: 1 },
+        },
+    )
+    .unwrap();
+    srv.save_and_close_image(room, "dr-a", image_id).unwrap();
+    // The object left the room.
+    assert!(srv.render_object(room, image_id).is_err());
+    // The stored overlay can be reloaded (the image got a fresh id on save).
+    let list = srv.database().list_objects("dr-a", "Image").unwrap();
+    let saved = list.iter().find(|o| o.label == "ct-slice").unwrap();
+    let obj = srv.database().get_image("dr-a", saved.id).unwrap();
+    let base = rcmo_imaging::GrayImage::from_bytes(&obj.data).unwrap();
+    let restored = AnnotatedImage::from_parts(base, &obj.cm).unwrap();
+    assert_eq!(restored.num_elements(), 1);
+}
+
+#[test]
+fn stats_and_change_log_accumulate() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _b = srv.join(room, "dr-b").unwrap();
+    for i in 0..5 {
+        srv.act(room, "dr-a", Action::Chat { text: format!("msg {i}") }).unwrap();
+    }
+    srv.act(room, "dr-a", Action::Choose { component: ct, form: 1 }).unwrap();
+    let stats = srv.room_stats(room).unwrap();
+    // 2 joins + 5 chats + choice + presentation = 9 logged changes.
+    assert_eq!(stats.changes_logged, 9);
+    assert_eq!(srv.change_log_len(room).unwrap(), 9);
+    assert!(stats.bytes_delivered > 0);
+    assert!(stats.events_delivered >= stats.changes_logged);
+}
+
+#[test]
+fn concurrent_partners_see_one_total_order() {
+    use std::sync::Arc;
+    let (srv, doc_id, image_id, ct, _) = setup();
+    let srv = Arc::new(srv);
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    // Discard the asymmetric join events so both logs start together.
+    drain(&a);
+    drain(&b);
+
+    let mut handles = Vec::new();
+    for (user, salt) in [("dr-a", 0i64), ("dr-b", 100)] {
+        let srv = Arc::clone(&srv);
+        let user = user.to_string();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..25 {
+                srv.act(room, &user, Action::Chat { text: format!("{user} {i}") }).unwrap();
+                srv.act(
+                    room,
+                    &user,
+                    Action::AddLine {
+                        object: image_id,
+                        element: LineElement {
+                            x0: salt + i,
+                            y0: 0,
+                            x1: salt + i,
+                            y1: 63,
+                            intensity: 100,
+                        },
+                    },
+                )
+                .unwrap();
+                if i % 5 == 0 {
+                    let _ = srv.act(room, &user, Action::Choose { component: ct, form: (i % 2) as usize });
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ea = drain(&a);
+    let eb = drain(&b);
+    assert_eq!(ea, eb, "both partners observed the same total order");
+    assert_eq!(srv.object_elements(room, image_id).unwrap(), 50);
+}
+
+#[test]
+fn audio_analysis_is_cooperative_and_persistent() {
+    let (srv, doc_id, _, _, _) = setup();
+    // Store a labelled synthetic recording as a PCM audio object.
+    let sc = rcmo_audio::SynthConfig { seed: 808, ..rcmo_audio::SynthConfig::default() };
+    let mut samples = rcmo_audio::synth::silence(0.6, &sc);
+    samples.extend(rcmo_audio::synth::babble(
+        &rcmo_audio::VoiceProfile::female("f"),
+        1.2,
+        &sc,
+    ));
+    let audio_id = srv
+        .database()
+        .insert_audio(
+            "admin",
+            &rcmo_mediadb::AudioObject {
+                filename: "consult.pcm".into(),
+                sectors: vec![],
+                data: rcmo_audio::synth::to_pcm16(&samples),
+            },
+        )
+        .unwrap();
+
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    drain(&b);
+    let segments = srv.analyse_audio(room, "dr-a", audio_id).unwrap();
+    assert!(!segments.is_empty());
+    assert!(segments.iter().any(|s| s.class == rcmo_audio::AudioClass::Speech));
+
+    // The other partner received the shared result.
+    let events = drain(&b);
+    let analysed = events.iter().find_map(|e| match e {
+        RoomEvent::AudioAnalysed { summary, by, .. } => Some((summary.clone(), by.clone())),
+        _ => None,
+    });
+    let (summary, by) = analysed.expect("AudioAnalysed broadcast");
+    assert_eq!(by, "dr-a");
+    assert!(summary.contains("speech"), "{summary}");
+
+    // The analysis persisted into FLD_SECTORS.
+    let stored = srv.database().get_audio("dr-b", audio_id).unwrap();
+    let decoded = rcmo_audio::segment::decode_segments(&stored.sectors).unwrap();
+    assert_eq!(decoded, segments);
+
+    // Non-members cannot share into the room.
+    assert!(srv.analyse_audio(room, "admin", audio_id).is_err());
+}
+
+#[test]
+fn triggers_fire_on_matching_events() {
+    use crate::events::TriggerCondition;
+    let (srv, doc_id, image_id, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    // dr-b wants to know when anyone touches the CT component or mentions
+    // "urgent" in chat.
+    let t1 = srv
+        .add_trigger(room, "dr-b", TriggerCondition::ChoiceOn { component: ct })
+        .unwrap();
+    let t2 = srv
+        .add_trigger(room, "dr-b", TriggerCondition::ChatContains { needle: "urgent".into() })
+        .unwrap();
+    drain(&a);
+    drain(&b);
+
+    srv.act(room, "dr-a", Action::Choose { component: ct, form: 1 }).unwrap();
+    srv.act(room, "dr-a", Action::Chat { text: "nothing special".into() }).unwrap();
+    srv.act(room, "dr-a", Action::Chat { text: "this is urgent!".into() }).unwrap();
+
+    let events = drain(&b);
+    let fired: Vec<(u64, String)> = events
+        .iter()
+        .filter_map(|e| match e {
+            RoomEvent::TriggerFired { trigger, cause, .. } => Some((*trigger, cause.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fired.len(), 2, "{fired:?}");
+    assert_eq!(fired[0].0, t1);
+    assert_eq!(fired[1].0, t2);
+    assert!(fired[1].1.contains("urgent"));
+    // Both partners observed the fired triggers (shared room semantics).
+    let a_events = drain(&a);
+    let a_fired = a_events
+        .iter()
+        .filter(|e| matches!(e, RoomEvent::TriggerFired { .. }))
+        .count();
+    assert_eq!(a_fired, 2);
+
+    // Only the owner can remove; unknown id errors.
+    assert!(srv.remove_trigger(room, "dr-a", t1).is_err());
+    srv.remove_trigger(room, "dr-b", t1).unwrap();
+    assert!(srv.remove_trigger(room, "dr-b", 999).is_err());
+    drain(&b);
+    srv.act(room, "dr-a", Action::Choose { component: ct, form: 0 }).unwrap();
+    let events = drain(&b);
+    assert!(
+        !events.iter().any(|e| matches!(e, RoomEvent::TriggerFired { .. })),
+        "removed trigger must not fire"
+    );
+}
+
+#[test]
+fn admin_broadcast_reaches_all_rooms() {
+    let (srv, doc_id, _, _, _) = setup();
+    let r1 = srv.create_room("dr-a", "one", doc_id).unwrap();
+    let r2 = srv.create_room("dr-b", "two", doc_id).unwrap();
+    let a = srv.join(r1, "dr-a").unwrap();
+    let b = srv.join(r2, "dr-b").unwrap();
+    drain(&a);
+    drain(&b);
+    // Non-admins cannot broadcast.
+    assert!(srv.broadcast_announcement("dr-a", "hi").is_err());
+    let reached = srv.broadcast_announcement("admin", "maintenance at 18:00").unwrap();
+    assert_eq!(reached, 2);
+    for conn in [&a, &b] {
+        let events = drain(conn);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            RoomEvent::Chat { user, text } if user.contains("announcement") && text.contains("maintenance")
+        )));
+    }
+}
+
+#[test]
+fn render_presentation_shows_content_pane() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let text = srv.render_presentation(room, "dr-a").unwrap();
+    assert!(text.contains("CT: flat"));
+    assert!(text.contains("X-ray: icon"));
+    srv.act(room, "dr-a", Action::Choose { component: ct, form: 2 }).unwrap();
+    let text = srv.render_presentation(room, "dr-a").unwrap();
+    assert!(!text.contains("CT: flat"));
+    assert!(text.contains("X-ray: flat"));
+    assert!(srv.render_presentation(room, "ghost").is_err());
+}

@@ -1,0 +1,440 @@
+use super::*;
+use crate::catalog::{Column, ColumnType};
+
+fn media_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("ID", ColumnType::U64),
+        Column::new("FLD_NAME", ColumnType::Text),
+        Column::new("FLD_MIME", ColumnType::Text),
+        Column::new("FLD_DATA", ColumnType::Blob),
+    ])
+    .unwrap()
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcmo-db-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{tag}.db"));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(wal_path_for(&p));
+    p
+}
+
+#[test]
+fn create_insert_get() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let id = tx
+        .insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("a".into()),
+                RowValue::Text("image/ct".into()),
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+    assert_eq!(id, 1);
+    let row = tx.get("T", id).unwrap().unwrap();
+    assert_eq!(row[1], RowValue::Text("a".into()));
+    assert_eq!(tx.get("T", 99).unwrap(), None);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn auto_ids_are_monotone_and_explicit_ids_respected() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let a = tx
+        .insert("T", vec![RowValue::Null, RowValue::Text("a".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    let b = tx
+        .insert("T", vec![RowValue::U64(10), RowValue::Text("b".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    let c = tx
+        .insert("T", vec![RowValue::Null, RowValue::Text("c".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    assert_eq!((a, b), (1, 10));
+    assert_eq!(c, 11, "auto id resumes after the explicit one");
+    assert!(matches!(
+        tx.insert("T", vec![RowValue::U64(10), RowValue::Text("dup".into()), RowValue::Null, RowValue::Null]),
+        Err(StorageError::DuplicateKey(10))
+    ));
+    // The failed insert must not leave a ghost row.
+    assert_eq!(tx.count("T").unwrap(), 3);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn update_and_delete() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let id = tx
+        .insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    tx.update(
+        "T",
+        id,
+        vec![RowValue::Null, RowValue::Text("y".into()), RowValue::Text("m".into()), RowValue::Null],
+    )
+    .unwrap();
+    assert_eq!(tx.get("T", id).unwrap().unwrap()[1], RowValue::Text("y".into()));
+    let old = tx.delete("T", id).unwrap();
+    assert_eq!(old[1], RowValue::Text("y".into()));
+    assert_eq!(tx.get("T", id).unwrap(), None);
+    assert!(tx.delete("T", id).is_err());
+    tx.commit().unwrap();
+}
+
+#[test]
+fn update_cannot_change_pk() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let id = tx
+        .insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    assert!(tx
+        .update("T", id, vec![RowValue::U64(id + 1), RowValue::Text("y".into()), RowValue::Null, RowValue::Null])
+        .is_err());
+    tx.commit().unwrap();
+}
+
+#[test]
+fn scan_and_range_are_key_ordered() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    for id in [5u64, 1, 9, 3, 7] {
+        tx.insert(
+            "T",
+            vec![RowValue::U64(id), RowValue::Text(format!("n{id}")), RowValue::Null, RowValue::Null],
+        )
+        .unwrap();
+    }
+    let rows = tx.scan("T").unwrap();
+    let ids: Vec<u64> = rows.iter().map(|r| r[0].as_u64().unwrap()).collect();
+    assert_eq!(ids, vec![1, 3, 5, 7, 9]);
+    let mid = tx.range("T", 3, 7).unwrap();
+    assert_eq!(mid.len(), 3);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn unknown_table_errors() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    assert!(tx.get("NOPE", 1).is_err());
+    assert!(tx.insert("NOPE", vec![RowValue::Null]).is_err());
+    assert!(tx.drop_table("NOPE").is_err());
+    tx.create_table("T", media_schema()).unwrap();
+    assert!(matches!(
+        tx.create_table("T", media_schema()),
+        Err(StorageError::Catalog(_))
+    ));
+}
+
+#[test]
+fn blob_in_row_roundtrip() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let payload: Vec<u8> = (0..50_000).map(|i| (i % 251) as u8).collect();
+    let blob = tx.put_blob(&payload).unwrap();
+    let id = tx
+        .insert(
+            "T",
+            vec![RowValue::Null, RowValue::Text("ct".into()), RowValue::Text("image".into()), RowValue::Blob(blob)],
+        )
+        .unwrap();
+    let row = tx.get("T", id).unwrap().unwrap();
+    let got = tx.get_blob(row[3].as_blob().unwrap()).unwrap();
+    assert_eq!(got, payload);
+    assert_eq!(tx.blob_len(blob).unwrap(), 50_000);
+    let prefix = tx.get_blob_prefix(blob, 100).unwrap();
+    assert_eq!(prefix, &payload[..100]);
+    tx.commit().unwrap();
+}
+
+#[test]
+fn rollback_on_drop_discards_everything() {
+    let db = Database::in_memory().unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+            .unwrap();
+        // dropped without commit
+    }
+    let mut tx = db.begin().unwrap();
+    assert!(tx.get("T", 1).is_err(), "table creation rolled back");
+    assert!(tx.table_names().is_empty());
+}
+
+#[test]
+fn explicit_rollback() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    tx.commit().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    tx.rollback();
+    let mut tx = db.begin().unwrap();
+    assert_eq!(tx.count("T").unwrap(), 0);
+}
+
+#[test]
+fn persistence_across_reopen() {
+    let path = tmp_path("persist");
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        for i in 0..200u64 {
+            tx.insert(
+                "T",
+                vec![RowValue::Null, RowValue::Text(format!("row{i}")), RowValue::Null, RowValue::Null],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        assert_eq!(tx.count("T").unwrap(), 200);
+        assert_eq!(
+            tx.get("T", 150).unwrap().unwrap()[1],
+            RowValue::Text("row149".into())
+        );
+        // Ids continue after reopen.
+        let id = tx
+            .insert("T", vec![RowValue::Null, RowValue::Text("new".into()), RowValue::Null, RowValue::Null])
+            .unwrap();
+        assert_eq!(id, 201);
+        tx.commit().unwrap();
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path_for(&path));
+}
+
+#[test]
+fn recovery_replays_wal_after_crash() {
+    let path = tmp_path("recovery");
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.commit().unwrap();
+        let mut tx = db.begin().unwrap();
+        tx.insert("T", vec![RowValue::Null, RowValue::Text("survivor".into()), RowValue::Null, RowValue::Null])
+            .unwrap();
+        // Crash right after the WAL sync: data file not updated.
+        tx.simulate_crash_after_wal().unwrap();
+        // Within the *same* process the data file is stale:
+        let mut tx = db.begin().unwrap();
+        assert_eq!(tx.count("T").unwrap(), 0, "data file is pre-commit");
+    }
+    {
+        // Reopen: recovery must replay the committed transaction.
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        assert_eq!(tx.count("T").unwrap(), 1);
+        assert_eq!(
+            tx.get("T", 1).unwrap().unwrap()[1],
+            RowValue::Text("survivor".into())
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path_for(&path));
+}
+
+#[test]
+fn torn_wal_tail_loses_only_uncommitted() {
+    let path = tmp_path("torn");
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.insert("T", vec![RowValue::Null, RowValue::Text("committed".into()), RowValue::Null, RowValue::Null])
+            .unwrap();
+        tx.simulate_crash_after_wal().unwrap();
+    }
+    // Rip bytes off the WAL tail: the commit record is damaged, so the
+    // whole transaction must vanish on recovery.
+    let wal = wal_path_for(&path);
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    {
+        let db = Database::open(&path).unwrap();
+        let tx = db.begin().unwrap();
+        assert!(tx.table_names().is_empty(), "uncommitted txn discarded");
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal);
+}
+
+#[test]
+fn drop_table_frees_space_for_reuse() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("A", media_schema()).unwrap();
+    for i in 0..500u64 {
+        tx.insert("A", vec![RowValue::Null, RowValue::Text(format!("{i}")), RowValue::Null, RowValue::Null])
+            .unwrap();
+    }
+    tx.drop_table("A").unwrap();
+    assert!(tx.table_names().is_empty());
+    tx.create_table("B", media_schema()).unwrap();
+    let id = tx
+        .insert("B", vec![RowValue::Null, RowValue::Text("fresh".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    assert_eq!(tx.get("B", id).unwrap().unwrap()[1], RowValue::Text("fresh".into()));
+    tx.commit().unwrap();
+}
+
+#[test]
+fn multiple_tables_are_independent() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("IMAGE_OBJECTS_TABLE", media_schema()).unwrap();
+    tx.create_table("AUDIO_OBJECTS_TABLE", media_schema()).unwrap();
+    tx.insert("IMAGE_OBJECTS_TABLE", vec![RowValue::Null, RowValue::Text("img".into()), RowValue::Null, RowValue::Null])
+        .unwrap();
+    assert_eq!(tx.count("IMAGE_OBJECTS_TABLE").unwrap(), 1);
+    assert_eq!(tx.count("AUDIO_OBJECTS_TABLE").unwrap(), 0);
+    assert_eq!(
+        tx.table_names(),
+        vec!["AUDIO_OBJECTS_TABLE".to_string(), "IMAGE_OBJECTS_TABLE".to_string()]
+    );
+    tx.commit().unwrap();
+}
+
+#[test]
+fn large_table_spans_many_pages() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let n = 3_000u64;
+    for i in 0..n {
+        tx.insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text(format!("record-{i:05}")),
+                RowValue::Text("media/type".into()),
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+    }
+    assert_eq!(tx.count("T").unwrap(), n as usize);
+    for i in (1..=n).step_by(131) {
+        assert_eq!(
+            tx.get("T", i).unwrap().unwrap()[1],
+            RowValue::Text(format!("record-{:05}", i - 1))
+        );
+    }
+    tx.commit().unwrap();
+}
+
+#[test]
+fn blob_survives_reopen() {
+    let path = tmp_path("blob");
+    let payload: Vec<u8> = (0..123_456).map(|i| (i * 7 % 256) as u8).collect();
+    let blob_id;
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        blob_id = tx.put_blob(&payload).unwrap();
+        tx.commit().unwrap();
+    }
+    {
+        let db = Database::open(&path).unwrap();
+        let mut tx = db.begin().unwrap();
+        assert_eq!(tx.get_blob(blob_id).unwrap(), payload);
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path_for(&path));
+}
+
+#[test]
+fn schema_is_persisted() {
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table("T", media_schema()).unwrap();
+    let s = tx.schema("T").unwrap();
+    assert_eq!(s.arity(), 4);
+    assert_eq!(s.columns()[3].name, "FLD_DATA");
+    assert_eq!(s.columns()[3].ty, ColumnType::Blob);
+}
+
+#[test]
+fn pool_exhaustion_aborts_cleanly() {
+    // A tiny pool cannot hold a big transaction's dirty set (no-steal);
+    // the operation errors, the transaction rolls back on drop, and the
+    // database stays fully usable.
+    let db = Database::in_memory_with_pool(8).unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.commit().unwrap();
+    }
+    {
+        let mut tx = db.begin().unwrap();
+        let mut failed = false;
+        for i in 0..5_000u64 {
+            match tx.insert(
+                "T",
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(format!("row {i} with some padding text")),
+                    RowValue::Null,
+                    RowValue::Null,
+                ],
+            ) {
+                Ok(_) => {}
+                Err(StorageError::PoolExhausted) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "an 8-frame pool must exhaust eventually");
+        // Dropped here: rollback.
+    }
+    {
+        let mut tx = db.begin().unwrap();
+        assert_eq!(tx.count("T").unwrap(), 0, "partial txn fully rolled back");
+    }
+    // Small batches still work fine.
+    for _ in 0..20 {
+        let mut tx = db.begin().unwrap();
+        for _ in 0..5 {
+            tx.insert(
+                "T",
+                vec![RowValue::Null, RowValue::Text("ok".into()), RowValue::Null, RowValue::Null],
+            )
+            .unwrap();
+        }
+        tx.commit().unwrap();
+    }
+    let mut tx = db.begin().unwrap();
+    assert_eq!(tx.count("T").unwrap(), 100);
+}
+
+#[test]
+fn try_begin_is_non_blocking() {
+    let db = Database::in_memory().unwrap();
+    let tx = db.try_begin().expect("no other transaction");
+    assert!(db.try_begin().is_none(), "second concurrent txn refused");
+    drop(tx);
+    assert!(db.try_begin().is_some());
+}

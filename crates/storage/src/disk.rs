@@ -1,0 +1,196 @@
+//! The disk manager: raw page I/O against the data file (or an in-memory
+//! image for tests and ephemeral databases).
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Backing storage for pages: a real file or an in-memory vector.
+#[derive(Debug)]
+pub enum DiskManager {
+    /// File-backed storage.
+    File {
+        /// The open data file.
+        file: File,
+        /// Number of pages currently in the file.
+        pages: u64,
+    },
+    /// In-memory storage (no durability; used for ephemeral databases).
+    Memory {
+        /// Raw page images.
+        images: Vec<Vec<u8>>,
+    },
+}
+
+impl DiskManager {
+    /// Opens (or creates) a file-backed disk manager.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::BadHeader(format!(
+                "data file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(DiskManager::File {
+            file,
+            pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    /// Creates an in-memory disk manager.
+    pub fn in_memory() -> Self {
+        DiskManager::Memory { images: Vec::new() }
+    }
+
+    /// Number of pages in the store.
+    pub fn num_pages(&self) -> u64 {
+        match self {
+            DiskManager::File { pages, .. } => *pages,
+            DiskManager::Memory { images } => images.len() as u64,
+        }
+    }
+
+    /// Reads and checksum-verifies a page.
+    pub fn read_page(&mut self, id: PageId) -> Result<Page> {
+        if id.0 >= self.num_pages() {
+            return Err(StorageError::PageOutOfBounds(id.0));
+        }
+        match self {
+            DiskManager::File { file, .. } => {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.read_exact(&mut buf)?;
+                Page::from_bytes(id, &buf)
+            }
+            DiskManager::Memory { images } => Page::from_bytes(id, &images[id.0 as usize]),
+        }
+    }
+
+    /// Seals (checksums) and writes a page. Extends the store if `id` is
+    /// exactly one past the end; anything further is an error.
+    pub fn write_page(&mut self, id: PageId, page: &mut Page) -> Result<()> {
+        let n = self.num_pages();
+        if id.0 > n {
+            return Err(StorageError::PageOutOfBounds(id.0));
+        }
+        let bytes = page.sealed_bytes();
+        match self {
+            DiskManager::File { file, pages } => {
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.write_all(bytes)?;
+                if id.0 == *pages {
+                    *pages += 1;
+                }
+            }
+            DiskManager::Memory { images } => {
+                if id.0 == n {
+                    images.push(bytes.to_vec());
+                } else {
+                    images[id.0 as usize].copy_from_slice(bytes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes an already-sealed page image verbatim (WAL replay). The image
+    /// must be exactly one page; the store is extended as needed, zero-
+    /// filling any gap (replay may reference pages past the current end).
+    pub fn write_raw(&mut self, id: PageId, image: &[u8]) -> Result<()> {
+        if image.len() != PAGE_SIZE {
+            return Err(StorageError::Internal(format!(
+                "raw image of {} bytes",
+                image.len()
+            )));
+        }
+        while self.num_pages() < id.0 {
+            let gap = PageId(self.num_pages());
+            let mut filler = Page::new(crate::page::PageKind::Free);
+            self.write_page(gap, &mut filler)?;
+        }
+        match self {
+            DiskManager::File { file, pages } => {
+                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+                file.write_all(image)?;
+                if id.0 == *pages {
+                    *pages += 1;
+                }
+            }
+            DiskManager::Memory { images } => {
+                if id.0 == images.len() as u64 {
+                    images.push(image.to_vec());
+                } else {
+                    images[id.0 as usize].copy_from_slice(image);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes OS buffers to stable storage (no-op in memory).
+    pub fn sync(&mut self) -> Result<()> {
+        if let DiskManager::File { file, .. } = self {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    #[test]
+    fn memory_read_write() {
+        let mut dm = DiskManager::in_memory();
+        assert_eq!(dm.num_pages(), 0);
+        let mut p = Page::new(PageKind::Heap);
+        p.put_u64(0, 77);
+        dm.write_page(PageId(0), &mut p).unwrap();
+        assert_eq!(dm.num_pages(), 1);
+        let q = dm.read_page(PageId(0)).unwrap();
+        assert_eq!(q.get_u64(0), 77);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut dm = DiskManager::in_memory();
+        assert!(dm.read_page(PageId(0)).is_err());
+        let mut p = Page::new(PageKind::Heap);
+        assert!(dm.write_page(PageId(5), &mut p).is_err());
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rcmo-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut dm = DiskManager::open(&path).unwrap();
+            let mut p = Page::new(PageKind::Blob);
+            p.put_u32(0, 123);
+            dm.write_page(PageId(0), &mut p).unwrap();
+            let mut p2 = Page::new(PageKind::Heap);
+            p2.put_u32(4, 456);
+            dm.write_page(PageId(1), &mut p2).unwrap();
+            dm.sync().unwrap();
+        }
+        {
+            let mut dm = DiskManager::open(&path).unwrap();
+            assert_eq!(dm.num_pages(), 2);
+            assert_eq!(dm.read_page(PageId(0)).unwrap().get_u32(0), 123);
+            assert_eq!(dm.read_page(PageId(1)).unwrap().get_u32(4), 456);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

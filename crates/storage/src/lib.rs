@@ -1,0 +1,47 @@
+//! # rcmo-storage — an embedded page-based storage engine
+//!
+//! The paper stores multimedia objects in an Oracle object-relational
+//! database as BLOBs behind a narrow fetch/store API. This crate is the
+//! substitute substrate: a small but real storage engine with
+//!
+//! * fixed-size [pages](page) with checksums,
+//! * a [buffer pool](pager) (LRU eviction over clean frames, no-steal policy),
+//! * a redo-only [write-ahead log](wal) with crash recovery,
+//! * [slotted-page heap files](heap) for records,
+//! * a [B+tree](btree) index for `u64 → u64` mappings (primary keys),
+//! * a [chunked BLOB store](blob) for multimedia payloads of up to 4 GiB
+//!   (the paper's Oracle BLOB limit), and
+//! * a [catalog] + [database facade](db) with typed tables and
+//!   single-writer transactions.
+//!
+//! The `rcmo-mediadb` crate builds the paper's Figure-7 schema on top.
+//!
+//! ## Durability contract
+//!
+//! Transactions are single-writer (enforced by the borrow checker: a
+//! [`db::Transaction`] holds the database lock). Commit appends after-images
+//! of all dirty pages plus a commit record to the WAL, syncs it, then writes
+//! the pages to the data file ("redo WAL, force at commit"). Recovery on
+//! open replays committed WAL transactions in order; torn or uncommitted
+//! tails are discarded by record checksums.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod btree;
+pub mod catalog;
+pub mod db;
+pub mod disk;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod wal;
+
+pub use blob::BlobId;
+pub use catalog::{Column, ColumnType, Schema};
+pub use db::{Database, RowValue, Transaction};
+pub use error::StorageError;
+pub use heap::RecordId;
+pub use page::{PageId, PAGE_SIZE};

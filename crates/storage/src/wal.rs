@@ -1,0 +1,355 @@
+//! Redo-only write-ahead log.
+//!
+//! The WAL carries *after-images* of every page a transaction dirtied,
+//! followed by a commit record. Records are individually checksummed so a
+//! torn tail (crash mid-append) is detected and discarded; everything before
+//! the first bad record that belongs to a committed transaction is replayed.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! magic "RCWL"
+//! record := tag u8 | len u32 | payload | crc32(tag ‖ len ‖ payload) u32
+//! tag 'P': payload = txn u64 | page u64 | PAGE_SIZE image bytes
+//! tag 'C': payload = txn u64
+//! ```
+
+use crate::error::{Result, StorageError};
+use crate::page::{crc32, PageId, PAGE_SIZE};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RCWL";
+
+/// A raw page after-image carried by the log.
+pub type PageImage = Vec<u8>;
+const TAG_PAGE: u8 = b'P';
+const TAG_COMMIT: u8 = b'C';
+
+/// A decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// After-image of a page written by a transaction.
+    PageImage {
+        /// The writing transaction.
+        txn: u64,
+        /// The page the image belongs to.
+        page: PageId,
+        /// The sealed page image.
+        image: Vec<u8>,
+    },
+    /// Transaction commit marker.
+    Commit {
+        /// The committing transaction.
+        txn: u64,
+    },
+}
+
+/// The write-ahead log: an append-only file (or in-memory buffer).
+#[derive(Debug)]
+pub enum Wal {
+    /// File-backed log.
+    File {
+        /// The open log file.
+        file: File,
+    },
+    /// In-memory log (ephemeral databases; replay still works in-process).
+    Memory {
+        /// The raw log bytes (starting with the magic).
+        buf: Vec<u8>,
+    },
+}
+
+impl Wal {
+    /// Opens (or creates) a file-backed WAL at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(MAGIC)?;
+            file.sync_data()?;
+        } else {
+            let mut magic = [0u8; 4];
+            file.seek(SeekFrom::Start(0))?;
+            file.read_exact(&mut magic)?;
+            if &magic != MAGIC {
+                return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal::File { file })
+    }
+
+    /// Creates an in-memory WAL.
+    pub fn in_memory() -> Self {
+        Wal::Memory {
+            buf: MAGIC.to_vec(),
+        }
+    }
+
+    fn append(&mut self, tag: u8, payload: &[u8]) -> Result<()> {
+        let len = payload.len() as u32;
+        let mut framed = Vec::with_capacity(payload.len() + 9);
+        framed.push(tag);
+        framed.extend_from_slice(&len.to_le_bytes());
+        framed.extend_from_slice(payload);
+        let sum = crc32(&framed);
+        framed.extend_from_slice(&sum.to_le_bytes());
+        match self {
+            Wal::File { file } => {
+                file.write_all(&framed)?;
+            }
+            Wal::Memory { buf } => buf.extend_from_slice(&framed),
+        }
+        Ok(())
+    }
+
+    /// Appends a page after-image for `txn`.
+    pub fn log_page(&mut self, txn: u64, page: PageId, image: &[u8; PAGE_SIZE]) -> Result<()> {
+        let mut payload = Vec::with_capacity(16 + PAGE_SIZE);
+        payload.extend_from_slice(&txn.to_le_bytes());
+        payload.extend_from_slice(&page.0.to_le_bytes());
+        payload.extend_from_slice(image);
+        self.append(TAG_PAGE, &payload)
+    }
+
+    /// Appends a commit marker for `txn`.
+    pub fn log_commit(&mut self, txn: u64) -> Result<()> {
+        self.append(TAG_COMMIT, &txn.to_le_bytes())
+    }
+
+    /// Forces the log to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Wal::File { file } = self {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Resets the log to just the magic (after a checkpoint has made all
+    /// committed images durable in the data file).
+    pub fn truncate(&mut self) -> Result<()> {
+        match self {
+            Wal::File { file } => {
+                file.set_len(MAGIC.len() as u64)?;
+                file.seek(SeekFrom::End(0))?;
+                file.sync_data()?;
+            }
+            Wal::Memory { buf } => {
+                buf.truncate(MAGIC.len());
+            }
+        }
+        Ok(())
+    }
+
+    /// Byte length of the log (including the magic).
+    pub fn len(&mut self) -> Result<u64> {
+        Ok(match self {
+            Wal::File { file } => file.metadata()?.len(),
+            Wal::Memory { buf } => buf.len() as u64,
+        })
+    }
+
+    /// `true` if the log holds no records.
+    pub fn is_empty(&mut self) -> Result<bool> {
+        Ok(self.len()? <= MAGIC.len() as u64)
+    }
+
+    /// Decodes all intact records, stopping silently at a torn tail.
+    pub fn records(&mut self) -> Result<Vec<WalRecord>> {
+        let bytes = match self {
+            Wal::File { file } => {
+                let mut buf = Vec::new();
+                file.seek(SeekFrom::Start(0))?;
+                file.read_to_end(&mut buf)?;
+                file.seek(SeekFrom::End(0))?;
+                buf
+            }
+            Wal::Memory { buf } => buf.clone(),
+        };
+        if bytes.len() < MAGIC.len() || &bytes[..4] != MAGIC {
+            return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
+        }
+        let mut records = Vec::new();
+        let mut pos = MAGIC.len();
+        while pos < bytes.len() {
+            // tag + len + crc is the minimum frame.
+            if pos + 9 > bytes.len() {
+                break; // torn tail
+            }
+            let tag = bytes[pos];
+            let len = u32::from_le_bytes([
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+                bytes[pos + 4],
+            ]) as usize;
+            let frame_end = pos + 5 + len;
+            if frame_end + 4 > bytes.len() {
+                break; // torn tail
+            }
+            let stored = u32::from_le_bytes([
+                bytes[frame_end],
+                bytes[frame_end + 1],
+                bytes[frame_end + 2],
+                bytes[frame_end + 3],
+            ]);
+            if crc32(&bytes[pos..frame_end]) != stored {
+                break; // torn / corrupt tail — stop replay here
+            }
+            let payload = &bytes[pos + 5..frame_end];
+            match tag {
+                TAG_PAGE => {
+                    if payload.len() != 16 + PAGE_SIZE {
+                        break;
+                    }
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(&payload[0..8]);
+                    let txn = u64::from_le_bytes(a);
+                    a.copy_from_slice(&payload[8..16]);
+                    let page = PageId(u64::from_le_bytes(a));
+                    records.push(WalRecord::PageImage {
+                        txn,
+                        page,
+                        image: payload[16..].to_vec(),
+                    });
+                }
+                TAG_COMMIT => {
+                    if payload.len() != 8 {
+                        break;
+                    }
+                    let mut a = [0u8; 8];
+                    a.copy_from_slice(payload);
+                    records.push(WalRecord::Commit {
+                        txn: u64::from_le_bytes(a),
+                    });
+                }
+                _ => break, // unknown tag — treat as torn tail
+            }
+            pos = frame_end + 4;
+        }
+        Ok(records)
+    }
+
+    /// Replay helper: returns the page images of *committed* transactions in
+    /// log order, plus the set of committed transaction ids.
+    #[allow(clippy::type_complexity)]
+    pub fn committed_images(&mut self) -> Result<(Vec<(PageId, PageImage)>, HashSet<u64>)> {
+        let records = self.records()?;
+        let committed: HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let images = records
+            .into_iter()
+            .filter_map(|r| match r {
+                WalRecord::PageImage { txn, page, image } if committed.contains(&txn) => {
+                    Some((page, image))
+                }
+                _ => None,
+            })
+            .collect();
+        Ok((images, committed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(fill: u8) -> [u8; PAGE_SIZE] {
+        [fill; PAGE_SIZE]
+    }
+
+    #[test]
+    fn log_and_replay_committed_only() {
+        let mut wal = Wal::in_memory();
+        wal.log_page(1, PageId(3), &image(0xAA)).unwrap();
+        wal.log_commit(1).unwrap();
+        wal.log_page(2, PageId(4), &image(0xBB)).unwrap();
+        // txn 2 never commits.
+        let (images, committed) = wal.committed_images().unwrap();
+        assert_eq!(committed.len(), 1);
+        assert!(committed.contains(&1));
+        assert_eq!(images.len(), 1);
+        assert_eq!(images[0].0, PageId(3));
+        assert!(images[0].1.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let mut wal = Wal::in_memory();
+        wal.log_page(1, PageId(1), &image(1)).unwrap();
+        wal.log_commit(1).unwrap();
+        wal.log_page(2, PageId(2), &image(2)).unwrap();
+        wal.log_commit(2).unwrap();
+        if let Wal::Memory { buf } = &mut wal {
+            let n = buf.len();
+            buf.truncate(n - 3); // rip the last commit record
+        }
+        let (images, committed) = wal.committed_images().unwrap();
+        assert!(committed.contains(&1));
+        assert!(!committed.contains(&2));
+        assert_eq!(images.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_middle_stops_replay() {
+        let mut wal = Wal::in_memory();
+        wal.log_page(1, PageId(1), &image(1)).unwrap();
+        wal.log_commit(1).unwrap();
+        wal.log_page(2, PageId(2), &image(2)).unwrap();
+        wal.log_commit(2).unwrap();
+        if let Wal::Memory { buf } = &mut wal {
+            buf[10] ^= 0xFF; // corrupt the first record
+        }
+        let (images, committed) = wal.committed_images().unwrap();
+        assert!(images.is_empty());
+        assert!(committed.is_empty());
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let mut wal = Wal::in_memory();
+        wal.log_commit(1).unwrap();
+        assert!(!wal.is_empty().unwrap());
+        wal.truncate().unwrap();
+        assert!(wal.is_empty().unwrap());
+        assert!(wal.records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_backed_wal_reopens() {
+        let dir = std::env::temp_dir().join(format!("rcmo-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.log_page(9, PageId(7), &image(7)).unwrap();
+            wal.log_commit(9).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            let (images, committed) = wal.committed_images().unwrap();
+            assert!(committed.contains(&9));
+            assert_eq!(images.len(), 1);
+            // Appending after reopen lands at the end.
+            wal.log_commit(10).unwrap();
+            let recs = wal.records().unwrap();
+            assert_eq!(recs.len(), 3);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration: codec ↔ imaging ↔ storage ↔ mediadb ↔ core.
+
+use rcmo::codec::{decode, decode_prefix, decode_resolution, encode, EncoderConfig};
+use rcmo::core::{
+    CpNet, FormKind, MediaRef, MultimediaDocument, PrefetchPlanner, PresentationEngine,
+    PresentationForm, ViewerChoice, ViewerSession,
+};
+use rcmo::imaging::{ct_phantom, psnr, segment_image, xray_projection};
+use rcmo::mediadb::{DocumentObject, ImageObject, MediaDb};
+use rcmo::storage::{Column, ColumnType, Database, RowValue, Schema};
+
+/// A layered bitstream survives storage as a BLOB and its *prefix reads*
+/// decode to coarser layers — the progressive-transfer path end to end.
+#[test]
+fn layered_stream_progressive_through_blob_store() {
+    let img = ct_phantom(96, 2, 3).unwrap();
+    let stream = encode(&img, &EncoderConfig::default()).unwrap();
+    let info = rcmo::codec::layered::info(&stream).unwrap();
+
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    let blob = tx.put_blob(&stream).unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = db.begin().unwrap();
+    // Full read → full quality.
+    let full = tx.get_blob(blob).unwrap();
+    assert_eq!(full, stream);
+    let full_img = decode(&full).unwrap();
+    // Prefix read → base layer only.
+    let l0 = info.prefix_for_layers(0);
+    let prefix = tx.get_blob_prefix(blob, l0).unwrap();
+    let (base_img, layers) = decode_prefix(&prefix).unwrap();
+    assert_eq!(layers, 1);
+    assert!(psnr(&img, &full_img) > psnr(&img, &base_img));
+    // Reduced resolution from the same stored bytes.
+    let half = decode_resolution(&prefix, 1).unwrap();
+    assert_eq!(half.width(), 48);
+}
+
+/// An image object carrying a layered stream round-trips through the
+/// Figure-7 schema, and the mediadb prefix fetch feeds the decoder.
+#[test]
+fn image_objects_with_layered_payloads() {
+    let db = MediaDb::in_memory().unwrap();
+    let img = ct_phantom(64, 1, 9).unwrap();
+    let stream = encode(&img, &EncoderConfig::default()).unwrap();
+    let info = rcmo::codec::layered::info(&stream).unwrap();
+    let id = db
+        .insert_image(
+            "admin",
+            &ImageObject {
+                name: "layered".into(),
+                quality: 2,
+                texts: String::new(),
+                cm: Vec::new(),
+                data: stream.clone(),
+            },
+        )
+        .unwrap();
+    let prefix = db
+        .get_image_prefix("admin", id, info.prefix_for_layers(1))
+        .unwrap();
+    let (decoded, layers) = decode_prefix(&prefix).unwrap();
+    assert_eq!(layers, 2);
+    assert_eq!(decoded.width(), 64);
+}
+
+/// A full document (structure + CP-net) survives the database and still
+/// reconfigures; the prefetch planner runs against the reloaded copy.
+#[test]
+fn document_roundtrip_through_mediadb_keeps_preferences() {
+    let mut doc = MultimediaDocument::new("case");
+    let a = doc
+        .add_primitive(
+            doc.root(),
+            "A",
+            MediaRef::None,
+            vec![
+                PresentationForm::new("flat", FormKind::Flat, 10_000),
+                PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+    let b = doc
+        .add_primitive(
+            doc.root(),
+            "B",
+            MediaRef::None,
+            vec![
+                PresentationForm::new("flat", FormKind::Flat, 20_000),
+                PresentationForm::new("icon", FormKind::Icon, 500),
+                PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+    // While A is shown, B is an icon.
+    doc.author_parents(b, &[a]).unwrap();
+    doc.author_preference(b, &[(a, 0)], &[1, 0, 2]).unwrap();
+    doc.author_preference(b, &[(a, 1)], &[0, 1, 2]).unwrap();
+    doc.validate().unwrap();
+
+    let db = MediaDb::in_memory().unwrap();
+    let id = db
+        .insert_document(
+            "admin",
+            &DocumentObject { title: "case".into(), data: doc.to_bytes() },
+        )
+        .unwrap();
+    let reloaded = MultimediaDocument::from_bytes(&db.get_document("admin", id).unwrap().data)
+        .unwrap();
+
+    let engine = PresentationEngine::new();
+    let mut session = ViewerSession::new("v");
+    session.choose(&reloaded, ViewerChoice { component: a, form: 1 }).unwrap();
+    let p = engine.presentation_for(&reloaded, &session).unwrap();
+    assert_eq!(p.form(b), 0, "B flat once A hidden (survived storage)");
+
+    let planner = PrefetchPlanner::default();
+    let plan = planner
+        .plan(&reloaded, &session.evidence_for(&reloaded), 50_000)
+        .unwrap();
+    assert!(plan.items.iter().any(|i| i.component == b && i.form == 0));
+}
+
+/// The CP-net binary codec composes with raw storage tables: store the
+/// Figure-2 network in a custom table, reload, and query it.
+#[test]
+fn cpnet_in_custom_table() {
+    let (net, [c1, ..]) = rcmo::core::cpnet::samples::figure2_net();
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    tx.create_table(
+        "PREFS",
+        Schema::new(vec![
+            Column::new("ID", ColumnType::U64),
+            Column::new("NET", ColumnType::Bytes),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+    let id = tx
+        .insert("PREFS", vec![RowValue::Null, RowValue::Bytes(net.to_bytes())])
+        .unwrap();
+    tx.commit().unwrap();
+
+    let mut tx = db.begin().unwrap();
+    let row = tx.get("PREFS", id).unwrap().unwrap();
+    let bytes = match &row[1] {
+        RowValue::Bytes(b) => b.clone(),
+        other => panic!("expected bytes, got {other:?}"),
+    };
+    let back = CpNet::from_bytes(&bytes).unwrap();
+    assert_eq!(back.optimal_outcome(), net.optimal_outcome());
+    assert_eq!(back.var_by_name("c1"), Some(c1));
+}
+
+/// Imaging pipeline end to end: phantom → segmentation → rendered grid →
+/// codec → storage → decode, with quality preserved within the quantiser.
+#[test]
+fn segmentation_render_compresses_and_survives() {
+    let ct = ct_phantom(96, 4, 17).unwrap();
+    let mut seg = segment_image(&ct, 6);
+    assert!(seg.num_segments() >= 2);
+    for label in 1..seg.num_segments() as u32 {
+        seg.set_fill(label, rcmo::imaging::SegmentFill::Solid(230)).unwrap();
+    }
+    let rendered = seg.render(&ct, 255).unwrap();
+    let xr = xray_projection(&ct, 12).unwrap();
+    assert_eq!(xr.width(), 96);
+
+    let stream = encode(&rendered, &EncoderConfig::default()).unwrap();
+    let db = Database::in_memory().unwrap();
+    let mut tx = db.begin().unwrap();
+    let blob = tx.put_blob(&stream).unwrap();
+    tx.commit().unwrap();
+    let mut tx = db.begin().unwrap();
+    let out = decode(&tx.get_blob(blob).unwrap()).unwrap();
+    assert!(psnr(&rendered, &out) > 28.0);
+}
+
+/// Storage pool statistics observe real caching behaviour when the same
+/// document is fetched repeatedly.
+#[test]
+fn repeated_document_fetch_hits_buffer_pool() {
+    let db = MediaDb::in_memory().unwrap();
+    let doc = MultimediaDocument::new("tiny");
+    let id = db
+        .insert_document(
+            "admin",
+            &DocumentObject { title: "tiny".into(), data: doc.to_bytes() },
+        )
+        .unwrap();
+    for _ in 0..10 {
+        let _ = db.get_document("admin", id).unwrap();
+    }
+    let stats = db.database().pool_stats();
+    assert!(stats.hits > stats.misses, "{stats:?}");
+}

@@ -1,0 +1,348 @@
+//! Property-based tests over the core data structures and codecs.
+
+use proptest::prelude::*;
+use rcmo::codec::{decode, decode_prefix, encode, EncoderConfig};
+use rcmo::core::cpnet::{improving_flips, samples::random_net, samples::RandomNetSpec};
+use rcmo::core::{CpNet, PartialAssignment, PreferenceNet, Value, VarId};
+use rcmo::imaging::GrayImage;
+use rcmo::storage::{Database, RowValue};
+
+// ---------------------------------------------------------------------
+// CP-networks.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimal outcome of any random acyclic CP-net admits no improving
+    /// flip (it is a local — and for acyclic nets global — optimum).
+    #[test]
+    fn cpnet_optimum_is_flip_free(seed in 0u64..5_000, vars in 2usize..14, dom in 2usize..4) {
+        let net = random_net(&RandomNetSpec { vars, max_domain: dom, max_parents: 3, seed });
+        let best = net.optimal_outcome();
+        prop_assert!(improving_flips(&net, &best).is_empty());
+    }
+
+    /// Optimal completion respects arbitrary evidence and leaves no
+    /// improving flip among unconstrained variables.
+    #[test]
+    fn cpnet_completion_respects_evidence(
+        seed in 0u64..5_000,
+        vars in 2usize..12,
+        pins in proptest::collection::vec((0usize..12, 0u16..2), 0..4)
+    ) {
+        let net = random_net(&RandomNetSpec { vars, max_domain: 2, max_parents: 2, seed });
+        let mut ev = PartialAssignment::empty(net.len());
+        for (v, val) in pins {
+            if v < net.len() {
+                ev.set(VarId(v as u32), Value(val));
+            }
+        }
+        let out = net.optimal_completion(&ev);
+        prop_assert!(ev.consistent_with(&out));
+        for (v, val) in improving_flips(&net, &out) {
+            // Any improving flip must be on an evidence variable (we are
+            // optimal only among completions of the evidence).
+            prop_assert!(ev.get(v).is_some(), "free var {v} improvable to {val}");
+        }
+    }
+
+    /// The binary codec round-trips arbitrary random networks exactly.
+    #[test]
+    fn cpnet_codec_roundtrip(seed in 0u64..5_000, vars in 1usize..10) {
+        let net = random_net(&RandomNetSpec { vars, max_domain: 4, max_parents: 3, seed });
+        let back = CpNet::from_bytes(&net.to_bytes()).unwrap();
+        prop_assert_eq!(back.len(), net.len());
+        prop_assert_eq!(back.optimal_outcome(), net.optimal_outcome());
+        for i in 0..net.len() {
+            let v = VarId(i as u32);
+            prop_assert_eq!(back.parents(v), net.parents(v));
+            prop_assert_eq!(back.var_name(v), net.var_name(v));
+        }
+    }
+
+    /// Preference-ordered enumeration starts at the optimum, never repeats,
+    /// and is exhaustive on small nets.
+    #[test]
+    fn cpnet_enumeration_is_a_permutation(seed in 0u64..2_000) {
+        let net = random_net(&RandomNetSpec { vars: 6, max_domain: 2, max_parents: 2, seed });
+        let all: Vec<_> = net
+            .outcomes_by_preference(&PartialAssignment::empty(net.len()))
+            .collect();
+        prop_assert_eq!(all.len(), 1 << 6);
+        prop_assert_eq!(all[0].clone(), net.optimal_outcome());
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(unique.len(), all.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layered image codec.
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encode/decode round-trips arbitrary image sizes with bounded error
+    /// (the finest layer's quantiser bounds per-pixel error loosely).
+    #[test]
+    fn codec_roundtrip_bounded_error(w in 9usize..70, h in 9usize..70, seed in 0u64..10_000) {
+        let img = GrayImage::from_fn(w, h, |x, y| {
+            let v = (x as u64 * 31 + y as u64 * 17 + seed) % 251;
+            v as u8
+        }).unwrap();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        let out = decode(&bytes).unwrap();
+        prop_assert_eq!(out.width(), w);
+        prop_assert_eq!(out.height(), h);
+        let max_err = img
+            .pixels()
+            .iter()
+            .zip(out.pixels())
+            .map(|(&a, &b)| (a as i32 - b as i32).abs())
+            .max()
+            .unwrap();
+        prop_assert!(max_err <= 64, "max pixel error {max_err}");
+    }
+
+    /// Any byte prefix either decodes (to ≥1 layer) or fails cleanly —
+    /// never panics, never produces the wrong dimensions.
+    #[test]
+    fn codec_prefix_safety(cut_permille in 0u32..1000, seed in 0u64..1_000) {
+        let img = GrayImage::from_fn(40, 33, |x, y| ((x * 7 + y * 13) as u64 + seed) as u8).unwrap();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        if let Ok((out, layers)) = decode_prefix(&bytes[..cut]) {
+            prop_assert!(layers >= 1);
+            prop_assert_eq!(out.width(), 40);
+            prop_assert_eq!(out.height(), 33);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage engine vs. a model.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random insert/update/delete workloads agree with a BTreeMap model
+    /// across commits and rollbacks.
+    #[test]
+    fn table_matches_model(ops in proptest::collection::vec((0u8..4, 0u64..48, any::<u16>()), 1..80)) {
+        use std::collections::BTreeMap;
+        let db = Database::in_memory().unwrap();
+        {
+            let mut tx = db.begin().unwrap();
+            tx.create_table(
+                "T",
+                rcmo::storage::Schema::new(vec![
+                    rcmo::storage::Column::new("ID", rcmo::storage::ColumnType::U64),
+                    rcmo::storage::Column::new("V", rcmo::storage::ColumnType::I64),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            tx.commit().unwrap();
+        }
+        let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+        let mut tx = db.begin().unwrap();
+        for (op, key, val) in ops {
+            let key = key + 1; // keys start at 1
+            let val = val as i64;
+            match op {
+                0 => {
+                    // insert (duplicate keys must be rejected by the engine)
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
+                        tx.insert("T", vec![RowValue::U64(key), RowValue::I64(val)]).unwrap();
+                        e.insert(val);
+                    } else {
+                        prop_assert!(tx
+                            .insert("T", vec![RowValue::U64(key), RowValue::I64(val)])
+                            .is_err());
+                    }
+                }
+                1 => {
+                    // update
+                    if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(key) {
+                        tx.update("T", key, vec![RowValue::Null, RowValue::I64(val)]).unwrap();
+                        e.insert(val);
+                    } else {
+                        prop_assert!(tx
+                            .update("T", key, vec![RowValue::Null, RowValue::I64(val)])
+                            .is_err());
+                    }
+                }
+                2 => {
+                    // delete
+                    if model.remove(&key).is_some() {
+                        tx.delete("T", key).unwrap();
+                    } else {
+                        prop_assert!(tx.delete("T", key).is_err());
+                    }
+                }
+                _ => {
+                    // point lookup
+                    let got = tx.get("T", key).unwrap();
+                    match model.get(&key) {
+                        Some(&v) => {
+                            let row = got.unwrap();
+                            prop_assert_eq!(row[1].clone(), RowValue::I64(v));
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+            }
+        }
+        // Full scan agrees with the model, in key order.
+        let rows = tx.scan("T").unwrap();
+        let got: Vec<(u64, i64)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_u64().unwrap(),
+                    match r[1] {
+                        RowValue::I64(v) => v,
+                        _ => unreachable!(),
+                    },
+                )
+            })
+            .collect();
+        let want: Vec<(u64, i64)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+        tx.commit().unwrap();
+    }
+
+    /// BLOBs of arbitrary contents round-trip exactly, including prefixes.
+    #[test]
+    fn blob_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..60_000), cut in 0usize..70_000) {
+        let db = Database::in_memory().unwrap();
+        let mut tx = db.begin().unwrap();
+        let id = tx.put_blob(&data).unwrap();
+        prop_assert_eq!(tx.get_blob(id).unwrap(), data.clone());
+        let prefix = tx.get_blob_prefix(id, cut).unwrap();
+        prop_assert_eq!(&prefix[..], &data[..cut.min(data.len())]);
+        prop_assert_eq!(tx.blob_len(id).unwrap(), data.len() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Documents.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomly shaped documents validate, serialise, and reload
+    /// identically (outline + optimal presentation).
+    #[test]
+    fn document_roundtrip(shape in proptest::collection::vec(0u8..3, 1..12)) {
+        use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+        let mut doc = MultimediaDocument::new("prop");
+        let mut composites = vec![doc.root()];
+        for (i, kind) in shape.iter().enumerate() {
+            let parent = composites[i % composites.len()];
+            match kind {
+                0 => {
+                    let c = doc.add_composite(parent, &format!("folder{i}")).unwrap();
+                    composites.push(c);
+                }
+                1 => {
+                    doc.add_primitive(
+                        parent,
+                        &format!("leaf{i}"),
+                        MediaRef::None,
+                        vec![
+                            PresentationForm::new("flat", FormKind::Flat, i as u64 * 100),
+                            PresentationForm::hidden(),
+                        ],
+                    )
+                    .unwrap();
+                }
+                _ => {
+                    doc.add_primitive(
+                        parent,
+                        &format!("media{i}"),
+                        MediaRef::Inline(vec![i as u8; 16]),
+                        vec![
+                            PresentationForm::new("flat", FormKind::Flat, 1_000),
+                            PresentationForm::new("icon", FormKind::Icon, 10),
+                            PresentationForm::hidden(),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        doc.validate().unwrap();
+        let back = MultimediaDocument::from_bytes(&doc.to_bytes()).unwrap();
+        prop_assert_eq!(back.outline(), doc.outline());
+        prop_assert_eq!(back.net().optimal_outcome(), doc.net().optimal_outcome());
+        prop_assert_eq!(back.num_components(), doc.num_components());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Robustness: decoders must never panic on hostile bytes.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random bytes into every public decoder: errors are fine, panics are
+    /// not, and truncations of valid streams never crash either.
+    #[test]
+    fn decoders_never_panic(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = rcmo::codec::decode(&data);
+        let _ = rcmo::codec::decode_prefix(&data);
+        let _ = CpNet::from_bytes(&data);
+        let _ = rcmo::core::MultimediaDocument::from_bytes(&data);
+        let _ = rcmo::imaging::GrayImage::from_bytes(&data);
+        let _ = rcmo::imaging::AnnotatedImage::from_bytes(&data);
+        let _ = rcmo::audio::segment::decode_segments(&data);
+    }
+
+    /// Truncating a valid document stream at any point yields a clean error
+    /// (or, at full length, the document).
+    #[test]
+    fn document_truncation_is_clean(cut_permille in 0u32..=1000) {
+        use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+        let mut doc = MultimediaDocument::new("t");
+        doc.add_primitive(
+            doc.root(),
+            "leaf",
+            MediaRef::Inline(vec![1, 2, 3]),
+            vec![
+                PresentationForm::new("flat", FormKind::Flat, 10),
+                PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+        let bytes = doc.to_bytes();
+        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+        match MultimediaDocument::from_bytes(&bytes[..cut]) {
+            Ok(d) => prop_assert_eq!(cut, bytes.len(), "only the full stream decodes: {}", d.title()),
+            Err(_) => prop_assert!(cut < bytes.len()),
+        }
+    }
+
+    /// The annotated-image overlay codec round-trips arbitrary elements.
+    #[test]
+    fn overlay_roundtrip(
+        texts in proptest::collection::vec(("[a-z ]{0,12}", 0usize..64, 0usize..64), 0..6),
+        lines in proptest::collection::vec((-64i64..128, -64i64..128, -64i64..128, -64i64..128), 0..6),
+    ) {
+        use rcmo::imaging::{AnnotatedImage, GrayImage, LineElement, TextElement};
+        let mut img = AnnotatedImage::new(GrayImage::new(32, 32).unwrap());
+        for (text, x, y) in texts {
+            img.add_text(TextElement { x, y, text, intensity: 200, scale: 1 });
+        }
+        for (x0, y0, x1, y1) in lines {
+            img.add_line(LineElement { x0, y0, x1, y1, intensity: 100 });
+        }
+        let back = AnnotatedImage::from_bytes(&img.to_bytes()).unwrap();
+        prop_assert_eq!(&back, &img);
+        let via_parts =
+            AnnotatedImage::from_parts(img.base().clone(), &img.overlay_to_bytes()).unwrap();
+        prop_assert_eq!(via_parts, img);
+        // Rendering never panics, whatever the coordinates.
+        let _ = back.render();
+    }
+}
