@@ -250,7 +250,10 @@ mod tests {
         let coverage: Vec<f64> = (0..c.frame_len / 2 + 1)
             .map(|b| bank.iter().map(|r| r[b]).sum())
             .collect();
-        let covered = coverage[4..c.frame_len / 2].iter().filter(|&&v| v > 0.0).count();
+        let covered = coverage[4..c.frame_len / 2]
+            .iter()
+            .filter(|&&v| v > 0.0)
+            .count();
         assert!(covered as f64 > 0.9 * (c.frame_len / 2 - 4) as f64);
     }
 }

@@ -216,12 +216,10 @@ impl Hmm {
                         if self.log_trans[i][j] == LOG_ZERO {
                             continue;
                         }
-                        let xi = (alpha[t][i]
-                            + self.log_trans[i][j]
-                            + emit[t + 1][j]
-                            + beta[t + 1][j]
-                            - ll)
-                            .exp();
+                        let xi =
+                            (alpha[t][i] + self.log_trans[i][j] + emit[t + 1][j] + beta[t + 1][j]
+                                - ll)
+                                .exp();
                         trans_acc[i][j] += xi;
                     }
                 }
@@ -264,7 +262,9 @@ impl Hmm {
     /// Runs `iters` Baum–Welch iterations; returns the log-likelihood trace
     /// (one entry per iteration, computed before each update).
     pub fn train(&mut self, sequences: &[&[Vec<f64>]], iters: usize) -> Vec<f64> {
-        (0..iters).map(|_| self.baum_welch_step(sequences)).collect()
+        (0..iters)
+            .map(|_| self.baum_welch_step(sequences))
+            .collect()
     }
 
     /// Flat-start initialisation for a left-right model: every training
@@ -325,7 +325,11 @@ mod tests {
     #[test]
     fn left_right_never_goes_back() {
         let hmm = Hmm::left_right(
-            vec![gauss_state(0.0, 1.0), gauss_state(5.0, 1.0), gauss_state(-5.0, 1.0)],
+            vec![
+                gauss_state(0.0, 1.0),
+                gauss_state(5.0, 1.0),
+                gauss_state(-5.0, 1.0),
+            ],
             0.5,
         );
         // Even though the tail matches state 0 better, a left-right path
@@ -361,10 +365,7 @@ mod tests {
         let train2 = seq(&[0.1, -0.2, 0.0, 10.2, 10.0, 9.9]);
         let seqs: Vec<&[Vec<f64>]> = vec![&train1, &train2];
         let trace = hmm.train(&seqs, 12);
-        assert!(
-            trace.last().unwrap() > &(trace[0] + 1.0),
-            "trace {trace:?}"
-        );
+        assert!(trace.last().unwrap() > &(trace[0] + 1.0), "trace {trace:?}");
         // The learned means straddle the two clusters.
         let (path, _) = hmm.viterbi(&train1);
         assert_eq!(path[0], 0);

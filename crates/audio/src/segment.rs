@@ -112,7 +112,14 @@ impl SegmenterModel {
         material.push((AudioClass::Noise, synth::noise(2.0, 0.12, &cfg)));
         material.push((
             AudioClass::Noise,
-            synth::noise(2.0, 0.05, &SynthConfig { seed: cfg.seed + 5, ..cfg }),
+            synth::noise(
+                2.0,
+                0.05,
+                &SynthConfig {
+                    seed: cfg.seed + 5,
+                    ..cfg
+                },
+            ),
         ));
         material.push((AudioClass::Silence, synth::silence(2.0, &cfg)));
         SegmenterModel::train(&material, FeatureConfig::default(), 3, seed)
@@ -229,7 +236,10 @@ pub fn decode_segments(bytes: &[u8]) -> Option<Vec<Segment>> {
         if end < start {
             return None;
         }
-        out.push(Segment { frames: start..end, class });
+        out.push(Segment {
+            frames: start..end,
+            class,
+        });
     }
     Some(out)
 }
@@ -270,10 +280,36 @@ mod tests {
         track.push("silence", synth::silence(0.8, &cfg));
         track.push(
             "speech",
-            synth::babble(&VoiceProfile::female("f2"), 1.2, &SynthConfig { seed: seed + 1, ..cfg }),
+            synth::babble(
+                &VoiceProfile::female("f2"),
+                1.2,
+                &SynthConfig {
+                    seed: seed + 1,
+                    ..cfg
+                },
+            ),
         );
-        track.push("music", synth::music(1.2, &SynthConfig { seed: seed + 2, ..cfg }));
-        track.push("noise", synth::noise(0.8, 0.1, &SynthConfig { seed: seed + 3, ..cfg }));
+        track.push(
+            "music",
+            synth::music(
+                1.2,
+                &SynthConfig {
+                    seed: seed + 2,
+                    ..cfg
+                },
+            ),
+        );
+        track.push(
+            "noise",
+            synth::noise(
+                0.8,
+                0.1,
+                &SynthConfig {
+                    seed: seed + 3,
+                    ..cfg
+                },
+            ),
+        );
         track
     }
 
@@ -321,8 +357,7 @@ mod tests {
         let model = model();
         let track = labelled_track(123);
         let segs = segment_audio(&model, &track.samples);
-        let found: std::collections::BTreeSet<AudioClass> =
-            segs.iter().map(|s| s.class).collect();
+        let found: std::collections::BTreeSet<AudioClass> = segs.iter().map(|s| s.class).collect();
         assert!(found.contains(&AudioClass::Speech), "{segs:?}");
         assert!(found.contains(&AudioClass::Music), "{segs:?}");
     }
@@ -342,9 +377,18 @@ mod tests {
     fn segment_codec_roundtrip() {
         use AudioClass::*;
         let segs = vec![
-            Segment { frames: 0..10, class: Silence },
-            Segment { frames: 10..55, class: Speech },
-            Segment { frames: 55..60, class: Music },
+            Segment {
+                frames: 0..10,
+                class: Silence,
+            },
+            Segment {
+                frames: 10..55,
+                class: Speech,
+            },
+            Segment {
+                frames: 55..60,
+                class: Music,
+            },
         ];
         let bytes = encode_segments(&segs);
         assert_eq!(decode_segments(&bytes).unwrap(), segs);

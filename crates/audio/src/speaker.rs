@@ -143,8 +143,8 @@ impl SpeakerSpotter {
         for (start, label, margin) in labels {
             match out.last_mut() {
                 Some(turn) if turn.speaker == label => {
-                    let old_windows = ((turn.frames.end - turn.frames.start - self.window) / hop
-                        + 1) as f64;
+                    let old_windows =
+                        ((turn.frames.end - turn.frames.start - self.window) / hop + 1) as f64;
                     turn.frames.end = start + self.window;
                     turn.confidence =
                         (turn.confidence * old_windows + margin) / (old_windows + 1.0);
@@ -161,11 +161,7 @@ impl SpeakerSpotter {
 
     /// Per-window accuracy against a ground-truth labelling of sample
     /// positions (window centre decides).
-    pub fn window_accuracy(
-        &self,
-        samples: &[f64],
-        truth: impl Fn(usize) -> Option<usize>,
-    ) -> f64 {
+    pub fn window_accuracy(&self, samples: &[f64], truth: impl Fn(usize) -> Option<usize>) -> f64 {
         let labels = self.window_labels(samples);
         if labels.is_empty() {
             return 0.0;

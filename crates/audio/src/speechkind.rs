@@ -48,11 +48,7 @@ pub const PITCH_MAX_HZ: f64 = 420.0;
 /// Estimates the fundamental frequency of one frame by normalised
 /// autocorrelation. Returns `None` for unvoiced/silent frames (no lag with
 /// a normalised correlation above `voicing_threshold`).
-pub fn pitch_of_frame(
-    frame: &[f64],
-    sample_rate: usize,
-    voicing_threshold: f64,
-) -> Option<f64> {
+pub fn pitch_of_frame(frame: &[f64], sample_rate: usize, voicing_threshold: f64) -> Option<f64> {
     let n = frame.len();
     let energy: f64 = frame.iter().map(|s| s * s).sum();
     if energy < 1e-6 {
@@ -100,7 +96,11 @@ pub fn pitch_track(samples: &[f64], cfg: &FeatureConfig) -> Vec<Option<f64>> {
     (0..nframes)
         .map(|f| {
             let start = f * cfg.hop;
-            pitch_of_frame(&samples[start..start + cfg.frame_len], cfg.sample_rate, 0.55)
+            pitch_of_frame(
+                &samples[start..start + cfg.frame_len],
+                cfg.sample_rate,
+                0.55,
+            )
         })
         .collect()
 }
@@ -253,7 +253,10 @@ mod tests {
 
     #[test]
     fn speech_segments_get_kinds() {
-        let synth = SynthConfig { seed: 77, ..SynthConfig::default() };
+        let synth = SynthConfig {
+            seed: 77,
+            ..SynthConfig::default()
+        };
         let model = SegmenterModel::train_default(3);
         let mut track = synth::silence(0.5, &synth);
         track.extend(synth::babble(&VoiceProfile::male("m"), 1.2, &synth));
@@ -265,7 +268,10 @@ mod tests {
 
     #[test]
     fn dialogue_splits_at_kind_boundaries() {
-        let synth = SynthConfig { seed: 5, ..SynthConfig::default() };
+        let synth = SynthConfig {
+            seed: 5,
+            ..SynthConfig::default()
+        };
         let c = cfg();
         let mut audio = synth::babble(&VoiceProfile::male("m"), 1.2, &synth);
         audio.extend(synth::babble(

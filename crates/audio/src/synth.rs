@@ -138,7 +138,9 @@ pub fn speech(profile: &VoiceProfile, phonemes: &[usize], cfg: &SynthConfig) -> 
 pub fn babble(profile: &VoiceProfile, secs: f64, cfg: &SynthConfig) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBAB7E);
     let count = (secs / PHONEME_SECS).ceil() as usize;
-    let phonemes: Vec<usize> = (0..count).map(|_| rng.gen_range(0..PHONEMES.len())).collect();
+    let phonemes: Vec<usize> = (0..count)
+        .map(|_| rng.gen_range(0..PHONEMES.len()))
+        .collect();
     speech(profile, &phonemes, cfg)
 }
 
@@ -171,7 +173,9 @@ pub fn music(secs: f64, cfg: &SynthConfig) -> Vec<f64> {
 pub fn noise(secs: f64, amplitude: f64, cfg: &SynthConfig) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4015E);
     let n = (secs * cfg.sample_rate as f64) as usize;
-    (0..n).map(|_| amplitude * rng.gen_range(-1.0..1.0)).collect()
+    (0..n)
+        .map(|_| amplitude * rng.gen_range(-1.0..1.0))
+        .collect()
 }
 
 /// Near-silence (tiny sensor noise so features stay finite).
@@ -211,7 +215,8 @@ impl LabeledAudio {
     pub fn push(&mut self, label: &str, samples: Vec<f64>) {
         let start = self.samples.len();
         self.samples.extend(samples);
-        self.labels.push((start..self.samples.len(), label.to_string()));
+        self.labels
+            .push((start..self.samples.len(), label.to_string()));
     }
 
     /// The label covering a sample index, if any.

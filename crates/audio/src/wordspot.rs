@@ -84,8 +84,7 @@ impl WordSpotter {
             let audio = synth::babble(voice, 2.5, &sc);
             garbage_frames.push(extract_features(&audio, &cfg.features));
         }
-        let garbage_refs: Vec<&[Vec<f64>]> =
-            garbage_frames.iter().map(|s| s.as_slice()).collect();
+        let garbage_refs: Vec<&[Vec<f64>]> = garbage_frames.iter().map(|s| s.as_slice()).collect();
         let all_garbage: Vec<Vec<f64>> = garbage_frames.iter().flatten().cloned().collect();
         let garbage_gmms: Vec<crate::gmm::DiagGmm> = (0..3)
             .map(|i| crate::gmm::DiagGmm::train(&all_garbage, cfg.mixtures, 8, seed + i))
@@ -197,7 +196,11 @@ impl WordSpotter {
                 if s <= self.cfg.threshold {
                     continue;
                 }
-                let prev = if i > 0 { trace[i - 1] } else { f64::NEG_INFINITY };
+                let prev = if i > 0 {
+                    trace[i - 1]
+                } else {
+                    f64::NEG_INFINITY
+                };
                 let next = *trace.get(i + 1).unwrap_or(&f64::NEG_INFINITY);
                 if s >= prev && s >= next {
                     hits.push(Hit {
@@ -308,8 +311,16 @@ mod tests {
             let f = FeatureConfig::default();
             f.num_frames(audio.len())
         };
-        audio.extend(synth::speech(&voice, &[0, 1, 4], &SynthConfig { seed: 4243, ..sc }));
-        audio.extend(synth::babble(&voice, 0.6, &SynthConfig { seed: 4244, ..sc }));
+        audio.extend(synth::speech(
+            &voice,
+            &[0, 1, 4],
+            &SynthConfig { seed: 4243, ..sc },
+        ));
+        audio.extend(synth::babble(
+            &voice,
+            0.6,
+            &SynthConfig { seed: 4244, ..sc },
+        ));
 
         let hits = sp.spot(&audio);
         let word0_hits: Vec<&Hit> = hits.iter().filter(|h| h.word == 0).collect();

@@ -31,9 +31,11 @@ fn bench_optimal_completion(c: &mut Criterion) {
         for i in (0..vars).step_by(4) {
             ev.set(VarId(i as u32), Value(1));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(vars), &(net, ev), |b, (net, ev)| {
-            b.iter(|| black_box(net.optimal_completion(ev)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(vars),
+            &(net, ev),
+            |b, (net, ev)| b.iter(|| black_box(net.optimal_completion(ev))),
+        );
     }
     group.finish();
 }

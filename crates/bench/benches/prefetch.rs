@@ -12,20 +12,24 @@ fn bench_session(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefetch/session_30_clicks");
     group.sample_size(20);
     for policy in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &policy| {
-            b.iter(|| {
-                black_box(simulate_session(
-                    &doc,
-                    &SessionConfig {
-                        steps: 30,
-                        buffer_bytes: 256 * 1024,
-                        link: Link::new(1_000_000.0, 0.04),
-                        policy,
-                        ..SessionConfig::default()
-                    },
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(simulate_session(
+                        &doc,
+                        &SessionConfig {
+                            steps: 30,
+                            buffer_bytes: 256 * 1024,
+                            link: Link::new(1_000_000.0, 0.04),
+                            policy,
+                            ..SessionConfig::default()
+                        },
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -34,7 +38,10 @@ fn bench_planner(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefetch/plan");
     for (folders, leaves) in [(2usize, 4usize), (4, 8), (8, 8)] {
         let doc = medical_document(folders, leaves);
-        let planner = PrefetchPlanner::new(PrefetchConfig { top_k: 64, decay: 0.9 });
+        let planner = PrefetchPlanner::new(PrefetchConfig {
+            top_k: 64,
+            decay: 0.9,
+        });
         let ev = PartialAssignment::empty(doc.net().len());
         let n = doc.num_components();
         group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {

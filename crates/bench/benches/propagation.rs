@@ -26,7 +26,13 @@ fn bench_broadcast(c: &mut Criterion) {
                     "user-0",
                     Action::AddLine {
                         object: image_id,
-                        element: LineElement { x0: i % 64, y0: 0, x1: 0, y1: i % 64, intensity: 200 },
+                        element: LineElement {
+                            x0: i % 64,
+                            y0: 0,
+                            x1: 0,
+                            y1: i % 64,
+                            intensity: 200,
+                        },
                     },
                 )
                 .unwrap();
@@ -56,7 +62,10 @@ fn bench_choice_reconfig(c: &mut Criterion) {
                 srv.act(
                     room,
                     "user-0",
-                    Action::Choose { component: rcmo_core::ComponentId(2), form },
+                    Action::Choose {
+                        component: rcmo_core::ComponentId(2),
+                        form,
+                    },
                 )
                 .unwrap();
                 for c in &conns {

@@ -33,14 +33,22 @@ fn bench_reconfigure(c: &mut Criterion) {
             if doc.forms(comp).map(|f| f.len() > 1).unwrap_or(false)
                 && doc.parent(comp).ok().flatten().is_some()
             {
-                let _ = session.choose(&doc, ViewerChoice { component: comp, form: i % 2 });
+                let _ = session.choose(
+                    &doc,
+                    ViewerChoice {
+                        component: comp,
+                        form: i % 2,
+                    },
+                );
             }
         }
         let n = doc.num_components();
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(doc, session),
-            |b, (doc, session)| b.iter(|| black_box(engine.presentation_for(doc, session).unwrap())),
+            |b, (doc, session)| {
+                b.iter(|| black_box(engine.presentation_for(doc, session).unwrap()))
+            },
         );
     }
     group.finish();
@@ -62,5 +70,10 @@ fn bench_local_operation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_default_presentation, bench_reconfigure, bench_local_operation);
+criterion_group!(
+    benches,
+    bench_default_presentation,
+    bench_reconfigure,
+    bench_local_operation
+);
 criterion_main!(benches);

@@ -48,7 +48,11 @@ fn bench_point_get(c: &mut Criterion) {
         for i in 0..10_000u64 {
             tx.insert(
                 "T",
-                vec![RowValue::Null, RowValue::Text(format!("row{i}")), RowValue::Bytes(vec![0u8; 32])],
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(format!("row{i}")),
+                    RowValue::Bytes(vec![0u8; 32]),
+                ],
             )
             .unwrap();
         }
@@ -104,7 +108,11 @@ fn bench_range_scan(c: &mut Criterion) {
         for i in 0..10_000u64 {
             tx.insert(
                 "T",
-                vec![RowValue::Null, RowValue::Text(format!("r{i}")), RowValue::Bytes(vec![])],
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(format!("r{i}")),
+                    RowValue::Bytes(vec![]),
+                ],
             )
             .unwrap();
         }
@@ -118,5 +126,11 @@ fn bench_range_scan(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insert, bench_point_get, bench_blob, bench_range_scan);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_point_get,
+    bench_blob,
+    bench_range_scan
+);
 criterion_main!(benches);

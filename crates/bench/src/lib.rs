@@ -72,7 +72,10 @@ pub fn consultation_fixture(users: usize) -> (InteractionServer, u64, u64) {
     let doc_id = db
         .insert_document(
             "admin",
-            &DocumentObject { title: doc.title().into(), data: doc.to_bytes() },
+            &DocumentObject {
+                title: doc.title().into(),
+                data: doc.to_bytes(),
+            },
         )
         .expect("document stored");
     (InteractionServer::new(db), doc_id, image_id)

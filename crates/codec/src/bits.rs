@@ -47,7 +47,11 @@ impl BitWriter {
 
     /// Exp-Golomb code for a signed value (zigzag mapped).
     pub fn put_se(&mut self, v: i64) {
-        let zz = if v >= 0 { (v as u64) << 1 } else { ((-v as u64) << 1) - 1 };
+        let zz = if v >= 0 {
+            (v as u64) << 1
+        } else {
+            ((-v as u64) << 1) - 1
+        };
         self.put_ue(zz);
     }
 

@@ -16,8 +16,8 @@ fn cos_table() -> &'static [[f64; N]; N] {
         let mut t = [[0.0; N]; N];
         for (k, row) in t.iter_mut().enumerate() {
             for (n, v) in row.iter_mut().enumerate() {
-                *v = ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / (2.0 * N as f64))
-                    .cos();
+                *v =
+                    ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / (2.0 * N as f64)).cos();
             }
         }
         t

@@ -41,12 +41,20 @@ fn cdf53_fwd_1d(row: &mut [f64], scratch: &mut [f64]) {
     // Predict: d[i] = x[2i+1] - (x[2i] + x[2i+2]) / 2
     for i in 0..half {
         let left = row[2 * i];
-        let right = if 2 * i + 2 < n { row[2 * i + 2] } else { row[2 * i] };
+        let right = if 2 * i + 2 < n {
+            row[2 * i + 2]
+        } else {
+            row[2 * i]
+        };
         scratch[half + i] = row[2 * i + 1] - 0.5 * (left + right);
     }
     // Update: s[i] = x[2i] + (d[i-1] + d[i]) / 4
     for i in 0..half {
-        let dl = if i > 0 { scratch[half + i - 1] } else { scratch[half] };
+        let dl = if i > 0 {
+            scratch[half + i - 1]
+        } else {
+            scratch[half]
+        };
         let dr = scratch[half + i];
         scratch[i] = row[2 * i] + 0.25 * (dl + dr);
     }
@@ -65,7 +73,11 @@ fn cdf53_inv_1d(row: &mut [f64], scratch: &mut [f64]) {
     // Un-predict odds.
     for i in 0..half {
         let left = scratch[2 * i];
-        let right = if 2 * i + 2 < n { scratch[2 * i + 2] } else { scratch[2 * i] };
+        let right = if 2 * i + 2 < n {
+            scratch[2 * i + 2]
+        } else {
+            scratch[2 * i]
+        };
         scratch[2 * i + 1] = row[half + i] + 0.5 * (left + right);
     }
     row.copy_from_slice(&scratch[..n]);
@@ -254,11 +266,7 @@ mod tests {
     fn extract_ll_matches_downsampling_for_smooth_images() {
         // A smooth gradient: the LL band at level 1 should be close to the
         // 2×2 block averages.
-        let p = Plane::from_data(
-            8,
-            8,
-            (0..64).map(|i| (i % 8) as f64 * 4.0).collect(),
-        );
+        let p = Plane::from_data(8, 8, (0..64).map(|i| (i % 8) as f64 * 4.0).collect());
         let mut t = p.clone();
         forward(&mut t, 1, Kind::Haar);
         let ll = extract_ll(&t, 1, Kind::Haar);

@@ -102,8 +102,14 @@ impl Default for EncoderConfig {
             levels: 4,
             main_step: 24.0,
             residual_layers: vec![
-                LayerSpec { basis: Basis::WaveletPacket, step: 8.0 },
-                LayerSpec { basis: Basis::LocalCosine, step: 3.0 },
+                LayerSpec {
+                    basis: Basis::WaveletPacket,
+                    step: 8.0,
+                },
+                LayerSpec {
+                    basis: Basis::LocalCosine,
+                    step: 3.0,
+                },
             ],
         }
     }
@@ -214,7 +220,9 @@ pub fn encode(img: &GrayImage, cfg: &EncoderConfig) -> Result<Vec<u8>, CodecErro
         return Err(CodecError::BadConfig(format!("levels = {}", cfg.levels)));
     }
     if cfg.main_step <= 0.0 || cfg.residual_layers.iter().any(|l| l.step <= 0.0) {
-        return Err(CodecError::BadConfig("quantiser steps must be positive".into()));
+        return Err(CodecError::BadConfig(
+            "quantiser steps must be positive".into(),
+        ));
     }
     if img.width() > u16::MAX as usize || img.height() > u16::MAX as usize {
         return Err(CodecError::BadConfig("image too large".into()));
@@ -323,10 +331,7 @@ fn sections<'a>(bytes: &'a [u8], si: &StreamInfo) -> Vec<LayerSection<'a>> {
     out
 }
 
-fn decode_main_plane(
-    si: &StreamInfo,
-    section: &LayerSection<'_>,
-) -> Result<Plane, CodecError> {
+fn decode_main_plane(si: &StreamInfo, section: &LayerSection<'_>) -> Result<Plane, CodecError> {
     let (pw, ph) = padded_dims(si.width, si.height, si.levels);
     let mut r = BitReader::new(section.payload);
     let syms = decode_coeffs(&mut r, pw * ph)
@@ -337,10 +342,7 @@ fn decode_main_plane(
     Ok(Plane::from_data(pw, ph, dequantize(&syms, section.step)))
 }
 
-fn decode_residual_plane(
-    si: &StreamInfo,
-    section: &LayerSection<'_>,
-) -> Result<Plane, CodecError> {
+fn decode_residual_plane(si: &StreamInfo, section: &LayerSection<'_>) -> Result<Plane, CodecError> {
     let (pw, ph) = padded_dims(si.width, si.height, si.levels);
     if section.step <= 0.0 || !section.step.is_finite() {
         return Err(CodecError::Malformed("non-positive quantiser step".into()));
@@ -418,7 +420,10 @@ pub fn encode_to_budget(
             residual_layers: template
                 .residual_layers
                 .iter()
-                .map(|l| LayerSpec { basis: l.basis, step: l.step * ratio })
+                .map(|l| LayerSpec {
+                    basis: l.basis,
+                    step: l.step * ratio,
+                })
                 .collect(),
         }
     };
@@ -588,7 +593,10 @@ mod tests {
     fn truncation_below_main_layer_fails() {
         let img = test_image();
         let bytes = encode(&img, &EncoderConfig::default()).unwrap();
-        assert!(matches!(decode_prefix(&bytes[..11]), Err(CodecError::Truncated)));
+        assert!(matches!(
+            decode_prefix(&bytes[..11]),
+            Err(CodecError::Truncated)
+        ));
         assert!(decode_prefix(&bytes[..5]).is_err());
         assert!(decode(b"????").is_err());
     }
@@ -622,18 +630,27 @@ mod tests {
         let img = test_image();
         assert!(encode(
             &img,
-            &EncoderConfig { levels: 0, ..EncoderConfig::default() }
-        )
-        .is_err());
-        assert!(encode(
-            &img,
-            &EncoderConfig { main_step: 0.0, ..EncoderConfig::default() }
+            &EncoderConfig {
+                levels: 0,
+                ..EncoderConfig::default()
+            }
         )
         .is_err());
         assert!(encode(
             &img,
             &EncoderConfig {
-                residual_layers: vec![LayerSpec { basis: Basis::LocalCosine, step: -1.0 }],
+                main_step: 0.0,
+                ..EncoderConfig::default()
+            }
+        )
+        .is_err());
+        assert!(encode(
+            &img,
+            &EncoderConfig {
+                residual_layers: vec![LayerSpec {
+                    basis: Basis::LocalCosine,
+                    step: -1.0
+                }],
                 ..EncoderConfig::default()
             }
         )
@@ -655,9 +672,7 @@ mod tests {
         // Bigger budgets buy strictly better quality.
         let (small, _) = encode_to_budget(&img, &template, unconstrained / 2).unwrap();
         let (large, _) = encode_to_budget(&img, &template, unconstrained * 2).unwrap();
-        assert!(
-            psnr(&img, &decode(&large).unwrap()) > psnr(&img, &decode(&small).unwrap())
-        );
+        assert!(psnr(&img, &decode(&large).unwrap()) > psnr(&img, &decode(&small).unwrap()));
         // Impossible budgets are rejected.
         assert!(encode_to_budget(&img, &template, 16).is_err());
     }
@@ -679,10 +694,19 @@ mod tests {
         let img = test_image();
         for layers in [
             vec![
-                LayerSpec { basis: Basis::LocalCosine, step: 8.0 },
-                LayerSpec { basis: Basis::WaveletPacket, step: 3.0 },
+                LayerSpec {
+                    basis: Basis::LocalCosine,
+                    step: 8.0,
+                },
+                LayerSpec {
+                    basis: Basis::WaveletPacket,
+                    step: 3.0,
+                },
             ],
-            vec![LayerSpec { basis: Basis::WaveletPacket, step: 4.0 }],
+            vec![LayerSpec {
+                basis: Basis::WaveletPacket,
+                step: 4.0,
+            }],
         ] {
             let cfg = EncoderConfig {
                 residual_layers: layers,

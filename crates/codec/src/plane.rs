@@ -46,8 +46,7 @@ impl Plane {
             .iter()
             .map(|&v| (v + 128.0).round().clamp(0.0, 255.0) as u8)
             .collect();
-        GrayImage::from_pixels(self.width, self.height, pixels)
-            .expect("plane dimensions are valid")
+        GrayImage::from_pixels(self.width, self.height, pixels).expect("plane dimensions are valid")
     }
 
     /// Plane width.

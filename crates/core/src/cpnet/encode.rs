@@ -120,7 +120,9 @@ pub fn decode_net(bytes: &[u8]) -> Result<CpNet> {
         let name = r.str()?;
         let ndom = r.u16()? as usize;
         if ndom == 0 {
-            return Err(CoreError::Codec(format!("variable '{name}' has empty domain")));
+            return Err(CoreError::Codec(format!(
+                "variable '{name}' has empty domain"
+            )));
         }
         let mut domain = Vec::with_capacity(ndom);
         for _ in 0..ndom {
@@ -142,10 +144,8 @@ pub fn decode_net(bytes: &[u8]) -> Result<CpNet> {
             }
             parents.push(VarId(p));
         }
-        let parent_domains: Vec<usize> = parents
-            .iter()
-            .map(|p| vars[p.idx()].domain.len())
-            .collect();
+        let parent_domains: Vec<usize> =
+            parents.iter().map(|p| vars[p.idx()].domain.len()).collect();
         let expected_rows: usize = parent_domains.iter().product::<usize>().max(1);
         let nrows = r.u32()? as usize;
         if nrows != expected_rows {
@@ -200,7 +200,9 @@ pub fn decode_net(bytes: &[u8]) -> Result<CpNet> {
         }
     }
     if seen != n {
-        return Err(CoreError::Codec("decoded network contains a cycle".to_string()));
+        return Err(CoreError::Codec(
+            "decoded network contains a cycle".to_string(),
+        ));
     }
     Ok(net)
 }

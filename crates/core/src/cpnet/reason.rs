@@ -123,7 +123,9 @@ impl Ord for EnumNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; we wrap in Reverse at the call site, so
         // plain lexicographic comparison here means "smaller key pops first".
-        self.key.cmp(&other.key).then_with(|| self.prefix.cmp(&other.prefix))
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.prefix.cmp(&other.prefix))
     }
 }
 

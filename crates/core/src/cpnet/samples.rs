@@ -98,11 +98,16 @@ pub fn random_net(spec: &RandomNetSpec) -> CpNet {
     }
     for (i, &v) in ids.iter().enumerate() {
         let max_p = spec.max_parents.min(i);
-        let nparents = if max_p == 0 { 0 } else { rng.gen_range(0..=max_p) };
+        let nparents = if max_p == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_p)
+        };
         let mut pool: Vec<VarId> = ids[..i].to_vec();
         pool.shuffle(&mut rng);
         let parents: Vec<VarId> = pool.into_iter().take(nparents).collect();
-        net.set_parents(v, &parents).expect("acyclic by construction");
+        net.set_parents(v, &parents)
+            .expect("acyclic by construction");
         let dom = net.variable(v).unwrap().domain().len();
         let nrows = net.table(v).unwrap().num_rows();
         for row in 0..nrows {

@@ -137,7 +137,10 @@ fn optimal_outcome_dominates_every_other_outcome() {
             continue;
         }
         assert!(
-            matches!(net.dominates(&best, &o, 10_000), FlipSearchOutcome::Dominates(_)),
+            matches!(
+                net.dominates(&best, &o, 10_000),
+                FlipSearchOutcome::Dominates(_)
+            ),
             "best must dominate {o:?}"
         );
     }
@@ -313,7 +316,7 @@ fn extension_adds_viewer_local_variable() {
     assert_eq!(fused.num_vars(), 6);
     let best = fused.optimal_completion(&PartialAssignment::empty(6));
     assert_eq!(best[5], Value(0)); // segmented, since c3 = trigger at optimum
-    // The base network is untouched.
+                                   // The base network is untouched.
     assert_eq!(net.len(), 5);
 }
 

@@ -18,11 +18,10 @@
 
 use crate::cpnet::{CpNet, PreferenceNet, Value, VarId};
 use crate::error::{CoreError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a component within one document (a dense index; component
 /// `i` is CP-net variable `i`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ComponentId(pub u32);
 
 impl ComponentId {
@@ -45,7 +44,7 @@ impl std::fmt::Display for ComponentId {
 }
 
 /// Where a component's actual media bytes live.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MediaRef {
     /// No payload (structural nodes, test results rendered from metadata).
     None,
@@ -73,7 +72,7 @@ impl MediaRef {
 
 /// The kind of one presentation alternative (`MMPresentation` subclasses in
 /// the paper's Figure 6).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FormKind {
     /// The component is not shown at all.
     Hidden,
@@ -95,7 +94,7 @@ pub enum FormKind {
 }
 
 /// One presentation alternative of a component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PresentationForm {
     /// Display name ("flat", "segmented", "icon", ...).
     pub name: String,
@@ -123,7 +122,7 @@ impl PresentationForm {
 }
 
 /// Composite vs. primitive (Figure 6's two `MultimediaComponent` subclasses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ComponentKind {
     /// Internal node; binary domain (presented / hidden).
     Composite,
@@ -751,7 +750,11 @@ impl MultimediaDocument {
             ComponentKind::Composite => "+",
             ComponentKind::Primitive => "-",
         };
-        out.push_str(&format!("{tag} {} ({} forms)\n", node.name, node.forms.len()));
+        out.push_str(&format!(
+            "{tag} {} ({} forms)\n",
+            node.name,
+            node.forms.len()
+        ));
         for &ch in &node.children {
             self.outline_rec(ch, depth + 1, out);
         }
@@ -812,7 +815,9 @@ impl MultimediaDocument {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         if r.take(4)? != b"MMD1" {
-            return Err(CoreError::Codec("bad magic; not an MMD1 stream".to_string()));
+            return Err(CoreError::Codec(
+                "bad magic; not an MMD1 stream".to_string(),
+            ));
         }
         let title = r.str()?;
         let ncomponents = r.u32()? as usize;

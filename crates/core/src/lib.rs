@@ -40,8 +40,7 @@ pub mod prefetch;
 pub mod presentation;
 
 pub use cpnet::{
-    CpNet, ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Ranking, Value,
-    VarId,
+    CpNet, ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Ranking, Value, VarId,
 };
 pub use document::{
     ComponentId, ComponentKind, FormKind, MediaRef, MultimediaDocument, PresentationForm,

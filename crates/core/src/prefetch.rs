@@ -108,7 +108,14 @@ impl PrefetchPlanner {
         let ncomp = doc.num_components();
         // score[c][f]
         let mut score: Vec<Vec<f64>> = (0..ncomp)
-            .map(|i| vec![0.0; doc.forms(ComponentId(i as u32)).map(|f| f.len()).unwrap_or(0)])
+            .map(|i| {
+                vec![
+                    0.0;
+                    doc.forms(ComponentId(i as u32))
+                        .map(|f| f.len())
+                        .unwrap_or(0)
+                ]
+            })
             .collect();
         let mut weight = 1.0f64;
         for (rank, outcome) in doc
@@ -125,10 +132,7 @@ impl PrefetchPlanner {
             for c in doc.iter_depth_first() {
                 let form = outcome[c.idx()].idx();
                 let own = doc.forms(c)?[form].kind != FormKind::Hidden;
-                let parent_ok = doc
-                    .parent(c)?
-                    .map(|p| visible[p.idx()])
-                    .unwrap_or(true);
+                let parent_ok = doc.parent(c)?.map(|p| visible[p.idx()]).unwrap_or(true);
                 visible[c.idx()] = own && parent_ok;
                 if visible[c.idx()] {
                     score[c.idx()][form] += weight;
@@ -150,7 +154,11 @@ impl PrefetchPlanner {
                 }
             }
         }
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(out)
     }
 

@@ -20,7 +20,7 @@
 //! shared document.
 
 use crate::cpnet::{
-    Extension, ExtendedNet, Outcome, PartialAssignment, PreferenceNet, Value, VarId,
+    ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Value, VarId,
 };
 use crate::document::{ComponentId, ComponentKind, DerivedVar, FormKind, MultimediaDocument};
 use crate::error::{CoreError, Result};
@@ -501,7 +501,14 @@ mod tests {
         let engine = PresentationEngine::new();
         let mut s = ViewerSession::new("dr-a");
         // Viewer hides the CT; author then prefers the X-ray flat.
-        s.choose(&doc, ViewerChoice { component: ct, form: 2 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 2,
+            },
+        )
+        .unwrap();
         let p = engine.presentation_for(&doc, &s).unwrap();
         assert_eq!(p.form(ct), 2);
         assert!(!p.is_visible(ct));
@@ -512,8 +519,22 @@ mod tests {
     fn choice_is_last_writer_wins_and_can_be_withdrawn() {
         let (doc, _, ct, _) = medical_doc();
         let mut s = ViewerSession::new("dr-a");
-        s.choose(&doc, ViewerChoice { component: ct, form: 1 }).unwrap();
-        s.choose(&doc, ViewerChoice { component: ct, form: 2 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 1,
+            },
+        )
+        .unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(s.choices().len(), 1);
         assert_eq!(s.choices()[0].form, 2);
         s.unchoose(ct);
@@ -525,10 +546,22 @@ mod tests {
         let (doc, _, ct, _) = medical_doc();
         let mut s = ViewerSession::new("dr-a");
         assert!(s
-            .choose(&doc, ViewerChoice { component: ct, form: 9 })
+            .choose(
+                &doc,
+                ViewerChoice {
+                    component: ct,
+                    form: 9
+                }
+            )
             .is_err());
         assert!(s
-            .choose(&doc, ViewerChoice { component: ComponentId(99), form: 0 })
+            .choose(
+                &doc,
+                ViewerChoice {
+                    component: ComponentId(99),
+                    form: 0
+                }
+            )
             .is_err());
     }
 
@@ -547,7 +580,14 @@ mod tests {
             },
         )
         .unwrap();
-        s.choose(&doc, ViewerChoice { component: ct, form: 0 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 0,
+            },
+        )
+        .unwrap();
         let p = engine.presentation_for(&doc, &s).unwrap();
         assert_eq!(p.form(ct), 0);
         assert!(!p.is_visible(ct), "hidden ancestor hides the CT");
@@ -560,7 +600,8 @@ mod tests {
         let engine = PresentationEngine::new();
         let mut a = ViewerSession::new("dr-a");
         let mut b = ViewerSession::new("dr-b");
-        a.apply_local_operation(&doc, ct, 0, "segmentation").unwrap();
+        a.apply_local_operation(&doc, ct, 0, "segmentation")
+            .unwrap();
         let pa = engine.presentation_for(&doc, &a).unwrap();
         let pb = engine.presentation_for(&doc, &b).unwrap();
         assert_eq!(pa.derived_states().len(), 1);
@@ -569,7 +610,14 @@ mod tests {
         // Shared document unchanged.
         assert_eq!(doc.net().len(), doc.num_components());
         // And dr-b's session is unaffected by dr-a's extension.
-        b.choose(&doc, ViewerChoice { component: ct, form: 1 }).unwrap();
+        b.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 1,
+            },
+        )
+        .unwrap();
         let pb = engine.presentation_for(&doc, &b).unwrap();
         assert_eq!(pb.form(ct), 1);
     }
@@ -580,8 +628,22 @@ mod tests {
         let engine = PresentationEngine::new();
         let mut a = ViewerSession::new("dr-a");
         let mut b = ViewerSession::new("dr-b");
-        a.choose(&doc, ViewerChoice { component: ct, form: 1 }).unwrap();
-        b.choose(&doc, ViewerChoice { component: xray, form: 0 }).unwrap();
+        a.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 1,
+            },
+        )
+        .unwrap();
+        b.choose(
+            &doc,
+            ViewerChoice {
+                component: xray,
+                form: 0,
+            },
+        )
+        .unwrap();
         let p = engine.joint_presentation(&doc, &[&a, &b]);
         assert_eq!(p.form(ct), 1);
         assert_eq!(p.form(xray), 0);
@@ -591,8 +653,22 @@ mod tests {
     fn rebase_after_removal_drops_stale_choices() {
         let (mut doc, _, ct, xray) = medical_doc();
         let mut s = ViewerSession::new("dr-a");
-        s.choose(&doc, ViewerChoice { component: ct, form: 1 }).unwrap();
-        s.choose(&doc, ViewerChoice { component: xray, form: 1 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 1,
+            },
+        )
+        .unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: xray,
+                form: 1,
+            },
+        )
+        .unwrap();
         s.apply_local_operation(&doc, ct, 0, "zoom").unwrap();
         // X-ray conditions on CT, so CT is not removable without first
         // re-authoring; remove the X-ray instead.
@@ -652,7 +728,14 @@ mod tests {
         // CT flat (500k) + X-ray icon (4k); composites cost 0.
         assert_eq!(p.transfer_bytes(&doc), 504_000);
         let mut s = ViewerSession::new("dr-a");
-        s.choose(&doc, ViewerChoice { component: ct, form: 2 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 2,
+            },
+        )
+        .unwrap();
         let p = engine.presentation_for(&doc, &s).unwrap();
         // CT hidden, X-ray flat.
         assert_eq!(p.transfer_bytes(&doc), 250_000);
@@ -667,7 +750,14 @@ mod tests {
         // No change → empty diff.
         assert!(before.diff(&before).is_empty());
         let mut s = ViewerSession::new("dr-a");
-        s.choose(&doc, ViewerChoice { component: ct, form: 2 }).unwrap();
+        s.choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 2,
+            },
+        )
+        .unwrap();
         let after = engine.presentation_for(&doc, &s).unwrap();
         let delta = before.diff(&after);
         // Exactly the CT (hidden now) and the X-ray (icon → flat) changed.

@@ -10,14 +10,13 @@
 //! 5×7 bitmap font for text).
 
 use crate::image::{GrayImage, ImagingError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Stable identifier of one overlay element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ElementId(pub u64);
 
 /// A text annotation at a pixel position.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TextElement {
     /// Anchor x (left edge of the first glyph).
     pub x: usize,
@@ -32,7 +31,7 @@ pub struct TextElement {
 }
 
 /// A straight line annotation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineElement {
     /// Start point.
     pub x0: i64,
@@ -46,14 +45,14 @@ pub struct LineElement {
     pub intensity: u8,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Element {
     Text(TextElement),
     Line(LineElement),
 }
 
 /// An image plus its editable annotation overlay.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnnotatedImage {
     base: GrayImage,
     elements: Vec<(ElementId, Element)>,
@@ -177,8 +176,7 @@ impl AnnotatedImage {
         if bytes.len() < 8 || &bytes[..4] != b"AIM1" {
             return Err(ImagingError::Codec("not an AIM1 stream".to_string()));
         }
-        let base_len =
-            u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        let base_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
         if 8 + base_len > bytes.len() {
             return Err(ImagingError::Codec("truncated AIM1 stream".to_string()));
         }
@@ -220,7 +218,13 @@ impl AnnotatedImage {
                         .map_err(|_| ImagingError::Codec("invalid UTF-8 text".to_string()))?;
                     elements.push((
                         id,
-                        Element::Text(TextElement { x, y, text, intensity, scale }),
+                        Element::Text(TextElement {
+                            x,
+                            y,
+                            text,
+                            intensity,
+                            scale,
+                        }),
                     ));
                 }
                 1 => {
@@ -424,7 +428,13 @@ mod tests {
             intensity: 255,
             scale: 1,
         });
-        let b = ai.add_line(LineElement { x0: 0, y0: 0, x1: 1, y1: 1, intensity: 1 });
+        let b = ai.add_line(LineElement {
+            x0: 0,
+            y0: 0,
+            x1: 1,
+            y1: 1,
+            intensity: 1,
+        });
         assert_ne!(a, b);
         ai.delete_element(a).unwrap();
         let c = ai.add_text(TextElement {
@@ -455,9 +465,21 @@ mod tests {
     #[test]
     fn scaled_text_is_larger() {
         let mut small = AnnotatedImage::new(base());
-        small.add_text(TextElement { x: 0, y: 0, text: "X".into(), intensity: 255, scale: 1 });
+        small.add_text(TextElement {
+            x: 0,
+            y: 0,
+            text: "X".into(),
+            intensity: 255,
+            scale: 1,
+        });
         let mut big = AnnotatedImage::new(base());
-        big.add_text(TextElement { x: 0, y: 0, text: "X".into(), intensity: 255, scale: 3 });
+        big.add_text(TextElement {
+            x: 0,
+            y: 0,
+            text: "X".into(),
+            intensity: 255,
+            scale: 3,
+        });
         let count = |im: &GrayImage| im.pixels().iter().filter(|&&p| p == 255).count();
         assert_eq!(count(&big.render()), 9 * count(&small.render()));
     }
@@ -465,8 +487,20 @@ mod tests {
     #[test]
     fn byte_roundtrip() {
         let mut ai = AnnotatedImage::new(base());
-        ai.add_text(TextElement { x: 3, y: 4, text: "HI!".into(), intensity: 250, scale: 2 });
-        ai.add_line(LineElement { x0: 1, y0: 2, x1: 60, y1: 9, intensity: 7 });
+        ai.add_text(TextElement {
+            x: 3,
+            y: 4,
+            text: "HI!".into(),
+            intensity: 250,
+            scale: 2,
+        });
+        ai.add_line(LineElement {
+            x0: 1,
+            y0: 2,
+            x1: 60,
+            y1: 9,
+            intensity: 7,
+        });
         let bytes = ai.to_bytes();
         let back = AnnotatedImage::from_bytes(&bytes).unwrap();
         assert_eq!(back, ai);

@@ -1,6 +1,5 @@
 //! 8-bit grayscale raster images.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised by image operations.
@@ -30,7 +29,7 @@ impl std::error::Error for ImagingError {}
 pub type Result<T> = std::result::Result<T, ImagingError>;
 
 /// An 8-bit grayscale image stored row-major.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GrayImage {
     width: usize,
     height: usize,
@@ -159,12 +158,20 @@ impl GrayImage {
         let sx_max = (self.width - 1) as f64;
         let sy_max = (self.height - 1) as f64;
         for y in 0..h {
-            let fy = if h == 1 { 0.0 } else { y as f64 * sy_max / (h - 1) as f64 };
+            let fy = if h == 1 {
+                0.0
+            } else {
+                y as f64 * sy_max / (h - 1) as f64
+            };
             let y0 = fy.floor() as usize;
             let y1 = (y0 + 1).min(self.height - 1);
             let dy = fy - y0 as f64;
             for x in 0..w {
-                let fx = if w == 1 { 0.0 } else { x as f64 * sx_max / (w - 1) as f64 };
+                let fx = if w == 1 {
+                    0.0
+                } else {
+                    x as f64 * sx_max / (w - 1) as f64
+                };
                 let x0 = fx.floor() as usize;
                 let x1 = (x0 + 1).min(self.width - 1);
                 let dx = fx - x0 as f64;
@@ -185,7 +192,8 @@ impl GrayImage {
     /// The paper's zoom operation: magnify the selected region to the full
     /// image size with bilinear interpolation.
     pub fn zoom(&self, x: usize, y: usize, w: usize, h: usize) -> Result<GrayImage> {
-        self.crop(x, y, w, h)?.resize_bilinear(self.width, self.height)
+        self.crop(x, y, w, h)?
+            .resize_bilinear(self.width, self.height)
     }
 
     /// Halves both dimensions by 2×2 averaging (resolution pyramids).

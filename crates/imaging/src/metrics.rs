@@ -57,7 +57,8 @@ mod tests {
     #[test]
     fn psnr_orders_by_quality() {
         let a = GrayImage::from_fn(16, 16, |x, _| (x * 16) as u8).unwrap();
-        let slightly = GrayImage::from_fn(16, 16, |x, _| ((x * 16) as u8).saturating_add(1)).unwrap();
+        let slightly =
+            GrayImage::from_fn(16, 16, |x, _| ((x * 16) as u8).saturating_add(1)).unwrap();
         let badly = GrayImage::from_fn(16, 16, |x, _| ((x * 16) as u8).saturating_add(30)).unwrap();
         assert!(psnr(&a, &slightly) > psnr(&a, &badly));
     }

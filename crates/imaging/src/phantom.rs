@@ -42,16 +42,86 @@ impl Ellipse {
 /// contrast-stretched variant so structures are visible in 8 bits).
 pub fn head_ellipses() -> Vec<Ellipse> {
     vec![
-        Ellipse { cx: 0.0, cy: 0.0, rx: 0.69, ry: 0.92, theta: 0.0, intensity: 1.0 },
-        Ellipse { cx: 0.0, cy: -0.0184, rx: 0.6624, ry: 0.874, theta: 0.0, intensity: -0.8 },
-        Ellipse { cx: 0.22, cy: 0.0, rx: 0.11, ry: 0.31, theta: -0.3141, intensity: -0.2 },
-        Ellipse { cx: -0.22, cy: 0.0, rx: 0.16, ry: 0.41, theta: 0.3141, intensity: -0.2 },
-        Ellipse { cx: 0.0, cy: 0.35, rx: 0.21, ry: 0.25, theta: 0.0, intensity: 0.1 },
-        Ellipse { cx: 0.0, cy: 0.1, rx: 0.046, ry: 0.046, theta: 0.0, intensity: 0.1 },
-        Ellipse { cx: 0.0, cy: -0.1, rx: 0.046, ry: 0.046, theta: 0.0, intensity: 0.1 },
-        Ellipse { cx: -0.08, cy: -0.605, rx: 0.046, ry: 0.023, theta: 0.0, intensity: 0.1 },
-        Ellipse { cx: 0.0, cy: -0.605, rx: 0.023, ry: 0.023, theta: 0.0, intensity: 0.1 },
-        Ellipse { cx: 0.06, cy: -0.605, rx: 0.023, ry: 0.046, theta: 0.0, intensity: 0.1 },
+        Ellipse {
+            cx: 0.0,
+            cy: 0.0,
+            rx: 0.69,
+            ry: 0.92,
+            theta: 0.0,
+            intensity: 1.0,
+        },
+        Ellipse {
+            cx: 0.0,
+            cy: -0.0184,
+            rx: 0.6624,
+            ry: 0.874,
+            theta: 0.0,
+            intensity: -0.8,
+        },
+        Ellipse {
+            cx: 0.22,
+            cy: 0.0,
+            rx: 0.11,
+            ry: 0.31,
+            theta: -0.3141,
+            intensity: -0.2,
+        },
+        Ellipse {
+            cx: -0.22,
+            cy: 0.0,
+            rx: 0.16,
+            ry: 0.41,
+            theta: 0.3141,
+            intensity: -0.2,
+        },
+        Ellipse {
+            cx: 0.0,
+            cy: 0.35,
+            rx: 0.21,
+            ry: 0.25,
+            theta: 0.0,
+            intensity: 0.1,
+        },
+        Ellipse {
+            cx: 0.0,
+            cy: 0.1,
+            rx: 0.046,
+            ry: 0.046,
+            theta: 0.0,
+            intensity: 0.1,
+        },
+        Ellipse {
+            cx: 0.0,
+            cy: -0.1,
+            rx: 0.046,
+            ry: 0.046,
+            theta: 0.0,
+            intensity: 0.1,
+        },
+        Ellipse {
+            cx: -0.08,
+            cy: -0.605,
+            rx: 0.046,
+            ry: 0.023,
+            theta: 0.0,
+            intensity: 0.1,
+        },
+        Ellipse {
+            cx: 0.0,
+            cy: -0.605,
+            rx: 0.023,
+            ry: 0.023,
+            theta: 0.0,
+            intensity: 0.1,
+        },
+        Ellipse {
+            cx: 0.06,
+            cy: -0.605,
+            rx: 0.023,
+            ry: 0.046,
+            theta: 0.0,
+            intensity: 0.1,
+        },
     ]
 }
 
@@ -106,9 +176,7 @@ pub fn xray_projection(ct: &GrayImage, strip_height: usize) -> Result<GrayImage>
         }
     }
     let max = *sums.iter().max().unwrap_or(&1).max(&1);
-    GrayImage::from_fn(w, strip_height.max(1), |x, _| {
-        (sums[x] * 255 / max) as u8
-    })
+    GrayImage::from_fn(w, strip_height.max(1), |x, _| (sums[x] * 255 / max) as u8)
 }
 
 #[cfg(test)]
@@ -148,12 +216,22 @@ mod tests {
 
     #[test]
     fn ellipse_containment() {
-        let e = Ellipse { cx: 0.0, cy: 0.0, rx: 0.5, ry: 0.25, theta: 0.0, intensity: 1.0 };
+        let e = Ellipse {
+            cx: 0.0,
+            cy: 0.0,
+            rx: 0.5,
+            ry: 0.25,
+            theta: 0.0,
+            intensity: 1.0,
+        };
         assert!(e.contains(0.0, 0.0));
         assert!(e.contains(0.49, 0.0));
         assert!(!e.contains(0.0, 0.3));
         // Rotated by 90°, the axes swap.
-        let r = Ellipse { theta: std::f64::consts::FRAC_PI_2, ..e };
+        let r = Ellipse {
+            theta: std::f64::consts::FRAC_PI_2,
+            ..e
+        };
         assert!(r.contains(0.0, 0.45));
         assert!(!r.contains(0.45, 0.0));
     }

@@ -118,7 +118,11 @@ impl Segmentation {
 pub fn otsu_threshold(img: &GrayImage) -> u8 {
     let hist = img.histogram();
     let total: u64 = hist.iter().sum();
-    let sum_all: f64 = hist.iter().enumerate().map(|(i, &c)| i as f64 * c as f64).sum();
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum();
     let mut sum_b = 0.0f64;
     let mut w_b = 0u64;
     let mut best = 0u8;

@@ -121,6 +121,14 @@ impl MediaDb {
         objects::get_image_prefix(&self.db, id, bytes)
     }
 
+    /// Replaces an image object in place (same id) — atomic: a failed or
+    /// interrupted update leaves the stored object unchanged. Requires
+    /// write access.
+    pub fn update_image(&self, user: &str, id: u64, img: &ImageObject) -> Result<()> {
+        acl::require(&self.db, user, AccessLevel::Write)?;
+        objects::update_image(&self.db, id, img)
+    }
+
     /// Deletes an image object and frees its BLOB. Requires write access.
     pub fn delete_image(&self, user: &str, id: u64) -> Result<()> {
         acl::require(&self.db, user, AccessLevel::Write)?;

@@ -108,9 +108,10 @@ pub fn insert_image(db: &Database, img: &ImageObject) -> Result<u64> {
 /// Fetches an image object.
 pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(IMAGE_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: IMAGE_TABLE, id })?;
+    let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: IMAGE_TABLE,
+        id,
+    })?;
     let data = tx.get_blob(row[5].as_blob()?)?;
     Ok(ImageObject {
         name: text(&row, 1)?,
@@ -127,19 +128,49 @@ pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
 /// Fetches only the first `n` bytes of an image payload.
 pub fn get_image_prefix(db: &Database, id: u64, n: usize) -> Result<Vec<u8>> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(IMAGE_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: IMAGE_TABLE, id })?;
+    let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: IMAGE_TABLE,
+        id,
+    })?;
     Ok(tx.get_blob_prefix(row[5].as_blob()?, n)?)
+}
+
+/// Replaces an image object in place, keeping its id. The row and payload
+/// BLOB flip inside one transaction: a crash or failure mid-save rolls
+/// back to the old version — the object is never left missing or torn.
+pub fn update_image(db: &Database, id: u64, img: &ImageObject) -> Result<()> {
+    let mut tx = db.begin()?;
+    let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: IMAGE_TABLE,
+        id,
+    })?;
+    tx.delete_blob(row[5].as_blob()?)?;
+    let blob = tx.put_blob(&img.data)?;
+    tx.update(
+        IMAGE_TABLE,
+        id,
+        vec![
+            RowValue::Null,
+            RowValue::Text(img.name.clone()),
+            RowValue::I64(img.quality),
+            RowValue::Text(img.texts.clone()),
+            RowValue::Bytes(img.cm.clone()),
+            RowValue::Blob(blob),
+        ],
+    )?;
+    tx.commit()?;
+    Ok(())
 }
 
 /// Deletes an image object and its BLOB.
 pub fn delete_image(db: &Database, id: u64) -> Result<()> {
     let mut tx = db.begin()?;
-    let row = tx.delete(IMAGE_TABLE, id).map_err(|_| MediaError::NotFound {
-        table: IMAGE_TABLE,
-        id,
-    })?;
+    let row = tx
+        .delete(IMAGE_TABLE, id)
+        .map_err(|_| MediaError::NotFound {
+            table: IMAGE_TABLE,
+            id,
+        })?;
     tx.delete_blob(row[5].as_blob()?)?;
     tx.commit()?;
     Ok(())
@@ -169,9 +200,10 @@ pub fn insert_audio(db: &Database, audio: &AudioObject) -> Result<u64> {
 /// Fetches an audio object.
 pub fn get_audio(db: &Database, id: u64) -> Result<AudioObject> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(AUDIO_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: AUDIO_TABLE, id })?;
+    let row = tx.get(AUDIO_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: AUDIO_TABLE,
+        id,
+    })?;
     let sectors = tx.get_blob(row[2].as_blob()?)?;
     let data = tx.get_blob(row[3].as_blob()?)?;
     Ok(AudioObject {
@@ -184,9 +216,10 @@ pub fn get_audio(db: &Database, id: u64) -> Result<AudioObject> {
 /// Replaces an audio object's `FLD_SECTORS` payload (analysis results).
 pub fn update_audio_sectors(db: &Database, id: u64, sectors: &[u8]) -> Result<()> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(AUDIO_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: AUDIO_TABLE, id })?;
+    let row = tx.get(AUDIO_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: AUDIO_TABLE,
+        id,
+    })?;
     tx.delete_blob(row[2].as_blob()?)?;
     let new_sectors = tx.put_blob(sectors)?;
     let mut new_row = row;
@@ -200,10 +233,12 @@ pub fn update_audio_sectors(db: &Database, id: u64, sectors: &[u8]) -> Result<()
 /// Deletes an audio object and both its BLOBs.
 pub fn delete_audio(db: &Database, id: u64) -> Result<()> {
     let mut tx = db.begin()?;
-    let row = tx.delete(AUDIO_TABLE, id).map_err(|_| MediaError::NotFound {
-        table: AUDIO_TABLE,
-        id,
-    })?;
+    let row = tx
+        .delete(AUDIO_TABLE, id)
+        .map_err(|_| MediaError::NotFound {
+            table: AUDIO_TABLE,
+            id,
+        })?;
     tx.delete_blob(row[2].as_blob()?)?;
     tx.delete_blob(row[3].as_blob()?)?;
     tx.commit()?;
@@ -236,9 +271,10 @@ pub fn insert_compound(db: &Database, cmp: &CompoundObject) -> Result<u64> {
 /// Fetches a compound object.
 pub fn get_compound(db: &Database, id: u64) -> Result<CompoundObject> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(CMP_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: CMP_TABLE, id })?;
+    let row = tx.get(CMP_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: CMP_TABLE,
+        id,
+    })?;
     let header = tx.get_blob(row[4].as_blob()?)?;
     let data = tx.get_blob(row[5].as_blob()?)?;
     Ok(CompoundObject {
@@ -272,9 +308,10 @@ pub fn insert_document(db: &Database, doc: &DocumentObject) -> Result<u64> {
 /// Fetches a serialized document.
 pub fn get_document(db: &Database, id: u64) -> Result<DocumentObject> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(DOC_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: DOC_TABLE, id })?;
+    let row = tx.get(DOC_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: DOC_TABLE,
+        id,
+    })?;
     let data = tx.get_blob(row[2].as_blob()?)?;
     Ok(DocumentObject {
         title: text(&row, 1)?,
@@ -285,9 +322,10 @@ pub fn get_document(db: &Database, id: u64) -> Result<DocumentObject> {
 /// Replaces a stored document's payload (and title).
 pub fn update_document(db: &Database, id: u64, doc: &DocumentObject) -> Result<()> {
     let mut tx = db.begin()?;
-    let row = tx
-        .get(DOC_TABLE, id)?
-        .ok_or(MediaError::NotFound { table: DOC_TABLE, id })?;
+    let row = tx.get(DOC_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: DOC_TABLE,
+        id,
+    })?;
     tx.delete_blob(row[2].as_blob()?)?;
     let blob = tx.put_blob(&doc.data)?;
     tx.update(

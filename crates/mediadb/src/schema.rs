@@ -97,10 +97,34 @@ pub fn install(db: &Database) -> Result<()> {
     tx.create_table(CMP_TABLE, cmp_schema())?;
     tx.create_table(DOC_TABLE, doc_schema())?;
     for (name, mime, access, table, desc) in [
-        ("Image", "image/layered", "stream", IMAGE_TABLE, "layered multi-resolution images"),
-        ("Audio", "audio/pcm", "stream", AUDIO_TABLE, "voice and audio fragments"),
-        ("Compound", "application/octet-stream", "whole", CMP_TABLE, "compound binary objects"),
-        ("Document", "application/x-rcmo-document", "whole", DOC_TABLE, "multimedia documents with CP-networks"),
+        (
+            "Image",
+            "image/layered",
+            "stream",
+            IMAGE_TABLE,
+            "layered multi-resolution images",
+        ),
+        (
+            "Audio",
+            "audio/pcm",
+            "stream",
+            AUDIO_TABLE,
+            "voice and audio fragments",
+        ),
+        (
+            "Compound",
+            "application/octet-stream",
+            "whole",
+            CMP_TABLE,
+            "compound binary objects",
+        ),
+        (
+            "Document",
+            "application/x-rcmo-document",
+            "whole",
+            DOC_TABLE,
+            "multimedia documents with CP-networks",
+        ),
     ] {
         tx.insert(
             MASTER_TABLE,

@@ -53,6 +53,28 @@ fn image_crud_roundtrip() {
 }
 
 #[test]
+fn image_update_in_place_keeps_id() {
+    let db = fresh();
+    let img = sample_image(50_000);
+    let id = db.insert_image("admin", &img).unwrap();
+    let mut changed = img.clone();
+    changed.cm = vec![1, 2, 3, 4];
+    changed.data = vec![7u8; 80_000];
+    db.update_image("admin", id, &changed).unwrap();
+    assert_eq!(db.get_image("admin", id).unwrap(), changed);
+    // Updating a missing id fails cleanly and changes nothing.
+    assert!(matches!(
+        db.update_image("admin", id + 99, &changed),
+        Err(MediaError::NotFound { .. })
+    ));
+    assert_eq!(db.get_image("admin", id).unwrap(), changed);
+    // Write access is required.
+    db.put_user("admin", "viewer", AccessLevel::Read).unwrap();
+    assert!(db.update_image("viewer", id, &img).is_err());
+    assert_eq!(db.get_image("admin", id).unwrap(), changed);
+}
+
+#[test]
 fn audio_crud_roundtrip() {
     let db = fresh();
     let audio = AudioObject {

@@ -1,0 +1,373 @@
+//! Fault injection and recovery for links in virtual time.
+//!
+//! The paper's interaction server assumes a perfect network; this module
+//! supplies the failure model the reproduction needs before any scaling
+//! work is trustworthy. A [`FaultSpec`] deterministically injects packet
+//! loss, latency jitter, and timed outage windows into a [`Link`]; a
+//! [`RetryPolicy`] bounds how hard a transfer tries (exponential backoff
+//! with a cap, per-attempt timeout), all charged in *virtual* seconds; and
+//! [`FaultyLink::transfer`] reports exactly what happened so sessions can
+//! degrade gracefully (fall back to a coarser `LIC1` layer) instead of
+//! failing the request.
+
+use crate::link::Link;
+use rand::prelude::*;
+
+/// Deterministic fault model for a link. All randomness is drawn from the
+/// seeded stream owned by [`FaultyLink`], so two runs with equal seeds see
+/// identical loss/jitter patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Probability, per attempt, that the transfer is lost in flight and
+    /// the sender waits out its per-attempt timeout. `0.0` = perfect pipe.
+    pub loss: f64,
+    /// Latency jitter amplitude as a fraction of the link latency: each
+    /// attempt's latency is scaled by a uniform draw from
+    /// `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Hard outage windows `[start, end)` in virtual seconds. Attempts
+    /// started inside a window always fail.
+    pub outages: Vec<(f64, f64)>,
+    /// Seed for the fault stream (independent of the session seed).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A perfect network: no loss, no jitter, no outages.
+    pub fn none() -> FaultSpec {
+        FaultSpec {
+            loss: 0.0,
+            jitter: 0.0,
+            outages: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Uniform packet loss with the given per-attempt probability.
+    pub fn lossy(loss: f64, seed: u64) -> FaultSpec {
+        FaultSpec {
+            loss: loss.clamp(0.0, 1.0),
+            jitter: 0.0,
+            outages: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Adds an outage window `[start, end)` in virtual seconds.
+    pub fn with_outage(mut self, start: f64, end: f64) -> FaultSpec {
+        assert!(start < end, "outage window must be non-empty");
+        self.outages.push((start, end));
+        self
+    }
+
+    /// Adds latency jitter of amplitude `jitter` (fraction of latency).
+    pub fn with_jitter(mut self, jitter: f64) -> FaultSpec {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// `true` if virtual time `t` falls inside an outage window.
+    pub fn in_outage(&self, t: f64) -> bool {
+        self.outages.iter().any(|&(s, e)| t >= s && t < e)
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> FaultSpec {
+        FaultSpec::none()
+    }
+}
+
+/// Bounded-retry policy, charged in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `1 + max_retries`).
+    pub max_retries: u32,
+    /// Backoff before retry `i` is `base_backoff_s · 2^i`, capped below.
+    pub base_backoff_s: f64,
+    /// Upper bound on any single backoff interval.
+    pub backoff_cap_s: f64,
+    /// Virtual seconds a sender waits on a lost attempt before declaring it
+    /// dead. Must cover the slowest honest transfer the caller issues.
+    pub attempt_timeout_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_s: 0.25,
+            backoff_cap_s: 4.0,
+            attempt_timeout_s: 20.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged before retry number `retry` (0-based).
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        let exp = self.base_backoff_s * 2f64.powi(retry.min(20) as i32);
+        exp.min(self.backoff_cap_s)
+    }
+
+    /// Worst-case virtual seconds one transfer can burn before giving up.
+    pub fn worst_case_secs(&self) -> f64 {
+        let timeouts = (1 + self.max_retries) as f64 * self.attempt_timeout_s;
+        let backoffs: f64 = (0..self.max_retries).map(|i| self.backoff_secs(i)).sum();
+        timeouts + backoffs
+    }
+}
+
+/// What one bounded-retry transfer did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// The payload arrived after `retransmits` failed attempts.
+    Delivered {
+        /// Total virtual seconds consumed, retries and backoff included.
+        elapsed_s: f64,
+        /// Attempts that were lost before the one that succeeded.
+        retransmits: u32,
+    },
+    /// Every attempt failed; the transfer gave up.
+    TimedOut {
+        /// Total virtual seconds consumed by all attempts and backoffs.
+        elapsed_s: f64,
+        /// Attempts made (= `1 + max_retries`).
+        attempts: u32,
+    },
+}
+
+impl TransferOutcome {
+    /// Virtual seconds the transfer consumed, delivered or not.
+    pub fn elapsed_s(&self) -> f64 {
+        match *self {
+            TransferOutcome::Delivered { elapsed_s, .. } => elapsed_s,
+            TransferOutcome::TimedOut { elapsed_s, .. } => elapsed_s,
+        }
+    }
+
+    /// `true` if the payload arrived.
+    pub fn delivered(&self) -> bool {
+        matches!(self, TransferOutcome::Delivered { .. })
+    }
+}
+
+/// A [`Link`] with an attached fault model and its own deterministic
+/// randomness stream.
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    link: Link,
+    fault: FaultSpec,
+    rng: StdRng,
+}
+
+impl FaultyLink {
+    /// Wraps `link` with the fault model `fault`.
+    pub fn new(link: Link, fault: FaultSpec) -> FaultyLink {
+        let rng = StdRng::seed_from_u64(fault.seed ^ 0xFA_17);
+        FaultyLink { link, fault, rng }
+    }
+
+    /// The underlying perfect link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// The fault model.
+    pub fn fault(&self) -> &FaultSpec {
+        &self.fault
+    }
+
+    /// Transfers `bytes` starting at virtual time `now` under `policy`.
+    /// Attempts lost to the fault model cost the per-attempt timeout, then
+    /// exponential backoff; the outcome carries the total virtual time so
+    /// the caller can advance its clock.
+    pub fn transfer(&mut self, bytes: u64, now: f64, policy: &RetryPolicy) -> TransferOutcome {
+        let attempts = 1 + policy.max_retries;
+        let mut elapsed = 0.0f64;
+        for attempt in 0..attempts {
+            let start = now + elapsed;
+            let lost = self.fault.in_outage(start)
+                || (self.fault.loss > 0.0 && self.rng.gen_bool(self.fault.loss));
+            if lost {
+                elapsed += policy.attempt_timeout_s;
+                if attempt + 1 < attempts {
+                    elapsed += policy.backoff_secs(attempt);
+                }
+                continue;
+            }
+            let jitter = if self.fault.jitter > 0.0 {
+                self.rng
+                    .gen_range(1.0 - self.fault.jitter..1.0 + self.fault.jitter)
+            } else {
+                1.0
+            };
+            let wire =
+                self.link.latency_s * jitter + (bytes as f64 * 8.0) / self.link.bandwidth_bps;
+            // An honest transfer slower than the attempt timeout is
+            // indistinguishable from loss to the sender.
+            if wire > policy.attempt_timeout_s {
+                elapsed += policy.attempt_timeout_s;
+                if attempt + 1 < attempts {
+                    elapsed += policy.backoff_secs(attempt);
+                }
+                continue;
+            }
+            elapsed += wire;
+            return TransferOutcome::Delivered {
+                elapsed_s: elapsed,
+                retransmits: attempt,
+            };
+        }
+        TransferOutcome::TimedOut {
+            elapsed_s: elapsed,
+            attempts,
+        }
+    }
+}
+
+/// Fraction of a rendition's bytes that the coarse `LIC1` base layer
+/// carries. E8's layer ladder puts the base layer at roughly a fifth of the
+/// full progressive stream; a session that keeps timing out on the full
+/// rendition falls back to this prefix instead of failing the request.
+pub const DEGRADED_FRACTION: f64 = 0.2;
+
+/// The byte cost of the degraded (base-layer) rendition of a `bytes`-sized
+/// transfer — at least one byte so the transfer is still exercised.
+pub fn degraded_bytes(bytes: u64) -> u64 {
+    ((bytes as f64 * DEGRADED_FRACTION) as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dsl() -> Link {
+        Link::new(1_000_000.0, 0.04)
+    }
+
+    #[test]
+    fn perfect_fault_matches_plain_link() {
+        let mut fl = FaultyLink::new(dsl(), FaultSpec::none());
+        let policy = RetryPolicy::default();
+        let out = fl.transfer(125_000, 0.0, &policy);
+        match out {
+            TransferOutcome::Delivered {
+                elapsed_s,
+                retransmits,
+            } => {
+                assert_eq!(retransmits, 0);
+                assert!((elapsed_s - dsl().transfer_secs(125_000)).abs() < 1e-12);
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfers_are_seed_deterministic() {
+        let spec = FaultSpec::lossy(0.3, 99).with_jitter(0.2);
+        let run = || {
+            let mut fl = FaultyLink::new(dsl(), spec.clone());
+            let policy = RetryPolicy::default();
+            (0..50)
+                .map(|i| fl.transfer(10_000 + i * 100, i as f64, &policy))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn outage_window_fails_attempts_inside_it() {
+        // Outage covers the first attempt and every retry the backoff can
+        // reach, so the transfer must time out.
+        let policy = RetryPolicy::default();
+        let spec = FaultSpec::none().with_outage(0.0, policy.worst_case_secs() + 1.0);
+        let mut fl = FaultyLink::new(dsl(), spec.clone());
+        let out = fl.transfer(1_000, 0.0, &policy);
+        assert!(!out.delivered());
+        assert!(out.elapsed_s() <= policy.worst_case_secs() + 1e-9);
+        // Starting after the window, the same link delivers instantly.
+        let mut fl = FaultyLink::new(dsl(), spec);
+        let after = policy.worst_case_secs() + 2.0;
+        assert!(fl.transfer(1_000, after, &policy).delivered());
+    }
+
+    #[test]
+    fn retries_recover_from_loss() {
+        // 50% loss: over many transfers, most deliver (p(fail all 5) ≈ 3%)
+        // and some record retransmits.
+        let mut fl = FaultyLink::new(dsl(), FaultSpec::lossy(0.5, 7));
+        let policy = RetryPolicy::default();
+        let outcomes: Vec<_> = (0..200)
+            .map(|i| fl.transfer(5_000, i as f64 * 60.0, &policy))
+            .collect();
+        let delivered = outcomes.iter().filter(|o| o.delivered()).count();
+        assert!(delivered > 150, "only {delivered}/200 delivered");
+        let retransmits: u32 = outcomes
+            .iter()
+            .map(|o| match o {
+                TransferOutcome::Delivered { retransmits, .. } => *retransmits,
+                _ => 0,
+            })
+            .sum();
+        assert!(retransmits > 50, "retransmits {retransmits}");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_backoff_s: 0.5,
+            backoff_cap_s: 3.0,
+            attempt_timeout_s: 10.0,
+        };
+        assert_eq!(policy.backoff_secs(0), 0.5);
+        assert_eq!(policy.backoff_secs(1), 1.0);
+        assert_eq!(policy.backoff_secs(2), 2.0);
+        assert_eq!(policy.backoff_secs(3), 3.0); // capped
+        assert_eq!(policy.backoff_secs(7), 3.0);
+    }
+
+    #[test]
+    fn total_loss_times_out_with_bounded_cost() {
+        let mut fl = FaultyLink::new(dsl(), FaultSpec::lossy(1.0, 3));
+        let policy = RetryPolicy::default();
+        let out = fl.transfer(1_000, 0.0, &policy);
+        match out {
+            TransferOutcome::TimedOut {
+                elapsed_s,
+                attempts,
+            } => {
+                assert_eq!(attempts, 1 + policy.max_retries);
+                assert!((elapsed_s - policy.worst_case_secs()).abs() < 1e-9);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let spec = FaultSpec {
+            loss: 0.0,
+            jitter: 0.5,
+            outages: vec![],
+            seed: 11,
+        };
+        let mut fl = FaultyLink::new(dsl(), spec);
+        let policy = RetryPolicy::default();
+        let base = dsl();
+        for i in 0..200 {
+            let out = fl.transfer(0, i as f64, &policy);
+            let e = out.elapsed_s();
+            assert!(out.delivered());
+            assert!(e >= base.latency_s * 0.5 - 1e-12 && e <= base.latency_s * 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn degraded_bytes_are_a_small_fraction() {
+        assert_eq!(degraded_bytes(100_000), 20_000);
+        assert_eq!(degraded_bytes(1), 1);
+        assert!(degraded_bytes(0) >= 1);
+    }
+}

@@ -14,17 +14,22 @@
 //! * [`session`] — a simulated viewing session: a viewer whose clicks are
 //!   drawn from the document's own preference structure (plus noise)
 //!   browses the document over a constrained link; the harness measures
-//!   hit rates, response times, and wasted prefetch bytes per policy.
+//!   hit rates, response times, and wasted prefetch bytes per policy;
+//! * [`fault`] — deterministic fault injection (packet loss, latency
+//!   jitter, outage windows) with bounded retry/backoff and graceful
+//!   degradation to the coarse `LIC1` layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod fault;
 pub mod link;
 pub mod policy;
 pub mod session;
 
 pub use buffer::ClientBuffer;
+pub use fault::{degraded_bytes, FaultSpec, FaultyLink, RetryPolicy, TransferOutcome};
 pub use link::Link;
-pub use policy::{PrefetchPolicy, PolicyKind};
+pub use policy::{PolicyKind, PrefetchPolicy};
 pub use session::{simulate_session, SessionConfig, SessionStats};

@@ -12,13 +12,14 @@
 //! mean/max response time, and byte accounting including *wasted* prefetch.
 
 use crate::buffer::{ClientBuffer, Rendition};
+use crate::fault::{degraded_bytes, FaultSpec, FaultyLink, RetryPolicy, TransferOutcome};
 use crate::link::Link;
 use crate::policy::{PolicyKind, PrefetchPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rcmo_core::{
-    ComponentId, FormKind, MultimediaDocument, PartialAssignment, PrefetchConfig,
-    PrefetchPlanner, PreferenceNet, Value,
+    ComponentId, FormKind, MultimediaDocument, PartialAssignment, PreferenceNet, PrefetchConfig,
+    PrefetchPlanner, Value,
 };
 use std::collections::HashSet;
 
@@ -46,6 +47,10 @@ pub struct SessionConfig {
     pub bandwidth_tuning: Option<rcmo_core::VarId>,
     /// Descending bits/s thresholds for `bandwidth_tuning`.
     pub bandwidth_thresholds: Vec<f64>,
+    /// Fault model injected into the link (loss, jitter, outage windows).
+    pub fault: FaultSpec,
+    /// Bounded-retry policy for demand transfers under faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SessionConfig {
@@ -60,6 +65,8 @@ impl Default for SessionConfig {
             seed: 0x5e55,
             bandwidth_tuning: None,
             bandwidth_thresholds: vec![],
+            fault: FaultSpec::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -83,6 +90,13 @@ pub struct SessionStats {
     pub prefetch_bytes: u64,
     /// Prefetched bytes never requested before session end.
     pub wasted_prefetch_bytes: u64,
+    /// Lost attempts recovered by retransmission.
+    pub retransmits: u64,
+    /// Transfers that exhausted every retry.
+    pub timeouts: u64,
+    /// Requests served by falling back to the coarse `LIC1` base layer
+    /// after the full rendition kept timing out.
+    pub degraded_requests: u64,
 }
 
 impl SessionStats {
@@ -160,6 +174,8 @@ fn sample_request(
 pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> SessionStats {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut buffer = ClientBuffer::new(cfg.buffer_bytes);
+    let mut faulty = FaultyLink::new(cfg.link, cfg.fault.clone());
+    let mut now = 0.0f64; // virtual clock, seconds since session start
     let mut policy = PrefetchPolicy::new(cfg.policy, cfg.seed ^ 0xF00D);
     let planner = PrefetchPlanner::new(PrefetchConfig::default());
     let mut evidence = PartialAssignment::empty(doc.net().len());
@@ -180,23 +196,30 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
         demand_bytes: 0,
         prefetch_bytes: 0,
         wasted_prefetch_bytes: 0,
+        retransmits: 0,
+        timeouts: 0,
+        degraded_requests: 0,
     };
     let mut total_response = 0.0f64;
 
     for _ in 0..cfg.steps {
-        // Idle dwell: the prefetcher may move bytes in the background.
+        // Idle dwell: the prefetcher may move bytes in the background. A
+        // dead link (outage window) idles the prefetcher too.
         let dwell = cfg.dwell_secs * rng.gen_range(0.5..1.5);
-        let mut budget = cfg.link.bytes_within(dwell);
-        for (r, size) in policy.candidates(doc, &evidence, &buffer) {
-            if size > budget {
-                break;
-            }
-            if buffer.insert(r, size) {
-                budget -= size;
-                stats.prefetch_bytes += size;
-                prefetched.insert(r);
+        if !cfg.fault.in_outage(now) {
+            let mut budget = cfg.link.bytes_within(dwell);
+            for (r, size) in policy.candidates(doc, &evidence, &buffer) {
+                if size > budget {
+                    break;
+                }
+                if buffer.insert(r, size) {
+                    budget -= size;
+                    stats.prefetch_bytes += size;
+                    prefetched.insert(r);
+                }
             }
         }
+        now += dwell;
         // The viewer clicks.
         let Some((rendition, size)) =
             sample_request(doc, &evidence, &planner, &requested, cfg.epsilon, &mut rng)
@@ -209,12 +232,47 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
             0.0
         } else {
             stats.demand_bytes += size;
-            buffer.insert(rendition, size);
-            cfg.link.transfer_secs(size)
+            let mut elapsed;
+            match faulty.transfer(size, now, &cfg.retry) {
+                TransferOutcome::Delivered {
+                    elapsed_s,
+                    retransmits,
+                } => {
+                    stats.retransmits += retransmits as u64;
+                    buffer.insert(rendition, size);
+                    elapsed = elapsed_s;
+                }
+                TransferOutcome::TimedOut { elapsed_s, .. } => {
+                    // Graceful degradation: rather than failing the click,
+                    // fall back to the coarse LIC1 base layer.
+                    stats.timeouts += 1;
+                    elapsed = elapsed_s;
+                    let coarse = degraded_bytes(size);
+                    match faulty.transfer(coarse, now + elapsed, &cfg.retry) {
+                        TransferOutcome::Delivered {
+                            elapsed_s,
+                            retransmits,
+                        } => {
+                            stats.retransmits += retransmits as u64;
+                            stats.degraded_requests += 1;
+                            buffer.insert(rendition, coarse);
+                            elapsed += elapsed_s;
+                        }
+                        TransferOutcome::TimedOut { elapsed_s, .. } => {
+                            // Even the base layer failed; the click is just
+                            // slow — the session carries on.
+                            stats.timeouts += 1;
+                            elapsed += elapsed_s;
+                        }
+                    }
+                }
+            }
+            elapsed
         };
         if response == 0.0 {
             stats.hits += 1;
         }
+        now += response;
         total_response += response;
         stats.max_response_secs = stats.max_response_secs.max(response);
         // The click is evidence for the presentation engine (and thus for
@@ -263,27 +321,35 @@ mod tests {
 
     #[test]
     fn preference_beats_no_prefetch() {
+        // Averaged over several seeds: any single 30-click session is noisy
+        // enough for the margin to wobble, the mean is not.
         let doc = study_doc();
-        let base = SessionConfig {
-            steps: 30,
-            buffer_bytes: 300_000,
-            ..SessionConfig::default()
+        let mean = |policy: PolicyKind| -> (f64, f64) {
+            let mut hit = 0.0;
+            let mut resp = 0.0;
+            for seed in 0..5u64 {
+                let s = simulate_session(
+                    &doc,
+                    &SessionConfig {
+                        steps: 30,
+                        buffer_bytes: 300_000,
+                        policy,
+                        seed: 0x5e55 + seed,
+                        ..SessionConfig::default()
+                    },
+                );
+                hit += s.hit_rate();
+                resp += s.mean_response_secs;
+            }
+            (hit / 5.0, resp / 5.0)
         };
-        let none = simulate_session(
-            &doc,
-            &SessionConfig { policy: PolicyKind::None, ..base.clone() },
-        );
-        let pref = simulate_session(
-            &doc,
-            &SessionConfig { policy: PolicyKind::PreferenceBased, ..base },
-        );
+        let (none_hit, none_resp) = mean(PolicyKind::None);
+        let (pref_hit, pref_resp) = mean(PolicyKind::PreferenceBased);
         assert!(
-            pref.hit_rate() > none.hit_rate() + 0.2,
-            "preference {:.2} vs none {:.2}",
-            pref.hit_rate(),
-            none.hit_rate()
+            pref_hit > none_hit + 0.2,
+            "preference {pref_hit:.2} vs none {none_hit:.2}"
         );
-        assert!(pref.mean_response_secs < none.mean_response_secs);
+        assert!(pref_resp < none_resp);
     }
 
     #[test]
@@ -299,7 +365,11 @@ mod tests {
             },
         );
         assert!(stats.prefetch_bytes == 0);
-        assert!(stats.hit_rate() > 0.4, "repeat clicks hit: {:.2}", stats.hit_rate());
+        assert!(
+            stats.hit_rate() > 0.4,
+            "repeat clicks hit: {:.2}",
+            stats.hit_rate()
+        );
     }
 
     #[test]
@@ -396,7 +466,10 @@ mod tests {
         for kind in PolicyKind::ALL {
             let stats = simulate_session(
                 &doc,
-                &SessionConfig { policy: kind, ..SessionConfig::default() },
+                &SessionConfig {
+                    policy: kind,
+                    ..SessionConfig::default()
+                },
             );
             assert_eq!(stats.requests, 60);
             assert!(stats.hits <= stats.requests);
@@ -406,5 +479,64 @@ mod tests {
             }
             assert!(stats.mean_response_secs <= stats.max_response_secs + 1e-12);
         }
+    }
+
+    #[test]
+    fn clean_link_records_no_faults() {
+        let doc = study_doc();
+        let stats = simulate_session(&doc, &SessionConfig::default());
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.degraded_requests, 0);
+    }
+
+    #[test]
+    fn lossy_session_completes_with_bounded_retries() {
+        // Acceptance scenario: 5% loss on the modem-56k profile. Every
+        // click must still be answered, retransmissions must be recorded,
+        // and total retries stay within the policy's per-transfer bound.
+        let doc = study_doc();
+        let cfg = SessionConfig {
+            link: Link::new(56_000.0, 0.15),
+            fault: FaultSpec::lossy(0.05, 0xBAD1),
+            steps: 40,
+            ..SessionConfig::default()
+        };
+        let stats = simulate_session(&doc, &cfg);
+        assert_eq!(stats.requests, 40);
+        assert!(
+            stats.retransmits > 0,
+            "5% loss over 40 clicks should retransmit"
+        );
+        let misses = (stats.requests - stats.hits) as u64;
+        // Each miss makes at most 2 transfers (full + degraded fallback),
+        // each bounded by max_retries.
+        let bound = misses * 2 * cfg.retry.max_retries as u64;
+        assert!(
+            stats.retransmits <= bound,
+            "retransmits {} exceed bound {bound}",
+            stats.retransmits
+        );
+    }
+
+    #[test]
+    fn outage_degrades_instead_of_failing() {
+        // A long mid-session outage: requests during the window exhaust
+        // retries, degrade to the base layer, and the session still
+        // finishes all its clicks.
+        let doc = study_doc();
+        let cfg = SessionConfig {
+            link: Link::new(56_000.0, 0.15),
+            fault: FaultSpec::none().with_outage(20.0, 400.0),
+            steps: 30,
+            ..SessionConfig::default()
+        };
+        let stats = simulate_session(&doc, &cfg);
+        assert_eq!(stats.requests, 30);
+        assert!(stats.timeouts > 0, "outage should exhaust some retries");
+        assert!(
+            stats.mean_response_secs > 0.0,
+            "outage sessions pay for the retries they burn"
+        );
     }
 }

@@ -260,9 +260,9 @@ impl RoomEvent {
             RoomEvent::Joined { user } | RoomEvent::Left { user } => 1 + user.len(),
             RoomEvent::ObjectChanged { by, delta, .. } => 1 + 8 + by.len() + delta.encoded_len(),
             RoomEvent::ChoiceMade { user, .. } => 1 + user.len() + 4 + 4,
-            RoomEvent::OperationApplied { user, operation, .. } => {
-                1 + user.len() + 4 + operation.len()
-            }
+            RoomEvent::OperationApplied {
+                user, operation, ..
+            } => 1 + user.len() + 4 + operation.len(),
             RoomEvent::Frozen { by, .. } | RoomEvent::Released { by, .. } => 1 + 8 + by.len(),
             RoomEvent::PresentationChanged { viewer, .. } => 1 + viewer.len() + 8,
             RoomEvent::Chat { user, text } => 1 + user.len() + text.len(),
@@ -291,7 +291,13 @@ mod tests {
         assert!(text.encoded_len() < 64);
         let line = Delta::LineAdded {
             id: ElementId(2),
-            element: LineElement { x0: 0, y0: 0, x1: 9, y1: 9, intensity: 200 },
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 9,
+                y1: 9,
+                intensity: 200,
+            },
         };
         assert!(line.encoded_len() < 64);
         assert_eq!(Delta::ElementDeleted { id: ElementId(3) }.encoded_len(), 8);
@@ -299,8 +305,14 @@ mod tests {
 
     #[test]
     fn event_sizes_scale_with_payload() {
-        let small = RoomEvent::Chat { user: "a".into(), text: "hi".into() };
-        let big = RoomEvent::Chat { user: "a".into(), text: "x".repeat(100) };
+        let small = RoomEvent::Chat {
+            user: "a".into(),
+            text: "hi".into(),
+        };
+        let big = RoomEvent::Chat {
+            user: "a".into(),
+            text: "x".repeat(100),
+        };
         assert!(big.encoded_len() > small.encoded_len());
     }
 }

@@ -14,6 +14,9 @@
 //!   object permits sending only the relevant parts of the object".
 //! * [`room`] — shared rooms: membership, the in-room object registry, the
 //!   change buffer, freeze/release, per-viewer presentation sessions.
+//! * [`resync`] — fault tolerance: sequence-numbered events, the bounded
+//!   ring-buffer change log, and snapshot-based client resynchronisation
+//!   after a dropped connection.
 //! * [`server`] — the [`server::InteractionServer`]
 //!   facade gluing rooms, the presentation engine, and the multimedia
 //!   database together.
@@ -23,10 +26,12 @@
 
 pub mod error;
 pub mod events;
+pub mod resync;
 pub mod room;
 pub mod server;
 
 pub use error::ServerError;
 pub use events::{Action, Delta, RoomEvent};
-pub use room::{RoomId, SharedObjectId};
+pub use resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent};
+pub use room::{RoomId, RoomStats, SharedObjectId};
 pub use server::{ClientConnection, InteractionServer};

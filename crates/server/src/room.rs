@@ -3,6 +3,7 @@
 
 use crate::error::{Result, ServerError};
 use crate::events::{Action, Delta, RoomEvent, TriggerCondition};
+use crate::resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent, DEFAULT_CHANGE_LOG_CAPACITY};
 use crossbeam::channel::Sender;
 use rcmo_core::{
     MultimediaDocument, Presentation, PresentationEngine, ViewerChoice, ViewerSession,
@@ -20,18 +21,23 @@ pub type SharedObjectId = u64;
 /// Aggregate propagation statistics of a room.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoomStats {
-    /// Events delivered (events × recipients).
+    /// Events delivered (events × recipients). Only *successful* sends
+    /// count; failed sends land in `delivery_failures`.
     pub events_delivered: u64,
     /// Total bytes delivered (approximate wire size × recipients).
     pub bytes_delivered: u64,
     /// Events appended to the room's change buffer.
     pub changes_logged: u64,
+    /// Sends that failed because the member's receiver was gone.
+    pub delivery_failures: u64,
+    /// Members removed after their connection was detected dead.
+    pub members_reaped: u64,
 }
 
 #[derive(Debug)]
 struct Member {
     name: String,
-    sender: Sender<RoomEvent>,
+    sender: Sender<SequencedEvent>,
 }
 
 /// A shared room. All mutation goes through the
@@ -51,8 +57,8 @@ pub struct Room {
     objects: HashMap<SharedObjectId, AnnotatedImage>,
     freezes: HashMap<SharedObjectId, String>,
     /// The "large memory buffer which maintains the changes made on the
-    /// changed objects".
-    change_log: Vec<RoomEvent>,
+    /// changed objects" — a bounded ring (see [`ChangeLog`]).
+    change_log: ChangeLog,
     engine: PresentationEngine,
     stats: RoomStats,
     triggers: Vec<(u64, String, TriggerCondition)>,
@@ -70,7 +76,7 @@ impl Room {
             sessions: HashMap::new(),
             objects: HashMap::new(),
             freezes: HashMap::new(),
-            change_log: Vec::new(),
+            change_log: ChangeLog::new(DEFAULT_CHANGE_LOG_CAPACITY),
             engine: PresentationEngine::new(),
             stats: RoomStats::default(),
             triggers: Vec::new(),
@@ -88,9 +94,14 @@ impl Room {
         self.stats
     }
 
-    /// The room's change buffer (most recent last).
-    pub fn change_log(&self) -> &[RoomEvent] {
+    /// The room's bounded change buffer.
+    pub fn change_log(&self) -> &ChangeLog {
         &self.change_log
+    }
+
+    /// Re-bounds the change buffer (shrinking evicts the oldest events).
+    pub(crate) fn set_change_log_capacity(&mut self, capacity: usize) {
+        self.change_log.set_capacity(capacity);
     }
 
     /// The shared document.
@@ -98,22 +109,59 @@ impl Room {
         &self.doc
     }
 
-    /// Broadcasts an event to every member and appends it to the change
-    /// buffer.
-    fn broadcast(&mut self, event: RoomEvent) {
-        let size = event.encoded_len() as u64;
-        for m in &self.members {
-            // A disconnected receiver just drops the event; the member is
-            // reaped on the next leave/join cycle.
-            let _ = m.sender.send(event.clone());
-            self.stats.events_delivered += 1;
-            self.stats.bytes_delivered += size;
-        }
-        self.change_log.push(event);
+    /// Logs `event` (assigning its sequence number) and sends it to every
+    /// member. Returns the names of members whose connection proved dead —
+    /// the caller (`broadcast`) reaps them.
+    fn deliver(&mut self, event: RoomEvent) -> Vec<String> {
+        let sequenced = self.change_log.push(event);
         self.stats.changes_logged += 1;
+        let size = sequenced.event.encoded_len() as u64;
+        let mut dead = Vec::new();
+        for m in &self.members {
+            if m.sender.send(sequenced.clone()).is_ok() {
+                self.stats.events_delivered += 1;
+                self.stats.bytes_delivered += size;
+            } else {
+                // The receiver is gone: a crashed or disconnected client.
+                self.stats.delivery_failures += 1;
+                dead.push(m.name.clone());
+            }
+        }
+        dead
     }
 
-    pub(crate) fn join(&mut self, user: &str, sender: Sender<RoomEvent>) -> Result<()> {
+    /// Broadcasts an event to every member, appends it to the change
+    /// buffer, and reaps any member whose connection turns out to be dead
+    /// (their freezes are released, and `Released`/`Left` events are
+    /// propagated — which may in turn expose further dead members).
+    fn broadcast(&mut self, event: RoomEvent) {
+        let mut dead = self.deliver(event);
+        while let Some(user) = dead.pop() {
+            let before = self.members.len();
+            self.members.retain(|m| m.name != user);
+            if self.members.len() == before {
+                continue; // already reaped this round
+            }
+            self.sessions.remove(&user);
+            self.stats.members_reaped += 1;
+            let released: Vec<SharedObjectId> = self
+                .freezes
+                .iter()
+                .filter(|(_, holder)| holder.as_str() == user)
+                .map(|(&o, _)| o)
+                .collect();
+            for object in released {
+                self.freezes.remove(&object);
+                dead.extend(self.deliver(RoomEvent::Released {
+                    object,
+                    by: user.clone(),
+                }));
+            }
+            dead.extend(self.deliver(RoomEvent::Left { user }));
+        }
+    }
+
+    pub(crate) fn join(&mut self, user: &str, sender: Sender<SequencedEvent>) -> Result<()> {
         if self.members.iter().any(|m| m.name == user) {
             return Err(ServerError::AlreadyJoined(user.to_string()));
         }
@@ -159,6 +207,72 @@ impl Room {
         Ok(())
     }
 
+    /// Reconnects `user` with a fresh event channel and computes what they
+    /// missed since `last_seen` (the highest sequence number the client
+    /// observed before disconnecting; `0` for "nothing").
+    ///
+    /// Within the replay horizon the client receives the exact missed tail
+    /// and converges to the identical total event order; beyond it, a
+    /// [`RoomSnapshot`] of the room's current state (the fold of every
+    /// evicted event). If the member had already been reaped, they rejoin
+    /// — partners see a `Joined` event, and the join itself is part of the
+    /// replayed order for everyone *else*, never for the resyncing client
+    /// (their catch-up is computed first).
+    pub(crate) fn resync(
+        &mut self,
+        user: &str,
+        sender: Sender<SequencedEvent>,
+        last_seen: u64,
+    ) -> Result<Resync> {
+        // Catch-up is computed before any rejoin event so the client never
+        // replays its own reconnection.
+        let catch_up = match self.change_log.events_since(last_seen) {
+            Some(events) => Resync::Events(events),
+            None => Resync::Snapshot(self.snapshot()),
+        };
+        if let Some(m) = self.members.iter_mut().find(|m| m.name == user) {
+            // Still considered a member (dead connection not yet detected):
+            // swap in the live channel silently.
+            m.sender = sender;
+        } else {
+            self.members.push(Member {
+                name: user.to_string(),
+                sender,
+            });
+            self.sessions
+                .entry(user.to_string())
+                .or_insert_with(|| ViewerSession::new(user));
+            self.broadcast(RoomEvent::Joined {
+                user: user.to_string(),
+            });
+        }
+        Ok(catch_up)
+    }
+
+    /// The room's current state as a catch-up snapshot, reflecting every
+    /// event through `change_log.last_seq()`.
+    pub(crate) fn snapshot(&self) -> RoomSnapshot {
+        let mut objects: Vec<(SharedObjectId, Vec<u8>)> = self
+            .objects
+            .iter()
+            .map(|(&id, img)| (id, img.to_bytes()))
+            .collect();
+        objects.sort_by_key(|(id, _)| *id);
+        let mut freezes: Vec<(SharedObjectId, String)> = self
+            .freezes
+            .iter()
+            .map(|(&o, holder)| (o, holder.clone()))
+            .collect();
+        freezes.sort_by_key(|(o, _)| *o);
+        RoomSnapshot {
+            seq: self.change_log.last_seq(),
+            document: self.doc.to_bytes(),
+            objects,
+            freezes,
+            members: self.members.iter().map(|m| m.name.clone()).collect(),
+        }
+    }
+
     pub(crate) fn require_member(&self, user: &str) -> Result<()> {
         if self.members.iter().any(|m| m.name == user) {
             Ok(())
@@ -200,13 +314,10 @@ impl Room {
 
     /// The viewer's current presentation of the room document.
     pub fn presentation_for(&self, user: &str) -> Result<Presentation> {
-        let session = self
-            .sessions
-            .get(user)
-            .ok_or(ServerError::NotInRoom {
-                user: user.to_string(),
-                room: self.id,
-            })?;
+        let session = self.sessions.get(user).ok_or(ServerError::NotInRoom {
+            user: user.to_string(),
+            room: self.id,
+        })?;
         Ok(self.engine.presentation_for(&self.doc, session)?)
     }
 
@@ -241,11 +352,13 @@ impl Room {
             .collect()
     }
 
-    /// Scans events appended since `from` and fires matching triggers.
-    /// Trigger events themselves are never matched (no cascades).
-    fn fire_triggers(&mut self, from: usize) {
+    /// Scans retained events with sequence number ≥ `from_seq` and fires
+    /// matching triggers. Trigger events themselves are never matched (no
+    /// cascades).
+    fn fire_triggers(&mut self, from_seq: u64) {
         let mut fired: Vec<RoomEvent> = Vec::new();
-        for event in &self.change_log[from..] {
+        for sequenced in self.change_log.retained_from(from_seq) {
+            let event = &sequenced.event;
             if matches!(event, RoomEvent::TriggerFired { .. }) {
                 continue;
             }
@@ -269,7 +382,7 @@ impl Room {
     /// presentation", Fig. 4b, plus the object operations of §3).
     pub(crate) fn act(&mut self, user: &str, action: Action) -> Result<()> {
         self.require_member(user)?;
-        let log_start = self.change_log.len();
+        let log_start = self.change_log.last_seq() + 1;
         let result = self.act_inner(user, action);
         if result.is_ok() {
             self.fire_triggers(log_start);
@@ -355,11 +468,10 @@ impl Room {
                     // network; the prototype's policy is to re-derive local
                     // state after a global edit (identity rebase keeps the
                     // explicit choices, drops extensions and context).
-                    let identity: Vec<Option<rcmo_core::ComponentId>> = (0..self
-                        .doc
-                        .num_components() as u32)
-                        .map(|i| Some(rcmo_core::ComponentId(i)))
-                        .collect();
+                    let identity: Vec<Option<rcmo_core::ComponentId>> =
+                        (0..self.doc.num_components() as u32)
+                            .map(|i| Some(rcmo_core::ComponentId(i)))
+                            .collect();
                     for session in self.sessions.values_mut() {
                         session.rebase(&identity);
                     }
@@ -369,14 +481,18 @@ impl Room {
                         operation,
                     });
                     // Everyone's presentation may have changed.
-                    let names: Vec<String> =
-                        self.members.iter().map(|m| m.name.clone()).collect();
+                    let names: Vec<String> = self.members.iter().map(|m| m.name.clone()).collect();
                     for name in names {
                         self.push_presentation_update(&name)?;
                     }
                 } else {
                     let session = self.sessions.get_mut(user).expect("member has session");
-                    session.apply_local_operation(&self.doc, component, trigger_form, &operation)?;
+                    session.apply_local_operation(
+                        &self.doc,
+                        component,
+                        trigger_form,
+                        &operation,
+                    )?;
                     self.push_presentation_update(user)?;
                 }
             }
@@ -395,27 +511,25 @@ impl Room {
                     by: user.to_string(),
                 });
             }
-            Action::Release { object } => {
-                match self.freezes.get(&object) {
-                    Some(holder) if holder == user => {
-                        self.freezes.remove(&object);
-                        self.broadcast(RoomEvent::Released {
-                            object,
-                            by: user.to_string(),
-                        });
-                    }
-                    Some(holder) => {
-                        return Err(ServerError::FreezeConflict(format!(
-                            "'{user}' cannot release a freeze held by '{holder}'"
-                        )))
-                    }
-                    None => {
-                        return Err(ServerError::FreezeConflict(format!(
-                            "object {object} is not frozen"
-                        )))
-                    }
+            Action::Release { object } => match self.freezes.get(&object) {
+                Some(holder) if holder == user => {
+                    self.freezes.remove(&object);
+                    self.broadcast(RoomEvent::Released {
+                        object,
+                        by: user.to_string(),
+                    });
                 }
-            }
+                Some(holder) => {
+                    return Err(ServerError::FreezeConflict(format!(
+                        "'{user}' cannot release a freeze held by '{holder}'"
+                    )))
+                }
+                None => {
+                    return Err(ServerError::FreezeConflict(format!(
+                        "object {object} is not frozen"
+                    )))
+                }
+            },
             Action::Chat { text } => {
                 self.broadcast(RoomEvent::Chat {
                     user: user.to_string(),

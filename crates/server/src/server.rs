@@ -1,16 +1,17 @@
 //! The interaction server facade: rooms + presentation module + database.
 
 use crate::error::{Result, ServerError};
-use crate::events::{Action, RoomEvent, TriggerCondition};
+use crate::events::{Action, TriggerCondition};
+use crate::resync::{Resync, SequencedEvent};
 use crate::room::{Room, RoomId, RoomStats, SharedObjectId};
 use crossbeam::channel::{unbounded, Receiver};
-use std::sync::OnceLock;
 use parking_lot::Mutex;
 use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
 use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// A client's end of a room: the user name and the event stream.
 #[derive(Debug)]
@@ -20,8 +21,11 @@ pub struct ClientConnection {
     /// The member name.
     pub user: String,
     /// Events broadcast to the room (including this member's own actions,
-    /// so every client observes one identical total order).
-    pub events: Receiver<RoomEvent>,
+    /// so every client observes one identical total order). Each event
+    /// carries its sequence number; clients track the highest seen so a
+    /// dropped connection can be resumed with
+    /// [`InteractionServer::resync`].
+    pub events: Receiver<SequencedEvent>,
 }
 
 /// The interaction server of Figure 1. Thread-safe: share by reference (or
@@ -91,6 +95,42 @@ impl InteractionServer {
         self.with_room(room, |r| r.leave(user))
     }
 
+    /// Reconnects a client whose event stream was lost. `last_seen_seq` is
+    /// the highest sequence number the client observed (`0` for none).
+    ///
+    /// Returns a fresh connection plus the catch-up: the exact missed
+    /// event tail when it is still within the room's replay horizon
+    /// (guaranteeing the client converges to the identical total event
+    /// order), or a full [`crate::resync::RoomSnapshot`] when the client
+    /// fell too far behind. Requires read access, like [`Self::join`].
+    pub fn resync(
+        &self,
+        room: RoomId,
+        user: &str,
+        last_seen_seq: u64,
+    ) -> Result<(ClientConnection, Resync)> {
+        self.db.list_documents(user)?; // cheap read-permission probe
+        let (tx, rx) = unbounded();
+        let catch_up = self.with_room(room, |r| r.resync(user, tx, last_seen_seq))?;
+        Ok((
+            ClientConnection {
+                room,
+                user: user.to_string(),
+                events: rx,
+            },
+            catch_up,
+        ))
+    }
+
+    /// Re-bounds a room's change buffer (mainly for tests and experiments;
+    /// shrinking evicts the oldest retained events).
+    pub fn set_change_log_capacity(&self, room: RoomId, capacity: usize) -> Result<()> {
+        self.with_room(room, |r| {
+            r.set_change_log_capacity(capacity);
+            Ok(())
+        })
+    }
+
     /// Performs an action in a room.
     pub fn act(&self, room: RoomId, user: &str, action: Action) -> Result<()> {
         self.with_room(room, |r| r.act(user, action))
@@ -131,20 +171,28 @@ impl InteractionServer {
     /// Saves a shared object's annotated state back into the database
     /// (serialised overlay in `FLD_CM`, base pixels unchanged) and discards
     /// it from the room.
-    pub fn save_and_close_image(
-        &self,
-        room: RoomId,
-        user: &str,
-        object_id: u64,
-    ) -> Result<()> {
+    ///
+    /// Crash-safe: the stored object is replaced atomically in place (same
+    /// id), and if the save fails for any reason the working copy is put
+    /// back into the room — annotations are never lost.
+    pub fn save_and_close_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<()> {
         let annotated = self.with_room(room, |r| r.take_object(object_id))?;
-        let mut obj = self.db.get_image(user, object_id)?;
-        // Only the overlay is stored inline; the pixels stay in FLD_DATA.
-        obj.cm = annotated.overlay_to_bytes();
-        // Replace: delete + reinsert under the same logical name.
-        self.db.delete_image(user, object_id)?;
-        self.db.insert_image(user, &obj)?;
-        Ok(())
+        let result = (|| {
+            let mut obj = self.db.get_image(user, object_id)?;
+            // Only the overlay is stored inline; the pixels stay in
+            // FLD_DATA.
+            obj.cm = annotated.overlay_to_bytes();
+            self.db.update_image(user, object_id, &obj)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            // Failed save: restore the working copy so nothing is lost.
+            let _ = self.with_room(room, |r| {
+                r.insert_object(object_id, annotated);
+                Ok(())
+            });
+        }
+        result
     }
 
     /// Persists the room's (possibly globally updated) document back to the
@@ -205,9 +253,7 @@ impl InteractionServer {
             })
             .collect::<Vec<_>>()
             .join("; ");
-        self.with_room(room, |r| {
-            r.share_analysis(user, audio_id, &summary)
-        })?;
+        self.with_room(room, |r| r.share_analysis(user, audio_id, &summary))?;
         Ok(segments)
     }
 
@@ -266,9 +312,15 @@ impl InteractionServer {
         self.with_room(room, |r| Ok(r.stats()))
     }
 
-    /// Length of a room's change buffer.
+    /// Number of events retained in a room's change buffer (bounded by its
+    /// ring capacity).
     pub fn change_log_len(&self, room: RoomId) -> Result<usize> {
         self.with_room(room, |r| Ok(r.change_log().len()))
+    }
+
+    /// Sequence number of the latest event in a room's total order.
+    pub fn last_seq(&self, room: RoomId) -> Result<u64> {
+        self.with_room(room, |r| Ok(r.change_log().last_seq()))
     }
 }
 

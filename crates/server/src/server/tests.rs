@@ -1,5 +1,5 @@
 use super::*;
-use crate::events::{Action, Delta};
+use crate::events::{Action, Delta, RoomEvent};
 use rcmo_core::{ComponentId, FormKind, MediaRef, PresentationForm};
 use rcmo_imaging::{ct_phantom, LineElement, TextElement};
 
@@ -8,8 +8,10 @@ use rcmo_imaging::{ct_phantom, LineElement, TextElement};
 /// CT component id, X-ray component id).
 fn setup() -> (InteractionServer, u64, u64, ComponentId, ComponentId) {
     let db = MediaDb::in_memory().unwrap();
-    db.put_user("admin", "dr-a", rcmo_mediadb::AccessLevel::Write).unwrap();
-    db.put_user("admin", "dr-b", rcmo_mediadb::AccessLevel::Write).unwrap();
+    db.put_user("admin", "dr-a", rcmo_mediadb::AccessLevel::Write)
+        .unwrap();
+    db.put_user("admin", "dr-b", rcmo_mediadb::AccessLevel::Write)
+        .unwrap();
 
     let ct_image = ct_phantom(64, 2, 5).unwrap();
     let image_id = db
@@ -73,10 +75,12 @@ fn setup() -> (InteractionServer, u64, u64, ComponentId, ComponentId) {
     (InteractionServer::new(db), doc_id, image_id, ct, xray)
 }
 
+/// Collects pending events, stripping the sequence envelope (most tests
+/// only care about the payload order).
 fn drain(conn: &ClientConnection) -> Vec<RoomEvent> {
     let mut out = Vec::new();
     while let Ok(e) = conn.events.try_recv() {
-        out.push(e);
+        out.push(e.event);
     }
     out
 }
@@ -93,13 +97,22 @@ fn create_join_leave_lifecycle() {
     assert_eq!(
         ea,
         vec![
-            RoomEvent::Joined { user: "dr-a".into() },
-            RoomEvent::Joined { user: "dr-b".into() }
+            RoomEvent::Joined {
+                user: "dr-a".into()
+            },
+            RoomEvent::Joined {
+                user: "dr-b".into()
+            }
         ]
     );
     assert_eq!(drain(&b).len(), 1);
     srv.leave(room, "dr-b").unwrap();
-    assert_eq!(drain(&a), vec![RoomEvent::Left { user: "dr-b".into() }]);
+    assert_eq!(
+        drain(&a),
+        vec![RoomEvent::Left {
+            user: "dr-b".into()
+        }]
+    );
     assert!(srv.leave(room, "dr-b").is_err(), "double leave rejected");
     assert!(srv.join(room, "dr-a").is_err(), "double join rejected");
 }
@@ -107,7 +120,10 @@ fn create_join_leave_lifecycle() {
 #[test]
 fn unknown_room_and_unknown_user() {
     let (srv, doc_id, _, _, _) = setup();
-    assert!(matches!(srv.join(99, "dr-a"), Err(ServerError::UnknownRoom(99))));
+    assert!(matches!(
+        srv.join(99, "dr-a"),
+        Err(ServerError::UnknownRoom(99))
+    ));
     // "nobody" has no database permissions at all.
     assert!(srv.create_room("nobody", "x", doc_id).is_err());
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
@@ -129,7 +145,15 @@ fn choice_propagates_and_reconfigures() {
     assert_eq!(p.form(xray), 1);
 
     // dr-a hides the CT: her X-ray flips to flat; dr-b is unaffected.
-    srv.act(room, "dr-a", Action::Choose { component: ct, form: 2 }).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 2,
+        },
+    )
+    .unwrap();
     let pa = srv.presentation(room, "dr-a").unwrap();
     assert_eq!(pa.form(ct), 2);
     assert_eq!(pa.form(xray), 0);
@@ -144,7 +168,8 @@ fn choice_propagates_and_reconfigures() {
     assert!(matches!(ea[1], RoomEvent::PresentationChanged { .. }));
 
     // Withdrawing restores the author default.
-    srv.act(room, "dr-a", Action::Unchoose { component: ct }).unwrap();
+    srv.act(room, "dr-a", Action::Unchoose { component: ct })
+        .unwrap();
     assert_eq!(srv.presentation(room, "dr-a").unwrap().form(ct), 0);
 }
 
@@ -178,7 +203,13 @@ fn annotations_propagate_and_render() {
         "dr-b",
         Action::AddLine {
             object: image_id,
-            element: LineElement { x0: 0, y0: 0, x1: 60, y1: 60, intensity: 250 },
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 60,
+                y1: 60,
+                intensity: 250,
+            },
         },
     )
     .unwrap();
@@ -203,10 +234,21 @@ fn annotations_propagate_and_render() {
 
     // dr-b deletes dr-a's text element.
     let id = match &eb[0] {
-        RoomEvent::ObjectChanged { delta: Delta::TextAdded { id, .. }, .. } => *id,
+        RoomEvent::ObjectChanged {
+            delta: Delta::TextAdded { id, .. },
+            ..
+        } => *id,
         other => panic!("expected TextAdded, got {other:?}"),
     };
-    srv.act(room, "dr-b", Action::DeleteElement { object: image_id, element: id }).unwrap();
+    srv.act(
+        room,
+        "dr-b",
+        Action::DeleteElement {
+            object: image_id,
+            element: id,
+        },
+    )
+    .unwrap();
     assert_eq!(srv.object_elements(room, image_id).unwrap(), 1);
 }
 
@@ -218,11 +260,18 @@ fn freeze_blocks_other_partners() {
     let _b = srv.join(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
 
-    srv.act(room, "dr-a", Action::Freeze { object: image_id }).unwrap();
+    srv.act(room, "dr-a", Action::Freeze { object: image_id })
+        .unwrap();
     // dr-b cannot annotate or re-freeze.
     let text = Action::AddText {
         object: image_id,
-        element: TextElement { x: 0, y: 0, text: "X".into(), intensity: 255, scale: 1 },
+        element: TextElement {
+            x: 0,
+            y: 0,
+            text: "X".into(),
+            intensity: 255,
+            scale: 1,
+        },
     };
     assert!(matches!(
         srv.act(room, "dr-b", text.clone()),
@@ -238,13 +287,22 @@ fn freeze_blocks_other_partners() {
         "dr-a",
         Action::AddLine {
             object: image_id,
-            element: LineElement { x0: 0, y0: 0, x1: 5, y1: 5, intensity: 200 },
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 5,
+                y1: 5,
+                intensity: 200,
+            },
         },
     )
     .unwrap();
     // Only the holder may release.
-    assert!(srv.act(room, "dr-b", Action::Release { object: image_id }).is_err());
-    srv.act(room, "dr-a", Action::Release { object: image_id }).unwrap();
+    assert!(srv
+        .act(room, "dr-b", Action::Release { object: image_id })
+        .is_err());
+    srv.act(room, "dr-a", Action::Release { object: image_id })
+        .unwrap();
     srv.act(room, "dr-b", text).unwrap();
 }
 
@@ -255,14 +313,16 @@ fn leaving_releases_freezes() {
     let _a = srv.join(room, "dr-a").unwrap();
     let b = srv.join(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
-    srv.act(room, "dr-a", Action::Freeze { object: image_id }).unwrap();
+    srv.act(room, "dr-a", Action::Freeze { object: image_id })
+        .unwrap();
     srv.leave(room, "dr-a").unwrap();
     let events = drain(&b);
     assert!(events
         .iter()
         .any(|e| matches!(e, RoomEvent::Released { .. })));
     // dr-b can now freeze.
-    srv.act(room, "dr-b", Action::Freeze { object: image_id }).unwrap();
+    srv.act(room, "dr-b", Action::Freeze { object: image_id })
+        .unwrap();
 }
 
 #[test]
@@ -313,8 +373,18 @@ fn local_operation_stays_private() {
         },
     )
     .unwrap();
-    assert_eq!(srv.presentation(room, "dr-a").unwrap().derived_states().len(), 1);
-    assert!(srv.presentation(room, "dr-b").unwrap().derived_states().is_empty());
+    assert_eq!(
+        srv.presentation(room, "dr-a")
+            .unwrap()
+            .derived_states()
+            .len(),
+        1
+    );
+    assert!(srv
+        .presentation(room, "dr-b")
+        .unwrap()
+        .derived_states()
+        .is_empty());
 }
 
 #[test]
@@ -353,20 +423,66 @@ fn save_and_close_image_persists_annotations() {
         "dr-a",
         Action::AddText {
             object: image_id,
-            element: TextElement { x: 1, y: 1, text: "F1".into(), intensity: 255, scale: 1 },
+            element: TextElement {
+                x: 1,
+                y: 1,
+                text: "F1".into(),
+                intensity: 255,
+                scale: 1,
+            },
         },
     )
     .unwrap();
     srv.save_and_close_image(room, "dr-a", image_id).unwrap();
     // The object left the room.
     assert!(srv.render_object(room, image_id).is_err());
-    // The stored overlay can be reloaded (the image got a fresh id on save).
-    let list = srv.database().list_objects("dr-a", "Image").unwrap();
-    let saved = list.iter().find(|o| o.label == "ct-slice").unwrap();
-    let obj = srv.database().get_image("dr-a", saved.id).unwrap();
+    // The stored overlay can be reloaded under the *same* id (the save is
+    // an atomic in-place replace, not delete + reinsert).
+    let obj = srv.database().get_image("dr-a", image_id).unwrap();
+    assert_eq!(obj.name, "ct-slice");
     let base = rcmo_imaging::GrayImage::from_bytes(&obj.data).unwrap();
     let restored = AnnotatedImage::from_parts(base, &obj.cm).unwrap();
     assert_eq!(restored.num_elements(), 1);
+}
+
+#[test]
+fn failed_save_keeps_annotations_in_the_room() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    // "intern" may read (and thus join and annotate) but not write.
+    srv.database()
+        .put_user("admin", "intern", rcmo_mediadb::AccessLevel::Read)
+        .unwrap();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _i = srv.join(room, "intern").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    srv.act(
+        room,
+        "intern",
+        Action::AddText {
+            object: image_id,
+            element: TextElement {
+                x: 3,
+                y: 3,
+                text: "note".into(),
+                intensity: 255,
+                scale: 1,
+            },
+        },
+    )
+    .unwrap();
+
+    // The intern's save is denied by the database ACL — but the working
+    // copy (and its annotation) must return to the room, not vanish.
+    assert!(srv.save_and_close_image(room, "intern", image_id).is_err());
+    assert_eq!(srv.object_elements(room, image_id).unwrap(), 1);
+    // The stored object is untouched.
+    let obj = srv.database().get_image("dr-a", image_id).unwrap();
+    assert!(obj.cm.is_empty(), "stored overlay unchanged by failed save");
+    // A writer can still complete the save afterwards.
+    srv.save_and_close_image(room, "dr-a", image_id).unwrap();
+    let obj = srv.database().get_image("dr-a", image_id).unwrap();
+    assert!(!obj.cm.is_empty());
 }
 
 #[test]
@@ -376,9 +492,24 @@ fn stats_and_change_log_accumulate() {
     let _a = srv.join(room, "dr-a").unwrap();
     let _b = srv.join(room, "dr-b").unwrap();
     for i in 0..5 {
-        srv.act(room, "dr-a", Action::Chat { text: format!("msg {i}") }).unwrap();
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("msg {i}"),
+            },
+        )
+        .unwrap();
     }
-    srv.act(room, "dr-a", Action::Choose { component: ct, form: 1 }).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 1,
+        },
+    )
+    .unwrap();
     let stats = srv.room_stats(room).unwrap();
     // 2 joins + 5 chats + choice + presentation = 9 logged changes.
     assert_eq!(stats.changes_logged, 9);
@@ -406,7 +537,14 @@ fn concurrent_partners_see_one_total_order() {
         let user = user.to_string();
         handles.push(std::thread::spawn(move || {
             for i in 0..25 {
-                srv.act(room, &user, Action::Chat { text: format!("{user} {i}") }).unwrap();
+                srv.act(
+                    room,
+                    &user,
+                    Action::Chat {
+                        text: format!("{user} {i}"),
+                    },
+                )
+                .unwrap();
                 srv.act(
                     room,
                     &user,
@@ -423,7 +561,14 @@ fn concurrent_partners_see_one_total_order() {
                 )
                 .unwrap();
                 if i % 5 == 0 {
-                    let _ = srv.act(room, &user, Action::Choose { component: ct, form: (i % 2) as usize });
+                    let _ = srv.act(
+                        room,
+                        &user,
+                        Action::Choose {
+                            component: ct,
+                            form: (i % 2) as usize,
+                        },
+                    );
                 }
             }
         }));
@@ -441,7 +586,10 @@ fn concurrent_partners_see_one_total_order() {
 fn audio_analysis_is_cooperative_and_persistent() {
     let (srv, doc_id, _, _, _) = setup();
     // Store a labelled synthetic recording as a PCM audio object.
-    let sc = rcmo_audio::SynthConfig { seed: 808, ..rcmo_audio::SynthConfig::default() };
+    let sc = rcmo_audio::SynthConfig {
+        seed: 808,
+        ..rcmo_audio::SynthConfig::default()
+    };
     let mut samples = rcmo_audio::synth::silence(0.6, &sc);
     samples.extend(rcmo_audio::synth::babble(
         &rcmo_audio::VoiceProfile::female("f"),
@@ -466,7 +614,9 @@ fn audio_analysis_is_cooperative_and_persistent() {
     drain(&b);
     let segments = srv.analyse_audio(room, "dr-a", audio_id).unwrap();
     assert!(!segments.is_empty());
-    assert!(segments.iter().any(|s| s.class == rcmo_audio::AudioClass::Speech));
+    assert!(segments
+        .iter()
+        .any(|s| s.class == rcmo_audio::AudioClass::Speech));
 
     // The other partner received the shared result.
     let events = drain(&b);
@@ -501,14 +651,42 @@ fn triggers_fire_on_matching_events() {
         .add_trigger(room, "dr-b", TriggerCondition::ChoiceOn { component: ct })
         .unwrap();
     let t2 = srv
-        .add_trigger(room, "dr-b", TriggerCondition::ChatContains { needle: "urgent".into() })
+        .add_trigger(
+            room,
+            "dr-b",
+            TriggerCondition::ChatContains {
+                needle: "urgent".into(),
+            },
+        )
         .unwrap();
     drain(&a);
     drain(&b);
 
-    srv.act(room, "dr-a", Action::Choose { component: ct, form: 1 }).unwrap();
-    srv.act(room, "dr-a", Action::Chat { text: "nothing special".into() }).unwrap();
-    srv.act(room, "dr-a", Action::Chat { text: "this is urgent!".into() }).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 1,
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "nothing special".into(),
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "this is urgent!".into(),
+        },
+    )
+    .unwrap();
 
     let events = drain(&b);
     let fired: Vec<(u64, String)> = events
@@ -535,10 +713,20 @@ fn triggers_fire_on_matching_events() {
     srv.remove_trigger(room, "dr-b", t1).unwrap();
     assert!(srv.remove_trigger(room, "dr-b", 999).is_err());
     drain(&b);
-    srv.act(room, "dr-a", Action::Choose { component: ct, form: 0 }).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 0,
+        },
+    )
+    .unwrap();
     let events = drain(&b);
     assert!(
-        !events.iter().any(|e| matches!(e, RoomEvent::TriggerFired { .. })),
+        !events
+            .iter()
+            .any(|e| matches!(e, RoomEvent::TriggerFired { .. })),
         "removed trigger must not fire"
     );
 }
@@ -554,7 +742,9 @@ fn admin_broadcast_reaches_all_rooms() {
     drain(&b);
     // Non-admins cannot broadcast.
     assert!(srv.broadcast_announcement("dr-a", "hi").is_err());
-    let reached = srv.broadcast_announcement("admin", "maintenance at 18:00").unwrap();
+    let reached = srv
+        .broadcast_announcement("admin", "maintenance at 18:00")
+        .unwrap();
     assert_eq!(reached, 2);
     for conn in [&a, &b] {
         let events = drain(conn);
@@ -566,6 +756,233 @@ fn admin_broadcast_reaches_all_rooms() {
 }
 
 #[test]
+fn dead_members_are_reaped_and_their_freezes_released() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    srv.act(room, "dr-b", Action::Freeze { object: image_id })
+        .unwrap();
+    drain(&a);
+
+    // dr-b's client crashes: the receiver is dropped without leaving.
+    drop(b);
+    // Nothing is detected until the next broadcast...
+    assert_eq!(srv.members(room).unwrap(), vec!["dr-a", "dr-b"]);
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "anyone there?".into(),
+        },
+    )
+    .unwrap();
+    // ...which reaps dr-b and releases the freeze.
+    assert_eq!(srv.members(room).unwrap(), vec!["dr-a"]);
+    let events = drain(&a);
+    assert!(events.iter().any(
+        |e| matches!(e, RoomEvent::Released { object, by } if *object == image_id && by == "dr-b")
+    ));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RoomEvent::Left { user } if user == "dr-b")));
+    // dr-a can take over the object.
+    srv.act(room, "dr-a", Action::Freeze { object: image_id })
+        .unwrap();
+
+    let stats = srv.room_stats(room).unwrap();
+    assert_eq!(stats.members_reaped, 1);
+    assert!(stats.delivery_failures > 0, "failed send was recorded");
+}
+
+#[test]
+fn failed_sends_are_not_counted_as_delivered() {
+    let (srv, doc_id, _, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    drain(&a);
+    let before = srv.room_stats(room).unwrap();
+    drop(b);
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "ping".into(),
+        },
+    )
+    .unwrap();
+    let after = srv.room_stats(room).unwrap();
+    // The chat reached dr-a only; the send to dr-b (and the follow-up
+    // Left, sent to dr-a) must split cleanly between the two counters.
+    assert_eq!(after.delivery_failures, before.delivery_failures + 1);
+    // Delivered events grew by exactly the successful sends: chat → dr-a,
+    // Left → dr-a.
+    assert_eq!(after.events_delivered, before.events_delivered + 2);
+}
+
+#[test]
+fn resync_within_horizon_replays_identical_order() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+
+    // dr-b observes some events, then its connection dies.
+    srv.act(
+        room,
+        "dr-b",
+        Action::Chat {
+            text: "before".into(),
+        },
+    )
+    .unwrap();
+    let mut b_seen: Vec<SequencedEvent> = b.events.try_iter().collect();
+    let last_seen = b_seen.last().map(|e| e.seq).unwrap_or(0);
+    drop(b);
+
+    // Life goes on while dr-b is gone (dr-b gets reaped along the way).
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "while you were out".into(),
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 1,
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "still going".into(),
+        },
+    )
+    .unwrap();
+
+    // dr-b reconnects with the last sequence number it saw.
+    let (b2, catch_up) = srv.resync(room, "dr-b", last_seen).unwrap();
+    let replay = match catch_up {
+        Resync::Events(events) => events,
+        other => panic!("expected event replay, got {other:?}"),
+    };
+    assert!(!replay.is_empty());
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "welcome back".into(),
+        },
+    )
+    .unwrap();
+
+    // Replay ++ live stream must equal dr-a's uninterrupted view, except
+    // for events sent before dr-b first joined.
+    b_seen.extend(replay);
+    b_seen.extend(b2.events.try_iter());
+    let a_seen: Vec<SequencedEvent> = a.events.try_iter().collect();
+    let a_tail: Vec<&SequencedEvent> = a_seen.iter().filter(|e| e.seq >= b_seen[0].seq).collect();
+    assert_eq!(a_tail.len(), b_seen.len(), "no event lost or duplicated");
+    for (x, y) in a_tail.iter().zip(b_seen.iter()) {
+        assert_eq!(**x, *y, "identical total event order");
+    }
+    // Sequence numbers are dense and strictly increasing.
+    for w in b_seen.windows(2) {
+        assert_eq!(w[1].seq, w[0].seq + 1);
+    }
+    assert_eq!(srv.members(room).unwrap(), vec!["dr-a", "dr-b"]);
+}
+
+#[test]
+fn resync_beyond_horizon_returns_snapshot() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let b = srv.join(room, "dr-b").unwrap();
+    srv.set_change_log_capacity(room, 8).unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    srv.act(room, "dr-a", Action::Freeze { object: image_id })
+        .unwrap();
+    drop(b);
+    for i in 0..20 {
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("m{i}"),
+            },
+        )
+        .unwrap();
+    }
+
+    let (b2, catch_up) = srv.resync(room, "dr-b", 2).unwrap();
+    let snap = match catch_up {
+        Resync::Snapshot(s) => s,
+        other => panic!("expected snapshot, got {other:?}"),
+    };
+    // The snapshot reflects the room state at its seq: document, open
+    // objects, freezes, members. dr-b had been reaped, so the rejoin
+    // broadcast one `Joined` event *after* the snapshot was taken.
+    assert_eq!(snap.seq + 1, srv.last_seq(room).unwrap());
+    assert!(!snap.document.is_empty());
+    assert_eq!(snap.objects.len(), 1);
+    assert_eq!(snap.objects[0].0, image_id);
+    assert_eq!(snap.freezes, vec![(image_id, "dr-a".to_string())]);
+    assert!(snap.members.contains(&"dr-a".to_string()));
+    // Live events resume after the snapshot seq.
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "post-snap".into(),
+        },
+    )
+    .unwrap();
+    let live: Vec<SequencedEvent> = b2.events.try_iter().collect();
+    assert!(live.iter().all(|e| e.seq > snap.seq));
+    assert!(live
+        .iter()
+        .any(|e| matches!(&e.event, RoomEvent::Chat { text, .. } if text == "post-snap")));
+}
+
+#[test]
+fn change_log_is_bounded_under_stress() {
+    let (srv, doc_id, _, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let a = srv.join(room, "dr-a").unwrap();
+    srv.set_change_log_capacity(room, 256).unwrap();
+    for i in 0..10_000 {
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("event {i}"),
+            },
+        )
+        .unwrap();
+        if i % 1000 == 0 {
+            drain(&a); // keep the client channel from growing instead
+        }
+    }
+    assert_eq!(srv.change_log_len(room).unwrap(), 256);
+    assert_eq!(srv.last_seq(room).unwrap(), 10_001); // 1 join + 10k chats
+                                                     // A barely-behind client still replays; an ancient one snapshots.
+    let (_c1, catch_up) = srv.resync(room, "dr-b", 10_000).unwrap();
+    assert!(matches!(catch_up, Resync::Events(e) if e.len() == 1));
+    let (_c2, catch_up) = srv.resync(room, "dr-b", 5).unwrap();
+    assert!(matches!(catch_up, Resync::Snapshot(_)));
+}
+
+#[test]
 fn render_presentation_shows_content_pane() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
@@ -573,7 +990,15 @@ fn render_presentation_shows_content_pane() {
     let text = srv.render_presentation(room, "dr-a").unwrap();
     assert!(text.contains("CT: flat"));
     assert!(text.contains("X-ray: icon"));
-    srv.act(room, "dr-a", Action::Choose { component: ct, form: 2 }).unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Choose {
+            component: ct,
+            form: 2,
+        },
+    )
+    .unwrap();
     let text = srv.render_presentation(room, "dr-a").unwrap();
     assert!(!text.contains("CT: flat"));
     assert!(text.contains("X-ray: flat"));

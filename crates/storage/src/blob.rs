@@ -193,7 +193,12 @@ mod tests {
     #[test]
     fn exact_boundary_sizes() {
         let mut pool = pool();
-        for n in [FIRST_CAP, FIRST_CAP + 1, FIRST_CAP + CONT_CAP, FIRST_CAP + CONT_CAP + 1] {
+        for n in [
+            FIRST_CAP,
+            FIRST_CAP + 1,
+            FIRST_CAP + CONT_CAP,
+            FIRST_CAP + CONT_CAP + 1,
+        ] {
             let data = pattern(n);
             let id = BlobStore::create(&mut pool, &data).unwrap();
             assert_eq!(BlobStore::read(&mut pool, id).unwrap(), data, "size {n}");
@@ -205,7 +210,16 @@ mod tests {
         let mut pool = pool();
         let data = pattern(50_000);
         let id = BlobStore::create(&mut pool, &data).unwrap();
-        for n in [0usize, 1, 100, FIRST_CAP, FIRST_CAP + 5, 49_999, 50_000, 80_000] {
+        for n in [
+            0usize,
+            1,
+            100,
+            FIRST_CAP,
+            FIRST_CAP + 5,
+            49_999,
+            50_000,
+            80_000,
+        ] {
             let prefix = BlobStore::read_prefix(&mut pool, id, n).unwrap();
             let want = &data[..n.min(data.len())];
             assert_eq!(prefix, want, "prefix {n}");

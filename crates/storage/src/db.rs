@@ -91,7 +91,12 @@ impl Database {
     /// Creates an ephemeral in-memory database (no durability across drop,
     /// but the full WAL/commit machinery still runs in-process).
     pub fn in_memory() -> Result<Database> {
-        Self::finish_open(DiskManager::in_memory(), Wal::in_memory(), None, DEFAULT_POOL_FRAMES)
+        Self::finish_open(
+            DiskManager::in_memory(),
+            Wal::in_memory(),
+            None,
+            DEFAULT_POOL_FRAMES,
+        )
     }
 
     /// In-memory database with an explicit buffer-pool capacity in frames
@@ -235,13 +240,20 @@ fn reload_catalog(inner: &mut Inner) -> Result<()> {
     let heap = Heap::open(root);
     for (record, bytes) in heap.scan(&mut inner.pool)? {
         let info = TableInfo::decode(&bytes)?;
-        inner
-            .catalog
-            .insert(info.name.clone(), CatalogEntry { info, record, hint: None });
+        inner.catalog.insert(
+            info.name.clone(),
+            CatalogEntry {
+                info,
+                record,
+                hint: None,
+            },
+        );
     }
     // The in-memory next_txn may have raced past the persisted one; keep the
     // larger to stay monotone.
-    let persisted = inner.pool.with_page(PageId::META, |p| p.get_u64(META_NEXT_TXN))?;
+    let persisted = inner
+        .pool
+        .with_page(PageId::META, |p| p.get_u64(META_NEXT_TXN))?;
     inner.next_txn = inner.next_txn.max(persisted);
     Ok(())
 }
@@ -318,9 +330,14 @@ impl<'db> Transaction<'db> {
         };
         let mut cat_heap = Heap::open(catalog_root(&mut self.inner)?);
         let record = cat_heap.insert(&mut self.inner.pool, &info.encode())?;
-        self.inner
-            .catalog
-            .insert(name.to_string(), CatalogEntry { info, record, hint: None });
+        self.inner.catalog.insert(
+            name.to_string(),
+            CatalogEntry {
+                info,
+                record,
+                hint: None,
+            },
+        );
         Ok(())
     }
 

@@ -49,18 +49,50 @@ fn auto_ids_are_monotone_and_explicit_ids_respected() {
     let mut tx = db.begin().unwrap();
     tx.create_table("T", media_schema()).unwrap();
     let a = tx
-        .insert("T", vec![RowValue::Null, RowValue::Text("a".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("a".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
     let b = tx
-        .insert("T", vec![RowValue::U64(10), RowValue::Text("b".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "T",
+            vec![
+                RowValue::U64(10),
+                RowValue::Text("b".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
     let c = tx
-        .insert("T", vec![RowValue::Null, RowValue::Text("c".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("c".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
     assert_eq!((a, b), (1, 10));
     assert_eq!(c, 11, "auto id resumes after the explicit one");
     assert!(matches!(
-        tx.insert("T", vec![RowValue::U64(10), RowValue::Text("dup".into()), RowValue::Null, RowValue::Null]),
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(10),
+                RowValue::Text("dup".into()),
+                RowValue::Null,
+                RowValue::Null
+            ]
+        ),
         Err(StorageError::DuplicateKey(10))
     ));
     // The failed insert must not leave a ghost row.
@@ -74,15 +106,31 @@ fn update_and_delete() {
     let mut tx = db.begin().unwrap();
     tx.create_table("T", media_schema()).unwrap();
     let id = tx
-        .insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("x".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
     tx.update(
         "T",
         id,
-        vec![RowValue::Null, RowValue::Text("y".into()), RowValue::Text("m".into()), RowValue::Null],
+        vec![
+            RowValue::Null,
+            RowValue::Text("y".into()),
+            RowValue::Text("m".into()),
+            RowValue::Null,
+        ],
     )
     .unwrap();
-    assert_eq!(tx.get("T", id).unwrap().unwrap()[1], RowValue::Text("y".into()));
+    assert_eq!(
+        tx.get("T", id).unwrap().unwrap()[1],
+        RowValue::Text("y".into())
+    );
     let old = tx.delete("T", id).unwrap();
     assert_eq!(old[1], RowValue::Text("y".into()));
     assert_eq!(tx.get("T", id).unwrap(), None);
@@ -96,10 +144,27 @@ fn update_cannot_change_pk() {
     let mut tx = db.begin().unwrap();
     tx.create_table("T", media_schema()).unwrap();
     let id = tx
-        .insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("x".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
     assert!(tx
-        .update("T", id, vec![RowValue::U64(id + 1), RowValue::Text("y".into()), RowValue::Null, RowValue::Null])
+        .update(
+            "T",
+            id,
+            vec![
+                RowValue::U64(id + 1),
+                RowValue::Text("y".into()),
+                RowValue::Null,
+                RowValue::Null
+            ]
+        )
         .is_err());
     tx.commit().unwrap();
 }
@@ -112,7 +177,12 @@ fn scan_and_range_are_key_ordered() {
     for id in [5u64, 1, 9, 3, 7] {
         tx.insert(
             "T",
-            vec![RowValue::U64(id), RowValue::Text(format!("n{id}")), RowValue::Null, RowValue::Null],
+            vec![
+                RowValue::U64(id),
+                RowValue::Text(format!("n{id}")),
+                RowValue::Null,
+                RowValue::Null,
+            ],
         )
         .unwrap();
     }
@@ -148,7 +218,12 @@ fn blob_in_row_roundtrip() {
     let id = tx
         .insert(
             "T",
-            vec![RowValue::Null, RowValue::Text("ct".into()), RowValue::Text("image".into()), RowValue::Blob(blob)],
+            vec![
+                RowValue::Null,
+                RowValue::Text("ct".into()),
+                RowValue::Text("image".into()),
+                RowValue::Blob(blob),
+            ],
         )
         .unwrap();
     let row = tx.get("T", id).unwrap().unwrap();
@@ -166,8 +241,16 @@ fn rollback_on_drop_discards_everything() {
     {
         let mut tx = db.begin().unwrap();
         tx.create_table("T", media_schema()).unwrap();
-        tx.insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
-            .unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("x".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
         // dropped without commit
     }
     let mut tx = db.begin().unwrap();
@@ -182,8 +265,16 @@ fn explicit_rollback() {
     tx.create_table("T", media_schema()).unwrap();
     tx.commit().unwrap();
     let mut tx = db.begin().unwrap();
-    tx.insert("T", vec![RowValue::Null, RowValue::Text("x".into()), RowValue::Null, RowValue::Null])
-        .unwrap();
+    tx.insert(
+        "T",
+        vec![
+            RowValue::Null,
+            RowValue::Text("x".into()),
+            RowValue::Null,
+            RowValue::Null,
+        ],
+    )
+    .unwrap();
     tx.rollback();
     let mut tx = db.begin().unwrap();
     assert_eq!(tx.count("T").unwrap(), 0);
@@ -199,7 +290,12 @@ fn persistence_across_reopen() {
         for i in 0..200u64 {
             tx.insert(
                 "T",
-                vec![RowValue::Null, RowValue::Text(format!("row{i}")), RowValue::Null, RowValue::Null],
+                vec![
+                    RowValue::Null,
+                    RowValue::Text(format!("row{i}")),
+                    RowValue::Null,
+                    RowValue::Null,
+                ],
             )
             .unwrap();
         }
@@ -215,7 +311,15 @@ fn persistence_across_reopen() {
         );
         // Ids continue after reopen.
         let id = tx
-            .insert("T", vec![RowValue::Null, RowValue::Text("new".into()), RowValue::Null, RowValue::Null])
+            .insert(
+                "T",
+                vec![
+                    RowValue::Null,
+                    RowValue::Text("new".into()),
+                    RowValue::Null,
+                    RowValue::Null,
+                ],
+            )
             .unwrap();
         assert_eq!(id, 201);
         tx.commit().unwrap();
@@ -233,8 +337,16 @@ fn recovery_replays_wal_after_crash() {
         tx.create_table("T", media_schema()).unwrap();
         tx.commit().unwrap();
         let mut tx = db.begin().unwrap();
-        tx.insert("T", vec![RowValue::Null, RowValue::Text("survivor".into()), RowValue::Null, RowValue::Null])
-            .unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("survivor".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
         // Crash right after the WAL sync: data file not updated.
         tx.simulate_crash_after_wal().unwrap();
         // Within the *same* process the data file is stale:
@@ -262,8 +374,16 @@ fn torn_wal_tail_loses_only_uncommitted() {
         let db = Database::open(&path).unwrap();
         let mut tx = db.begin().unwrap();
         tx.create_table("T", media_schema()).unwrap();
-        tx.insert("T", vec![RowValue::Null, RowValue::Text("committed".into()), RowValue::Null, RowValue::Null])
-            .unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::Null,
+                RowValue::Text("committed".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
         tx.simulate_crash_after_wal().unwrap();
     }
     // Rip bytes off the WAL tail: the commit record is damaged, so the
@@ -286,16 +406,35 @@ fn drop_table_frees_space_for_reuse() {
     let mut tx = db.begin().unwrap();
     tx.create_table("A", media_schema()).unwrap();
     for i in 0..500u64 {
-        tx.insert("A", vec![RowValue::Null, RowValue::Text(format!("{i}")), RowValue::Null, RowValue::Null])
-            .unwrap();
+        tx.insert(
+            "A",
+            vec![
+                RowValue::Null,
+                RowValue::Text(format!("{i}")),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
     }
     tx.drop_table("A").unwrap();
     assert!(tx.table_names().is_empty());
     tx.create_table("B", media_schema()).unwrap();
     let id = tx
-        .insert("B", vec![RowValue::Null, RowValue::Text("fresh".into()), RowValue::Null, RowValue::Null])
+        .insert(
+            "B",
+            vec![
+                RowValue::Null,
+                RowValue::Text("fresh".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
         .unwrap();
-    assert_eq!(tx.get("B", id).unwrap().unwrap()[1], RowValue::Text("fresh".into()));
+    assert_eq!(
+        tx.get("B", id).unwrap().unwrap()[1],
+        RowValue::Text("fresh".into())
+    );
     tx.commit().unwrap();
 }
 
@@ -303,15 +442,28 @@ fn drop_table_frees_space_for_reuse() {
 fn multiple_tables_are_independent() {
     let db = Database::in_memory().unwrap();
     let mut tx = db.begin().unwrap();
-    tx.create_table("IMAGE_OBJECTS_TABLE", media_schema()).unwrap();
-    tx.create_table("AUDIO_OBJECTS_TABLE", media_schema()).unwrap();
-    tx.insert("IMAGE_OBJECTS_TABLE", vec![RowValue::Null, RowValue::Text("img".into()), RowValue::Null, RowValue::Null])
+    tx.create_table("IMAGE_OBJECTS_TABLE", media_schema())
         .unwrap();
+    tx.create_table("AUDIO_OBJECTS_TABLE", media_schema())
+        .unwrap();
+    tx.insert(
+        "IMAGE_OBJECTS_TABLE",
+        vec![
+            RowValue::Null,
+            RowValue::Text("img".into()),
+            RowValue::Null,
+            RowValue::Null,
+        ],
+    )
+    .unwrap();
     assert_eq!(tx.count("IMAGE_OBJECTS_TABLE").unwrap(), 1);
     assert_eq!(tx.count("AUDIO_OBJECTS_TABLE").unwrap(), 0);
     assert_eq!(
         tx.table_names(),
-        vec!["AUDIO_OBJECTS_TABLE".to_string(), "IMAGE_OBJECTS_TABLE".to_string()]
+        vec![
+            "AUDIO_OBJECTS_TABLE".to_string(),
+            "IMAGE_OBJECTS_TABLE".to_string()
+        ]
     );
     tx.commit().unwrap();
 }
@@ -420,7 +572,12 @@ fn pool_exhaustion_aborts_cleanly() {
         for _ in 0..5 {
             tx.insert(
                 "T",
-                vec![RowValue::Null, RowValue::Text("ok".into()), RowValue::Null, RowValue::Null],
+                vec![
+                    RowValue::Null,
+                    RowValue::Text("ok".into()),
+                    RowValue::Null,
+                    RowValue::Null,
+                ],
             )
             .unwrap();
         }

@@ -109,10 +109,7 @@ fn compact(page: &mut Page) {
     for s in 0..slots {
         let (off, len) = slot_entry(page, s);
         if len > 0 {
-            live.push((
-                s,
-                page.body()[off as usize..(off + len) as usize].to_vec(),
-            ));
+            live.push((s, page.body()[off as usize..(off + len) as usize].to_vec()));
         }
     }
     let mut free_end = BODY;

@@ -171,7 +171,8 @@ impl BufferPool {
     /// the virtual end. The new page exists only in the pool until commit.
     pub fn allocate(&mut self, kind: PageKind) -> Result<PageId> {
         self.stats.allocations += 1;
-        let free_head = self.with_page(PageId::META, |meta| PageId(meta.get_u64(META_FREE_HEAD)))?;
+        let free_head =
+            self.with_page(PageId::META, |meta| PageId(meta.get_u64(META_FREE_HEAD)))?;
         if free_head.is_some() {
             let next = self.with_page(free_head, |p| PageId(p.get_u64(FREE_NEXT)))?;
             self.with_page_mut(PageId::META, |meta| meta.put_u64(META_FREE_HEAD, next.0))?;
@@ -305,7 +306,9 @@ mod tests {
     #[test]
     fn dirty_pages_never_stolen() {
         let mut pool = fresh_pool(8);
-        let ids: Vec<PageId> = (0..8).map(|_| pool.allocate(PageKind::Heap).unwrap()).collect();
+        let ids: Vec<PageId> = (0..8)
+            .map(|_| pool.allocate(PageKind::Heap).unwrap())
+            .collect();
         for &id in &ids {
             pool.with_page_mut(id, |p| p.put_u64(0, 9)).unwrap();
         }

@@ -17,17 +17,50 @@ use rcmo::audio::wordspot::{WordSpotter, WordSpotterConfig};
 
 fn main() {
     let features = FeatureConfig::default();
-    let cfg = SynthConfig { seed: 2002, ..SynthConfig::default() };
+    let cfg = SynthConfig {
+        seed: 2002,
+        ..SynthConfig::default()
+    };
     let alice = VoiceProfile::female("dr-alice");
     let bob = VoiceProfile::male("dr-bob");
 
     // ----- The recording (with ground-truth labels). -----
     let mut track = LabeledAudio::default();
     track.push("silence", synth::silence(0.5, &cfg));
-    track.push("alice", synth::babble(&alice, 1.5, &SynthConfig { seed: 90_001, ..cfg }));
+    track.push(
+        "alice",
+        synth::babble(
+            &alice,
+            1.5,
+            &SynthConfig {
+                seed: 90_001,
+                ..cfg
+            },
+        ),
+    );
     // dr-alice utters the keyword "lesion" (phonemes 0-1-4).
-    track.push("alice:lesion", synth::speech(&alice, &[0, 1, 4], &SynthConfig { seed: 90_002, ..cfg }));
-    track.push("bob", synth::babble(&bob, 1.5, &SynthConfig { seed: 90_003, ..cfg }));
+    track.push(
+        "alice:lesion",
+        synth::speech(
+            &alice,
+            &[0, 1, 4],
+            &SynthConfig {
+                seed: 90_002,
+                ..cfg
+            },
+        ),
+    );
+    track.push(
+        "bob",
+        synth::babble(
+            &bob,
+            1.5,
+            &SynthConfig {
+                seed: 90_003,
+                ..cfg
+            },
+        ),
+    );
     track.push("music", synth::music(1.0, &cfg));
     track.push("noise", synth::noise(0.5, 0.1, &cfg));
     println!(

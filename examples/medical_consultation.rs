@@ -13,14 +13,16 @@
 use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
 use rcmo::imaging::{ct_phantom, segment_image, LineElement, SegmentFill, TextElement};
 use rcmo::mediadb::{AccessLevel, DocumentObject, ImageObject, MediaDb};
-use rcmo::server::{Action, InteractionServer, RoomEvent};
 use rcmo::server::events::TriggerCondition;
+use rcmo::server::{Action, InteractionServer, RoomEvent};
 
 fn main() {
     // ----- Database setup (the Oracle of Figure 1, in Rust). -----
     let db = MediaDb::in_memory().expect("in-memory database");
-    db.put_user("admin", "dr-gudes", AccessLevel::Write).unwrap();
-    db.put_user("admin", "dr-orlov", AccessLevel::Write).unwrap();
+    db.put_user("admin", "dr-gudes", AccessLevel::Write)
+        .unwrap();
+    db.put_user("admin", "dr-orlov", AccessLevel::Write)
+        .unwrap();
     println!("media types registered:");
     for t in db.media_types().unwrap() {
         println!("  {:10} -> {}", t.name, t.object_table);
@@ -48,7 +50,10 @@ fn main() {
         .add_primitive(
             images,
             "CT axial 17",
-            MediaRef::Stored { media_type: "Image".into(), object_id: ct_id },
+            MediaRef::Stored {
+                media_type: "Image".into(),
+                object_id: ct_id,
+            },
             vec![
                 PresentationForm::new("flat", FormKind::Flat, 128 * 128),
                 PresentationForm::new("segmented", FormKind::Segmented, 128 * 128 + 4_000),
@@ -60,7 +65,10 @@ fn main() {
     let doc_id = db
         .insert_document(
             "dr-gudes",
-            &DocumentObject { title: doc.title().into(), data: doc.to_bytes() },
+            &DocumentObject {
+                title: doc.title().into(),
+                data: doc.to_bytes(),
+            },
         )
         .unwrap();
 
@@ -70,16 +78,27 @@ fn main() {
     let gudes = srv.join(room, "dr-gudes").unwrap();
     let orlov = srv.join(room, "dr-orlov").unwrap();
     srv.open_image(room, "dr-gudes", ct_id).unwrap();
-    println!("\nroom '{}' members: {:?}", room, srv.members(room).unwrap());
+    println!(
+        "\nroom '{}' members: {:?}",
+        room,
+        srv.members(room).unwrap()
+    );
 
     // dr-gudes freezes the image while he marks a lesion.
-    srv.act(room, "dr-gudes", Action::Freeze { object: ct_id }).unwrap();
+    srv.act(room, "dr-gudes", Action::Freeze { object: ct_id })
+        .unwrap();
     srv.act(
         room,
         "dr-gudes",
         Action::AddText {
             object: ct_id,
-            element: TextElement { x: 70, y: 40, text: "LESION?".into(), intensity: 255, scale: 1 },
+            element: TextElement {
+                x: 70,
+                y: 40,
+                text: "LESION?".into(),
+                intensity: 255,
+                scale: 1,
+            },
         },
     )
     .unwrap();
@@ -88,20 +107,38 @@ fn main() {
         "dr-gudes",
         Action::AddLine {
             object: ct_id,
-            element: LineElement { x0: 66, y0: 50, x1: 80, y1: 64, intensity: 255 },
+            element: LineElement {
+                x0: 66,
+                y0: 50,
+                x1: 80,
+                y1: 64,
+                intensity: 255,
+            },
         },
     )
     .unwrap();
-    srv.act(room, "dr-gudes", Action::Release { object: ct_id }).unwrap();
+    srv.act(room, "dr-gudes", Action::Release { object: ct_id })
+        .unwrap();
 
     // dr-orlov sets a dynamic event trigger: tell me when anyone operates
     // on the CT component (the paper's "dynamic event triggers").
-    srv.add_trigger(room, "dr-orlov", TriggerCondition::OperationOn { component: ct })
-        .unwrap();
+    srv.add_trigger(
+        room,
+        "dr-orlov",
+        TriggerCondition::OperationOn { component: ct },
+    )
+    .unwrap();
 
     // dr-orlov answers in chat and triggers a *global* segmentation: the
     // operation becomes a derived variable of the shared CP-net.
-    srv.act(room, "dr-orlov", Action::Chat { text: "agree — segmenting".into() }).unwrap();
+    srv.act(
+        room,
+        "dr-orlov",
+        Action::Chat {
+            text: "agree — segmenting".into(),
+        },
+    )
+    .unwrap();
     srv.act(
         room,
         "dr-orlov",
@@ -115,8 +152,11 @@ fn main() {
     .unwrap();
 
     // Both partners observed the identical event stream.
-    let seen_by_orlov: Vec<RoomEvent> = orlov.events.try_iter().collect();
-    println!("\ndr-orlov observed {} events; last three:", seen_by_orlov.len());
+    let seen_by_orlov: Vec<RoomEvent> = orlov.events.try_iter().map(|e| e.event).collect();
+    println!(
+        "\ndr-orlov observed {} events; last three:",
+        seen_by_orlov.len()
+    );
     for e in seen_by_orlov.iter().rev().take(3).rev() {
         println!("  {e:?}");
     }
@@ -130,7 +170,8 @@ fn main() {
         seg.num_segments()
     );
     for label in 1..seg.num_segments() as u32 {
-        seg.set_fill(label, SegmentFill::Stripes(40, 215, 2)).unwrap();
+        seg.set_fill(label, SegmentFill::Stripes(40, 215, 2))
+            .unwrap();
     }
     let highlighted = seg.render(&rendered, 255).unwrap();
     println!(
@@ -150,7 +191,10 @@ fn main() {
     // on the server, and the segments are shared with the room and written
     // into FLD_SECTORS.
     let memo = {
-        let sc = rcmo::audio::SynthConfig { seed: 99, ..rcmo::audio::SynthConfig::default() };
+        let sc = rcmo::audio::SynthConfig {
+            seed: 99,
+            ..rcmo::audio::SynthConfig::default()
+        };
         let mut s = rcmo::audio::synth::silence(0.4, &sc);
         s.extend(rcmo::audio::synth::babble(
             &rcmo::audio::VoiceProfile::male("gudes"),
@@ -173,7 +217,12 @@ fn main() {
     println!("\nanalysing voice memo (server-side, shared with the room)...");
     let segments = srv.analyse_audio(room, "dr-gudes", audio_id).unwrap();
     for seg in &segments {
-        println!("  frames {:>3}..{:<3} {}", seg.frames.start, seg.frames.end, seg.class.name());
+        println!(
+            "  frames {:>3}..{:<3} {}",
+            seg.frames.start,
+            seg.frames.end,
+            seg.class.name()
+        );
     }
 
     // Persist everything back to the database layer.

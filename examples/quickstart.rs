@@ -12,7 +12,9 @@ fn main() {
     // 1. The author builds a hierarchical document: a patient record with
     //    an images folder (CT + X-ray) and a lab-results note.
     let mut doc = MultimediaDocument::new("Patient 042");
-    let images = doc.add_composite(doc.root(), "Images").expect("root is composite");
+    let images = doc
+        .add_composite(doc.root(), "Images")
+        .expect("root is composite");
     let ct = doc
         .add_primitive(
             images,
@@ -52,7 +54,8 @@ fn main() {
     // 2. The author states conditional preferences (the paper's own
     //    example): while a CT image is presented, the correlated X-ray
     //    should shrink to an icon; once the CT is hidden, show it flat.
-    doc.author_parents(xray, &[ct]).expect("ct is a valid parent");
+    doc.author_parents(xray, &[ct])
+        .expect("ct is a valid parent");
     doc.author_preference(xray, &[(ct, 0)], &[1, 0, 2]).unwrap();
     doc.author_preference(xray, &[(ct, 1)], &[1, 0, 2]).unwrap();
     doc.author_preference(xray, &[(ct, 2)], &[0, 1, 2]).unwrap();
@@ -63,17 +66,31 @@ fn main() {
     // 3. defaultPresentation(): the optimal outcome of the CP-net.
     let engine = PresentationEngine::new();
     let p = engine.default_presentation(&doc);
-    println!("Default presentation ({} bytes to transfer):", p.transfer_bytes(&doc));
+    println!(
+        "Default presentation ({} bytes to transfer):",
+        p.transfer_bytes(&doc)
+    );
     print!("{}", p.render(&doc));
 
     // 4. The viewer clicks: "hide the CT" — reconfigPresentation() finds
     //    the best completion of that choice; the X-ray pops back to flat.
     let mut session = ViewerSession::new("dr-alice");
     session
-        .choose(&doc, ViewerChoice { component: ct, form: 2 })
+        .choose(
+            &doc,
+            ViewerChoice {
+                component: ct,
+                form: 2,
+            },
+        )
         .expect("valid choice");
-    let p = engine.presentation_for(&doc, &session).expect("session is fresh");
-    println!("\nAfter dr-alice hides the CT ({} bytes):", p.transfer_bytes(&doc));
+    let p = engine
+        .presentation_for(&doc, &session)
+        .expect("session is fresh");
+    println!(
+        "\nAfter dr-alice hides the CT ({} bytes):",
+        p.transfer_bytes(&doc)
+    );
     print!("{}", p.render(&doc));
 
     // 5. A viewer-local operation: dr-alice segments the X-ray. The derived
@@ -81,7 +98,9 @@ fn main() {
     session
         .apply_local_operation(&doc, xray, 0, "segmentation")
         .expect("fresh extension");
-    let p = engine.presentation_for(&doc, &session).expect("extension is consistent");
+    let p = engine
+        .presentation_for(&doc, &session)
+        .expect("extension is consistent");
     println!("\nAfter her private segmentation:");
     print!("{}", p.render(&doc));
     let _ = labs;

@@ -21,7 +21,11 @@ fn main() {
         8.0 * stream.len() as f64 / (ct.width() * ct.height()) as f64
     );
     println!("\nthe same BLOB, decoded per partner:");
-    for (who, drop) in [("dr-fast (LAN)", 0usize), ("dr-mid (DSL)", 1), ("dr-slow (modem)", 2)] {
+    for (who, drop) in [
+        ("dr-fast (LAN)", 0usize),
+        ("dr-mid (DSL)", 1),
+        ("dr-slow (modem)", 2),
+    ] {
         let img = decode_resolution(&stream, drop).unwrap();
         println!("  {who:16} -> {}x{} view", img.width(), img.height());
     }
@@ -34,7 +38,10 @@ fn main() {
                 frac * 100.0,
                 psnr(&ct, &img)
             ),
-            Err(_) => println!("  {:>3.0}% of the stream -> below the main layer", frac * 100.0),
+            Err(_) => println!(
+                "  {:>3.0}% of the stream -> below the main layer",
+                frac * 100.0
+            ),
         }
     }
 

@@ -40,7 +40,10 @@ fn build_case(db: &MediaDb) -> (u64, u64, ComponentId) {
         .add_primitive(
             doc.root(),
             "CT",
-            MediaRef::Stored { media_type: "Image".into(), object_id: image_id },
+            MediaRef::Stored {
+                media_type: "Image".into(),
+                object_id: image_id,
+            },
             vec![
                 PresentationForm::new("flat", FormKind::Flat, 96 * 96),
                 PresentationForm::new("segmented", FormKind::Segmented, 96 * 96 + 2_000),
@@ -52,7 +55,10 @@ fn build_case(db: &MediaDb) -> (u64, u64, ComponentId) {
     let doc_id = db
         .insert_document(
             "dr-a",
-            &DocumentObject { title: doc.title().into(), data: doc.to_bytes() },
+            &DocumentObject {
+                title: doc.title().into(),
+                data: doc.to_bytes(),
+            },
         )
         .unwrap();
     (doc_id, image_id, comp)
@@ -149,7 +155,10 @@ fn crash_between_sessions_recovers_committed_state() {
         doc_id = db
             .insert_document(
                 "dr-a",
-                &DocumentObject { title: doc.title().into(), data: doc.to_bytes() },
+                &DocumentObject {
+                    title: doc.title().into(),
+                    data: doc.to_bytes(),
+                },
             )
             .unwrap();
         // Simulate a crash after the WAL sync of one more write.
@@ -166,7 +175,10 @@ fn crash_between_sessions_recovers_committed_state() {
         .unwrap();
         tx.insert(
             "CRASH_MARKER",
-            vec![rcmo::storage::RowValue::Null, rcmo::storage::RowValue::Blob(blob)],
+            vec![
+                rcmo::storage::RowValue::Null,
+                rcmo::storage::RowValue::Blob(blob),
+            ],
         )
         .unwrap();
         tx.simulate_crash_after_wal().unwrap();
@@ -189,7 +201,8 @@ fn crash_between_sessions_recovers_committed_state() {
 fn room_scales_to_many_partners() {
     let db = MediaDb::in_memory().unwrap();
     for i in 0..8 {
-        db.put_user("admin", &format!("dr-{i}"), AccessLevel::Write).unwrap();
+        db.put_user("admin", &format!("dr-{i}"), AccessLevel::Write)
+            .unwrap();
     }
     let (doc_id, image_id, comp) = build_case(&db);
     let srv = InteractionServer::new(db);
@@ -202,12 +215,18 @@ fn room_scales_to_many_partners() {
         srv.act(
             room,
             &format!("dr-{i}"),
-            Action::Choose { component: comp, form: (i % 2) as usize },
+            Action::Choose {
+                component: comp,
+                form: (i % 2) as usize,
+            },
         )
         .unwrap();
     }
     // All partners converge on the same event log.
-    let logs: Vec<Vec<_>> = conns.iter().map(|c| c.events.try_iter().collect()).collect();
+    let logs: Vec<Vec<_>> = conns
+        .iter()
+        .map(|c| c.events.try_iter().collect())
+        .collect();
     for w in logs.windows(2) {
         // Later joiners miss earlier join events; compare the common tail.
         let n = w[0].len().min(w[1].len());

@@ -104,15 +104,26 @@ fn document_roundtrip_through_mediadb_keeps_preferences() {
     let id = db
         .insert_document(
             "admin",
-            &DocumentObject { title: "case".into(), data: doc.to_bytes() },
+            &DocumentObject {
+                title: "case".into(),
+                data: doc.to_bytes(),
+            },
         )
         .unwrap();
-    let reloaded = MultimediaDocument::from_bytes(&db.get_document("admin", id).unwrap().data)
-        .unwrap();
+    let reloaded =
+        MultimediaDocument::from_bytes(&db.get_document("admin", id).unwrap().data).unwrap();
 
     let engine = PresentationEngine::new();
     let mut session = ViewerSession::new("v");
-    session.choose(&reloaded, ViewerChoice { component: a, form: 1 }).unwrap();
+    session
+        .choose(
+            &reloaded,
+            ViewerChoice {
+                component: a,
+                form: 1,
+            },
+        )
+        .unwrap();
     let p = engine.presentation_for(&reloaded, &session).unwrap();
     assert_eq!(p.form(b), 0, "B flat once A hidden (survived storage)");
 
@@ -140,7 +151,10 @@ fn cpnet_in_custom_table() {
     )
     .unwrap();
     let id = tx
-        .insert("PREFS", vec![RowValue::Null, RowValue::Bytes(net.to_bytes())])
+        .insert(
+            "PREFS",
+            vec![RowValue::Null, RowValue::Bytes(net.to_bytes())],
+        )
         .unwrap();
     tx.commit().unwrap();
 
@@ -163,7 +177,8 @@ fn segmentation_render_compresses_and_survives() {
     let mut seg = segment_image(&ct, 6);
     assert!(seg.num_segments() >= 2);
     for label in 1..seg.num_segments() as u32 {
-        seg.set_fill(label, rcmo::imaging::SegmentFill::Solid(230)).unwrap();
+        seg.set_fill(label, rcmo::imaging::SegmentFill::Solid(230))
+            .unwrap();
     }
     let rendered = seg.render(&ct, 255).unwrap();
     let xr = xray_projection(&ct, 12).unwrap();
@@ -188,7 +203,10 @@ fn repeated_document_fetch_hits_buffer_pool() {
     let id = db
         .insert_document(
             "admin",
-            &DocumentObject { title: "tiny".into(), data: doc.to_bytes() },
+            &DocumentObject {
+                title: "tiny".into(),
+                data: doc.to_bytes(),
+            },
         )
         .unwrap();
     for _ in 0..10 {

@@ -1,6 +1,11 @@
 //! Property-based tests over the core data structures and codecs.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these
+//! properties are exercised the classic way: a seeded RNG generates a fixed
+//! number of random cases per property and every case is asserted. Failures
+//! print the offending case seed so a run is reproducible by construction.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 use rcmo::codec::{decode, decode_prefix, encode, EncoderConfig};
 use rcmo::core::cpnet::{improving_flips, samples::random_net, samples::RandomNetSpec};
 use rcmo::core::{CpNet, PartialAssignment, PreferenceNet, Value, VarId};
@@ -10,90 +15,127 @@ use rcmo::storage::{Database, RowValue};
 // ---------------------------------------------------------------------
 // CP-networks.
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The optimal outcome of any random acyclic CP-net admits no improving
-    /// flip (it is a local — and for acyclic nets global — optimum).
-    #[test]
-    fn cpnet_optimum_is_flip_free(seed in 0u64..5_000, vars in 2usize..14, dom in 2usize..4) {
-        let net = random_net(&RandomNetSpec { vars, max_domain: dom, max_parents: 3, seed });
+/// The optimal outcome of any random acyclic CP-net admits no improving
+/// flip (it is a local — and for acyclic nets global — optimum).
+#[test]
+fn cpnet_optimum_is_flip_free() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..48 {
+        let spec = RandomNetSpec {
+            vars: rng.gen_range(2..14),
+            max_domain: rng.gen_range(2..4),
+            max_parents: 3,
+            seed: rng.gen_range(0..5_000u64),
+        };
+        let net = random_net(&spec);
         let best = net.optimal_outcome();
-        prop_assert!(improving_flips(&net, &best).is_empty());
+        assert!(
+            improving_flips(&net, &best).is_empty(),
+            "case {case}: {spec:?}"
+        );
     }
+}
 
-    /// Optimal completion respects arbitrary evidence and leaves no
-    /// improving flip among unconstrained variables.
-    #[test]
-    fn cpnet_completion_respects_evidence(
-        seed in 0u64..5_000,
-        vars in 2usize..12,
-        pins in proptest::collection::vec((0usize..12, 0u16..2), 0..4)
-    ) {
-        let net = random_net(&RandomNetSpec { vars, max_domain: 2, max_parents: 2, seed });
+/// Optimal completion respects arbitrary evidence and leaves no improving
+/// flip among unconstrained variables.
+#[test]
+fn cpnet_completion_respects_evidence() {
+    let mut rng = StdRng::seed_from_u64(0xE71DE);
+    for case in 0..48 {
+        let spec = RandomNetSpec {
+            vars: rng.gen_range(2..12),
+            max_domain: 2,
+            max_parents: 2,
+            seed: rng.gen_range(0..5_000u64),
+        };
+        let net = random_net(&spec);
         let mut ev = PartialAssignment::empty(net.len());
-        for (v, val) in pins {
+        for _ in 0..rng.gen_range(0..4usize) {
+            let v = rng.gen_range(0..12usize);
+            let val = rng.gen_range(0..2u16);
             if v < net.len() {
                 ev.set(VarId(v as u32), Value(val));
             }
         }
         let out = net.optimal_completion(&ev);
-        prop_assert!(ev.consistent_with(&out));
+        assert!(ev.consistent_with(&out), "case {case}: {spec:?}");
         for (v, val) in improving_flips(&net, &out) {
             // Any improving flip must be on an evidence variable (we are
             // optimal only among completions of the evidence).
-            prop_assert!(ev.get(v).is_some(), "free var {v} improvable to {val}");
+            assert!(
+                ev.get(v).is_some(),
+                "case {case}: free var {v} improvable to {val} ({spec:?})"
+            );
         }
     }
+}
 
-    /// The binary codec round-trips arbitrary random networks exactly.
-    #[test]
-    fn cpnet_codec_roundtrip(seed in 0u64..5_000, vars in 1usize..10) {
-        let net = random_net(&RandomNetSpec { vars, max_domain: 4, max_parents: 3, seed });
+/// The binary codec round-trips arbitrary random networks exactly.
+#[test]
+fn cpnet_codec_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x0DEC);
+    for case in 0..48 {
+        let spec = RandomNetSpec {
+            vars: rng.gen_range(1..10),
+            max_domain: 4,
+            max_parents: 3,
+            seed: rng.gen_range(0..5_000u64),
+        };
+        let net = random_net(&spec);
         let back = CpNet::from_bytes(&net.to_bytes()).unwrap();
-        prop_assert_eq!(back.len(), net.len());
-        prop_assert_eq!(back.optimal_outcome(), net.optimal_outcome());
+        assert_eq!(back.len(), net.len(), "case {case}: {spec:?}");
+        assert_eq!(back.optimal_outcome(), net.optimal_outcome());
         for i in 0..net.len() {
             let v = VarId(i as u32);
-            prop_assert_eq!(back.parents(v), net.parents(v));
-            prop_assert_eq!(back.var_name(v), net.var_name(v));
+            assert_eq!(back.parents(v), net.parents(v));
+            assert_eq!(back.var_name(v), net.var_name(v));
         }
     }
+}
 
-    /// Preference-ordered enumeration starts at the optimum, never repeats,
-    /// and is exhaustive on small nets.
-    #[test]
-    fn cpnet_enumeration_is_a_permutation(seed in 0u64..2_000) {
-        let net = random_net(&RandomNetSpec { vars: 6, max_domain: 2, max_parents: 2, seed });
+/// Preference-ordered enumeration starts at the optimum, never repeats,
+/// and is exhaustive on small nets.
+#[test]
+fn cpnet_enumeration_is_a_permutation() {
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    for case in 0..24 {
+        let seed = rng.gen_range(0..2_000u64);
+        let net = random_net(&RandomNetSpec {
+            vars: 6,
+            max_domain: 2,
+            max_parents: 2,
+            seed,
+        });
         let all: Vec<_> = net
             .outcomes_by_preference(&PartialAssignment::empty(net.len()))
             .collect();
-        prop_assert_eq!(all.len(), 1 << 6);
-        prop_assert_eq!(all[0].clone(), net.optimal_outcome());
+        assert_eq!(all.len(), 1 << 6, "case {case} seed {seed}");
+        assert_eq!(all[0].clone(), net.optimal_outcome());
         let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
-        prop_assert_eq!(unique.len(), all.len());
+        assert_eq!(unique.len(), all.len(), "case {case} seed {seed}");
     }
 }
 
 // ---------------------------------------------------------------------
 // Layered image codec.
 
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Encode/decode round-trips arbitrary image sizes with bounded error
-    /// (the finest layer's quantiser bounds per-pixel error loosely).
-    #[test]
-    fn codec_roundtrip_bounded_error(w in 9usize..70, h in 9usize..70, seed in 0u64..10_000) {
+/// Encode/decode round-trips arbitrary image sizes with bounded error
+/// (the finest layer's quantiser bounds per-pixel error loosely).
+#[test]
+fn codec_roundtrip_bounded_error() {
+    let mut rng = StdRng::seed_from_u64(0x1347);
+    for case in 0..24 {
+        let (w, h) = (rng.gen_range(9usize..70), rng.gen_range(9usize..70));
+        let seed = rng.gen_range(0..10_000u64);
         let img = GrayImage::from_fn(w, h, |x, y| {
             let v = (x as u64 * 31 + y as u64 * 17 + seed) % 251;
             v as u8
-        }).unwrap();
+        })
+        .unwrap();
         let bytes = encode(&img, &EncoderConfig::default()).unwrap();
         let out = decode(&bytes).unwrap();
-        prop_assert_eq!(out.width(), w);
-        prop_assert_eq!(out.height(), h);
+        assert_eq!(out.width(), w, "case {case} {w}x{h} seed {seed}");
+        assert_eq!(out.height(), h);
         let max_err = img
             .pixels()
             .iter()
@@ -101,20 +143,26 @@ proptest! {
             .map(|(&a, &b)| (a as i32 - b as i32).abs())
             .max()
             .unwrap();
-        prop_assert!(max_err <= 64, "max pixel error {max_err}");
+        assert!(
+            max_err <= 64,
+            "case {case} {w}x{h} seed {seed}: max pixel error {max_err}"
+        );
     }
+}
 
-    /// Any byte prefix either decodes (to ≥1 layer) or fails cleanly —
-    /// never panics, never produces the wrong dimensions.
-    #[test]
-    fn codec_prefix_safety(cut_permille in 0u32..1000, seed in 0u64..1_000) {
-        let img = GrayImage::from_fn(40, 33, |x, y| ((x * 7 + y * 13) as u64 + seed) as u8).unwrap();
-        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
-        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+/// Any byte prefix either decodes (to ≥1 layer) or fails cleanly — never
+/// panics, never produces the wrong dimensions.
+#[test]
+fn codec_prefix_safety() {
+    let mut rng = StdRng::seed_from_u64(0x9AFE);
+    let img = GrayImage::from_fn(40, 33, |x, y| ((x * 7 + y * 13) % 256) as u8).unwrap();
+    let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+    for _ in 0..200 {
+        let cut = rng.gen_range(0..=bytes.len());
         if let Ok((out, layers)) = decode_prefix(&bytes[..cut]) {
-            prop_assert!(layers >= 1);
-            prop_assert_eq!(out.width(), 40);
-            prop_assert_eq!(out.height(), 33);
+            assert!(layers >= 1);
+            assert_eq!(out.width(), 40, "cut {cut}");
+            assert_eq!(out.height(), 33, "cut {cut}");
         }
     }
 }
@@ -122,14 +170,13 @@ proptest! {
 // ---------------------------------------------------------------------
 // Storage engine vs. a model.
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random insert/update/delete workloads agree with a BTreeMap model
-    /// across commits and rollbacks.
-    #[test]
-    fn table_matches_model(ops in proptest::collection::vec((0u8..4, 0u64..48, any::<u16>()), 1..80)) {
-        use std::collections::BTreeMap;
+/// Random insert/update/delete workloads agree with a BTreeMap model
+/// across commits and rollbacks.
+#[test]
+fn table_matches_model() {
+    use std::collections::BTreeMap;
+    let mut rng = StdRng::seed_from_u64(0x7AB1E);
+    for case in 0..16 {
         let db = Database::in_memory().unwrap();
         {
             let mut tx = db.begin().unwrap();
@@ -146,30 +193,38 @@ proptest! {
         }
         let mut model: BTreeMap<u64, i64> = BTreeMap::new();
         let mut tx = db.begin().unwrap();
-        for (op, key, val) in ops {
-            let key = key + 1; // keys start at 1
-            let val = val as i64;
+        for step in 0..rng.gen_range(1..80usize) {
+            let op = rng.gen_range(0u8..4);
+            let key = rng.gen_range(0..48u64) + 1; // keys start at 1
+            let val = rng.gen::<u16>() as i64;
+            let ctx = format!("case {case} step {step} op {op} key {key}");
             match op {
                 0 => {
                     // insert (duplicate keys must be rejected by the engine)
                     if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
-                        tx.insert("T", vec![RowValue::U64(key), RowValue::I64(val)]).unwrap();
+                        tx.insert("T", vec![RowValue::U64(key), RowValue::I64(val)])
+                            .unwrap();
                         e.insert(val);
                     } else {
-                        prop_assert!(tx
-                            .insert("T", vec![RowValue::U64(key), RowValue::I64(val)])
-                            .is_err());
+                        assert!(
+                            tx.insert("T", vec![RowValue::U64(key), RowValue::I64(val)])
+                                .is_err(),
+                            "{ctx}"
+                        );
                     }
                 }
                 1 => {
                     // update
                     if let std::collections::btree_map::Entry::Occupied(mut e) = model.entry(key) {
-                        tx.update("T", key, vec![RowValue::Null, RowValue::I64(val)]).unwrap();
+                        tx.update("T", key, vec![RowValue::Null, RowValue::I64(val)])
+                            .unwrap();
                         e.insert(val);
                     } else {
-                        prop_assert!(tx
-                            .update("T", key, vec![RowValue::Null, RowValue::I64(val)])
-                            .is_err());
+                        assert!(
+                            tx.update("T", key, vec![RowValue::Null, RowValue::I64(val)])
+                                .is_err(),
+                            "{ctx}"
+                        );
                     }
                 }
                 2 => {
@@ -177,7 +232,7 @@ proptest! {
                     if model.remove(&key).is_some() {
                         tx.delete("T", key).unwrap();
                     } else {
-                        prop_assert!(tx.delete("T", key).is_err());
+                        assert!(tx.delete("T", key).is_err(), "{ctx}");
                     }
                 }
                 _ => {
@@ -186,9 +241,9 @@ proptest! {
                     match model.get(&key) {
                         Some(&v) => {
                             let row = got.unwrap();
-                            prop_assert_eq!(row[1].clone(), RowValue::I64(v));
+                            assert_eq!(row[1].clone(), RowValue::I64(v), "{ctx}");
                         }
-                        None => prop_assert!(got.is_none()),
+                        None => assert!(got.is_none(), "{ctx}"),
                     }
                 }
             }
@@ -208,39 +263,45 @@ proptest! {
             })
             .collect();
         let want: Vec<(u64, i64)> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
         tx.commit().unwrap();
     }
+}
 
-    /// BLOBs of arbitrary contents round-trip exactly, including prefixes.
-    #[test]
-    fn blob_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..60_000), cut in 0usize..70_000) {
+/// BLOBs of arbitrary contents round-trip exactly, including prefixes.
+#[test]
+fn blob_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB10B);
+    for case in 0..12 {
+        let len = rng.gen_range(0..60_000usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let cut = rng.gen_range(0..70_000usize);
         let db = Database::in_memory().unwrap();
         let mut tx = db.begin().unwrap();
         let id = tx.put_blob(&data).unwrap();
-        prop_assert_eq!(tx.get_blob(id).unwrap(), data.clone());
+        assert_eq!(tx.get_blob(id).unwrap(), data, "case {case} len {len}");
         let prefix = tx.get_blob_prefix(id, cut).unwrap();
-        prop_assert_eq!(&prefix[..], &data[..cut.min(data.len())]);
-        prop_assert_eq!(tx.blob_len(id).unwrap(), data.len() as u64);
+        assert_eq!(&prefix[..], &data[..cut.min(data.len())], "case {case}");
+        assert_eq!(tx.blob_len(id).unwrap(), data.len() as u64);
     }
 }
 
 // ---------------------------------------------------------------------
 // Documents.
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Randomly shaped documents validate, serialise, and reload
-    /// identically (outline + optimal presentation).
-    #[test]
-    fn document_roundtrip(shape in proptest::collection::vec(0u8..3, 1..12)) {
-        use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+/// Randomly shaped documents validate, serialise, and reload identically
+/// (outline + optimal presentation).
+#[test]
+fn document_roundtrip() {
+    use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+    let mut rng = StdRng::seed_from_u64(0xD0C);
+    for case in 0..32 {
         let mut doc = MultimediaDocument::new("prop");
         let mut composites = vec![doc.root()];
-        for (i, kind) in shape.iter().enumerate() {
+        let shape_len = rng.gen_range(1..12usize);
+        for i in 0..shape_len {
             let parent = composites[i % composites.len()];
-            match kind {
+            match rng.gen_range(0u8..3) {
                 0 => {
                     let c = doc.add_composite(parent, &format!("folder{i}")).unwrap();
                     composites.push(c);
@@ -274,22 +335,23 @@ proptest! {
         }
         doc.validate().unwrap();
         let back = MultimediaDocument::from_bytes(&doc.to_bytes()).unwrap();
-        prop_assert_eq!(back.outline(), doc.outline());
-        prop_assert_eq!(back.net().optimal_outcome(), doc.net().optimal_outcome());
-        prop_assert_eq!(back.num_components(), doc.num_components());
+        assert_eq!(back.outline(), doc.outline(), "case {case}");
+        assert_eq!(back.net().optimal_outcome(), doc.net().optimal_outcome());
+        assert_eq!(back.num_components(), doc.num_components());
     }
 }
 
 // ---------------------------------------------------------------------
 // Robustness: decoders must never panic on hostile bytes.
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random bytes into every public decoder: errors are fine, panics are
-    /// not, and truncations of valid streams never crash either.
-    #[test]
-    fn decoders_never_panic(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+/// Random bytes into every public decoder: errors are fine, panics are
+/// not, and truncations of valid streams never crash either.
+#[test]
+fn decoders_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF00);
+    for _ in 0..64 {
+        let len = rng.gen_range(0..400usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let _ = rcmo::codec::decode(&data);
         let _ = rcmo::codec::decode_prefix(&data);
         let _ = CpNet::from_bytes(&data);
@@ -298,51 +360,233 @@ proptest! {
         let _ = rcmo::imaging::AnnotatedImage::from_bytes(&data);
         let _ = rcmo::audio::segment::decode_segments(&data);
     }
+}
 
-    /// Truncating a valid document stream at any point yields a clean error
-    /// (or, at full length, the document).
-    #[test]
-    fn document_truncation_is_clean(cut_permille in 0u32..=1000) {
-        use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
-        let mut doc = MultimediaDocument::new("t");
-        doc.add_primitive(
-            doc.root(),
-            "leaf",
-            MediaRef::Inline(vec![1, 2, 3]),
-            vec![
-                PresentationForm::new("flat", FormKind::Flat, 10),
-                PresentationForm::hidden(),
-            ],
-        )
-        .unwrap();
-        let bytes = doc.to_bytes();
-        let cut = (bytes.len() as u64 * cut_permille as u64 / 1000) as usize;
+/// Truncating a valid document stream at any point yields a clean error
+/// (or, at full length, the document).
+#[test]
+fn document_truncation_is_clean() {
+    use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+    let mut doc = MultimediaDocument::new("t");
+    doc.add_primitive(
+        doc.root(),
+        "leaf",
+        MediaRef::Inline(vec![1, 2, 3]),
+        vec![
+            PresentationForm::new("flat", FormKind::Flat, 10),
+            PresentationForm::hidden(),
+        ],
+    )
+    .unwrap();
+    let bytes = doc.to_bytes();
+    for cut in 0..=bytes.len() {
         match MultimediaDocument::from_bytes(&bytes[..cut]) {
-            Ok(d) => prop_assert_eq!(cut, bytes.len(), "only the full stream decodes: {}", d.title()),
-            Err(_) => prop_assert!(cut < bytes.len()),
+            Ok(d) => assert_eq!(
+                cut,
+                bytes.len(),
+                "only the full stream decodes: {}",
+                d.title()
+            ),
+            Err(_) => assert!(cut < bytes.len()),
         }
     }
+}
 
-    /// The annotated-image overlay codec round-trips arbitrary elements.
-    #[test]
-    fn overlay_roundtrip(
-        texts in proptest::collection::vec(("[a-z ]{0,12}", 0usize..64, 0usize..64), 0..6),
-        lines in proptest::collection::vec((-64i64..128, -64i64..128, -64i64..128, -64i64..128), 0..6),
-    ) {
-        use rcmo::imaging::{AnnotatedImage, GrayImage, LineElement, TextElement};
+/// The annotated-image overlay codec round-trips arbitrary elements.
+#[test]
+fn overlay_roundtrip() {
+    use rcmo::imaging::{AnnotatedImage, GrayImage, LineElement, TextElement};
+    let mut rng = StdRng::seed_from_u64(0x0E1);
+    for case in 0..32 {
         let mut img = AnnotatedImage::new(GrayImage::new(32, 32).unwrap());
-        for (text, x, y) in texts {
-            img.add_text(TextElement { x, y, text, intensity: 200, scale: 1 });
+        for _ in 0..rng.gen_range(0..6usize) {
+            let text: String = (0..rng.gen_range(0..12usize))
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
+            img.add_text(TextElement {
+                x: rng.gen_range(0..64usize),
+                y: rng.gen_range(0..64usize),
+                text,
+                intensity: 200,
+                scale: 1,
+            });
         }
-        for (x0, y0, x1, y1) in lines {
-            img.add_line(LineElement { x0, y0, x1, y1, intensity: 100 });
+        for _ in 0..rng.gen_range(0..6usize) {
+            img.add_line(LineElement {
+                x0: rng.gen_range(-64i64..128),
+                y0: rng.gen_range(-64i64..128),
+                x1: rng.gen_range(-64i64..128),
+                y1: rng.gen_range(-64i64..128),
+                intensity: 100,
+            });
         }
         let back = AnnotatedImage::from_bytes(&img.to_bytes()).unwrap();
-        prop_assert_eq!(&back, &img);
+        assert_eq!(&back, &img, "case {case}");
         let via_parts =
             AnnotatedImage::from_parts(img.base().clone(), &img.overlay_to_bytes()).unwrap();
-        prop_assert_eq!(via_parts, img);
+        assert_eq!(via_parts, img, "case {case}");
         // Rendering never panics, whatever the coordinates.
         let _ = back.render();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead log under crash injection.
+
+/// WAL replay recovers exactly the transactions whose commit record
+/// survived a torn tail write, with all their page images intact — a crash
+/// at *any* byte position loses only uncommitted work.
+#[test]
+fn wal_replay_recovers_committed_state_under_torn_tails() {
+    use rcmo::storage::wal::{Wal, WalRecord};
+    use rcmo::storage::{PageId, PAGE_SIZE};
+    use std::collections::HashMap;
+
+    let mut rng = StdRng::seed_from_u64(0x7EA6_7A11);
+    for case in 0..40 {
+        // Build a random log: a few transactions, each dirtying a few
+        // pages; ~1 in 5 never commits. Track the byte offset at which
+        // each record ends, plus each transaction's commit end offset.
+        let mut wal = Wal::in_memory();
+        let mut record_ends: Vec<u64> = Vec::new();
+        let mut commit_end: HashMap<u64, u64> = HashMap::new();
+        // Model of what each transaction wrote, in log order.
+        let mut writes: Vec<(u64, PageId, u8)> = Vec::new();
+        let n_txns = rng.gen_range(1..6u64);
+        for txn in 1..=n_txns {
+            for _ in 0..rng.gen_range(1..4usize) {
+                let page = PageId(rng.gen_range(0..8u64));
+                let fill = rng.gen_range(0..=255u8);
+                wal.log_page(txn, page, &[fill; PAGE_SIZE]).unwrap();
+                record_ends.push(wal.len().unwrap());
+                writes.push((txn, page, fill));
+            }
+            if rng.gen_bool(0.8) {
+                wal.log_commit(txn).unwrap();
+                let end = wal.len().unwrap();
+                record_ends.push(end);
+                commit_end.insert(txn, end);
+            }
+        }
+        let total = wal.len().unwrap();
+
+        // Crash injection: tear the log at a random byte (anywhere from
+        // "right after the magic" to "nothing lost at all").
+        let cut = rng.gen_range(4..=total);
+        let Wal::Memory { buf } = &mut wal else {
+            unreachable!()
+        };
+        buf.truncate(cut as usize);
+
+        // Records are decoded iff they fit entirely within the cut, and
+        // a transaction survives iff its commit record does.
+        let expect_records = record_ends.iter().filter(|&&e| e <= cut).count();
+        let expect_committed: Vec<u64> = commit_end
+            .iter()
+            .filter(|(_, &e)| e <= cut)
+            .map(|(&t, _)| t)
+            .collect();
+
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), expect_records, "case {case} cut {cut}");
+        let (images, committed) = wal.committed_images().unwrap();
+        assert_eq!(
+            {
+                let mut c: Vec<u64> = committed.iter().copied().collect();
+                c.sort_unstable();
+                c
+            },
+            {
+                let mut c = expect_committed.clone();
+                c.sort_unstable();
+                c
+            },
+            "case {case} cut {cut}"
+        );
+
+        // Redo-only WAL: a committed transaction's page images all precede
+        // its commit, so every one of its writes must be replayed, in
+        // order — fold both the model and the replay into final page
+        // states and compare.
+        let mut want: HashMap<PageId, u8> = HashMap::new();
+        for &(txn, page, fill) in &writes {
+            if committed.contains(&txn) {
+                want.insert(page, fill);
+            }
+        }
+        let mut got: HashMap<PageId, u8> = HashMap::new();
+        for (page, image) in &images {
+            assert!(image.iter().all(|&b| b == image[0]), "uniform fill");
+            got.insert(*page, image[0]);
+        }
+        assert_eq!(got, want, "case {case} cut {cut}");
+
+        // Uncommitted writes never replay.
+        for r in &records {
+            if let WalRecord::PageImage { txn, .. } = r {
+                assert!(
+                    committed.contains(txn)
+                        || images.iter().all(|(p, i)| {
+                            writes
+                                .iter()
+                                .any(|&(t, wp, f)| committed.contains(&t) && wp == *p && f == i[0])
+                        }),
+                    "case {case}: replayed an uncommitted image"
+                );
+            }
+        }
+    }
+}
+
+/// A flipped byte anywhere in the log stops replay at the damaged record:
+/// everything before it is recovered, nothing after it leaks through, and
+/// decoding never panics.
+#[test]
+fn wal_corruption_never_panics_and_keeps_the_clean_prefix() {
+    use rcmo::storage::wal::Wal;
+    use rcmo::storage::{PageId, PAGE_SIZE};
+
+    let mut rng = StdRng::seed_from_u64(0xBAD_C0DE);
+    for case in 0..40 {
+        let mut wal = Wal::in_memory();
+        let mut record_ends: Vec<u64> = vec![4];
+        let n_txns = rng.gen_range(1..5u64);
+        for txn in 1..=n_txns {
+            let page = PageId(txn);
+            wal.log_page(txn, page, &[txn as u8; PAGE_SIZE]).unwrap();
+            record_ends.push(wal.len().unwrap());
+            wal.log_commit(txn).unwrap();
+            record_ends.push(wal.len().unwrap());
+        }
+        let total = wal.len().unwrap();
+
+        let flip_at = rng.gen_range(4..total);
+        let Wal::Memory { buf } = &mut wal else {
+            unreachable!()
+        };
+        buf[flip_at as usize] ^= 1 << rng.gen_range(0..8u32);
+
+        // Replay must stop at (or before) the record containing the flip.
+        let clean_records = record_ends
+            .iter()
+            .filter(|&&e| e <= flip_at)
+            .count()
+            .saturating_sub(1); // drop the sentinel at offset 4
+        let records = wal.records().unwrap();
+        assert!(
+            records.len() <= clean_records + 1,
+            "case {case}: replay ran past the damage ({} > {})",
+            records.len(),
+            clean_records + 1,
+        );
+        // CRC catches the damaged record itself, so the decoded count is
+        // exactly the clean prefix.
+        assert_eq!(records.len(), clean_records, "case {case} flip {flip_at}");
+        // And a commit that survived keeps its page image intact.
+        let (images, committed) = wal.committed_images().unwrap();
+        for (page, image) in &images {
+            assert!(committed.contains(&page.0), "case {case}");
+            assert!(image.iter().all(|&b| b == page.0 as u8), "case {case}");
+        }
     }
 }

@@ -1,0 +1,234 @@
+//! Offline shim for the subset of `criterion` 0.5 used by the bench
+//! targets. No statistics, plots, or warm-up model — each benchmark runs a
+//! fixed number of timed iterations and prints mean wall-clock time per
+//! iteration (plus throughput when declared). The point is that
+//! `cargo bench` compiles and produces comparable numbers offline, not
+//! publication-grade confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, echoed as a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark identifier: function name, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = t.elapsed();
+        self.iters = self.samples as u64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = self.samples as u64;
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let time = if per_iter >= 1.0 {
+        format!("{per_iter:.3} s")
+    } else if per_iter >= 1e-3 {
+        format!("{:.3} ms", per_iter * 1e3)
+    } else if per_iter >= 1e-6 {
+        format!("{:.3} µs", per_iter * 1e6)
+    } else {
+        format!("{:.1} ns", per_iter * 1e9)
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!("  {:>10.0} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("{id:<40} {time:>12}{rate}  ({} iters)", b.iters);
+}
+
+fn run_one(id: &str, samples: usize, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    report(id, &b, throughput);
+}
+
+const DEFAULT_SAMPLES: usize = 30;
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), DEFAULT_SAMPLES, None, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under a group name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($bench(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Offline shim for the subset of `crossbeam` used by this workspace:
+//! unbounded MPSC channels. Backed by `std::sync::mpsc`, whose modern
+//! implementation *is* crossbeam's channel, so semantics (including
+//! disconnection detection on send) match.
+
+/// Multi-producer channels.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Cloneable; `send` fails once
+    /// the receiver is dropped (disconnection detection).
+    pub type Sender<T> = mpsc::Sender<T>;
+
+    /// Receiving half of an unbounded channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
+
+    /// Error returned by `Sender::send` when the receiver is gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+
+    /// Error returned by `Receiver::try_recv`.
+    pub type TryRecvError = mpsc::TryRecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_receive_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.clone().send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        drop(rx);
+        assert!(tx.send(3).is_err(), "send must fail after receiver drop");
+    }
+}
