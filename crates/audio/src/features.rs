@@ -119,6 +119,9 @@ fn dct_ceps(log_energies: &[f64], n_out: usize) -> Vec<f64> {
 
 /// Extracts per-frame feature vectors `[log-energy, ZCR, c1..cN]`.
 pub fn extract_features(samples: &[f64], cfg: &FeatureConfig) -> Vec<Vec<f64>> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("audio.features.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let nframes = cfg.num_frames(samples.len());
     if nframes == 0 {
         return Vec::new();

@@ -189,6 +189,9 @@ pub fn merge_segments(labels: &[AudioClass]) -> Vec<Segment> {
 
 /// Full pipeline: classify, smooth, merge.
 pub fn segment_audio(model: &SegmenterModel, samples: &[f64]) -> Vec<Segment> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("audio.segment.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let labels = model.classify_frames(samples);
     let smoothed = median_smooth(&labels, 5);
     merge_segments(&smoothed)

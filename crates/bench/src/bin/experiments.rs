@@ -2,9 +2,12 @@
 //! quantitative tables; see DESIGN.md §4 for the figure → experiment map).
 //!
 //! Run with `cargo run -p rcmo-bench --bin experiments --release`.
-//! Each section prints a self-contained report; EXPERIMENTS.md records the
-//! outputs and compares them with what the paper shows qualitatively.
+//! Section ids as arguments select a subset (`experiments e13 e14`); no
+//! arguments runs everything. Each section prints a self-contained report;
+//! EXPERIMENTS.md records the outputs and compares them with what the paper
+//! shows qualitatively.
 
+use rcmo::obs::{MetricsSnapshot, Registry};
 use rcmo_audio::features::FeatureConfig;
 use rcmo_audio::segment::{segment_audio, SegmenterModel};
 use rcmo_audio::speaker::{SpeakerModel, SpeakerSpotter};
@@ -30,19 +33,38 @@ fn section(id: &str, title: &str) {
 
 fn main() {
     let t0 = Instant::now();
-    e1_architecture();
-    e2_cpnet_example();
-    e3_usecases();
-    e4_client_view();
-    e5_ood();
-    e6_schema();
-    e7_room();
-    e8_multires();
-    e9_speaker();
-    e10_prefetch();
-    e11_updates();
-    e12_ablations();
-    e13_fault_tolerance();
+    let selected: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    let all: [(&str, fn()); 14] = [
+        ("e1", e1_architecture),
+        ("e2", e2_cpnet_example),
+        ("e3", e3_usecases),
+        ("e4", e4_client_view),
+        ("e5", e5_ood),
+        ("e6", e6_schema),
+        ("e7", e7_room),
+        ("e8", e8_multires),
+        ("e9", e9_speaker),
+        ("e10", e10_prefetch),
+        ("e11", e11_updates),
+        ("e12", e12_ablations),
+        ("e13", e13_fault_tolerance),
+        ("e14", e14_observability),
+    ];
+    if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
+        eprintln!(
+            "unknown section '{bad}'; valid: {}",
+            all.map(|(id, _)| id).join(" ")
+        );
+        std::process::exit(2);
+    }
+    for (id, run) in all {
+        if selected.is_empty() || selected.iter().any(|s| s == id) {
+            run();
+        }
+    }
     println!(
         "\nall experiments completed in {:.1}s",
         t0.elapsed().as_secs_f64()
@@ -873,6 +895,13 @@ fn e13_fault_tolerance() {
     );
 
     // -- Part 1: viewing sessions over a faulty modem link. --
+    //
+    // Per-scenario fault counts come from snapshot-and-diff over the global
+    // metrics registry: sessions accumulate into it across the whole binary
+    // (including E10's sessions), so diffing around each run is the only way
+    // to isolate one scenario — reading the raw registry would carry the
+    // previous scenarios' retransmit/timeout counts into the next row.
+    let global = Registry::global();
     let doc = medical_document(4, 4);
     println!("modem-56k sessions, 40 clicks, preference prefetch:");
     println!(
@@ -892,6 +921,7 @@ fn e13_fault_tolerance() {
         ),
     ];
     for (name, fault) in scenarios {
+        let before = global.snapshot();
         let s = simulate_session(
             &doc,
             &SessionConfig {
@@ -903,7 +933,17 @@ fn e13_fault_tolerance() {
                 ..SessionConfig::default()
             },
         );
+        let delta = global.snapshot().diff(&before);
+        let global_count = |key: &str| delta.counters.get(key).copied().unwrap_or(0);
         assert_eq!(s.requests, 40, "every click is answered despite faults");
+        // The per-session view and the diffed global aggregate must agree —
+        // each scenario's counts are its own, not a running total.
+        assert_eq!(global_count("netsim.link.retransmit.count"), s.retransmits);
+        assert_eq!(global_count("netsim.link.timeout.count"), s.timeouts);
+        assert_eq!(
+            global_count("netsim.session.degraded.count"),
+            s.degraded_requests
+        );
         println!(
             "{:<22} {:>8.0}% {:>10.2}s {:>8} {:>9} {:>9}",
             name,
@@ -915,7 +955,8 @@ fn e13_fault_tolerance() {
         );
     }
     println!("(retries are bounded by the policy; persistent timeouts fall back to");
-    println!(" the coarse LIC1 base layer instead of failing the request)");
+    println!(" the coarse LIC1 base layer instead of failing the request;");
+    println!(" per-scenario counts verified against a global snapshot diff)");
 
     // -- Part 2: a client rides out an outage and resyncs. --
     println!("\noutage + resync in a shared room:");
@@ -1031,4 +1072,175 @@ fn e13_fault_tolerance() {
         srv.last_seq(room).unwrap()
     );
     assert_eq!(srv.change_log_len(room).unwrap(), 512);
+}
+
+/// A compact workload that touches every instrumented subsystem. Returns the
+/// workspace-level [`rcmo::Result`], so errors from six different crates all
+/// propagate with `?` — no per-layer `map_err`.
+fn e14_workload() -> rcmo::Result<()> {
+    // core: author-optimal and evidence-conditioned presentations.
+    let doc = medical_document(2, 4);
+    let engine = PresentationEngine::new();
+    std::hint::black_box(engine.default_presentation(&doc));
+    let mut session = ViewerSession::new("e14");
+    session.choose(
+        &doc,
+        ViewerChoice {
+            component: ComponentId(2),
+            form: 1,
+        },
+    )?;
+    std::hint::black_box(engine.presentation_for(&doc, &session)?);
+    let mut ev = PartialAssignment::empty(doc.net().len());
+    ev.set(ComponentId(2).var(), Value(1));
+    std::hint::black_box(doc.net().optimal_completion(&ev));
+
+    // codec + imaging: encode, progressive decode, reduced resolution,
+    // segmentation.
+    let ct = ct_phantom(128, 2, 5)?;
+    let stream = encode(&ct, &EncoderConfig::default())?;
+    let (decoded, _layers) = decode_prefix(&stream)?;
+    std::hint::black_box(decode_resolution(&stream, 1)?);
+    std::hint::black_box(segment_image(&decoded, 8));
+
+    // audio: feature extraction + segmentation on a short synthetic clip.
+    let clip = synth::babble(&VoiceProfile::male("m"), 0.5, &SynthConfig::default());
+    std::hint::black_box(rcmo_audio::extract_features(
+        &clip,
+        &FeatureConfig::default(),
+    ));
+    let seg_model = SegmenterModel::train_default(0xE14);
+    std::hint::black_box(segment_audio(&seg_model, &clip));
+
+    // server + mediadb + storage: a two-partner room with annotation
+    // broadcast, object render, and a resync (ServerError/MediaError and,
+    // underneath, StorageError all flow through the same `?`).
+    let (srv, doc_id, image_id) = consultation_fixture(2);
+    let room = srv.create_room("user-0", "e14", doc_id)?;
+    let _c0 = srv.join(room, "user-0")?;
+    let c1 = srv.join(room, "user-1")?;
+    srv.open_image(room, "user-0", image_id)?;
+    srv.act(
+        room,
+        "user-0",
+        Action::AddLine {
+            object: image_id,
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 63,
+                y1: 63,
+                intensity: 220,
+            },
+        },
+    )?;
+    std::hint::black_box(srv.render_object(room, image_id)?);
+    let last_seen = c1.events.try_iter().last().map(|e| e.seq).unwrap_or(0);
+    drop(c1);
+    srv.act(
+        room,
+        "user-0",
+        Action::Chat {
+            text: "anyone?".into(),
+        },
+    )?;
+    let (_c1b, _catch_up) = srv.resync(room, "user-1", last_seen)?;
+    std::hint::black_box(srv.metrics());
+
+    // netsim: one short prefetching session over a lossy modem link.
+    std::hint::black_box(simulate_session(
+        &doc,
+        &SessionConfig {
+            steps: 15,
+            link: Link::new(56_000.0, 0.15),
+            fault: FaultSpec::lossy(0.05, 0xE14),
+            ..SessionConfig::default()
+        },
+    ));
+    Ok(())
+}
+
+/// E14 (observability): the unified metrics layer — one registry spanning
+/// every subsystem, snapshot-and-diff isolation, quantile tables, a
+/// dead-instrumentation guard, and the `BENCH_obs.json` export.
+fn e14_observability() {
+    section(
+        "E14",
+        "observability: unified metrics across all subsystems",
+    );
+    let global = Registry::global();
+
+    // Snapshot-and-diff: what does one self-contained workload add on top
+    // of whatever already accumulated (nothing when run standalone, all of
+    // E1–E13 in a full run)?
+    let before = global.snapshot();
+    let t = Instant::now();
+    e14_workload().expect("e14 workload");
+    let workload_ms = t.elapsed().as_secs_f64() * 1e3;
+    let delta = global.snapshot().diff(&before);
+    println!(
+        "workload ({workload_ms:.0} ms) touched {} counters, {} gauges, {} histograms:",
+        delta.counters.len(),
+        delta.gauges.len(),
+        delta.histograms.len()
+    );
+
+    // The cumulative picture: per-operation latency quantiles.
+    let snap = global.snapshot();
+    println!(
+        "\n{:<32} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "histogram", "samples", "p50", "p95", "p99", "max"
+    );
+    for (name, h) in &snap.histograms {
+        println!(
+            "{:<32} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            name,
+            h.count,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max
+        );
+    }
+    println!("(units: .us wall-clock µs, .vus virtual µs, .layers a count)");
+
+    // Dead-instrumentation guard: every histogram that registered itself
+    // must have samples — an instrumented code path that never records is a
+    // refactoring regression.
+    let dead: Vec<&str> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count == 0)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "registered histograms with zero samples: {dead:?}"
+    );
+    let subsystems: std::collections::BTreeSet<&str> = snap
+        .histograms
+        .keys()
+        .filter_map(|k| k.split('.').next())
+        .collect();
+    assert!(
+        snap.histograms.len() >= 6 && subsystems.len() >= 4,
+        "expected >= 6 instrumented operations over >= 4 subsystems, got {} over {:?}",
+        snap.histograms.len(),
+        subsystems
+    );
+    println!(
+        "\nguard: {} histograms across {:?}, none dead",
+        snap.histograms.len(),
+        subsystems
+    );
+
+    // Export: JSON round-trips exactly, then lands next to the other
+    // BENCH_* artifacts.
+    let json = snap.to_json();
+    assert_eq!(MetricsSnapshot::from_json(&json).expect("parse"), snap);
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!(
+        "wrote BENCH_obs.json ({} bytes, JSON round-trip verified)",
+        json.len()
+    );
 }

@@ -23,6 +23,7 @@ use std::fmt;
 
 /// Errors raised by the layered codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CodecError {
     /// The stream header or a section failed to parse.
     Malformed(String),
@@ -216,6 +217,9 @@ fn encode_residual(residual: &Plane, spec: &LayerSpec) -> (Vec<u8>, Plane) {
 
 /// Encodes an image into a progressive layered stream.
 pub fn encode(img: &GrayImage, cfg: &EncoderConfig) -> Result<Vec<u8>, CodecError> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("codec.encode.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     if cfg.levels == 0 || cfg.levels > 8 {
         return Err(CodecError::BadConfig(format!("levels = {}", cfg.levels)));
     }
@@ -383,6 +387,11 @@ fn decode_residual_plane(si: &StreamInfo, section: &LayerSection<'_>) -> Result<
 /// Decodes as many complete layers as `bytes` contains; returns the image
 /// and the number of layers used. Needs at least the main layer.
 pub fn decode_prefix(bytes: &[u8]) -> Result<(GrayImage, usize), CodecError> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("codec.decode.us", rcmo_obs::bounds::LATENCY_US);
+    static LAYERS: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("codec.decode.layers", rcmo_obs::bounds::SMALL_COUNT);
+    let _t = LAT.start_timer();
     let si = info(bytes)?;
     let secs = sections(bytes, &si);
     if secs.is_empty() {
@@ -395,6 +404,7 @@ pub fn decode_prefix(bytes: &[u8]) -> Result<(GrayImage, usize), CodecError> {
         let layer = decode_residual_plane(&si, section)?;
         recon.add_assign(&layer);
     }
+    LAYERS.record(secs.len() as u64);
     Ok((recon.crop(si.width, si.height).to_image(), secs.len()))
 }
 
@@ -461,6 +471,9 @@ pub fn decode(bytes: &[u8]) -> Result<GrayImage, CodecError> {
 /// skipped, yielding a `⌈w/2^drop⌉ × ⌈h/2^drop⌉` image. `drop = 0` is the
 /// full-size main approximation; `drop` must be `≤ levels`.
 pub fn decode_resolution(bytes: &[u8], drop: usize) -> Result<GrayImage, CodecError> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("codec.decode_resolution.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let si = info(bytes)?;
     if drop > si.levels {
         return Err(CodecError::Malformed(format!(

@@ -687,6 +687,11 @@ impl CpNet {
     /// The preferentially optimal outcome: a topological sweep assigning
     /// every variable its most preferred value given its parents.
     pub fn optimal_outcome(&self) -> Outcome {
+        static LAT: rcmo_obs::LazyHistogram = rcmo_obs::LazyHistogram::new(
+            "core.cpnet.optimal_outcome.us",
+            rcmo_obs::bounds::LATENCY_US,
+        );
+        let _t = LAT.start_timer();
         reason::optimal_completion(self, &PartialAssignment::empty(self.len()))
     }
 
@@ -694,6 +699,11 @@ impl CpNet {
     /// "best completion of π"): evidence values are projected onto the
     /// network before the top-down sweep.
     pub fn optimal_completion(&self, evidence: &PartialAssignment) -> Outcome {
+        static LAT: rcmo_obs::LazyHistogram = rcmo_obs::LazyHistogram::new(
+            "core.cpnet.optimal_completion.us",
+            rcmo_obs::bounds::LATENCY_US,
+        );
+        let _t = LAT.start_timer();
         reason::optimal_completion(self, evidence)
     }
 

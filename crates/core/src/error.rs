@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by CP-network, document, and presentation operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A variable id does not exist in the network.
     UnknownVariable(u32),

@@ -343,6 +343,11 @@ impl PresentationEngine {
     /// `defaultPresentation()`: the author-optimal presentation, with no
     /// viewer evidence.
     pub fn default_presentation(&self, doc: &MultimediaDocument) -> Presentation {
+        static LAT: rcmo_obs::LazyHistogram = rcmo_obs::LazyHistogram::new(
+            "core.presentation.default.us",
+            rcmo_obs::bounds::LATENCY_US,
+        );
+        let _t = LAT.start_timer();
         let outcome = doc.net().optimal_outcome();
         self.project(doc, doc.net(), &outcome)
     }
@@ -355,6 +360,11 @@ impl PresentationEngine {
         doc: &MultimediaDocument,
         session: &ViewerSession,
     ) -> Result<Presentation> {
+        static LAT: rcmo_obs::LazyHistogram = rcmo_obs::LazyHistogram::new(
+            "core.presentation.reconfig.us",
+            rcmo_obs::bounds::LATENCY_US,
+        );
+        let _t = LAT.start_timer();
         match &session.extension {
             Some(ext) if !ext.is_empty() => {
                 let fused = ExtendedNet::new(doc.net(), ext)?;

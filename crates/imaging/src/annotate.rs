@@ -120,6 +120,9 @@ impl AnnotatedImage {
 
     /// Rasterises base + overlay into a fresh image.
     pub fn render(&self) -> GrayImage {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("imaging.render.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         let mut out = self.base.clone();
         for (_, e) in &self.elements {
             match e {

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by image operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ImagingError {
     /// Width/height of zero or a dimension mismatch.
     BadDimensions(String),

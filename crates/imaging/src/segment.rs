@@ -152,6 +152,9 @@ pub fn otsu_threshold(img: &GrayImage) -> u8 {
 /// foreground, labelled `1..`; background keeps label 0. Components smaller
 /// than `min_size` pixels are merged into the background.
 pub fn segment_image(img: &GrayImage, min_size: usize) -> Segmentation {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("imaging.segment.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let threshold = otsu_threshold(img);
     let w = img.width();
     let h = img.height();

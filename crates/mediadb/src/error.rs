@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors raised by the multimedia database layer.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum MediaError {
     /// An error bubbled up from the storage engine.
     Storage(StorageError),

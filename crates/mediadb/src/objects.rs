@@ -88,6 +88,9 @@ fn bytes_col(row: &[RowValue], i: usize) -> Result<Vec<u8>> {
 
 /// Inserts an image object.
 pub fn insert_image(db: &Database, img: &ImageObject) -> Result<u64> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("mediadb.image.insert.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let mut tx = db.begin()?;
     let blob = tx.put_blob(&img.data)?;
     let id = tx.insert(
@@ -107,6 +110,9 @@ pub fn insert_image(db: &Database, img: &ImageObject) -> Result<u64> {
 
 /// Fetches an image object.
 pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("mediadb.image.get.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let mut tx = db.begin()?;
     let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
         table: IMAGE_TABLE,
@@ -307,6 +313,9 @@ pub fn insert_document(db: &Database, doc: &DocumentObject) -> Result<u64> {
 
 /// Fetches a serialized document.
 pub fn get_document(db: &Database, id: u64) -> Result<DocumentObject> {
+    static LAT: rcmo_obs::LazyHistogram =
+        rcmo_obs::LazyHistogram::new("mediadb.document.get.us", rcmo_obs::bounds::LATENCY_US);
+    let _t = LAT.start_timer();
     let mut tx = db.begin()?;
     let row = tx.get(DOC_TABLE, id)?.ok_or(MediaError::NotFound {
         table: DOC_TABLE,

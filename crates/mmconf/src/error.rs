@@ -1,0 +1,107 @@
+//! The workspace-level error type: every subsystem error converts into
+//! [`Error`] via `From`, so application code (examples, experiments,
+//! integration tests) can use one `Result` and `?` across layer boundaries
+//! instead of `map_err` chains.
+
+use std::fmt;
+
+/// Any error the conferencing stack can raise, tagged by subsystem.
+///
+/// All subsystem enums are `#[non_exhaustive]`, and so is this one: new
+/// variants may appear without a major version bump.
+///
+/// ```
+/// fn roundtrip() -> rcmo::Result<()> {
+///     use rcmo::imaging::GrayImage;
+///     // ImagingError, CodecError, and CoreError all convert via `?`.
+///     let img = GrayImage::from_fn(32, 32, |x, y| ((x / 8 + y / 8) % 2 * 255) as u8)?;
+///     let stream = rcmo::codec::encode(&img, &rcmo::codec::EncoderConfig::default())?;
+///     let decoded = rcmo::codec::decode(&stream)?; // CodecError -> rcmo::Error
+///     assert_eq!(decoded.width(), 32);
+///     let doc = rcmo::core::MultimediaDocument::new("demo");
+///     doc.validate()?; // CoreError -> rcmo::Error
+///     Ok(())
+/// }
+/// roundtrip().unwrap();
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// CP-network, document, or presentation failure.
+    Core(rcmo_core::CoreError),
+    /// Storage-engine failure.
+    Storage(rcmo_storage::StorageError),
+    /// Multimedia-database failure.
+    Media(rcmo_mediadb::MediaError),
+    /// Imaging failure.
+    Imaging(rcmo_imaging::ImagingError),
+    /// Layered-codec failure.
+    Codec(rcmo_codec::CodecError),
+    /// Interaction-server failure.
+    Server(rcmo_server::ServerError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Media(e) => write!(f, "mediadb: {e}"),
+            Error::Imaging(e) => write!(f, "imaging: {e}"),
+            Error::Codec(e) => write!(f, "codec: {e}"),
+            Error::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            Error::Media(e) => Some(e),
+            Error::Imaging(e) => Some(e),
+            Error::Codec(e) => Some(e),
+            Error::Server(e) => Some(e),
+        }
+    }
+}
+
+impl From<rcmo_core::CoreError> for Error {
+    fn from(e: rcmo_core::CoreError) -> Error {
+        Error::Core(e)
+    }
+}
+
+impl From<rcmo_storage::StorageError> for Error {
+    fn from(e: rcmo_storage::StorageError) -> Error {
+        Error::Storage(e)
+    }
+}
+
+impl From<rcmo_mediadb::MediaError> for Error {
+    fn from(e: rcmo_mediadb::MediaError) -> Error {
+        Error::Media(e)
+    }
+}
+
+impl From<rcmo_imaging::ImagingError> for Error {
+    fn from(e: rcmo_imaging::ImagingError) -> Error {
+        Error::Imaging(e)
+    }
+}
+
+impl From<rcmo_codec::CodecError> for Error {
+    fn from(e: rcmo_codec::CodecError) -> Error {
+        Error::Codec(e)
+    }
+}
+
+impl From<rcmo_server::ServerError> for Error {
+    fn from(e: rcmo_server::ServerError) -> Error {
+        Error::Server(e)
+    }
+}
+
+/// Workspace-level result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -41,6 +41,10 @@
 //! | [`audio`] | `rcmo-audio` | CD-HMM voice processing |
 //! | [`server`] | `rcmo-server` | rooms, deltas, the interaction server |
 //! | [`netsim`] | `rcmo-netsim` | bandwidth/buffer simulation, prefetching |
+//! | [`obs`] | `rcmo-obs` | unified metrics: registries, counters, histograms |
+//!
+//! Cross-layer fallibility is unified too: every subsystem error converts
+//! into [`Error`] with `?` (see [`Result`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,5 +55,10 @@ pub use rcmo_core as core;
 pub use rcmo_imaging as imaging;
 pub use rcmo_mediadb as mediadb;
 pub use rcmo_netsim as netsim;
+pub use rcmo_obs as obs;
 pub use rcmo_server as server;
 pub use rcmo_storage as storage;
+
+mod error;
+
+pub use error::{Error, Result};

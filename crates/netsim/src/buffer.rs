@@ -1,13 +1,14 @@
 //! The client buffer: an LRU cache of `(component, form)` renditions.
 
 use rcmo_core::ComponentId;
+use rcmo_obs::{Counter, Gauge, Metrics, Registry};
 use std::collections::HashMap;
 
 /// A cache key: one rendition of one component.
 pub type Rendition = (ComponentId, usize);
 
-/// Cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Cache statistics: a typed view over the buffer's metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferStats {
     /// Lookups that found the rendition resident.
     pub hits: u64,
@@ -17,25 +18,57 @@ pub struct BufferStats {
     pub evictions: u64,
 }
 
+impl BufferStats {
+    /// Reads the buffer counters out of a metrics registry.
+    pub fn from_registry(obs: &Registry) -> Self {
+        BufferStats {
+            hits: obs.read_counter("netsim.buffer.hit.count"),
+            misses: obs.read_counter("netsim.buffer.miss.count"),
+            evictions: obs.read_counter("netsim.buffer.eviction.count"),
+        }
+    }
+}
+
 /// A byte-budgeted LRU buffer ("using the user's buffer as a cache").
+///
+/// Cloning shares the metric cells: a clone keeps counting into the same
+/// registry as the original.
 #[derive(Debug, Clone)]
 pub struct ClientBuffer {
     capacity: u64,
     used: u64,
     resident: HashMap<Rendition, (u64, u64)>, // size, last-touch tick
     tick: u64,
-    stats: BufferStats,
+    obs: Registry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    used_bytes: Gauge,
 }
 
 impl ClientBuffer {
-    /// A buffer of `capacity` bytes.
+    /// A buffer of `capacity` bytes, reporting into the global registry.
     pub fn new(capacity: u64) -> ClientBuffer {
+        ClientBuffer::with_registry(capacity, Registry::new())
+    }
+
+    /// A buffer of `capacity` bytes reporting into `obs` (typically a
+    /// per-session registry).
+    pub fn with_registry(capacity: u64, obs: Registry) -> ClientBuffer {
+        let hits = obs.counter("netsim.buffer.hit.count");
+        let misses = obs.counter("netsim.buffer.miss.count");
+        let evictions = obs.counter("netsim.buffer.eviction.count");
+        let used_bytes = obs.gauge("netsim.buffer.used.bytes");
         ClientBuffer {
             capacity,
             used: 0,
             resident: HashMap::new(),
             tick: 0,
-            stats: BufferStats::default(),
+            obs,
+            hits,
+            misses,
+            evictions,
+            used_bytes,
         }
     }
 
@@ -56,7 +89,7 @@ impl ClientBuffer {
 
     /// Statistics so far.
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.metrics()
     }
 
     /// Looks a rendition up, recording a hit or miss and refreshing LRU
@@ -66,11 +99,11 @@ impl ClientBuffer {
         match self.resident.get_mut(&r) {
             Some(entry) => {
                 entry.1 = self.tick;
-                self.stats.hits += 1;
+                self.hits.inc();
                 true
             }
             None => {
-                self.stats.misses += 1;
+                self.misses.inc();
                 false
             }
         }
@@ -102,11 +135,12 @@ impl ClientBuffer {
                 .expect("used > 0 implies a resident entry");
             let (vsize, _) = self.resident.remove(&victim).expect("victim resident");
             self.used -= vsize;
-            self.stats.evictions += 1;
+            self.evictions.inc();
         }
         self.tick += 1;
         self.resident.insert(r, (size, self.tick));
         self.used += size;
+        self.used_bytes.set(self.used as i64);
         true
     }
 
@@ -124,6 +158,19 @@ impl ClientBuffer {
     pub fn clear(&mut self) {
         self.resident.clear();
         self.used = 0;
+        self.used_bytes.set(0);
+    }
+}
+
+impl Metrics for ClientBuffer {
+    type View = BufferStats;
+
+    fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn metrics(&self) -> BufferStats {
+        BufferStats::from_registry(&self.obs)
     }
 }
 

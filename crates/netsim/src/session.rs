@@ -21,7 +21,12 @@ use rcmo_core::{
     ComponentId, FormKind, MultimediaDocument, PartialAssignment, PreferenceNet, PrefetchConfig,
     PrefetchPlanner, Value,
 };
+use rcmo_obs::{bounds, Registry};
 use std::collections::HashSet;
+
+/// Name of the per-session response-time histogram. The unit is *virtual*
+/// microseconds (`.vus`): the simulated clock, not wall time.
+pub const RESPONSE_HIST: &str = "netsim.session.response.vus";
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -108,6 +113,33 @@ impl SessionStats {
             self.hits as f64 / self.requests as f64
         }
     }
+
+    /// Builds the view from a per-session metrics registry. Response times
+    /// come out of the [`RESPONSE_HIST`] histogram, whose virtual-µs
+    /// resolution keeps `mean <= max` and session determinism intact.
+    pub fn from_registry(policy: PolicyKind, obs: &Registry) -> Self {
+        let (sum_us, max_us, count) = match obs.read_histogram(RESPONSE_HIST) {
+            Some(h) => (h.sum, h.max, h.count),
+            None => (0, 0, 0),
+        };
+        SessionStats {
+            policy,
+            requests: obs.read_counter("netsim.session.request.count") as usize,
+            hits: obs.read_counter("netsim.session.hit.count") as usize,
+            mean_response_secs: if count == 0 {
+                0.0
+            } else {
+                sum_us as f64 / 1e6 / count as f64
+            },
+            max_response_secs: max_us as f64 / 1e6,
+            demand_bytes: obs.read_counter("netsim.session.demand.bytes"),
+            prefetch_bytes: obs.read_counter("netsim.session.prefetch.bytes"),
+            wasted_prefetch_bytes: obs.read_counter("netsim.session.wasted.bytes"),
+            retransmits: obs.read_counter("netsim.link.retransmit.count"),
+            timeouts: obs.read_counter("netsim.link.timeout.count"),
+            degraded_requests: obs.read_counter("netsim.session.degraded.count"),
+        }
+    }
 }
 
 /// Samples the viewer's next request: with probability `1 − ε` a rendition
@@ -172,8 +204,19 @@ fn sample_request(
 
 /// Runs one simulated session and returns its statistics.
 pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> SessionStats {
+    let obs = Registry::new();
+    let requests = obs.counter("netsim.session.request.count");
+    let hits = obs.counter("netsim.session.hit.count");
+    let demand_bytes = obs.counter("netsim.session.demand.bytes");
+    let prefetch_bytes = obs.counter("netsim.session.prefetch.bytes");
+    let wasted_bytes = obs.counter("netsim.session.wasted.bytes");
+    let retransmits = obs.counter("netsim.link.retransmit.count");
+    let timeouts = obs.counter("netsim.link.timeout.count");
+    let degraded = obs.counter("netsim.session.degraded.count");
+    let response_hist = obs.histogram(RESPONSE_HIST, bounds::LATENCY_US);
+
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut buffer = ClientBuffer::new(cfg.buffer_bytes);
+    let mut buffer = ClientBuffer::with_registry(cfg.buffer_bytes, obs.clone());
     let mut faulty = FaultyLink::new(cfg.link, cfg.fault.clone());
     let mut now = 0.0f64; // virtual clock, seconds since session start
     let mut policy = PrefetchPolicy::new(cfg.policy, cfg.seed ^ 0xF00D);
@@ -187,21 +230,6 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
     let mut prefetched: HashSet<Rendition> = HashSet::new();
     let mut requested: HashSet<Rendition> = HashSet::new();
 
-    let mut stats = SessionStats {
-        policy: cfg.policy,
-        requests: 0,
-        hits: 0,
-        mean_response_secs: 0.0,
-        max_response_secs: 0.0,
-        demand_bytes: 0,
-        prefetch_bytes: 0,
-        wasted_prefetch_bytes: 0,
-        retransmits: 0,
-        timeouts: 0,
-        degraded_requests: 0,
-    };
-    let mut total_response = 0.0f64;
-
     for _ in 0..cfg.steps {
         // Idle dwell: the prefetcher may move bytes in the background. A
         // dead link (outage window) idles the prefetcher too.
@@ -214,7 +242,7 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
                 }
                 if buffer.insert(r, size) {
                     budget -= size;
-                    stats.prefetch_bytes += size;
+                    prefetch_bytes.add(size);
                     prefetched.insert(r);
                 }
             }
@@ -226,42 +254,42 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
         else {
             break;
         };
-        stats.requests += 1;
+        requests.inc();
         requested.insert(rendition);
         let response = if buffer.lookup(rendition) {
             0.0
         } else {
-            stats.demand_bytes += size;
+            demand_bytes.add(size);
             let mut elapsed;
             match faulty.transfer(size, now, &cfg.retry) {
                 TransferOutcome::Delivered {
                     elapsed_s,
-                    retransmits,
+                    retransmits: n,
                 } => {
-                    stats.retransmits += retransmits as u64;
+                    retransmits.add(n as u64);
                     buffer.insert(rendition, size);
                     elapsed = elapsed_s;
                 }
                 TransferOutcome::TimedOut { elapsed_s, .. } => {
                     // Graceful degradation: rather than failing the click,
                     // fall back to the coarse LIC1 base layer.
-                    stats.timeouts += 1;
+                    timeouts.inc();
                     elapsed = elapsed_s;
                     let coarse = degraded_bytes(size);
                     match faulty.transfer(coarse, now + elapsed, &cfg.retry) {
                         TransferOutcome::Delivered {
                             elapsed_s,
-                            retransmits,
+                            retransmits: n,
                         } => {
-                            stats.retransmits += retransmits as u64;
-                            stats.degraded_requests += 1;
+                            retransmits.add(n as u64);
+                            degraded.inc();
                             buffer.insert(rendition, coarse);
                             elapsed += elapsed_s;
                         }
                         TransferOutcome::TimedOut { elapsed_s, .. } => {
                             // Even the base layer failed; the click is just
                             // slow — the session carries on.
-                            stats.timeouts += 1;
+                            timeouts.inc();
                             elapsed += elapsed_s;
                         }
                     }
@@ -270,25 +298,23 @@ pub fn simulate_session(doc: &MultimediaDocument, cfg: &SessionConfig) -> Sessio
             elapsed
         };
         if response == 0.0 {
-            stats.hits += 1;
+            hits.inc();
         }
         now += response;
-        total_response += response;
-        stats.max_response_secs = stats.max_response_secs.max(response);
+        // Virtual clock, so the duration is recorded directly rather than
+        // through a wall-clock Timer.
+        response_hist.record((response * 1e6).round() as u64);
         // The click is evidence for the presentation engine (and thus for
         // subsequent prefetch planning).
         evidence.set(rendition.0.var(), Value(rendition.1 as u16));
     }
-    stats.mean_response_secs = if stats.requests == 0 {
-        0.0
-    } else {
-        total_response / stats.requests as f64
-    };
-    stats.wasted_prefetch_bytes = prefetched
-        .difference(&requested)
-        .map(|r| doc.forms(r.0).map(|f| f[r.1].cost_bytes).unwrap_or(0))
-        .sum();
-    stats
+    wasted_bytes.add(
+        prefetched
+            .difference(&requested)
+            .map(|r| doc.forms(r.0).map(|f| f[r.1].cost_bytes).unwrap_or(0))
+            .sum(),
+    );
+    SessionStats::from_registry(cfg.policy, &obs)
 }
 
 #[cfg(test)]

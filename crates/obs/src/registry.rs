@@ -1,0 +1,298 @@
+//! The metrics registry: named metric slots, parent chaining, and the
+//! process-global root. Registration (the only locking operation) happens
+//! once per metric name per registry; the returned handles are pure-atomic
+//! thereafter.
+
+use crate::metric::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell, Timer};
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    parent: Option<Registry>,
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+/// A registry of named metrics. Cheap to clone (shared interior). A
+/// registry may be *parented*: handles created from it update both their
+/// own cell and the same-named cell of every ancestor, so instance-local
+/// views stay exact while ancestors aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// A fresh registry parented to the [global](Registry::global) root:
+    /// everything it records also aggregates process-wide. This is the
+    /// right default for instrumented components.
+    #[allow(clippy::new_without_default)] // Default = detached, by design
+    pub fn new() -> Registry {
+        Registry::with_parent(Registry::global())
+    }
+
+    /// A fresh detached registry (no parent; nothing rolls up). Used by
+    /// tests that need full isolation.
+    pub fn detached() -> Registry {
+        Registry {
+            inner: Arc::new(Inner::default()),
+        }
+    }
+
+    /// A fresh registry whose updates also land in `parent` (and its
+    /// ancestors).
+    pub fn with_parent(parent: &Registry) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                parent: Some(parent.clone()),
+                slots: RwLock::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The process-global root registry: the export point for experiments
+    /// and benches.
+    pub fn global() -> &'static Registry {
+        GLOBAL.get_or_init(Registry::detached)
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<CounterCell> {
+        if let Some(Slot::Counter(c)) = self.inner.slots.read().expect("obs lock").get(name) {
+            return c.clone();
+        }
+        let mut slots = self.inner.slots.write().expect("obs lock");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(CounterCell::default())))
+        {
+            Slot::Counter(c) => c.clone(),
+            other => panic!("metric '{name}' already registered as {other:?}, not a counter"),
+        }
+    }
+
+    fn gauge_cell(&self, name: &str) -> Arc<GaugeCell> {
+        if let Some(Slot::Gauge(g)) = self.inner.slots.read().expect("obs lock").get(name) {
+            return g.clone();
+        }
+        let mut slots = self.inner.slots.write().expect("obs lock");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(GaugeCell::default())))
+        {
+            Slot::Gauge(g) => g.clone(),
+            other => panic!("metric '{name}' already registered as {other:?}, not a gauge"),
+        }
+    }
+
+    fn histogram_cell(&self, name: &str, bounds: &[u64]) -> Arc<HistogramCell> {
+        if let Some(Slot::Histogram(h)) = self.inner.slots.read().expect("obs lock").get(name) {
+            return h.clone();
+        }
+        let mut slots = self.inner.slots.write().expect("obs lock");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCell::new(bounds))))
+        {
+            Slot::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as {other:?}, not a histogram"),
+        }
+    }
+
+    /// Registers (or retrieves) the counter `name`, chained through every
+    /// ancestor. Panics if `name` is registered here as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut cells = vec![self.counter_cell(name)];
+        let mut up = self.inner.parent.clone();
+        while let Some(reg) = up {
+            cells.push(reg.counter_cell(name));
+            up = reg.inner.parent.clone();
+        }
+        Counter { cells }
+    }
+
+    /// Registers (or retrieves) the gauge `name`, chained through every
+    /// ancestor.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut cells = vec![self.gauge_cell(name)];
+        let mut up = self.inner.parent.clone();
+        while let Some(reg) = up {
+            cells.push(reg.gauge_cell(name));
+            up = reg.inner.parent.clone();
+        }
+        Gauge { cells }
+    }
+
+    /// Registers (or retrieves) the histogram `name` with the given bucket
+    /// `bounds` (strictly increasing, upper-inclusive; an overflow bucket
+    /// is appended), chained through every ancestor. The bounds of the
+    /// first registration win at each level.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut cells = vec![self.histogram_cell(name, bounds)];
+        let mut up = self.inner.parent.clone();
+        while let Some(reg) = up {
+            cells.push(reg.histogram_cell(name, bounds));
+            up = reg.inner.parent.clone();
+        }
+        Histogram { cells }
+    }
+
+    /// Reads a counter's current value (0 if unregistered).
+    pub fn read_counter(&self, name: &str) -> u64 {
+        match self.inner.slots.read().expect("obs lock").get(name) {
+            Some(Slot::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Reads a gauge's current value (0 if unregistered).
+    pub fn read_gauge(&self, name: &str) -> i64 {
+        match self.inner.slots.read().expect("obs lock").get(name) {
+            Some(Slot::Gauge(g)) => g.get(),
+            _ => 0,
+        }
+    }
+
+    /// Reads a histogram's snapshot (`None` if unregistered).
+    pub fn read_histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        match self.inner.slots.read().expect("obs lock").get(name) {
+            Some(Slot::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of every metric registered in
+    /// *this* registry (metrics of ancestors are not included; metrics of
+    /// descendants are, via chaining).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.inner.slots.read().expect("obs lock");
+        let mut snap = MetricsSnapshot::default();
+        for (name, slot) in slots.iter() {
+            match slot {
+                Slot::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A counter in the global registry, resolved once on first use — the
+/// pattern for instrumenting free functions and methods without threading a
+/// registry through: `static N: LazyCounter = LazyCounter::new("a.b.count");`
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    /// Declares the counter (registered in the global registry on first use).
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle.
+    pub fn get(&self) -> &Counter {
+        self.cell
+            .get_or_init(|| Registry::global().counter(self.name))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.get().inc();
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.get().add(n);
+    }
+}
+
+/// A gauge in the global registry, resolved once on first use.
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Gauge>,
+}
+
+impl LazyGauge {
+    /// Declares the gauge (registered in the global registry on first use).
+    pub const fn new(name: &'static str) -> LazyGauge {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle.
+    pub fn get(&self) -> &Gauge {
+        self.cell
+            .get_or_init(|| Registry::global().gauge(self.name))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.get().set(v);
+    }
+
+    /// Adjusts the value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.get().add(delta);
+    }
+}
+
+/// A histogram in the global registry, resolved once on first use.
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    cell: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares the histogram (registered in the global registry on first
+    /// use) with the given bucket bounds.
+    pub const fn new(name: &'static str, bounds: &'static [u64]) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle.
+    pub fn get(&self) -> &Histogram {
+        self.cell
+            .get_or_init(|| Registry::global().histogram(self.name, self.bounds))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.get().record(v);
+    }
+
+    /// Starts a span timer recording elapsed microseconds on drop.
+    pub fn start_timer(&self) -> Timer<'_> {
+        self.get().start_timer()
+    }
+}

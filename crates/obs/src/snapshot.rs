@@ -1,0 +1,388 @@
+//! Point-in-time metric snapshots: plain values that print as text,
+//! round-trip through JSON (no serde — the format is a small fixed shape),
+//! and subtract, so experiments can isolate one scenario's activity from an
+//! accumulating registry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram's frozen state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket boundaries (strictly increasing).
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1` (the
+    /// last entry is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (0 < q ≤ 1) estimated as the upper bound of the
+    /// bucket holding the target sample; samples in the overflow bucket
+    /// report [`max`](Self::max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// This snapshot minus an `older` one of the same histogram: bucket
+    /// counts, total count, and sum subtract (saturating). `max`/`min` are
+    /// not recoverable for the interval, so the newer values are kept —
+    /// treat them as "over the whole run" bounds.
+    pub fn diff(&self, older: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != older.bounds {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&older.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(older.count),
+            sum: self.sum.saturating_sub(older.sum),
+            max: self.max,
+            min: self.min,
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`](crate::Registry).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// This snapshot minus an `older` one: counters and histogram counts
+    /// subtract; gauges keep their newer value. Metrics absent from
+    /// `older` pass through unchanged. This is how experiments report
+    /// per-scenario numbers off a shared accumulating registry.
+    pub fn diff(&self, older: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &v) in &self.counters {
+            let base = older.counters.get(name).copied().unwrap_or(0);
+            out.counters.insert(name.clone(), v.saturating_sub(base));
+        }
+        out.gauges = self.gauges.clone();
+        for (name, h) in &self.histograms {
+            let d = match older.histograms.get(name) {
+                Some(old) => h.diff(old),
+                None => h.clone(),
+            };
+            out.histograms.insert(name.clone(), d);
+        }
+        out
+    }
+
+    /// Human-readable report: one line per metric, histograms with
+    /// count/mean/p50/p95/p99/max.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(s, "counter    {name:<44} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(s, "gauge      {name:<44} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                s,
+                "histogram  {name:<44} n={:<8} mean={:<10.1} p50={:<8} p95={:<8} p99={:<8} max={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+        }
+        s
+    }
+
+    /// JSON encoding (stable key order; integers only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        json_map(
+            &mut s,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        s.push_str("},\n  \"gauges\": {");
+        json_map(&mut s, self.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        s.push_str("},\n  \"histograms\": {");
+        json_map(
+            &mut s,
+            self.histograms.iter().map(|(k, h)| {
+                let body = format!(
+                    "{{\"bounds\": {}, \"counts\": {}, \"count\": {}, \"sum\": {}, \"max\": {}, \"min\": {}}}",
+                    json_array(&h.bounds),
+                    json_array(&h.counts),
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.min
+                );
+                (k, body)
+            }),
+        );
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses the output of [`to_json`](Self::to_json) back into a
+    /// snapshot. Accepts any key order and whitespace.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        let snap = p.snapshot()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(snap)
+    }
+}
+
+fn json_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {v}", escape(k));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_array(vals: &[u64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A minimal recursive-descent parser for the snapshot's JSON shape:
+/// objects, arrays of integers, strings, and (signed) integers.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of snapshot JSON",
+                c as char, self.i
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.i).ok_or("truncated escape")?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn integer(&mut self) -> Result<i128, String> {
+        self.skip_ws();
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("expected integer at byte {start}"))
+    }
+
+    fn u64_array(&mut self) -> Result<Vec<u64>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.integer()? as u64);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    /// Parses `{ "key": <v>, ... }`, handing each value to `visit`.
+    fn object(
+        &mut self,
+        mut visit: impl FnMut(&mut Self, String) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            visit(self, key)?;
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn histogram(&mut self) -> Result<HistogramSnapshot, String> {
+        let mut h = HistogramSnapshot::default();
+        self.object(|p, key| {
+            match key.as_str() {
+                "bounds" => h.bounds = p.u64_array()?,
+                "counts" => h.counts = p.u64_array()?,
+                "count" => h.count = p.integer()? as u64,
+                "sum" => h.sum = p.integer()? as u64,
+                "max" => h.max = p.integer()? as u64,
+                "min" => h.min = p.integer()? as u64,
+                other => return Err(format!("unknown histogram field '{other}'")),
+            }
+            Ok(())
+        })?;
+        Ok(h)
+    }
+
+    fn snapshot(&mut self) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        self.object(|p, section| {
+            match section.as_str() {
+                "counters" => p.object(|p, name| {
+                    let v = p.integer()? as u64;
+                    snap.counters.insert(name, v);
+                    Ok(())
+                })?,
+                "gauges" => p.object(|p, name| {
+                    let v = p.integer()? as i64;
+                    snap.gauges.insert(name, v);
+                    Ok(())
+                })?,
+                "histograms" => p.object(|p, name| {
+                    let h = p.histogram()?;
+                    snap.histograms.insert(name, h);
+                    Ok(())
+                })?,
+                other => return Err(format!("unknown section '{other}'")),
+            }
+            Ok(())
+        })?;
+        Ok(snap)
+    }
+}

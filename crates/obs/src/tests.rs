@@ -1,0 +1,213 @@
+use crate::{bounds, HistogramSnapshot, MetricsSnapshot, Registry};
+use std::sync::Arc;
+
+#[test]
+fn counter_and_gauge_basics() {
+    let reg = Registry::detached();
+    let c = reg.counter("t.c.count");
+    c.inc();
+    c.add(4);
+    assert_eq!(c.get(), 5);
+    assert_eq!(reg.read_counter("t.c.count"), 5);
+    let g = reg.gauge("t.g");
+    g.set(7);
+    g.add(-10);
+    assert_eq!(g.get(), -3);
+    assert_eq!(reg.read_gauge("t.g"), -3);
+    // Same name returns the same cell.
+    reg.counter("t.c.count").inc();
+    assert_eq!(c.get(), 6);
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let reg = Registry::detached();
+    let h = reg.histogram("t.h.us", &[10, 100, 1000]);
+    // A value exactly on a boundary lands in that boundary's bucket.
+    h.record(10);
+    // Strictly above a boundary lands in the next bucket.
+    h.record(11);
+    h.record(100);
+    // Zero lands in the first bucket.
+    h.record(0);
+    // Above the last bound lands in the overflow bucket.
+    h.record(1001);
+    let s = h.snapshot();
+    assert_eq!(s.counts, vec![2, 2, 0, 1]);
+    assert_eq!(s.count, 5);
+    assert_eq!(s.sum, 10 + 11 + 100 + 1001);
+    assert_eq!(s.max, 1001);
+    assert_eq!(s.min, 0);
+}
+
+#[test]
+fn histogram_quantiles() {
+    let reg = Registry::detached();
+    let h = reg.histogram("t.q.us", &[1, 2, 4, 8, 16, 32]);
+    for v in 1..=8u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    // 8 samples in buckets [1]=1, [2]=1, [3..4]=2, [5..8]=4.
+    assert_eq!(s.p50(), 4, "4th of 8 samples sits in the (2,4] bucket");
+    assert_eq!(s.p95(), 8);
+    assert_eq!(s.p99(), 8);
+    assert_eq!(s.quantile(1.0), 8);
+    // Overflow samples report the true max, not a bucket bound.
+    h.record(1_000);
+    assert_eq!(h.snapshot().quantile(1.0), 1_000);
+    // Empty histograms report zeros.
+    let empty = reg.histogram("t.q2.us", &[1, 2]).snapshot();
+    assert_eq!((empty.p50(), empty.max, empty.min), (0, 0, 0));
+}
+
+#[test]
+fn quantile_capped_by_observed_max() {
+    let reg = Registry::detached();
+    let h = reg.histogram("t.cap.us", &[1_000_000]);
+    h.record(3);
+    // The bucket bound is 1s but the only sample is 3 µs: p99 must not
+    // report a value larger than anything observed.
+    assert_eq!(h.snapshot().p99(), 3);
+}
+
+#[test]
+fn parent_chaining_rolls_up() {
+    let root = Registry::detached();
+    let child_a = Registry::with_parent(&root);
+    let child_b = Registry::with_parent(&root);
+    child_a.counter("t.shared.count").add(3);
+    child_b.counter("t.shared.count").add(4);
+    assert_eq!(child_a.read_counter("t.shared.count"), 3);
+    assert_eq!(child_b.read_counter("t.shared.count"), 4);
+    assert_eq!(root.read_counter("t.shared.count"), 7);
+    child_a.histogram("t.shared.us", &[10, 100]).record(5);
+    child_b.histogram("t.shared.us", &[10, 100]).record(50);
+    let rh = root.read_histogram("t.shared.us").unwrap();
+    assert_eq!(rh.count, 2);
+    assert_eq!(rh.counts, vec![1, 1, 0]);
+    let ah = child_a.read_histogram("t.shared.us").unwrap();
+    assert_eq!(ah.count, 1);
+}
+
+#[test]
+fn timer_records_elapsed_micros() {
+    let reg = Registry::detached();
+    let h = reg.histogram("t.timer.us", bounds::LATENCY_US);
+    {
+        let _t = h.start_timer();
+        std::hint::black_box(());
+    }
+    let us = h.start_timer().stop();
+    let s = h.snapshot();
+    assert_eq!(s.count, 2);
+    assert!(s.sum >= us);
+}
+
+/// The loom-free concurrency stress: many threads hammer shared handles,
+/// coordinating shutdown through the vendored crossbeam channel shim; the
+/// relaxed-atomic cells must not lose a single increment.
+#[test]
+fn concurrent_counter_increments() {
+    let root = Registry::detached();
+    let child = Registry::with_parent(&root);
+    let counter = Arc::new(child.counter("t.stress.count"));
+    let hist = Arc::new(child.histogram("t.stress.us", &[8, 64, 512]));
+    let (tx, rx) = crossbeam::channel::unbounded();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t * 97 + i % 600);
+                }
+                tx.send(t).unwrap();
+            })
+        })
+        .collect();
+    let finished: Vec<u64> = rx.iter().take(THREADS as usize).collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(finished.len(), THREADS as usize);
+    let total = THREADS * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    assert_eq!(root.read_counter("t.stress.count"), total);
+    let s = root.read_histogram("t.stress.us").unwrap();
+    assert_eq!(s.count, total);
+    assert_eq!(s.counts.iter().sum::<u64>(), total);
+}
+
+#[test]
+fn snapshot_text_and_json_round_trip() {
+    let reg = Registry::detached();
+    reg.counter("a.b.count").add(42);
+    reg.gauge("a.g").set(-17);
+    let h = reg.histogram("a.lat.us", &[10, 100, 1000]);
+    h.record(7);
+    h.record(250);
+    h.record(5_000);
+    let snap = reg.snapshot();
+    let text = snap.to_text();
+    assert!(text.contains("a.b.count"));
+    assert!(text.contains("p95"));
+    let json = snap.to_json();
+    let back = MetricsSnapshot::from_json(&json).unwrap();
+    assert_eq!(back, snap);
+    // And the re-encoding is byte-identical (stable order).
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn from_json_rejects_garbage() {
+    assert!(MetricsSnapshot::from_json("").is_err());
+    assert!(MetricsSnapshot::from_json("{").is_err());
+    assert!(MetricsSnapshot::from_json(r#"{"bogus": {}}"#).is_err());
+    assert!(MetricsSnapshot::from_json(r#"{"counters": {"x": 1}} trailing"#).is_err());
+    // Key escapes survive the round trip.
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert("weird\"name\\x".to_string(), 3);
+    let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn snapshot_diff_isolates_an_interval() {
+    let reg = Registry::detached();
+    let c = reg.counter("d.ops.count");
+    let h = reg.histogram("d.lat.us", &[10, 100]);
+    c.add(5);
+    h.record(3);
+    let before = reg.snapshot();
+    c.add(2);
+    h.record(50);
+    h.record(60);
+    let after = reg.snapshot();
+    let d = after.diff(&before);
+    assert_eq!(d.counters["d.ops.count"], 2);
+    let dh = &d.histograms["d.lat.us"];
+    assert_eq!(dh.count, 2);
+    assert_eq!(dh.counts, vec![0, 2, 0]);
+    assert_eq!(dh.sum, 110);
+    // Metrics registered after `before` pass through unchanged.
+    reg.counter("d.new.count").inc();
+    let d2 = reg.snapshot().diff(&before);
+    assert_eq!(d2.counters["d.new.count"], 1);
+}
+
+#[test]
+fn empty_histogram_diff_is_empty() {
+    let a = HistogramSnapshot {
+        bounds: vec![1, 2],
+        counts: vec![0, 0, 0],
+        ..HistogramSnapshot::default()
+    };
+    let d = a.diff(&a);
+    assert_eq!(d.count, 0);
+    assert_eq!(d.counts, vec![0, 0, 0]);
+}

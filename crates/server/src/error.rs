@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors raised by room and server operations.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServerError {
     /// Bubbled up from the multimedia database.
     Media(rcmo_mediadb::MediaError),

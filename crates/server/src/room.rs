@@ -9,6 +9,7 @@ use rcmo_core::{
     MultimediaDocument, Presentation, PresentationEngine, ViewerChoice, ViewerSession,
 };
 use rcmo_imaging::AnnotatedImage;
+use rcmo_obs::{bounds, Counter, Histogram, Metrics, Registry};
 use std::collections::HashMap;
 
 /// Identifier of a room.
@@ -18,8 +19,9 @@ pub type RoomId = u64;
 /// of the underlying image object).
 pub type SharedObjectId = u64;
 
-/// Aggregate propagation statistics of a room.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Aggregate propagation statistics of a room: a typed view over the
+/// room's metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoomStats {
     /// Events delivered (events × recipients). Only *successful* sends
     /// count; failed sends land in `delivery_failures`.
@@ -32,6 +34,19 @@ pub struct RoomStats {
     pub delivery_failures: u64,
     /// Members removed after their connection was detected dead.
     pub members_reaped: u64,
+}
+
+impl RoomStats {
+    /// Reads the room counters out of a metrics registry.
+    pub fn from_registry(obs: &Registry) -> Self {
+        RoomStats {
+            events_delivered: obs.read_counter("server.room.delivered.count"),
+            bytes_delivered: obs.read_counter("server.room.delivered.bytes"),
+            changes_logged: obs.read_counter("server.room.logged.count"),
+            delivery_failures: obs.read_counter("server.room.delivery_failure.count"),
+            members_reaped: obs.read_counter("server.room.reaped.count"),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -60,13 +75,38 @@ pub struct Room {
     /// changed objects" — a bounded ring (see [`ChangeLog`]).
     change_log: ChangeLog,
     engine: PresentationEngine,
-    stats: RoomStats,
+    obs: Registry,
+    delivered: Counter,
+    delivered_bytes: Counter,
+    logged: Counter,
+    delivery_failures: Counter,
+    reaped: Counter,
+    broadcast_lat: Histogram,
+    resync_lat: Histogram,
+    resync_replays: Counter,
+    resync_snapshots: Counter,
     triggers: Vec<(u64, String, TriggerCondition)>,
     next_trigger: u64,
 }
 
 impl Room {
-    pub(crate) fn new(id: RoomId, name: &str, document_id: u64, doc: MultimediaDocument) -> Room {
+    pub(crate) fn new(
+        id: RoomId,
+        name: &str,
+        document_id: u64,
+        doc: MultimediaDocument,
+        parent: &Registry,
+    ) -> Room {
+        let obs = Registry::with_parent(parent);
+        let delivered = obs.counter("server.room.delivered.count");
+        let delivered_bytes = obs.counter("server.room.delivered.bytes");
+        let logged = obs.counter("server.room.logged.count");
+        let delivery_failures = obs.counter("server.room.delivery_failure.count");
+        let reaped = obs.counter("server.room.reaped.count");
+        let broadcast_lat = obs.histogram("server.room.broadcast.us", bounds::LATENCY_US);
+        let resync_lat = obs.histogram("server.room.resync.us", bounds::LATENCY_US);
+        let resync_replays = obs.counter("server.room.resync.replay.count");
+        let resync_snapshots = obs.counter("server.room.resync.snapshot.count");
         Room {
             id,
             name: name.to_string(),
@@ -78,7 +118,16 @@ impl Room {
             freezes: HashMap::new(),
             change_log: ChangeLog::new(DEFAULT_CHANGE_LOG_CAPACITY),
             engine: PresentationEngine::new(),
-            stats: RoomStats::default(),
+            obs,
+            delivered,
+            delivered_bytes,
+            logged,
+            delivery_failures,
+            reaped,
+            broadcast_lat,
+            resync_lat,
+            resync_replays,
+            resync_snapshots,
             triggers: Vec::new(),
             next_trigger: 1,
         }
@@ -91,7 +140,7 @@ impl Room {
 
     /// Propagation statistics.
     pub fn stats(&self) -> RoomStats {
-        self.stats
+        self.metrics()
     }
 
     /// The room's bounded change buffer.
@@ -114,16 +163,16 @@ impl Room {
     /// the caller (`broadcast`) reaps them.
     fn deliver(&mut self, event: RoomEvent) -> Vec<String> {
         let sequenced = self.change_log.push(event);
-        self.stats.changes_logged += 1;
+        self.logged.inc();
         let size = sequenced.event.encoded_len() as u64;
         let mut dead = Vec::new();
         for m in &self.members {
             if m.sender.send(sequenced.clone()).is_ok() {
-                self.stats.events_delivered += 1;
-                self.stats.bytes_delivered += size;
+                self.delivered.inc();
+                self.delivered_bytes.add(size);
             } else {
                 // The receiver is gone: a crashed or disconnected client.
-                self.stats.delivery_failures += 1;
+                self.delivery_failures.inc();
                 dead.push(m.name.clone());
             }
         }
@@ -135,6 +184,7 @@ impl Room {
     /// (their freezes are released, and `Released`/`Left` events are
     /// propagated — which may in turn expose further dead members).
     fn broadcast(&mut self, event: RoomEvent) {
+        let _t = self.broadcast_lat.start_timer_owned();
         let mut dead = self.deliver(event);
         while let Some(user) = dead.pop() {
             let before = self.members.len();
@@ -143,7 +193,7 @@ impl Room {
                 continue; // already reaped this round
             }
             self.sessions.remove(&user);
-            self.stats.members_reaped += 1;
+            self.reaped.inc();
             let released: Vec<SharedObjectId> = self
                 .freezes
                 .iter()
@@ -224,11 +274,18 @@ impl Room {
         sender: Sender<SequencedEvent>,
         last_seen: u64,
     ) -> Result<Resync> {
+        let _t = self.resync_lat.start_timer_owned();
         // Catch-up is computed before any rejoin event so the client never
         // replays its own reconnection.
         let catch_up = match self.change_log.events_since(last_seen) {
-            Some(events) => Resync::Events(events),
-            None => Resync::Snapshot(self.snapshot()),
+            Some(events) => {
+                self.resync_replays.add(events.len() as u64);
+                Resync::Events(events)
+            }
+            None => {
+                self.resync_snapshots.inc();
+                Resync::Snapshot(self.snapshot())
+            }
         };
         if let Some(m) = self.members.iter_mut().find(|m| m.name == user) {
             // Still considered a member (dead connection not yet detected):
@@ -573,5 +630,17 @@ impl Room {
             transfer_bytes: transfer,
         });
         Ok(())
+    }
+}
+
+impl Metrics for Room {
+    type View = RoomStats;
+
+    fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn metrics(&self) -> RoomStats {
+        RoomStats::from_registry(&self.obs)
     }
 }

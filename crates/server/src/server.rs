@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
 use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
+use rcmo_obs::{Gauge, Metrics, MetricsSnapshot, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -36,6 +37,9 @@ pub struct InteractionServer {
     next_room: AtomicU64,
     /// Lazily trained audio segmenter shared by all rooms.
     segmenter: OnceLock<rcmo_audio::SegmenterModel>,
+    /// Server-wide metrics registry; every room parents into it.
+    obs: Registry,
+    rooms_active: Gauge,
 }
 
 impl std::fmt::Debug for InteractionServer {
@@ -47,11 +51,15 @@ impl std::fmt::Debug for InteractionServer {
 impl InteractionServer {
     /// Creates a server over a multimedia database.
     pub fn new(db: MediaDb) -> InteractionServer {
+        let obs = Registry::new();
+        let rooms_active = obs.gauge("server.rooms.active");
         InteractionServer {
             db,
             rooms: Mutex::new(HashMap::new()),
             next_room: AtomicU64::new(1),
             segmenter: OnceLock::new(),
+            obs,
+            rooms_active,
         }
     }
 
@@ -66,9 +74,9 @@ impl InteractionServer {
         let stored = self.db.get_document(user, document_id)?;
         let doc = MultimediaDocument::from_bytes(&stored.data)?;
         let id = self.next_room.fetch_add(1, Ordering::Relaxed);
-        self.rooms
-            .lock()
-            .insert(id, Room::new(id, name, document_id, doc));
+        let mut rooms = self.rooms.lock();
+        rooms.insert(id, Room::new(id, name, document_id, doc, &self.obs));
+        self.rooms_active.set(rooms.len() as i64);
         Ok(id)
     }
 
@@ -312,6 +320,13 @@ impl InteractionServer {
         self.with_room(room, |r| Ok(r.stats()))
     }
 
+    /// Snapshot of every metric the server (and its rooms, through parent
+    /// chaining) recorded. Equivalent to
+    /// [`Metrics::metrics_snapshot`](rcmo_obs::Metrics::metrics_snapshot).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
     /// Number of events retained in a room's change buffer (bounded by its
     /// ring capacity).
     pub fn change_log_len(&self, room: RoomId) -> Result<usize> {
@@ -321,6 +336,20 @@ impl InteractionServer {
     /// Sequence number of the latest event in a room's total order.
     pub fn last_seq(&self, room: RoomId) -> Result<u64> {
         self.with_room(room, |r| Ok(r.change_log().last_seq()))
+    }
+}
+
+impl Metrics for InteractionServer {
+    /// Room propagation counters aggregated over every room of the server
+    /// (each room's registry parents into the server's).
+    type View = RoomStats;
+
+    fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn metrics(&self) -> RoomStats {
+        RoomStats::from_registry(&self.obs)
     }
 }
 

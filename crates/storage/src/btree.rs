@@ -98,6 +98,9 @@ impl BTree {
 
     /// Looks `key` up.
     pub fn get(&self, pool: &mut BufferPool, key: u64) -> Result<Option<u64>> {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("storage.btree.get.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         let leaf = self.find_leaf(pool, key)?;
         pool.with_page(leaf, |p| {
             let n = p.get_u16(OFF_NKEYS) as usize;
@@ -126,6 +129,9 @@ impl BTree {
 
     /// Inserts or replaces `key → value`.
     pub fn put(&mut self, pool: &mut BufferPool, key: u64, value: u64) -> Result<()> {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("storage.btree.put.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         let leaf = self.find_leaf(pool, key)?;
         let replaced = pool.with_page_mut(leaf, |p| {
             let n = p.get_u16(OFF_NKEYS) as usize;

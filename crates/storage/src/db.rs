@@ -515,6 +515,9 @@ impl<'db> Transaction<'db> {
     /// Commits: WAL-logs all dirty pages, syncs, forces them to the data
     /// file, truncates the WAL.
     pub fn commit(mut self) -> Result<()> {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("storage.txn.commit.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         commit_inner(&mut self.inner, self.txn_id)?;
         self.done = true;
         Ok(())

@@ -5,6 +5,7 @@ use std::io;
 
 /// Errors raised by the storage engine.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum StorageError {
     /// An underlying I/O failure.
     Io(io::Error),

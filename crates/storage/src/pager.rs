@@ -14,6 +14,7 @@
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PageKind, PAGE_SIZE};
+use rcmo_obs::{Counter, Metrics, Registry};
 use std::collections::HashMap;
 
 /// Body offset (within the meta page) of the free-list head pointer.
@@ -21,8 +22,8 @@ pub const META_FREE_HEAD: usize = 8;
 /// Body offset (within a free page) of the next-free pointer.
 const FREE_NEXT: usize = 0;
 
-/// Cache statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Cache statistics: a typed view over the pool's metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Page requests served from the pool.
     pub hits: u64,
@@ -32,6 +33,18 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Pages allocated over the pool's lifetime.
     pub allocations: u64,
+}
+
+impl PoolStats {
+    /// Reads the pool counters out of a metrics registry.
+    pub fn from_registry(obs: &Registry) -> Self {
+        PoolStats {
+            hits: obs.read_counter("storage.pool.hit.count"),
+            misses: obs.read_counter("storage.pool.miss.count"),
+            evictions: obs.read_counter("storage.pool.eviction.count"),
+            allocations: obs.read_counter("storage.pool.alloc.count"),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -51,26 +64,39 @@ pub struct BufferPool {
     tick: u64,
     /// One past the highest allocated page id (≥ disk pages).
     virtual_end: u64,
-    stats: PoolStats,
+    obs: Registry,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    allocations: Counter,
 }
 
 impl BufferPool {
     /// Wraps `disk` with a pool of `capacity` frames (minimum 8).
     pub fn new(disk: DiskManager, capacity: usize) -> Self {
         let virtual_end = disk.num_pages();
+        let obs = Registry::new();
+        let hits = obs.counter("storage.pool.hit.count");
+        let misses = obs.counter("storage.pool.miss.count");
+        let evictions = obs.counter("storage.pool.eviction.count");
+        let allocations = obs.counter("storage.pool.alloc.count");
         BufferPool {
             disk,
             capacity: capacity.max(8),
             frames: HashMap::new(),
             tick: 0,
             virtual_end,
-            stats: PoolStats::default(),
+            obs,
+            hits,
+            misses,
+            evictions,
+            allocations,
         }
     }
 
     /// Pool statistics so far.
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        self.metrics()
     }
 
     /// One past the highest allocated page id.
@@ -103,7 +129,7 @@ impl BufferPool {
         match victim {
             Some(id) => {
                 self.frames.remove(&id);
-                self.stats.evictions += 1;
+                self.evictions.inc();
                 Ok(())
             }
             None => Err(StorageError::PoolExhausted),
@@ -112,7 +138,7 @@ impl BufferPool {
 
     fn load(&mut self, id: PageId) -> Result<()> {
         if self.frames.contains_key(&id) {
-            self.stats.hits += 1;
+            self.hits.inc();
             return Ok(());
         }
         if id.0 >= self.virtual_end {
@@ -127,7 +153,7 @@ impl BufferPool {
         }
         self.evict_if_needed()?;
         let page = self.disk.read_page(id)?;
-        self.stats.misses += 1;
+        self.misses.inc();
         self.frames.insert(
             id,
             Frame {
@@ -170,7 +196,7 @@ impl BufferPool {
     /// Allocates a page: pops the free list if possible, otherwise extends
     /// the virtual end. The new page exists only in the pool until commit.
     pub fn allocate(&mut self, kind: PageKind) -> Result<PageId> {
-        self.stats.allocations += 1;
+        self.allocations.inc();
         let free_head =
             self.with_page(PageId::META, |meta| PageId(meta.get_u64(META_FREE_HEAD)))?;
         if free_head.is_some() {
@@ -245,6 +271,18 @@ impl BufferPool {
     pub fn clear_cache(&mut self) {
         self.frames.clear();
         self.virtual_end = self.disk.num_pages();
+    }
+}
+
+impl Metrics for BufferPool {
+    type View = PoolStats;
+
+    fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn metrics(&self) -> PoolStats {
+        PoolStats::from_registry(&self.obs)
     }
 }
 

@@ -113,6 +113,9 @@ impl Wal {
 
     /// Appends a page after-image for `txn`.
     pub fn log_page(&mut self, txn: u64, page: PageId, image: &[u8; PAGE_SIZE]) -> Result<()> {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("storage.wal.append.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         let mut payload = Vec::with_capacity(16 + PAGE_SIZE);
         payload.extend_from_slice(&txn.to_le_bytes());
         payload.extend_from_slice(&page.0.to_le_bytes());
@@ -127,6 +130,9 @@ impl Wal {
 
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> Result<()> {
+        static LAT: rcmo_obs::LazyHistogram =
+            rcmo_obs::LazyHistogram::new("storage.wal.sync.us", rcmo_obs::bounds::LATENCY_US);
+        let _t = LAT.start_timer();
         if let Wal::File { file } = self {
             file.sync_data()?;
         }

@@ -1,0 +1,130 @@
+//! Cross-crate observability: the `Metrics` trait, server-wide snapshots,
+//! snapshot diffing on instance registries, and the JSON export path — the
+//! integration-level complement to `rcmo-obs`'s unit tests.
+
+use rcmo::core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+use rcmo::mediadb::{AccessLevel, DocumentObject, MediaDb};
+use rcmo::netsim::buffer::BufferStats;
+use rcmo::netsim::ClientBuffer;
+use rcmo::obs::{Metrics, MetricsSnapshot, Registry};
+use rcmo::server::{Action, InteractionServer, RoomStats};
+
+fn fixture_server() -> (InteractionServer, u64) {
+    let db = MediaDb::in_memory().unwrap();
+    db.put_user("admin", "dr-a", AccessLevel::Write).unwrap();
+    db.put_user("admin", "dr-b", AccessLevel::Write).unwrap();
+    let mut doc = MultimediaDocument::new("Patient Y");
+    doc.add_primitive(
+        doc.root(),
+        "CT",
+        MediaRef::None,
+        vec![
+            PresentationForm::new("flat", FormKind::Flat, 10_000),
+            PresentationForm::hidden(),
+        ],
+    )
+    .unwrap();
+    doc.validate().unwrap();
+    let doc_id = db
+        .insert_document(
+            "dr-a",
+            &DocumentObject {
+                title: doc.title().into(),
+                data: doc.to_bytes(),
+            },
+        )
+        .unwrap();
+    (InteractionServer::new(db), doc_id)
+}
+
+/// One `server.metrics()` call sees every room: rooms parent their
+/// registries under the server's, so counters roll up without locks, and
+/// the typed `RoomStats` view agrees with the raw snapshot.
+#[test]
+fn server_snapshot_covers_room_activity() {
+    let (srv, doc_id) = fixture_server();
+    let room = srv.create_room("dr-a", "obs", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    let _b = srv.join(room, "dr-b").unwrap();
+    for i in 0..5 {
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("note {i}"),
+            },
+        )
+        .unwrap();
+    }
+
+    let snap = srv.metrics();
+    assert_eq!(snap.gauges["server.rooms.active"], 1);
+    assert!(snap.counters["server.room.delivered.count"] > 0);
+    assert!(snap.counters["server.room.delivered.bytes"] > 0);
+    let bh = &snap.histograms["server.room.broadcast.us"];
+    assert!(bh.count > 0, "broadcast latency must have samples");
+
+    // The trait's typed view reads the same cells the snapshot captured.
+    let stats: RoomStats = Metrics::metrics(&srv);
+    assert_eq!(
+        stats.events_delivered,
+        snap.counters["server.room.delivered.count"]
+    );
+    assert_eq!(
+        stats.changes_logged,
+        snap.counters["server.room.logged.count"]
+    );
+    assert_eq!(stats.delivery_failures, 0);
+}
+
+/// `ClientBuffer` implements `Metrics`: the `BufferStats` view is produced
+/// from the registry, and diffing two snapshots isolates one burst of
+/// activity even though the registry keeps accumulating.
+#[test]
+fn buffer_stats_view_and_snapshot_diff() {
+    // Detached: this test's counts must not race other tests' global rollup.
+    let mut buf = ClientBuffer::with_registry(1_000, Registry::detached());
+    let c = rcmo::core::ComponentId(1);
+    assert!(!buf.lookup((c, 0))); // miss
+    buf.insert((c, 0), 600);
+    assert!(buf.lookup((c, 0))); // hit
+    assert_eq!(
+        buf.metrics(),
+        BufferStats {
+            hits: 1,
+            misses: 1,
+            evictions: 0
+        }
+    );
+
+    let before = buf.metrics_snapshot();
+    buf.insert((c, 1), 600); // evicts (c, 0)
+    assert!(!buf.lookup((c, 0)));
+    let delta = buf.metrics_snapshot().diff(&before);
+    assert_eq!(delta.counters["netsim.buffer.eviction.count"], 1);
+    assert_eq!(delta.counters["netsim.buffer.miss.count"], 1);
+    assert_eq!(delta.counters["netsim.buffer.hit.count"], 0);
+
+    // Gauges are point-in-time, not differenced away.
+    assert_eq!(delta.gauges["netsim.buffer.used.bytes"], 600);
+}
+
+/// A live server snapshot survives the JSON round trip bit-exactly — the
+/// same path E14 uses to write `BENCH_obs.json`.
+#[test]
+fn server_snapshot_json_round_trip() {
+    let (srv, doc_id) = fixture_server();
+    let room = srv.create_room("dr-a", "json", doc_id).unwrap();
+    let _a = srv.join(room, "dr-a").unwrap();
+    srv.act(
+        room,
+        "dr-a",
+        Action::Chat {
+            text: "ping".into(),
+        },
+    )
+    .unwrap();
+    let snap = srv.metrics();
+    let json = snap.to_json();
+    assert_eq!(MetricsSnapshot::from_json(&json).unwrap(), snap);
+}
