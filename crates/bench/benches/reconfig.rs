@@ -5,7 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rcmo_bench::medical_document;
-use rcmo_core::{ComponentId, PresentationEngine, ViewerChoice, ViewerSession};
+use rcmo_core::cpnet::samples::{chain_net, tree_net};
+use rcmo_core::{
+    ComponentId, PartialAssignment, PresentationEngine, ReconfigEngine, Value, VarId, ViewerChoice,
+    ViewerSession,
+};
 use std::hint::black_box;
 
 fn bench_default_presentation(c: &mut Criterion) {
@@ -70,10 +74,45 @@ fn bench_local_operation(c: &mut Criterion) {
     });
 }
 
+/// The incremental engine against the full sweep on the E15 nets: each
+/// iteration changes one evidence slot and reconfigures, so the engine pays
+/// a dirty cone (or a memo hit once the deterministic walk cycles) where the
+/// sweep pays the whole net.
+fn bench_reconfig_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig/engine");
+    for (name, net) in [
+        ("chain30", chain_net(30, 2, 0xE15)),
+        ("tree30", tree_net(30, 2, 0xE15)),
+    ] {
+        let n = net.len() as u32;
+        let mut ev = PartialAssignment::empty(net.len());
+        group.bench_function(BenchmarkId::new("full_sweep", name), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                ev.set(VarId(i % n), Value((i % 2) as u16));
+                i += 1;
+                black_box(net.optimal_completion(&ev))
+            })
+        });
+        let mut engine = ReconfigEngine::new();
+        let mut ev = PartialAssignment::empty(net.len());
+        group.bench_function(BenchmarkId::new("incremental", name), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                ev.set(VarId(i % n), Value((i % 2) as u16));
+                i += 1;
+                black_box(engine.completion(&net, "bench", &ev))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_default_presentation,
     bench_reconfigure,
-    bench_local_operation
+    bench_local_operation,
+    bench_reconfig_engine
 );
 criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! EXPERIMENTS.md records the outputs and compares them with what the paper
 //! shows qualitatively.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rcmo::obs::{MetricsSnapshot, Registry};
 use rcmo_audio::features::FeatureConfig;
 use rcmo_audio::segment::{segment_audio, SegmenterModel};
@@ -15,10 +17,11 @@ use rcmo_audio::synth::{self, SynthConfig, VoiceProfile};
 use rcmo_audio::wordspot::{roc, WordSpotter, WordSpotterConfig};
 use rcmo_bench::{consultation_fixture, medical_document};
 use rcmo_codec::{decode_prefix, decode_resolution, encode, EncoderConfig};
-use rcmo_core::cpnet::samples::figure2_net;
+use rcmo_core::cpnet::samples::{chain_net, figure2_net, tree_net};
 use rcmo_core::cpnet::{improving_flips, outcome_rank_vector};
 use rcmo_core::{
-    ComponentId, PartialAssignment, PresentationEngine, Value, ViewerChoice, ViewerSession,
+    ComponentId, PartialAssignment, PresentationEngine, ReconfigEngine, Value, VarId, ViewerChoice,
+    ViewerSession,
 };
 use rcmo_imaging::{ct_phantom, psnr, segment_image, LineElement, TextElement};
 use rcmo_netsim::{simulate_session, FaultSpec, Link, PolicyKind, SessionConfig};
@@ -37,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 14] = [
+    let all: [(&str, fn()); 15] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -52,6 +55,7 @@ fn main() {
         ("e12", e12_ablations),
         ("e13", e13_fault_tolerance),
         ("e14", e14_observability),
+        ("e15", e15_reconfig),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -1243,4 +1247,166 @@ fn e14_observability() {
         "wrote BENCH_obs.json ({} bytes, JSON round-trip verified)",
         json.len()
     );
+}
+
+/// E15 (incremental reconfiguration): the [`ReconfigEngine`] against the
+/// full topological sweep on 30-variable chain and tree nets, under two
+/// workloads:
+///
+/// * **solo** — one viewer, one evidence change per reconfiguration; only
+///   the dirty-cone path can help.
+/// * **room** — four viewers tracking the same evidence stream, all
+///   reconfigured after every change (exactly what
+///   `Room::push_presentation_update` does per event); the first viewer
+///   computes the cone, the rest hit the evidence memo.
+///
+/// Every engine result is checked against the sweep. Writes
+/// `BENCH_reconfig.json`; the run aborts if either workload's median
+/// regresses past the full-sweep median, which is the CI gate.
+fn e15_reconfig() {
+    section(
+        "E15",
+        "incremental reconfiguration vs full sweep (30-variable nets)",
+    );
+    const STEPS: usize = 4_000;
+    const WARMUP: usize = 500;
+    const ROOM: usize = 4;
+
+    fn quantile(sorted: &[u64], q: f64) -> u64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    let nets = [
+        ("chain30", chain_net(30, 2, 0xE15)),
+        ("tree30", tree_net(30, 2, 0xE15)),
+    ];
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9}",
+        "workload", "full p50", "p95", "p99", "eng p50", "p95", "p99", "speedup", "hit-rate"
+    );
+    println!("(per-reconfiguration latencies in ns, {STEPS} steps after {WARMUP} warmup)");
+    let mut entries = Vec::new();
+    for (name, net) in &nets {
+        let mut rng = StdRng::seed_from_u64(0x2002_0515);
+        // One choice changes per step, occasionally withdrawn — the
+        // per-click workload `reconfigPresentation` faces.
+        let mut ev = PartialAssignment::empty(net.len());
+        let walk: Vec<PartialAssignment> = (0..STEPS + WARMUP)
+            .map(|_| {
+                let v = VarId(rng.gen_range(0..net.len() as u32));
+                if rng.gen_range(0..4) == 0 {
+                    ev.clear(v);
+                } else {
+                    let dom = net.variable(v).unwrap().domain().len() as u16;
+                    ev.set(v, Value(rng.gen_range(0..dom)));
+                }
+                ev.clone()
+            })
+            .collect();
+
+        // Baseline: recompute the optimal completion from scratch each step
+        // (per-call cost is viewer-independent, so this is also the room
+        // baseline); keep the outcomes to check the engine step by step.
+        let mut full_ns = Vec::with_capacity(STEPS);
+        let mut full_outcomes = Vec::with_capacity(walk.len());
+        for (i, e) in walk.iter().enumerate() {
+            let t = Instant::now();
+            let out = net.optimal_completion(e);
+            if i >= WARMUP {
+                full_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            full_outcomes.push(out);
+        }
+        full_ns.sort_unstable();
+        let (f50, f95, f99) = (
+            quantile(&full_ns, 0.50),
+            quantile(&full_ns, 0.95),
+            quantile(&full_ns, 0.99),
+        );
+
+        // Solo: the same evidence sequence through one engine, one viewer.
+        let mut solo = ReconfigEngine::new();
+        let mut solo_ns = Vec::with_capacity(STEPS);
+        for (i, e) in walk.iter().enumerate() {
+            let t = Instant::now();
+            let out = solo.completion(net, "solo", e);
+            if i >= WARMUP {
+                solo_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            assert_eq!(out, full_outcomes[i], "{name} solo: diverged at step {i}");
+        }
+
+        // Room: every member's presentation is reconfigured after every
+        // change, as `Room::push_presentation_update` does per event.
+        let members: Vec<String> = (0..ROOM).map(|m| format!("member-{m}")).collect();
+        let mut room = ReconfigEngine::new();
+        let mut room_ns = Vec::with_capacity(STEPS * ROOM);
+        for (i, e) in walk.iter().enumerate() {
+            for member in &members {
+                let t = Instant::now();
+                let out = room.completion(net, member, e);
+                if i >= WARMUP {
+                    room_ns.push(t.elapsed().as_nanos() as u64);
+                }
+                assert_eq!(out, full_outcomes[i], "{name} room: diverged at step {i}");
+            }
+        }
+
+        for (kind, ns, stats) in [
+            ("solo", solo_ns, solo.stats()),
+            ("room-of-4", room_ns, room.stats()),
+        ] {
+            let mut ns = ns;
+            ns.sort_unstable();
+            let (e50, e95, e99) = (
+                quantile(&ns, 0.50),
+                quantile(&ns, 0.95),
+                quantile(&ns, 0.99),
+            );
+            let speedup = f50 as f64 / e50.max(1) as f64;
+            println!(
+                "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7.1}x {:>8.1}%",
+                format!("{name}/{kind}"),
+                f50,
+                f95,
+                f99,
+                e50,
+                e95,
+                e99,
+                speedup,
+                stats.hit_rate() * 100.0
+            );
+            assert!(
+                speedup >= 1.0,
+                "{name} {kind}: engine p50 {e50}ns slower than full sweep p50 {f50}ns"
+            );
+            entries.push(format!(
+                concat!(
+                    "    {{\"net\": \"{}\", \"workload\": \"{}\", \"steps\": {}, ",
+                    "\"full_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
+                    "\"engine_ns\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, ",
+                    "\"speedup_p50\": {:.2}, \"memo_hit_rate\": {:.4}, ",
+                    "\"incremental_recomputes\": {}, \"full_sweeps\": {}}}"
+                ),
+                name,
+                kind,
+                STEPS,
+                f50,
+                f95,
+                f99,
+                e50,
+                e95,
+                e99,
+                speedup,
+                stats.hit_rate(),
+                stats.incremental,
+                stats.full_sweeps
+            ));
+        }
+    }
+    println!("(room-of-4 is the deployment shape: one cone recompute per event,");
+    println!(" the other members served from the evidence memo)");
+    let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
+    std::fs::write("BENCH_reconfig.json", &json).expect("write BENCH_reconfig.json");
+    println!("wrote BENCH_reconfig.json ({} bytes)", json.len());
 }

@@ -178,7 +178,14 @@ pub fn decode_net(bytes: &[u8]) -> Result<CpNet> {
             bytes.len() - r.pos
         )));
     }
-    let net = CpNet { vars, tables };
+    // The wire format carries no cache identity: a decoded net is a fresh
+    // instance (fresh uid, revision 0).
+    let net = CpNet {
+        vars,
+        tables,
+        uid: super::next_net_uid(),
+        revision: 0,
+    };
     // Acyclicity is not guaranteed by the wire format; re-check.
     let n = net.len();
     let mut indeg: Vec<usize> = net.tables.iter().map(|t| t.parents.len()).collect();

@@ -172,37 +172,41 @@ impl Extension {
         order: &[Value],
     ) -> Result<()> {
         let vi = self.ext_idx(v)?;
-        let parents = self.tables[vi].parents.clone();
-        if assignment.len() != parents.len() {
-            return Err(CoreError::BadParentAssignment(format!(
-                "extension variable '{}' has {} parents but assignment covers {}",
-                self.vars[vi].name,
-                parents.len(),
-                assignment.len()
-            )));
-        }
-        let mut parent_values = vec![None; parents.len()];
-        for &(p, val) in assignment {
-            match parents.iter().position(|&q| q == p) {
-                Some(slot) => {
-                    if parent_values[slot].replace(val).is_some() {
+        // Borrow the parent list for validation; mutate only once the row
+        // index and ranking are known (no copy of the parent set).
+        let (row, ranking) = {
+            let parents = &self.tables[vi].parents;
+            if assignment.len() != parents.len() {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "extension variable '{}' has {} parents but assignment covers {}",
+                    self.vars[vi].name,
+                    parents.len(),
+                    assignment.len()
+                )));
+            }
+            let mut parent_values = vec![None; parents.len()];
+            for &(p, val) in assignment {
+                match parents.iter().position(|&q| q == p) {
+                    Some(slot) => {
+                        if parent_values[slot].replace(val).is_some() {
+                            return Err(CoreError::BadParentAssignment(format!(
+                                "parent {p} assigned twice"
+                            )));
+                        }
+                    }
+                    None => {
                         return Err(CoreError::BadParentAssignment(format!(
-                            "parent {p} assigned twice"
-                        )));
+                            "{p} is not a parent of extension variable '{}'",
+                            self.vars[vi].name
+                        )))
                     }
                 }
-                None => {
-                    return Err(CoreError::BadParentAssignment(format!(
-                        "{p} is not a parent of extension variable '{}'",
-                        self.vars[vi].name
-                    )))
-                }
             }
-        }
-        let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
-        let dom = self.vars[vi].domain.len();
-        let ranking = Ranking::new(order.to_vec(), dom)?;
-        let row = self.tables[vi].row_index(&parent_values);
+            let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
+            let dom = self.vars[vi].domain.len();
+            let ranking = Ranking::new(order.to_vec(), dom)?;
+            (self.tables[vi].row_index(&parent_values), ranking)
+        };
         self.tables[vi].rows[row] = ranking;
         self.tables[vi].explicit[row] = true;
         Ok(())

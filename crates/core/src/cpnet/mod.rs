@@ -18,6 +18,7 @@
 mod encode;
 mod extend;
 mod reason;
+mod reconfig;
 pub mod samples;
 
 pub use encode::{decode_net, encode_net};
@@ -26,6 +27,7 @@ pub use reason::{
     dominates, improving_flips, optimal_completion, outcome_rank_vector, FlipSearchOutcome,
     OutcomeIter,
 };
+pub use reconfig::{ReconfigEngine, ReconfigStats};
 
 use crate::error::{CoreError, Result};
 use std::collections::HashSet;
@@ -199,6 +201,13 @@ impl PartialAssignment {
     /// `true` if `outcome` agrees with every constraint.
     pub fn consistent_with(&self, outcome: &[Value]) -> bool {
         self.iter().all(|(v, val)| outcome[v.idx()] == val)
+    }
+
+    /// The raw slot vector (index = variable id, `None` = unconstrained).
+    /// Used by the reconfiguration engine for cheap change detection and
+    /// memo keying.
+    pub fn as_slice(&self) -> &[Option<Value>] {
+        &self.values
     }
 }
 
@@ -392,16 +401,64 @@ impl Variable {
 /// let best = net.optimal_outcome();
 /// assert_eq!(best, vec![Value(0), Value(1), Value(1), Value(1), Value(1)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct CpNet {
     vars: Vec<Variable>,
     tables: Vec<CpTable>,
+    /// Process-unique identity of this network instance (clones get a fresh
+    /// one), paired with `revision` to key caches of derived state.
+    uid: u64,
+    /// Bumped on every mutation; caches keyed by `(uid, revision)` are
+    /// invalidated by any structural or preference edit.
+    revision: u64,
+}
+
+fn next_net_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for CpNet {
+    fn default() -> Self {
+        CpNet {
+            vars: Vec::new(),
+            tables: Vec::new(),
+            uid: next_net_uid(),
+            revision: 0,
+        }
+    }
+}
+
+impl Clone for CpNet {
+    fn clone(&self) -> Self {
+        // A clone can diverge from the original, so it must not share the
+        // cache identity: two nets at the same (uid, revision) would look
+        // interchangeable to the reconfiguration engine.
+        CpNet {
+            vars: self.vars.clone(),
+            tables: self.tables.clone(),
+            uid: next_net_uid(),
+            revision: self.revision,
+        }
+    }
 }
 
 impl CpNet {
     /// Creates an empty network.
     pub fn new() -> Self {
         CpNet::default()
+    }
+
+    /// Process-unique identity of this network instance.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Mutation counter: bumped by every edit (variables, parents,
+    /// preferences). `(uid(), revision())` keys any cache of derived state.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Number of variables.
@@ -438,6 +495,7 @@ impl CpNet {
             domain: domain.iter().map(|s| s.to_string()).collect(),
         });
         self.tables.push(CpTable::unconditional(domain.len()));
+        self.revision += 1;
         Ok(id)
     }
 
@@ -544,6 +602,7 @@ impl CpNet {
             rows: vec![Ranking::identity(dom); rows],
             explicit: vec![false; rows],
         };
+        self.revision += 1;
         Ok(())
     }
 
@@ -575,40 +634,46 @@ impl CpNet {
         order: &[Value],
     ) -> Result<()> {
         self.check_var(v)?;
-        let parents = self.tables[v.idx()].parents.clone();
-        if assignment.len() != parents.len() {
-            return Err(CoreError::BadParentAssignment(format!(
-                "variable '{}' has {} parents but assignment covers {}",
-                self.vars[v.idx()].name,
-                parents.len(),
-                assignment.len()
-            )));
-        }
-        let mut parent_values = vec![None; parents.len()];
-        for &(p, val) in assignment {
-            self.check_value(p, val)?;
-            match parents.iter().position(|&q| q == p) {
-                Some(slot) => {
-                    if parent_values[slot].replace(val).is_some() {
+        // Validation only needs a shared borrow of the parent list; the row
+        // index and ranking are computed before the table is touched, so no
+        // copy of the parent set is ever made.
+        let (row, ranking) = {
+            let parents = &self.tables[v.idx()].parents;
+            if assignment.len() != parents.len() {
+                return Err(CoreError::BadParentAssignment(format!(
+                    "variable '{}' has {} parents but assignment covers {}",
+                    self.vars[v.idx()].name,
+                    parents.len(),
+                    assignment.len()
+                )));
+            }
+            let mut parent_values = vec![None; parents.len()];
+            for &(p, val) in assignment {
+                self.check_value(p, val)?;
+                match parents.iter().position(|&q| q == p) {
+                    Some(slot) => {
+                        if parent_values[slot].replace(val).is_some() {
+                            return Err(CoreError::BadParentAssignment(format!(
+                                "parent {p} assigned twice"
+                            )));
+                        }
+                    }
+                    None => {
                         return Err(CoreError::BadParentAssignment(format!(
-                            "parent {p} assigned twice"
-                        )));
+                            "{p} is not a parent of '{}'",
+                            self.vars[v.idx()].name
+                        )))
                     }
                 }
-                None => {
-                    return Err(CoreError::BadParentAssignment(format!(
-                        "{p} is not a parent of '{}'",
-                        self.vars[v.idx()].name
-                    )))
-                }
             }
-        }
-        let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
-        let dom = self.vars[v.idx()].domain.len();
-        let ranking = Ranking::new(order.to_vec(), dom)?;
-        let row = self.tables[v.idx()].row_index(&parent_values);
+            let parent_values: Vec<Value> = parent_values.into_iter().map(|o| o.unwrap()).collect();
+            let dom = self.vars[v.idx()].domain.len();
+            let ranking = Ranking::new(order.to_vec(), dom)?;
+            (self.tables[v.idx()].row_index(&parent_values), ranking)
+        };
         self.tables[v.idx()].rows[row] = ranking;
         self.tables[v.idx()].explicit[row] = true;
+        self.revision += 1;
         Ok(())
     }
 
@@ -625,6 +690,7 @@ impl CpNet {
         let ranking = Ranking::new(order.to_vec(), dom)?;
         self.tables[v.idx()].rows[0] = ranking;
         self.tables[v.idx()].explicit[0] = true;
+        self.revision += 1;
         Ok(())
     }
 
@@ -723,8 +789,13 @@ impl CpNet {
 
     /// Enumerates outcomes from most to least preferred (a linear extension
     /// of the CP-net partial order), optionally restricted by evidence.
-    pub fn outcomes_by_preference(&self, evidence: &PartialAssignment) -> OutcomeIter<'_, Self> {
-        OutcomeIter::new(self, evidence.clone())
+    ///
+    /// The iterator borrows `evidence` for its lifetime (no copy is made).
+    pub fn outcomes_by_preference<'a>(
+        &'a self,
+        evidence: &'a PartialAssignment,
+    ) -> OutcomeIter<'a, Self> {
+        OutcomeIter::new(self, evidence)
     }
 
     /// Removes variable `v`, fixing its value to `fix` in every child's CPT.
@@ -741,10 +812,15 @@ impl CpNet {
                 continue;
             }
             if let Some(slot) = self.tables[i].parents.iter().position(|&p| p == v) {
-                let old = &self.tables[i];
-                let mut new_parents = old.parents.clone();
+                // Take the old table so its rankings can be *moved* into the
+                // rebuilt table (each surviving row is referenced exactly
+                // once: the kept rows are those where parent `slot` = `fix`).
+                let old = std::mem::replace(&mut self.tables[i], CpTable::unconditional(1));
+                let mut old_rows: Vec<Option<Ranking>> = old.rows.into_iter().map(Some).collect();
+                let old_domains = old.parent_domains;
+                let mut new_parents = old.parents;
                 new_parents.remove(slot);
-                let mut new_domains = old.parent_domains.clone();
+                let mut new_domains = old_domains.clone();
                 new_domains.remove(slot);
                 let new_rows: usize = new_domains.iter().product::<usize>().max(1);
                 let mut rows = Vec::with_capacity(new_rows);
@@ -752,7 +828,7 @@ impl CpNet {
                 for r in 0..new_rows {
                     // Decode r under new_domains, splice `fix` back at `slot`,
                     // re-encode under old domains.
-                    let mut vals = Vec::with_capacity(old.parents.len());
+                    let mut vals = Vec::with_capacity(new_domains.len() + 1);
                     let mut rr = r;
                     let mut digits = vec![Value(0); new_domains.len()];
                     for (d, &dom) in digits.iter_mut().zip(&new_domains).rev() {
@@ -762,8 +838,11 @@ impl CpNet {
                     vals.extend_from_slice(&digits[..slot]);
                     vals.push(fix);
                     vals.extend_from_slice(&digits[slot..]);
-                    let old_idx = old.row_index(&vals);
-                    rows.push(old.rows[old_idx].clone());
+                    let mut old_idx = 0usize;
+                    for (val, &dom) in vals.iter().zip(&old_domains) {
+                        old_idx = old_idx * dom + val.idx();
+                    }
+                    rows.push(old_rows[old_idx].take().expect("row referenced once"));
                     explicit.push(old.explicit[old_idx]);
                 }
                 self.tables[i] = CpTable {
@@ -784,6 +863,7 @@ impl CpNet {
                 }
             }
         }
+        self.revision += 1;
         Ok(())
     }
 

@@ -1,0 +1,479 @@
+//! Incremental reconfiguration of optimal completions.
+//!
+//! The paper's online loop recomputes the optimal completion of the viewer's
+//! evidence on every interaction — a full topological sweep per click, per
+//! room member. CP-net semantics make most of that work redundant: under a
+//! ceteris paribus reading, a variable's swept value depends only on its own
+//! evidence and its parents' values, so when evidence changes at a set `D`
+//! of variables, only `D` and its descendants (the *dirty cone*) can change
+//! value (Boutilier et al., JAIR 2004). [`ReconfigEngine`] exploits this:
+//!
+//! * the topological order and child adjacency of the net are computed once
+//!   per `(uid, revision)` and reused across queries;
+//! * per viewer, the previous `(evidence, outcome)` pair is cached, and an
+//!   evidence change recomputes only the dirty cone over the cached outcome;
+//! * identical evidence (from any viewer) is answered from a bounded
+//!   evidence-keyed memo, counted by `core.reconfig.memo.{hit,miss}.count`;
+//! * any mutation of the net bumps its revision (see [`CpNet::revision`]),
+//!   which drops every cache and falls back to a full sweep.
+
+use super::{CpNet, Outcome, PartialAssignment, PreferenceNet, Value, VarId};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Maximum number of distinct evidence keys retained in the memo. Evidence
+/// in a room clusters heavily (members converge on the same choices), so a
+/// small bound captures nearly all reuse while capping memory.
+const MEMO_CAPACITY: usize = 256;
+
+/// Associativity of the memo: each evidence key maps to one set of
+/// `MEMO_WAYS` slots and evicts the least recently touched slot of that set.
+/// A hash map with global LRU was measured to cost more per miss (two full
+/// key hashes, an eviction scan, and an allocation) than the sweep the memo
+/// avoids on paper-sized nets; the set-associative layout does one
+/// fingerprint, two slot compares, and reuses the victim's buffers.
+const MEMO_WAYS: usize = 2;
+const MEMO_SETS: usize = MEMO_CAPACITY / MEMO_WAYS;
+
+/// FNV-1a, fixed-key. Viewer names are short strings hashed on the hot
+/// path; SipHash's setup cost would rival the sweep being avoided. The
+/// integer-write overrides fold each fixed-width write into a single
+/// xor-multiply round instead of one per byte.
+struct Fnv(u64);
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// 64-bit FNV-1a over the evidence slots, one round per slot (`None` and
+/// `Some(v)` map to distinct non-overlapping lanes).
+fn fingerprint(key: &[Option<Value>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in key {
+        let lane = match s {
+            Some(val) => val.0 as u64 + 1,
+            None => 0,
+        };
+        h = (h ^ lane).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(FNV_PRIME);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
+
+/// The evidence slots, used both as memo key and for change detection.
+type EvidenceKey = Vec<Option<Value>>;
+
+#[derive(Debug, Clone)]
+struct MemoSlot {
+    key: EvidenceKey,
+    outcome: Outcome,
+    /// Logical timestamp of the last hit or insert (set-local LRU eviction).
+    touched: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ViewerState {
+    evidence: EvidenceKey,
+    outcome: Outcome,
+}
+
+/// Counters of the engine's cache behaviour, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconfigStats {
+    /// Queries answered from the evidence memo.
+    pub memo_hits: u64,
+    /// Queries that had to compute (incrementally or fully).
+    pub memo_misses: u64,
+    /// Computations that ran the dirty-cone incremental path.
+    pub incremental: u64,
+    /// Computations that ran a full topological sweep.
+    pub full_sweeps: u64,
+    /// Cache generations dropped because the net's revision moved.
+    pub invalidations: u64,
+}
+
+impl ReconfigStats {
+    /// Hit rate of the evidence memo in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Incremental optimal-completion engine over one [`CpNet`] at a time.
+///
+/// The engine follows whatever net it is queried with: when the net's
+/// identity or revision differs from the cached one (a structural or
+/// preference edit, or a different document), every cache is dropped and the
+/// topology is rebuilt. Queries for evidence already seen are answered from
+/// the memo; queries from a viewer with cached state recompute only the
+/// dirty cone; everything else runs the classic full sweep.
+#[derive(Debug, Default)]
+pub struct ReconfigEngine {
+    /// `(uid, revision)` the cached topology and outcomes belong to.
+    key: Option<(u64, u64)>,
+    /// Topological order (parents before children).
+    topo: Vec<VarId>,
+    /// Child adjacency: `children[v]` = variables with `v` as parent.
+    children: Vec<Vec<VarId>>,
+    /// Last `(evidence, outcome)` per viewer.
+    viewers: FnvMap<String, ViewerState>,
+    /// Evidence-keyed outcome memo: [`MEMO_SETS`] sets of [`MEMO_WAYS`]
+    /// slots, set-major (`memo[set * MEMO_WAYS + way]`), empty until the
+    /// first insert.
+    memo: Vec<Option<MemoSlot>>,
+    /// Logical clock for memo recency.
+    tick: u64,
+    stats: ReconfigStats,
+    /// Reusable buffers — `completion` is the per-click hot path and must
+    /// not allocate for lookups, change detection, or cone traversal.
+    scratch_key: EvidenceKey,
+    scratch_dirty: Vec<bool>,
+    scratch_pvals: Vec<Value>,
+}
+
+impl ReconfigEngine {
+    /// Creates an engine with empty caches.
+    pub fn new() -> Self {
+        ReconfigEngine::default()
+    }
+
+    /// Cache behaviour counters since construction.
+    pub fn stats(&self) -> ReconfigStats {
+        self.stats
+    }
+
+    /// The best outcome consistent with `evidence`, equal to
+    /// [`CpNet::optimal_completion`] but served incrementally where the
+    /// caches allow. `viewer` keys the per-viewer previous outcome.
+    pub fn completion(
+        &mut self,
+        net: &CpNet,
+        viewer: &str,
+        evidence: &PartialAssignment,
+    ) -> Outcome {
+        static MEMO_HITS: rcmo_obs::LazyCounter =
+            rcmo_obs::LazyCounter::new("core.reconfig.memo.hit.count");
+        static MEMO_MISSES: rcmo_obs::LazyCounter =
+            rcmo_obs::LazyCounter::new("core.reconfig.memo.miss.count");
+
+        self.sync_topology(net);
+        self.tick += 1;
+
+        self.scratch_key.clear();
+        self.scratch_key.extend_from_slice(evidence.as_slice());
+        self.scratch_key.resize(net.len(), None);
+
+        let fp = fingerprint(&self.scratch_key);
+        let base = (fp as usize % MEMO_SETS) * MEMO_WAYS;
+        for way in base..base + MEMO_WAYS {
+            if let Some(Some(slot)) = self.memo.get_mut(way) {
+                if slot.key == self.scratch_key {
+                    slot.touched = self.tick;
+                    self.stats.memo_hits += 1;
+                    MEMO_HITS.inc();
+                    let outcome = slot.outcome.clone();
+                    Self::remember(&mut self.viewers, viewer, &self.scratch_key, &outcome);
+                    return outcome;
+                }
+            }
+        }
+        self.stats.memo_misses += 1;
+        MEMO_MISSES.inc();
+
+        let has_prev = self
+            .viewers
+            .get(viewer)
+            .is_some_and(|p| p.outcome.len() == net.len());
+        let outcome = if has_prev {
+            static INC_LAT: rcmo_obs::LazyHistogram = rcmo_obs::LazyHistogram::new(
+                "core.reconfig.incremental.us",
+                rcmo_obs::bounds::LATENCY_US,
+            );
+            let _t = INC_LAT.start_timer();
+            self.stats.incremental += 1;
+            // The cone is recomputed directly on the viewer's cached outcome
+            // — off-cone slots never move, so nothing is copied besides the
+            // final owned return value.
+            let Self {
+                viewers,
+                topo,
+                children,
+                scratch_key,
+                scratch_dirty,
+                scratch_pvals,
+                ..
+            } = self;
+            let state = viewers.get_mut(viewer).expect("checked above");
+            Self::incremental(
+                net,
+                topo,
+                children,
+                &state.evidence,
+                &mut state.outcome,
+                scratch_key,
+                scratch_dirty,
+                scratch_pvals,
+            );
+            state.evidence.clear();
+            state.evidence.extend_from_slice(scratch_key);
+            state.outcome.clone()
+        } else {
+            static FULL_LAT: rcmo_obs::LazyHistogram =
+                rcmo_obs::LazyHistogram::new("core.reconfig.full.us", rcmo_obs::bounds::LATENCY_US);
+            let _t = FULL_LAT.start_timer();
+            self.stats.full_sweeps += 1;
+            let outcome = net.optimal_completion(evidence);
+            Self::remember(&mut self.viewers, viewer, &self.scratch_key, &outcome);
+            outcome
+        };
+        self.memoize(base, &outcome);
+        outcome
+    }
+
+    /// Rebuilds the topology and drops every cache when the net the engine
+    /// is queried with is not the one the caches were built for.
+    fn sync_topology(&mut self, net: &CpNet) {
+        let key = (net.uid(), net.revision());
+        if self.key == Some(key) {
+            return;
+        }
+        if self.key.is_some() {
+            self.stats.invalidations += 1;
+        }
+        self.key = Some(key);
+        self.topo = net.topo_order();
+        let n = net.len();
+        let mut children: Vec<Vec<VarId>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let v = VarId(i as u32);
+            for &p in net.parents(v) {
+                children[p.idx()].push(v);
+            }
+        }
+        self.children = children;
+        self.viewers.clear();
+        self.memo.clear();
+    }
+
+    /// Dirty-cone recomputation, in place over the viewer's cached
+    /// `outcome`: seed the dirty set with the variables whose evidence slot
+    /// changed, then walk the precomputed topological order recomputing
+    /// dirty variables only, marking children dirty whenever a value
+    /// actually changes. Variables outside the cone keep their cached
+    /// values, which the sweep would have reproduced (a swept value depends
+    /// only on own evidence and parent values, both unchanged off-cone).
+    #[allow(clippy::too_many_arguments)]
+    fn incremental(
+        net: &CpNet,
+        topo: &[VarId],
+        children: &[Vec<VarId>],
+        old_evidence: &[Option<Value>],
+        outcome: &mut Outcome,
+        evidence: &[Option<Value>],
+        dirty: &mut Vec<bool>,
+        pvals: &mut Vec<Value>,
+    ) {
+        let n = net.len();
+        dirty.clear();
+        dirty.resize(n, false);
+        for i in 0..n {
+            if old_evidence.get(i).copied().flatten() != evidence[i] {
+                dirty[i] = true;
+            }
+        }
+        for &v in topo {
+            if !dirty[v.idx()] {
+                continue;
+            }
+            let new_val = match evidence[v.idx()] {
+                Some(val) => val,
+                None => {
+                    pvals.clear();
+                    pvals.extend(net.parents(v).iter().map(|p| outcome[p.idx()]));
+                    net.ranking(v, pvals).best()
+                }
+            };
+            if new_val != outcome[v.idx()] {
+                outcome[v.idx()] = new_val;
+                for &c in &children[v.idx()] {
+                    dirty[c.idx()] = true;
+                }
+            }
+        }
+    }
+
+    /// Updates the viewer's cached `(evidence, outcome)` pair, reusing the
+    /// existing buffers for returning viewers.
+    fn remember(
+        viewers: &mut FnvMap<String, ViewerState>,
+        viewer: &str,
+        evidence: &[Option<Value>],
+        outcome: &Outcome,
+    ) {
+        match viewers.get_mut(viewer) {
+            Some(state) => {
+                state.evidence.clear();
+                state.evidence.extend_from_slice(evidence);
+                state.outcome.clone_from(outcome);
+            }
+            None => {
+                viewers.insert(
+                    viewer.to_string(),
+                    ViewerState {
+                        evidence: evidence.to_vec(),
+                        outcome: outcome.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Inserts `(scratch_key, outcome)` into the memo set starting at
+    /// `base`, filling an empty way or evicting the set's least recently
+    /// touched slot. Occupied victims keep their buffers (`clone_from`), so
+    /// a steady-state insert does not allocate.
+    fn memoize(&mut self, base: usize, outcome: &Outcome) {
+        if self.memo.is_empty() {
+            self.memo.resize_with(MEMO_CAPACITY, || None);
+        }
+        let victim = (base..base + MEMO_WAYS)
+            .min_by_key(|&w| self.memo[w].as_ref().map_or(0, |s| s.touched))
+            .expect("set is non-empty");
+        match &mut self.memo[victim] {
+            Some(slot) => {
+                slot.key.clone_from(&self.scratch_key);
+                slot.outcome.clone_from(outcome);
+                slot.touched = self.tick;
+            }
+            empty => {
+                *empty = Some(MemoSlot {
+                    key: self.scratch_key.clone(),
+                    outcome: outcome.clone(),
+                    touched: self.tick,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpnet::samples::{chain_net, figure2_net};
+
+    #[test]
+    fn matches_full_sweep_on_figure2() {
+        let (net, vars) = figure2_net();
+        let mut engine = ReconfigEngine::new();
+        let mut ev = PartialAssignment::empty(net.len());
+        assert_eq!(
+            engine.completion(&net, "a", &ev),
+            net.optimal_completion(&ev)
+        );
+        ev.set(vars[0], Value(1));
+        assert_eq!(
+            engine.completion(&net, "a", &ev),
+            net.optimal_completion(&ev)
+        );
+        ev.set(vars[2], Value(0));
+        assert_eq!(
+            engine.completion(&net, "a", &ev),
+            net.optimal_completion(&ev)
+        );
+        ev.clear(vars[0]);
+        assert_eq!(
+            engine.completion(&net, "a", &ev),
+            net.optimal_completion(&ev)
+        );
+        let s = engine.stats();
+        assert_eq!(s.full_sweeps, 1, "only the first query sweeps fully");
+        assert_eq!(s.incremental, 3);
+    }
+
+    #[test]
+    fn memo_serves_repeated_evidence() {
+        let net = chain_net(12, 2, 7);
+        let mut engine = ReconfigEngine::new();
+        let mut ev = PartialAssignment::empty(net.len());
+        ev.set(VarId(3), Value(1));
+        let first = engine.completion(&net, "a", &ev);
+        let second = engine.completion(&net, "b", &ev);
+        assert_eq!(first, second);
+        let s = engine.stats();
+        assert_eq!(s.memo_hits, 1);
+        assert_eq!(s.memo_misses, 1);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn revision_bump_invalidates() {
+        let mut net = chain_net(8, 2, 9);
+        let mut engine = ReconfigEngine::new();
+        let ev = PartialAssignment::empty(net.len());
+        let before = engine.completion(&net, "a", &ev);
+        // Flip the root's unconditional preference: the cached outcome is
+        // stale for the whole chain.
+        let flipped = vec![Value(1 - before[0].0), Value(before[0].0)];
+        net.set_unconditional(VarId(0), &flipped).unwrap();
+        let after = engine.completion(&net, "a", &ev);
+        assert_eq!(after, net.optimal_completion(&ev));
+        assert_ne!(before[0], after[0]);
+        assert_eq!(engine.stats().invalidations, 1);
+        assert_eq!(engine.stats().full_sweeps, 2, "no stale incremental path");
+    }
+
+    #[test]
+    fn clones_do_not_share_cache_identity() {
+        let net = chain_net(6, 2, 11);
+        let clone = net.clone();
+        assert_ne!(net.uid(), clone.uid());
+        let mut engine = ReconfigEngine::new();
+        let ev = PartialAssignment::empty(net.len());
+        engine.completion(&net, "a", &ev);
+        // Querying the clone must not reuse the original's caches.
+        engine.completion(&clone, "a", &ev);
+        assert_eq!(engine.stats().invalidations, 1);
+    }
+}

@@ -406,3 +406,93 @@ fn table_row_assignment_roundtrip() {
         assert!(t.row_is_explicit(row));
     }
 }
+
+/// The tentpole equivalence property: the incremental reconfiguration
+/// engine must produce exactly the outcome of a full `optimal_completion`
+/// sweep, across randomized acyclic nets, random evidence walks from
+/// several interleaved viewers, and structural edits that bump the net's
+/// revision mid-walk (the cache-invalidation path).
+#[test]
+fn reconfig_engine_equals_full_sweep_under_random_walks() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    for seed in 0..8u64 {
+        let spec = RandomNetSpec {
+            vars: 14,
+            max_domain: 3,
+            max_parents: 3,
+            seed,
+        };
+        let mut net = random_net(&spec);
+        let mut engine = ReconfigEngine::new();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5);
+        let viewers = ["ada", "lin", "mei"];
+        let mut evidence: Vec<PartialAssignment> = viewers
+            .iter()
+            .map(|_| PartialAssignment::empty(net.len()))
+            .collect();
+        for step in 0..240 {
+            // Random evidence mutation for a random viewer: set or clear
+            // one variable.
+            let who = rng.gen_range(0..viewers.len());
+            let v = VarId(rng.gen_range(0..net.len()) as u32);
+            if rng.gen_range(0..4) == 0 {
+                evidence[who].clear(v);
+            } else {
+                let val = rng.gen_range(0..net.domain_size(v)) as u16;
+                evidence[who].set(v, Value(val));
+            }
+            let incremental = engine.completion(&net, viewers[who], &evidence[who]);
+            let full = net.optimal_completion(&evidence[who]);
+            assert_eq!(
+                incremental, full,
+                "seed {seed} step {step}: incremental diverged from full sweep"
+            );
+            // Interleave structural / preference edits that must invalidate
+            // every cache the engine holds.
+            match step % 60 {
+                19 => {
+                    // Re-author a random unconditional root's preference.
+                    let roots: Vec<VarId> = (0..net.len() as u32)
+                        .map(VarId)
+                        .filter(|&v| net.parents(v).is_empty())
+                        .collect();
+                    let r = roots[rng.gen_range(0..roots.len())];
+                    let mut order: Vec<Value> = (0..net.domain_size(r) as u16).map(Value).collect();
+                    order.reverse();
+                    net.set_unconditional(r, &order).unwrap();
+                }
+                39 => {
+                    // Grow the net with a derived operation variable.
+                    let v = VarId(rng.gen_range(0..net.len()) as u32);
+                    let name = format!("op{step}_{seed}");
+                    net.add_derived_variable(v, Value(0), &name, "applied", "plain")
+                        .unwrap();
+                    for ev in &mut evidence {
+                        *ev = PartialAssignment::empty(net.len());
+                    }
+                }
+                59 => {
+                    // Shrink it again: remove the newest variable (no one
+                    // conditions on it), fixing it to value 0.
+                    let last = VarId((net.len() - 1) as u32);
+                    net.remove_variable(last, Value(0)).unwrap();
+                    for ev in &mut evidence {
+                        *ev = PartialAssignment::empty(net.len());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.incremental > 0,
+            "seed {seed}: the incremental path never ran"
+        );
+        assert!(
+            stats.invalidations > 0,
+            "seed {seed}: structural edits never invalidated the cache"
+        );
+    }
+}

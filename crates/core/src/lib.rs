@@ -40,7 +40,8 @@ pub mod prefetch;
 pub mod presentation;
 
 pub use cpnet::{
-    CpNet, ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Ranking, Value, VarId,
+    CpNet, ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Ranking,
+    ReconfigEngine, ReconfigStats, Value, VarId,
 };
 pub use document::{
     ComponentId, ComponentKind, FormKind, MediaRef, MultimediaDocument, PresentationForm,

@@ -20,10 +20,12 @@
 //! shared document.
 
 use crate::cpnet::{
-    ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, Value, VarId,
+    ExtendedNet, Extension, Outcome, PartialAssignment, PreferenceNet, ReconfigEngine,
+    ReconfigStats, Value, VarId,
 };
 use crate::document::{ComponentId, ComponentKind, DerivedVar, FormKind, MultimediaDocument};
 use crate::error::{CoreError, Result};
+use std::sync::Mutex;
 
 /// One explicit viewer decision: "present component `component` in form
 /// `form`" (one of the paper's `eventList` entries).
@@ -330,14 +332,56 @@ pub struct PresentationDelta {
     pub now_visible: bool,
 }
 
-/// Stateless presentation computation over documents and sessions.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PresentationEngine;
+/// Presentation computation over documents and sessions.
+///
+/// The engine owns a [`ReconfigEngine`] behind a mutex, so repeated queries
+/// for the same document are answered incrementally (dirty-cone recompute
+/// over the viewer's previous outcome) or straight from the evidence memo;
+/// see [`ReconfigEngine`]. The cache is
+/// internal: all methods still take `&self`, and results are identical to
+/// the stateless full sweep. Cloning an engine yields one with cold caches.
+#[derive(Debug, Default)]
+pub struct PresentationEngine {
+    reconfig: Mutex<ReconfigEngine>,
+}
+
+impl Clone for PresentationEngine {
+    fn clone(&self) -> Self {
+        PresentationEngine::new()
+    }
+}
+
+/// Cache key for the room-wide joint view. A NUL byte cannot appear in a
+/// member name coming off the wire, so this never collides with a viewer.
+const JOINT_VIEWER: &str = "\u{0}joint";
+
+/// Cache key for the evidence-free default presentation.
+const DEFAULT_VIEWER: &str = "\u{0}default";
 
 impl PresentationEngine {
-    /// Creates the engine (kept as a type for future tuning knobs).
+    /// Creates the engine with empty caches.
     pub fn new() -> Self {
-        PresentationEngine
+        PresentationEngine::default()
+    }
+
+    fn completion(
+        &self,
+        doc: &MultimediaDocument,
+        viewer: &str,
+        evidence: &PartialAssignment,
+    ) -> Outcome {
+        self.reconfig
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .completion(doc.net(), viewer, evidence)
+    }
+
+    /// Cache behaviour counters of the underlying reconfiguration engine.
+    pub fn reconfig_stats(&self) -> ReconfigStats {
+        self.reconfig
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .stats()
     }
 
     /// `defaultPresentation()`: the author-optimal presentation, with no
@@ -348,13 +392,18 @@ impl PresentationEngine {
             rcmo_obs::bounds::LATENCY_US,
         );
         let _t = LAT.start_timer();
-        let outcome = doc.net().optimal_outcome();
+        let ev = PartialAssignment::empty(doc.net().len());
+        let outcome = self.completion(doc, DEFAULT_VIEWER, &ev);
         self.project(doc, doc.net(), &outcome)
     }
 
     /// `reconfigPresentation(eventList)` for one viewer: the best
     /// presentation consistent with the session's choices, context and
     /// viewer-local extension.
+    ///
+    /// Sessions with a non-empty viewer-local extension bypass the
+    /// incremental caches: the fused net is rebuilt per call and swept in
+    /// full (extensions are rare and small; see DESIGN.md §9).
     pub fn presentation_for(
         &self,
         doc: &MultimediaDocument,
@@ -374,7 +423,7 @@ impl PresentationEngine {
             }
             _ => {
                 let ev = session.evidence(doc.net().len());
-                let outcome = doc.net().optimal_completion(&ev);
+                let outcome = self.completion(doc, session.viewer(), &ev);
                 Ok(self.project(doc, doc.net(), &outcome))
             }
         }
@@ -403,7 +452,7 @@ impl PresentationEngine {
                 }
             }
         }
-        let outcome = doc.net().optimal_completion(&ev);
+        let outcome = self.completion(doc, JOINT_VIEWER, &ev);
         self.project(doc, doc.net(), &outcome)
     }
 

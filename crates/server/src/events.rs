@@ -1,7 +1,7 @@
 //! Actions (client → server), deltas (the changed part of an object), and
 //! room events (server → every client in the room).
 
-use rcmo_core::ComponentId;
+use rcmo_core::{ComponentId, PresentationDelta};
 use rcmo_imaging::{ElementId, LineElement, TextElement};
 
 /// What a client asks the interaction server to do.
@@ -215,13 +215,19 @@ pub enum RoomEvent {
         /// Who released it.
         by: String,
     },
-    /// A viewer's presentation was recomputed; clients re-render.
+    /// A viewer's presentation was recomputed; clients re-render only the
+    /// components listed in `deltas` ("the hierarchical structure of the
+    /// object permits sending only the relevant parts of the object for
+    /// redisplay", paper §5.3).
     PresentationChanged {
         /// Whose presentation (every viewer has her own view).
         viewer: String,
-        /// Bytes the viewer's client must fetch to render the new
-        /// presentation.
+        /// Bytes the viewer's client must *additionally* fetch to apply the
+        /// deltas (components already rendered cost nothing).
         transfer_bytes: u64,
+        /// The minimal redisplay set: components whose form or effective
+        /// visibility changed since the previously broadcast presentation.
+        deltas: Vec<PresentationDelta>,
     },
     /// Chat message.
     Chat {
@@ -264,7 +270,11 @@ impl RoomEvent {
                 user, operation, ..
             } => 1 + user.len() + 4 + operation.len(),
             RoomEvent::Frozen { by, .. } | RoomEvent::Released { by, .. } => 1 + 8 + by.len(),
-            RoomEvent::PresentationChanged { viewer, .. } => 1 + viewer.len() + 8,
+            // Per delta: component id (4) + old/new form (4+4) + visibility
+            // flag (1).
+            RoomEvent::PresentationChanged { viewer, deltas, .. } => {
+                1 + viewer.len() + 8 + deltas.len() * 13
+            }
             RoomEvent::Chat { user, text } => 1 + user.len() + text.len(),
             RoomEvent::AudioAnalysed { by, summary, .. } => 1 + 8 + by.len() + summary.len(),
             RoomEvent::TriggerFired { owner, cause, .. } => 1 + 8 + owner.len() + cause.len(),

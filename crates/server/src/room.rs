@@ -69,6 +69,9 @@ pub struct Room {
     pub(crate) doc: MultimediaDocument,
     members: Vec<Member>,
     sessions: HashMap<String, ViewerSession>,
+    /// The presentation last broadcast per viewer; the baseline the next
+    /// `PresentationChanged` deltas are computed against.
+    last_presentations: HashMap<String, Presentation>,
     objects: HashMap<SharedObjectId, AnnotatedImage>,
     freezes: HashMap<SharedObjectId, String>,
     /// The "large memory buffer which maintains the changes made on the
@@ -114,6 +117,7 @@ impl Room {
             doc,
             members: Vec::new(),
             sessions: HashMap::new(),
+            last_presentations: HashMap::new(),
             objects: HashMap::new(),
             freezes: HashMap::new(),
             change_log: ChangeLog::new(DEFAULT_CHANGE_LOG_CAPACITY),
@@ -193,6 +197,7 @@ impl Room {
                 continue; // already reaped this round
             }
             self.sessions.remove(&user);
+            self.last_presentations.remove(&user);
             self.reaped.inc();
             let released: Vec<SharedObjectId> = self
                 .freezes
@@ -237,6 +242,7 @@ impl Room {
             });
         }
         self.sessions.remove(user);
+        self.last_presentations.remove(user);
         // Freezes held by the leaver are released.
         let released: Vec<SharedObjectId> = self
             .freezes
@@ -622,12 +628,24 @@ impl Room {
         Ok(())
     }
 
+    /// Recomputes `viewer`'s presentation (incrementally, through the
+    /// engine's reconfiguration caches) and broadcasts only the delta
+    /// against the presentation last broadcast for that viewer. A viewer
+    /// with no broadcast history is diffed against the author-default
+    /// presentation, which is what their client rendered on join.
     fn push_presentation_update(&mut self, viewer: &str) -> Result<()> {
         let p = self.presentation_for(viewer)?;
-        let transfer = p.transfer_bytes(&self.doc);
+        let prev = self
+            .last_presentations
+            .remove(viewer)
+            .unwrap_or_else(|| self.engine.default_presentation(&self.doc));
+        let deltas = prev.diff(&p);
+        let transfer = prev.delta_transfer_bytes(&p, &self.doc);
+        self.last_presentations.insert(viewer.to_string(), p);
         self.broadcast(RoomEvent::PresentationChanged {
             viewer: viewer.to_string(),
             transfer_bytes: transfer,
+            deltas,
         });
         Ok(())
     }
