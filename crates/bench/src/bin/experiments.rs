@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 15] = [
+    let all: [(&str, fn()); 16] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -56,6 +56,7 @@ fn main() {
         ("e13", e13_fault_tolerance),
         ("e14", e14_observability),
         ("e15", e15_reconfig),
+        ("e16", e16_crash),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -1409,4 +1410,281 @@ fn e15_reconfig() {
     let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
     std::fs::write("BENCH_reconfig.json", &json).expect("write BENCH_reconfig.json");
     println!("wrote BENCH_reconfig.json ({} bytes)", json.len());
+}
+
+/// E16 (crash torture): the storage stack's crash-survival matrix. Every
+/// named durability failpoint is armed at every occurrence across a seeded
+/// insert workload; after each induced crash the database is reopened and
+/// classified — the in-flight transaction is either *lost* (crash before the
+/// WAL commit record, only legal at `storage.wal.append`) or *durable*
+/// (recovered by WAL replay), and [`Database::check_integrity`] must pass.
+/// Recovery (reopen) latency is reported overall and bucketed by WAL length
+/// at the crash. Writes `BENCH_crash.json`; the run aborts on any integrity
+/// failure or atomicity violation, which is the CI gate.
+fn e16_crash() {
+    section(
+        "E16",
+        "crash injection: survival matrix and recovery latency",
+    );
+    use rcmo::storage::db::wal_path_for;
+    use rcmo::storage::{failpoint, Column, ColumnType, Database, RowValue, Schema, StorageError};
+
+    const TXNS: usize = 6;
+    const ROWS_PER_TXN: u64 = 3;
+    const SEEDS: [u64; 3] = [0x16A, 0x16B, 0x16C];
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rcmo-e16-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{tag}.db"));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(wal_path_for(&p));
+        p
+    }
+
+    fn blob_for(id: u64, seed: u64) -> Vec<u8> {
+        let len = 600 + ((id.wrapping_mul(2654435761) ^ seed) % 2600) as usize;
+        (0..len)
+            .map(|i| (id as u8) ^ (i as u8).wrapping_mul(13))
+            .collect()
+    }
+
+    /// Transaction 0 creates the table; transaction `t` ≥ 1 inserts rows
+    /// `(t-1)*ROWS_PER_TXN + 1 ..= t*ROWS_PER_TXN`, each with a BLOB.
+    fn run_txn(db: &Database, t: usize, seed: u64) -> Result<(), StorageError> {
+        let mut tx = db.begin()?;
+        if t == 0 {
+            tx.create_table(
+                "e16",
+                Schema::new(vec![
+                    Column::new("ID", ColumnType::U64),
+                    Column::new("V", ColumnType::I64),
+                    Column::new("B", ColumnType::Blob),
+                ])
+                .unwrap(),
+            )?;
+        } else {
+            for r in 0..ROWS_PER_TXN {
+                let id = (t as u64 - 1) * ROWS_PER_TXN + r + 1;
+                let b = tx.put_blob(&blob_for(id, seed))?;
+                tx.insert(
+                    "e16",
+                    vec![
+                        RowValue::U64(id),
+                        RowValue::I64(-(id as i64)),
+                        RowValue::Blob(b),
+                    ],
+                )?;
+            }
+        }
+        tx.commit()
+    }
+
+    fn quantile(sorted: &[u64], q: f64) -> u64 {
+        if sorted.is_empty() {
+            0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+        }
+    }
+
+    #[derive(Default)]
+    struct SiteStat {
+        schedules: u64,
+        lost: u64,
+        durable: u64,
+        integrity_failures: u64,
+    }
+    let mut stats: Vec<(&'static str, SiteStat)> = failpoint::ALL
+        .iter()
+        .map(|s| (*s, SiteStat::default()))
+        .collect();
+    // (WAL bytes at crash, reopen latency µs) per schedule.
+    let mut recovery: Vec<(u64, u64)> = Vec::new();
+
+    for &seed in &SEEDS {
+        // Counting run: occurrences of each site across the workload
+        // (failpoints reset after open so bootstrap commits don't count).
+        let path = tmp(&format!("count-{seed:x}"));
+        let db = Database::open(&path).unwrap();
+        failpoint::reset();
+        for t in 0..=TXNS {
+            run_txn(&db, t, seed).unwrap();
+        }
+        let counts: Vec<(&'static str, u64)> = failpoint::ALL
+            .iter()
+            .map(|s| (*s, failpoint::hits(s)))
+            .collect();
+        failpoint::reset();
+        drop(db);
+
+        for (site, hits) in counts {
+            assert!(hits > 0, "E16: site {site} never exercised");
+            for n in 1..=hits {
+                let path = tmp(&format!("run-{seed:x}-{}-{n}", site.replace('.', "_")));
+                let db = Database::open(&path).unwrap();
+                failpoint::reset();
+                failpoint::arm(site, n);
+                let mut committed = 0usize;
+                let mut crashed = false;
+                for t in 0..=TXNS {
+                    match run_txn(&db, t, seed) {
+                        Ok(()) => committed += 1,
+                        Err(_) => {
+                            crashed = true;
+                            break;
+                        }
+                    }
+                }
+                assert!(crashed, "E16: armed {site}@{n} did not fire");
+                failpoint::reset();
+                drop(db);
+
+                let wal_bytes = std::fs::metadata(wal_path_for(&path))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                let t0 = Instant::now();
+                let db = Database::open(&path).expect("E16: reopen after crash failed");
+                recovery.push((wal_bytes, t0.elapsed().as_micros() as u64));
+
+                let stat = &mut stats.iter_mut().find(|(s, _)| *s == site).unwrap().1;
+                stat.schedules += 1;
+                let report = db.check_integrity();
+                if !report.is_ok() {
+                    stat.integrity_failures += 1;
+                    eprintln!(
+                        "E16: integrity failure after {site}@{n} (seed {seed:#x}):\n{report}"
+                    );
+                    continue;
+                }
+                // Classify: which prefix of the workload survived?
+                let mut tx = db.begin().unwrap();
+                let recovered = if tx.table_names().iter().any(|t| t == "e16") {
+                    let rows = tx.scan("e16").unwrap();
+                    let mut ok = (rows.len() as u64).is_multiple_of(ROWS_PER_TXN);
+                    for (i, row) in rows.iter().enumerate() {
+                        let (RowValue::U64(id), RowValue::Blob(b)) = (&row[0], &row[2]) else {
+                            ok = false;
+                            break;
+                        };
+                        ok &= *id == i as u64 + 1
+                            && tx
+                                .get_blob(*b)
+                                .map(|d| d == blob_for(*id, seed))
+                                .unwrap_or(false);
+                    }
+                    assert!(
+                        ok,
+                        "E16: {site}@{n} (seed {seed:#x}): partial transaction visible"
+                    );
+                    1 + rows.len() / ROWS_PER_TXN as usize
+                } else {
+                    0
+                };
+                drop(tx);
+                assert!(
+                    recovered == committed || recovered == committed + 1,
+                    "E16: {site}@{n} (seed {seed:#x}): {recovered} txns recovered, \
+                     {committed} committed before the crash"
+                );
+                if recovered == committed {
+                    stat.lost += 1;
+                    assert!(
+                        site == failpoint::WAL_APPEND,
+                        "E16: {site}@{n} (seed {seed:#x}): committed-transaction loss at a \
+                         post-WAL-sync site"
+                    );
+                } else {
+                    stat.durable += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "{:<28} {:>10} {:>6} {:>8} {:>10}",
+        "failpoint", "schedules", "lost", "durable", "integrity"
+    );
+    let mut site_entries = Vec::new();
+    let mut total_failures = 0u64;
+    for (site, s) in &stats {
+        println!(
+            "{:<28} {:>10} {:>6} {:>8} {:>10}",
+            site, s.schedules, s.lost, s.durable, s.integrity_failures
+        );
+        total_failures += s.integrity_failures;
+        site_entries.push(format!(
+            concat!(
+                "    {{\"site\": \"{}\", \"schedules\": {}, \"lost\": {}, ",
+                "\"durable\": {}, \"integrity_failures\": {}}}"
+            ),
+            site, s.schedules, s.lost, s.durable, s.integrity_failures
+        ));
+    }
+
+    let mut all_us: Vec<u64> = recovery.iter().map(|&(_, us)| us).collect();
+    all_us.sort_unstable();
+    println!(
+        "recovery latency over {} reopens: p50 {}µs  p95 {}µs  p99 {}µs",
+        all_us.len(),
+        quantile(&all_us, 0.50),
+        quantile(&all_us, 0.95),
+        quantile(&all_us, 0.99)
+    );
+    const BUCKETS: [(&str, u64, u64); 3] = [
+        ("<16KiB", 0, 16 << 10),
+        ("16-48KiB", 16 << 10, 48 << 10),
+        (">=48KiB", 48 << 10, u64::MAX),
+    ];
+    let mut bucket_entries = Vec::new();
+    for (label, lo, hi) in BUCKETS {
+        let mut us: Vec<u64> = recovery
+            .iter()
+            .filter(|&&(b, _)| b >= lo && b < hi)
+            .map(|&(_, us)| us)
+            .collect();
+        us.sort_unstable();
+        println!(
+            "  wal {label:<9} {:>5} samples: p50 {}µs  p95 {}µs  p99 {}µs",
+            us.len(),
+            quantile(&us, 0.50),
+            quantile(&us, 0.95),
+            quantile(&us, 0.99)
+        );
+        bucket_entries.push(format!(
+            concat!(
+                "    {{\"wal_bytes\": \"{}\", \"samples\": {}, \"p50_us\": {}, ",
+                "\"p95_us\": {}, \"p99_us\": {}}}"
+            ),
+            label,
+            us.len(),
+            quantile(&us, 0.50),
+            quantile(&us, 0.95),
+            quantile(&us, 0.99)
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"seeds\": {:?},\n  \"txns_per_seed\": {},\n  \"sites\": [\n{}\n  ],\n",
+            "  \"recovery_us\": {{\"samples\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+            "  \"recovery_by_wal_bytes\": [\n{}\n  ]\n}}\n"
+        ),
+        SEEDS,
+        TXNS + 1,
+        site_entries.join(",\n"),
+        all_us.len(),
+        quantile(&all_us, 0.50),
+        quantile(&all_us, 0.95),
+        quantile(&all_us, 0.99),
+        bucket_entries.join(",\n")
+    );
+    std::fs::write("BENCH_crash.json", &json).expect("write BENCH_crash.json");
+    println!("wrote BENCH_crash.json ({} bytes)", json.len());
+    assert_eq!(
+        total_failures, 0,
+        "E16: {total_failures} integrity failures across the crash sweep"
+    );
+    println!("(every schedule passed check_integrity; in-flight transactions were lost");
+    println!(" only at the pre-commit WAL append, never after the WAL sync)");
 }

@@ -757,6 +757,88 @@ mod tests {
     }
 
     #[test]
+    fn extension_bypass_agrees_with_full_sweep_after_structural_edits() {
+        // Sessions with a viewer-local extension bypass the incremental
+        // reconfiguration caches (DESIGN.md §9): the fused net is swept in
+        // full per call. Pin that a warm engine — whose caches were built
+        // against *pre-edit* document revisions — gives the same answer on
+        // the extension path as a cold engine, and that the base-component
+        // forms agree with the cached non-extension path for identical
+        // choices and context.
+        let (mut doc, _, ct, xray) = medical_doc();
+        let warm = PresentationEngine::new();
+
+        // Warm the incremental caches with non-extension traffic.
+        let mut plain = ViewerSession::new("dr-a");
+        warm.presentation_for(&doc, &plain).unwrap();
+        plain
+            .choose(
+                &doc,
+                ViewerChoice {
+                    component: ct,
+                    form: 1,
+                },
+            )
+            .unwrap();
+        warm.presentation_for(&doc, &plain).unwrap();
+        warm.default_presentation(&doc);
+
+        // Structural edits: removing the X-ray renumbers components, then
+        // a global operation grows the net. Old extensions are now stale.
+        let remap = doc.remove_component(xray, 2).unwrap();
+        let ct = remap[ct.idx()].expect("CT survives the removal");
+        plain.rebase(&remap);
+        doc.add_global_operation(ct, 0, "segmentation").unwrap();
+
+        // Extension built against the *post-edit* net.
+        let mut ext_session = ViewerSession::new("dr-a");
+        ext_session
+            .choose(
+                &doc,
+                ViewerChoice {
+                    component: ct,
+                    form: 1,
+                },
+            )
+            .unwrap();
+        ext_session
+            .apply_local_operation(&doc, ct, 1, "zoom")
+            .unwrap();
+
+        let from_warm = warm.presentation_for(&doc, &ext_session).unwrap();
+        let cold = PresentationEngine::new();
+        let from_cold = cold.presentation_for(&doc, &ext_session).unwrap();
+        assert_eq!(
+            from_warm, from_cold,
+            "warm caches must not leak into the extension full sweep"
+        );
+        // One document-global derived variable plus the session-local one.
+        assert_eq!(from_warm.derived_states().len(), 2);
+
+        // Base-component forms agree with the incremental (cached)
+        // non-extension path for the same choices and context.
+        plain
+            .choose(
+                &doc,
+                ViewerChoice {
+                    component: ct,
+                    form: 1,
+                },
+            )
+            .unwrap();
+        let incremental = warm.presentation_for(&doc, &plain).unwrap();
+        assert_eq!(from_warm.forms(), incremental.forms());
+        assert_eq!(
+            (0..doc.num_components())
+                .map(|i| from_warm.is_visible(ComponentId(i as u32)))
+                .collect::<Vec<_>>(),
+            (0..doc.num_components())
+                .map(|i| incremental.is_visible(ComponentId(i as u32)))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
     fn tuning_variable_conditions_presentation() {
         let (mut doc, _, ct, _) = medical_doc();
         let bw = doc

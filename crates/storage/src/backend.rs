@@ -1,0 +1,636 @@
+//! Pluggable byte-level storage backends for the data file and the WAL.
+//!
+//! [`DiskManager`](crate::disk::DiskManager) and [`Wal`](crate::wal::Wal)
+//! speak to stable storage exclusively through the [`Backend`] trait:
+//!
+//! * [`FileBackend`] — a real file (production),
+//! * [`MemBackend`] — a plain byte vector (ephemeral databases, tests),
+//! * [`FaultyBackend`] — a deterministic fault simulator for crash-torture
+//!   harnesses.
+//!
+//! A [`FaultyBackend`] records every write, truncate and sync into a
+//! [`SimStore`] and consults a shared [`FaultInjector`] before applying
+//! each one. Driven by a seeded [`CrashSpec`], the injector can
+//!
+//! * **crash at operation N** — the N-th durability operation across *all*
+//!   attached backends fails, and every later operation fails too (the
+//!   process is "down"),
+//! * **tear the in-flight write** — a random prefix of the crashing write
+//!   reaches the medium (modelling torn pages / torn WAL records),
+//! * **drop unsynced writes** — writes since the last successful `sync`
+//!   are lost at the crash (modelling volatile OS caches), and
+//! * **inject transient I/O errors** — each write/sync fails with a fixed
+//!   per-operation probability without crashing the store.
+//!
+//! After a simulated crash, [`SimStore::surviving_bytes`] yields exactly
+//! the image a real machine would find on disk after power loss; the
+//! harness reopens the database from those bytes and checks recovery.
+
+use crate::error::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Byte-level storage: the narrow interface the engine needs from a file.
+///
+/// Reads are infallible with respect to fault injection (a crashed
+/// [`FaultyBackend`] fails them, but transient errors target the write
+/// path only) so recovery after a simulated crash is deterministic.
+#[allow(clippy::len_without_is_empty)] // `len` is fallible; emptiness is `len()? == 0`
+pub trait Backend: std::fmt::Debug + Send {
+    /// Current length in bytes.
+    fn len(&self) -> Result<u64>;
+
+    /// Fills `buf` from `off`; errors if the range runs past the end.
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `data` at `off`, zero-extending any gap past the end.
+    fn write_at(&mut self, off: u64, data: &[u8]) -> Result<()>;
+
+    /// Truncates (or zero-extends) to exactly `len` bytes.
+    fn set_len(&mut self, len: u64) -> Result<()>;
+
+    /// Forces all previous writes to stable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------
+// File backend.
+
+/// A [`Backend`] over a real file.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the file at `path` for read/write.
+    pub fn open(path: &Path) -> Result<FileBackend> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(FileBackend { file })
+    }
+}
+
+impl Backend for FileBackend {
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(data)?;
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<()> {
+        self.file.set_len(len)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory backend.
+
+/// A [`Backend`] over a plain in-memory byte vector.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    buf: Vec<u8>,
+}
+
+impl MemBackend {
+    /// An empty store.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// A store initialised with `bytes` (e.g. a crash survivor image).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemBackend {
+        MemBackend { buf: bytes }
+    }
+}
+
+fn apply_write(buf: &mut Vec<u8>, off: u64, data: &[u8]) {
+    let off = off as usize;
+    let end = off + data.len();
+    if buf.len() < end {
+        buf.resize(end, 0);
+    }
+    buf[off..end].copy_from_slice(data);
+}
+
+fn short_read(off: u64, want: usize, have: usize) -> StorageError {
+    StorageError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        format!("read of {want} bytes at {off} past end ({have} bytes)"),
+    ))
+}
+
+impl Backend for MemBackend {
+    fn len(&self) -> Result<u64> {
+        Ok(self.buf.len() as u64)
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<()> {
+        let end = off as usize + buf.len();
+        if end > self.buf.len() {
+            return Err(short_read(off, buf.len(), self.buf.len()));
+        }
+        buf.copy_from_slice(&self.buf[off as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        apply_write(&mut self.buf, off, data);
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<()> {
+        self.buf.resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault simulation.
+
+/// What a [`FaultInjector`] simulates, from a deterministic seed.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSpec {
+    /// RNG seed: identical specs replay identical fault schedules.
+    pub seed: u64,
+    /// Crash on the N-th (1-based) write/truncate/sync across all attached
+    /// backends; `None` never crashes.
+    pub crash_at_op: Option<u64>,
+    /// At the crash, a random *prefix* of the in-flight write survives
+    /// (torn page / torn WAL record). When `false` the crashing write is
+    /// lost entirely.
+    pub torn_writes: bool,
+    /// At the crash, writes since the last successful `sync` are lost
+    /// (volatile-cache model). A crash during `sync` itself keeps a random
+    /// prefix of the pending writes. When `false` every applied write
+    /// survives the crash.
+    pub drop_unsynced: bool,
+    /// Per-operation probability of a transient I/O error on writes and
+    /// syncs (the operation fails, nothing is applied, the store lives on).
+    pub io_error_prob: f64,
+}
+
+impl CrashSpec {
+    /// A spec that only crashes at operation `n` (no torn writes, no
+    /// unsynced loss, no transient errors).
+    pub fn crash_at(seed: u64, n: u64) -> CrashSpec {
+        CrashSpec {
+            seed,
+            crash_at_op: Some(n),
+            torn_writes: false,
+            drop_unsynced: false,
+            io_error_prob: 0.0,
+        }
+    }
+
+    /// A spec that never injects anything (operation counting runs).
+    pub fn count_only(seed: u64) -> CrashSpec {
+        CrashSpec {
+            seed,
+            crash_at_op: None,
+            torn_writes: false,
+            drop_unsynced: false,
+            io_error_prob: 0.0,
+        }
+    }
+}
+
+/// SplitMix64: a tiny deterministic RNG so the backend does not pull in an
+/// RNG dependency. Streams only need to be stable across runs, not
+/// compatible with anything.
+#[derive(Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)` (`bound` > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A durability operation as recorded by a [`FaultyBackend`] between syncs.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Write(u64, Vec<u8>),
+    SetLen(u64),
+}
+
+fn apply_op(buf: &mut Vec<u8>, op: &PendingOp) {
+    match op {
+        PendingOp::Write(off, data) => apply_write(buf, *off, data),
+        PendingOp::SetLen(len) => buf.resize(*len as usize, 0),
+    }
+}
+
+/// One simulated file: the durable image (as of the last sync), the applied
+/// image (what reads observe), the writes pending since the last sync, and
+/// — after a crash — the frozen survivor image.
+#[derive(Debug, Default)]
+struct SimFile {
+    durable: Vec<u8>,
+    applied: Vec<u8>,
+    pending: Vec<PendingOp>,
+    crash_image: Option<Vec<u8>>,
+}
+
+/// A cloneable handle on a simulated file. The harness keeps one while the
+/// database owns [`FaultyBackend`]s over the same file, then extracts the
+/// post-crash image with [`surviving_bytes`](Self::surviving_bytes).
+#[derive(Debug, Clone, Default)]
+pub struct SimStore {
+    file: Arc<Mutex<SimFile>>,
+}
+
+impl SimStore {
+    /// An empty simulated file.
+    pub fn new() -> SimStore {
+        SimStore::default()
+    }
+
+    /// A simulated file pre-loaded with `bytes`.
+    pub fn from_bytes(bytes: Vec<u8>) -> SimStore {
+        SimStore {
+            file: Arc::new(Mutex::new(SimFile {
+                durable: bytes.clone(),
+                applied: bytes,
+                pending: Vec::new(),
+                crash_image: None,
+            })),
+        }
+    }
+
+    /// The current applied contents (all writes, synced or not).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.file
+            .lock()
+            .expect("sim store poisoned")
+            .applied
+            .clone()
+    }
+
+    /// What a machine would find on disk: the frozen crash image if the
+    /// injector crashed, otherwise the current applied contents.
+    pub fn surviving_bytes(&self) -> Vec<u8> {
+        let f = self.file.lock().expect("sim store poisoned");
+        f.crash_image.clone().unwrap_or_else(|| f.applied.clone())
+    }
+
+    /// A [`FaultyBackend`] over this file, attached to `injector` (which
+    /// resolves crash images for every attached store at the crash point).
+    pub fn backend(&self, injector: &Arc<FaultInjector>) -> FaultyBackend {
+        injector.attach(self.file.clone());
+        FaultyBackend {
+            file: self.file.clone(),
+            injector: injector.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    spec: CrashSpec,
+    rng: SplitMix64,
+    ops: u64,
+    crashed: bool,
+    transients: u64,
+    stores: Vec<Arc<Mutex<SimFile>>>,
+}
+
+/// Shared fault oracle for a set of [`FaultyBackend`]s. One injector spans
+/// the data file *and* the WAL so `crash_at_op` enumerates one global
+/// schedule of durability operations.
+#[derive(Debug)]
+pub struct FaultInjector {
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// A fresh injector for `spec`.
+    pub fn new(spec: CrashSpec) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            state: Mutex::new(InjectorState {
+                rng: SplitMix64(spec.seed ^ 0xC3A5_C85C_97CB_3127),
+                spec,
+                ops: 0,
+                crashed: false,
+                transients: 0,
+                stores: Vec::new(),
+            }),
+        })
+    }
+
+    /// Durability operations observed so far (writes, truncates, syncs).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("injector poisoned").ops
+    }
+
+    /// `true` once the simulated crash fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("injector poisoned").crashed
+    }
+
+    /// Transient errors injected so far.
+    pub fn transients(&self) -> u64 {
+        self.state.lock().expect("injector poisoned").transients
+    }
+
+    fn attach(&self, store: Arc<Mutex<SimFile>>) {
+        self.state
+            .lock()
+            .expect("injector poisoned")
+            .stores
+            .push(store);
+    }
+
+    /// Decides the fate of one operation on `target` (`op` is `None` for a
+    /// sync) and, on a crash, freezes the survivor image of every attached
+    /// store.
+    fn on_op(&self, target: &Arc<Mutex<SimFile>>, op: Option<&PendingOp>) -> Result<()> {
+        static CRASHES: rcmo_obs::LazyCounter =
+            rcmo_obs::LazyCounter::new("storage.fault.crash.count");
+        static TRANSIENTS: rcmo_obs::LazyCounter =
+            rcmo_obs::LazyCounter::new("storage.fault.transient.count");
+        let mut st = self.state.lock().expect("injector poisoned");
+        if st.crashed {
+            return Err(StorageError::FaultInjected(
+                "simulated crash: backend is down".to_string(),
+            ));
+        }
+        st.ops += 1;
+        if Some(st.ops) == st.spec.crash_at_op {
+            st.crashed = true;
+            CRASHES.inc();
+            let (torn, drop_unsynced) = (st.spec.torn_writes, st.spec.drop_unsynced);
+            // Freeze every attached store at its survivor image.
+            for store in st.stores.clone() {
+                let is_target = Arc::ptr_eq(&store, target);
+                let mut f = store.lock().expect("sim store poisoned");
+                let mut image = f.durable.clone();
+                if !drop_unsynced {
+                    // All applied writes physically reached the medium.
+                    image = f.applied.clone();
+                } else if is_target && op.is_none() {
+                    // Crash *during this store's sync*: a random prefix of
+                    // its pending writes made it out.
+                    let keep = st.rng.below(f.pending.len() as u64 + 1) as usize;
+                    for p in f.pending.iter().take(keep) {
+                        apply_op(&mut image, p);
+                    }
+                }
+                if is_target {
+                    if let Some(PendingOp::Write(off, data)) = op {
+                        if torn && !data.is_empty() {
+                            // A strict prefix of the in-flight write hit
+                            // the medium: the canonical torn page/record.
+                            let keep = st.rng.below(data.len() as u64) as usize;
+                            apply_write(&mut image, *off, &data[..keep]);
+                        }
+                    }
+                }
+                f.crash_image = Some(image);
+            }
+            return Err(StorageError::FaultInjected(format!(
+                "simulated crash at operation {}",
+                st.ops
+            )));
+        }
+        if st.spec.io_error_prob > 0.0 && st.rng.unit_f64() < st.spec.io_error_prob {
+            st.transients += 1;
+            TRANSIENTS.inc();
+            let op_no = st.ops;
+            return Err(StorageError::FaultInjected(format!(
+                "transient i/o error at operation {op_no}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A [`Backend`] that applies every operation to a [`SimStore`] under the
+/// verdict of a shared [`FaultInjector`].
+#[derive(Debug)]
+pub struct FaultyBackend {
+    file: Arc<Mutex<SimFile>>,
+    injector: Arc<FaultInjector>,
+}
+
+impl Backend for FaultyBackend {
+    fn len(&self) -> Result<u64> {
+        if self.injector.crashed() {
+            return Err(StorageError::FaultInjected(
+                "simulated crash: backend is down".to_string(),
+            ));
+        }
+        Ok(self.file.lock().expect("sim store poisoned").applied.len() as u64)
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<()> {
+        if self.injector.crashed() {
+            return Err(StorageError::FaultInjected(
+                "simulated crash: backend is down".to_string(),
+            ));
+        }
+        let f = self.file.lock().expect("sim store poisoned");
+        let end = off as usize + buf.len();
+        if end > f.applied.len() {
+            return Err(short_read(off, buf.len(), f.applied.len()));
+        }
+        buf.copy_from_slice(&f.applied[off as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        let op = PendingOp::Write(off, data.to_vec());
+        self.injector.on_op(&self.file, Some(&op))?;
+        let mut f = self.file.lock().expect("sim store poisoned");
+        apply_op(&mut f.applied, &op);
+        f.pending.push(op);
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<()> {
+        let op = PendingOp::SetLen(len);
+        self.injector.on_op(&self.file, Some(&op))?;
+        let mut f = self.file.lock().expect("sim store poisoned");
+        apply_op(&mut f.applied, &op);
+        f.pending.push(op);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.injector.on_op(&self.file, None)?;
+        let mut f = self.file.lock().expect("sim store poisoned");
+        f.durable = f.applied.clone();
+        f.pending.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_roundtrip_and_extension() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.len().unwrap(), 0);
+        b.write_at(4, &[1, 2, 3]).unwrap();
+        assert_eq!(b.len().unwrap(), 7);
+        let mut out = [0u8; 7];
+        b.read_at(0, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, 0, 1, 2, 3]);
+        assert!(b.read_at(5, &mut [0u8; 3]).is_err());
+        b.set_len(5).unwrap();
+        assert_eq!(b.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn faulty_backend_crashes_at_op_and_stays_down() {
+        let inj = FaultInjector::new(CrashSpec::crash_at(1, 3));
+        let store = SimStore::new();
+        let mut b = store.backend(&inj);
+        b.write_at(0, &[1]).unwrap(); // op 1
+        b.write_at(1, &[2]).unwrap(); // op 2
+        assert!(matches!(
+            b.write_at(2, &[3]),
+            Err(StorageError::FaultInjected(_))
+        )); // op 3 crashes
+        assert!(inj.crashed());
+        assert!(b.write_at(3, &[4]).is_err());
+        assert!(b.sync().is_err());
+        // No unsynced-drop configured: applied writes survive, the crashing
+        // (untorn) write does not.
+        assert_eq!(store.surviving_bytes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_unsynced_loses_everything_after_last_sync() {
+        let spec = CrashSpec {
+            seed: 9,
+            crash_at_op: Some(5),
+            torn_writes: false,
+            drop_unsynced: true,
+            io_error_prob: 0.0,
+        };
+        let inj = FaultInjector::new(spec);
+        let store = SimStore::new();
+        let mut b = store.backend(&inj);
+        b.write_at(0, &[1, 1]).unwrap(); // op 1
+        b.sync().unwrap(); // op 2: [1,1] durable
+        b.write_at(2, &[2, 2]).unwrap(); // op 3 (unsynced)
+        b.write_at(4, &[3, 3]).unwrap(); // op 4 (unsynced)
+        assert!(b.write_at(6, &[4, 4]).is_err()); // op 5 crashes
+        assert_eq!(store.surviving_bytes(), vec![1, 1]);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix() {
+        for seed in 0..32u64 {
+            let spec = CrashSpec {
+                seed,
+                crash_at_op: Some(1),
+                torn_writes: true,
+                drop_unsynced: false,
+                io_error_prob: 0.0,
+            };
+            let inj = FaultInjector::new(spec);
+            let store = SimStore::new();
+            let mut b = store.backend(&inj);
+            assert!(b.write_at(0, &[7u8; 100]).is_err());
+            let surv = store.surviving_bytes();
+            assert!(surv.len() < 100, "seed {seed}: torn prefix must be strict");
+            assert!(surv.iter().all(|&x| x == 7));
+        }
+    }
+
+    #[test]
+    fn transient_errors_do_not_apply_or_crash() {
+        let spec = CrashSpec {
+            seed: 4,
+            crash_at_op: None,
+            torn_writes: false,
+            drop_unsynced: false,
+            io_error_prob: 0.5,
+        };
+        let inj = FaultInjector::new(spec);
+        let store = SimStore::new();
+        let mut b = store.backend(&inj);
+        let mut ok = 0u32;
+        for i in 0..64u64 {
+            if b.write_at(i, &[i as u8]).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(inj.transients() > 0, "some errors injected");
+        assert!(ok > 0, "some writes got through");
+        assert!(!inj.crashed());
+        // Every surviving byte is exactly the one written at its offset.
+        let bytes = store.bytes();
+        for (i, &v) in bytes.iter().enumerate() {
+            assert!(v == i as u8 || v == 0);
+        }
+    }
+
+    #[test]
+    fn identical_specs_replay_identical_schedules() {
+        let run = |seed: u64| {
+            let spec = CrashSpec {
+                seed,
+                crash_at_op: Some(7),
+                torn_writes: true,
+                drop_unsynced: true,
+                io_error_prob: 0.2,
+            };
+            let inj = FaultInjector::new(spec);
+            let store = SimStore::new();
+            let mut b = store.backend(&inj);
+            for i in 0..20u64 {
+                let _ = b.write_at(i * 3, &[i as u8; 3]);
+                if i % 4 == 3 {
+                    let _ = b.sync();
+                }
+            }
+            store.surviving_bytes()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+}

@@ -18,11 +18,11 @@ use crate::page::{PageId, PageKind, PAGE_HEADER, PAGE_SIZE};
 use crate::pager::BufferPool;
 
 const BODY: usize = PAGE_SIZE - PAGE_HEADER;
-const OFF_NEXT: usize = 0;
-const FIRST_TOTAL: usize = 8;
-const FIRST_CHUNK_LEN: usize = 16;
+pub(crate) const OFF_NEXT: usize = 0;
+pub(crate) const FIRST_TOTAL: usize = 8;
+pub(crate) const FIRST_CHUNK_LEN: usize = 16;
 const FIRST_DATA: usize = 20;
-const CONT_CHUNK_LEN: usize = 8;
+pub(crate) const CONT_CHUNK_LEN: usize = 8;
 const CONT_DATA: usize = 12;
 
 /// Usable bytes in the first chunk page.

@@ -22,11 +22,11 @@ use crate::error::{Result, StorageError};
 use crate::page::{PageId, PageKind};
 use crate::pager::BufferPool;
 
-const OFF_NKEYS: usize = 0;
-const OFF_NEXT_LEAF: usize = 2;
-const LEAF_ENTRIES: usize = 10;
-const OFF_CHILD0: usize = 8;
-const INTERNAL_ENTRIES: usize = 16;
+pub(crate) const OFF_NKEYS: usize = 0;
+pub(crate) const OFF_NEXT_LEAF: usize = 2;
+pub(crate) const LEAF_ENTRIES: usize = 10;
+pub(crate) const OFF_CHILD0: usize = 8;
+pub(crate) const INTERNAL_ENTRIES: usize = 16;
 
 /// Maximum keys per leaf (fits well inside one page body).
 pub const LEAF_CAP: usize = 500;

@@ -48,25 +48,25 @@ use std::path::{Path, PathBuf};
 
 pub use crate::catalog::RowValue;
 
-const META_MAGIC_OFF: usize = 0;
-const META_CATALOG_ROOT: usize = 16;
-const META_NEXT_TXN: usize = 24;
-const META_MAGIC: u64 = 0x5243_4D4F_4442_3101; // "RCMODB1" + version 1
+pub(crate) const META_MAGIC_OFF: usize = 0;
+pub(crate) const META_CATALOG_ROOT: usize = 16;
+pub(crate) const META_NEXT_TXN: usize = 24;
+pub(crate) const META_MAGIC: u64 = 0x5243_4D4F_4442_3101; // "RCMODB1" + version 1
 
 /// Default buffer-pool capacity in frames (2048 × 8 KiB = 16 MiB).
 pub const DEFAULT_POOL_FRAMES: usize = 2048;
 
-struct Inner {
-    pool: BufferPool,
-    wal: Wal,
-    catalog: HashMap<String, CatalogEntry>,
-    next_txn: u64,
+pub(crate) struct Inner {
+    pub(crate) pool: BufferPool,
+    pub(crate) wal: Wal,
+    pub(crate) catalog: HashMap<String, CatalogEntry>,
+    pub(crate) next_txn: u64,
 }
 
 /// An embedded database instance. Cloneable handles are not provided; share
 /// via `Arc<Database>`.
 pub struct Database {
-    inner: Mutex<Inner>,
+    pub(crate) inner: Mutex<Inner>,
     path: Option<PathBuf>,
 }
 
@@ -79,13 +79,14 @@ impl std::fmt::Debug for Database {
 impl Database {
     /// Opens (creating if necessary) a file-backed database at `path`; the
     /// WAL lives next to it at `<path>.wal`. Runs crash recovery first.
+    ///
+    /// Opening is salvage-tolerant: a torn trailing partial page in the
+    /// data file is truncated away, and a WAL whose header is unreadable is
+    /// quarantined aside (renamed to `<path>.wal.corrupt-<k>`) rather than
+    /// refusing to start. WAL replay itself already stops at the first torn
+    /// or corrupt record, salvaging the longest valid committed prefix.
     pub fn open(path: impl AsRef<Path>) -> Result<Database> {
-        let path = path.as_ref().to_path_buf();
-        let wal_path = wal_path_for(&path);
-        let mut disk = DiskManager::open(&path)?;
-        let mut wal = Wal::open(&wal_path)?;
-        recover(&mut disk, &mut wal)?;
-        Self::finish_open(disk, wal, Some(path), DEFAULT_POOL_FRAMES)
+        Self::open_with_pool(path, DEFAULT_POOL_FRAMES)
     }
 
     /// Creates an ephemeral in-memory database (no durability across drop,
@@ -110,9 +111,25 @@ impl Database {
         let path = path.as_ref().to_path_buf();
         let wal_path = wal_path_for(&path);
         let mut disk = DiskManager::open(&path)?;
-        let mut wal = Wal::open(&wal_path)?;
+        let (mut wal, _quarantined) = Wal::open_or_quarantine(&wal_path)?;
         recover(&mut disk, &mut wal)?;
         Self::finish_open(disk, wal, Some(path), frames)
+    }
+
+    /// Opens a database over explicit byte-level [`Backend`]s for the data
+    /// file and the WAL (crash-injection harnesses hand in
+    /// [`FaultyBackend`](crate::backend::FaultyBackend)s or survivor-image
+    /// [`MemBackend`](crate::backend::MemBackend)s here). Applies the same
+    /// salvage and recovery as a file-backed open.
+    pub fn open_with_backends(
+        data: Box<dyn crate::backend::Backend>,
+        wal: Box<dyn crate::backend::Backend>,
+        frames: usize,
+    ) -> Result<Database> {
+        let mut disk = DiskManager::from_backend(data)?;
+        let mut wal = Wal::from_backend(wal)?;
+        recover(&mut disk, &mut wal)?;
+        Self::finish_open(disk, wal, None, frames)
     }
 
     fn finish_open(
@@ -276,6 +293,9 @@ fn commit_inner(inner: &mut Inner, txn_id: u64) -> Result<()> {
     inner.wal.log_commit(txn_id)?;
     inner.wal.sync()?;
     inner.pool.flush_dirty()?;
+    // The checkpoint boundary: the transaction is durable in both the data
+    // file and the WAL; only the log truncation remains.
+    crate::failpoint::hit(crate::failpoint::CHECKPOINT)?;
     inner.wal.truncate()?;
     Ok(())
 }

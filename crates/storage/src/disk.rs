@@ -1,102 +1,85 @@
-//! The disk manager: raw page I/O against the data file (or an in-memory
-//! image for tests and ephemeral databases).
+//! The disk manager: raw page I/O over a pluggable byte-level
+//! [`Backend`] (a real file, an in-memory vector, or a fault-injecting
+//! simulator — see [`crate::backend`]).
 
+use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::error::{Result, StorageError};
+use crate::failpoint;
 use crate::page::{Page, PageId, PAGE_SIZE};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use rcmo_obs::LazyCounter;
 use std::path::Path;
 
-/// Backing storage for pages: a real file or an in-memory vector.
+static TORN_PAGE_TRUNCATED: LazyCounter =
+    LazyCounter::new("storage.salvage.torn_page_truncated.count");
+
+/// Page-granular storage over a byte-level [`Backend`].
 #[derive(Debug)]
-pub enum DiskManager {
-    /// File-backed storage.
-    File {
-        /// The open data file.
-        file: File,
-        /// Number of pages currently in the file.
-        pages: u64,
-    },
-    /// In-memory storage (no durability; used for ephemeral databases).
-    Memory {
-        /// Raw page images.
-        images: Vec<Vec<u8>>,
-    },
+pub struct DiskManager {
+    backend: Box<dyn Backend>,
+    pages: u64,
 }
 
 impl DiskManager {
     /// Opens (or creates) a file-backed disk manager.
+    ///
+    /// A data file whose length is not a multiple of the page size has a
+    /// torn trailing page from a crash during a page-extending write; the
+    /// partial page is never referenced by any committed record (the commit
+    /// that would have referenced it never checkpointed), so it is salvaged
+    /// by truncation rather than refusing to open.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StorageError::BadHeader(format!(
-                "data file length {len} is not a multiple of the page size"
-            )));
-        }
-        Ok(DiskManager::File {
-            file,
-            pages: len / PAGE_SIZE as u64,
-        })
+        Self::from_backend(Box::new(FileBackend::open(path)?))
     }
 
     /// Creates an in-memory disk manager.
     pub fn in_memory() -> Self {
-        DiskManager::Memory { images: Vec::new() }
+        DiskManager {
+            backend: Box::new(MemBackend::new()),
+            pages: 0,
+        }
+    }
+
+    /// Opens a disk manager over an arbitrary backend, applying the same
+    /// torn-trailing-page salvage as [`open`](Self::open).
+    pub fn from_backend(mut backend: Box<dyn Backend>) -> Result<Self> {
+        let len = backend.len()?;
+        let torn = len % PAGE_SIZE as u64;
+        if torn != 0 {
+            backend.set_len(len - torn)?;
+            backend.sync()?;
+            TORN_PAGE_TRUNCATED.inc();
+        }
+        Ok(DiskManager {
+            pages: (len - torn) / PAGE_SIZE as u64,
+            backend,
+        })
     }
 
     /// Number of pages in the store.
     pub fn num_pages(&self) -> u64 {
-        match self {
-            DiskManager::File { pages, .. } => *pages,
-            DiskManager::Memory { images } => images.len() as u64,
-        }
+        self.pages
     }
 
     /// Reads and checksum-verifies a page.
     pub fn read_page(&mut self, id: PageId) -> Result<Page> {
-        if id.0 >= self.num_pages() {
+        if id.0 >= self.pages {
             return Err(StorageError::PageOutOfBounds(id.0));
         }
-        match self {
-            DiskManager::File { file, .. } => {
-                let mut buf = vec![0u8; PAGE_SIZE];
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.read_exact(&mut buf)?;
-                Page::from_bytes(id, &buf)
-            }
-            DiskManager::Memory { images } => Page::from_bytes(id, &images[id.0 as usize]),
-        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.backend.read_at(id.0 * PAGE_SIZE as u64, &mut buf)?;
+        Page::from_bytes(id, &buf)
     }
 
     /// Seals (checksums) and writes a page. Extends the store if `id` is
     /// exactly one past the end; anything further is an error.
     pub fn write_page(&mut self, id: PageId, page: &mut Page) -> Result<()> {
-        let n = self.num_pages();
-        if id.0 > n {
+        if id.0 > self.pages {
             return Err(StorageError::PageOutOfBounds(id.0));
         }
         let bytes = page.sealed_bytes();
-        match self {
-            DiskManager::File { file, pages } => {
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(bytes)?;
-                if id.0 == *pages {
-                    *pages += 1;
-                }
-            }
-            DiskManager::Memory { images } => {
-                if id.0 == n {
-                    images.push(bytes.to_vec());
-                } else {
-                    images[id.0 as usize].copy_from_slice(bytes);
-                }
-            }
+        self.backend.write_at(id.0 * PAGE_SIZE as u64, bytes)?;
+        if id.0 == self.pages {
+            self.pages += 1;
         }
         Ok(())
     }
@@ -111,36 +94,23 @@ impl DiskManager {
                 image.len()
             )));
         }
-        while self.num_pages() < id.0 {
-            let gap = PageId(self.num_pages());
+        while self.pages < id.0 {
+            let gap = PageId(self.pages);
             let mut filler = Page::new(crate::page::PageKind::Free);
             self.write_page(gap, &mut filler)?;
         }
-        match self {
-            DiskManager::File { file, pages } => {
-                file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
-                file.write_all(image)?;
-                if id.0 == *pages {
-                    *pages += 1;
-                }
-            }
-            DiskManager::Memory { images } => {
-                if id.0 == images.len() as u64 {
-                    images.push(image.to_vec());
-                } else {
-                    images[id.0 as usize].copy_from_slice(image);
-                }
-            }
+        self.backend.write_at(id.0 * PAGE_SIZE as u64, image)?;
+        if id.0 == self.pages {
+            self.pages += 1;
         }
         Ok(())
     }
 
-    /// Flushes OS buffers to stable storage (no-op in memory).
+    /// Flushes OS buffers to stable storage. Passes through the
+    /// [`failpoint::DISK_SYNC`] failpoint.
     pub fn sync(&mut self) -> Result<()> {
-        if let DiskManager::File { file, .. } = self {
-            file.sync_data()?;
-        }
-        Ok(())
+        failpoint::hit(failpoint::DISK_SYNC)?;
+        self.backend.sync()
     }
 }
 
@@ -192,5 +162,50 @@ mod tests {
             assert_eq!(dm.read_page(PageId(1)).unwrap().get_u32(4), 456);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_page_is_truncated_on_open() {
+        let dir = std::env::temp_dir().join(format!("rcmo-disk-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut dm = DiskManager::open(&path).unwrap();
+            let mut p = Page::new(PageKind::Heap);
+            p.put_u64(0, 42);
+            dm.write_page(PageId(0), &mut p).unwrap();
+            dm.sync().unwrap();
+        }
+        // Simulate a crash mid-way through a page-extending write: append
+        // part of a second page.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&vec![0xAB; PAGE_SIZE / 3]).unwrap();
+        }
+        {
+            let mut dm = DiskManager::open(&path).unwrap();
+            assert_eq!(dm.num_pages(), 1, "partial page salvaged away");
+            assert_eq!(dm.read_page(PageId(0)).unwrap().get_u64(0), 42);
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            PAGE_SIZE as u64,
+            "file truncated back to a whole page"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mem_backend_roundtrip_via_from_backend() {
+        let mut dm = DiskManager::from_backend(Box::new(MemBackend::new())).unwrap();
+        let mut p = Page::new(PageKind::Heap);
+        p.put_u64(0, 9);
+        dm.write_page(PageId(0), &mut p).unwrap();
+        assert_eq!(dm.read_page(PageId(0)).unwrap().get_u64(0), 9);
     }
 }

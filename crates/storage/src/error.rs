@@ -44,6 +44,10 @@ pub enum StorageError {
     BlobNotFound(u64),
     /// Generic invariant violation — indicates an engine bug.
     Internal(String),
+    /// A deliberately injected fault (armed failpoint or `FaultyBackend`
+    /// crash/transient error). Distinguishes simulated failures from real
+    /// bugs in crash-torture harnesses; never raised in production.
+    FaultInjected(String),
 }
 
 impl fmt::Display for StorageError {
@@ -68,6 +72,7 @@ impl fmt::Display for StorageError {
             StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
             StorageError::BlobNotFound(b) => write!(f, "blob {b} not found"),
             StorageError::Internal(m) => write!(f, "internal error: {m}"),
+            StorageError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Named failpoints at every durability-relevant site in the storage stack.
+//!
+//! Each site calls [`hit`] exactly once per durability operation. In normal
+//! operation the call just counts; a test can [`arm`] a site so its N-th
+//! hit (after arming) fails with [`StorageError::FaultInjected`], simulating
+//! a crash at that precise point in the commit protocol. A fired failpoint
+//! disarms itself, so recovery code running in the same thread is never
+//! re-injected unless the test re-arms.
+//!
+//! State is **thread-local**: parallel test threads arm and fire
+//! independently without interfering. Injected faults increment the
+//! `storage.failpoint.injected.count` counter in the global
+//! [`rcmo_obs`] registry.
+//!
+//! The full inventory is [`ALL`]; the torture harness enumerates it to
+//! crash at every site at every occurrence (see `tests/crash_torture.rs`).
+
+use crate::error::{Result, StorageError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// WAL record append (`Wal::append`), before bytes are written.
+pub const WAL_APPEND: &str = "storage.wal.append";
+/// WAL fsync (`Wal::sync`), before the sync is issued.
+pub const WAL_SYNC: &str = "storage.wal.sync";
+/// WAL truncation after checkpoint (`Wal::truncate`).
+pub const WAL_TRUNCATE: &str = "storage.wal.truncate";
+/// Pager flush of one non-meta dirty page (`BufferPool::flush_dirty`).
+pub const FLUSH_PAGE: &str = "storage.pager.flush_page";
+/// Pager flush of the meta page (`BufferPool::flush_dirty`).
+pub const FLUSH_META: &str = "storage.pager.flush_meta";
+/// Data-file fsync (`DiskManager::sync`).
+pub const DISK_SYNC: &str = "storage.disk.sync";
+/// Between the data-file flush and the WAL truncate in commit: the
+/// checkpoint boundary where both the data file and the WAL hold the
+/// transaction.
+pub const CHECKPOINT: &str = "storage.checkpoint";
+
+/// Every failpoint site, in commit-protocol order.
+pub const ALL: &[&str] = &[
+    WAL_APPEND,
+    WAL_SYNC,
+    WAL_TRUNCATE,
+    FLUSH_PAGE,
+    FLUSH_META,
+    DISK_SYNC,
+    CHECKPOINT,
+];
+
+#[derive(Default)]
+struct Site {
+    hits: u64,
+    fire_at: Option<u64>,
+}
+
+thread_local! {
+    static SITES: RefCell<HashMap<&'static str, Site>> = RefCell::new(HashMap::new());
+}
+
+/// Arms `name` so its `nth` hit (1-based, counted from this call) fails.
+/// Re-arming resets the count. Panics if `nth` is zero.
+pub fn arm(name: &'static str, nth: u64) {
+    assert!(nth >= 1, "failpoints fire on a 1-based hit index");
+    SITES.with(|s| {
+        let mut map = s.borrow_mut();
+        let site = map.entry(name).or_default();
+        site.hits = 0;
+        site.fire_at = Some(nth);
+    });
+}
+
+/// Disarms every site and zeroes all hit counts for this thread.
+pub fn reset() {
+    SITES.with(|s| s.borrow_mut().clear());
+}
+
+/// Hits observed at `name` since the last [`reset`]/[`arm`] of that site.
+pub fn hits(name: &str) -> u64 {
+    SITES.with(|s| s.borrow().get(name).map_or(0, |site| site.hits))
+}
+
+/// Registers one pass through the failpoint `name`. Returns
+/// [`StorageError::FaultInjected`] if the site was armed for this hit;
+/// the site then disarms itself.
+pub fn hit(name: &'static str) -> Result<()> {
+    static INJECTED: rcmo_obs::LazyCounter =
+        rcmo_obs::LazyCounter::new("storage.failpoint.injected.count");
+    SITES.with(|s| {
+        let mut map = s.borrow_mut();
+        let site = map.entry(name).or_default();
+        site.hits += 1;
+        if site.fire_at == Some(site.hits) {
+            site.fire_at = None;
+            INJECTED.inc();
+            return Err(StorageError::FaultInjected(format!(
+                "failpoint {} fired on hit {}",
+                name, site.hits
+            )));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_failpoints_only_count() {
+        reset();
+        for _ in 0..5 {
+            hit(WAL_APPEND).unwrap();
+        }
+        assert_eq!(hits(WAL_APPEND), 5);
+        assert_eq!(hits(WAL_SYNC), 0);
+        reset();
+        assert_eq!(hits(WAL_APPEND), 0);
+    }
+
+    #[test]
+    fn armed_failpoint_fires_once_then_disarms() {
+        reset();
+        arm(FLUSH_PAGE, 3);
+        assert!(hit(FLUSH_PAGE).is_ok());
+        assert!(hit(FLUSH_PAGE).is_ok());
+        let err = hit(FLUSH_PAGE).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected(_)));
+        // Disarmed: later hits pass and keep counting.
+        assert!(hit(FLUSH_PAGE).is_ok());
+        assert_eq!(hits(FLUSH_PAGE), 4);
+        reset();
+    }
+
+    #[test]
+    fn arming_resets_the_count_for_that_site() {
+        reset();
+        hit(CHECKPOINT).unwrap();
+        hit(CHECKPOINT).unwrap();
+        arm(CHECKPOINT, 1);
+        assert!(hit(CHECKPOINT).is_err());
+        reset();
+    }
+}

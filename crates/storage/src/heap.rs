@@ -19,9 +19,9 @@ use crate::page::{Page, PageId, PageKind, PAGE_HEADER, PAGE_SIZE};
 use crate::pager::BufferPool;
 
 const BODY: usize = PAGE_SIZE - PAGE_HEADER;
-const OFF_SLOT_COUNT: usize = 0;
+pub(crate) const OFF_SLOT_COUNT: usize = 0;
 const OFF_FREE_END: usize = 2;
-const OFF_NEXT: usize = 4;
+pub(crate) const OFF_NEXT: usize = 4;
 const SLOTS_START: usize = 12;
 
 /// Largest record a heap page can store (one record, one slot).
@@ -65,7 +65,7 @@ pub fn init_heap_page(page: &mut Page) {
     page.put_u64(OFF_NEXT, PageId::NONE.0);
 }
 
-fn slot_entry(page: &Page, slot: u16) -> (u16, u16) {
+pub(crate) fn slot_entry(page: &Page, slot: u16) -> (u16, u16) {
     let base = SLOTS_START + slot as usize * 4;
     (page.get_u16(base), page.get_u16(base + 2))
 }

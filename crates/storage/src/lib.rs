@@ -24,24 +24,40 @@
 //! the pages to the data file ("redo WAL, force at commit"). Recovery on
 //! open replays committed WAL transactions in order; torn or uncommitted
 //! tails are discarded by record checksums.
+//!
+//! ## Crash testing
+//!
+//! The stack is built for deterministic crash injection: all byte-level
+//! I/O flows through the [backend] abstraction (including a seeded
+//! fault-simulating [`FaultyBackend`](backend::FaultyBackend)), every
+//! durability site passes a named [failpoint], recovery tolerates torn
+//! trailing pages and quarantines corrupt WALs instead of refusing to
+//! open, and [`Database::check_integrity`] verifies the full on-disk
+//! invariant set after a reopen. See `tests/crash_torture.rs` at the
+//! workspace root for the harness that sweeps the crash-schedule space.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod blob;
 pub mod btree;
 pub mod catalog;
 pub mod db;
 pub mod disk;
 pub mod error;
+pub mod failpoint;
 pub mod heap;
+pub mod integrity;
 pub mod page;
 pub mod pager;
 pub mod wal;
 
+pub use backend::{Backend, CrashSpec, FaultInjector, FaultyBackend, MemBackend, SimStore};
 pub use blob::BlobId;
 pub use catalog::{Column, ColumnType, Schema};
 pub use db::{Database, RowValue, Transaction};
 pub use error::StorageError;
 pub use heap::RecordId;
+pub use integrity::IntegrityReport;
 pub use page::{PageId, PAGE_SIZE};

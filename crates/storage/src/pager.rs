@@ -13,6 +13,7 @@
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
+use crate::failpoint;
 use crate::page::{Page, PageId, PageKind, PAGE_SIZE};
 use rcmo_obs::{Counter, Metrics, Registry};
 use std::collections::HashMap;
@@ -238,9 +239,16 @@ impl BufferPool {
 
     /// Writes every dirty frame to the data file (in id order, so file
     /// extension is contiguous), syncs, and marks the frames clean. Called
-    /// by commit *after* the WAL was synced.
+    /// by commit *after* the WAL was synced. Each page write passes through
+    /// the [`failpoint::FLUSH_PAGE`] (or, for the meta page,
+    /// [`failpoint::FLUSH_META`]) failpoint.
     pub fn flush_dirty(&mut self) -> Result<()> {
         for id in self.dirty_ids() {
+            if id == PageId::META {
+                failpoint::hit(failpoint::FLUSH_META)?;
+            } else {
+                failpoint::hit(failpoint::FLUSH_PAGE)?;
+            }
             let frame = self.frames.get_mut(&id).expect("dirty frame resident");
             self.disk.write_page(id, &mut frame.page)?;
             frame.dirty = false;

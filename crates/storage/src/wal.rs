@@ -13,13 +13,17 @@
 //! tag 'P': payload = txn u64 | page u64 | PAGE_SIZE image bytes
 //! tag 'C': payload = txn u64
 //! ```
+//!
+//! Storage goes through the byte-level [`Backend`] abstraction so the same
+//! code path serves files, in-memory buffers and the crash-injecting
+//! simulator. Durability sites pass through [`crate::failpoint`] hooks.
 
+use crate::backend::{Backend, FileBackend, MemBackend};
 use crate::error::{Result, StorageError};
+use crate::failpoint;
 use crate::page::{crc32, PageId, PAGE_SIZE};
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"RCWL";
 
@@ -27,6 +31,9 @@ const MAGIC: &[u8; 4] = b"RCWL";
 pub type PageImage = Vec<u8>;
 const TAG_PAGE: u8 = b'P';
 const TAG_COMMIT: u8 = b'C';
+
+static WAL_QUARANTINED: rcmo_obs::LazyCounter =
+    rcmo_obs::LazyCounter::new("storage.salvage.wal_quarantined.count");
 
 /// A decoded WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,54 +54,136 @@ pub enum WalRecord {
     },
 }
 
-/// The write-ahead log: an append-only file (or in-memory buffer).
+/// The write-ahead log over a byte-level [`Backend`].
 #[derive(Debug)]
-pub enum Wal {
-    /// File-backed log.
-    File {
-        /// The open log file.
-        file: File,
-    },
-    /// In-memory log (ephemeral databases; replay still works in-process).
-    Memory {
-        /// The raw log bytes (starting with the magic).
-        buf: Vec<u8>,
-    },
+pub struct Wal {
+    backend: Box<dyn Backend>,
 }
 
 impl Wal {
-    /// Opens (or creates) a file-backed WAL at `path`.
+    /// Opens (or creates) a file-backed WAL at `path`. Errors with
+    /// [`StorageError::BadHeader`] if the file exists but does not start
+    /// with the WAL magic; see [`open_or_quarantine`](Self::open_or_quarantine)
+    /// for the salvaging variant.
     pub fn open(path: &Path) -> Result<Self> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len == 0 {
-            file.write_all(MAGIC)?;
-            file.sync_data()?;
+        Self::from_backend_strict(Box::new(FileBackend::open(path)?))
+    }
+
+    /// Opens the WAL at `path`, quarantining it first if its header is
+    /// unreadable: a log whose magic is damaged (e.g. a crash tore the very
+    /// first write of a fresh log, or the file was corrupted at rest) is
+    /// renamed aside to `<path>.corrupt-<k>` and a fresh log is started, so
+    /// the database opens read-consistent instead of refusing to start.
+    /// Returns the WAL and the quarantine path if one was created.
+    pub fn open_or_quarantine(path: &Path) -> Result<(Self, Option<PathBuf>)> {
+        let quarantined = if Self::header_is_bad(path)? {
+            let aside = Self::quarantine_path(path);
+            std::fs::rename(path, &aside)?;
+            WAL_QUARANTINED.inc();
+            Some(aside)
         } else {
-            let mut magic = [0u8; 4];
-            file.seek(SeekFrom::Start(0))?;
-            file.read_exact(&mut magic)?;
-            if &magic != MAGIC {
-                return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
-            }
+            None
+        };
+        Ok((Self::open(path)?, quarantined))
+    }
+
+    /// `true` if the file at `path` exists, is non-empty, and does not
+    /// start with the WAL magic.
+    fn header_is_bad(path: &Path) -> Result<bool> {
+        use std::io::Read;
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+            Err(e) => return Err(e.into()),
+        };
+        if file.metadata()?.len() == 0 {
+            return Ok(false);
         }
-        file.seek(SeekFrom::End(0))?;
-        Ok(Wal::File { file })
+        let mut magic = [0u8; 4];
+        match file.read_exact(&mut magic) {
+            Ok(()) => Ok(&magic != MAGIC),
+            // Shorter than the magic: torn first write — quarantine.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(true),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn quarantine_path(path: &Path) -> PathBuf {
+        let mut k = 1u32;
+        loop {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(format!(".corrupt-{k}"));
+            let candidate = PathBuf::from(name);
+            if !candidate.exists() {
+                return candidate;
+            }
+            k += 1;
+        }
     }
 
     /// Creates an in-memory WAL.
     pub fn in_memory() -> Self {
-        Wal::Memory {
-            buf: MAGIC.to_vec(),
+        let mut backend = MemBackend::new();
+        backend
+            .write_at(0, MAGIC)
+            .expect("in-memory write cannot fail");
+        Wal {
+            backend: Box::new(backend),
         }
     }
 
+    /// Opens a WAL over an arbitrary backend. A damaged header is salvaged
+    /// in place: the log is reset to just the magic (there is no file to
+    /// rename aside) and the quarantine counter is bumped.
+    pub fn from_backend(mut backend: Box<dyn Backend>) -> Result<Self> {
+        if Self::backend_header_is_bad(backend.as_mut())? {
+            backend.set_len(0)?;
+            backend.write_at(0, MAGIC)?;
+            backend.sync()?;
+            WAL_QUARANTINED.inc();
+        }
+        Self::from_backend_strict(backend)
+    }
+
+    fn backend_header_is_bad(backend: &mut dyn Backend) -> Result<bool> {
+        let len = backend.len()?;
+        if len == 0 {
+            return Ok(false);
+        }
+        if len < MAGIC.len() as u64 {
+            return Ok(true);
+        }
+        let mut magic = [0u8; 4];
+        backend.read_at(0, &mut magic)?;
+        Ok(&magic != MAGIC)
+    }
+
+    fn from_backend_strict(mut backend: Box<dyn Backend>) -> Result<Self> {
+        let len = backend.len()?;
+        if len == 0 {
+            backend.write_at(0, MAGIC)?;
+            backend.sync()?;
+        } else {
+            if len < MAGIC.len() as u64 {
+                return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
+            }
+            let mut magic = [0u8; 4];
+            backend.read_at(0, &mut magic)?;
+            if &magic != MAGIC {
+                return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
+            }
+        }
+        Ok(Wal { backend })
+    }
+
+    /// Direct access to the underlying backend — for tests and harnesses
+    /// that need to tear or corrupt the raw log bytes.
+    pub fn backend_mut(&mut self) -> &mut dyn Backend {
+        self.backend.as_mut()
+    }
+
     fn append(&mut self, tag: u8, payload: &[u8]) -> Result<()> {
+        failpoint::hit(failpoint::WAL_APPEND)?;
         let len = payload.len() as u32;
         let mut framed = Vec::with_capacity(payload.len() + 9);
         framed.push(tag);
@@ -102,13 +191,8 @@ impl Wal {
         framed.extend_from_slice(payload);
         let sum = crc32(&framed);
         framed.extend_from_slice(&sum.to_le_bytes());
-        match self {
-            Wal::File { file } => {
-                file.write_all(&framed)?;
-            }
-            Wal::Memory { buf } => buf.extend_from_slice(&framed),
-        }
-        Ok(())
+        let end = self.backend.len()?;
+        self.backend.write_at(end, &framed)
     }
 
     /// Appends a page after-image for `txn`.
@@ -132,54 +216,35 @@ impl Wal {
     pub fn sync(&mut self) -> Result<()> {
         static LAT: rcmo_obs::LazyHistogram =
             rcmo_obs::LazyHistogram::new("storage.wal.sync.us", rcmo_obs::bounds::LATENCY_US);
+        failpoint::hit(failpoint::WAL_SYNC)?;
         let _t = LAT.start_timer();
-        if let Wal::File { file } = self {
-            file.sync_data()?;
-        }
-        Ok(())
+        self.backend.sync()
     }
 
     /// Resets the log to just the magic (after a checkpoint has made all
     /// committed images durable in the data file).
     pub fn truncate(&mut self) -> Result<()> {
-        match self {
-            Wal::File { file } => {
-                file.set_len(MAGIC.len() as u64)?;
-                file.seek(SeekFrom::End(0))?;
-                file.sync_data()?;
-            }
-            Wal::Memory { buf } => {
-                buf.truncate(MAGIC.len());
-            }
-        }
-        Ok(())
+        failpoint::hit(failpoint::WAL_TRUNCATE)?;
+        self.backend.set_len(MAGIC.len() as u64)?;
+        self.backend.sync()
     }
 
-    /// Byte length of the log (including the magic).
-    pub fn len(&mut self) -> Result<u64> {
-        Ok(match self {
-            Wal::File { file } => file.metadata()?.len(),
-            Wal::Memory { buf } => buf.len() as u64,
-        })
+    /// Byte length of the log (including the magic). Read-only: does not
+    /// touch any write cursor.
+    pub fn len(&self) -> Result<u64> {
+        self.backend.len()
     }
 
-    /// `true` if the log holds no records.
-    pub fn is_empty(&mut self) -> Result<bool> {
+    /// `true` if the log holds no records. Read-only.
+    pub fn is_empty(&self) -> Result<bool> {
         Ok(self.len()? <= MAGIC.len() as u64)
     }
 
     /// Decodes all intact records, stopping silently at a torn tail.
     pub fn records(&mut self) -> Result<Vec<WalRecord>> {
-        let bytes = match self {
-            Wal::File { file } => {
-                let mut buf = Vec::new();
-                file.seek(SeekFrom::Start(0))?;
-                file.read_to_end(&mut buf)?;
-                file.seek(SeekFrom::End(0))?;
-                buf
-            }
-            Wal::Memory { buf } => buf.clone(),
-        };
+        let len = self.backend.len()?;
+        let mut bytes = vec![0u8; len as usize];
+        self.backend.read_at(0, &mut bytes)?;
         if bytes.len() < MAGIC.len() || &bytes[..4] != MAGIC {
             return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
         }
@@ -299,10 +364,8 @@ mod tests {
         wal.log_commit(1).unwrap();
         wal.log_page(2, PageId(2), &image(2)).unwrap();
         wal.log_commit(2).unwrap();
-        if let Wal::Memory { buf } = &mut wal {
-            let n = buf.len();
-            buf.truncate(n - 3); // rip the last commit record
-        }
+        let n = wal.len().unwrap();
+        wal.backend_mut().set_len(n - 3).unwrap(); // rip the last commit record
         let (images, committed) = wal.committed_images().unwrap();
         assert!(committed.contains(&1));
         assert!(!committed.contains(&2));
@@ -316,9 +379,11 @@ mod tests {
         wal.log_commit(1).unwrap();
         wal.log_page(2, PageId(2), &image(2)).unwrap();
         wal.log_commit(2).unwrap();
-        if let Wal::Memory { buf } = &mut wal {
-            buf[10] ^= 0xFF; // corrupt the first record
-        }
+        // Corrupt the first record.
+        let mut b = [0u8; 1];
+        wal.backend_mut().read_at(10, &mut b).unwrap();
+        b[0] ^= 0xFF;
+        wal.backend_mut().write_at(10, &b).unwrap();
         let (images, committed) = wal.committed_images().unwrap();
         assert!(images.is_empty());
         assert!(committed.is_empty());
@@ -332,6 +397,26 @@ mod tests {
         wal.truncate().unwrap();
         assert!(wal.is_empty().unwrap());
         assert!(wal.records().unwrap().is_empty());
+    }
+
+    #[test]
+    fn len_and_is_empty_are_read_only() {
+        // &self receivers: stats must be callable through a shared
+        // reference, proving they cannot move any write cursor.
+        let wal = Wal::in_memory();
+        let stats = |w: &Wal| (w.len().unwrap(), w.is_empty().unwrap());
+        assert_eq!(stats(&wal), (MAGIC.len() as u64, true));
+    }
+
+    #[test]
+    fn append_after_len_query_lands_at_the_end() {
+        let mut wal = Wal::in_memory();
+        wal.log_commit(1).unwrap();
+        let before = wal.len().unwrap();
+        let _ = wal.is_empty().unwrap();
+        wal.log_commit(2).unwrap();
+        assert!(wal.len().unwrap() > before);
+        assert_eq!(wal.records().unwrap().len(), 2);
     }
 
     #[test]
@@ -357,5 +442,29 @@ mod tests {
             assert_eq!(recs.len(), 3);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_magic_is_quarantined_aside() {
+        let dir = std::env::temp_dir().join(format!("rcmo-wal-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.wal");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"NOPE plus garbage").unwrap();
+        assert!(Wal::open(&path).is_err(), "strict open refuses bad magic");
+        let (mut wal, quarantined) = Wal::open_or_quarantine(&path).unwrap();
+        let aside = quarantined.expect("bad log moved aside");
+        assert!(aside.exists());
+        assert_eq!(std::fs::read(&aside).unwrap(), b"NOPE plus garbage");
+        assert!(wal.is_empty().unwrap());
+        wal.log_commit(1).unwrap();
+        assert_eq!(wal.records().unwrap().len(), 1);
+        // A healthy log is not quarantined.
+        drop(wal);
+        let (wal2, q2) = Wal::open_or_quarantine(&path).unwrap();
+        assert!(q2.is_none());
+        assert!(!wal2.is_empty().unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&aside);
     }
 }

@@ -473,10 +473,7 @@ fn wal_replay_recovers_committed_state_under_torn_tails() {
         // Crash injection: tear the log at a random byte (anywhere from
         // "right after the magic" to "nothing lost at all").
         let cut = rng.gen_range(4..=total);
-        let Wal::Memory { buf } = &mut wal else {
-            unreachable!()
-        };
-        buf.truncate(cut as usize);
+        wal.backend_mut().set_len(cut).unwrap();
 
         // Records are decoded iff they fit entirely within the cut, and
         // a transaction survives iff its commit record does.
@@ -561,10 +558,10 @@ fn wal_corruption_never_panics_and_keeps_the_clean_prefix() {
         let total = wal.len().unwrap();
 
         let flip_at = rng.gen_range(4..total);
-        let Wal::Memory { buf } = &mut wal else {
-            unreachable!()
-        };
-        buf[flip_at as usize] ^= 1 << rng.gen_range(0..8u32);
+        let mut byte = [0u8; 1];
+        wal.backend_mut().read_at(flip_at, &mut byte).unwrap();
+        byte[0] ^= 1 << rng.gen_range(0..8u32);
+        wal.backend_mut().write_at(flip_at, &byte).unwrap();
 
         // Replay must stop at (or before) the record containing the flip.
         let clean_records = record_ends
@@ -587,6 +584,90 @@ fn wal_corruption_never_panics_and_keeps_the_clean_prefix() {
         for (page, image) in &images {
             assert!(committed.contains(&page.0), "case {case}");
             assert!(image.iter().all(|&b| b == page.0 as u8), "case {case}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Change-log resync.
+
+/// Resync at the exact eviction boundary: for every `last_seen` around the
+/// oldest-retained sequence number, `events_since` either replays a dense,
+/// gapless tail running `last_seen + 1 ..= last_seq` (the `Resync::Events`
+/// path) or reports "beyond the horizon" (forcing `Resync::Snapshot`) —
+/// with no off-by-one gap and no duplicated event on either side of the
+/// edge.
+#[test]
+fn change_log_resync_has_no_gap_at_the_eviction_boundary() {
+    use rcmo::server::{ChangeLog, RoomEvent};
+
+    let mut rng = StdRng::seed_from_u64(0x0B0B_5EA1);
+    for case in 0..80 {
+        let capacity = rng.gen_range(1..20usize);
+        let pushed = rng.gen_range(0..60u64);
+        let mut log = ChangeLog::new(capacity);
+        for i in 1..=pushed {
+            log.push(RoomEvent::Chat {
+                user: "u".into(),
+                text: format!("m{i}"),
+            });
+        }
+        let last = log.last_seq();
+        assert_eq!(last, pushed, "case {case}");
+        let first = log.first_retained_seq();
+
+        // Probe every last_seen within ±2 of the horizon plus the extremes.
+        let mut probes = vec![0, last, last + 1, last + 5];
+        if let Some(f) = first {
+            for d in 0..=2u64 {
+                probes.push(f.saturating_sub(d));
+                probes.push(f + d);
+            }
+        }
+        for &seen in &probes {
+            match log.events_since(seen) {
+                Some(tail) => {
+                    if seen >= last {
+                        assert!(
+                            tail.is_empty(),
+                            "case {case}: caught-up client (seen {seen}) got events"
+                        );
+                        continue;
+                    }
+                    let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+                    let want: Vec<u64> = (seen + 1..=last).collect();
+                    assert_eq!(
+                        seqs, want,
+                        "case {case} cap {capacity} pushed {pushed} seen {seen}: \
+                         tail must be dense and end at last_seq"
+                    );
+                }
+                None => {
+                    // Snapshot is only legal when the first missed event
+                    // (last_seen + 1) was truly evicted.
+                    let f = first.expect("snapshot forced on an empty log");
+                    assert!(
+                        seen + 1 < f,
+                        "case {case}: snapshot forced although event {} is retained (first {f})",
+                        seen + 1
+                    );
+                }
+            }
+        }
+
+        // The boundary itself, when eviction has happened: last_seen ==
+        // first_retained - 1 must still replay; one further back must not.
+        if let Some(f) = first {
+            if f > 1 {
+                assert!(
+                    log.events_since(f - 1).is_some(),
+                    "case {case}: replay lost at last_seen == first_retained - 1"
+                );
+                assert!(
+                    log.events_since(f - 2).is_none(),
+                    "case {case}: replay claimed an evicted event at first_retained - 2"
+                );
+            }
         }
     }
 }
