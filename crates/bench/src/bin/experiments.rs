@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 16] = [
+    let all: [(&str, fn()); 17] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -57,6 +57,7 @@ fn main() {
         ("e14", e14_observability),
         ("e15", e15_reconfig),
         ("e16", e16_crash),
+        ("e17", e17_concurrency),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -1687,4 +1688,280 @@ fn e16_crash() {
     );
     println!("(every schedule passed check_integrity; in-flight transactions were lost");
     println!(" only at the pre-commit WAL append, never after the WAL sync)");
+}
+
+/// E17 (contention): the two-level room locking against the old global
+/// room-map lock, under a multi-room consultation workload.
+///
+/// N rooms × M members; each worker thread drives its own room with mixed
+/// traffic — chat/annotation broadcasts, presentation reconfigurations,
+/// object renders, and a periodic "slow CT decode" modelled as a fixed
+/// 1 ms hold of that room's lock (the blocking service time the paper's
+/// image fetch+decode path exhibits). The **global** baseline reproduces
+/// the pre-refactor server by serialising every operation, decode
+/// included, through one process-wide mutex — exactly what
+/// `Mutex<HashMap<RoomId, Room>>` did. The **per-room** mode is the
+/// shipping two-level scheme.
+///
+/// Reports throughput vs. worker threads and per-op p50/p99 latency for
+/// both modes, plus the per-room lock wait/hold instrumentation. Writes
+/// `BENCH_concurrency.json`; the run aborts unless per-room multi-room
+/// throughput scales ≥ 2× from 1 → 4 threads, which is the CI gate.
+fn e17_concurrency() {
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    section("E17", "per-room concurrency vs the global room lock");
+
+    const MAX_THREADS: usize = 8;
+    const MEMBERS: usize = 4;
+    const OPS: usize = 160;
+    const DECODE: Duration = Duration::from_millis(1);
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Global,
+        PerRoom,
+    }
+
+    struct RunResult {
+        wall: Duration,
+        latencies_us: Vec<u64>,
+        ops: usize,
+    }
+
+    /// One run: `threads` workers, each bound to its own room of `MEMBERS`
+    /// members, a fresh server per run so rooms start identical.
+    fn run(mode: Mode, threads: usize) -> RunResult {
+        let (srv, doc_id, image_id) = consultation_fixture(threads * MEMBERS);
+        let srv = Arc::new(srv);
+        let global_lock = Arc::new(Mutex::new(()));
+        let mut rooms = Vec::new();
+        let mut conns = Vec::new();
+        for r in 0..threads {
+            let owner = format!("user-{}", r * MEMBERS);
+            let room = srv
+                .create_room(&owner, &format!("e17-{r}"), doc_id)
+                .unwrap();
+            for m in 0..MEMBERS {
+                conns.push(
+                    srv.join(room, &format!("user-{}", r * MEMBERS + m))
+                        .unwrap(),
+                );
+            }
+            srv.open_image(room, &owner, image_id).unwrap();
+            rooms.push(room);
+        }
+
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for (r, &room) in rooms.iter().enumerate() {
+            let srv = Arc::clone(&srv);
+            let global_lock = Arc::clone(&global_lock);
+            let user = format!("user-{}", r * MEMBERS);
+            workers.push(std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(OPS);
+                for i in 0..OPS {
+                    let t = Instant::now();
+                    // The baseline serialises *every* op process-wide, as
+                    // the old `Mutex<HashMap<..>>` server did.
+                    let _g = match mode {
+                        Mode::Global => Some(global_lock.lock().unwrap()),
+                        Mode::PerRoom => None,
+                    };
+                    match i % 4 {
+                        0 => srv
+                            .act(
+                                room,
+                                &user,
+                                Action::Chat {
+                                    text: format!("op {i}"),
+                                },
+                            )
+                            .unwrap(),
+                        1 => srv
+                            .act(
+                                room,
+                                &user,
+                                Action::AddLine {
+                                    object: image_id,
+                                    element: LineElement {
+                                        x0: (i % 64) as i64,
+                                        y0: 0,
+                                        x1: 63,
+                                        y1: (i % 64) as i64,
+                                        intensity: 190,
+                                    },
+                                },
+                            )
+                            .unwrap(),
+                        2 => {
+                            std::hint::black_box(srv.render_presentation(room, &user).unwrap());
+                        }
+                        _ => {
+                            // Slow CT decode: a blocking, in-room service
+                            // time held under that room's lock only.
+                            match mode {
+                                Mode::PerRoom => {
+                                    let handle = srv.room_handle(room).unwrap();
+                                    let _room = handle.lock();
+                                    std::thread::sleep(DECODE);
+                                }
+                                // The outer guard *is* the old room lock.
+                                Mode::Global => std::thread::sleep(DECODE),
+                            }
+                            std::hint::black_box(srv.render_object(room, image_id).unwrap());
+                        }
+                    }
+                    lat.push(t.elapsed().as_micros() as u64);
+                }
+                lat
+            }));
+        }
+        let mut latencies_us: Vec<u64> = Vec::new();
+        for w in workers {
+            latencies_us.extend(w.join().unwrap());
+        }
+        let wall = start.elapsed();
+        drop(conns);
+        RunResult {
+            wall,
+            latencies_us,
+            ops: threads * OPS,
+        }
+    }
+
+    fn quantile(sorted: &[u64], q: f64) -> u64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    println!(
+        "{} rooms max, {MEMBERS} members/room, {OPS} ops/thread; every 4th op is a",
+        MAX_THREADS
+    );
+    println!("1 ms CT-decode hold of the room's lock (the paper's slow fetch+decode)\n");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>9}",
+        "mode", "threads", "ops/s", "p50 µs", "p99 µs", "scaling"
+    );
+
+    let mut results: Vec<(Mode, usize, f64, u64, u64)> = Vec::new();
+    let mut entries = Vec::new();
+    for mode in [Mode::Global, Mode::PerRoom] {
+        let mut base_thr = 0.0f64;
+        for threads in [1usize, 2, 4, 8] {
+            let r = run(mode, threads);
+            let thr = r.ops as f64 / r.wall.as_secs_f64();
+            let mut lat = r.latencies_us;
+            lat.sort_unstable();
+            let (p50, p99) = (quantile(&lat, 0.50), quantile(&lat, 0.99));
+            if threads == 1 {
+                base_thr = thr;
+            }
+            let scaling = thr / base_thr;
+            let mode_name = match mode {
+                Mode::Global => "global",
+                Mode::PerRoom => "per-room",
+            };
+            println!(
+                "{:<10} {:>8} {:>12.0} {:>10} {:>10} {:>8.2}x",
+                mode_name, threads, thr, p50, p99, scaling
+            );
+            results.push((mode, threads, thr, p50, p99));
+            entries.push(format!(
+                concat!(
+                    "    {{\"mode\": \"{}\", \"threads\": {}, \"rooms\": {}, ",
+                    "\"members_per_room\": {}, \"ops\": {}, \"wall_ms\": {:.1}, ",
+                    "\"throughput_ops_s\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, ",
+                    "\"scaling_vs_1_thread\": {:.3}}}"
+                ),
+                mode_name,
+                threads,
+                threads,
+                MEMBERS,
+                r.ops,
+                r.wall.as_secs_f64() * 1e3,
+                thr,
+                p50,
+                p99,
+                scaling
+            ));
+        }
+    }
+
+    let thr_of = |mode: Mode, threads: usize| {
+        results
+            .iter()
+            .find(|(m, t, ..)| *m == mode && *t == threads)
+            .map(|&(_, _, thr, _, _)| thr)
+            .unwrap()
+    };
+    let scaling_1_to_4 = thr_of(Mode::PerRoom, 4) / thr_of(Mode::PerRoom, 1);
+    let vs_baseline_4 = thr_of(Mode::PerRoom, 4) / thr_of(Mode::Global, 4);
+    let p99_of = |mode: Mode, threads: usize| {
+        results
+            .iter()
+            .find(|(m, t, ..)| *m == mode && *t == threads)
+            .map(|&(.., p99)| p99)
+            .unwrap()
+    };
+    println!(
+        "\nper-room scaling 1->4 threads: {scaling_1_to_4:.2}x \
+         (gate: >= 2x); vs global baseline at 4 threads: {vs_baseline_4:.2}x"
+    );
+    println!(
+        "p99 at 4 threads: global {} µs vs per-room {} µs",
+        p99_of(Mode::Global, 4),
+        p99_of(Mode::PerRoom, 4)
+    );
+
+    // The lock-layer instrumentation accumulated across every run.
+    let snap = Registry::global().snapshot();
+    println!(
+        "lock layer: map reads {}, map writes {}",
+        snap.counters
+            .get("server.rooms.map.read.count")
+            .copied()
+            .unwrap_or(0),
+        snap.counters
+            .get("server.rooms.map.write.count")
+            .copied()
+            .unwrap_or(0)
+    );
+    for name in ["server.room.lock.wait.us", "server.room.lock.hold.us"] {
+        if let Some(h) = snap.histograms.get(name) {
+            println!(
+                "  {name}: {} samples, p50 {} p95 {} p99 {} max {} µs",
+                h.count,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"ops_per_thread\": {},\n  \"members_per_room\": {},\n",
+            "  \"decode_hold_ms\": 1,\n  \"runs\": [\n{}\n  ],\n",
+            "  \"per_room_scaling_1_to_4\": {:.3},\n",
+            "  \"per_room_vs_global_at_4\": {:.3}\n}}\n"
+        ),
+        OPS,
+        MEMBERS,
+        entries.join(",\n"),
+        scaling_1_to_4,
+        vs_baseline_4
+    );
+    std::fs::write("BENCH_concurrency.json", &json).expect("write BENCH_concurrency.json");
+    println!("wrote BENCH_concurrency.json ({} bytes)", json.len());
+
+    assert!(
+        scaling_1_to_4 >= 2.0,
+        "E17: multi-room throughput scaled only {scaling_1_to_4:.2}x from 1 to 4 \
+         threads (gate: >= 2x)"
+    );
+    println!("(independent rooms now ride their own locks: the decode stall of one");
+    println!(" room no longer serialises the whole server)");
 }

@@ -34,4 +34,4 @@ pub use error::ServerError;
 pub use events::{Action, Delta, RoomEvent};
 pub use resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent};
 pub use room::{RoomId, RoomStats, SharedObjectId};
-pub use server::{ClientConnection, InteractionServer};
+pub use server::{ClientConnection, InteractionServer, RoomHandle};

@@ -55,9 +55,12 @@ struct Member {
     sender: Sender<SequencedEvent>,
 }
 
-/// A shared room. All mutation goes through the
-/// [`InteractionServer`](crate::server::InteractionServer), which holds the
-/// room map lock, so `&mut self` here is exclusive by construction.
+/// A shared room. All access goes through the
+/// [`InteractionServer`](crate::server::InteractionServer), which wraps
+/// every room in its own `Arc<Mutex<Room>>`
+/// ([`RoomHandle`](crate::server::RoomHandle)) — `&mut self` here is
+/// exclusive by construction, and independent rooms are mutated fully in
+/// parallel.
 #[derive(Debug)]
 pub struct Room {
     /// Room id.
@@ -525,16 +528,25 @@ impl Room {
                 global,
             } => {
                 if global {
+                    // Component ids are u32; a document so large that its
+                    // component count no longer fits must be rejected whole
+                    // — the old `as u32` cast silently truncated and would
+                    // have rebased every session onto the wrong components.
+                    let components = u32::try_from(self.doc.num_components()).map_err(|_| {
+                        ServerError::Invalid(format!(
+                            "document has {} components, exceeding the u32 component-id space",
+                            self.doc.num_components()
+                        ))
+                    })?;
                     self.doc
                         .add_global_operation(component, trigger_form, &operation)?;
                     // Viewer-local extensions were built against the old
                     // network; the prototype's policy is to re-derive local
                     // state after a global edit (identity rebase keeps the
                     // explicit choices, drops extensions and context).
-                    let identity: Vec<Option<rcmo_core::ComponentId>> =
-                        (0..self.doc.num_components() as u32)
-                            .map(|i| Some(rcmo_core::ComponentId(i)))
-                            .collect();
+                    let identity: Vec<Option<rcmo_core::ComponentId>> = (0..components)
+                        .map(|i| Some(rcmo_core::ComponentId(i)))
+                        .collect();
                     for session in self.sessions.values_mut() {
                         session.rebase(&identity);
                     }

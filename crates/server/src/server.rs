@@ -5,14 +5,24 @@ use crate::events::{Action, TriggerCondition};
 use crate::resync::{Resync, SequencedEvent};
 use crate::room::{Room, RoomId, RoomStats, SharedObjectId};
 use crossbeam::channel::{unbounded, Receiver};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
 use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
-use rcmo_obs::{Gauge, Metrics, MetricsSnapshot, Registry};
+use rcmo_obs::{bounds, Counter, Gauge, Histogram, Metrics, MetricsSnapshot, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A shareable handle to one room: the second level of the server's
+/// two-level locking scheme. Cloning is cheap; the clone keeps the room
+/// alive independently of the server's map.
+///
+/// Lock order: a room lock is a *leaf* — while holding one, never acquire
+/// another room's lock or the server's room-map lock. The server itself
+/// only ever locks one room at a time.
+pub type RoomHandle = Arc<Mutex<Room>>;
 
 /// A client's end of a room: the user name and the event stream.
 #[derive(Debug)]
@@ -31,20 +41,42 @@ pub struct ClientConnection {
 
 /// The interaction server of Figure 1. Thread-safe: share by reference (or
 /// `Arc`) across client threads.
+///
+/// Concurrency model (DESIGN.md §11): a lightly-held [`RwLock`] maps
+/// `RoomId → Arc<Mutex<Room>>`. Every room operation takes a read lock on
+/// the map only long enough to clone the room's handle, then works under
+/// that single room's `Mutex` — independent rooms proceed fully in
+/// parallel, and one room's slow CT decode no longer stalls the rest of
+/// the server. The map's write lock is taken only to insert a fully-built
+/// room.
 pub struct InteractionServer {
     db: MediaDb,
-    rooms: Mutex<HashMap<RoomId, Room>>,
+    rooms: RwLock<HashMap<RoomId, RoomHandle>>,
     next_room: AtomicU64,
+    /// Mirror of `rooms.len()`, readable without any lock (used by `Debug`
+    /// so formatting the server can never deadlock against a room op).
+    room_count: AtomicU64,
     /// Lazily trained audio segmenter shared by all rooms.
     segmenter: OnceLock<rcmo_audio::SegmenterModel>,
     /// Server-wide metrics registry; every room parents into it.
     obs: Registry,
     rooms_active: Gauge,
+    map_reads: Counter,
+    map_writes: Counter,
+    room_lock_wait: Histogram,
+    room_lock_hold: Histogram,
 }
 
 impl std::fmt::Debug for InteractionServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "InteractionServer(rooms={})", self.rooms.lock().len())
+        // Deliberately lock-free: `Debug` may run while this thread (or a
+        // panicking one) holds a room or map lock, so it reads the atomic
+        // mirror instead of `self.rooms`.
+        write!(
+            f,
+            "InteractionServer(rooms={})",
+            self.room_count.load(Ordering::Relaxed)
+        )
     }
 }
 
@@ -53,13 +85,22 @@ impl InteractionServer {
     pub fn new(db: MediaDb) -> InteractionServer {
         let obs = Registry::new();
         let rooms_active = obs.gauge("server.rooms.active");
+        let map_reads = obs.counter("server.rooms.map.read.count");
+        let map_writes = obs.counter("server.rooms.map.write.count");
+        let room_lock_wait = obs.histogram("server.room.lock.wait.us", bounds::LATENCY_US);
+        let room_lock_hold = obs.histogram("server.room.lock.hold.us", bounds::LATENCY_US);
         InteractionServer {
             db,
-            rooms: Mutex::new(HashMap::new()),
+            rooms: RwLock::new(HashMap::new()),
             next_room: AtomicU64::new(1),
+            room_count: AtomicU64::new(0),
             segmenter: OnceLock::new(),
             obs,
             rooms_active,
+            map_reads,
+            map_writes,
+            room_lock_wait,
+            room_lock_hold,
         }
     }
 
@@ -70,20 +111,48 @@ impl InteractionServer {
 
     /// Creates a room around a stored document (fetched through the
     /// database layer; requires read access).
+    ///
+    /// The room is built — MediaDb fetch, document decode, CP-net wiring —
+    /// *before* the map's write lock is taken, so concurrent traffic in
+    /// other rooms never waits behind room construction.
     pub fn create_room(&self, user: &str, name: &str, document_id: u64) -> Result<RoomId> {
         let stored = self.db.get_document(user, document_id)?;
         let doc = MultimediaDocument::from_bytes(&stored.data)?;
         let id = self.next_room.fetch_add(1, Ordering::Relaxed);
-        let mut rooms = self.rooms.lock();
-        rooms.insert(id, Room::new(id, name, document_id, doc, &self.obs));
-        self.rooms_active.set(rooms.len() as i64);
+        let room = Room::new(id, name, document_id, doc, &self.obs);
+        self.map_writes.inc();
+        let mut rooms = self.rooms.write();
+        rooms.insert(id, Arc::new(Mutex::new(room)));
+        let count = rooms.len() as u64;
+        self.room_count.store(count, Ordering::Relaxed);
+        self.rooms_active.set(count as i64);
         Ok(id)
     }
 
+    /// The shareable handle of a room (the per-room lock of the two-level
+    /// scheme). The map's read lock is held only for the lookup.
+    ///
+    /// Holding the handle's `Mutex` pins that one room; observe the lock
+    /// order documented on [`RoomHandle`] — in particular, never lock two
+    /// rooms at once.
+    pub fn room_handle(&self, room: RoomId) -> Result<RoomHandle> {
+        self.map_reads.inc();
+        self.rooms
+            .read()
+            .get(&room)
+            .cloned()
+            .ok_or(ServerError::UnknownRoom(room))
+    }
+
     fn with_room<R>(&self, room: RoomId, f: impl FnOnce(&mut Room) -> Result<R>) -> Result<R> {
-        let mut rooms = self.rooms.lock();
-        let r = rooms.get_mut(&room).ok_or(ServerError::UnknownRoom(room))?;
-        f(r)
+        let handle = self.room_handle(room)?;
+        let waited = Instant::now();
+        let mut guard = handle.lock();
+        self.room_lock_wait.record_duration(waited.elapsed());
+        // Declared after `guard`, so it drops first: the hold histogram
+        // records the span for which the room lock was actually held.
+        let _hold = self.room_lock_hold.start_timer_owned();
+        f(&mut guard)
     }
 
     /// Joins a room; returns the event stream. Requires read access.
@@ -284,15 +353,27 @@ impl InteractionServer {
 
     /// Broadcasts an announcement into **every** room (the paper's
     /// "broadcasting" future work). Requires admin access in the database.
+    ///
+    /// Room handles are snapshot under a brief map read lock, then each
+    /// room is announced to under its own lock — the announcement never
+    /// holds the map while delivering, so one room's slow delivery (or a
+    /// dead member's reap cascade) cannot stall the whole server. Rooms
+    /// created concurrently with the snapshot may miss the announcement,
+    /// exactly as if they had been created just after it.
     pub fn broadcast_announcement(&self, user: &str, text: &str) -> Result<usize> {
         if self.db.user_level(user)? != Some(rcmo_mediadb::AccessLevel::Admin) {
             return Err(ServerError::Invalid(format!(
                 "'{user}' is not an administrator"
             )));
         }
-        let mut rooms = self.rooms.lock();
+        self.map_reads.inc();
+        let handles: Vec<RoomHandle> = self.rooms.read().values().cloned().collect();
         let mut reached = 0;
-        for room in rooms.values_mut() {
+        for handle in handles {
+            let waited = Instant::now();
+            let mut room = handle.lock();
+            self.room_lock_wait.record_duration(waited.elapsed());
+            let _hold = self.room_lock_hold.start_timer_owned();
             room.announce(user, text);
             reached += 1;
         }

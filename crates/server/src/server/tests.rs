@@ -1004,3 +1004,308 @@ fn render_presentation_shows_content_pane() {
     assert!(text.contains("X-ray: flat"));
     assert!(srv.render_presentation(room, "ghost").is_err());
 }
+
+#[test]
+fn debug_format_never_locks_the_room_map() {
+    let (srv, doc_id, _, _, _) = setup();
+    let r1 = srv.create_room("dr-a", "one", doc_id).unwrap();
+    srv.create_room("dr-a", "two", doc_id).unwrap();
+    // Formatting while this very thread holds a room's lock (as a room op
+    // would if it logged the server) must not deadlock: `Debug` reads the
+    // atomic room counter, touching no lock at all.
+    let handle = srv.room_handle(r1).unwrap();
+    let _room = handle.lock();
+    assert_eq!(format!("{srv:?}"), "InteractionServer(rooms=2)");
+}
+
+#[test]
+fn announcement_does_not_hold_the_map_across_rooms() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let (srv, doc_id, _, _, _) = setup();
+    let srv = Arc::new(srv);
+    let r1 = srv.create_room("dr-a", "stalled", doc_id).unwrap();
+    let r2 = srv.create_room("dr-a", "healthy", doc_id).unwrap();
+    let _a1 = srv.join(r1, "dr-a").unwrap();
+    let _a2 = srv.join(r2, "dr-a").unwrap();
+
+    // Simulate a room stuck in a slow operation: its lock is held for the
+    // duration of the announcement attempt.
+    let stalled = srv.room_handle(r1).unwrap();
+    let guard = stalled.lock();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let announcer = {
+        let srv = Arc::clone(&srv);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let reached = srv.broadcast_announcement("admin", "maintenance").unwrap();
+            done.store(true, Ordering::SeqCst);
+            reached
+        })
+    };
+    // Give the announcer time to snapshot the map and block on r1's lock.
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    assert!(
+        !done.load(Ordering::SeqCst),
+        "announcer should be blocked on the stalled room"
+    );
+
+    // The old implementation held the room-map lock across the delivery
+    // loop, so *every* other server operation stalled behind r1. Now the
+    // map is free: traffic in other rooms and room creation proceed.
+    srv.act(
+        r2,
+        "dr-a",
+        Action::Chat {
+            text: "unaffected".into(),
+        },
+    )
+    .unwrap();
+    let r3 = srv.create_room("dr-a", "new", doc_id).unwrap();
+    assert!(srv.members(r3).unwrap().is_empty());
+    assert!(!done.load(Ordering::SeqCst), "announcer is still blocked");
+
+    drop(guard);
+    let reached = announcer.join().unwrap();
+    // r3 was created after the snapshot, so only the two original rooms
+    // are guaranteed reached (the announcer may or may not have seen r3).
+    assert!(reached >= 2);
+}
+
+#[test]
+fn rooms_progress_in_parallel_while_one_room_is_stalled() {
+    use std::sync::Arc;
+    let (srv, doc_id, image_id, _, _) = setup();
+    let srv = Arc::new(srv);
+    let slow = srv.create_room("dr-a", "slow", doc_id).unwrap();
+    let fast = srv.create_room("dr-a", "fast", doc_id).unwrap();
+    let _s = srv.join(slow, "dr-a").unwrap();
+    let _f = srv.join(fast, "dr-b").unwrap();
+    srv.open_image(fast, "dr-b", image_id).unwrap();
+
+    // Pin the slow room's lock (a long CT decode, say) ...
+    let handle = srv.room_handle(slow).unwrap();
+    let guard = handle.lock();
+    // ... and drive a full workload through the *other* room from this
+    // same thread. Under the global room lock this deadlocked immediately.
+    srv.act(fast, "dr-b", Action::Chat { text: "hi".into() })
+        .unwrap();
+    srv.act(
+        fast,
+        "dr-b",
+        Action::AddLine {
+            object: image_id,
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 63,
+                y1: 63,
+                intensity: 180,
+            },
+        },
+    )
+    .unwrap();
+    assert!(srv.render_object(fast, image_id).is_ok());
+    assert!(srv.presentation(fast, "dr-b").is_ok());
+    assert_eq!(srv.members(fast).unwrap(), vec!["dr-b".to_string()]);
+    drop(guard);
+    // The stalled room is live again.
+    srv.act(
+        slow,
+        "dr-a",
+        Action::Chat {
+            text: "done".into(),
+        },
+    )
+    .unwrap();
+}
+
+/// The satellite stress test: 4 rooms × 2 actors (8 actor threads) plus a
+/// churn thread (create_room/join/leave) and an observer thread
+/// (`metrics()`, `Debug`, `room_stats`) all running concurrently. Asserts
+/// per-room isolation and event-sequence integrity afterwards.
+#[test]
+fn stress_concurrent_rooms_members_and_observers() {
+    use std::sync::Arc;
+    const ROOMS: usize = 4;
+    const ACTORS_PER_ROOM: usize = 2;
+    const OPS: usize = 40;
+
+    let (srv, doc_id, image_id, ct, _) = setup();
+    for r in 0..ROOMS {
+        for a in 0..ACTORS_PER_ROOM {
+            srv.database()
+                .put_user(
+                    "admin",
+                    &format!("u-{r}-{a}"),
+                    rcmo_mediadb::AccessLevel::Write,
+                )
+                .unwrap();
+        }
+    }
+    srv.database()
+        .put_user("admin", "churn", rcmo_mediadb::AccessLevel::Write)
+        .unwrap();
+    let srv = Arc::new(srv);
+
+    let rooms: Vec<RoomId> = (0..ROOMS)
+        .map(|r| {
+            srv.create_room("dr-a", &format!("room-{r}"), doc_id)
+                .unwrap()
+        })
+        .collect();
+    let mut conns = Vec::new();
+    for (r, &room) in rooms.iter().enumerate() {
+        for a in 0..ACTORS_PER_ROOM {
+            conns.push(((r, a), srv.join(room, &format!("u-{r}-{a}")).unwrap()));
+        }
+        srv.open_image(room, &format!("u-{r}-0"), image_id).unwrap();
+    }
+
+    let mut handles = Vec::new();
+    // 8 actor threads: mixed chat / annotation / choice / presentation /
+    // render traffic, each bound to its own room.
+    for (r, &room) in rooms.iter().enumerate() {
+        for a in 0..ACTORS_PER_ROOM {
+            let srv = Arc::clone(&srv);
+            let user = format!("u-{r}-{a}");
+            handles.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    match i % 5 {
+                        0 => srv
+                            .act(
+                                room,
+                                &user,
+                                Action::Chat {
+                                    text: format!("{user} {i}"),
+                                },
+                            )
+                            .unwrap(),
+                        1 => srv
+                            .act(
+                                room,
+                                &user,
+                                Action::AddLine {
+                                    object: image_id,
+                                    element: LineElement {
+                                        x0: (i % 64) as i64,
+                                        y0: 0,
+                                        x1: 63,
+                                        y1: (i % 64) as i64,
+                                        intensity: 150,
+                                    },
+                                },
+                            )
+                            .unwrap(),
+                        2 => {
+                            let _ = srv.act(
+                                room,
+                                &user,
+                                Action::Choose {
+                                    component: ct,
+                                    form: i % 2,
+                                },
+                            );
+                        }
+                        3 => {
+                            srv.presentation(room, &user).unwrap();
+                        }
+                        _ => {
+                            srv.render_object(room, image_id).unwrap();
+                        }
+                    }
+                }
+            }));
+        }
+    }
+    // Churn thread: rooms are created, joined, left and (implicitly)
+    // observed while the actors hammer theirs.
+    {
+        let srv = Arc::clone(&srv);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..12 {
+                let room = srv
+                    .create_room("churn", &format!("churn-{i}"), doc_id)
+                    .unwrap();
+                let _c = srv.join(room, "churn").unwrap();
+                srv.act(
+                    room,
+                    "churn",
+                    Action::Chat {
+                        text: "hello".into(),
+                    },
+                )
+                .unwrap();
+                srv.leave(room, "churn").unwrap();
+            }
+        }));
+    }
+    // Observer thread: metrics snapshots and Debug formatting must never
+    // deadlock against any of the above.
+    {
+        let srv = Arc::clone(&srv);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..60 {
+                let snap = srv.metrics();
+                assert!(snap.counters.contains_key("server.rooms.map.read.count"));
+                let _ = format!("{srv:?}");
+                std::thread::yield_now();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Per-room integrity: each member of a room saw the identical total
+    // order with dense sequence numbers, and only its own room's traffic.
+    for (r, &room) in rooms.iter().enumerate() {
+        let mut streams: Vec<Vec<SequencedEvent>> = Vec::new();
+        for ((cr, _), conn) in &conns {
+            if *cr == r {
+                streams.push(conn.events.try_iter().collect());
+            }
+        }
+        assert_eq!(streams.len(), ACTORS_PER_ROOM);
+        // Both actors joined before the traffic, so from the second join on
+        // their streams coincide; compare the common suffix.
+        let n = streams.iter().map(|s| s.len()).min().unwrap();
+        assert!(n > 0);
+        for w in streams.windows(2) {
+            assert_eq!(
+                w[0][w[0].len() - n..],
+                w[1][w[1].len() - n..],
+                "room {room}: members diverged"
+            );
+        }
+        for s in &streams {
+            assert!(
+                s.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+                "room {room}: sequence gap"
+            );
+            // Isolation: no event names a user of another room.
+            for ev in s {
+                let dump = format!("{:?}", ev.event);
+                for or in 0..ROOMS {
+                    if or != r {
+                        assert!(
+                            !dump.contains(&format!("u-{or}-")),
+                            "room {room} leaked an event from room index {or}: {dump}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            srv.last_seq(room).unwrap(),
+            srv.change_log_len(room).unwrap() as u64
+        );
+    }
+    // The lock instrumentation saw the whole run.
+    let snap = srv.metrics();
+    let wait = snap.histograms.get("server.room.lock.wait.us").unwrap();
+    let hold = snap.histograms.get("server.room.lock.hold.us").unwrap();
+    assert!(wait.count > 0 && hold.count > 0);
+    assert!(snap.counters["server.rooms.map.write.count"] >= (ROOMS + 12) as u64);
+}
