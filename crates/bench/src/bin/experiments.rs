@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 17] = [
+    let all: [(&str, fn()); 18] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -58,6 +58,7 @@ fn main() {
         ("e15", e15_reconfig),
         ("e16", e16_crash),
         ("e17", e17_concurrency),
+        ("e18", e18_cluster),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -1964,4 +1965,306 @@ fn e17_concurrency() {
     );
     println!("(independent rooms now ride their own locks: the decode stall of one");
     println!(" room no longer serialises the whole server)");
+}
+
+fn e18_cluster() {
+    use rcmo::obs::Metrics;
+    use rcmo_bench::cluster_fixture;
+    use rcmo_server::{ClusterConfig, ClusterFrontend, ClusterStats, ShardHealth};
+    use std::sync::Arc;
+
+    section(
+        "E18",
+        "sharded cluster: room-throughput scaling, live migration, zero-loss failover",
+    );
+
+    const ROOMS: usize = 8;
+    const OPS: usize = 120;
+    // Modeled reflector event-loop service time per routed call: the
+    // single-threaded-daemon bottleneck E17's decode stall plays for
+    // room locks, now at the shard ingress.
+    const SERVICE_US: u64 = 300;
+
+    /// A fresh cluster with rooms pinned round-robin across shards (the
+    /// consistent hash alone spreads unevenly at this small N; pinning by
+    /// live migration keeps the scaling runs comparable).
+    fn build(shards: usize, service_us: u64) -> (Arc<ClusterFrontend>, Vec<u64>, u64, u64) {
+        let mut cfg = ClusterConfig::new(shards);
+        cfg.ingress_service_us = service_us;
+        let (cf, doc_id, image_id) = cluster_fixture(ROOMS, cfg);
+        let mut rooms = Vec::new();
+        for r in 0..ROOMS {
+            let owner = format!("user-{r}");
+            let room = cf.create_room(&owner, &format!("e18-{r}"), doc_id).unwrap();
+            cf.migrate_room(room, r % shards).unwrap();
+            rooms.push(room);
+        }
+        (Arc::new(cf), rooms, doc_id, image_id)
+    }
+
+    // ---- Part 1: room-throughput scaling, 1 -> 4 shards -----------------
+    // Eight rooms, one driver thread each. One shard serialises all eight
+    // through its single ingress; four shards run two rooms' worth each.
+    println!("part 1: {ROOMS} rooms x {OPS} ops, {SERVICE_US} µs reflector service/call\n");
+    println!(
+        "{:>7} {:>12} {:>10} {:>10} {:>9}",
+        "shards", "ops/s", "p50 µs", "p99 µs", "scaling"
+    );
+
+    fn quantile(sorted: &[u64], q: f64) -> u64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    let mut entries = Vec::new();
+    let mut thr_by_shards: Vec<(usize, f64)> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (cf, rooms, _doc_id, image_id) = build(shards, SERVICE_US);
+        let mut conns = Vec::new();
+        for (r, &room) in rooms.iter().enumerate() {
+            let owner = format!("user-{r}");
+            conns.push(cf.join(room, &owner).unwrap());
+            cf.open_image(room, &owner, image_id).unwrap();
+        }
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for (r, &room) in rooms.iter().enumerate() {
+            let cf = Arc::clone(&cf);
+            let user = format!("user-{r}");
+            workers.push(std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(OPS);
+                for i in 0..OPS {
+                    let t = Instant::now();
+                    match i % 3 {
+                        0 => cf
+                            .act(
+                                room,
+                                &user,
+                                Action::Chat {
+                                    text: format!("op {i}"),
+                                },
+                            )
+                            .unwrap(),
+                        1 => cf
+                            .act(
+                                room,
+                                &user,
+                                Action::AddLine {
+                                    object: image_id,
+                                    element: LineElement {
+                                        x0: (i % 64) as i64,
+                                        y0: 0,
+                                        x1: 63,
+                                        y1: (i % 64) as i64,
+                                        intensity: 190,
+                                    },
+                                },
+                            )
+                            .unwrap(),
+                        _ => {
+                            std::hint::black_box(cf.render_presentation(room, &user).unwrap());
+                        }
+                    }
+                    lat.push(t.elapsed().as_micros() as u64);
+                }
+                lat
+            }));
+        }
+        let mut lat: Vec<u64> = Vec::new();
+        for w in workers {
+            lat.extend(w.join().unwrap());
+        }
+        let wall = start.elapsed();
+        drop(conns);
+        let thr = (ROOMS * OPS) as f64 / wall.as_secs_f64();
+        lat.sort_unstable();
+        let (p50, p99) = (quantile(&lat, 0.50), quantile(&lat, 0.99));
+        let base = thr_by_shards.first().map(|&(_, t)| t).unwrap_or(thr);
+        let scaling = thr / base;
+        println!("{shards:>7} {thr:>12.0} {p50:>10} {p99:>10} {scaling:>8.2}x");
+        entries.push(format!(
+            concat!(
+                "    {{\"shards\": {}, \"rooms\": {}, \"ops\": {}, \"wall_ms\": {:.1}, ",
+                "\"throughput_ops_s\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, ",
+                "\"scaling_vs_1_shard\": {:.3}}}"
+            ),
+            shards,
+            ROOMS,
+            ROOMS * OPS,
+            wall.as_secs_f64() * 1e3,
+            thr,
+            p50,
+            p99,
+            scaling
+        ));
+        thr_by_shards.push((shards, thr));
+    }
+    let thr_of = |n: usize| {
+        thr_by_shards
+            .iter()
+            .find(|&&(s, _)| s == n)
+            .map(|&(_, t)| t)
+            .unwrap()
+    };
+    let scaling_1_to_4 = thr_of(4) / thr_of(1);
+    println!("\nroom-throughput scaling 1->4 shards: {scaling_1_to_4:.2}x (gate: >= 2x)");
+
+    // ---- Part 2: live migration + seeded shard kill under traffic ------
+    // Four shards, rooms pinned two per shard. Traffic runs in three
+    // phases; between them two rooms live-migrate and shard 3 is killed
+    // (its heartbeats stop; the detector declares it dead; failover
+    // rebuilds its rooms from the frontend-held replicas).
+    println!("\npart 2: migration + failover under traffic (4 shards, seeded kill of shard 3)");
+    let (cf, rooms, _doc_id, _image_id) = build(4, 0);
+    let mut conns = Vec::new();
+    for (r, &room) in rooms.iter().enumerate() {
+        conns.push(cf.join(room, &format!("user-{r}")).unwrap());
+    }
+    let chat = |room: u64, r: usize, tag: &str, i: usize| {
+        cf.act(
+            room,
+            &format!("user-{r}"),
+            Action::Chat {
+                text: format!("{tag}-{i}"),
+            },
+        )
+        .unwrap();
+    };
+    const PHASE_OPS: usize = 40;
+    // Phase A: all eight rooms chatting.
+    for i in 0..PHASE_OPS {
+        for (r, &room) in rooms.iter().enumerate() {
+            chat(room, r, "a", i);
+        }
+    }
+    // Live migrations with members attached: room 0 (shard 0 -> 1) and
+    // room 5 (shard 1 -> 2). Streams must continue without a gap.
+    cf.migrate_room(rooms[0], 1).unwrap();
+    cf.migrate_room(rooms[5], 2).unwrap();
+    println!(
+        "  migrated room {} -> shard 1, room {} -> shard 2 (live)",
+        rooms[0], rooms[5]
+    );
+    // Phase B.
+    for i in 0..PHASE_OPS {
+        for (r, &room) in rooms.iter().enumerate() {
+            chat(room, r, "b", i);
+        }
+    }
+    // Seeded kill: shard 3 (hosting rooms 3 and 7) stops heartbeating.
+    cf.kill_shard(3);
+    let moved = cf.advance_and_fail_over(10.0).unwrap();
+    println!(
+        "  shard 3 declared dead at t={:.1}s; failover re-homed {:?}",
+        cf.now_s(),
+        moved
+    );
+    assert_eq!(
+        moved.len(),
+        2,
+        "E18: expected both of shard 3's rooms to fail over"
+    );
+    let failed_rooms: Vec<usize> = rooms
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| moved.iter().any(|(m, _)| m == *id))
+        .map(|(r, _)| r)
+        .collect();
+    assert_eq!(failed_rooms, vec![3, 7]);
+
+    // Clients of the dead shard resync (PR 1 path) before phase C; their
+    // reconstructed streams must equal the uninterrupted reference.
+    let mut resynced = Vec::new();
+    for &r in &failed_rooms {
+        let reference: Vec<_> = conns[r].events.try_iter().collect();
+        let (conn2, catch_up) = cf.resync(rooms[r], &format!("user-{r}"), 0).unwrap();
+        let Resync::Events(replayed) = catch_up else {
+            panic!("E18: room {r} resync fell back to snapshot within horizon");
+        };
+        let identical =
+            replayed.len() >= reference.len() && replayed[..reference.len()] == reference[..];
+        let dense = replayed.windows(2).all(|w| w[1].seq == w[0].seq + 1);
+        println!(
+            "  room {} rebuilt: {} events replayed, identical prefix: {identical}, dense: {dense}",
+            rooms[r],
+            replayed.len()
+        );
+        assert!(identical && dense, "E18: event loss detected on room {r}");
+        resynced.push((r, conn2));
+    }
+    // Phase C: every room — including the failed-over two — keeps serving.
+    for i in 0..PHASE_OPS {
+        for (r, &room) in rooms.iter().enumerate() {
+            chat(room, r, "c", i);
+        }
+    }
+    // Survivor streams span migrations and the failover without a gap.
+    for (r, conn) in conns.iter().enumerate() {
+        if failed_rooms.contains(&r) {
+            continue;
+        }
+        let seqs: Vec<u64> = conn.events.try_iter().map(|e| e.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "E18: gap in room {r}'s stream"
+        );
+        assert_eq!(*seqs.last().unwrap(), cf.last_seq(rooms[r]).unwrap());
+    }
+    for (r, conn) in &resynced {
+        let seqs: Vec<u64> = conn.events.try_iter().map(|e| e.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "E18: gap in failed-over room {r}'s stream"
+        );
+        assert_eq!(*seqs.last().unwrap(), cf.last_seq(rooms[*r]).unwrap());
+    }
+
+    let stats: ClusterStats = Metrics::metrics(cf.as_ref());
+    println!(
+        "  cluster stats: {} migrations, {} failover rooms, {} lossy events, {} route retries",
+        stats.migrations, stats.failover_rooms, stats.failover_lossy_events, stats.route_retries
+    );
+    assert_eq!(stats.failover_shards, 1);
+    assert_eq!(stats.failover_rooms, 2);
+    assert_eq!(
+        stats.failover_lossy_events, 0,
+        "E18: failover dropped event effects"
+    );
+    for s in 0..4 {
+        let health = cf.shard_health(s);
+        println!("  shard {s} health: {health:?}");
+        assert_eq!(
+            health,
+            if s == 3 {
+                ShardHealth::Dead
+            } else {
+                ShardHealth::Alive
+            }
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"rooms\": {},\n  \"ops_per_room\": {},\n",
+            "  \"ingress_service_us\": {},\n  \"runs\": [\n{}\n  ],\n",
+            "  \"scaling_1_to_4_shards\": {:.3},\n",
+            "  \"migrations\": {},\n  \"failover_rooms\": {},\n",
+            "  \"failover_lossy_events\": {},\n  \"zero_event_loss\": true\n}}\n"
+        ),
+        ROOMS,
+        OPS,
+        SERVICE_US,
+        entries.join(",\n"),
+        scaling_1_to_4,
+        stats.migrations,
+        stats.failover_rooms,
+        stats.failover_lossy_events
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json ({} bytes)", json.len());
+
+    assert!(
+        scaling_1_to_4 >= 2.0,
+        "E18: room throughput scaled only {scaling_1_to_4:.2}x from 1 to 4 shards (gate: >= 2x)"
+    );
+    println!("(a dead shard costs only its own rooms one resync; everyone else never notices)");
 }

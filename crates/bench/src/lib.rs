@@ -5,7 +5,7 @@
 
 use rcmo_core::{ComponentId, FormKind, MediaRef, MultimediaDocument, PresentationForm};
 use rcmo_mediadb::{AccessLevel, DocumentObject, ImageObject, MediaDb};
-use rcmo_server::InteractionServer;
+use rcmo_server::{ClusterConfig, ClusterFrontend, InteractionServer};
 
 /// Builds a synthetic medical record: `folders` composites under the root,
 /// each holding `leaves` primitives with flat/icon/hidden forms, plus the
@@ -48,8 +48,8 @@ pub fn medical_document(folders: usize, leaves: usize) -> MultimediaDocument {
 
 /// Sets up a media database with `users` write-enabled users named
 /// `user-0..`, one stored CT image, and one stored document; returns
-/// `(server, document id, image id)`.
-pub fn consultation_fixture(users: usize) -> (InteractionServer, u64, u64) {
+/// `(db, document id, image id)`.
+pub fn consultation_db(users: usize) -> (MediaDb, u64, u64) {
     let db = MediaDb::in_memory().expect("in-memory db");
     for u in 0..users {
         db.put_user("admin", &format!("user-{u}"), AccessLevel::Write)
@@ -78,5 +78,19 @@ pub fn consultation_fixture(users: usize) -> (InteractionServer, u64, u64) {
             },
         )
         .expect("document stored");
+    (db, doc_id, image_id)
+}
+
+/// [`consultation_db`] wrapped in a single interaction server; returns
+/// `(server, document id, image id)`.
+pub fn consultation_fixture(users: usize) -> (InteractionServer, u64, u64) {
+    let (db, doc_id, image_id) = consultation_db(users);
     (InteractionServer::new(db), doc_id, image_id)
+}
+
+/// [`consultation_db`] behind a sharded cluster frontend; returns
+/// `(cluster, document id, image id)`.
+pub fn cluster_fixture(users: usize, config: ClusterConfig) -> (ClusterFrontend, u64, u64) {
+    let (db, doc_id, image_id) = consultation_db(users);
+    (ClusterFrontend::new(db, config), doc_id, image_id)
 }

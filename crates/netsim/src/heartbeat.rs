@@ -1,0 +1,138 @@
+//! Heartbeat streams over a faulty shard link, in virtual time.
+//!
+//! The cluster layer detects shard failure from *missed heartbeats*: each
+//! shard periodically beats over its control link, and the frontend's
+//! health tracker counts consecutive silence. This module supplies the
+//! link half deterministically — a [`HeartbeatLink`] wraps a
+//! [`FaultyLink`] and answers, for the beat due at virtual time `t`,
+//! whether it arrives and when. A [`FaultSpec`] outage window models a
+//! stalled or partitioned shard (every beat inside the window is lost);
+//! per-beat loss models a flaky control path; a crashed shard simply stops
+//! beating (the caller stops asking).
+//!
+//! Heartbeats are fire-and-forget: a lost beat is *not* retried — the next
+//! interval carries the next one, and it is precisely the run of missing
+//! arrivals that the failure detector is built to observe.
+
+use crate::fault::{FaultSpec, FaultyLink, RetryPolicy, TransferOutcome};
+use crate::link::Link;
+
+/// Wire size of one heartbeat message (id + term + a few gauges).
+pub const HEARTBEAT_BYTES: u64 = 64;
+
+/// A shard's control link emitting heartbeats every `interval_s` virtual
+/// seconds. Deterministic: equal seeds produce equal arrival patterns.
+#[derive(Debug, Clone)]
+pub struct HeartbeatLink {
+    link: FaultyLink,
+    interval_s: f64,
+    /// Beats emitted so far (the next beat is due at `sent * interval_s`).
+    sent: u64,
+}
+
+impl HeartbeatLink {
+    /// A heartbeat stream over `link` under the fault model `fault`,
+    /// beating every `interval_s` virtual seconds.
+    pub fn new(link: Link, fault: FaultSpec, interval_s: f64) -> HeartbeatLink {
+        assert!(interval_s > 0.0, "heartbeat interval must be positive");
+        HeartbeatLink {
+            link: FaultyLink::new(link, fault),
+            interval_s,
+            sent: 0,
+        }
+    }
+
+    /// The heartbeat interval in virtual seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Virtual time the next beat is due.
+    pub fn next_due(&self) -> f64 {
+        self.sent as f64 * self.interval_s
+    }
+
+    /// Emits the next due beat; returns its arrival time at the frontend,
+    /// or `None` if the fault model ate it (loss or an outage window — a
+    /// stalled/partitioned shard). One beat, one attempt: heartbeats are
+    /// never retried.
+    pub fn beat(&mut self) -> Option<f64> {
+        let now = self.next_due();
+        self.sent += 1;
+        let policy = RetryPolicy {
+            max_retries: 0,
+            base_backoff_s: 0.0,
+            backoff_cap_s: 0.0,
+            // A beat slower than its own interval is as good as lost.
+            attempt_timeout_s: self.interval_s,
+        };
+        match self.link.transfer(HEARTBEAT_BYTES, now, &policy) {
+            TransferOutcome::Delivered { elapsed_s, .. } => Some(now + elapsed_s),
+            TransferOutcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// Advances the stream up to virtual time `until`, returning the
+    /// arrival times of every beat that survived the link. The caller
+    /// (the failure detector) infers shard health from the gaps.
+    pub fn beats_until(&mut self, until: f64) -> Vec<f64> {
+        let mut arrivals = Vec::new();
+        while self.next_due() <= until {
+            if let Some(at) = self.beat() {
+                arrivals.push(at);
+            }
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> Link {
+        Link::new(10_000_000.0, 0.005)
+    }
+
+    #[test]
+    fn clean_link_delivers_every_beat() {
+        let mut hb = HeartbeatLink::new(lan(), FaultSpec::none(), 1.0);
+        let arrivals = hb.beats_until(10.0);
+        assert_eq!(arrivals.len(), 11); // beats at 0,1,..,10
+        for (i, &at) in arrivals.iter().enumerate() {
+            assert!((at - (i as f64 + 0.005 + 64.0 * 8.0 / 10_000_000.0)).abs() < 1e-9 + 1.0);
+            assert!(at >= i as f64);
+        }
+    }
+
+    #[test]
+    fn outage_window_silences_the_shard() {
+        // A stalled shard: no beat lands inside [3, 7).
+        let spec = FaultSpec::none().with_outage(3.0, 7.0);
+        let mut hb = HeartbeatLink::new(lan(), spec, 1.0);
+        let arrivals = hb.beats_until(10.0);
+        // Beats sent at 3..=6 are eaten; the one sent at 7.0 arrives just
+        // after 7.0 (latency), so silence covers exactly [3, 7).
+        assert!(arrivals.iter().all(|&t| !(3.0..7.0).contains(&t)));
+        // Beats resume after the window: the detector sees recovery.
+        assert!(arrivals.iter().any(|&t| t >= 7.0));
+    }
+
+    #[test]
+    fn beats_are_seed_deterministic() {
+        let run = |seed| {
+            let mut hb = HeartbeatLink::new(lan(), FaultSpec::lossy(0.3, seed), 0.5);
+            hb.beats_until(50.0)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn beats_are_never_retried() {
+        // Total loss: every beat vanishes, none is retried into arrival.
+        let mut hb = HeartbeatLink::new(lan(), FaultSpec::lossy(1.0, 5), 1.0);
+        assert!(hb.beats_until(20.0).is_empty());
+        assert_eq!(hb.next_due(), 21.0);
+    }
+}

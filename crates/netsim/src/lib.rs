@@ -17,19 +17,25 @@
 //!   hit rates, response times, and wasted prefetch bytes per policy;
 //! * [`fault`] — deterministic fault injection (packet loss, latency
 //!   jitter, outage windows) with bounded retry/backoff and graceful
-//!   degradation to the coarse `LIC1` layer.
+//!   degradation to the coarse `LIC1` layer;
+//! * [`heartbeat`] — fire-and-forget heartbeat streams over a faulty
+//!   shard control link, the raw signal the cluster's failure detector
+//!   consumes (a [`FaultSpec`] outage models a stalled or partitioned
+//!   shard).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod fault;
+pub mod heartbeat;
 pub mod link;
 pub mod policy;
 pub mod session;
 
 pub use buffer::ClientBuffer;
 pub use fault::{degraded_bytes, FaultSpec, FaultyLink, RetryPolicy, TransferOutcome};
+pub use heartbeat::HeartbeatLink;
 pub use link::Link;
 pub use policy::{PolicyKind, PrefetchPolicy};
 pub use session::{simulate_session, SessionConfig, SessionStats};

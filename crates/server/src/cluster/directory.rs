@@ -1,0 +1,211 @@
+//! The room directory: consistent-hash placement of `RoomId → shard`,
+//! with a placement table that makes rooms location-independent.
+//!
+//! The hash ring decides where a *new* room lands (and where a failed-over
+//! room is rebuilt); the placement table is the authority for where a room
+//! *is* — a migrated room's entry simply points at its new shard, so a
+//! room's identity never encodes its location. Ring points are virtual
+//! nodes (several per shard) so removing a dead shard redistributes its
+//! keyspace roughly evenly over the survivors instead of dumping it on one
+//! neighbour.
+
+use crate::room::RoomId;
+use std::collections::HashMap;
+
+/// Identifier of a shard in the cluster (its index in the shard vector).
+pub type ShardId = usize;
+
+/// Where the directory says a room is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// The room is served by this shard.
+    OnShard(ShardId),
+    /// The room is mid-migration: frozen on its source, not yet adopted by
+    /// its target. Calls should retry with backoff — the entry flips to
+    /// `OnShard(target)` when the handoff completes.
+    Migrating,
+}
+
+/// FNV-1a, the same cheap stable hash the reconfiguration memo uses — no
+/// cryptographic strength needed, only stability and spread.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cluster's room directory: hash ring + placement table.
+#[derive(Debug)]
+pub struct RoomDirectory {
+    /// Ring points `(hash, shard)`, sorted by hash. Dead shards' points
+    /// are removed; the ring only ever places onto live shards.
+    ring: Vec<(u64, ShardId)>,
+    /// Authoritative placement of every existing room.
+    placements: HashMap<RoomId, Placement>,
+    vnodes_per_shard: usize,
+}
+
+impl RoomDirectory {
+    /// A directory over `shards` shards with `vnodes_per_shard` ring
+    /// points each.
+    pub fn new(shards: usize, vnodes_per_shard: usize) -> RoomDirectory {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        let vnodes_per_shard = vnodes_per_shard.max(1);
+        let mut ring = Vec::with_capacity(shards * vnodes_per_shard);
+        for shard in 0..shards {
+            for v in 0..vnodes_per_shard {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                ring.push((fnv1a(&key), shard));
+            }
+        }
+        ring.sort_unstable();
+        RoomDirectory {
+            ring,
+            placements: HashMap::new(),
+            vnodes_per_shard,
+        }
+    }
+
+    /// The shard the ring hashes `room` onto (first ring point clockwise
+    /// of the room's hash). Panics if the ring is empty (every shard
+    /// dead) — the caller gates on surviving shards.
+    fn ring_shard(&self, room: RoomId) -> ShardId {
+        assert!(!self.ring.is_empty(), "no live shards left on the ring");
+        let h = fnv1a(&room.to_le_bytes());
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[i % self.ring.len()].1
+    }
+
+    /// Places a new room: hashes it onto the ring, records the placement,
+    /// and returns the owning shard.
+    pub fn place_new(&mut self, room: RoomId) -> ShardId {
+        let shard = self.ring_shard(room);
+        self.placements.insert(room, Placement::OnShard(shard));
+        shard
+    }
+
+    /// Re-places a room whose shard died: hashes it onto the surviving
+    /// ring (the dead shard's points are already removed) and records the
+    /// new placement.
+    pub fn place_failover(&mut self, room: RoomId) -> ShardId {
+        let shard = self.ring_shard(room);
+        self.placements.insert(room, Placement::OnShard(shard));
+        shard
+    }
+
+    /// Current placement of a room, or `None` if the directory has never
+    /// heard of it (or it was closed).
+    pub fn lookup(&self, room: RoomId) -> Option<Placement> {
+        self.placements.get(&room).copied()
+    }
+
+    /// Marks a room mid-migration (source frozen, target not yet serving).
+    pub fn begin_migration(&mut self, room: RoomId) {
+        self.placements.insert(room, Placement::Migrating);
+    }
+
+    /// Completes a migration: the room now lives on `target`.
+    pub fn complete_migration(&mut self, room: RoomId, target: ShardId) {
+        self.placements.insert(room, Placement::OnShard(target));
+    }
+
+    /// Drops a room from the directory (closed or reaped).
+    pub fn remove_room(&mut self, room: RoomId) {
+        self.placements.remove(&room);
+    }
+
+    /// Every room currently placed on `shard` (sorted, so failover order
+    /// is deterministic).
+    pub fn rooms_on(&self, shard: ShardId) -> Vec<RoomId> {
+        let mut rooms: Vec<RoomId> = self
+            .placements
+            .iter()
+            .filter(|(_, p)| **p == Placement::OnShard(shard))
+            .map(|(&r, _)| r)
+            .collect();
+        rooms.sort_unstable();
+        rooms
+    }
+
+    /// Removes a dead shard's points from the ring. Its rooms' placements
+    /// are untouched — failover re-pins each via [`Self::place_failover`].
+    pub fn remove_shard(&mut self, shard: ShardId) {
+        self.ring.retain(|&(_, s)| s != shard);
+    }
+
+    /// Number of ring points a live shard contributes.
+    pub fn vnodes_per_shard(&self) -> usize {
+        self.vnodes_per_shard
+    }
+
+    /// Number of rooms the directory tracks.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// `true` if no rooms are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let mut d = RoomDirectory::new(4, 16);
+        let mut counts = [0usize; 4];
+        for room in 1..=1000u64 {
+            let s = d.place_new(room);
+            assert_eq!(d.lookup(room), Some(Placement::OnShard(s)));
+            counts[s] += 1;
+        }
+        // Rough spread: every shard owns a meaningful share.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "shard {s} owns only {c}/1000 rooms");
+        }
+        // Same ring, same answers.
+        let mut d2 = RoomDirectory::new(4, 16);
+        for room in 1..=1000u64 {
+            assert_eq!(Some(Placement::OnShard(d2.place_new(room))), d.lookup(room));
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_rooms() {
+        let mut d = RoomDirectory::new(4, 16);
+        let before: Vec<(u64, ShardId)> = (1..=500u64).map(|r| (r, d.place_new(r))).collect();
+        d.remove_shard(2);
+        for (room, old_shard) in before {
+            let new_shard = d.ring_shard(room);
+            if old_shard != 2 {
+                // Consistent hashing: survivors' rooms do not move.
+                assert_eq!(new_shard, old_shard, "room {room} moved needlessly");
+            } else {
+                assert_ne!(new_shard, 2, "room {room} still on the dead shard");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_states_flow() {
+        let mut d = RoomDirectory::new(2, 8);
+        let s = d.place_new(7);
+        d.begin_migration(7);
+        assert_eq!(d.lookup(7), Some(Placement::Migrating));
+        let target = (s + 1) % 2;
+        d.complete_migration(7, target);
+        assert_eq!(d.lookup(7), Some(Placement::OnShard(target)));
+        assert_eq!(d.rooms_on(target), vec![7]);
+        d.remove_room(7);
+        assert_eq!(d.lookup(7), None);
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-room replication journals: the change-log tail the cluster holds
+//! *outside* the owning shard, so a dead shard's rooms can be rebuilt
+//! with zero event loss.
+//!
+//! Every room carries a tap ([`crate::server::InteractionServer::tap_room`])
+//! that feeds its sequenced event stream into an unbounded channel owned by
+//! the frontend — an asynchronous replication stream in miniature. The
+//! journal pairs that stream with the room's last full checkpoint (the
+//! migration-grade [`RoomState`] taken at creation, at each migration, and
+//! on demand): rebuild = restore the checkpoint, then replay the journal
+//! tail through [`Room::ingest_replicated`], which both extends the change
+//! log verbatim (dense, gap-free sequence numbers) and folds each event's
+//! state effect back into the room.
+
+use crate::error::Result;
+use crate::resync::SequencedEvent;
+use crate::room::{Room, RoomId, RoomState};
+use crossbeam::channel::Receiver;
+use rcmo_obs::Registry;
+
+/// A room's standby replica: checkpoint + replicated tail.
+#[derive(Debug)]
+pub(crate) struct RoomJournal {
+    /// The last full checkpoint; `checkpoint.snapshot.seq` is the sequence
+    /// number the checkpoint state reflects.
+    checkpoint: RoomState,
+    /// The live replication stream (the room's tap).
+    rx: Receiver<SequencedEvent>,
+    /// Drained events with `seq > checkpoint.snapshot.seq`, dense.
+    events: Vec<SequencedEvent>,
+}
+
+impl RoomJournal {
+    /// A journal whose replica starts at `checkpoint`, fed by `rx`. The
+    /// tap may have been attached slightly *before* the checkpoint was
+    /// exported; the overlap is deduplicated by sequence number on drain.
+    pub(crate) fn new(checkpoint: RoomState, rx: Receiver<SequencedEvent>) -> RoomJournal {
+        RoomJournal {
+            checkpoint,
+            rx,
+            events: Vec::new(),
+        }
+    }
+
+    /// Pulls everything the replication stream has delivered so far into
+    /// the journal tail, dropping events the checkpoint already reflects.
+    pub(crate) fn drain(&mut self) {
+        let mut last = self
+            .events
+            .last()
+            .map(|e| e.seq)
+            .unwrap_or(self.checkpoint.snapshot.seq);
+        for ev in self.rx.try_iter() {
+            if ev.seq > last {
+                last = ev.seq;
+                self.events.push(ev);
+            }
+        }
+    }
+
+    /// Sequence number of the newest replicated event (checkpoint seq if
+    /// the tail is empty).
+    pub(crate) fn last_replicated_seq(&self) -> u64 {
+        self.events
+            .last()
+            .map(|e| e.seq)
+            .unwrap_or(self.checkpoint.snapshot.seq)
+    }
+
+    /// Number of events in the drained tail.
+    pub(crate) fn tail_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Rebuilds the room's state from checkpoint + tail: the failover
+    /// path. Returns the rebuilt state (change log continued verbatim —
+    /// the destination serves the same dense order and replay horizon)
+    /// and how many tail events were *lossy* — logged into the order but
+    /// with a state effect that could not be reconstructed from the event
+    /// alone (see [`Room::ingest_replicated`]).
+    pub(crate) fn rebuild_state(&self, room: RoomId) -> Result<(RoomState, u64)> {
+        // A scratch registry: the rebuild is a pure computation; the
+        // adopted room re-registers under its destination shard.
+        let scratch = Registry::new();
+        let mut r = Room::from_state(room, self.checkpoint.clone(), Vec::new(), &scratch)?;
+        let mut lossy = 0u64;
+        for ev in &self.events {
+            if !r.ingest_replicated(ev) {
+                lossy += 1;
+            }
+        }
+        Ok((r.export_state(), lossy))
+    }
+
+    /// Resets the replica: a fresh checkpoint (which subsumes every event
+    /// drained so far) and a fresh stream from the room's new home.
+    pub(crate) fn reset(&mut self, checkpoint: RoomState, rx: Receiver<SequencedEvent>) {
+        self.checkpoint = checkpoint;
+        self.rx = rx;
+        self.events.clear();
+    }
+}

@@ -1,0 +1,600 @@
+use super::*;
+use crate::error::{JoinRejectCause, ServerError};
+use crate::events::{Action, RoomEvent};
+use crate::resync::Resync;
+use crate::server::{ClientConnection, InteractionServer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcmo_core::{FormKind, MediaRef, MultimediaDocument, PresentationForm};
+use rcmo_imaging::{ct_phantom, LineElement, TextElement};
+use rcmo_mediadb::{AccessLevel, DocumentObject, ImageObject, MediaDb};
+use rcmo_netsim::FaultSpec;
+use rcmo_obs::Metrics;
+
+/// A database with `users` write-level users (`user-0` …), one stored CT
+/// image, and one document referencing it.
+fn fixture_db(users: usize) -> (MediaDb, u64, u64) {
+    let db = MediaDb::in_memory().unwrap();
+    for u in 0..users {
+        db.put_user("admin", &format!("user-{u}"), AccessLevel::Write)
+            .unwrap();
+    }
+    let ct = ct_phantom(32, 2, 1).unwrap();
+    let image_id = db
+        .insert_image(
+            "admin",
+            &ImageObject {
+                name: "ct".into(),
+                quality: 0,
+                texts: String::new(),
+                cm: Vec::new(),
+                data: ct.to_bytes(),
+            },
+        )
+        .unwrap();
+    let mut doc = MultimediaDocument::new("Case");
+    let images = doc.add_composite(doc.root(), "Images").unwrap();
+    doc.add_primitive(
+        images,
+        "CT",
+        MediaRef::Stored {
+            media_type: "Image".into(),
+            object_id: image_id,
+        },
+        vec![
+            PresentationForm::new("flat", FormKind::Flat, 100_000),
+            PresentationForm::hidden(),
+        ],
+    )
+    .unwrap();
+    doc.validate().unwrap();
+    let doc_id = db
+        .insert_document(
+            "admin",
+            &DocumentObject {
+                title: doc.title().into(),
+                data: doc.to_bytes(),
+            },
+        )
+        .unwrap();
+    (db, doc_id, image_id)
+}
+
+/// Test-sized retry budget: transient states resolve (or fail) fast.
+fn test_config(shards: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(shards);
+    cfg.route_retries = 4;
+    cfg.route_backoff_base_us = 10;
+    cfg.route_backoff_cap_us = 100;
+    cfg
+}
+
+fn cluster(shards: usize, users: usize) -> (ClusterFrontend, u64, u64) {
+    let (db, doc_id, image_id) = fixture_db(users);
+    (
+        ClusterFrontend::new(db, test_config(shards)),
+        doc_id,
+        image_id,
+    )
+}
+
+fn payloads(conn: &ClientConnection) -> Vec<RoomEvent> {
+    conn.events.try_iter().map(|e| e.event).collect()
+}
+
+#[test]
+fn rooms_spread_across_shards_and_route_transparently() {
+    let (cf, doc_id, _) = cluster(4, 8);
+    let mut rooms = Vec::new();
+    for i in 0..8 {
+        let user = format!("user-{i}");
+        rooms.push(cf.create_room(&user, &format!("room-{i}"), doc_id).unwrap());
+    }
+    // Consistent hashing with 16 vnodes/shard spreads 8 rooms over >1 shard.
+    let populated = (0..4)
+        .filter(|&s| cf.shard_server(s).room_count() > 0)
+        .count();
+    assert!(populated >= 2, "placement collapsed onto {populated} shard");
+    assert_eq!(
+        (0..4).map(|s| cf.shard_server(s).room_count()).sum::<u64>(),
+        8
+    );
+    // Every room is reachable through the frontend regardless of shard.
+    for (i, &room) in rooms.iter().enumerate() {
+        let user = format!("user-{i}");
+        let conn = cf.join(room, &user).unwrap();
+        cf.act(
+            room,
+            &user,
+            Action::Chat {
+                text: format!("hello from {i}"),
+            },
+        )
+        .unwrap();
+        let got = payloads(&conn);
+        assert!(got
+            .iter()
+            .any(|e| matches!(e, RoomEvent::Chat { text, .. } if text.contains("hello"))));
+        assert!(!cf.render_presentation(room, &user).unwrap().is_empty());
+    }
+    assert_eq!(Metrics::metrics(&cf).rooms, 8);
+}
+
+#[test]
+fn announcement_fans_out_across_shards() {
+    let (cf, doc_id, _) = cluster(3, 6);
+    let mut conns = Vec::new();
+    for i in 0..6 {
+        let user = format!("user-{i}");
+        let room = cf.create_room(&user, &format!("r{i}"), doc_id).unwrap();
+        conns.push(cf.join(room, &user).unwrap());
+    }
+    let reached = cf
+        .broadcast_announcement("admin", "maintenance at noon")
+        .unwrap();
+    assert_eq!(reached, 6);
+    for conn in &conns {
+        assert!(payloads(conn)
+            .iter()
+            .any(|e| matches!(e, RoomEvent::Chat { text, .. } if text.contains("maintenance"))));
+    }
+}
+
+#[test]
+fn close_and_reap_keep_directory_and_room_count_in_sync() {
+    let (cf, doc_id, _) = cluster(2, 3);
+    let keep = cf.create_room("user-0", "keep", doc_id).unwrap();
+    let close = cf.create_room("user-1", "close", doc_id).unwrap();
+    let idle = cf.create_room("user-2", "idle", doc_id).unwrap();
+    let _conn = cf.join(keep, "user-0").unwrap();
+
+    cf.close_room(close).unwrap();
+    assert!(matches!(
+        cf.join(close, "user-1"),
+        Err(ServerError::JoinRejected {
+            cause: JoinRejectCause::RoomNotFound,
+            ..
+        })
+    ));
+
+    // Reaping closes the member-less room but not the occupied one.
+    let reaped = cf.reap_empty_rooms();
+    assert_eq!(reaped, vec![idle]);
+    assert!(cf.members(keep).is_ok());
+    let total: u64 = (0..2).map(|s| cf.shard_server(s).room_count()).sum();
+    assert_eq!(total, 1);
+    assert_eq!(Metrics::metrics(&cf).rooms, 1);
+}
+
+#[test]
+fn zero_change_log_capacity_is_rejected() {
+    let (cf, doc_id, _) = cluster(1, 1);
+    let room = cf.create_room("user-0", "r", doc_id).unwrap();
+    match cf.set_change_log_capacity(room, 0) {
+        Err(ServerError::Invalid(msg)) => assert!(msg.contains("at least 1")),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+    cf.set_change_log_capacity(room, 8).unwrap();
+}
+
+#[test]
+fn join_rejections_carry_structured_causes() {
+    let (cf, doc_id, _) = cluster(2, 3);
+    // Unknown room.
+    match cf.join(99, "user-0") {
+        Err(ServerError::JoinRejected { room, cause }) => {
+            assert_eq!(room, 99);
+            assert_eq!(cause, JoinRejectCause::RoomNotFound);
+            assert!(!cause.is_transient());
+        }
+        other => panic!("expected JoinRejected, got {other:?}"),
+    }
+    // Capacity.
+    let room = cf.create_room("user-0", "small", doc_id).unwrap();
+    cf.set_room_capacity(room, Some(1)).unwrap();
+    let _first = cf.join(room, "user-0").unwrap();
+    match cf.join(room, "user-1") {
+        Err(ServerError::JoinRejected { cause, .. }) => {
+            assert_eq!(cause, JoinRejectCause::AtCapacity);
+            assert!(cause
+                .as_str()
+                .contains("maximum number of room participants"));
+        }
+        other => panic!("expected AtCapacity, got {other:?}"),
+    }
+    // Lifting the bound admits the second member.
+    cf.set_room_capacity(room, None).unwrap();
+    cf.join(room, "user-1").unwrap();
+}
+
+#[test]
+fn frozen_room_rejects_join_with_migration_cause() {
+    let (cf, doc_id, _) = cluster(2, 2);
+    let room = cf.create_room("user-0", "r", doc_id).unwrap();
+    cf.join(room, "user-0").unwrap();
+    let shard = (0..2)
+        .find(|&s| cf.shard_server(s).room_count() > 0)
+        .unwrap();
+    cf.shard_server(shard)
+        .freeze_room_for_migration(room)
+        .unwrap();
+    match cf.join(room, "user-1") {
+        Err(ServerError::JoinRejected { cause, .. }) => {
+            assert_eq!(cause, JoinRejectCause::RoomFrozenForMigration);
+            assert!(cause.is_transient());
+        }
+        other => panic!("expected frozen rejection, got {other:?}"),
+    }
+    cf.shard_server(shard).thaw_room(room).unwrap();
+    cf.join(room, "user-1").unwrap();
+}
+
+#[test]
+fn migration_is_transparent_to_live_members() {
+    let (cf, doc_id, image_id) = cluster(2, 2);
+    let room = cf.create_room("user-0", "tumor-board", doc_id).unwrap();
+    let a = cf.join(room, "user-0").unwrap();
+    let b = cf.join(room, "user-1").unwrap();
+    cf.open_image(room, "user-0", image_id).unwrap();
+    for i in 0..5 {
+        cf.act(
+            room,
+            "user-0",
+            Action::Chat {
+                text: format!("pre-{i}"),
+            },
+        )
+        .unwrap();
+    }
+    let source = (0..2)
+        .find(|&s| cf.shard_server(s).room_count() == 1)
+        .unwrap();
+    let target = 1 - source;
+    let before = cf.last_seq(room).unwrap();
+
+    cf.migrate_room(room, target).unwrap();
+
+    assert_eq!(cf.shard_server(source).room_count(), 0);
+    assert_eq!(cf.shard_server(target).room_count(), 1);
+    // The total order continues: same seq counter, same replay horizon.
+    assert_eq!(cf.last_seq(room).unwrap(), before);
+    for i in 0..5 {
+        cf.act(
+            room,
+            "user-1",
+            Action::Chat {
+                text: format!("post-{i}"),
+            },
+        )
+        .unwrap();
+    }
+    // Both members' original connections span the handoff: dense seqs,
+    // no gap, no duplicate, all ten chats present.
+    for conn in [&a, &b] {
+        let events: Vec<_> = conn.events.try_iter().collect();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "gap in {seqs:?}");
+        let chats: Vec<String> = events
+            .iter()
+            .filter_map(|e| match &e.event {
+                RoomEvent::Chat { text, .. } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chats.iter().filter(|t| t.starts_with("pre-")).count(), 5);
+        assert_eq!(chats.iter().filter(|t| t.starts_with("post-")).count(), 5);
+    }
+    // The annotated shared object crossed over too.
+    assert_eq!(cf.object_elements(room, image_id).unwrap(), 0);
+    assert_eq!(cf.members(room).unwrap().len(), 2);
+    assert_eq!(Metrics::metrics(&cf).migrations, 1);
+}
+
+#[test]
+fn migration_rejects_bad_targets_and_rolls_back() {
+    let (cf, doc_id, _) = cluster(2, 1);
+    let room = cf.create_room("user-0", "r", doc_id).unwrap();
+    let source = (0..2)
+        .find(|&s| cf.shard_server(s).room_count() == 1)
+        .unwrap();
+
+    // Migrating to the current shard is a no-op.
+    cf.migrate_room(room, source).unwrap();
+    assert_eq!(Metrics::metrics(&cf).migrations, 0);
+
+    // Unknown room.
+    assert!(matches!(
+        cf.migrate_room(999, source),
+        Err(ServerError::UnknownRoom(999))
+    ));
+
+    // A dead target is refused outright.
+    let target = 1 - source;
+    cf.kill_shard(target);
+    let newly_dead = cf.advance(10.0);
+    assert_eq!(newly_dead, vec![target]);
+    assert!(matches!(
+        cf.migrate_room(room, target),
+        Err(ServerError::Invalid(_))
+    ));
+    // The room still serves from its original shard.
+    cf.join(room, "user-0").unwrap();
+    assert_eq!(
+        cf.shard_health(target),
+        ShardHealth::Dead,
+        "death is sticky"
+    );
+}
+
+#[test]
+fn failover_rebuilds_rooms_with_zero_event_loss() {
+    let (db, doc_id, image_id) = fixture_db(4);
+    let mut cfg = test_config(2);
+    cfg.heartbeat_faults = vec![FaultSpec::none(); 2];
+    let cf = ClusterFrontend::new(db, cfg);
+
+    // Two rooms, one pinned to each shard via migration so the kill hits
+    // exactly one of them.
+    let doomed = cf.create_room("user-0", "doomed", doc_id).unwrap();
+    let safe = cf.create_room("user-1", "safe", doc_id).unwrap();
+    cf.migrate_room(doomed, 0).unwrap();
+    cf.migrate_room(safe, 1).unwrap();
+
+    let conn = cf.join(doomed, "user-0").unwrap();
+    let safe_conn = cf.join(safe, "user-1").unwrap();
+    cf.open_image(doomed, "user-0", image_id).unwrap();
+    cf.act(
+        doomed,
+        "user-0",
+        Action::AddLine {
+            object: image_id,
+            element: LineElement {
+                x0: 0,
+                y0: 0,
+                x1: 10,
+                y1: 10,
+                intensity: 200,
+            },
+        },
+    )
+    .unwrap();
+    for i in 0..6 {
+        cf.act(
+            doomed,
+            "user-0",
+            Action::Chat {
+                text: format!("m{i}"),
+            },
+        )
+        .unwrap();
+    }
+    // The uninterrupted observer's view of the total order, pre-crash.
+    let reference: Vec<_> = conn.events.try_iter().collect();
+    let last_seen = reference.last().unwrap().seq;
+    assert_eq!(cf.last_seq(doomed).unwrap(), last_seen);
+    // The replica is current before the crash.
+    assert_eq!(cf.replication_status(doomed).unwrap().0, last_seen);
+
+    // Crash shard 0; the detector declares it dead; failover re-homes the
+    // doomed room onto shard 1.
+    cf.kill_shard(0);
+    let moved = cf.advance_and_fail_over(10.0).unwrap();
+    assert_eq!(moved, vec![(doomed, 1)]);
+    assert_eq!(cf.shard_server(1).room_count(), 2);
+
+    // The surviving room never noticed.
+    cf.act(
+        safe,
+        "user-1",
+        Action::Chat {
+            text: "still here".into(),
+        },
+    )
+    .unwrap();
+    assert!(payloads(&safe_conn)
+        .iter()
+        .any(|e| matches!(e, RoomEvent::Chat { text, .. } if text == "still here")));
+
+    // Zero loss, E13-style: a client resyncing from seq 0 replays a
+    // stream identical to the uninterrupted reference over the common
+    // range, and the order stays dense.
+    let (conn2, catch_up) = cf.resync(doomed, "user-0", 0).unwrap();
+    let Resync::Events(replayed) = catch_up else {
+        panic!("within horizon: expected event replay, got snapshot");
+    };
+    assert_eq!(replayed, reference, "rebuilt order diverged from original");
+
+    // The rebuilt room keeps serving: state survived (annotation intact),
+    // and new events continue the dense order.
+    assert_eq!(cf.object_elements(doomed, image_id).unwrap(), 1);
+    cf.act(
+        doomed,
+        "user-0",
+        Action::Chat {
+            text: "after".into(),
+        },
+    )
+    .unwrap();
+    let new_events: Vec<_> = conn2.events.try_iter().collect();
+    let seqs: Vec<u64> = new_events.iter().map(|e| e.seq).collect();
+    assert!(!seqs.is_empty());
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1) && seqs[0] == last_seen + 1,
+        "post-failover seqs not dense from {last_seen}: {seqs:?}"
+    );
+
+    let stats = Metrics::metrics(&cf);
+    assert_eq!(stats.failover_shards, 1);
+    assert_eq!(stats.failover_rooms, 1);
+    assert_eq!(stats.failover_lossy_events, 0);
+}
+
+#[test]
+fn create_room_avoids_dead_shards() {
+    let (cf, doc_id, _) = cluster(2, 1);
+    cf.kill_shard(1);
+    cf.advance(10.0);
+    // Every new room lands on the survivor even when the hash prefers the
+    // dead shard (its ring points are still present until failover).
+    for i in 0..6 {
+        let room = cf.create_room("user-0", &format!("r{i}"), doc_id).unwrap();
+        assert!(cf.join(room, "user-0").is_ok());
+    }
+    assert_eq!(cf.shard_server(0).room_count(), 6);
+    assert_eq!(cf.shard_server(1).room_count(), 0);
+}
+
+/// Satellite property test: for random interaction histories, freeze →
+/// export → rebuild is an identity on everything a member can observe —
+/// presentation, member set, shared-object state, sequence counter, and
+/// replay horizon — including a non-empty change-log tail.
+#[test]
+fn property_freeze_export_rebuild_is_identity() {
+    for seed in 0..8u64 {
+        let (db, doc_id, image_id) = fixture_db(3);
+        let source = InteractionServer::new(db.clone());
+        let dest = InteractionServer::new(db);
+        let room = source.create_room("user-0", "prop", doc_id).unwrap();
+        let users = ["user-0", "user-1", "user-2"];
+        let conns: Vec<_> = users
+            .iter()
+            .map(|u| source.join(room, u).unwrap())
+            .collect();
+        source.open_image(room, "user-0", image_id).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steps = rng.gen_range(5..40);
+        for step in 0..steps {
+            let user = users[rng.gen_range(0..users.len())];
+            match rng.gen_range(0..4) {
+                0 => source
+                    .act(
+                        room,
+                        user,
+                        Action::Chat {
+                            text: format!("s{step}"),
+                        },
+                    )
+                    .unwrap(),
+                1 => source
+                    .act(
+                        room,
+                        user,
+                        Action::AddLine {
+                            object: image_id,
+                            element: LineElement {
+                                x0: rng.gen_range(0..32),
+                                y0: rng.gen_range(0..32),
+                                x1: rng.gen_range(0..32),
+                                y1: rng.gen_range(0..32),
+                                intensity: 255,
+                            },
+                        },
+                    )
+                    .unwrap(),
+                2 => source
+                    .act(
+                        room,
+                        user,
+                        Action::AddText {
+                            object: image_id,
+                            element: TextElement {
+                                x: rng.gen_range(0..32),
+                                y: rng.gen_range(0..32),
+                                text: format!("t{step}"),
+                                intensity: 200,
+                                scale: 1,
+                            },
+                        },
+                    )
+                    .unwrap(),
+                _ => {
+                    source
+                        .act(room, user, Action::Freeze { object: image_id })
+                        .unwrap();
+                    source
+                        .act(room, user, Action::Release { object: image_id })
+                        .unwrap();
+                }
+            }
+        }
+
+        let members_before = source.members(room).unwrap();
+        let last_seq = source.last_seq(room).unwrap();
+        let log_len = source.change_log_len(room).unwrap();
+        let elements = source.object_elements(room, image_id).unwrap();
+        let views: Vec<String> = users
+            .iter()
+            .map(|u| source.render_presentation(room, u).unwrap())
+            .collect();
+        assert!(log_len > 0, "history must leave a non-empty tail");
+
+        source.freeze_room_for_migration(room).unwrap();
+        let detached = source.detach_room(room).unwrap();
+        assert_eq!(detached.state.tail.len(), log_len);
+        dest.adopt_room(detached).unwrap();
+
+        // Everything observable is preserved on the destination.
+        assert_eq!(dest.members(room).unwrap(), members_before, "seed {seed}");
+        assert_eq!(dest.last_seq(room).unwrap(), last_seq, "seed {seed}");
+        assert_eq!(dest.change_log_len(room).unwrap(), log_len, "seed {seed}");
+        assert_eq!(
+            dest.object_elements(room, image_id).unwrap(),
+            elements,
+            "seed {seed}"
+        );
+        for (u, view) in users.iter().zip(&views) {
+            assert_eq!(
+                &dest.render_presentation(room, u).unwrap(),
+                view,
+                "seed {seed}"
+            );
+        }
+        // The order continues densely: the next event takes last_seq + 1,
+        // delivered over the members' original (re-attached) channels.
+        dest.act(
+            room,
+            "user-1",
+            Action::Chat {
+                text: "cont".into(),
+            },
+        )
+        .unwrap();
+        for conn in &conns {
+            let tail: Vec<_> = conn.events.try_iter().collect();
+            assert_eq!(tail.last().unwrap().seq, last_seq + 1, "seed {seed}");
+        }
+        // And the destination can still serve a full-horizon resync.
+        let (_c, catch_up) = dest.resync(room, "user-2", 0).unwrap();
+        match catch_up {
+            Resync::Events(ev) => assert_eq!(ev.last().unwrap().seq, last_seq + 1),
+            Resync::Snapshot(s) => assert_eq!(s.seq, last_seq + 1),
+        }
+    }
+}
+
+#[test]
+fn suspect_shard_call_fails_after_retry_budget_then_recovers() {
+    let (db, doc_id, _) = fixture_db(1);
+    let mut cfg = test_config(1);
+    // Shard 0's heartbeats black out over [5, 7): long enough to go
+    // suspect, short of the 2 s death threshold.
+    cfg.heartbeat_faults = vec![FaultSpec::none().with_outage(5.0, 7.0)];
+    let cf = ClusterFrontend::new(db, cfg);
+    let room = cf.create_room("user-0", "r", doc_id).unwrap();
+    cf.join(room, "user-0").unwrap();
+
+    cf.advance(6.5); // inside the outage: suspect
+    assert_eq!(cf.shard_health(0), ShardHealth::Suspect);
+    match cf.act(room, "user-0", Action::Chat { text: "x".into() }) {
+        Err(ServerError::ShardUnavailable { shard: 0, room: r }) => assert_eq!(r, room),
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+    let retries_after_suspect = Metrics::metrics(&cf).route_retries;
+    assert!(retries_after_suspect > 0);
+
+    cf.advance(1.0); // beats resume: alive again, calls flow
+    assert_eq!(cf.shard_health(0), ShardHealth::Alive);
+    cf.act(room, "user-0", Action::Chat { text: "y".into() })
+        .unwrap();
+}

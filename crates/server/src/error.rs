@@ -2,6 +2,51 @@
 
 use std::fmt;
 
+/// Why a join (or resync-as-join) was refused — the structured cause table
+/// a client GUI can act on, modeled on the conferencing CAUSE codes of
+/// commercial systems (retry later vs. give up vs. pick another room).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JoinRejectCause {
+    /// The room id resolved nowhere in the cluster.
+    RoomNotFound,
+    /// The room is frozen mid-migration; retry shortly — it thaws on the
+    /// destination shard.
+    RoomFrozenForMigration,
+    /// The shard owning the room is unreachable (suspected or dead) and
+    /// failover has not yet rebuilt the room.
+    ShardUnavailable,
+    /// The room's member capacity is reached.
+    AtCapacity,
+}
+
+impl JoinRejectCause {
+    /// Human-readable cause text (the CAUSE-table string).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JoinRejectCause::RoomNotFound => "room not found",
+            JoinRejectCause::RoomFrozenForMigration => "room is migrating; retry shortly",
+            JoinRejectCause::ShardUnavailable => "shard unavailable",
+            JoinRejectCause::AtCapacity => "maximum number of room participants is reached",
+        }
+    }
+
+    /// `true` if the same join is expected to succeed if simply retried
+    /// after a short wait (migration freeze, shard failover in progress).
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            JoinRejectCause::RoomFrozenForMigration | JoinRejectCause::ShardUnavailable
+        )
+    }
+}
+
+impl fmt::Display for JoinRejectCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors raised by room and server operations.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -35,6 +80,24 @@ pub enum ServerError {
     FreezeConflict(String),
     /// The user is already in the room.
     AlreadyJoined(String),
+    /// A join was refused for a structured, client-actionable cause.
+    JoinRejected {
+        /// The room the join targeted.
+        room: u64,
+        /// Why it was refused.
+        cause: JoinRejectCause,
+    },
+    /// The room is frozen for a live migration; mutating calls should be
+    /// retried with backoff — the room thaws on its destination shard.
+    Migrating(u64),
+    /// The shard that owns the room is unreachable (stalled, partitioned,
+    /// or dead) and no failover has rebuilt the room yet.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+        /// The room whose call could not be routed.
+        room: u64,
+    },
     /// Anything else that indicates a caller bug.
     Invalid(String),
 }
@@ -55,6 +118,13 @@ impl fmt::Display for ServerError {
             }
             ServerError::FreezeConflict(m) => write!(f, "freeze conflict: {m}"),
             ServerError::AlreadyJoined(u) => write!(f, "user '{u}' already joined"),
+            ServerError::JoinRejected { room, cause } => {
+                write!(f, "join to room {room} rejected: {cause}")
+            }
+            ServerError::Migrating(r) => write!(f, "room {r} is frozen for migration"),
+            ServerError::ShardUnavailable { shard, room } => {
+                write!(f, "shard {shard} owning room {room} is unavailable")
+            }
             ServerError::Invalid(m) => write!(f, "invalid request: {m}"),
         }
     }

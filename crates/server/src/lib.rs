@@ -20,18 +20,25 @@
 //! * [`server`] — the [`server::InteractionServer`]
 //!   facade gluing rooms, the presentation engine, and the multimedia
 //!   database together.
+//! * [`cluster`] — the sharded interaction cluster: a consistent-hash
+//!   room directory over N `InteractionServer` shards, heartbeat-based
+//!   failure detection in virtual time, live room migration
+//!   (freeze → snapshot → rebuild → thaw with gap-free sequence
+//!   numbers), and zero-loss failover from the replication journal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod error;
 pub mod events;
 pub mod resync;
 pub mod room;
 pub mod server;
 
-pub use error::ServerError;
+pub use cluster::{ClusterConfig, ClusterFrontend, ClusterStats, ShardHealth, ShardId};
+pub use error::{JoinRejectCause, ServerError};
 pub use events::{Action, Delta, RoomEvent};
 pub use resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent};
-pub use room::{RoomId, RoomStats, SharedObjectId};
-pub use server::{ClientConnection, InteractionServer, RoomHandle};
+pub use room::{RoomId, RoomState, RoomStats, SharedObjectId};
+pub use server::{ClientConnection, DetachedRoom, InteractionServer, RoomHandle};

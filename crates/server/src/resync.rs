@@ -49,6 +49,47 @@ impl ChangeLog {
         }
     }
 
+    /// Rebuilds a log from a retained tail — the migration/failover path:
+    /// the destination room continues the *same* total order, so the next
+    /// appended event gets `last_seq + 1` and a resyncing client can still
+    /// replay any tail the source could. `tail` must be dense, ascending,
+    /// and end at `last_seq` (it may be empty for a brand-new room).
+    pub fn restore(capacity: usize, last_seq: u64, tail: Vec<SequencedEvent>) -> ChangeLog {
+        assert!(
+            tail.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+            "restored tail must be dense"
+        );
+        assert!(
+            tail.last().map(|e| e.seq == last_seq).unwrap_or(true),
+            "restored tail must end at last_seq"
+        );
+        let capacity = capacity.max(1);
+        let mut events: VecDeque<SequencedEvent> = tail.into();
+        while events.len() > capacity {
+            events.pop_front();
+        }
+        ChangeLog {
+            events,
+            capacity,
+            next_seq: last_seq + 1,
+        }
+    }
+
+    /// Appends an already-sequenced event verbatim — the replicated-journal
+    /// replay path, where the sequence number was assigned by the room
+    /// that originally broadcast the event. The order must stay dense.
+    pub fn push_sequenced(&mut self, event: SequencedEvent) {
+        assert_eq!(
+            event.seq, self.next_seq,
+            "replicated event breaks the dense total order"
+        );
+        self.next_seq += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
     /// Appends an event, assigning it the next sequence number. Evicts the
     /// oldest event when full.
     pub fn push(&mut self, event: RoomEvent) -> SequencedEvent {

@@ -1,7 +1,7 @@
 //! Shared rooms: membership, per-viewer presentation sessions, the in-room
 //! object registry, freeze/release, and delta broadcast.
 
-use crate::error::{Result, ServerError};
+use crate::error::{JoinRejectCause, Result, ServerError};
 use crate::events::{Action, Delta, RoomEvent, TriggerCondition};
 use crate::resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent, DEFAULT_CHANGE_LOG_CAPACITY};
 use crossbeam::channel::Sender;
@@ -55,6 +55,36 @@ struct Member {
     sender: Sender<SequencedEvent>,
 }
 
+/// A room's full migratable state: what freeze → snapshot exports and what
+/// the destination shard rebuilds from. Built on the resync
+/// [`RoomSnapshot`] (the state fold every client catch-up already uses),
+/// extended with what a *server* needs that a client does not: per-viewer
+/// sessions (choices survive the move), the retained change-log tail (the
+/// destination serves the same replay horizon), and the room's own
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct RoomState {
+    /// Display name.
+    pub name: String,
+    /// The multimedia database id of the room's document.
+    pub document_id: u64,
+    /// The resync-path state snapshot (document, objects, freezes,
+    /// members, and the sequence number the state reflects).
+    pub snapshot: RoomSnapshot,
+    /// Per-viewer presentation sessions, keyed by member name.
+    pub sessions: Vec<(String, ViewerSession)>,
+    /// The retained change-log tail ending at `snapshot.seq` (dense).
+    pub tail: Vec<SequencedEvent>,
+    /// The change log's ring capacity.
+    pub change_log_capacity: usize,
+    /// Member capacity (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Registered triggers (id, owner, condition).
+    pub triggers: Vec<(u64, String, TriggerCondition)>,
+    /// The id the next registered trigger receives.
+    pub next_trigger: u64,
+}
+
 /// A shared room. All access goes through the
 /// [`InteractionServer`](crate::server::InteractionServer), which wraps
 /// every room in its own `Arc<Mutex<Room>>`
@@ -81,6 +111,17 @@ pub struct Room {
     /// changed objects" — a bounded ring (see [`ChangeLog`]).
     change_log: ChangeLog,
     engine: PresentationEngine,
+    /// Maximum members (`None` = unbounded). Joins beyond it are rejected
+    /// with [`JoinRejectCause::AtCapacity`].
+    capacity: Option<usize>,
+    /// Set for the freeze→snapshot→thaw window of a live migration: all
+    /// mutating calls are refused ([`ServerError::Migrating`]) so the
+    /// exported state is the room's final word on its shard.
+    frozen_for_migration: bool,
+    /// Replication tap: every sequenced event is also sent here (the
+    /// cluster journal that failover rebuilds from). A broken tap is
+    /// dropped silently — it is an observer, never a member.
+    tap: Option<Sender<SequencedEvent>>,
     obs: Registry,
     delivered: Counter,
     delivered_bytes: Counter,
@@ -125,6 +166,9 @@ impl Room {
             freezes: HashMap::new(),
             change_log: ChangeLog::new(DEFAULT_CHANGE_LOG_CAPACITY),
             engine: PresentationEngine::new(),
+            capacity: None,
+            frozen_for_migration: false,
+            tap: None,
             obs,
             delivered,
             delivered_bytes,
@@ -171,6 +215,13 @@ impl Room {
     fn deliver(&mut self, event: RoomEvent) -> Vec<String> {
         let sequenced = self.change_log.push(event);
         self.logged.inc();
+        // The replication tap observes the identical total order the
+        // members do; it is not a member (never reaped, never counted).
+        if let Some(tap) = &self.tap {
+            if tap.send(sequenced.clone()).is_err() {
+                self.tap = None;
+            }
+        }
         let size = sequenced.event.encoded_len() as u64;
         let mut dead = Vec::new();
         for m in &self.members {
@@ -220,8 +271,22 @@ impl Room {
     }
 
     pub(crate) fn join(&mut self, user: &str, sender: Sender<SequencedEvent>) -> Result<()> {
+        if self.frozen_for_migration {
+            return Err(ServerError::JoinRejected {
+                room: self.id,
+                cause: JoinRejectCause::RoomFrozenForMigration,
+            });
+        }
         if self.members.iter().any(|m| m.name == user) {
             return Err(ServerError::AlreadyJoined(user.to_string()));
+        }
+        if let Some(cap) = self.capacity {
+            if self.members.len() >= cap {
+                return Err(ServerError::JoinRejected {
+                    room: self.id,
+                    cause: JoinRejectCause::AtCapacity,
+                });
+            }
         }
         self.members.push(Member {
             name: user.to_string(),
@@ -284,6 +349,11 @@ impl Room {
         last_seen: u64,
     ) -> Result<Resync> {
         let _t = self.resync_lat.start_timer_owned();
+        if self.frozen_for_migration {
+            // A resync may rejoin (a membership mutation): refused while
+            // frozen, retried by the cluster after the thaw.
+            return Err(ServerError::Migrating(self.id));
+        }
         // Catch-up is computed before any rejoin event so the client never
         // replays its own reconnection.
         let catch_up = match self.change_log.events_since(last_seen) {
@@ -337,6 +407,187 @@ impl Room {
             freezes,
             members: self.members.iter().map(|m| m.name.clone()).collect(),
         }
+    }
+
+    /// Marks the room frozen for migration: every mutating call
+    /// (`act`, `join`, `resync`) is refused with
+    /// [`ServerError::Migrating`] / [`JoinRejectCause::RoomFrozenForMigration`]
+    /// until [`Self::thaw`]. Read-only calls keep working.
+    pub(crate) fn freeze_for_migration(&mut self) {
+        self.frozen_for_migration = true;
+    }
+
+    /// Lifts a migration freeze (on the destination shard, after rebuild).
+    pub(crate) fn thaw(&mut self) {
+        self.frozen_for_migration = false;
+    }
+
+    /// `true` while the room is frozen for a live migration.
+    pub fn is_frozen_for_migration(&self) -> bool {
+        self.frozen_for_migration
+    }
+
+    /// Current member count.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Bounds the member count (`None` = unbounded).
+    pub(crate) fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// Attaches (or replaces) the replication tap: a channel that observes
+    /// the room's total event order without being a member.
+    pub(crate) fn set_tap(&mut self, tap: Sender<SequencedEvent>) {
+        self.tap = Some(tap);
+    }
+
+    /// Exports the room's full migratable state: the resync snapshot (the
+    /// state fold), the per-viewer sessions, and the retained change-log
+    /// tail so the destination can serve the same replay horizon. The room
+    /// should be frozen first — the export is then its final word.
+    pub(crate) fn export_state(&self) -> RoomState {
+        RoomState {
+            name: self.name.clone(),
+            document_id: self.document_id,
+            snapshot: self.snapshot(),
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(name, s)| (name.clone(), s.clone()))
+                .collect(),
+            tail: self.change_log.retained().cloned().collect(),
+            change_log_capacity: self.change_log.capacity(),
+            capacity: self.capacity,
+            triggers: self.triggers.clone(),
+            next_trigger: self.next_trigger,
+        }
+    }
+
+    /// Rebuilds a room from exported state under a (possibly different)
+    /// shard's registry. `members` supplies the live event channels to
+    /// carry over — a migration passes the source's senders so clients
+    /// keep their streams; a failover passes none and clients resync.
+    ///
+    /// The rebuilt room continues the source's total order exactly: its
+    /// change log is restored at the same `next_seq` with the same
+    /// retained tail, so sequence numbers stay gap-free end-to-end.
+    pub(crate) fn from_state(
+        id: RoomId,
+        state: RoomState,
+        members: Vec<(String, Sender<SequencedEvent>)>,
+        parent: &Registry,
+    ) -> Result<Room> {
+        let doc = MultimediaDocument::from_bytes(&state.snapshot.document)?;
+        let mut room = Room::new(id, &state.name, state.document_id, doc, parent);
+        for (oid, bytes) in &state.snapshot.objects {
+            room.objects
+                .insert(*oid, AnnotatedImage::from_bytes(bytes)?);
+        }
+        room.freezes = state.snapshot.freezes.iter().cloned().collect();
+        room.sessions = state.sessions.into_iter().collect();
+        room.change_log =
+            ChangeLog::restore(state.change_log_capacity, state.snapshot.seq, state.tail);
+        room.capacity = state.capacity;
+        room.triggers = state.triggers;
+        room.next_trigger = state.next_trigger;
+        for (name, sender) in members {
+            room.sessions
+                .entry(name.clone())
+                .or_insert_with(|| ViewerSession::new(&name));
+            room.members.push(Member { name, sender });
+        }
+        Ok(room)
+    }
+
+    /// Replays one replicated event into a failover rebuild: extends the
+    /// change log verbatim (keeping the dense total order the source
+    /// assigned) and folds the event's state effect into the room. Returns
+    /// `false` when the event's effect cannot be reconstructed from the
+    /// event alone (`OperationApplied` carries the operation name but not
+    /// its trigger form) — the caller counts the rebuild as lossy and the
+    /// room serves on with its checkpoint-era document.
+    ///
+    /// Membership is deliberately *not* restored: the dead shard took
+    /// every member channel with it, so the rebuilt room starts with no
+    /// members and clients re-enter through the resync path. Sessions
+    /// (viewer choices) are restored, so a resyncing client gets their
+    /// presentation back, not the default.
+    pub(crate) fn ingest_replicated(&mut self, sequenced: &SequencedEvent) -> bool {
+        self.change_log.push_sequenced(sequenced.clone());
+        self.logged.inc();
+        match &sequenced.event {
+            RoomEvent::Joined { user } => {
+                self.sessions
+                    .entry(user.clone())
+                    .or_insert_with(|| ViewerSession::new(user));
+                true
+            }
+            RoomEvent::Left { user } => {
+                // Freeze releases arrive as their own `Released` events.
+                self.sessions.remove(user);
+                self.last_presentations.remove(user);
+                true
+            }
+            RoomEvent::ObjectChanged { object, delta, .. } => {
+                let Some(img) = self.objects.get_mut(object) else {
+                    return false;
+                };
+                match delta {
+                    Delta::TextAdded { id, element } => img.add_text(element.clone()) == *id,
+                    Delta::LineAdded { id, element } => img.add_line(*element) == *id,
+                    Delta::ElementDeleted { id } => img.delete_element(*id).is_ok(),
+                }
+            }
+            RoomEvent::ChoiceMade {
+                user,
+                component,
+                form,
+            } => {
+                let session = self
+                    .sessions
+                    .entry(user.clone())
+                    .or_insert_with(|| ViewerSession::new(user));
+                match form {
+                    Some(form) => session
+                        .choose(
+                            &self.doc,
+                            ViewerChoice {
+                                component: *component,
+                                form: *form,
+                            },
+                        )
+                        .is_ok(),
+                    None => {
+                        session.unchoose(*component);
+                        true
+                    }
+                }
+            }
+            RoomEvent::Frozen { object, by } => {
+                self.freezes.insert(*object, by.clone());
+                true
+            }
+            RoomEvent::Released { object, .. } => {
+                self.freezes.remove(object);
+                true
+            }
+            // The operation's trigger form never crossed the wire; the
+            // document mutation cannot be replayed from the event alone.
+            RoomEvent::OperationApplied { .. } => false,
+            // Pure notifications: no server-side state to fold.
+            RoomEvent::Chat { .. }
+            | RoomEvent::PresentationChanged { .. }
+            | RoomEvent::TriggerFired { .. }
+            | RoomEvent::AudioAnalysed { .. } => true,
+        }
+    }
+
+    /// Detaches the live member channels (for a migration handoff). The
+    /// room is left member-less; pair with [`Self::export_state`].
+    pub(crate) fn take_member_channels(&mut self) -> Vec<(String, Sender<SequencedEvent>)> {
+        self.members.drain(..).map(|m| (m.name, m.sender)).collect()
     }
 
     pub(crate) fn require_member(&self, user: &str) -> Result<()> {
@@ -447,6 +698,9 @@ impl Room {
     /// the server's core dispatch (the paper's "use case: updating the
     /// presentation", Fig. 4b, plus the object operations of §3).
     pub(crate) fn act(&mut self, user: &str, action: Action) -> Result<()> {
+        if self.frozen_for_migration {
+            return Err(ServerError::Migrating(self.id));
+        }
         self.require_member(user)?;
         let log_start = self.change_log.last_seq() + 1;
         let result = self.act_inner(user, action);

@@ -3,7 +3,8 @@
 use crate::error::{Result, ServerError};
 use crate::events::{Action, TriggerCondition};
 use crate::resync::{Resync, SequencedEvent};
-use crate::room::{Room, RoomId, RoomStats, SharedObjectId};
+use crate::room::{Room, RoomId, RoomState, RoomStats, SharedObjectId};
+use crossbeam::channel::Sender;
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::{Mutex, RwLock};
 use rcmo_core::{MultimediaDocument, Presentation};
@@ -23,6 +24,20 @@ use std::time::Instant;
 /// another room's lock or the server's room-map lock. The server itself
 /// only ever locks one room at a time.
 pub type RoomHandle = Arc<Mutex<Room>>;
+
+/// A room lifted out of its server for a live migration: the exported
+/// [`RoomState`] plus the members' live event channels, which the
+/// destination re-attaches so clients keep their streams across the move.
+#[derive(Debug)]
+pub struct DetachedRoom {
+    /// The room id (kept across the migration — room ids are
+    /// location-independent).
+    pub id: RoomId,
+    /// The exported state (snapshot + sessions + change-log tail).
+    pub state: RoomState,
+    /// The live member channels, in join order.
+    pub members: Vec<(String, Sender<SequencedEvent>)>,
+}
 
 /// A client's end of a room: the user name and the event stream.
 #[derive(Debug)]
@@ -109,6 +124,13 @@ impl InteractionServer {
         &self.db
     }
 
+    /// Number of open rooms — the lock-free atomic mirror every map
+    /// mutation keeps in sync, so monitors can poll it without touching
+    /// the room map's lock.
+    pub fn room_count(&self) -> u64 {
+        self.room_count.load(Ordering::Relaxed)
+    }
+
     /// Creates a room around a stored document (fetched through the
     /// database layer; requires read access).
     ///
@@ -116,17 +138,178 @@ impl InteractionServer {
     /// *before* the map's write lock is taken, so concurrent traffic in
     /// other rooms never waits behind room construction.
     pub fn create_room(&self, user: &str, name: &str, document_id: u64) -> Result<RoomId> {
+        let id = self.next_room.fetch_add(1, Ordering::Relaxed);
+        self.create_room_with_id(id, user, name, document_id)?;
+        Ok(id)
+    }
+
+    /// Creates a room under a caller-chosen id — the cluster path: room ids
+    /// must be unique *across* shards (they are location-independent keys
+    /// in the directory), so a frontend allocates them centrally and every
+    /// shard accepts the assignment. Fails if the id is already in use.
+    pub fn create_room_with_id(
+        &self,
+        id: RoomId,
+        user: &str,
+        name: &str,
+        document_id: u64,
+    ) -> Result<()> {
         let stored = self.db.get_document(user, document_id)?;
         let doc = MultimediaDocument::from_bytes(&stored.data)?;
-        let id = self.next_room.fetch_add(1, Ordering::Relaxed);
+        // Keep local allocation clear of adopted ids.
+        self.next_room.fetch_max(id + 1, Ordering::Relaxed);
         let room = Room::new(id, name, document_id, doc, &self.obs);
+        self.insert_room(id, Arc::new(Mutex::new(room)))
+    }
+
+    /// Inserts a built room under the map's write lock, keeping the
+    /// `room_count` mirror and gauge in sync.
+    fn insert_room(&self, id: RoomId, handle: RoomHandle) -> Result<()> {
         self.map_writes.inc();
         let mut rooms = self.rooms.write();
-        rooms.insert(id, Arc::new(Mutex::new(room)));
+        if rooms.contains_key(&id) {
+            return Err(ServerError::Invalid(format!("room {id} already exists")));
+        }
+        rooms.insert(id, handle);
         let count = rooms.len() as u64;
         self.room_count.store(count, Ordering::Relaxed);
         self.rooms_active.set(count as i64);
-        Ok(id)
+        Ok(())
+    }
+
+    /// Removes a room from the server. Members still holding event
+    /// receivers simply see their stream end; the detached room itself is
+    /// dropped once the last outstanding [`RoomHandle`] clone goes away.
+    pub fn close_room(&self, room: RoomId) -> Result<()> {
+        self.map_writes.inc();
+        let mut rooms = self.rooms.write();
+        if rooms.remove(&room).is_none() {
+            return Err(ServerError::UnknownRoom(room));
+        }
+        let count = rooms.len() as u64;
+        self.room_count.store(count, Ordering::Relaxed);
+        self.rooms_active.set(count as i64);
+        Ok(())
+    }
+
+    /// Closes every room with no members left (clients left or were
+    /// reaped), returning the ids closed. Candidates are found under each
+    /// room's own lock first (map read lock released); the removal then
+    /// re-verifies emptiness under the map's write lock with a `try_lock`
+    /// on the room — never a blocking room lock, so the map → room lock
+    /// order is preserved even while holding the write lock. A room that
+    /// gained a member (or a migration freeze) between the two checks is
+    /// kept.
+    pub fn reap_empty_rooms(&self) -> Vec<RoomId> {
+        self.map_reads.inc();
+        let handles: Vec<(RoomId, RoomHandle)> = self
+            .rooms
+            .read()
+            .iter()
+            .map(|(&id, h)| (id, h.clone()))
+            .collect();
+        let mut empties = Vec::new();
+        for (id, handle) in handles {
+            let room = handle.lock();
+            if room.member_count() == 0 && !room.is_frozen_for_migration() {
+                empties.push(id);
+            }
+        }
+        let mut reaped = Vec::new();
+        if empties.is_empty() {
+            return reaped;
+        }
+        self.map_writes.inc();
+        let mut rooms = self.rooms.write();
+        for id in empties {
+            let still_empty = rooms
+                .get(&id)
+                .and_then(|h| h.try_lock().map(|r| r.member_count() == 0))
+                .unwrap_or(false);
+            if still_empty {
+                rooms.remove(&id);
+                reaped.push(id);
+            }
+        }
+        let count = rooms.len() as u64;
+        self.room_count.store(count, Ordering::Relaxed);
+        self.rooms_active.set(count as i64);
+        reaped
+    }
+
+    /// Freezes a room for migration: mutating calls start failing with
+    /// [`ServerError::Migrating`] and the room's state stops changing.
+    pub fn freeze_room_for_migration(&self, room: RoomId) -> Result<()> {
+        self.with_room(room, |r| {
+            r.freeze_for_migration();
+            Ok(())
+        })
+    }
+
+    /// Lifts a migration freeze (the migration was aborted, or the room
+    /// was just adopted and is ready to serve).
+    pub fn thaw_room(&self, room: RoomId) -> Result<()> {
+        self.with_room(room, |r| {
+            r.thaw();
+            Ok(())
+        })
+    }
+
+    /// Detaches a room for a live migration: the room must already be
+    /// frozen (so the exported state is final); it is removed from this
+    /// server's map and returned as state + live member channels. Calls
+    /// routed here afterwards see [`ServerError::UnknownRoom`] — the
+    /// cluster layer holds the directory entry in `Migrating` state for
+    /// the duration, so clients retry rather than fail.
+    pub fn detach_room(&self, room: RoomId) -> Result<DetachedRoom> {
+        let handle = self.room_handle(room)?;
+        {
+            let r = handle.lock();
+            if !r.is_frozen_for_migration() {
+                return Err(ServerError::Invalid(format!(
+                    "room {room} must be frozen before detach"
+                )));
+            }
+        }
+        self.close_room(room)?;
+        let mut r = handle.lock();
+        let state = r.export_state();
+        let members = r.take_member_channels();
+        Ok(DetachedRoom {
+            id: room,
+            state,
+            members,
+        })
+    }
+
+    /// Adopts a detached (or failover-rebuilt) room: rebuilds it from the
+    /// exported state under this server's registry, re-attaches the member
+    /// channels, and inserts it thawed. The rebuilt room continues the
+    /// source's event order with gap-free sequence numbers.
+    pub fn adopt_room(&self, detached: DetachedRoom) -> Result<()> {
+        let DetachedRoom { id, state, members } = detached;
+        let room = Room::from_state(id, state, members, &self.obs)?;
+        self.insert_room(id, Arc::new(Mutex::new(room)))
+    }
+
+    /// Attaches a replication tap to a room: `tap` observes the room's
+    /// sequenced event stream (the identical total order members see)
+    /// without being a member — the cluster's journal feed.
+    pub fn tap_room(&self, room: RoomId, tap: Sender<SequencedEvent>) -> Result<()> {
+        self.with_room(room, |r| {
+            r.set_tap(tap);
+            Ok(())
+        })
+    }
+
+    /// Bounds a room's member count (`None` = unbounded). Joins beyond the
+    /// bound are rejected with
+    /// [`crate::error::JoinRejectCause::AtCapacity`].
+    pub fn set_room_capacity(&self, room: RoomId, capacity: Option<usize>) -> Result<()> {
+        self.with_room(room, |r| {
+            r.set_capacity(capacity);
+            Ok(())
+        })
     }
 
     /// The shareable handle of a room (the per-room lock of the two-level
@@ -200,8 +383,16 @@ impl InteractionServer {
     }
 
     /// Re-bounds a room's change buffer (mainly for tests and experiments;
-    /// shrinking evicts the oldest retained events).
+    /// shrinking evicts the oldest retained events). A capacity of zero is
+    /// rejected: such a ring could never replay a tail resync, so every
+    /// reconnect would silently degrade to a full snapshot.
     pub fn set_change_log_capacity(&self, room: RoomId, capacity: usize) -> Result<()> {
+        if capacity == 0 {
+            return Err(ServerError::Invalid(
+                "change log capacity must be at least 1 (a zero ring can never replay a resync tail)"
+                    .to_string(),
+            ));
+        }
         self.with_room(room, |r| {
             r.set_change_log_capacity(capacity);
             Ok(())
