@@ -14,7 +14,7 @@ fn bench_broadcast(c: &mut Criterion) {
         let (srv, doc_id, image_id) = consultation_fixture(partners);
         let room = srv.create_room("user-0", "bench", doc_id).unwrap();
         let conns: Vec<_> = (0..partners)
-            .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+            .map(|u| srv.join_default(room, &format!("user-{u}")).unwrap())
             .collect();
         srv.open_image(room, "user-0", image_id).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(partners), &srv, |b, srv| {
@@ -38,7 +38,7 @@ fn bench_broadcast(c: &mut Criterion) {
                 .unwrap();
                 // Drain so channels stay bounded in memory.
                 for c in &conns {
-                    while c.events.try_recv().is_ok() {}
+                    while c.events.try_recv().is_some() {}
                 }
             })
         });
@@ -53,7 +53,7 @@ fn bench_choice_reconfig(c: &mut Criterion) {
         let (srv, doc_id, _) = consultation_fixture(partners);
         let room = srv.create_room("user-0", "bench", doc_id).unwrap();
         let conns: Vec<_> = (0..partners)
-            .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+            .map(|u| srv.join_default(room, &format!("user-{u}")).unwrap())
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(partners), &srv, |b, srv| {
             let mut form = 0usize;
@@ -69,7 +69,7 @@ fn bench_choice_reconfig(c: &mut Criterion) {
                 )
                 .unwrap();
                 for c in &conns {
-                    while c.events.try_recv().is_ok() {}
+                    while c.events.try_recv().is_some() {}
                 }
             })
         });

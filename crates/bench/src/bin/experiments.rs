@@ -25,7 +25,7 @@ use rcmo_core::{
 };
 use rcmo_imaging::{ct_phantom, psnr, segment_image, LineElement, TextElement};
 use rcmo_netsim::{simulate_session, FaultSpec, Link, PolicyKind, SessionConfig};
-use rcmo_server::{Action, Resync};
+use rcmo_server::{Action, ClientConnection, JoinRequest, Resync, RoomConfig, RoomEvent};
 use std::time::Instant;
 
 fn section(id: &str, title: &str) {
@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 18] = [
+    let all: [(&str, fn()); 19] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -59,6 +59,7 @@ fn main() {
         ("e16", e16_crash),
         ("e17", e17_concurrency),
         ("e18", e18_cluster),
+        ("e19", e19_fanout),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -93,7 +94,7 @@ fn e1_architecture() {
         let (srv, doc_id, image_id) = consultation_fixture(partners);
         let room = srv.create_room("user-0", "e1", doc_id).unwrap();
         let conns: Vec<_> = (0..partners)
-            .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+            .map(|u| srv.join_default(room, &format!("user-{u}")).unwrap())
             .collect();
         srv.open_image(room, "user-0", image_id).unwrap();
         // 50 annotations from one partner, everyone receives deltas.
@@ -375,7 +376,7 @@ fn e7_room() {
     let (srv, doc_id, image_id) = consultation_fixture(3);
     let room = srv.create_room("user-0", "tumor board", doc_id).unwrap();
     let conns: Vec<_> = (0..3)
-        .map(|u| srv.join(room, &format!("user-{u}")).unwrap())
+        .map(|u| srv.join_default(room, &format!("user-{u}")).unwrap())
         .collect();
     srv.open_image(room, "user-0", image_id).unwrap();
     srv.act(room, "user-0", Action::Freeze { object: image_id })
@@ -969,9 +970,9 @@ fn e13_fault_tolerance() {
     println!("\noutage + resync in a shared room:");
     let (srv, doc_id, image_id) = consultation_fixture(3);
     let room = srv.create_room("user-0", "e13", doc_id).unwrap();
-    let c0 = srv.join(room, "user-0").unwrap();
-    let c1 = srv.join(room, "user-1").unwrap();
-    let c2 = srv.join(room, "user-2").unwrap();
+    let c0 = srv.join_default(room, "user-0").unwrap();
+    let c1 = srv.join_default(room, "user-1").unwrap();
+    let c2 = srv.join_default(room, "user-2").unwrap();
     srv.open_image(room, "user-0", image_id).unwrap();
     srv.act(room, "user-2", Action::Freeze { object: image_id })
         .unwrap();
@@ -1062,7 +1063,12 @@ fn e13_fault_tolerance() {
     drop(c1);
 
     // -- Part 3: the change log stays bounded. --
-    srv.set_change_log_capacity(room, 512).unwrap();
+    srv.configure_room(
+        room,
+        "user-0",
+        RoomConfig::new().with_change_log_capacity(512),
+    )
+    .unwrap();
     for i in 0..10_000 {
         srv.act(
             room,
@@ -1124,8 +1130,8 @@ fn e14_workload() -> rcmo::Result<()> {
     // underneath, StorageError all flow through the same `?`).
     let (srv, doc_id, image_id) = consultation_fixture(2);
     let room = srv.create_room("user-0", "e14", doc_id)?;
-    let _c0 = srv.join(room, "user-0")?;
-    let c1 = srv.join(room, "user-1")?;
+    let _c0 = srv.join_default(room, "user-0")?;
+    let c1 = srv.join_default(room, "user-1")?;
     srv.open_image(room, "user-0", image_id)?;
     srv.act(
         room,
@@ -1746,7 +1752,7 @@ fn e17_concurrency() {
                 .unwrap();
             for m in 0..MEMBERS {
                 conns.push(
-                    srv.join(room, &format!("user-{}", r * MEMBERS + m))
+                    srv.join_default(room, &format!("user-{}", r * MEMBERS + m))
                         .unwrap(),
                 );
             }
@@ -2022,7 +2028,7 @@ fn e18_cluster() {
         let mut conns = Vec::new();
         for (r, &room) in rooms.iter().enumerate() {
             let owner = format!("user-{r}");
-            conns.push(cf.join(room, &owner).unwrap());
+            conns.push(cf.join_default(room, &owner).unwrap());
             cf.open_image(room, &owner, image_id).unwrap();
         }
         let start = Instant::now();
@@ -2117,7 +2123,7 @@ fn e18_cluster() {
     let (cf, rooms, _doc_id, _image_id) = build(4, 0);
     let mut conns = Vec::new();
     for (r, &room) in rooms.iter().enumerate() {
-        conns.push(cf.join(room, &format!("user-{r}")).unwrap());
+        conns.push(cf.join_default(room, &format!("user-{r}")).unwrap());
     }
     let chat = |room: u64, r: usize, tag: &str, i: usize| {
         cf.act(
@@ -2267,4 +2273,308 @@ fn e18_cluster() {
         "E18: room throughput scaled only {scaling_1_to_4:.2}x from 1 to 4 shards (gate: >= 2x)"
     );
     println!("(a dead shard costs only its own rooms one resync; everyone else never notices)");
+}
+
+/// E19 (lecture fan-out): the role-based lecture at audience scale. One
+/// presenter broadcasts ~8 KiB slide payloads to 10 → 10 000 viewers; the
+/// room encodes each event **once** into a shared `Arc` payload and fans
+/// out pointers, so the per-event cost must grow far slower than the
+/// audience (gate: ≤ 0.5× the audience factor), with exactly one encode
+/// per event at every scale and zero slow-consumer evictions. Then a
+/// 1 000-viewer late-join storm hits the 10 000-member room mid-talk:
+/// every joiner must catch up through a *snapshot* resync (the talk is far
+/// past the replay horizon), served from the room's snapshot byte cache,
+/// with their live stream starting exactly at `snapshot.seq + 1` and
+/// staying gap-free to the end — zero event loss — while the presenter's
+/// per-broadcast latency never stalls. Writes `BENCH_fanout.json`; every
+/// gate aborts the run on violation, which is the CI gate.
+fn e19_fanout() {
+    section(
+        "E19",
+        "role-based lecture: encode-once fan-out and the 1k late-join storm",
+    );
+    use std::hint::black_box;
+    const EVENTS: usize = 200;
+    const ROUNDS: usize = 3;
+    const BASELINE_ITERS: usize = 20;
+    const STORM: usize = 1_000;
+    const AUDIENCES: [usize; 4] = [10, 100, 1_000, 10_000];
+
+    // ~8 KiB slide payload — the size of a delta list or a codec layer
+    // packet: the shared buffer the encode-once fan-out materialises
+    // exactly once per event (the pre-refactor broadcast deep-cloned it
+    // once per member).
+    let caption: String = "the CP-net of slide 7, reconfigured ".repeat(230);
+
+    fn drain_all(conns: &[ClientConnection]) {
+        for c in conns {
+            while c.events.try_recv().is_some() {}
+        }
+    }
+
+    println!(
+        "{:>9} {:>10} {:>14} {:>10} {:>12} {:>13}",
+        "audience", "join ms", "cost/event us", "encodes", "deliveries", "clone-base us"
+    );
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    // The 10k room survives the loop: the storm phase below hits it.
+    let mut lecture = None;
+    for &n in &AUDIENCES {
+        let users = if n == *AUDIENCES.last().unwrap() {
+            n + STORM + 1
+        } else {
+            n + 1
+        };
+        let (srv, doc_id, _image_id) = consultation_fixture(users);
+        let room = srv.create_room("user-0", "lecture", doc_id).unwrap();
+        let presenter = srv.join(room, &JoinRequest::presenter("user-0")).unwrap();
+
+        // Admission: each join broadcasts a `Joined` to everyone already
+        // seated, so the storm of N admissions is inherently O(N²) events;
+        // periodic drains keep the bounded queues shallow (nobody may be
+        // evicted as a slow consumer during admission).
+        let t_join = Instant::now();
+        let mut viewers: Vec<ClientConnection> = Vec::with_capacity(n);
+        for i in 1..=n {
+            viewers.push(
+                srv.join(room, &JoinRequest::viewer(&format!("user-{i}")))
+                    .unwrap(),
+            );
+            if i % 512 == 0 {
+                drain_all(&viewers);
+            }
+        }
+        drain_all(&viewers);
+        drain_all(std::slice::from_ref(&presenter));
+        let join_ms = t_join.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(srv.members(room).unwrap().len(), n + 1);
+
+        // The lecture: EVENTS captioned slides per round, timed. The
+        // first round doubles as warmup (queues and allocator touched);
+        // best-of-ROUNDS is the stable figure the gate compares — the
+        // experiment may run after E1..E18 have churned the heap.
+        let before = srv.room_stats(room).unwrap();
+        let mut cost_per_event_us = f64::INFINITY;
+        for round in 0..ROUNDS {
+            drain_all(&viewers);
+            drain_all(std::slice::from_ref(&presenter));
+            let t = Instant::now();
+            for i in 0..EVENTS {
+                srv.act(
+                    room,
+                    "user-0",
+                    Action::Chat {
+                        text: format!("slide {round}-{i}: {caption}"),
+                    },
+                )
+                .unwrap();
+            }
+            cost_per_event_us =
+                cost_per_event_us.min(t.elapsed().as_secs_f64() * 1e6 / EVENTS as f64);
+        }
+        let after = srv.room_stats(room).unwrap();
+
+        let encodes = after.events_encoded - before.events_encoded;
+        let deliveries = after.events_delivered - before.events_delivered;
+        assert_eq!(
+            encodes,
+            (ROUNDS * EVENTS) as u64,
+            "E19: encode-once violated at audience {n}: {encodes} encodes for {} events",
+            ROUNDS * EVENTS
+        );
+        assert_eq!(
+            after.slow_consumers_evicted, before.slow_consumers_evicted,
+            "E19: audience {n} lost members to slow-consumer eviction mid-lecture"
+        );
+        assert_eq!(
+            deliveries,
+            (ROUNDS * EVENTS * (n + 1)) as u64,
+            "E19: audience {n} deliveries off: every member gets every event"
+        );
+
+        // Zero loss at the receiving edge: a sampled viewer saw every
+        // slide, gap-free, through the room's last sequence number.
+        let last = srv.last_seq(room).unwrap();
+        let sample: Vec<_> = viewers[n / 2].events.try_iter().collect();
+        let seqs: Vec<u64> = sample.iter().map(|e| e.seq).collect();
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "E19: audience {n}: sampled viewer saw a sequence gap"
+        );
+        assert_eq!(*seqs.last().unwrap(), last);
+        assert_eq!(
+            sample
+                .iter()
+                .filter(|e| matches!(&e.event, RoomEvent::Chat { .. }))
+                .count(),
+            EVENTS,
+            "E19: audience {n}: sampled viewer lost slides"
+        );
+
+        // The pre-refactor cost model for reference: one deep payload
+        // clone per member per event.
+        let proto = RoomEvent::Chat {
+            user: "user-0".to_string(),
+            text: format!("slide 0: {caption}"),
+        };
+        let t = Instant::now();
+        for _ in 0..BASELINE_ITERS {
+            for _ in 0..n + 1 {
+                black_box(proto.clone());
+            }
+        }
+        let clone_us = t.elapsed().as_secs_f64() * 1e6 / BASELINE_ITERS as f64;
+
+        println!(
+            "{:>9} {:>10.1} {:>14.2} {:>10} {:>12} {:>13.2}",
+            n, join_ms, cost_per_event_us, encodes, deliveries, clone_us
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"audience\": {}, \"events\": {}, \"join_ms\": {:.1}, ",
+                "\"cost_per_event_us\": {:.2}, \"encodes\": {}, \"deliveries\": {}, ",
+                "\"clone_baseline_us\": {:.2}, \"slow_consumers_evicted\": 0}}"
+            ),
+            n, EVENTS, join_ms, cost_per_event_us, encodes, deliveries, clone_us
+        ));
+        rows.push((n, cost_per_event_us));
+        if n == *AUDIENCES.last().unwrap() {
+            lecture = Some((srv, room, presenter, viewers));
+        }
+    }
+
+    // The tentpole gate: 1000× the audience must cost far less than 1000×
+    // per event — the shared payload is encoded once, so only the pointer
+    // fan-out scales with N.
+    let (n_small, c_small) = rows[0];
+    let (n_big, c_big) = rows[rows.len() - 1];
+    let audience_factor = n_big as f64 / n_small as f64;
+    let cost_factor = c_big / c_small;
+    println!(
+        "audience x{audience_factor:.0} cost x{cost_factor:.1} \
+         (gate: <= {:.0}, i.e. 0.5x linear)",
+        0.5 * audience_factor
+    );
+    assert!(
+        cost_factor <= 0.5 * audience_factor,
+        "E19: fan-out cost scaled {cost_factor:.1}x over a {audience_factor:.0}x audience \
+         (gate: <= {:.0}x) — encode-once is not paying off",
+        0.5 * audience_factor
+    );
+
+    // The late-join storm: 1 000 new viewers join the 10 000-member room
+    // mid-talk. The talk is thousands of events past the 1 024-event
+    // replay horizon, so every catch-up must be a snapshot — served from
+    // the snapshot byte cache — and the presenter keeps presenting.
+    let (srv, room, presenter, viewers) = lecture.unwrap();
+    let cache = |snap: &MetricsSnapshot, k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    let m0 = srv.metrics();
+    let mut joiners: Vec<(ClientConnection, u64)> = Vec::with_capacity(STORM);
+    let mut max_presenter_ms = 0f64;
+    let t_storm = Instant::now();
+    for j in 0..STORM {
+        let user = format!("user-{}", n_big + 1 + j);
+        let _admitted = srv.join(room, &JoinRequest::viewer(&user)).unwrap();
+        let (conn, catch_up) = srv.resync(room, &user, 0).unwrap();
+        let snap_seq = match catch_up {
+            Resync::Snapshot(s) => s.seq,
+            Resync::Events(ev) => panic!(
+                "E19: joiner {j} replayed {} events instead of a snapshot catch-up",
+                ev.len()
+            ),
+        };
+        joiners.push((conn, snap_seq));
+        if j % 50 == 0 {
+            // The talk goes on mid-storm; the hot path must not stall.
+            let t = Instant::now();
+            srv.act(
+                room,
+                "user-0",
+                Action::Chat {
+                    text: format!("storm slide {j}: {caption}"),
+                },
+            )
+            .unwrap();
+            max_presenter_ms = max_presenter_ms.max(t.elapsed().as_secs_f64() * 1e3);
+            drain_all(&viewers);
+            drain_all(std::slice::from_ref(&presenter));
+        }
+    }
+    let storm_ms = t_storm.elapsed().as_secs_f64() * 1e3;
+
+    // Closing slide, then the zero-loss audit: every joiner's live stream
+    // starts exactly one past their snapshot and runs gap-free to the end.
+    srv.act(
+        room,
+        "user-0",
+        Action::Chat {
+            text: format!("fin: {caption}"),
+        },
+    )
+    .unwrap();
+    let last = srv.last_seq(room).unwrap();
+    for (j, (conn, snap_seq)) in joiners.iter().enumerate() {
+        let seqs: Vec<u64> = conn.events.try_iter().map(|e| e.seq).collect();
+        assert_eq!(
+            seqs[0],
+            snap_seq + 1,
+            "E19: joiner {j}'s stream does not resume at snapshot.seq + 1"
+        );
+        assert!(
+            seqs.windows(2).all(|w| w[1] == w[0] + 1),
+            "E19: joiner {j} has a gap between snapshot and live stream"
+        );
+        assert_eq!(
+            *seqs.last().unwrap(),
+            last,
+            "E19: joiner {j} lost the tail of the talk"
+        );
+    }
+    let m1 = srv.metrics();
+    let cache_hits = cache(&m1, "server.room.snapshot_cache.hit.count")
+        - cache(&m0, "server.room.snapshot_cache.hit.count");
+    let cache_misses = cache(&m1, "server.room.snapshot_cache.miss.count")
+        - cache(&m0, "server.room.snapshot_cache.miss.count");
+    println!(
+        "storm: {STORM} joiners in {storm_ms:.0} ms, all snapshot-resynced \
+         (cache {cache_hits} hits / {cache_misses} misses), \
+         presenter max {max_presenter_ms:.2} ms/broadcast, zero loss"
+    );
+    assert!(
+        cache_hits >= (STORM - 5) as u64,
+        "E19: snapshot byte cache missed the storm ({cache_hits} hits)"
+    );
+    assert!(
+        max_presenter_ms < 250.0,
+        "E19: presenter stalled {max_presenter_ms:.0} ms mid-storm (gate: < 250 ms)"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n  \"events_per_round\": {},\n  \"rounds\": {},\n  \"fanout\": [\n{}\n  ],\n",
+            "  \"sublinear_gate\": {{\"audience_factor\": {:.0}, \"cost_factor\": {:.2}, ",
+            "\"max_cost_factor\": {:.0}}},\n",
+            "  \"join_storm\": {{\"joiners\": {}, \"snapshot_resyncs\": {}, ",
+            "\"storm_ms\": {:.0}, \"snapshot_cache_hits\": {}, \"snapshot_cache_misses\": {}, ",
+            "\"max_presenter_broadcast_ms\": {:.2}, \"event_loss\": 0}}\n}}\n"
+        ),
+        EVENTS,
+        ROUNDS,
+        entries.join(",\n"),
+        audience_factor,
+        cost_factor,
+        0.5 * audience_factor,
+        STORM,
+        STORM,
+        storm_ms,
+        cache_hits,
+        cache_misses,
+        max_presenter_ms
+    );
+    std::fs::write("BENCH_fanout.json", &json).expect("write BENCH_fanout.json");
+    println!("wrote BENCH_fanout.json ({} bytes)", json.len());
+    println!(
+        "(one encode per event at every audience size; the 10k room pays pointers, not payloads)"
+    );
 }

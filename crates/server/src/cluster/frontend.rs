@@ -23,7 +23,8 @@
 use crate::error::{JoinRejectCause, Result, ServerError};
 use crate::events::{Action, TriggerCondition};
 use crate::resync::Resync;
-use crate::room::{RoomId, RoomStats, SharedObjectId};
+use crate::role::{JoinRequest, Role};
+use crate::room::{RoomConfig, RoomId, RoomStats, SharedObjectId};
 use crate::server::{ClientConnection, InteractionServer};
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
@@ -274,6 +275,19 @@ impl ClusterFrontend {
     /// Room ids are allocated centrally: they are location-independent
     /// keys, unique across every shard.
     pub fn create_room(&self, user: &str, name: &str, document_id: u64) -> Result<RoomId> {
+        self.create_room_with_config(user, name, document_id, RoomConfig::new())
+    }
+
+    /// Creates a room with an explicit [`RoomConfig`] (the lecture path:
+    /// capacity, change-log horizon, and member queue bound decided up
+    /// front), placed by consistent hash like [`Self::create_room`].
+    pub fn create_room_with_config(
+        &self,
+        user: &str,
+        name: &str,
+        document_id: u64,
+        config: RoomConfig,
+    ) -> Result<RoomId> {
         let id = self.next_room.fetch_add(1, Ordering::Relaxed);
         let shard = {
             let mut dir = self.directory.lock();
@@ -293,7 +307,7 @@ impl ClusterFrontend {
         let result = (|| {
             self.shards[shard]
                 .server
-                .create_room_with_id(id, user, name, document_id)?;
+                .create_room_with_id(id, user, name, document_id, config)?;
             self.attach_journal(id, shard)
         })();
         match result {
@@ -316,7 +330,7 @@ impl ClusterFrontend {
         server.tap_room(room, tx)?;
         let checkpoint = {
             let handle = server.room_handle(room)?;
-            let guard = handle.lock();
+            let mut guard = handle.lock();
             guard.export_state()
         };
         let mut journals = self.journals.lock();
@@ -462,15 +476,23 @@ impl ClusterFrontend {
         }
     }
 
-    /// Joins a room. Structured rejection: an unplaced room is
-    /// [`JoinRejectCause::RoomNotFound`]; an exhausted retry budget maps
-    /// to [`JoinRejectCause::ShardUnavailable`] /
-    /// [`JoinRejectCause::RoomFrozenForMigration`]; room capacity
-    /// surfaces [`JoinRejectCause::AtCapacity`] directly from the shard.
-    pub fn join(&self, room: RoomId, user: &str) -> Result<ClientConnection> {
-        let user = user.to_string();
-        self.route(room, move |srv| srv.join(room, &user))
+    /// Joins a room as the role the [`JoinRequest`] asks for. Structured
+    /// rejection: an unplaced room is [`JoinRejectCause::RoomNotFound`];
+    /// an exhausted retry budget maps to
+    /// [`JoinRejectCause::ShardUnavailable`] /
+    /// [`JoinRejectCause::RoomFrozenForMigration`]; room capacity and a
+    /// taken presenter seat surface [`JoinRejectCause::AtCapacity`] /
+    /// [`JoinRejectCause::PresenterSeatTaken`] directly from the shard
+    /// (both non-transient — the router never burns retries on them).
+    pub fn join(&self, room: RoomId, req: &JoinRequest) -> Result<ClientConnection> {
+        self.route(room, move |srv| srv.join(room, req))
             .map_err(|e| Self::join_cause(room, e))
+    }
+
+    /// Joins as a [`Role::Moderator`] with default queue bounds — the
+    /// symmetric-room shim over [`Self::join`].
+    pub fn join_default(&self, room: RoomId, user: &str) -> Result<ClientConnection> {
+        self.join(room, &JoinRequest::moderator(user))
     }
 
     /// Reconnects a client after a lost stream (or a failover): the shard
@@ -621,14 +643,47 @@ impl ClusterFrontend {
         self.route(room, move |srv| srv.last_seq(room))
     }
 
-    /// Re-bounds a room's change buffer (zero is rejected).
-    pub fn set_change_log_capacity(&self, room: RoomId, capacity: usize) -> Result<()> {
-        self.route(room, move |srv| srv.set_change_log_capacity(room, capacity))
+    /// Reconfigures a room whole — capacity, change-log horizon, member
+    /// queue bound — via [`crate::server::InteractionServer::configure_room`].
+    /// `user` must hold [`crate::role::Capability::ConfigureRoom`] in the
+    /// room. Replaces the old per-knob setters.
+    pub fn configure_room(&self, room: RoomId, user: &str, config: RoomConfig) -> Result<()> {
+        let user = user.to_string();
+        self.route(room, move |srv| {
+            srv.configure_room(room, &user, config.clone())
+        })
     }
 
-    /// Bounds a room's member count.
-    pub fn set_room_capacity(&self, room: RoomId, capacity: Option<usize>) -> Result<()> {
-        self.route(room, move |srv| srv.set_room_capacity(room, capacity))
+    /// A room's current configuration.
+    pub fn room_config(&self, room: RoomId) -> Result<RoomConfig> {
+        self.route(room, move |srv| srv.room_config(room))
+    }
+
+    /// Removes `target` from the room on `by`'s authority.
+    pub fn evict(&self, room: RoomId, by: &str, target: &str) -> Result<()> {
+        let by = by.to_string();
+        let target = target.to_string();
+        self.route(room, move |srv| srv.evict(room, &by, &target))
+    }
+
+    /// Hands the presenter seat from `from` to `to`.
+    pub fn hand_off_presenter(&self, room: RoomId, from: &str, to: &str) -> Result<()> {
+        let from = from.to_string();
+        let to = to.to_string();
+        self.route(room, move |srv| srv.hand_off_presenter(room, &from, &to))
+    }
+
+    /// The member's current role in the room (live or reserved), if any.
+    /// Roles ride the exported [`crate::room::RoomState`], so the answer
+    /// is stable across migration and failover.
+    pub fn role_of(&self, room: RoomId, user: &str) -> Result<Option<Role>> {
+        let user = user.to_string();
+        self.route(room, move |srv| srv.role_of(room, &user))
+    }
+
+    /// Who holds the room's presenter seat, if anyone.
+    pub fn presenter(&self, room: RoomId) -> Result<Option<String>> {
+        self.route(room, move |srv| srv.presenter(room))
     }
 
     /// Broadcasts an announcement into every room on every *surviving*

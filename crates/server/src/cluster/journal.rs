@@ -17,6 +17,7 @@ use crate::resync::SequencedEvent;
 use crate::room::{Room, RoomId, RoomState};
 use crossbeam::channel::Receiver;
 use rcmo_obs::Registry;
+use std::sync::Arc;
 
 /// A room's standby replica: checkpoint + replicated tail.
 #[derive(Debug)]
@@ -24,17 +25,19 @@ pub(crate) struct RoomJournal {
     /// The last full checkpoint; `checkpoint.snapshot.seq` is the sequence
     /// number the checkpoint state reflects.
     checkpoint: RoomState,
-    /// The live replication stream (the room's tap).
-    rx: Receiver<SequencedEvent>,
+    /// The live replication stream (the room's tap). Events arrive as
+    /// the room's shared encode-once payloads — journaling a broadcast
+    /// costs one pointer, not a payload copy.
+    rx: Receiver<Arc<SequencedEvent>>,
     /// Drained events with `seq > checkpoint.snapshot.seq`, dense.
-    events: Vec<SequencedEvent>,
+    events: Vec<Arc<SequencedEvent>>,
 }
 
 impl RoomJournal {
     /// A journal whose replica starts at `checkpoint`, fed by `rx`. The
     /// tap may have been attached slightly *before* the checkpoint was
     /// exported; the overlap is deduplicated by sequence number on drain.
-    pub(crate) fn new(checkpoint: RoomState, rx: Receiver<SequencedEvent>) -> RoomJournal {
+    pub(crate) fn new(checkpoint: RoomState, rx: Receiver<Arc<SequencedEvent>>) -> RoomJournal {
         RoomJournal {
             checkpoint,
             rx,
@@ -94,7 +97,7 @@ impl RoomJournal {
 
     /// Resets the replica: a fresh checkpoint (which subsumes every event
     /// drained so far) and a fresh stream from the room's new home.
-    pub(crate) fn reset(&mut self, checkpoint: RoomState, rx: Receiver<SequencedEvent>) {
+    pub(crate) fn reset(&mut self, checkpoint: RoomState, rx: Receiver<Arc<SequencedEvent>>) {
         self.checkpoint = checkpoint;
         self.rx = rx;
         self.events.clear();

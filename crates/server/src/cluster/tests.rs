@@ -2,6 +2,8 @@ use super::*;
 use crate::error::{JoinRejectCause, ServerError};
 use crate::events::{Action, RoomEvent};
 use crate::resync::Resync;
+use crate::role::{JoinRequest, Role};
+use crate::room::RoomConfig;
 use crate::server::{ClientConnection, InteractionServer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,7 +104,7 @@ fn rooms_spread_across_shards_and_route_transparently() {
     // Every room is reachable through the frontend regardless of shard.
     for (i, &room) in rooms.iter().enumerate() {
         let user = format!("user-{i}");
-        let conn = cf.join(room, &user).unwrap();
+        let conn = cf.join_default(room, &user).unwrap();
         cf.act(
             room,
             &user,
@@ -127,7 +129,7 @@ fn announcement_fans_out_across_shards() {
     for i in 0..6 {
         let user = format!("user-{i}");
         let room = cf.create_room(&user, &format!("r{i}"), doc_id).unwrap();
-        conns.push(cf.join(room, &user).unwrap());
+        conns.push(cf.join_default(room, &user).unwrap());
     }
     let reached = cf
         .broadcast_announcement("admin", "maintenance at noon")
@@ -146,11 +148,11 @@ fn close_and_reap_keep_directory_and_room_count_in_sync() {
     let keep = cf.create_room("user-0", "keep", doc_id).unwrap();
     let close = cf.create_room("user-1", "close", doc_id).unwrap();
     let idle = cf.create_room("user-2", "idle", doc_id).unwrap();
-    let _conn = cf.join(keep, "user-0").unwrap();
+    let _conn = cf.join_default(keep, "user-0").unwrap();
 
     cf.close_room(close).unwrap();
     assert!(matches!(
-        cf.join(close, "user-1"),
+        cf.join_default(close, "user-1"),
         Err(ServerError::JoinRejected {
             cause: JoinRejectCause::RoomNotFound,
             ..
@@ -170,18 +172,38 @@ fn close_and_reap_keep_directory_and_room_count_in_sync() {
 fn zero_change_log_capacity_is_rejected() {
     let (cf, doc_id, _) = cluster(1, 1);
     let room = cf.create_room("user-0", "r", doc_id).unwrap();
-    match cf.set_change_log_capacity(room, 0) {
+    let _c = cf.join_default(room, "user-0").unwrap();
+    match cf.configure_room(
+        room,
+        "user-0",
+        RoomConfig::new().with_change_log_capacity(0),
+    ) {
         Err(ServerError::Invalid(msg)) => assert!(msg.contains("at least 1")),
         other => panic!("expected Invalid, got {other:?}"),
     }
-    cf.set_change_log_capacity(room, 8).unwrap();
+    cf.configure_room(
+        room,
+        "user-0",
+        RoomConfig::new().with_change_log_capacity(8),
+    )
+    .unwrap();
+    // Zero queue bounds are rejected the same way, at creation too.
+    match cf.create_room_with_config(
+        "user-0",
+        "r2",
+        doc_id,
+        RoomConfig::new().with_member_queue_bound(0),
+    ) {
+        Err(ServerError::Invalid(msg)) => assert!(msg.contains("queue bound")),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
 }
 
 #[test]
 fn join_rejections_carry_structured_causes() {
     let (cf, doc_id, _) = cluster(2, 3);
     // Unknown room.
-    match cf.join(99, "user-0") {
+    match cf.join_default(99, "user-0") {
         Err(ServerError::JoinRejected { room, cause }) => {
             assert_eq!(room, 99);
             assert_eq!(cause, JoinRejectCause::RoomNotFound);
@@ -189,11 +211,17 @@ fn join_rejections_carry_structured_causes() {
         }
         other => panic!("expected JoinRejected, got {other:?}"),
     }
-    // Capacity.
-    let room = cf.create_room("user-0", "small", doc_id).unwrap();
-    cf.set_room_capacity(room, Some(1)).unwrap();
-    let _first = cf.join(room, "user-0").unwrap();
-    match cf.join(room, "user-1") {
+    // Capacity (configured up front, before the first member).
+    let room = cf
+        .create_room_with_config(
+            "user-0",
+            "small",
+            doc_id,
+            RoomConfig::new().with_capacity(Some(1)),
+        )
+        .unwrap();
+    let _first = cf.join_default(room, "user-0").unwrap();
+    match cf.join_default(room, "user-1") {
         Err(ServerError::JoinRejected { cause, .. }) => {
             assert_eq!(cause, JoinRejectCause::AtCapacity);
             assert!(cause
@@ -202,23 +230,25 @@ fn join_rejections_carry_structured_causes() {
         }
         other => panic!("expected AtCapacity, got {other:?}"),
     }
-    // Lifting the bound admits the second member.
-    cf.set_room_capacity(room, None).unwrap();
-    cf.join(room, "user-1").unwrap();
+    // Lifting the bound (a member holding ConfigureRoom reconfigures)
+    // admits the second member.
+    cf.configure_room(room, "user-0", RoomConfig::new().with_capacity(None))
+        .unwrap();
+    cf.join_default(room, "user-1").unwrap();
 }
 
 #[test]
 fn frozen_room_rejects_join_with_migration_cause() {
     let (cf, doc_id, _) = cluster(2, 2);
     let room = cf.create_room("user-0", "r", doc_id).unwrap();
-    cf.join(room, "user-0").unwrap();
+    cf.join_default(room, "user-0").unwrap();
     let shard = (0..2)
         .find(|&s| cf.shard_server(s).room_count() > 0)
         .unwrap();
     cf.shard_server(shard)
         .freeze_room_for_migration(room)
         .unwrap();
-    match cf.join(room, "user-1") {
+    match cf.join_default(room, "user-1") {
         Err(ServerError::JoinRejected { cause, .. }) => {
             assert_eq!(cause, JoinRejectCause::RoomFrozenForMigration);
             assert!(cause.is_transient());
@@ -226,15 +256,15 @@ fn frozen_room_rejects_join_with_migration_cause() {
         other => panic!("expected frozen rejection, got {other:?}"),
     }
     cf.shard_server(shard).thaw_room(room).unwrap();
-    cf.join(room, "user-1").unwrap();
+    cf.join_default(room, "user-1").unwrap();
 }
 
 #[test]
 fn migration_is_transparent_to_live_members() {
     let (cf, doc_id, image_id) = cluster(2, 2);
     let room = cf.create_room("user-0", "tumor-board", doc_id).unwrap();
-    let a = cf.join(room, "user-0").unwrap();
-    let b = cf.join(room, "user-1").unwrap();
+    let a = cf.join_default(room, "user-0").unwrap();
+    let b = cf.join_default(room, "user-1").unwrap();
     cf.open_image(room, "user-0", image_id).unwrap();
     for i in 0..5 {
         cf.act(
@@ -318,7 +348,7 @@ fn migration_rejects_bad_targets_and_rolls_back() {
         Err(ServerError::Invalid(_))
     ));
     // The room still serves from its original shard.
-    cf.join(room, "user-0").unwrap();
+    cf.join_default(room, "user-0").unwrap();
     assert_eq!(
         cf.shard_health(target),
         ShardHealth::Dead,
@@ -340,8 +370,8 @@ fn failover_rebuilds_rooms_with_zero_event_loss() {
     cf.migrate_room(doomed, 0).unwrap();
     cf.migrate_room(safe, 1).unwrap();
 
-    let conn = cf.join(doomed, "user-0").unwrap();
-    let safe_conn = cf.join(safe, "user-1").unwrap();
+    let conn = cf.join_default(doomed, "user-0").unwrap();
+    let safe_conn = cf.join_default(safe, "user-1").unwrap();
     cf.open_image(doomed, "user-0", image_id).unwrap();
     cf.act(
         doomed,
@@ -438,7 +468,7 @@ fn create_room_avoids_dead_shards() {
     // dead shard (its ring points are still present until failover).
     for i in 0..6 {
         let room = cf.create_room("user-0", &format!("r{i}"), doc_id).unwrap();
-        assert!(cf.join(room, "user-0").is_ok());
+        assert!(cf.join_default(room, "user-0").is_ok());
     }
     assert_eq!(cf.shard_server(0).room_count(), 6);
     assert_eq!(cf.shard_server(1).room_count(), 0);
@@ -458,7 +488,7 @@ fn property_freeze_export_rebuild_is_identity() {
         let users = ["user-0", "user-1", "user-2"];
         let conns: Vec<_> = users
             .iter()
-            .map(|u| source.join(room, u).unwrap())
+            .map(|u| source.join_default(room, u).unwrap())
             .collect();
         source.open_image(room, "user-0", image_id).unwrap();
 
@@ -582,7 +612,7 @@ fn suspect_shard_call_fails_after_retry_budget_then_recovers() {
     cfg.heartbeat_faults = vec![FaultSpec::none().with_outage(5.0, 7.0)];
     let cf = ClusterFrontend::new(db, cfg);
     let room = cf.create_room("user-0", "r", doc_id).unwrap();
-    cf.join(room, "user-0").unwrap();
+    cf.join_default(room, "user-0").unwrap();
 
     cf.advance(6.5); // inside the outage: suspect
     assert_eq!(cf.shard_health(0), ShardHealth::Suspect);
@@ -597,4 +627,73 @@ fn suspect_shard_call_fails_after_retry_budget_then_recovers() {
     assert_eq!(cf.shard_health(0), ShardHealth::Alive);
     cf.act(room, "user-0", Action::Chat { text: "y".into() })
         .unwrap();
+}
+
+#[test]
+fn roles_survive_migration_and_failover() {
+    let (db, doc_id, image_id) = fixture_db(3);
+    let mut cfg = test_config(2);
+    cfg.heartbeat_faults = vec![FaultSpec::none(); 2];
+    let cf = ClusterFrontend::new(db, cfg);
+
+    let room = cf.create_room("user-0", "lecture", doc_id).unwrap();
+    cf.migrate_room(room, 0).unwrap();
+    let prof = cf.join(room, &JoinRequest::presenter("user-0")).unwrap();
+    assert_eq!(prof.role, Role::Presenter);
+    let _viewer = cf.join(room, &JoinRequest::viewer("user-1")).unwrap();
+    cf.open_image(room, "user-0", image_id).unwrap();
+
+    // Live migration carries the role table with the room.
+    cf.migrate_room(room, 1).unwrap();
+    assert_eq!(cf.role_of(room, "user-0").unwrap(), Some(Role::Presenter));
+    assert_eq!(cf.role_of(room, "user-1").unwrap(), Some(Role::Viewer));
+    assert_eq!(cf.presenter(room).unwrap().as_deref(), Some("user-0"));
+    // The presenter seat stays unique across the move (and the cause is
+    // non-transient, so the router surfaces it instead of retrying).
+    assert!(matches!(
+        cf.join(room, &JoinRequest::presenter("user-2")),
+        Err(ServerError::JoinRejected {
+            cause: JoinRejectCause::PresenterSeatTaken,
+            ..
+        })
+    ));
+    // The viewer is still gated post-migration.
+    assert!(matches!(
+        cf.act(room, "user-1", Action::Freeze { object: image_id }),
+        Err(ServerError::ActionRejected { .. })
+    ));
+
+    // Crash the room's new home; failover folds the journal back into a
+    // live room — including the role table, reconstructed from the
+    // role-carrying `Joined` events.
+    cf.kill_shard(1);
+    let moved = cf.advance_and_fail_over(10.0).unwrap();
+    assert_eq!(moved, vec![(room, 0)]);
+    assert_eq!(cf.role_of(room, "user-0").unwrap(), Some(Role::Presenter));
+    assert_eq!(cf.presenter(room).unwrap().as_deref(), Some("user-0"));
+    assert!(matches!(
+        cf.join(room, &JoinRequest::presenter("user-2")),
+        Err(ServerError::JoinRejected {
+            cause: JoinRejectCause::PresenterSeatTaken,
+            ..
+        })
+    ));
+    // The rebuilt room still enforces the capability table: a returning
+    // viewer is denied mutation, and the presenter keeps presenting.
+    let (conn1, _) = cf.resync(room, "user-1", 0).unwrap();
+    assert_eq!(conn1.role, Role::Viewer);
+    assert!(matches!(
+        cf.act(room, "user-1", Action::Freeze { object: image_id }),
+        Err(ServerError::ActionRejected { .. })
+    ));
+    let (conn0, _) = cf.resync(room, "user-0", 0).unwrap();
+    assert_eq!(conn0.role, Role::Presenter);
+    cf.act(
+        room,
+        "user-0",
+        Action::Chat {
+            text: "lecture continues".into(),
+        },
+    )
+    .unwrap();
 }

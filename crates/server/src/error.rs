@@ -1,5 +1,6 @@
 //! Error type of the interaction server.
 
+use crate::role::{Capability, Role};
 use std::fmt;
 
 /// Why a join (or resync-as-join) was refused — the structured cause table
@@ -18,6 +19,10 @@ pub enum JoinRejectCause {
     ShardUnavailable,
     /// The room's member capacity is reached.
     AtCapacity,
+    /// The join requested [`Role::Presenter`](crate::role::Role::Presenter)
+    /// but another member already holds the seat. Join with a different
+    /// role, or wait for a presenter handoff.
+    PresenterSeatTaken,
 }
 
 impl JoinRejectCause {
@@ -28,6 +33,7 @@ impl JoinRejectCause {
             JoinRejectCause::RoomFrozenForMigration => "room is migrating; retry shortly",
             JoinRejectCause::ShardUnavailable => "shard unavailable",
             JoinRejectCause::AtCapacity => "maximum number of room participants is reached",
+            JoinRejectCause::PresenterSeatTaken => "the presenter seat is already taken",
         }
     }
 
@@ -98,6 +104,16 @@ pub enum ServerError {
         /// The room whose call could not be routed.
         room: u64,
     },
+    /// A mutating call was refused by the role capability table: the
+    /// member's role does not grant the capability the entry point
+    /// requires. Structured so a client GUI can grey the control out (or
+    /// prompt for a role upgrade) instead of parsing a message string.
+    ActionRejected {
+        /// The capability the entry point requires.
+        required_capability: Capability,
+        /// The role the acting member actually holds.
+        role: Role,
+    },
     /// Anything else that indicates a caller bug.
     Invalid(String),
 }
@@ -124,6 +140,16 @@ impl fmt::Display for ServerError {
             ServerError::Migrating(r) => write!(f, "room {r} is frozen for migration"),
             ServerError::ShardUnavailable { shard, room } => {
                 write!(f, "shard {shard} owning room {room} is unavailable")
+            }
+            ServerError::ActionRejected {
+                required_capability,
+                role,
+            } => {
+                write!(
+                    f,
+                    "action requires the '{required_capability}' capability, \
+                     which the '{role}' role does not grant"
+                )
             }
             ServerError::Invalid(m) => write!(f, "invalid request: {m}"),
         }

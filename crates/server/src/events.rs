@@ -1,6 +1,7 @@
 //! Actions (client → server), deltas (the changed part of an object), and
 //! room events (server → every client in the room).
 
+use crate::role::Role;
 use rcmo_core::{ComponentId, PresentationDelta};
 use rcmo_imaging::{ElementId, LineElement, TextElement};
 
@@ -167,11 +168,29 @@ pub enum RoomEvent {
     Joined {
         /// Who.
         user: String,
+        /// The role they were granted.
+        role: Role,
     },
     /// A partner left.
     Left {
         /// Who.
         user: String,
+    },
+    /// A partner was removed by a moderator or the presenter.
+    Evicted {
+        /// Who was removed.
+        user: String,
+        /// Who removed them.
+        by: String,
+    },
+    /// A member's role changed mid-session (presenter handoff: the new
+    /// presenter is promoted and the old one demoted in one atomic pair
+    /// of events).
+    RoleChanged {
+        /// Whose role changed.
+        user: String,
+        /// The role they now hold.
+        role: Role,
     },
     /// A shared object changed; the delta carries only the changed part.
     ObjectChanged {
@@ -263,7 +282,10 @@ impl RoomEvent {
     /// Approximate wire size in bytes (for the propagation experiment).
     pub fn encoded_len(&self) -> usize {
         match self {
-            RoomEvent::Joined { user } | RoomEvent::Left { user } => 1 + user.len(),
+            RoomEvent::Joined { user, .. } => 1 + 1 + user.len(),
+            RoomEvent::Left { user } => 1 + user.len(),
+            RoomEvent::Evicted { user, by } => 1 + user.len() + by.len(),
+            RoomEvent::RoleChanged { user, .. } => 1 + 1 + user.len(),
             RoomEvent::ObjectChanged { by, delta, .. } => 1 + 8 + by.len() + delta.encoded_len(),
             RoomEvent::ChoiceMade { user, .. } => 1 + user.len() + 4 + 4,
             RoomEvent::OperationApplied {

@@ -17,6 +17,13 @@
 //! * [`resync`] — fault tolerance: sequence-numbered events, the bounded
 //!   ring-buffer change log, and snapshot-based client resynchronisation
 //!   after a dropped connection.
+//! * [`role`] — conference roles ([`Role::Presenter`] /
+//!   [`Role::Moderator`] / [`Role::Viewer`]) and the per-role capability
+//!   table every mutating entry point checks — the asymmetric lecture
+//!   room layered over the paper's symmetric conference.
+//! * [`fanout`] — encode-once broadcast: each event is encoded once into
+//!   a shared `Arc` payload and fanned out through bounded per-member
+//!   queues; slow consumers are evicted and re-enter via snapshot resync.
 //! * [`server`] — the [`server::InteractionServer`]
 //!   facade gluing rooms, the presentation engine, and the multimedia
 //!   database together.
@@ -32,13 +39,17 @@
 pub mod cluster;
 pub mod error;
 pub mod events;
+pub mod fanout;
 pub mod resync;
+pub mod role;
 pub mod room;
 pub mod server;
 
 pub use cluster::{ClusterConfig, ClusterFrontend, ClusterStats, ShardHealth, ShardId};
 pub use error::{JoinRejectCause, ServerError};
 pub use events::{Action, Delta, RoomEvent};
+pub use fanout::{EventStream, DEFAULT_MEMBER_QUEUE_BOUND};
 pub use resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent};
-pub use room::{RoomId, RoomState, RoomStats, SharedObjectId};
+pub use role::{Capability, JoinRequest, Role};
+pub use room::{RoomConfig, RoomId, RoomState, RoomStats, SharedObjectId};
 pub use server::{ClientConnection, DetachedRoom, InteractionServer, RoomHandle};

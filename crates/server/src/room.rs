@@ -3,7 +3,9 @@
 
 use crate::error::{JoinRejectCause, Result, ServerError};
 use crate::events::{Action, Delta, RoomEvent, TriggerCondition};
+use crate::fanout::{event_queue, EventQueue, EventStream, QueueSendError};
 use crate::resync::{ChangeLog, Resync, RoomSnapshot, SequencedEvent, DEFAULT_CHANGE_LOG_CAPACITY};
+use crate::role::{Capability, JoinRequest, Role};
 use crossbeam::channel::Sender;
 use rcmo_core::{
     MultimediaDocument, Presentation, PresentationEngine, ViewerChoice, ViewerSession,
@@ -11,6 +13,7 @@ use rcmo_core::{
 use rcmo_imaging::AnnotatedImage;
 use rcmo_obs::{bounds, Counter, Histogram, Metrics, Registry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifier of a room.
 pub type RoomId = u64;
@@ -18,6 +21,106 @@ pub type RoomId = u64;
 /// Identifier of a shared object inside a room (the multimedia database id
 /// of the underlying image object).
 pub type SharedObjectId = u64;
+
+/// A room's configuration, consolidated: what used to be a scatter of
+/// grown-by-accretion setters (`set_room_capacity`,
+/// `set_change_log_capacity`, and now the member queue bound) is one
+/// builder, accepted whole at room creation
+/// ([`create_room_with_id`](crate::server::InteractionServer::create_room_with_id))
+/// and through the single reconfiguration entry point
+/// ([`configure_room`](crate::server::InteractionServer::configure_room)).
+///
+/// ```
+/// use rcmo_server::RoomConfig;
+/// let lecture = RoomConfig::new()
+///     .with_capacity(Some(10_000))
+///     .with_change_log_capacity(4096)
+///     .with_member_queue_bound(1024);
+/// assert_eq!(lecture.capacity(), Some(10_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoomConfig {
+    capacity: Option<usize>,
+    change_log_capacity: usize,
+    member_queue_bound: usize,
+}
+
+impl Default for RoomConfig {
+    fn default() -> RoomConfig {
+        RoomConfig::new()
+    }
+}
+
+impl RoomConfig {
+    /// The defaults: unbounded membership, a
+    /// [`DEFAULT_CHANGE_LOG_CAPACITY`]-event change log, and the default
+    /// member queue bound
+    /// ([`DEFAULT_MEMBER_QUEUE_BOUND`](crate::fanout::DEFAULT_MEMBER_QUEUE_BOUND)).
+    pub fn new() -> RoomConfig {
+        RoomConfig {
+            capacity: None,
+            change_log_capacity: DEFAULT_CHANGE_LOG_CAPACITY,
+            member_queue_bound: crate::fanout::DEFAULT_MEMBER_QUEUE_BOUND,
+        }
+    }
+
+    /// Bounds the member count (`None` = unbounded). Joins beyond the
+    /// bound are rejected with [`JoinRejectCause::AtCapacity`].
+    pub fn with_capacity(mut self, capacity: Option<usize>) -> RoomConfig {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Bounds the change-log ring (shrinking evicts the oldest events).
+    pub fn with_change_log_capacity(mut self, capacity: usize) -> RoomConfig {
+        self.change_log_capacity = capacity;
+        self
+    }
+
+    /// Bounds each member's event send queue. Applies to members joining
+    /// after the change; a member may still override it per-join via
+    /// [`JoinRequest::with_queue_bound`].
+    pub fn with_member_queue_bound(mut self, bound: usize) -> RoomConfig {
+        self.member_queue_bound = bound;
+        self
+    }
+
+    /// The member-count bound.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The change-log ring capacity.
+    pub fn change_log_capacity(&self) -> usize {
+        self.change_log_capacity
+    }
+
+    /// The default member queue bound.
+    pub fn member_queue_bound(&self) -> usize {
+        self.member_queue_bound
+    }
+
+    /// Rejects configurations that cannot work: a zero change log could
+    /// never replay a resync tail (every reconnect would silently degrade
+    /// to a snapshot), and a zero queue bound would evict every member on
+    /// their first event.
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.change_log_capacity == 0 {
+            return Err(ServerError::Invalid(
+                "change log capacity must be at least 1 (a zero ring can never replay a resync tail)"
+                    .to_string(),
+            ));
+        }
+        if self.member_queue_bound == 0 {
+            return Err(ServerError::Invalid(
+                "member queue bound must be at least 1 (a zero queue evicts every member on \
+                 their first event)"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Aggregate propagation statistics of a room: a typed view over the
 /// room's metrics registry.
@@ -34,6 +137,15 @@ pub struct RoomStats {
     pub delivery_failures: u64,
     /// Members removed after their connection was detected dead.
     pub members_reaped: u64,
+    /// Events encoded into a shared broadcast payload — exactly one per
+    /// broadcast event, regardless of member count (the encode-once
+    /// invariant E19 gates on).
+    pub events_encoded: u64,
+    /// Members evicted because their bounded send queue filled (slow
+    /// consumers; they re-enter through snapshot resync).
+    pub slow_consumers_evicted: u64,
+    /// Mutating calls refused by the role capability table.
+    pub actions_denied: u64,
 }
 
 impl RoomStats {
@@ -45,6 +157,9 @@ impl RoomStats {
             changes_logged: obs.read_counter("server.room.logged.count"),
             delivery_failures: obs.read_counter("server.room.delivery_failure.count"),
             members_reaped: obs.read_counter("server.room.reaped.count"),
+            events_encoded: obs.read_counter("server.room.encode.count"),
+            slow_consumers_evicted: obs.read_counter("server.room.evicted_slow.count"),
+            actions_denied: obs.read_counter("server.room.denied.count"),
         }
     }
 }
@@ -52,7 +167,7 @@ impl RoomStats {
 #[derive(Debug)]
 struct Member {
     name: String,
-    sender: Sender<SequencedEvent>,
+    queue: EventQueue,
 }
 
 /// A room's full migratable state: what freeze → snapshot exports and what
@@ -79,6 +194,13 @@ pub struct RoomState {
     pub change_log_capacity: usize,
     /// Member capacity (`None` = unbounded).
     pub capacity: Option<usize>,
+    /// Default member queue bound.
+    pub member_queue_bound: usize,
+    /// Role assignments, keyed by member name — including *reserved*
+    /// seats of members currently disconnected (reaped or slow-evicted),
+    /// who reclaim their role on resync. Roles survive migration and
+    /// failover with the rest of the state.
+    pub roles: Vec<(String, Role)>,
     /// Registered triggers (id, owner, condition).
     pub triggers: Vec<(u64, String, TriggerCondition)>,
     /// The id the next registered trigger receives.
@@ -101,6 +223,11 @@ pub struct Room {
     pub document_id: u64,
     pub(crate) doc: MultimediaDocument,
     members: Vec<Member>,
+    /// Role assignments. A superset of the live membership: an
+    /// involuntarily removed member (dead connection, slow consumer)
+    /// keeps their seat reserved here and reclaims it on resync; a
+    /// voluntary `leave` (or an eviction) frees it.
+    roles: HashMap<String, Role>,
     sessions: HashMap<String, ViewerSession>,
     /// The presentation last broadcast per viewer; the baseline the next
     /// `PresentationChanged` deltas are computed against.
@@ -114,6 +241,15 @@ pub struct Room {
     /// Maximum members (`None` = unbounded). Joins beyond it are rejected
     /// with [`JoinRejectCause::AtCapacity`].
     capacity: Option<usize>,
+    /// Default bound of each member's send queue (a join may override).
+    member_queue_bound: usize,
+    /// Serialised-document cache for snapshot resyncs: invalidated only
+    /// when the shared document actually mutates (a global operation),
+    /// so a late-join storm pays one serialisation, not one per joiner.
+    doc_bytes: Option<Arc<Vec<u8>>>,
+    /// Serialised shared-object cache, per object, invalidated on that
+    /// object's deltas.
+    object_bytes: HashMap<SharedObjectId, Arc<Vec<u8>>>,
     /// Set for the freeze→snapshot→thaw window of a live migration: all
     /// mutating calls are refused ([`ServerError::Migrating`]) so the
     /// exported state is the room's final word on its shard.
@@ -121,13 +257,18 @@ pub struct Room {
     /// Replication tap: every sequenced event is also sent here (the
     /// cluster journal that failover rebuilds from). A broken tap is
     /// dropped silently — it is an observer, never a member.
-    tap: Option<Sender<SequencedEvent>>,
+    tap: Option<Sender<Arc<SequencedEvent>>>,
     obs: Registry,
     delivered: Counter,
     delivered_bytes: Counter,
     logged: Counter,
     delivery_failures: Counter,
     reaped: Counter,
+    encoded: Counter,
+    evicted_slow: Counter,
+    denied: Counter,
+    snapshot_cache_hits: Counter,
+    snapshot_cache_misses: Counter,
     broadcast_lat: Histogram,
     resync_lat: Histogram,
     resync_replays: Counter,
@@ -142,6 +283,7 @@ impl Room {
         name: &str,
         document_id: u64,
         doc: MultimediaDocument,
+        config: RoomConfig,
         parent: &Registry,
     ) -> Room {
         let obs = Registry::with_parent(parent);
@@ -150,6 +292,11 @@ impl Room {
         let logged = obs.counter("server.room.logged.count");
         let delivery_failures = obs.counter("server.room.delivery_failure.count");
         let reaped = obs.counter("server.room.reaped.count");
+        let encoded = obs.counter("server.room.encode.count");
+        let evicted_slow = obs.counter("server.room.evicted_slow.count");
+        let denied = obs.counter("server.room.denied.count");
+        let snapshot_cache_hits = obs.counter("server.room.snapshot_cache.hit.count");
+        let snapshot_cache_misses = obs.counter("server.room.snapshot_cache.miss.count");
         let broadcast_lat = obs.histogram("server.room.broadcast.us", bounds::LATENCY_US);
         let resync_lat = obs.histogram("server.room.resync.us", bounds::LATENCY_US);
         let resync_replays = obs.counter("server.room.resync.replay.count");
@@ -160,13 +307,17 @@ impl Room {
             document_id,
             doc,
             members: Vec::new(),
+            roles: HashMap::new(),
             sessions: HashMap::new(),
             last_presentations: HashMap::new(),
             objects: HashMap::new(),
             freezes: HashMap::new(),
-            change_log: ChangeLog::new(DEFAULT_CHANGE_LOG_CAPACITY),
+            change_log: ChangeLog::new(config.change_log_capacity()),
             engine: PresentationEngine::new(),
-            capacity: None,
+            capacity: config.capacity(),
+            member_queue_bound: config.member_queue_bound(),
+            doc_bytes: None,
+            object_bytes: HashMap::new(),
             frozen_for_migration: false,
             tap: None,
             obs,
@@ -175,6 +326,11 @@ impl Room {
             logged,
             delivery_failures,
             reaped,
+            encoded,
+            evicted_slow,
+            denied,
+            snapshot_cache_hits,
+            snapshot_cache_misses,
             broadcast_lat,
             resync_lat,
             resync_replays,
@@ -199,9 +355,39 @@ impl Room {
         &self.change_log
     }
 
-    /// Re-bounds the change buffer (shrinking evicts the oldest events).
-    pub(crate) fn set_change_log_capacity(&mut self, capacity: usize) {
-        self.change_log.set_capacity(capacity);
+    /// The room's current configuration, as one value.
+    pub fn config(&self) -> RoomConfig {
+        RoomConfig::new()
+            .with_capacity(self.capacity)
+            .with_change_log_capacity(self.change_log.capacity())
+            .with_member_queue_bound(self.member_queue_bound)
+    }
+
+    /// Applies a validated [`RoomConfig`] whole: capacity, change-log ring
+    /// (shrinking evicts the oldest events), and the default member queue
+    /// bound (applies to members joining after the change).
+    pub(crate) fn apply_config(&mut self, config: &RoomConfig) -> Result<()> {
+        config.validate()?;
+        self.capacity = config.capacity();
+        self.change_log.set_capacity(config.change_log_capacity());
+        self.member_queue_bound = config.member_queue_bound();
+        Ok(())
+    }
+
+    /// The member's current role (`None` if they hold no seat, live or
+    /// reserved).
+    pub fn role_of(&self, user: &str) -> Option<Role> {
+        self.roles.get(user).copied()
+    }
+
+    /// Who holds the presenter seat — live *or reserved* (a reaped
+    /// presenter keeps the seat until they voluntarily leave or are
+    /// evicted, so a momentary disconnect cannot lose the lectern).
+    pub fn presenter(&self) -> Option<&str> {
+        self.roles
+            .iter()
+            .find(|(_, r)| **r == Role::Presenter)
+            .map(|(u, _)| u.as_str())
     }
 
     /// The shared document.
@@ -209,12 +395,18 @@ impl Room {
         &self.doc
     }
 
-    /// Logs `event` (assigning its sequence number) and sends it to every
-    /// member. Returns the names of members whose connection proved dead —
-    /// the caller (`broadcast`) reaps them.
-    fn deliver(&mut self, event: RoomEvent) -> Vec<String> {
-        let sequenced = self.change_log.push(event);
+    /// Logs `event` (assigning its sequence number), encodes it **once**
+    /// into a shared `Arc` payload, and fans the pointer out to every
+    /// member's bounded queue. Returns the members whose send failed,
+    /// tagged with why — the caller (`broadcast`) removes them: a
+    /// `Disconnected` member is reaped (dead client), a `Full` member is
+    /// evicted as a slow consumer.
+    fn deliver(&mut self, event: RoomEvent) -> Vec<(String, QueueSendError)> {
+        let sequenced = Arc::new(self.change_log.push(event));
         self.logged.inc();
+        // One encode per event, regardless of member count — the invariant
+        // the E19 fan-out experiment gates on.
+        self.encoded.inc();
         // The replication tap observes the identical total order the
         // members do; it is not a member (never reaped, never counted).
         if let Some(tap) = &self.tap {
@@ -223,36 +415,47 @@ impl Room {
             }
         }
         let size = sequenced.event.encoded_len() as u64;
-        let mut dead = Vec::new();
+        let mut failed = Vec::new();
         for m in &self.members {
-            if m.sender.send(sequenced.clone()).is_ok() {
-                self.delivered.inc();
-                self.delivered_bytes.add(size);
-            } else {
-                // The receiver is gone: a crashed or disconnected client.
-                self.delivery_failures.inc();
-                dead.push(m.name.clone());
+            match m.queue.try_send(sequenced.clone()) {
+                Ok(()) => {
+                    self.delivered.inc();
+                    self.delivered_bytes.add(size);
+                }
+                Err(e) => {
+                    if e == QueueSendError::Disconnected {
+                        // The receiver is gone: a crashed client.
+                        self.delivery_failures.inc();
+                    }
+                    failed.push((m.name.clone(), e));
+                }
             }
         }
-        dead
+        failed
     }
 
     /// Broadcasts an event to every member, appends it to the change
-    /// buffer, and reaps any member whose connection turns out to be dead
-    /// (their freezes are released, and `Released`/`Left` events are
-    /// propagated — which may in turn expose further dead members).
+    /// buffer, and removes any member whose send failed — dead connections
+    /// are reaped, members with a full bounded queue are evicted as slow
+    /// consumers. Either way their freezes are released and
+    /// `Released`/`Left` events propagate (which may in turn expose further
+    /// failed members), but their *role stays reserved*: an involuntarily
+    /// removed member reclaims their seat through the resync path.
     fn broadcast(&mut self, event: RoomEvent) {
         let _t = self.broadcast_lat.start_timer_owned();
-        let mut dead = self.deliver(event);
-        while let Some(user) = dead.pop() {
+        let mut failed = self.deliver(event);
+        while let Some((user, why)) = failed.pop() {
             let before = self.members.len();
             self.members.retain(|m| m.name != user);
             if self.members.len() == before {
-                continue; // already reaped this round
+                continue; // already removed this round
             }
             self.sessions.remove(&user);
             self.last_presentations.remove(&user);
-            self.reaped.inc();
+            match why {
+                QueueSendError::Full => self.evicted_slow.inc(),
+                QueueSendError::Disconnected => self.reaped.inc(),
+            }
             let released: Vec<SharedObjectId> = self
                 .freezes
                 .iter()
@@ -261,24 +464,24 @@ impl Room {
                 .collect();
             for object in released {
                 self.freezes.remove(&object);
-                dead.extend(self.deliver(RoomEvent::Released {
+                failed.extend(self.deliver(RoomEvent::Released {
                     object,
                     by: user.clone(),
                 }));
             }
-            dead.extend(self.deliver(RoomEvent::Left { user }));
+            failed.extend(self.deliver(RoomEvent::Left { user }));
         }
     }
 
-    pub(crate) fn join(&mut self, user: &str, sender: Sender<SequencedEvent>) -> Result<()> {
+    pub(crate) fn join(&mut self, req: &JoinRequest) -> Result<EventStream> {
         if self.frozen_for_migration {
             return Err(ServerError::JoinRejected {
                 room: self.id,
                 cause: JoinRejectCause::RoomFrozenForMigration,
             });
         }
-        if self.members.iter().any(|m| m.name == user) {
-            return Err(ServerError::AlreadyJoined(user.to_string()));
+        if self.members.iter().any(|m| m.name == req.user) {
+            return Err(ServerError::AlreadyJoined(req.user.clone()));
         }
         if let Some(cap) = self.capacity {
             if self.members.len() >= cap {
@@ -288,16 +491,29 @@ impl Room {
                 });
             }
         }
+        // The presenter seat is unique — live or reserved. (The requester
+        // themselves may hold the reservation: a reaped presenter coming
+        // back through a fresh join rather than a resync.)
+        if req.role == Role::Presenter && self.presenter().is_some_and(|seat| seat != req.user) {
+            return Err(ServerError::JoinRejected {
+                room: self.id,
+                cause: JoinRejectCause::PresenterSeatTaken,
+            });
+        }
+        let (queue, stream) = event_queue(req.queue_bound.unwrap_or(self.member_queue_bound));
         self.members.push(Member {
-            name: user.to_string(),
-            sender,
+            name: req.user.clone(),
+            queue,
         });
         self.sessions
-            .insert(user.to_string(), ViewerSession::new(user));
+            .entry(req.user.clone())
+            .or_insert_with(|| ViewerSession::new(&req.user));
+        self.roles.insert(req.user.clone(), req.role);
         self.broadcast(RoomEvent::Joined {
-            user: user.to_string(),
+            user: req.user.clone(),
+            role: req.role,
         });
-        Ok(())
+        Ok(stream)
     }
 
     pub(crate) fn leave(&mut self, user: &str) -> Result<()> {
@@ -311,6 +527,9 @@ impl Room {
         }
         self.sessions.remove(user);
         self.last_presentations.remove(user);
+        // A voluntary leave gives the seat up — including the presenter
+        // seat, which then stands free for the next presenter join.
+        self.roles.remove(user);
         // Freezes held by the leaver are released.
         let released: Vec<SharedObjectId> = self
             .freezes
@@ -331,23 +550,21 @@ impl Room {
         Ok(())
     }
 
-    /// Reconnects `user` with a fresh event channel and computes what they
-    /// missed since `last_seen` (the highest sequence number the client
-    /// observed before disconnecting; `0` for "nothing").
+    /// Reconnects `user` with a fresh bounded event queue and computes what
+    /// they missed since `last_seen` (the highest sequence number the
+    /// client observed before disconnecting; `0` for "nothing").
     ///
     /// Within the replay horizon the client receives the exact missed tail
     /// and converges to the identical total event order; beyond it, a
     /// [`RoomSnapshot`] of the room's current state (the fold of every
-    /// evicted event). If the member had already been reaped, they rejoin
-    /// — partners see a `Joined` event, and the join itself is part of the
-    /// replayed order for everyone *else*, never for the resyncing client
-    /// (their catch-up is computed first).
-    pub(crate) fn resync(
-        &mut self,
-        user: &str,
-        sender: Sender<SequencedEvent>,
-        last_seen: u64,
-    ) -> Result<Resync> {
+    /// evicted event — served from the room's serialised-byte caches, so a
+    /// late-join storm costs one serialisation, not one per joiner). If the
+    /// member had already been removed (reaped or evicted as a slow
+    /// consumer), they rejoin *reclaiming their reserved role* — partners
+    /// see a `Joined` event, and the join itself is part of the replayed
+    /// order for everyone *else*, never for the resyncing client (their
+    /// catch-up is computed first).
+    pub(crate) fn resync(&mut self, user: &str, last_seen: u64) -> Result<(EventStream, Resync)> {
         let _t = self.resync_lat.start_timer_owned();
         if self.frozen_for_migration {
             // A resync may rejoin (a membership mutation): refused while
@@ -366,33 +583,155 @@ impl Room {
                 Resync::Snapshot(self.snapshot())
             }
         };
+        let (queue, stream) = event_queue(self.member_queue_bound);
         if let Some(m) = self.members.iter_mut().find(|m| m.name == user) {
             // Still considered a member (dead connection not yet detected):
-            // swap in the live channel silently.
-            m.sender = sender;
+            // swap in the live queue silently.
+            m.queue = queue;
         } else {
+            // Reclaim the reserved seat (involuntary removal keeps it) or,
+            // if none is reserved, re-enter with the symmetric-room default
+            // role.
+            let role = self.roles.get(user).copied().unwrap_or(Role::Moderator);
             self.members.push(Member {
                 name: user.to_string(),
-                sender,
+                queue,
             });
             self.sessions
                 .entry(user.to_string())
                 .or_insert_with(|| ViewerSession::new(user));
+            self.roles.insert(user.to_string(), role);
             self.broadcast(RoomEvent::Joined {
                 user: user.to_string(),
+                role,
             });
         }
-        Ok(catch_up)
+        Ok((stream, catch_up))
+    }
+
+    /// Removes `target` from the room on `by`'s authority
+    /// ([`Capability::EvictMembers`]). Unlike an involuntary removal, an
+    /// eviction *frees the seat* — the evicted member does not reclaim
+    /// their role by resyncing. The presenter cannot be evicted; the seat
+    /// moves only through [`Self::hand_off_presenter`].
+    pub(crate) fn evict(&mut self, by: &str, target: &str) -> Result<()> {
+        if self.frozen_for_migration {
+            return Err(ServerError::Migrating(self.id));
+        }
+        self.require_capability(by, Capability::EvictMembers)?;
+        if by == target {
+            return Err(ServerError::Invalid(
+                "cannot evict oneself; leave the room instead".to_string(),
+            ));
+        }
+        if !self.members.iter().any(|m| m.name == target) {
+            return Err(ServerError::NotInRoom {
+                user: target.to_string(),
+                room: self.id,
+            });
+        }
+        if self.roles.get(target) == Some(&Role::Presenter) {
+            return Err(ServerError::Invalid(
+                "the presenter cannot be evicted; the seat moves only through a handoff"
+                    .to_string(),
+            ));
+        }
+        self.members.retain(|m| m.name != target);
+        self.sessions.remove(target);
+        self.last_presentations.remove(target);
+        self.roles.remove(target);
+        let released: Vec<SharedObjectId> = self
+            .freezes
+            .iter()
+            .filter(|(_, holder)| holder.as_str() == target)
+            .map(|(&o, _)| o)
+            .collect();
+        for object in released {
+            self.freezes.remove(&object);
+            self.broadcast(RoomEvent::Released {
+                object,
+                by: target.to_string(),
+            });
+        }
+        self.broadcast(RoomEvent::Evicted {
+            user: target.to_string(),
+            by: by.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Hands the presenter seat from `from` (who must hold
+    /// [`Capability::HandOffPresenter`], i.e. be the presenter) to the live
+    /// member `to`. The old presenter is demoted to moderator and the new
+    /// one promoted in one atomic pair of `RoleChanged` events — no folded
+    /// prefix of the event order ever shows two presenters.
+    pub(crate) fn hand_off_presenter(&mut self, from: &str, to: &str) -> Result<()> {
+        if self.frozen_for_migration {
+            return Err(ServerError::Migrating(self.id));
+        }
+        self.require_capability(from, Capability::HandOffPresenter)?;
+        if from == to {
+            return Err(ServerError::Invalid(
+                "cannot hand the presenter seat to oneself".to_string(),
+            ));
+        }
+        if !self.members.iter().any(|m| m.name == to) {
+            return Err(ServerError::NotInRoom {
+                user: to.to_string(),
+                room: self.id,
+            });
+        }
+        self.roles.insert(from.to_string(), Role::Moderator);
+        self.roles.insert(to.to_string(), Role::Presenter);
+        self.broadcast(RoomEvent::RoleChanged {
+            user: from.to_string(),
+            role: Role::Moderator,
+        });
+        self.broadcast(RoomEvent::RoleChanged {
+            user: to.to_string(),
+            role: Role::Presenter,
+        });
+        Ok(())
     }
 
     /// The room's current state as a catch-up snapshot, reflecting every
     /// event through `change_log.last_seq()`.
-    pub(crate) fn snapshot(&self) -> RoomSnapshot {
-        let mut objects: Vec<(SharedObjectId, Vec<u8>)> = self
-            .objects
-            .iter()
-            .map(|(&id, img)| (id, img.to_bytes()))
-            .collect();
+    ///
+    /// Serialisation is served from the room's byte caches (`doc_bytes`,
+    /// `object_bytes`), which are invalidated only when the underlying
+    /// state actually mutates — so a storm of snapshot resyncs between two
+    /// document changes pays for *one* serialisation of each piece, and
+    /// the broadcast hot path is never stalled re-encoding an unchanged
+    /// document per joiner.
+    pub(crate) fn snapshot(&mut self) -> RoomSnapshot {
+        let document = match &self.doc_bytes {
+            Some(bytes) => {
+                self.snapshot_cache_hits.inc();
+                bytes.as_ref().clone()
+            }
+            None => {
+                self.snapshot_cache_misses.inc();
+                let bytes = Arc::new(self.doc.to_bytes());
+                self.doc_bytes = Some(bytes.clone());
+                bytes.as_ref().clone()
+            }
+        };
+        let mut objects: Vec<(SharedObjectId, Vec<u8>)> = Vec::with_capacity(self.objects.len());
+        for (&id, img) in &self.objects {
+            let bytes = match self.object_bytes.get(&id) {
+                Some(cached) => {
+                    self.snapshot_cache_hits.inc();
+                    cached.as_ref().clone()
+                }
+                None => {
+                    self.snapshot_cache_misses.inc();
+                    let fresh = Arc::new(img.to_bytes());
+                    self.object_bytes.insert(id, fresh.clone());
+                    fresh.as_ref().clone()
+                }
+            };
+            objects.push((id, bytes));
+        }
         objects.sort_by_key(|(id, _)| *id);
         let mut freezes: Vec<(SharedObjectId, String)> = self
             .freezes
@@ -402,7 +741,7 @@ impl Room {
         freezes.sort_by_key(|(o, _)| *o);
         RoomSnapshot {
             seq: self.change_log.last_seq(),
-            document: self.doc.to_bytes(),
+            document,
             objects,
             freezes,
             members: self.members.iter().map(|m| m.name.clone()).collect(),
@@ -432,14 +771,11 @@ impl Room {
         self.members.len()
     }
 
-    /// Bounds the member count (`None` = unbounded).
-    pub(crate) fn set_capacity(&mut self, capacity: Option<usize>) {
-        self.capacity = capacity;
-    }
-
     /// Attaches (or replaces) the replication tap: a channel that observes
-    /// the room's total event order without being a member.
-    pub(crate) fn set_tap(&mut self, tap: Sender<SequencedEvent>) {
+    /// the room's total event order without being a member. The tap shares
+    /// the encode-once payloads — journaling costs a pointer per event,
+    /// not a payload copy.
+    pub(crate) fn set_tap(&mut self, tap: Sender<Arc<SequencedEvent>>) {
         self.tap = Some(tap);
     }
 
@@ -447,11 +783,18 @@ impl Room {
     /// state fold), the per-viewer sessions, and the retained change-log
     /// tail so the destination can serve the same replay horizon. The room
     /// should be frozen first — the export is then its final word.
-    pub(crate) fn export_state(&self) -> RoomState {
+    pub(crate) fn export_state(&mut self) -> RoomState {
+        let snapshot = self.snapshot();
+        let mut roles: Vec<(String, Role)> = self
+            .roles
+            .iter()
+            .map(|(name, role)| (name.clone(), *role))
+            .collect();
+        roles.sort_by(|a, b| a.0.cmp(&b.0));
         RoomState {
             name: self.name.clone(),
             document_id: self.document_id,
-            snapshot: self.snapshot(),
+            snapshot,
             sessions: self
                 .sessions
                 .iter()
@@ -460,6 +803,8 @@ impl Room {
             tail: self.change_log.retained().cloned().collect(),
             change_log_capacity: self.change_log.capacity(),
             capacity: self.capacity,
+            member_queue_bound: self.member_queue_bound,
+            roles,
             triggers: self.triggers.clone(),
             next_trigger: self.next_trigger,
         }
@@ -476,11 +821,15 @@ impl Room {
     pub(crate) fn from_state(
         id: RoomId,
         state: RoomState,
-        members: Vec<(String, Sender<SequencedEvent>)>,
+        members: Vec<(String, EventQueue)>,
         parent: &Registry,
     ) -> Result<Room> {
         let doc = MultimediaDocument::from_bytes(&state.snapshot.document)?;
-        let mut room = Room::new(id, &state.name, state.document_id, doc, parent);
+        let config = RoomConfig::new()
+            .with_capacity(state.capacity)
+            .with_change_log_capacity(state.change_log_capacity)
+            .with_member_queue_bound(state.member_queue_bound);
+        let mut room = Room::new(id, &state.name, state.document_id, doc, config, parent);
         for (oid, bytes) in &state.snapshot.objects {
             room.objects
                 .insert(*oid, AnnotatedImage::from_bytes(bytes)?);
@@ -489,14 +838,14 @@ impl Room {
         room.sessions = state.sessions.into_iter().collect();
         room.change_log =
             ChangeLog::restore(state.change_log_capacity, state.snapshot.seq, state.tail);
-        room.capacity = state.capacity;
+        room.roles = state.roles.into_iter().collect();
         room.triggers = state.triggers;
         room.next_trigger = state.next_trigger;
-        for (name, sender) in members {
+        for (name, queue) in members {
             room.sessions
                 .entry(name.clone())
                 .or_insert_with(|| ViewerSession::new(&name));
-            room.members.push(Member { name, sender });
+            room.members.push(Member { name, queue });
         }
         Ok(room)
     }
@@ -518,19 +867,38 @@ impl Room {
         self.change_log.push_sequenced(sequenced.clone());
         self.logged.inc();
         match &sequenced.event {
-            RoomEvent::Joined { user } => {
+            RoomEvent::Joined { user, role } => {
                 self.sessions
                     .entry(user.clone())
                     .or_insert_with(|| ViewerSession::new(user));
+                self.roles.insert(user.clone(), *role);
                 true
             }
             RoomEvent::Left { user } => {
                 // Freeze releases arrive as their own `Released` events.
                 self.sessions.remove(user);
                 self.last_presentations.remove(user);
+                // A journaled `Left` cannot distinguish a voluntary leave
+                // from a reap/slow-evict (which reserves the seat locally),
+                // so the fold conservatively frees it: after a failover no
+                // member channel survives anyway, and a returning member
+                // re-enters through resync with the default role.
+                self.roles.remove(user);
+                true
+            }
+            RoomEvent::Evicted { user, .. } => {
+                self.sessions.remove(user);
+                self.last_presentations.remove(user);
+                self.roles.remove(user);
+                true
+            }
+            RoomEvent::RoleChanged { user, role } => {
+                self.roles.insert(user.clone(), *role);
                 true
             }
             RoomEvent::ObjectChanged { object, delta, .. } => {
+                // The object is about to mutate: drop its serialised cache.
+                self.object_bytes.remove(object);
                 let Some(img) = self.objects.get_mut(object) else {
                     return false;
                 };
@@ -584,10 +952,10 @@ impl Room {
         }
     }
 
-    /// Detaches the live member channels (for a migration handoff). The
+    /// Detaches the live member queues (for a migration handoff). The
     /// room is left member-less; pair with [`Self::export_state`].
-    pub(crate) fn take_member_channels(&mut self) -> Vec<(String, Sender<SequencedEvent>)> {
-        self.members.drain(..).map(|m| (m.name, m.sender)).collect()
+    pub(crate) fn take_member_channels(&mut self) -> Vec<(String, EventQueue)> {
+        self.members.drain(..).map(|m| (m.name, m.queue)).collect()
     }
 
     pub(crate) fn require_member(&self, user: &str) -> Result<()> {
@@ -597,6 +965,28 @@ impl Room {
             Err(ServerError::NotInRoom {
                 user: user.to_string(),
                 room: self.id,
+            })
+        }
+    }
+
+    /// The capability gate every mutating entry point passes through: the
+    /// acting user must be a live member *and* their role must grant `cap`.
+    /// A denial is counted (`server.room.denied.count`) and surfaces as the
+    /// structured [`ServerError::ActionRejected`].
+    pub(crate) fn require_capability(&self, user: &str, cap: Capability) -> Result<()> {
+        self.require_member(user)?;
+        let role = self
+            .roles
+            .get(user)
+            .copied()
+            .expect("every live member holds a role");
+        if role.allows(cap) {
+            Ok(())
+        } else {
+            self.denied.inc();
+            Err(ServerError::ActionRejected {
+                required_capability: cap,
+                role,
             })
         }
     }
@@ -613,6 +1003,7 @@ impl Room {
 
     /// Registers an object (a working copy of a database image) in the room.
     pub(crate) fn insert_object(&mut self, id: SharedObjectId, image: AnnotatedImage) {
+        self.object_bytes.remove(&id);
         self.objects.insert(id, image);
     }
 
@@ -624,6 +1015,7 @@ impl Room {
     /// Removes an object from the room ("changed objects are saved and
     /// discarded from the room as soon as they are not needed").
     pub(crate) fn take_object(&mut self, id: SharedObjectId) -> Result<AnnotatedImage> {
+        self.object_bytes.remove(&id);
         self.objects
             .remove(&id)
             .ok_or(ServerError::UnknownObject(id))
@@ -640,7 +1032,7 @@ impl Room {
 
     /// Registers a dynamic event trigger owned by `user`; returns its id.
     pub(crate) fn add_trigger(&mut self, user: &str, condition: TriggerCondition) -> Result<u64> {
-        self.require_member(user)?;
+        self.require_capability(user, Capability::ManageTriggers)?;
         let id = self.next_trigger;
         self.next_trigger += 1;
         self.triggers.push((id, user.to_string(), condition));
@@ -701,13 +1093,36 @@ impl Room {
         if self.frozen_for_migration {
             return Err(ServerError::Migrating(self.id));
         }
-        self.require_member(user)?;
+        self.require_capability(user, Self::capability_for(&action))?;
         let log_start = self.change_log.last_seq() + 1;
         let result = self.act_inner(user, action);
         if result.is_ok() {
             self.fire_triggers(log_start);
         }
         result
+    }
+
+    /// The fixed action → capability mapping: what each [`Action`] touches
+    /// decides what the acting role must hold. Viewer-local actions
+    /// (choices, local operations) need only [`Capability::AdjustOwnView`];
+    /// anything that mutates shared state needs the matching shared-state
+    /// capability.
+    fn capability_for(action: &Action) -> Capability {
+        match action {
+            Action::Choose { .. } | Action::Unchoose { .. } => Capability::AdjustOwnView,
+            Action::ApplyOperation { global, .. } => {
+                if *global {
+                    Capability::ApplyGlobalOperation
+                } else {
+                    Capability::AdjustOwnView
+                }
+            }
+            Action::AddText { .. } | Action::AddLine { .. } | Action::DeleteElement { .. } => {
+                Capability::AnnotateObjects
+            }
+            Action::Freeze { .. } | Action::Release { .. } => Capability::FreezeObjects,
+            Action::Chat { .. } => Capability::Chat,
+        }
     }
 
     fn act_inner(&mut self, user: &str, action: Action) -> Result<()> {
@@ -738,6 +1153,7 @@ impl Room {
             }
             Action::AddText { object, element } => {
                 self.check_not_frozen_by_other(object, user)?;
+                self.object_bytes.remove(&object);
                 let img = self
                     .objects
                     .get_mut(&object)
@@ -751,6 +1167,7 @@ impl Room {
             }
             Action::AddLine { object, element } => {
                 self.check_not_frozen_by_other(object, user)?;
+                self.object_bytes.remove(&object);
                 let img = self
                     .objects
                     .get_mut(&object)
@@ -764,6 +1181,7 @@ impl Room {
             }
             Action::DeleteElement { object, element } => {
                 self.check_not_frozen_by_other(object, user)?;
+                self.object_bytes.remove(&object);
                 let img = self
                     .objects
                     .get_mut(&object)
@@ -794,6 +1212,9 @@ impl Room {
                     })?;
                     self.doc
                         .add_global_operation(component, trigger_form, &operation)?;
+                    // The shared document mutated: the next snapshot must
+                    // re-serialise it.
+                    self.doc_bytes = None;
                     // Viewer-local extensions were built against the old
                     // network; the prototype's policy is to re-derive local
                     // state after a global edit (identity rebase keeps the
@@ -885,7 +1306,7 @@ impl Room {
         object: SharedObjectId,
         summary: &str,
     ) -> Result<()> {
-        self.require_member(user)?;
+        self.require_capability(user, Capability::ShareAnalysis)?;
         self.broadcast(RoomEvent::AudioAnalysed {
             object,
             by: user.to_string(),

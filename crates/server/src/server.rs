@@ -2,10 +2,11 @@
 
 use crate::error::{Result, ServerError};
 use crate::events::{Action, TriggerCondition};
+use crate::fanout::{EventQueue, EventStream};
 use crate::resync::{Resync, SequencedEvent};
-use crate::room::{Room, RoomId, RoomState, RoomStats, SharedObjectId};
+use crate::role::{Capability, JoinRequest, Role};
+use crate::room::{Room, RoomConfig, RoomId, RoomState, RoomStats, SharedObjectId};
 use crossbeam::channel::Sender;
-use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::{Mutex, RwLock};
 use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
@@ -26,32 +27,38 @@ use std::time::Instant;
 pub type RoomHandle = Arc<Mutex<Room>>;
 
 /// A room lifted out of its server for a live migration: the exported
-/// [`RoomState`] plus the members' live event channels, which the
+/// [`RoomState`] plus the members' live event queues, which the
 /// destination re-attaches so clients keep their streams across the move.
 #[derive(Debug)]
 pub struct DetachedRoom {
     /// The room id (kept across the migration — room ids are
     /// location-independent).
     pub id: RoomId,
-    /// The exported state (snapshot + sessions + change-log tail).
+    /// The exported state (snapshot + sessions + roles + change-log tail).
     pub state: RoomState,
-    /// The live member channels, in join order.
-    pub members: Vec<(String, Sender<SequencedEvent>)>,
+    /// The live member queues, in join order.
+    pub members: Vec<(String, EventQueue)>,
 }
 
-/// A client's end of a room: the user name and the event stream.
+/// A client's end of a room: the user name, the granted role, and the
+/// event stream.
 #[derive(Debug)]
 pub struct ClientConnection {
     /// The room joined.
     pub room: RoomId,
     /// The member name.
     pub user: String,
+    /// The role the server granted this member (verbatim what the
+    /// [`JoinRequest`] asked for — a join that cannot be granted is
+    /// rejected, never downgraded).
+    pub role: Role,
     /// Events broadcast to the room (including this member's own actions,
     /// so every client observes one identical total order). Each event
     /// carries its sequence number; clients track the highest seen so a
     /// dropped connection can be resumed with
-    /// [`InteractionServer::resync`].
-    pub events: Receiver<SequencedEvent>,
+    /// [`InteractionServer::resync`]. The stream is bounded: a client that
+    /// stops draining it is evicted as a slow consumer and must resync.
+    pub events: EventStream,
 }
 
 /// The interaction server of Figure 1. Thread-safe: share by reference (or
@@ -138,8 +145,21 @@ impl InteractionServer {
     /// *before* the map's write lock is taken, so concurrent traffic in
     /// other rooms never waits behind room construction.
     pub fn create_room(&self, user: &str, name: &str, document_id: u64) -> Result<RoomId> {
+        self.create_room_with_config(user, name, document_id, RoomConfig::new())
+    }
+
+    /// Creates a room with an explicit [`RoomConfig`] — the lecture path:
+    /// capacity, change-log horizon, and member queue bound are decided
+    /// up front, before the first member joins.
+    pub fn create_room_with_config(
+        &self,
+        user: &str,
+        name: &str,
+        document_id: u64,
+        config: RoomConfig,
+    ) -> Result<RoomId> {
         let id = self.next_room.fetch_add(1, Ordering::Relaxed);
-        self.create_room_with_id(id, user, name, document_id)?;
+        self.create_room_with_id(id, user, name, document_id, config)?;
         Ok(id)
     }
 
@@ -153,12 +173,14 @@ impl InteractionServer {
         user: &str,
         name: &str,
         document_id: u64,
+        config: RoomConfig,
     ) -> Result<()> {
+        config.validate()?;
         let stored = self.db.get_document(user, document_id)?;
         let doc = MultimediaDocument::from_bytes(&stored.data)?;
         // Keep local allocation clear of adopted ids.
         self.next_room.fetch_max(id + 1, Ordering::Relaxed);
-        let room = Room::new(id, name, document_id, doc, &self.obs);
+        let room = Room::new(id, name, document_id, doc, config, &self.obs);
         self.insert_room(id, Arc::new(Mutex::new(room)))
     }
 
@@ -295,21 +317,29 @@ impl InteractionServer {
     /// Attaches a replication tap to a room: `tap` observes the room's
     /// sequenced event stream (the identical total order members see)
     /// without being a member — the cluster's journal feed.
-    pub fn tap_room(&self, room: RoomId, tap: Sender<SequencedEvent>) -> Result<()> {
+    pub fn tap_room(&self, room: RoomId, tap: Sender<Arc<SequencedEvent>>) -> Result<()> {
         self.with_room(room, |r| {
             r.set_tap(tap);
             Ok(())
         })
     }
 
-    /// Bounds a room's member count (`None` = unbounded). Joins beyond the
-    /// bound are rejected with
-    /// [`crate::error::JoinRejectCause::AtCapacity`].
-    pub fn set_room_capacity(&self, room: RoomId, capacity: Option<usize>) -> Result<()> {
+    /// Reconfigures a live room whole — capacity, change-log horizon,
+    /// member queue bound — through one entry point. `user` must be a
+    /// member holding [`Capability::ConfigureRoom`] (configuration *before*
+    /// any member exists belongs to [`Self::create_room_with_config`]).
+    /// Replaces the old per-knob setters (`set_room_capacity`,
+    /// `set_change_log_capacity`).
+    pub fn configure_room(&self, room: RoomId, user: &str, config: RoomConfig) -> Result<()> {
         self.with_room(room, |r| {
-            r.set_capacity(capacity);
-            Ok(())
+            r.require_capability(user, Capability::ConfigureRoom)?;
+            r.apply_config(&config)
         })
+    }
+
+    /// A room's current configuration, as one [`RoomConfig`] value.
+    pub fn room_config(&self, room: RoomId) -> Result<RoomConfig> {
+        self.with_room(room, |r| Ok(r.config()))
     }
 
     /// The shareable handle of a room (the per-room lock of the two-level
@@ -338,21 +368,61 @@ impl InteractionServer {
         f(&mut guard)
     }
 
-    /// Joins a room; returns the event stream. Requires read access.
-    pub fn join(&self, room: RoomId, user: &str) -> Result<ClientConnection> {
-        self.db.list_documents(user)?; // cheap read-permission probe
-        let (tx, rx) = unbounded();
-        self.with_room(room, |r| r.join(user, tx))?;
+    /// Joins a room as the role (and with the queue bound) the
+    /// [`JoinRequest`] spells out; returns the client connection carrying
+    /// the granted role and the bounded event stream. Requires read
+    /// access. The requested role is granted verbatim or the join is
+    /// rejected — in particular with
+    /// [`crate::error::JoinRejectCause::PresenterSeatTaken`] when the
+    /// presenter seat is already held.
+    pub fn join(&self, room: RoomId, req: &JoinRequest) -> Result<ClientConnection> {
+        self.db.list_documents(&req.user)?; // cheap read-permission probe
+        let events = self.with_room(room, |r| r.join(req))?;
         Ok(ClientConnection {
             room,
-            user: user.to_string(),
-            events: rx,
+            user: req.user.clone(),
+            role: req.role,
+            events,
         })
     }
 
-    /// Leaves a room (held freezes are released).
+    /// Joins a room as a [`Role::Moderator`] with default queue bounds —
+    /// the symmetric room of the paper, where every partner may annotate,
+    /// freeze, and save. The thin shim over [`Self::join`] that pre-role
+    /// call sites map onto.
+    pub fn join_default(&self, room: RoomId, user: &str) -> Result<ClientConnection> {
+        self.join(room, &JoinRequest::moderator(user))
+    }
+
+    /// Leaves a room (held freezes are released; the member's role seat is
+    /// given up).
     pub fn leave(&self, room: RoomId, user: &str) -> Result<()> {
         self.with_room(room, |r| r.leave(user))
+    }
+
+    /// Removes `target` from `room` on `by`'s authority
+    /// ([`Capability::EvictMembers`] — moderators and the presenter). The
+    /// evicted member's seat is freed; they may rejoin, but do not reclaim
+    /// a role by resyncing. The presenter cannot be evicted.
+    pub fn evict(&self, room: RoomId, by: &str, target: &str) -> Result<()> {
+        self.with_room(room, |r| r.evict(by, target))
+    }
+
+    /// Hands the presenter seat from `from` (the current presenter) to the
+    /// live member `to`: `from` is demoted to moderator, `to` promoted, in
+    /// one atomic pair of `RoleChanged` events.
+    pub fn hand_off_presenter(&self, room: RoomId, from: &str, to: &str) -> Result<()> {
+        self.with_room(room, |r| r.hand_off_presenter(from, to))
+    }
+
+    /// The member's current role (live or reserved), if any.
+    pub fn role_of(&self, room: RoomId, user: &str) -> Result<Option<Role>> {
+        self.with_room(room, |r| Ok(r.role_of(user)))
+    }
+
+    /// Who holds the room's presenter seat (live or reserved), if anyone.
+    pub fn presenter(&self, room: RoomId) -> Result<Option<String>> {
+        self.with_room(room, |r| Ok(r.presenter().map(str::to_string)))
     }
 
     /// Reconnects a client whose event stream was lost. `last_seen_seq` is
@@ -362,7 +432,9 @@ impl InteractionServer {
     /// event tail when it is still within the room's replay horizon
     /// (guaranteeing the client converges to the identical total event
     /// order), or a full [`crate::resync::RoomSnapshot`] when the client
-    /// fell too far behind. Requires read access, like [`Self::join`].
+    /// fell too far behind. Requires read access, like [`Self::join`]. A
+    /// member removed involuntarily (dead connection, slow consumer)
+    /// reclaims their reserved role here.
     pub fn resync(
         &self,
         room: RoomId,
@@ -370,33 +442,20 @@ impl InteractionServer {
         last_seen_seq: u64,
     ) -> Result<(ClientConnection, Resync)> {
         self.db.list_documents(user)?; // cheap read-permission probe
-        let (tx, rx) = unbounded();
-        let catch_up = self.with_room(room, |r| r.resync(user, tx, last_seen_seq))?;
+        let (events, catch_up, role) = self.with_room(room, |r| {
+            let (events, catch_up) = r.resync(user, last_seen_seq)?;
+            let role = r.role_of(user).unwrap_or(Role::Moderator);
+            Ok((events, catch_up, role))
+        })?;
         Ok((
             ClientConnection {
                 room,
                 user: user.to_string(),
-                events: rx,
+                role,
+                events,
             },
             catch_up,
         ))
-    }
-
-    /// Re-bounds a room's change buffer (mainly for tests and experiments;
-    /// shrinking evicts the oldest retained events). A capacity of zero is
-    /// rejected: such a ring could never replay a tail resync, so every
-    /// reconnect would silently degrade to a full snapshot.
-    pub fn set_change_log_capacity(&self, room: RoomId, capacity: usize) -> Result<()> {
-        if capacity == 0 {
-            return Err(ServerError::Invalid(
-                "change log capacity must be at least 1 (a zero ring can never replay a resync tail)"
-                    .to_string(),
-            ));
-        }
-        self.with_room(room, |r| {
-            r.set_change_log_capacity(capacity);
-            Ok(())
-        })
     }
 
     /// Performs an action in a room.
@@ -418,9 +477,15 @@ impl InteractionServer {
     /// (annotations accumulate on it). The payload may be a raw `GIM1`
     /// image or a layered `LIC1` bitstream.
     pub fn open_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<()> {
+        // Authorise before the (possibly expensive) database fetch and
+        // decode: a viewer is refused without costing the server anything.
+        self.with_room(room, |r| {
+            r.require_capability(user, Capability::OpenObjects)
+        })?;
         let obj = self.db.get_image(user, object_id)?;
         let image = decode_image_payload(&obj)?;
         self.with_room(room, |r| {
+            r.require_capability(user, Capability::OpenObjects)?;
             r.insert_object(object_id, AnnotatedImage::new(image));
             Ok(())
         })
@@ -444,7 +509,10 @@ impl InteractionServer {
     /// id), and if the save fails for any reason the working copy is put
     /// back into the room — annotations are never lost.
     pub fn save_and_close_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<()> {
-        let annotated = self.with_room(room, |r| r.take_object(object_id))?;
+        let annotated = self.with_room(room, |r| {
+            r.require_capability(user, Capability::SaveObjects)?;
+            r.take_object(object_id)
+        })?;
         let result = (|| {
             let mut obj = self.db.get_image(user, object_id)?;
             // Only the overlay is stored inline; the pixels stay in
@@ -467,6 +535,7 @@ impl InteractionServer {
     /// database.
     pub fn save_document(&self, room: RoomId, user: &str) -> Result<()> {
         let (doc_id, title, bytes) = self.with_room(room, |r| {
+            r.require_capability(user, Capability::SaveObjects)?;
             Ok((
                 r.document_id,
                 r.document().title().to_string(),
@@ -492,9 +561,11 @@ impl InteractionServer {
         user: &str,
         audio_id: u64,
     ) -> Result<Vec<rcmo_audio::Segment>> {
-        // Authorise first: the analyst must be a room member before any
-        // side effect (the stored sectors) happens.
-        self.with_room(room, |r| r.require_member(user))?;
+        // Authorise first: the analyst must hold the share-analysis
+        // capability before any side effect (the stored sectors) happens.
+        self.with_room(room, |r| {
+            r.require_capability(user, Capability::ShareAnalysis)
+        })?;
         let obj = self.db.get_audio(user, audio_id)?;
         let samples = rcmo_audio::synth::from_pcm16(&obj.data);
         let model = self

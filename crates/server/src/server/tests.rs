@@ -79,7 +79,7 @@ fn setup() -> (InteractionServer, u64, u64, ComponentId, ComponentId) {
 /// only care about the payload order).
 fn drain(conn: &ClientConnection) -> Vec<RoomEvent> {
     let mut out = Vec::new();
-    while let Ok(e) = conn.events.try_recv() {
+    while let Some(e) = conn.events.try_recv() {
         out.push(e.event);
     }
     out
@@ -89,8 +89,8 @@ fn drain(conn: &ClientConnection) -> Vec<RoomEvent> {
 fn create_join_leave_lifecycle() {
     let (srv, doc_id, _, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     assert_eq!(srv.members(room).unwrap(), vec!["dr-a", "dr-b"]);
     // dr-a saw both joins; dr-b only its own.
     let ea = drain(&a);
@@ -98,10 +98,12 @@ fn create_join_leave_lifecycle() {
         ea,
         vec![
             RoomEvent::Joined {
-                user: "dr-a".into()
+                user: "dr-a".into(),
+                role: Role::Moderator
             },
             RoomEvent::Joined {
-                user: "dr-b".into()
+                user: "dr-b".into(),
+                role: Role::Moderator
             }
         ]
     );
@@ -114,28 +116,31 @@ fn create_join_leave_lifecycle() {
         }]
     );
     assert!(srv.leave(room, "dr-b").is_err(), "double leave rejected");
-    assert!(srv.join(room, "dr-a").is_err(), "double join rejected");
+    assert!(
+        srv.join_default(room, "dr-a").is_err(),
+        "double join rejected"
+    );
 }
 
 #[test]
 fn unknown_room_and_unknown_user() {
     let (srv, doc_id, _, _, _) = setup();
     assert!(matches!(
-        srv.join(99, "dr-a"),
+        srv.join_default(99, "dr-a"),
         Err(ServerError::UnknownRoom(99))
     ));
     // "nobody" has no database permissions at all.
     assert!(srv.create_room("nobody", "x", doc_id).is_err());
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    assert!(srv.join(room, "nobody").is_err());
+    assert!(srv.join_default(room, "nobody").is_err());
 }
 
 #[test]
 fn choice_propagates_and_reconfigures() {
     let (srv, doc_id, _, ct, xray) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     drain(&a);
     drain(&b);
 
@@ -177,8 +182,8 @@ fn choice_propagates_and_reconfigures() {
 fn annotations_propagate_and_render() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     drain(&a);
     drain(&b);
@@ -256,8 +261,8 @@ fn annotations_propagate_and_render() {
 fn freeze_blocks_other_partners() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
 
     srv.act(room, "dr-a", Action::Freeze { object: image_id })
@@ -310,8 +315,8 @@ fn freeze_blocks_other_partners() {
 fn leaving_releases_freezes() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     srv.act(room, "dr-a", Action::Freeze { object: image_id })
         .unwrap();
@@ -329,8 +334,8 @@ fn leaving_releases_freezes() {
 fn global_operation_affects_everyone_and_persists() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _b = srv.join_default(room, "dr-b").unwrap();
 
     srv.act(
         room,
@@ -351,7 +356,7 @@ fn global_operation_affects_everyone_and_persists() {
     // Persist and reload through the database.
     srv.save_document(room, "dr-a").unwrap();
     let room2 = srv.create_room("dr-b", "second", doc_id).unwrap();
-    let _c = srv.join(room2, "dr-b").unwrap();
+    let _c = srv.join_default(room2, "dr-b").unwrap();
     let p = srv.presentation(room2, "dr-b").unwrap();
     assert_eq!(p.derived_states().len(), 1, "derived var survived storage");
 }
@@ -360,8 +365,8 @@ fn global_operation_affects_everyone_and_persists() {
 fn local_operation_stays_private() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _b = srv.join_default(room, "dr-b").unwrap();
     srv.act(
         room,
         "dr-a",
@@ -406,7 +411,7 @@ fn layered_image_payload_can_be_opened() {
         )
         .unwrap();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
     srv.open_image(room, "dr-a", lic_id).unwrap();
     let rendered = srv.render_object(room, lic_id).unwrap();
     assert_eq!(rendered.width(), 64);
@@ -416,7 +421,7 @@ fn layered_image_payload_can_be_opened() {
 fn save_and_close_image_persists_annotations() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     srv.act(
         room,
@@ -453,8 +458,8 @@ fn failed_save_keeps_annotations_in_the_room() {
         .put_user("admin", "intern", rcmo_mediadb::AccessLevel::Read)
         .unwrap();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _i = srv.join(room, "intern").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _i = srv.join_default(room, "intern").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     srv.act(
         room,
@@ -489,8 +494,8 @@ fn failed_save_keeps_annotations_in_the_room() {
 fn stats_and_change_log_accumulate() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _b = srv.join_default(room, "dr-b").unwrap();
     for i in 0..5 {
         srv.act(
             room,
@@ -524,8 +529,8 @@ fn concurrent_partners_see_one_total_order() {
     let (srv, doc_id, image_id, ct, _) = setup();
     let srv = Arc::new(srv);
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     // Discard the asymmetric join events so both logs start together.
     drain(&a);
@@ -609,8 +614,8 @@ fn audio_analysis_is_cooperative_and_persistent() {
         .unwrap();
 
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     drain(&b);
     let segments = srv.analyse_audio(room, "dr-a", audio_id).unwrap();
     assert!(!segments.is_empty());
@@ -642,8 +647,8 @@ fn triggers_fire_on_matching_events() {
     use crate::events::TriggerCondition;
     let (srv, doc_id, image_id, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     // dr-b wants to know when anyone touches the CT component or mentions
     // "urgent" in chat.
@@ -736,8 +741,8 @@ fn admin_broadcast_reaches_all_rooms() {
     let (srv, doc_id, _, _, _) = setup();
     let r1 = srv.create_room("dr-a", "one", doc_id).unwrap();
     let r2 = srv.create_room("dr-b", "two", doc_id).unwrap();
-    let a = srv.join(r1, "dr-a").unwrap();
-    let b = srv.join(r2, "dr-b").unwrap();
+    let a = srv.join_default(r1, "dr-a").unwrap();
+    let b = srv.join_default(r2, "dr-b").unwrap();
     drain(&a);
     drain(&b);
     // Non-admins cannot broadcast.
@@ -759,8 +764,8 @@ fn admin_broadcast_reaches_all_rooms() {
 fn dead_members_are_reaped_and_their_freezes_released() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     srv.act(room, "dr-b", Action::Freeze { object: image_id })
         .unwrap();
@@ -800,8 +805,8 @@ fn dead_members_are_reaped_and_their_freezes_released() {
 fn failed_sends_are_not_counted_as_delivered() {
     let (srv, doc_id, _, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
     drain(&a);
     let before = srv.room_stats(room).unwrap();
     drop(b);
@@ -826,8 +831,8 @@ fn failed_sends_are_not_counted_as_delivered() {
 fn resync_within_horizon_replays_identical_order() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
 
     // dr-b observes some events, then its connection dies.
     srv.act(
@@ -906,9 +911,10 @@ fn resync_within_horizon_replays_identical_order() {
 fn resync_beyond_horizon_returns_snapshot() {
     let (srv, doc_id, image_id, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let b = srv.join(room, "dr-b").unwrap();
-    srv.set_change_log_capacity(room, 8).unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let b = srv.join_default(room, "dr-b").unwrap();
+    srv.configure_room(room, "dr-a", RoomConfig::new().with_change_log_capacity(8))
+        .unwrap();
     srv.open_image(room, "dr-a", image_id).unwrap();
     srv.act(room, "dr-a", Action::Freeze { object: image_id })
         .unwrap();
@@ -958,8 +964,13 @@ fn resync_beyond_horizon_returns_snapshot() {
 fn change_log_is_bounded_under_stress() {
     let (srv, doc_id, _, _, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let a = srv.join(room, "dr-a").unwrap();
-    srv.set_change_log_capacity(room, 256).unwrap();
+    let a = srv.join_default(room, "dr-a").unwrap();
+    srv.configure_room(
+        room,
+        "dr-a",
+        RoomConfig::new().with_change_log_capacity(256),
+    )
+    .unwrap();
     for i in 0..10_000 {
         srv.act(
             room,
@@ -986,7 +997,7 @@ fn change_log_is_bounded_under_stress() {
 fn render_presentation_shows_content_pane() {
     let (srv, doc_id, _, ct, _) = setup();
     let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
     let text = srv.render_presentation(room, "dr-a").unwrap();
     assert!(text.contains("CT: flat"));
     assert!(text.contains("X-ray: icon"));
@@ -1026,8 +1037,8 @@ fn announcement_does_not_hold_the_map_across_rooms() {
     let srv = Arc::new(srv);
     let r1 = srv.create_room("dr-a", "stalled", doc_id).unwrap();
     let r2 = srv.create_room("dr-a", "healthy", doc_id).unwrap();
-    let _a1 = srv.join(r1, "dr-a").unwrap();
-    let _a2 = srv.join(r2, "dr-a").unwrap();
+    let _a1 = srv.join_default(r1, "dr-a").unwrap();
+    let _a2 = srv.join_default(r2, "dr-a").unwrap();
 
     // Simulate a room stuck in a slow operation: its lock is held for the
     // duration of the announcement attempt.
@@ -1080,8 +1091,8 @@ fn rooms_progress_in_parallel_while_one_room_is_stalled() {
     let srv = Arc::new(srv);
     let slow = srv.create_room("dr-a", "slow", doc_id).unwrap();
     let fast = srv.create_room("dr-a", "fast", doc_id).unwrap();
-    let _s = srv.join(slow, "dr-a").unwrap();
-    let _f = srv.join(fast, "dr-b").unwrap();
+    let _s = srv.join_default(slow, "dr-a").unwrap();
+    let _f = srv.join_default(fast, "dr-b").unwrap();
     srv.open_image(fast, "dr-b", image_id).unwrap();
 
     // Pin the slow room's lock (a long CT decode, say) ...
@@ -1158,7 +1169,10 @@ fn stress_concurrent_rooms_members_and_observers() {
     let mut conns = Vec::new();
     for (r, &room) in rooms.iter().enumerate() {
         for a in 0..ACTORS_PER_ROOM {
-            conns.push(((r, a), srv.join(room, &format!("u-{r}-{a}")).unwrap()));
+            conns.push((
+                (r, a),
+                srv.join_default(room, &format!("u-{r}-{a}")).unwrap(),
+            ));
         }
         srv.open_image(room, &format!("u-{r}-0"), image_id).unwrap();
     }
@@ -1228,7 +1242,7 @@ fn stress_concurrent_rooms_members_and_observers() {
                 let room = srv
                     .create_room("churn", &format!("churn-{i}"), doc_id)
                     .unwrap();
-                let _c = srv.join(room, "churn").unwrap();
+                let _c = srv.join_default(room, "churn").unwrap();
                 srv.act(
                     room,
                     "churn",
@@ -1308,4 +1322,304 @@ fn stress_concurrent_rooms_members_and_observers() {
     let hold = snap.histograms.get("server.room.lock.hold.us").unwrap();
     assert!(wait.count > 0 && hold.count > 0);
     assert!(snap.counters["server.rooms.map.write.count"] >= (ROOMS + 12) as u64);
+}
+
+// ---------------------------------------------------------------------
+// Roles, capabilities, and the shared-payload fan-out.
+
+/// Asserts that `res` is an `ActionRejected` naming exactly `cap` and the
+/// viewer role.
+fn assert_viewer_denied<T: std::fmt::Debug>(res: Result<T>, cap: Capability) {
+    match res {
+        Err(ServerError::ActionRejected {
+            required_capability,
+            role,
+        }) => {
+            assert_eq!(required_capability, cap);
+            assert_eq!(role, Role::Viewer);
+        }
+        other => panic!("expected ActionRejected({cap}), got {other:?}"),
+    }
+}
+
+#[test]
+fn viewer_is_denied_at_every_mutating_entry_point() {
+    let (srv, doc_id, image_id, ct, _) = setup();
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let _prof = srv.join(room, &JoinRequest::presenter("dr-a")).unwrap();
+    let viewer = srv.join(room, &JoinRequest::viewer("dr-b")).unwrap();
+    assert_eq!(viewer.role, Role::Viewer);
+    srv.open_image(room, "dr-a", image_id).unwrap();
+
+    use Capability::*;
+    assert_viewer_denied(
+        srv.act(
+            room,
+            "dr-b",
+            Action::AddText {
+                object: image_id,
+                element: TextElement {
+                    x: 1,
+                    y: 1,
+                    text: "no".into(),
+                    intensity: 255,
+                    scale: 1,
+                },
+            },
+        ),
+        AnnotateObjects,
+    );
+    assert_viewer_denied(
+        srv.act(
+            room,
+            "dr-b",
+            Action::AddLine {
+                object: image_id,
+                element: LineElement {
+                    x0: 0,
+                    y0: 0,
+                    x1: 1,
+                    y1: 1,
+                    intensity: 255,
+                },
+            },
+        ),
+        AnnotateObjects,
+    );
+    assert_viewer_denied(
+        srv.act(room, "dr-b", Action::Freeze { object: image_id }),
+        FreezeObjects,
+    );
+    assert_viewer_denied(
+        srv.act(
+            room,
+            "dr-b",
+            Action::ApplyOperation {
+                component: ct,
+                trigger_form: 0,
+                operation: "segmentation".into(),
+                global: true,
+            },
+        ),
+        ApplyGlobalOperation,
+    );
+    assert_viewer_denied(srv.open_image(room, "dr-b", image_id), OpenObjects);
+    assert_viewer_denied(
+        srv.save_and_close_image(room, "dr-b", image_id),
+        SaveObjects,
+    );
+    assert_viewer_denied(srv.save_document(room, "dr-b"), SaveObjects);
+    // The capability gate fires before the audio object is even fetched.
+    assert_viewer_denied(srv.analyse_audio(room, "dr-b", 9_999), ShareAnalysis);
+    assert_viewer_denied(
+        srv.add_trigger(
+            room,
+            "dr-b",
+            TriggerCondition::ChatContains { needle: "x".into() },
+        ),
+        ManageTriggers,
+    );
+    assert_viewer_denied(
+        srv.configure_room(room, "dr-b", RoomConfig::new().with_capacity(Some(2))),
+        ConfigureRoom,
+    );
+    assert_viewer_denied(srv.evict(room, "dr-b", "dr-a"), EvictMembers);
+    assert_viewer_denied(
+        srv.hand_off_presenter(room, "dr-b", "dr-a"),
+        HandOffPresenter,
+    );
+
+    // Every denial above was counted, and none mutated room state.
+    assert_eq!(srv.room_stats(room).unwrap().actions_denied, 12);
+    assert!(srv.object_elements(room, image_id).is_ok());
+
+    // What the viewer *can* do: chat and adjust their own view.
+    srv.act(
+        room,
+        "dr-b",
+        Action::Chat {
+            text: "question!".into(),
+        },
+    )
+    .unwrap();
+    srv.act(
+        room,
+        "dr-b",
+        Action::Choose {
+            component: ct,
+            form: 1,
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn moderator_evicts_and_the_seat_is_freed() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    srv.database()
+        .put_user("admin", "student", rcmo_mediadb::AccessLevel::Read)
+        .unwrap();
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let _prof = srv.join(room, &JoinRequest::presenter("dr-a")).unwrap();
+    let moderator = srv.join(room, &JoinRequest::moderator("dr-b")).unwrap();
+    let _student = srv.join(room, &JoinRequest::viewer("student")).unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+
+    // The presenter cannot be evicted, nor can the moderator evict
+    // themselves.
+    assert!(srv.evict(room, "dr-b", "dr-a").is_err());
+    assert!(srv.evict(room, "dr-b", "dr-b").is_err());
+
+    srv.evict(room, "dr-b", "student").unwrap();
+    assert!(!srv.members(room).unwrap().contains(&"student".to_string()));
+    // Voluntary-removal semantics: an evicted member holds no reserved
+    // role...
+    assert_eq!(srv.role_of(room, "student").unwrap(), None);
+    // ...and the eviction is a first-class event naming the authority.
+    let seen = drain(&moderator);
+    assert!(seen.contains(&RoomEvent::Evicted {
+        user: "student".into(),
+        by: "dr-b".into(),
+    }));
+    // They may rejoin — as whatever role they ask for afresh.
+    let back = srv.join(room, &JoinRequest::viewer("student")).unwrap();
+    assert_eq!(back.role, Role::Viewer);
+}
+
+#[test]
+fn presenter_seat_is_unique_and_hands_off_mid_session() {
+    let (srv, doc_id, _, ct, _) = setup();
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let prof = srv.join(room, &JoinRequest::presenter("dr-a")).unwrap();
+    assert_eq!(prof.role, Role::Presenter);
+    assert_eq!(srv.presenter(room).unwrap().as_deref(), Some("dr-a"));
+
+    // A second presenter join is rejected with the structured cause (and
+    // the cause is non-transient: clients should not retry it).
+    match srv.join(room, &JoinRequest::presenter("dr-b")) {
+        Err(ServerError::JoinRejected { cause, .. }) => {
+            assert_eq!(cause, crate::error::JoinRejectCause::PresenterSeatTaken);
+            assert!(!cause.is_transient());
+        }
+        other => panic!("expected PresenterSeatTaken, got {other:?}"),
+    }
+
+    let b = srv.join(room, &JoinRequest::moderator("dr-b")).unwrap();
+    drain(&prof);
+    drain(&b);
+
+    // Only the presenter may hand off; mid-session the seat moves as a
+    // demote-then-promote pair so no event prefix shows two presenters.
+    assert!(srv.hand_off_presenter(room, "dr-b", "dr-a").is_err());
+    srv.hand_off_presenter(room, "dr-a", "dr-b").unwrap();
+    assert_eq!(
+        drain(&b),
+        vec![
+            RoomEvent::RoleChanged {
+                user: "dr-a".into(),
+                role: Role::Moderator,
+            },
+            RoomEvent::RoleChanged {
+                user: "dr-b".into(),
+                role: Role::Presenter,
+            },
+        ]
+    );
+    assert_eq!(srv.presenter(room).unwrap().as_deref(), Some("dr-b"));
+    assert_eq!(srv.role_of(room, "dr-a").unwrap(), Some(Role::Moderator));
+
+    // The new presenter drives; the old one no longer holds the seat.
+    srv.act(
+        room,
+        "dr-b",
+        Action::ApplyOperation {
+            component: ct,
+            trigger_form: 0,
+            operation: "zoom".into(),
+            global: true,
+        },
+    )
+    .unwrap();
+    assert!(srv.hand_off_presenter(room, "dr-a", "dr-b").is_err());
+}
+
+#[test]
+fn slow_consumer_is_evicted_and_reclaims_role_by_resync() {
+    let (srv, doc_id, _, _, _) = setup();
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let prof = srv.join(room, &JoinRequest::presenter("dr-a")).unwrap();
+    // A viewer on a tiny queue who never drains: the modem client.
+    let stalled = srv
+        .join(room, &JoinRequest::viewer("dr-b").with_queue_bound(3))
+        .unwrap();
+
+    for i in 0..8 {
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("slide {i}"),
+            },
+        )
+        .unwrap();
+    }
+    // The stalled member was evicted without ever blocking the presenter.
+    assert!(!srv.members(room).unwrap().contains(&"dr-b".to_string()));
+    assert!(srv.room_stats(room).unwrap().slow_consumers_evicted >= 1);
+    let prof_saw = drain(&prof);
+    assert!(prof_saw.contains(&RoomEvent::Left {
+        user: "dr-b".into()
+    }));
+
+    // Involuntary removal keeps the seat reserved: the resync path hands
+    // it back, with a snapshot catch-up (their queue bound was far behind
+    // the replay horizon is irrelevant — they were removed, so the room
+    // replays or snapshots from their last seen seq).
+    assert_eq!(srv.role_of(room, "dr-b").unwrap(), Some(Role::Viewer));
+    let (back, catch_up) = srv.resync(room, "dr-b", 2).unwrap();
+    assert_eq!(back.role, Role::Viewer);
+    match catch_up {
+        Resync::Events(evs) => assert!(!evs.is_empty()),
+        Resync::Snapshot(snap) => assert!(snap.seq > 0),
+    }
+    drop(stalled);
+}
+
+#[test]
+fn shared_payload_is_encoded_once_per_event() {
+    let (srv, doc_id, _, _, _) = setup();
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let _prof = srv.join(room, &JoinRequest::presenter("dr-a")).unwrap();
+    let audience: Vec<ClientConnection> = (0..16)
+        .map(|i| {
+            let user = format!("v-{i}");
+            srv.database()
+                .put_user("admin", &user, rcmo_mediadb::AccessLevel::Read)
+                .unwrap();
+            srv.join(room, &JoinRequest::viewer(&user)).unwrap()
+        })
+        .collect();
+
+    let before = srv.room_stats(room).unwrap();
+    for i in 0..10 {
+        srv.act(
+            room,
+            "dr-a",
+            Action::Chat {
+                text: format!("slide {i}"),
+            },
+        )
+        .unwrap();
+    }
+    let after = srv.room_stats(room).unwrap();
+    // Encode-once: 10 events → 10 encodes, though 17 members each got a
+    // copy delivered (pointer fan-out, not payload fan-out).
+    assert_eq!(after.events_encoded - before.events_encoded, 10);
+    assert!(after.events_delivered - before.events_delivered >= 10 * 17);
+    for conn in &audience {
+        let seqs: Vec<u64> = conn.events.try_iter().map(|e| e.seq).collect();
+        // Every viewer observed a gap-free suffix of the room's order.
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(*seqs.last().unwrap(), srv.last_seq(room).unwrap());
+    }
 }

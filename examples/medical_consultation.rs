@@ -75,8 +75,8 @@ fn main() {
     // ----- The shared room. -----
     let srv = InteractionServer::new(db);
     let room = srv.create_room("dr-gudes", "tumor-board", doc_id).unwrap();
-    let gudes = srv.join(room, "dr-gudes").unwrap();
-    let orlov = srv.join(room, "dr-orlov").unwrap();
+    let gudes = srv.join_default(room, "dr-gudes").unwrap();
+    let orlov = srv.join_default(room, "dr-orlov").unwrap();
     srv.open_image(room, "dr-gudes", ct_id).unwrap();
     println!(
         "\nroom '{}' members: {:?}",
@@ -225,8 +225,12 @@ fn main() {
         );
     }
 
-    // Persist everything back to the database layer.
+    // Persist everything back to the database layer. dr-gudes' event
+    // stream died above (the `drop`), so the analysis broadcast reaped
+    // him; an involuntary removal keeps his seat reserved, and a resync
+    // re-enters the room with his old role before he saves.
     srv.save_document(room, "dr-orlov").unwrap();
+    let (_gudes, _catch_up) = srv.resync(room, "dr-gudes", 0).unwrap();
     srv.save_and_close_image(room, "dr-gudes", ct_id).unwrap();
     let stats = srv.room_stats(room).unwrap();
     println!(

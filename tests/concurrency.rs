@@ -82,7 +82,7 @@ fn eight_threads_four_rooms_no_deadlock_no_crosstalk() {
     let mut conns = Vec::new();
     for (r, &room) in rooms.iter().enumerate() {
         for m in 0..MEMBERS {
-            conns.push((r, srv.join(room, &format!("u-{r}-{m}")).unwrap()));
+            conns.push((r, srv.join_default(room, &format!("u-{r}-{m}")).unwrap()));
         }
         srv.open_image(room, &format!("u-{r}-0"), image_id).unwrap();
     }
@@ -146,7 +146,7 @@ fn eight_threads_four_rooms_no_deadlock_no_crosstalk() {
                 let room = srv
                     .create_room("churn", &format!("ephemeral-{i}"), doc_id)
                     .unwrap();
-                let _conn = srv.join(room, "churn").unwrap();
+                let _conn = srv.join_default(room, "churn").unwrap();
                 srv.act(
                     room,
                     "churn",
@@ -233,8 +233,8 @@ fn stalled_room_does_not_block_the_server() {
     let (srv, doc_id, image_id) = fixture();
     let slow = srv.create_room("admin", "slow", doc_id).unwrap();
     let fast = srv.create_room("admin", "fast", doc_id).unwrap();
-    let _s = srv.join(slow, "u-0-0").unwrap();
-    let _f = srv.join(fast, "u-1-0").unwrap();
+    let _s = srv.join_default(slow, "u-0-0").unwrap();
+    let _f = srv.join_default(fast, "u-1-0").unwrap();
     srv.open_image(fast, "u-1-0", image_id).unwrap();
 
     let handle = srv.room_handle(slow).unwrap();

@@ -74,8 +74,8 @@ fn two_session_consultation_with_persistence() {
         let ids = build_case(&db);
         let srv = InteractionServer::new(db);
         let room = srv.create_room("dr-a", "s1", ids.0).unwrap();
-        let _a = srv.join(room, "dr-a").unwrap();
-        let _b = srv.join(room, "dr-b").unwrap();
+        let _a = srv.join_default(room, "dr-a").unwrap();
+        let _b = srv.join_default(room, "dr-b").unwrap();
         srv.open_image(room, "dr-a", ids.1).unwrap();
         srv.act(
             room,
@@ -134,7 +134,7 @@ fn two_session_consultation_with_persistence() {
         // variable for a brand-new viewer.
         let srv = InteractionServer::new(db);
         let room = srv.create_room("dr-b", "s2", doc_id).unwrap();
-        let _c = srv.join(room, "dr-b").unwrap();
+        let _c = srv.join_default(room, "dr-b").unwrap();
         let p = srv.presentation(room, "dr-b").unwrap();
         assert_eq!(p.derived_states().len(), 1);
         assert_eq!(p.form(comp), 0);
@@ -208,7 +208,7 @@ fn room_scales_to_many_partners() {
     let srv = InteractionServer::new(db);
     let room = srv.create_room("dr-a", "board", doc_id).unwrap();
     let conns: Vec<_> = (0..8)
-        .map(|i| srv.join(room, &format!("dr-{i}")).unwrap())
+        .map(|i| srv.join_default(room, &format!("dr-{i}")).unwrap())
         .collect();
     srv.open_image(room, "dr-0", image_id).unwrap();
     for i in 0..8 {

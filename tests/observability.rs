@@ -44,8 +44,8 @@ fn fixture_server() -> (InteractionServer, u64) {
 fn server_snapshot_covers_room_activity() {
     let (srv, doc_id) = fixture_server();
     let room = srv.create_room("dr-a", "obs", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
-    let _b = srv.join(room, "dr-b").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let _b = srv.join_default(room, "dr-b").unwrap();
     for i in 0..5 {
         srv.act(
             room,
@@ -115,7 +115,7 @@ fn buffer_stats_view_and_snapshot_diff() {
 fn server_snapshot_json_round_trip() {
     let (srv, doc_id) = fixture_server();
     let room = srv.create_room("dr-a", "json", doc_id).unwrap();
-    let _a = srv.join(room, "dr-a").unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
     srv.act(
         room,
         "dr-a",

@@ -671,3 +671,106 @@ fn change_log_resync_has_no_gap_at_the_eviction_boundary() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Broadcast fan-out.
+
+/// The bounded per-member queues deliver the same gap-free total order
+/// the pre-refactor per-clone channels did: for any random mix of
+/// members, roles, and actions, every member that keeps draining observes
+/// a dense sequence `join_seq..=last_seq` with payloads identical across
+/// members — encode-once fan-out changes the cost, never the stream.
+#[test]
+fn fanout_queues_preserve_the_broadcast_total_order() {
+    use rcmo::mediadb::{AccessLevel, DocumentObject, MediaDb};
+    use rcmo::server::{Action, InteractionServer, JoinRequest, SequencedEvent};
+
+    let mut rng = StdRng::seed_from_u64(0xFA_2007);
+    for case in 0..24 {
+        let db = MediaDb::in_memory().unwrap();
+        let members = rng.gen_range(2..9usize);
+        for m in 0..members {
+            db.put_user("admin", &format!("u{m}"), AccessLevel::Write)
+                .unwrap();
+        }
+        let mut doc = rcmo::core::MultimediaDocument::new("lecture notes");
+        doc.add_primitive(
+            doc.root(),
+            "Slide",
+            rcmo::core::MediaRef::None,
+            vec![
+                rcmo::core::PresentationForm::new("flat", rcmo::core::FormKind::Flat, 1_000),
+                rcmo::core::PresentationForm::hidden(),
+            ],
+        )
+        .unwrap();
+        doc.validate().unwrap();
+        let doc_id = db
+            .insert_document(
+                "admin",
+                &DocumentObject {
+                    title: "lecture notes".into(),
+                    data: doc.to_bytes(),
+                },
+            )
+            .unwrap();
+
+        let srv = InteractionServer::new(db);
+        let room = srv.create_room("u0", "lecture", doc_id).unwrap();
+        let conns: Vec<_> = (0..members)
+            .map(|m| {
+                let req = if m == 0 {
+                    JoinRequest::presenter("u0")
+                } else if rng.gen_bool(0.5) {
+                    JoinRequest::moderator(&format!("u{m}"))
+                } else {
+                    JoinRequest::viewer(&format!("u{m}"))
+                };
+                srv.join(room, &req).unwrap()
+            })
+            .collect();
+
+        let ops = rng.gen_range(5..40usize);
+        for i in 0..ops {
+            // Only the presenter mutates; everyone chats. Denied calls
+            // must not perturb the stream, so sprinkle some in too.
+            let actor = rng.gen_range(0..members);
+            let action = Action::Chat {
+                text: format!("c{case}-m{i}"),
+            };
+            srv.act(room, &format!("u{actor}"), action).unwrap();
+            if rng.gen_bool(0.2) {
+                let _ = srv.save_document(room, &format!("u{actor}"));
+            }
+        }
+
+        let last = srv.last_seq(room).unwrap();
+        let mut reference: Option<Vec<SequencedEvent>> = None;
+        for (m, conn) in conns.iter().enumerate() {
+            let got: Vec<SequencedEvent> = conn.events.try_iter().collect();
+            let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+            assert!(
+                seqs.windows(2).all(|w| w[1] == w[0] + 1),
+                "case {case}: member {m} saw a gap: {seqs:?}"
+            );
+            assert_eq!(
+                *seqs.last().unwrap(),
+                last,
+                "case {case}: member {m} missed the tail"
+            );
+            // Later joiners see a suffix of the first member's stream:
+            // same events, same order, from their own join onward.
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => {
+                    let offset = r.len() - got.len();
+                    assert_eq!(
+                        &r[offset..],
+                        &got[..],
+                        "case {case}: member {m} diverged from the total order"
+                    );
+                }
+            }
+        }
+    }
+}
