@@ -120,7 +120,7 @@ pub fn put_user(db: &Database, user: &str, level: AccessLevel) -> Result<()> {
 
 /// Looks a user's level up.
 pub fn user_level(db: &Database, user: &str) -> Result<Option<AccessLevel>> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     for row in tx.scan(USERS_TABLE)? {
         if matches!(&row[1], RowValue::Text(n) if n == user) {
             let tag = match row[2] {

@@ -113,7 +113,7 @@ pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
     static LAT: rcmo_obs::LazyHistogram =
         rcmo_obs::LazyHistogram::new("mediadb.image.get.us", rcmo_obs::bounds::LATENCY_US);
     let _t = LAT.start_timer();
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
         table: IMAGE_TABLE,
         id,
@@ -133,7 +133,7 @@ pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
 
 /// Fetches only the first `n` bytes of an image payload.
 pub fn get_image_prefix(db: &Database, id: u64, n: usize) -> Result<Vec<u8>> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
         table: IMAGE_TABLE,
         id,
@@ -205,7 +205,7 @@ pub fn insert_audio(db: &Database, audio: &AudioObject) -> Result<u64> {
 
 /// Fetches an audio object.
 pub fn get_audio(db: &Database, id: u64) -> Result<AudioObject> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let row = tx.get(AUDIO_TABLE, id)?.ok_or(MediaError::NotFound {
         table: AUDIO_TABLE,
         id,
@@ -276,7 +276,7 @@ pub fn insert_compound(db: &Database, cmp: &CompoundObject) -> Result<u64> {
 
 /// Fetches a compound object.
 pub fn get_compound(db: &Database, id: u64) -> Result<CompoundObject> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let row = tx.get(CMP_TABLE, id)?.ok_or(MediaError::NotFound {
         table: CMP_TABLE,
         id,
@@ -316,7 +316,7 @@ pub fn get_document(db: &Database, id: u64) -> Result<DocumentObject> {
     static LAT: rcmo_obs::LazyHistogram =
         rcmo_obs::LazyHistogram::new("mediadb.document.get.us", rcmo_obs::bounds::LATENCY_US);
     let _t = LAT.start_timer();
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let row = tx.get(DOC_TABLE, id)?.ok_or(MediaError::NotFound {
         table: DOC_TABLE,
         id,
@@ -352,7 +352,7 @@ pub fn update_document(db: &Database, id: u64, doc: &DocumentObject) -> Result<(
 
 /// Lists documents (id, title, payload size).
 pub fn list_documents(db: &Database) -> Result<Vec<ObjectSummary>> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let rows = tx.scan(DOC_TABLE)?;
     rows.into_iter()
         .map(|row| {
@@ -368,7 +368,7 @@ pub fn list_documents(db: &Database) -> Result<Vec<ObjectSummary>> {
 /// size), resolving the object table through the master table.
 pub fn list_objects(db: &Database, type_name: &str) -> Result<Vec<ObjectSummary>> {
     let ty = schema::media_type_by_name(db, type_name)?;
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let table_schema = tx.schema(&ty.object_table)?;
     let label_col = table_schema
         .columns()

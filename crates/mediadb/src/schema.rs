@@ -144,7 +144,7 @@ pub fn install(db: &Database) -> Result<()> {
 
 /// Reads the registered media types.
 pub fn media_types(db: &Database) -> Result<Vec<MediaType>> {
-    let mut tx = db.begin()?;
+    let tx = db.begin_read()?;
     let rows = tx.scan(MASTER_TABLE)?;
     rows.into_iter()
         .map(|r| {

@@ -172,6 +172,64 @@ impl Backend for MemBackend {
 }
 
 // ---------------------------------------------------------------------
+// Slow-sync backend.
+
+/// A [`Backend`] decorator modelling a device with expensive fsyncs: every
+/// [`sync`](Backend::sync) sleeps for a fixed latency before delegating.
+///
+/// Makes the WAL fsync the commit bottleneck so experiments (E20) can
+/// measure how group commit amortizes syncs across concurrent committers.
+#[derive(Debug)]
+pub struct SlowSyncBackend<B> {
+    inner: B,
+    latency: std::time::Duration,
+    syncs: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<B: Backend> SlowSyncBackend<B> {
+    /// Wraps `inner`, charging `latency` of wall-clock time per sync.
+    pub fn new(inner: B, latency: std::time::Duration) -> SlowSyncBackend<B> {
+        SlowSyncBackend {
+            inner,
+            latency,
+            syncs: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared counter of syncs issued through this backend.
+    pub fn sync_counter(&self) -> Arc<std::sync::atomic::AtomicU64> {
+        Arc::clone(&self.syncs)
+    }
+}
+
+impl<B: Backend> Backend for SlowSyncBackend<B> {
+    fn len(&self) -> Result<u64> {
+        self.inner.len()
+    }
+
+    fn read_at(&mut self, off: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(off, buf)
+    }
+
+    fn write_at(&mut self, off: u64, data: &[u8]) -> Result<()> {
+        self.inner.write_at(off, data)
+    }
+
+    fn set_len(&mut self, len: u64) -> Result<()> {
+        self.inner.set_len(len)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        self.syncs
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.sync()
+    }
+}
+
+// ---------------------------------------------------------------------
 // Fault simulation.
 
 /// What a [`FaultInjector`] simulates, from a deterministic seed.

@@ -15,7 +15,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PageKind, PAGE_HEADER, PAGE_SIZE};
-use crate::pager::BufferPool;
+use crate::pager::{BufferPool, PageRead};
 
 const BODY: usize = PAGE_SIZE - PAGE_HEADER;
 pub(crate) const OFF_NEXT: usize = 0;
@@ -74,7 +74,7 @@ impl BlobStore {
         Ok(BlobId(first.0))
     }
 
-    fn check_first(pool: &mut BufferPool, id: BlobId) -> Result<()> {
+    fn check_first<P: PageRead>(pool: &mut P, id: BlobId) -> Result<()> {
         let ok = pool
             .with_page(PageId(id.0), |p| p.kind() == PageKind::Blob)
             .unwrap_or(false);
@@ -86,20 +86,20 @@ impl BlobStore {
     }
 
     /// Total length of the BLOB in bytes.
-    pub fn len(pool: &mut BufferPool, id: BlobId) -> Result<u64> {
+    pub fn len<P: PageRead>(pool: &mut P, id: BlobId) -> Result<u64> {
         Self::check_first(pool, id)?;
         pool.with_page(PageId(id.0), |p| p.get_u64(FIRST_TOTAL))
     }
 
     /// Reads the whole BLOB.
-    pub fn read(pool: &mut BufferPool, id: BlobId) -> Result<Vec<u8>> {
+    pub fn read<P: PageRead>(pool: &mut P, id: BlobId) -> Result<Vec<u8>> {
         let total = Self::len(pool, id)?;
         Self::read_prefix(pool, id, total as usize)
     }
 
     /// Reads the first `n` bytes (or the whole BLOB if shorter) — the
     /// progressive-transfer path.
-    pub fn read_prefix(pool: &mut BufferPool, id: BlobId, n: usize) -> Result<Vec<u8>> {
+    pub fn read_prefix<P: PageRead>(pool: &mut P, id: BlobId, n: usize) -> Result<Vec<u8>> {
         Self::check_first(pool, id)?;
         let mut out = Vec::with_capacity(n);
         let mut page = PageId(id.0);
@@ -156,7 +156,7 @@ mod tests {
         let mut meta = Page::new(PageKind::Meta);
         meta.put_u64(META_FREE_HEAD, PageId::NONE.0);
         disk.write_page(PageId::META, &mut meta).unwrap();
-        BufferPool::new(disk, 256)
+        BufferPool::for_tests(disk, 256)
     }
 
     fn pattern(n: usize) -> Vec<u8> {

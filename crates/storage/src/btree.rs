@@ -20,7 +20,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::page::{PageId, PageKind};
-use crate::pager::BufferPool;
+use crate::pager::{BufferPool, PageRead};
 
 pub(crate) const OFF_NKEYS: usize = 0;
 pub(crate) const OFF_NEXT_LEAF: usize = 2;
@@ -66,7 +66,7 @@ impl BTree {
     }
 
     /// Finds the leaf that should contain `key`.
-    fn find_leaf(&self, pool: &mut BufferPool, key: u64) -> Result<PageId> {
+    fn find_leaf<P: PageRead>(&self, pool: &mut P, key: u64) -> Result<PageId> {
         let mut node = self.root;
         loop {
             let (kind, nkeys) =
@@ -96,8 +96,9 @@ impl BTree {
         }
     }
 
-    /// Looks `key` up.
-    pub fn get(&self, pool: &mut BufferPool, key: u64) -> Result<Option<u64>> {
+    /// Looks `key` up. Generic over the page source so snapshot readers
+    /// share the code path with the writer's pool.
+    pub fn get<P: PageRead>(&self, pool: &mut P, key: u64) -> Result<Option<u64>> {
         static LAT: rcmo_obs::LazyHistogram =
             rcmo_obs::LazyHistogram::new("storage.btree.get.us", rcmo_obs::bounds::LATENCY_US);
         let _t = LAT.start_timer();
@@ -358,7 +359,12 @@ impl BTree {
 
     /// Returns all `(key, value)` pairs with `start <= key <= end`,
     /// ascending.
-    pub fn range(&self, pool: &mut BufferPool, start: u64, end: u64) -> Result<Vec<(u64, u64)>> {
+    pub fn range<P: PageRead>(
+        &self,
+        pool: &mut P,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<(u64, u64)>> {
         let mut out = Vec::new();
         if start > end {
             return Ok(out);
@@ -403,17 +409,17 @@ impl BTree {
     }
 
     /// All entries in key order.
-    pub fn scan_all(&self, pool: &mut BufferPool) -> Result<Vec<(u64, u64)>> {
+    pub fn scan_all<P: PageRead>(&self, pool: &mut P) -> Result<Vec<(u64, u64)>> {
         self.range(pool, 0, u64::MAX)
     }
 
     /// Number of keys (walks the leaf chain).
-    pub fn len(&self, pool: &mut BufferPool) -> Result<usize> {
+    pub fn len<P: PageRead>(&self, pool: &mut P) -> Result<usize> {
         Ok(self.scan_all(pool)?.len())
     }
 
     /// `true` if the tree holds no keys.
-    pub fn is_empty(&self, pool: &mut BufferPool) -> Result<bool> {
+    pub fn is_empty<P: PageRead>(&self, pool: &mut P) -> Result<bool> {
         Ok(self.len(pool)? == 0)
     }
 }
@@ -430,7 +436,7 @@ mod tests {
         let mut meta = Page::new(PageKind::Meta);
         meta.put_u64(META_FREE_HEAD, PageId::NONE.0);
         disk.write_page(PageId::META, &mut meta).unwrap();
-        BufferPool::new(disk, 256)
+        BufferPool::for_tests(disk, 256)
     }
 
     #[test]

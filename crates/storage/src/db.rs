@@ -24,14 +24,35 @@
 //!     .unwrap();
 //! tx.commit().unwrap();
 //!
-//! let mut tx = db.begin().unwrap();
-//! let row = tx.get("IMAGE_OBJECTS_TABLE", id).unwrap().unwrap();
+//! // Snapshot reads never take the writer lock.
+//! let rd = db.begin_read().unwrap();
+//! let row = rd.get("IMAGE_OBJECTS_TABLE", id).unwrap().unwrap();
 //! assert_eq!(row[1], RowValue::Text("ct".into()));
 //! ```
 //!
-//! A [`Transaction`] holds the database's single mutex guard, making the
-//! single-writer discipline a compile-time property. Dropping an
-//! uncommitted transaction rolls it back.
+//! # Commit pipeline
+//!
+//! A [`Transaction`] holds the database's writer mutex, making the
+//! single-writer discipline a compile-time property; dropping an uncommitted
+//! transaction rolls it back. Commit proceeds in three stages:
+//!
+//! 1. **Append** — the write set's sealed after-images plus a commit record
+//!    go to the WAL under the log lock (no fsync yet in the default,
+//!    *deferred* mode).
+//! 2. **Publish** — a new immutable [`CommittedState`] (commit sequence
+//!    number, copy-on-write page overlay, catalog snapshot) becomes visible
+//!    to new readers, and the writer lock is released (*early lock
+//!    release*).
+//! 3. **Group commit** — the committing thread joins the shared WAL-sync
+//!    batch: one fsync covers every commit appended before it started, so
+//!    concurrent committers amortize the sync. [`DbOptions::
+//!    group_commit_window`] optionally stretches the batch.
+//!
+//! Checkpoints (folding the committed overlay into the data file and
+//! truncating the WAL) are decoupled from commit and triggered by WAL size
+//! or commit count — or run eagerly per commit when
+//! [`DbOptions::eager_checkpoint`] is set, which restores the historical
+//! checkpoint-per-commit behaviour for crash-injection harnesses.
 
 use crate::blob::{BlobId, BlobStore};
 use crate::btree::BTree;
@@ -40,11 +61,15 @@ use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::heap::Heap;
 use crate::page::{Page, PageId, PageKind};
-use crate::pager::{BufferPool, PoolStats};
+use crate::pager::{BufferPool, PoolStats, ReadLayer};
+use crate::snapshot::{CommittedState, SnapshotReader, SnapshotRegistry};
 use crate::wal::Wal;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 pub use crate::catalog::RowValue;
 
@@ -56,17 +81,188 @@ pub(crate) const META_MAGIC: u64 = 0x5243_4D4F_4442_3101; // "RCMODB1" + version
 /// Default buffer-pool capacity in frames (2048 × 8 KiB = 16 MiB).
 pub const DEFAULT_POOL_FRAMES: usize = 2048;
 
+/// Tunables for opening a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Soft capacity of the writer's page buffer, in frames.
+    pub pool_frames: usize,
+    /// Number of lock stripes in the shared page cache.
+    pub cache_shards: usize,
+    /// Total frames across all cache shards.
+    pub cache_frames: usize,
+    /// How long a group-commit leader waits for followers to pile onto the
+    /// batch before issuing the shared WAL fsync. Zero syncs immediately.
+    pub group_commit_window: Duration,
+    /// Checkpoint once the WAL grows past this many bytes.
+    pub checkpoint_wal_bytes: u64,
+    /// Checkpoint after this many commits.
+    pub checkpoint_commits: u64,
+    /// Checkpoint on every commit (historical behaviour): the WAL is synced
+    /// *before* the commit publishes, so a sync failure aborts the
+    /// transaction cleanly instead of poisoning the database.
+    pub eager_checkpoint: bool,
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            pool_frames: DEFAULT_POOL_FRAMES,
+            cache_shards: 8,
+            cache_frames: DEFAULT_POOL_FRAMES,
+            group_commit_window: Duration::ZERO,
+            checkpoint_wal_bytes: 8 * 1024 * 1024,
+            checkpoint_commits: 4,
+            eager_checkpoint: false,
+        }
+    }
+}
+
+impl DbOptions {
+    /// Options with [`eager_checkpoint`](Self::eager_checkpoint) set: every
+    /// commit syncs the WAL, flushes pages and truncates the log before
+    /// returning.
+    pub fn eager() -> Self {
+        DbOptions {
+            eager_checkpoint: true,
+            ..DbOptions::default()
+        }
+    }
+}
+
+/// How a checkpoint should make the WAL durable before flushing pages.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CkptSync {
+    /// The caller already synced the log (eager commits).
+    Done,
+    /// Sync via the group-commit path; a failure loses a *published* commit
+    /// and must poison the database.
+    Publish,
+    /// Everything published is already durable (pre-append fold, explicit
+    /// checkpoints); a sync failure is an ordinary, clean error.
+    Clean,
+}
+
+#[derive(Default)]
+struct GcState {
+    /// Highest commit sequence number whose WAL records are known durable.
+    durable: u64,
+    /// A leader is currently running the shared fsync.
+    syncing: bool,
+    /// Set when a published commit could not be made durable.
+    poisoned: Option<String>,
+}
+
+/// Group-commit coordinator: batches concurrent WAL fsyncs so one physical
+/// sync covers every commit appended before it started.
+struct GroupCommit {
+    /// Highest published commit sequence number appended to the WAL.
+    appended: AtomicU64,
+    state: Mutex<GcState>,
+    synced: Condvar,
+}
+
+impl GroupCommit {
+    fn new() -> GroupCommit {
+        GroupCommit {
+            appended: AtomicU64::new(0),
+            state: Mutex::new(GcState::default()),
+            synced: Condvar::new(),
+        }
+    }
+
+    /// Records that commit `csn`'s WAL records (appended strictly before
+    /// this call) are published and awaiting durability.
+    fn note_appended(&self, csn: u64) {
+        self.appended.store(csn, Ordering::Release);
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match self.state.lock().poisoned.as_ref() {
+            Some(m) => Err(StorageError::Poisoned(m.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks until commit `target`'s WAL records are durable, becoming the
+    /// sync leader if nobody else is. The leader reads the high-water mark
+    /// *inside* the WAL lock, so a sync is only ever credited for records
+    /// that were fully appended before it.
+    fn sync_until(&self, target: u64, wal: &Mutex<Wal>, window: Duration) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(m) = st.poisoned.as_ref() {
+                return Err(StorageError::Poisoned(m.clone()));
+            }
+            if st.durable >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self.synced.wait(st);
+                continue;
+            }
+            st.syncing = true;
+            drop(st);
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            let (high, res) = {
+                let mut wal = wal.lock();
+                let high = self.appended.load(Ordering::Acquire);
+                (high, wal.sync())
+            };
+            st = self.state.lock();
+            st.syncing = false;
+            match res {
+                Ok(()) => st.durable = st.durable.max(high),
+                Err(e) => st.poisoned = Some(format!("WAL sync failed after publish: {e}")),
+            }
+            self.synced.notify_all();
+        }
+    }
+
+    /// Syncs everything appended so far (checkpoint pre-sync).
+    fn sync_now(&self, wal: &Mutex<Wal>) -> Result<()> {
+        self.sync_until(self.appended.load(Ordering::Acquire), wal, Duration::ZERO)
+    }
+
+    /// Marks everything appended as durable — called after a checkpoint has
+    /// folded all committed pages into the (synced) data file.
+    fn credit_all(&self) {
+        let mut st = self.state.lock();
+        st.durable = st.durable.max(self.appended.load(Ordering::Acquire));
+        drop(st);
+        self.synced.notify_all();
+    }
+}
+
+/// State shared between the writer, concurrent snapshot readers and the
+/// group-commit machinery.
+struct Shared {
+    layer: Arc<ReadLayer>,
+    committed: RwLock<Arc<CommittedState>>,
+    wal: Mutex<Wal>,
+    gc: GroupCommit,
+    snapshots: SnapshotRegistry,
+    opts: DbOptions,
+}
+
 pub(crate) struct Inner {
     pub(crate) pool: BufferPool,
-    pub(crate) wal: Wal,
     pub(crate) catalog: HashMap<String, CatalogEntry>,
     pub(crate) next_txn: u64,
+    commits_since_ckpt: u64,
+    /// The WAL holds records that must be folded out (a crash-simulation
+    /// hook staged a transaction, or a previous commit failed partway):
+    /// checkpoint before appending anything new, so two generations of
+    /// records can never replay together.
+    force_checkpoint: bool,
 }
 
 /// An embedded database instance. Cloneable handles are not provided; share
 /// via `Arc<Database>`.
 pub struct Database {
-    pub(crate) inner: Mutex<Inner>,
+    pub(crate) writer: Mutex<Inner>,
+    shared: Shared,
     path: Option<PathBuf>,
 }
 
@@ -86,57 +282,96 @@ impl Database {
     /// refusing to start. WAL replay itself already stops at the first torn
     /// or corrupt record, salvaging the longest valid committed prefix.
     pub fn open(path: impl AsRef<Path>) -> Result<Database> {
-        Self::open_with_pool(path, DEFAULT_POOL_FRAMES)
+        Self::open_with_options(path, DbOptions::default())
     }
 
-    /// Creates an ephemeral in-memory database (no durability across drop,
-    /// but the full WAL/commit machinery still runs in-process).
-    pub fn in_memory() -> Result<Database> {
-        Self::finish_open(
-            DiskManager::in_memory(),
-            Wal::in_memory(),
-            None,
-            DEFAULT_POOL_FRAMES,
-        )
-    }
-
-    /// In-memory database with an explicit buffer-pool capacity in frames
-    /// (for cache-pressure experiments; minimum 8).
-    pub fn in_memory_with_pool(frames: usize) -> Result<Database> {
-        Self::finish_open(DiskManager::in_memory(), Wal::in_memory(), None, frames)
-    }
-
-    /// File-backed database with an explicit buffer-pool capacity.
-    pub fn open_with_pool(path: impl AsRef<Path>, frames: usize) -> Result<Database> {
+    /// Opens a file-backed database with explicit [`DbOptions`].
+    pub fn open_with_options(path: impl AsRef<Path>, opts: DbOptions) -> Result<Database> {
         let path = path.as_ref().to_path_buf();
         let wal_path = wal_path_for(&path);
         let mut disk = DiskManager::open(&path)?;
         let (mut wal, _quarantined) = Wal::open_or_quarantine(&wal_path)?;
         recover(&mut disk, &mut wal)?;
-        Self::finish_open(disk, wal, Some(path), frames)
+        Self::finish_open(disk, wal, Some(path), opts)
+    }
+
+    /// File-backed database with an explicit buffer-pool capacity (both the
+    /// writer's pool and the shared read cache get `frames` frames).
+    pub fn open_with_pool(path: impl AsRef<Path>, frames: usize) -> Result<Database> {
+        Self::open_with_options(
+            path,
+            DbOptions {
+                pool_frames: frames,
+                cache_frames: frames,
+                ..DbOptions::default()
+            },
+        )
+    }
+
+    /// Creates an ephemeral in-memory database (no durability across drop,
+    /// but the full WAL/commit machinery still runs in-process).
+    pub fn in_memory() -> Result<Database> {
+        Self::in_memory_with_options(DbOptions::default())
+    }
+
+    /// In-memory database with an explicit buffer-pool capacity in frames
+    /// (for cache-pressure experiments): both the writer's pool and the
+    /// shared read cache are capped at `frames`.
+    pub fn in_memory_with_pool(frames: usize) -> Result<Database> {
+        Self::in_memory_with_options(DbOptions {
+            pool_frames: frames,
+            cache_frames: frames,
+            ..DbOptions::default()
+        })
+    }
+
+    /// In-memory database with explicit [`DbOptions`].
+    pub fn in_memory_with_options(opts: DbOptions) -> Result<Database> {
+        Self::finish_open(DiskManager::in_memory(), Wal::in_memory(), None, opts)
     }
 
     /// Opens a database over explicit byte-level [`Backend`]s for the data
     /// file and the WAL (crash-injection harnesses hand in
     /// [`FaultyBackend`](crate::backend::FaultyBackend)s or survivor-image
     /// [`MemBackend`](crate::backend::MemBackend)s here). Applies the same
-    /// salvage and recovery as a file-backed open.
+    /// salvage and recovery as a file-backed open, and checkpoints eagerly
+    /// on every commit so each durability site is crossed per transaction.
+    ///
+    /// [`Backend`]: crate::backend::Backend
     pub fn open_with_backends(
         data: Box<dyn crate::backend::Backend>,
         wal: Box<dyn crate::backend::Backend>,
         frames: usize,
     ) -> Result<Database> {
+        Self::open_with_backends_opts(
+            data,
+            wal,
+            DbOptions {
+                pool_frames: frames,
+                cache_frames: frames,
+                ..DbOptions::eager()
+            },
+        )
+    }
+
+    /// [`open_with_backends`](Self::open_with_backends) with explicit
+    /// [`DbOptions`].
+    pub fn open_with_backends_opts(
+        data: Box<dyn crate::backend::Backend>,
+        wal: Box<dyn crate::backend::Backend>,
+        opts: DbOptions,
+    ) -> Result<Database> {
         let mut disk = DiskManager::from_backend(data)?;
         let mut wal = Wal::from_backend(wal)?;
         recover(&mut disk, &mut wal)?;
-        Self::finish_open(disk, wal, None, frames)
+        Self::finish_open(disk, wal, None, opts)
     }
 
     fn finish_open(
         mut disk: DiskManager,
         wal: Wal,
         path: Option<PathBuf>,
-        pool_frames: usize,
+        opts: DbOptions,
     ) -> Result<Database> {
         if disk.num_pages() == 0 {
             let mut meta = Page::new(PageKind::Meta);
@@ -147,51 +382,75 @@ impl Database {
             disk.write_page(PageId::META, &mut meta)?;
             disk.sync()?;
         }
-        let mut pool = BufferPool::new(disk, pool_frames);
-        let magic = pool.with_page(PageId::META, |p| p.get_u64(META_MAGIC_OFF))?;
-        if magic != META_MAGIC {
-            return Err(StorageError::BadHeader(format!(
-                "meta magic {magic:#x} != {META_MAGIC:#x}"
-            )));
-        }
-        let next_txn = pool.with_page(PageId::META, |p| p.get_u64(META_NEXT_TXN))?;
-        let mut inner = Inner {
-            pool,
-            wal,
-            catalog: HashMap::new(),
-            next_txn,
+        let num_pages = disk.num_pages();
+        let layer = Arc::new(ReadLayer::new(disk, opts.cache_shards, opts.cache_frames));
+        let base = Arc::new(CommittedState::bootstrap(num_pages));
+        let pool = BufferPool::new(Arc::clone(&layer), Arc::clone(&base), opts.pool_frames);
+        let db = Database {
+            writer: Mutex::new(Inner {
+                pool,
+                catalog: HashMap::new(),
+                next_txn: 1,
+                commits_since_ckpt: 0,
+                force_checkpoint: false,
+            }),
+            shared: Shared {
+                layer,
+                committed: RwLock::new(base),
+                wal: Mutex::new(wal),
+                gc: GroupCommit::new(),
+                snapshots: SnapshotRegistry::new(),
+                opts,
+            },
+            path,
+        };
+        let catalog_root = {
+            let mut inner = db.writer.lock();
+            let magic = inner
+                .pool
+                .with_page(PageId::META, |p| p.get_u64(META_MAGIC_OFF))?;
+            if magic != META_MAGIC {
+                return Err(StorageError::BadHeader(format!(
+                    "meta magic {magic:#x} != {META_MAGIC:#x}"
+                )));
+            }
+            inner.next_txn = inner
+                .pool
+                .with_page(PageId::META, |p| p.get_u64(META_NEXT_TXN))?;
+            inner
+                .pool
+                .with_page(PageId::META, |p| PageId(p.get_u64(META_CATALOG_ROOT)))?
         };
         // Bootstrap the catalog heap on a fresh database.
-        let catalog_root = inner
-            .pool
-            .with_page(PageId::META, |p| PageId(p.get_u64(META_CATALOG_ROOT)))?;
         if !catalog_root.is_some() {
-            let txn = inner.next_txn;
-            inner.next_txn += 1;
-            let heap = Heap::create(&mut inner.pool)?;
+            let mut tx = db.begin()?;
+            let heap = Heap::create(&mut tx.inner.pool)?;
             let root = heap.first_page();
-            inner.pool.with_page_mut(PageId::META, |p| {
-                p.put_u64(META_CATALOG_ROOT, root.0);
-                p.put_u64(META_NEXT_TXN, inner.next_txn);
-            })?;
-            commit_inner(&mut inner, txn)?;
+            tx.inner
+                .pool
+                .with_page_mut(PageId::META, |p| p.put_u64(META_CATALOG_ROOT, root.0))?;
+            tx.commit()?;
         }
-        reload_catalog(&mut inner)?;
-        Ok(Database {
-            inner: Mutex::new(inner),
-            path,
-        })
+        {
+            let mut inner = db.writer.lock();
+            reload_catalog(&mut inner)?;
+            db.install_catalog(&mut inner);
+        }
+        Ok(db)
     }
 
     /// Begins the (single) read-write transaction. Blocks while another
-    /// transaction is open on this database — including one held by the
-    /// *same* thread, which self-deadlocks; drop (or scope) the previous
+    /// write transaction is open on this database — including one held by
+    /// the *same* thread, which self-deadlocks; drop (or scope) the previous
     /// [`Transaction`] first, or use [`try_begin`](Self::try_begin).
+    /// Concurrent [`begin_read`](Self::begin_read) readers never block this.
     pub fn begin(&self) -> Result<Transaction<'_>> {
-        let mut inner = self.inner.lock();
+        self.shared.gc.check_poisoned()?;
+        let mut inner = self.writer.lock();
         let txn_id = inner.next_txn;
         inner.next_txn += 1;
         Ok(Transaction {
+            db: self,
             inner,
             txn_id,
             done: false,
@@ -199,26 +458,150 @@ impl Database {
     }
 
     /// Non-blocking [`begin`](Self::begin): returns `None` when another
-    /// transaction is currently open.
+    /// write transaction is currently open (or the database is poisoned).
     pub fn try_begin(&self) -> Option<Transaction<'_>> {
-        let mut inner = self.inner.try_lock()?;
+        self.shared.gc.check_poisoned().ok()?;
+        let mut inner = self.writer.try_lock()?;
         let txn_id = inner.next_txn;
         inner.next_txn += 1;
         Some(Transaction {
+            db: self,
             inner,
             txn_id,
             done: false,
         })
     }
 
-    /// Buffer-pool statistics.
+    /// Begins a read-only snapshot transaction: it observes the most
+    /// recently *committed* state and never blocks (or is blocked by) the
+    /// writer. Holding one pins its snapshot version: checkpoints stall
+    /// until every strictly-older snapshot is released, so drop readers
+    /// promptly.
+    pub fn begin_read(&self) -> Result<ReadTransaction<'_>> {
+        self.shared.gc.check_poisoned()?;
+        let snap = self
+            .shared
+            .snapshots
+            .register_current(&self.shared.committed);
+        Ok(ReadTransaction { db: self, snap })
+    }
+
+    /// Folds all committed pages into the data file and truncates the WAL.
+    /// Blocks until snapshot readers of older versions are released.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.shared.gc.check_poisoned()?;
+        let mut inner = self.writer.lock();
+        self.checkpoint_locked(&mut inner, CkptSync::Clean)
+    }
+
+    /// Buffer-pool statistics, merged across the writer's pool and the
+    /// shared read cache.
     pub fn pool_stats(&self) -> PoolStats {
-        self.inner.lock().pool.stats()
+        let pool = self.writer.lock().pool.stats();
+        pool.merged(self.shared.layer.stats())
     }
 
     /// The data-file path (`None` for in-memory databases).
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// Publishes the writer's write set as the next committed version and
+    /// rebases the pool onto it. Returns the new commit sequence number.
+    fn publish(&self, inner: &mut Inner) -> u64 {
+        let old = Arc::clone(&self.shared.committed.read());
+        let mut pages = old.pages.clone();
+        for (id, page) in inner.pool.take_write_set() {
+            pages.insert(id, page);
+        }
+        let state = Arc::new(CommittedState {
+            csn: old.csn + 1,
+            pages,
+            catalog: Arc::new(inner.catalog.clone()),
+            num_pages: inner.pool.num_pages(),
+        });
+        *self.shared.committed.write() = Arc::clone(&state);
+        let csn = state.csn;
+        inner.pool.set_base(state);
+        csn
+    }
+
+    /// Re-publishes the current version with the freshly loaded catalog
+    /// (open-time only; the version number does not change).
+    fn install_catalog(&self, inner: &mut Inner) {
+        let cur = Arc::clone(&self.shared.committed.read());
+        let state = Arc::new(CommittedState {
+            csn: cur.csn,
+            pages: cur.pages.clone(),
+            catalog: Arc::new(inner.catalog.clone()),
+            num_pages: cur.num_pages,
+        });
+        *self.shared.committed.write() = Arc::clone(&state);
+        if !inner.pool.has_dirty() {
+            inner.pool.set_base(state);
+        }
+    }
+
+    /// Folds the committed page overlay into the data file and truncates
+    /// the WAL. Requires the writer lock (via `inner`); waits for snapshot
+    /// readers of versions older than the one being folded.
+    fn checkpoint_locked(&self, inner: &mut Inner, sync: CkptSync) -> Result<()> {
+        let shared = &self.shared;
+        let state = Arc::clone(&shared.committed.read());
+        if state.pages.is_empty() && shared.wal.lock().is_empty()? {
+            inner.commits_since_ckpt = 0;
+            inner.force_checkpoint = false;
+            return Ok(());
+        }
+        match sync {
+            CkptSync::Done => {}
+            CkptSync::Publish => shared.gc.sync_now(&shared.wal)?,
+            CkptSync::Clean => shared.wal.lock().sync()?,
+        }
+        // Readers at exactly `state.csn` are safe — their overlay shadows
+        // every page rewritten below. Anything older must drain first.
+        shared.snapshots.wait_none_older_than(state.csn);
+        if !state.pages.is_empty() {
+            let mut ids: Vec<PageId> = state.pages.keys().copied().collect();
+            ids.sort();
+            let mut disk = shared.layer.disk.lock();
+            for id in &ids {
+                crate::failpoint::hit(if *id == PageId::META {
+                    crate::failpoint::FLUSH_META
+                } else {
+                    crate::failpoint::FLUSH_PAGE
+                })?;
+                disk.write_raw(*id, state.pages[id].raw_bytes())?;
+            }
+            disk.sync()?;
+        }
+        // The checkpoint boundary: all committed pages are durable in the
+        // data file; only the log truncation remains.
+        crate::failpoint::hit(crate::failpoint::CHECKPOINT)?;
+        shared.wal.lock().truncate()?;
+        // Re-publish the same version with an empty overlay. The folded
+        // images go to the shared cache: this doubles as invalidation — a
+        // stale pre-overlay image must never survive the overlay that
+        // shadowed it.
+        let clean = Arc::new(CommittedState {
+            csn: state.csn,
+            pages: HashMap::new(),
+            catalog: Arc::clone(&state.catalog),
+            num_pages: state.num_pages,
+        });
+        *shared.committed.write() = Arc::clone(&clean);
+        if !inner.pool.has_dirty() {
+            // With a live write set (pre-append fold) the pool keeps its
+            // old base; the overlay Arcs stay valid and match the disk.
+            inner.pool.set_base(clean);
+        }
+        for (id, page) in &state.pages {
+            shared.layer.cache.insert(*id, Arc::clone(page));
+        }
+        inner.commits_since_ckpt = 0;
+        inner.force_checkpoint = false;
+        shared.gc.credit_all();
+        Ok(())
     }
 }
 
@@ -275,34 +658,10 @@ fn reload_catalog(inner: &mut Inner) -> Result<()> {
     Ok(())
 }
 
-/// WAL-logs all dirty pages, syncs, forces them to the data file, and
-/// truncates the WAL (checkpoint-per-commit).
-fn commit_inner(inner: &mut Inner, txn_id: u64) -> Result<()> {
-    // Persist the txn counter so ids stay monotone across restarts.
-    inner
-        .pool
-        .with_page_mut(PageId::META, |p| p.put_u64(META_NEXT_TXN, inner.next_txn))?;
-    let dirty = inner.pool.dirty_ids();
-    if dirty.is_empty() {
-        return Ok(());
-    }
-    for id in dirty {
-        let image = inner.pool.sealed_image(id)?;
-        inner.wal.log_page(txn_id, id, &image)?;
-    }
-    inner.wal.log_commit(txn_id)?;
-    inner.wal.sync()?;
-    inner.pool.flush_dirty()?;
-    // The checkpoint boundary: the transaction is durable in both the data
-    // file and the WAL; only the log truncation remains.
-    crate::failpoint::hit(crate::failpoint::CHECKPOINT)?;
-    inner.wal.truncate()?;
-    Ok(())
-}
-
-/// A read-write transaction. All table, index, and BLOB operations live
-/// here. Commit or drop (rollback) to release the database.
+/// A read-write transaction. All table, index, and BLOB mutations live
+/// here. Commit or drop (rollback) to release the writer.
 pub struct Transaction<'db> {
+    db: &'db Database,
     inner: MutexGuard<'db, Inner>,
     txn_id: u64,
     done: bool,
@@ -366,10 +725,6 @@ impl<'db> Transaction<'db> {
     pub fn drop_table(&mut self, name: &str) -> Result<()> {
         let entry = self.entry(name)?;
         Heap::open(entry.info.heap_root).destroy(&mut self.inner.pool)?;
-        // Free the index pages: walk isn't implemented per-kind; rebuilds
-        // handle space. We free just the root chain conservatively by
-        // leaving index pages to the free list rebuild — documented leak
-        // avoided by freeing reachable pages below.
         free_btree(&mut self.inner.pool, entry.info.index_root)?;
         let cat_heap = Heap::open(catalog_root(&mut self.inner)?);
         cat_heap.delete(&mut self.inner.pool, entry.record)?;
@@ -532,18 +887,95 @@ impl<'db> Transaction<'db> {
         BlobStore::delete(&mut self.inner.pool, id)
     }
 
-    /// Commits: WAL-logs all dirty pages, syncs, forces them to the data
-    /// file, truncates the WAL.
+    /// Appends the write set's sealed images plus the commit record to the
+    /// WAL (syncing eagerly in eager-checkpoint mode) and returns the log's
+    /// byte length.
+    fn append_to_wal(&mut self, dirty: &[PageId]) -> Result<u64> {
+        let db = self.db;
+        let mut wal = db.shared.wal.lock();
+        for &id in dirty {
+            let image = self.inner.pool.sealed_image(id)?;
+            wal.log_page(self.txn_id, id, &image)?;
+        }
+        wal.log_commit(self.txn_id)?;
+        if db.shared.opts.eager_checkpoint {
+            wal.sync()?;
+        }
+        wal.len()
+    }
+
+    /// Commits: appends the write set to the WAL, publishes the new
+    /// committed version (releasing the writer lock), then waits for the
+    /// shared group-commit fsync to cover this commit. Checkpoints run when
+    /// due (WAL size / commit count), or on every commit in eager mode.
     pub fn commit(mut self) -> Result<()> {
         static LAT: rcmo_obs::LazyHistogram =
             rcmo_obs::LazyHistogram::new("storage.txn.commit.us", rcmo_obs::bounds::LATENCY_US);
         let _t = LAT.start_timer();
-        commit_inner(&mut self.inner, self.txn_id)?;
+        let db = self.db;
+
+        // Fold previously staged or orphaned WAL records out before
+        // appending, so two generations of records can never replay
+        // together. Skipped (and retried on the next commit) while an old
+        // snapshot reader would block the fold.
+        if self.inner.force_checkpoint {
+            let base_csn = self.inner.pool.base().csn;
+            if db.shared.snapshots.none_older_than(base_csn) {
+                db.checkpoint_locked(&mut self.inner, CkptSync::Clean)?;
+            }
+        }
+
+        // Persist the txn counter so ids stay monotone across restarts.
+        // This also keeps the write set non-empty, so every commit appends
+        // records and commit ids in the log are strictly monotone.
+        let next_txn = self.inner.next_txn;
+        self.inner
+            .pool
+            .with_page_mut(PageId::META, |p| p.put_u64(META_NEXT_TXN, next_txn))?;
+        let dirty = self.inner.pool.dirty_ids();
+        let wal_len = match self.append_to_wal(&dirty) {
+            Ok(len) => len,
+            Err(e) => {
+                self.inner.force_checkpoint = true;
+                return Err(e);
+            }
+        };
+        if let Err(e) = crate::failpoint::hit(crate::failpoint::COMMIT_PUBLISH) {
+            self.inner.force_checkpoint = true;
+            return Err(e);
+        }
+        let csn = db.publish(&mut self.inner);
         self.done = true;
-        Ok(())
+        db.shared.gc.note_appended(csn);
+        self.inner.commits_since_ckpt += 1;
+
+        if db.shared.opts.eager_checkpoint {
+            if let Err(e) = db.checkpoint_locked(&mut self.inner, CkptSync::Done) {
+                self.inner.force_checkpoint = true;
+                return Err(e);
+            }
+            return Ok(());
+        }
+        let due = self.inner.force_checkpoint
+            || wal_len >= db.shared.opts.checkpoint_wal_bytes
+            || self.inner.commits_since_ckpt >= db.shared.opts.checkpoint_commits;
+        if due && db.shared.snapshots.none_older_than(csn) {
+            if let Err(e) = db.checkpoint_locked(&mut self.inner, CkptSync::Publish) {
+                self.inner.force_checkpoint = true;
+                return Err(e);
+            }
+            return Ok(());
+        }
+        // Early lock release: free the writer while this commit's WAL
+        // records reach stable storage via the shared group-commit sync.
+        drop(self);
+        db.shared
+            .gc
+            .sync_until(csn, &db.shared.wal, db.shared.opts.group_commit_window)
     }
 
-    /// Rolls back explicitly (dropping does the same).
+    /// Rolls back explicitly (dropping does the same). Unlike commit, this
+    /// releases the writer lock immediately — no durability work runs.
     pub fn rollback(mut self) {
         self.abort();
         self.done = true;
@@ -552,32 +984,39 @@ impl<'db> Transaction<'db> {
     /// Fault-injection hook: durably writes the WAL (page images + commit
     /// record + sync) but **does not** force pages to the data file and does
     /// not truncate the log — as if the process crashed right after the WAL
-    /// sync. Reopening the database must recover the transaction from the
-    /// log. Only meaningful for file-backed databases.
+    /// sync. Reopening the database recovers the transaction from the log;
+    /// committing again in-process instead folds it away first (the crash
+    /// "didn't happen").
     pub fn simulate_crash_after_wal(mut self) -> Result<()> {
         let next_txn = self.inner.next_txn;
         self.inner
             .pool
             .with_page_mut(PageId::META, |p| p.put_u64(META_NEXT_TXN, next_txn))?;
-        for id in self.inner.pool.dirty_ids() {
-            let image = self.inner.pool.sealed_image(id)?;
-            self.inner.wal.log_page(self.txn_id, id, &image)?;
+        let dirty = self.inner.pool.dirty_ids();
+        {
+            let mut wal = self.db.shared.wal.lock();
+            for &id in &dirty {
+                let image = self.inner.pool.sealed_image(id)?;
+                wal.log_page(self.txn_id, id, &image)?;
+            }
+            wal.log_commit(self.txn_id)?;
+            wal.sync()?;
         }
-        self.inner.wal.log_commit(self.txn_id)?;
-        self.inner.wal.sync()?;
-        // Crash: lose the buffer pool, keep the (stale) data file and WAL.
-        self.inner.pool.discard_dirty();
-        reload_catalog(&mut self.inner)?;
+        // Crash: lose the in-flight state, keep the (stale) data file and
+        // the WAL. The staged records must be folded out before any later
+        // commit appends.
+        self.abort();
+        self.inner.force_checkpoint = true;
         self.done = true;
         Ok(())
     }
 
     fn abort(&mut self) {
         self.inner.pool.discard_dirty();
-        // The in-memory catalog may hold uncommitted entries; reload from
-        // the (clean) pages. Failures here would indicate corruption and
-        // surface on the next operation anyway.
-        let _ = reload_catalog(&mut self.inner);
+        // The in-memory catalog may hold uncommitted entries; restore the
+        // committed one from the base snapshot.
+        let catalog = (*self.inner.pool.base().catalog).clone();
+        self.inner.catalog = catalog;
     }
 }
 
@@ -586,6 +1025,104 @@ impl<'db> Drop for Transaction<'db> {
         if !self.done {
             self.abort();
         }
+    }
+}
+
+/// A read-only snapshot transaction: observes one committed version for its
+/// whole lifetime, without ever taking the writer lock. All methods take
+/// `&self`; the snapshot is immutable.
+pub struct ReadTransaction<'db> {
+    db: &'db Database,
+    snap: Arc<CommittedState>,
+}
+
+impl<'db> ReadTransaction<'db> {
+    /// The commit sequence number this snapshot observes.
+    pub fn snapshot_csn(&self) -> u64 {
+        self.snap.csn
+    }
+
+    fn entry(&self, table: &str) -> Result<CatalogEntry> {
+        self.snap
+            .catalog
+            .get(table)
+            .cloned()
+            .ok_or_else(|| StorageError::Catalog(format!("unknown table '{table}'")))
+    }
+
+    fn reader(&self) -> SnapshotReader<'_> {
+        SnapshotReader::new(&self.snap, &self.db.shared.layer)
+    }
+
+    /// Names of all tables in the snapshot, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.snap.catalog.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A table's schema.
+    pub fn schema(&self, table: &str) -> Result<Schema> {
+        Ok(self.entry(table)?.info.schema)
+    }
+
+    /// Fetches a row by primary key.
+    pub fn get(&self, table: &str, id: u64) -> Result<Option<Vec<RV>>> {
+        let entry = self.entry(table)?;
+        let mut r = self.reader();
+        let Some(packed) = BTree::open(entry.info.index_root).get(&mut r, id)? else {
+            return Ok(None);
+        };
+        let bytes =
+            Heap::open(entry.info.heap_root).get(&mut r, crate::heap::RecordId::unpack(packed))?;
+        Ok(Some(decode_row(&entry.info.schema, &bytes)?))
+    }
+
+    /// All rows, in primary-key order.
+    pub fn scan(&self, table: &str) -> Result<Vec<Vec<RV>>> {
+        self.range(table, 0, u64::MAX)
+    }
+
+    /// Rows with `lo <= id <= hi`, in key order.
+    pub fn range(&self, table: &str, lo: u64, hi: u64) -> Result<Vec<Vec<RV>>> {
+        let entry = self.entry(table)?;
+        let mut r = self.reader();
+        let index = BTree::open(entry.info.index_root);
+        let heap = Heap::open(entry.info.heap_root);
+        let pairs = index.range(&mut r, lo, hi)?;
+        let mut rows = Vec::with_capacity(pairs.len());
+        for (_, packed) in pairs {
+            let bytes = heap.get(&mut r, crate::heap::RecordId::unpack(packed))?;
+            rows.push(decode_row(&entry.info.schema, &bytes)?);
+        }
+        Ok(rows)
+    }
+
+    /// Number of rows in a table.
+    pub fn count(&self, table: &str) -> Result<usize> {
+        let entry = self.entry(table)?;
+        BTree::open(entry.info.index_root).len(&mut self.reader())
+    }
+
+    /// Reads a whole BLOB.
+    pub fn get_blob(&self, id: BlobId) -> Result<Vec<u8>> {
+        BlobStore::read(&mut self.reader(), id)
+    }
+
+    /// Reads the first `n` bytes of a BLOB (progressive transfer).
+    pub fn get_blob_prefix(&self, id: BlobId, n: usize) -> Result<Vec<u8>> {
+        BlobStore::read_prefix(&mut self.reader(), id, n)
+    }
+
+    /// A BLOB's length.
+    pub fn blob_len(&self, id: BlobId) -> Result<u64> {
+        BlobStore::len(&mut self.reader(), id)
+    }
+}
+
+impl<'db> Drop for ReadTransaction<'db> {
+    fn drop(&mut self) {
+        self.db.shared.snapshots.release(self.snap.csn);
     }
 }
 

@@ -528,10 +528,10 @@ fn schema_is_persisted() {
 }
 
 #[test]
-fn pool_exhaustion_aborts_cleanly() {
-    // A tiny pool cannot hold a big transaction's dirty set (no-steal);
-    // the operation errors, the transaction rolls back on drop, and the
-    // database stays fully usable.
+fn pool_overflow_grows_and_commits() {
+    // A transaction whose dirty set outgrows a tiny pool no longer aborts:
+    // the write set grows past capacity (no-steal, no-force), the overflow
+    // counter records the pressure, and the commit lands intact.
     let db = Database::in_memory_with_pool(8).unwrap();
     {
         let mut tx = db.begin().unwrap();
@@ -540,41 +540,12 @@ fn pool_exhaustion_aborts_cleanly() {
     }
     {
         let mut tx = db.begin().unwrap();
-        let mut failed = false;
-        for i in 0..5_000u64 {
-            match tx.insert(
-                "T",
-                vec![
-                    RowValue::Null,
-                    RowValue::Text(format!("row {i} with some padding text")),
-                    RowValue::Null,
-                    RowValue::Null,
-                ],
-            ) {
-                Ok(_) => {}
-                Err(StorageError::PoolExhausted) => {
-                    failed = true;
-                    break;
-                }
-                Err(e) => panic!("unexpected error {e}"),
-            }
-        }
-        assert!(failed, "an 8-frame pool must exhaust eventually");
-        // Dropped here: rollback.
-    }
-    {
-        let mut tx = db.begin().unwrap();
-        assert_eq!(tx.count("T").unwrap(), 0, "partial txn fully rolled back");
-    }
-    // Small batches still work fine.
-    for _ in 0..20 {
-        let mut tx = db.begin().unwrap();
-        for _ in 0..5 {
+        for i in 0..2_000u64 {
             tx.insert(
                 "T",
                 vec![
                     RowValue::Null,
-                    RowValue::Text("ok".into()),
+                    RowValue::Text(format!("row {i} with some padding text")),
                     RowValue::Null,
                     RowValue::Null,
                 ],
@@ -583,8 +554,172 @@ fn pool_exhaustion_aborts_cleanly() {
         }
         tx.commit().unwrap();
     }
+    assert!(
+        db.pool_stats().overflows > 0,
+        "an 8-frame pool must report overflow pressure"
+    );
     let mut tx = db.begin().unwrap();
-    assert_eq!(tx.count("T").unwrap(), 100);
+    assert_eq!(
+        tx.count("T").unwrap(),
+        2_000,
+        "oversized txn fully committed"
+    );
+}
+
+#[test]
+fn commit_after_crash_hook_cannot_duplicate_txn() {
+    // A commit following `simulate_crash_after_wal` must not replay the
+    // staged transaction alongside its own: the forced pre-append fold
+    // clears the staged WAL records before the new commit appends.
+    let path = tmp_path("hook-then-commit");
+    let db = Database::open(&path).unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(1),
+                RowValue::Text("a".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    {
+        // Staged-but-not-committed: WAL records exist, state is rolled back.
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(2),
+                RowValue::Text("b".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.simulate_crash_after_wal().unwrap();
+    }
+    {
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(3),
+                RowValue::Text("c".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    fn expect_keys(tx: &mut Transaction<'_>) {
+        let keys: Vec<u64> = tx
+            .scan("T")
+            .unwrap()
+            .into_iter()
+            .map(|row| match row[0] {
+                RowValue::U64(k) => k,
+                ref v => panic!("non-u64 key {v:?}"),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 3], "staged txn 2 must not resurrect");
+    }
+    expect_keys(&mut db.begin().unwrap());
+    drop(db);
+    let db = Database::open(&path).unwrap();
+    expect_keys(&mut db.begin().unwrap());
+    let report = db.check_integrity();
+    assert!(
+        report.is_ok(),
+        "integrity after hook+commit+reopen: {report:?}"
+    );
+}
+
+#[test]
+fn snapshot_reader_does_not_block_writer() {
+    let db = Database::in_memory().unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(1),
+                RowValue::Text("old".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    let reader = db.begin_read().unwrap();
+    assert_eq!(reader.count("T").unwrap(), 1);
+    // The writer proceeds while the snapshot is held — same thread, so any
+    // blocking here would deadlock the test.
+    {
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(2),
+                RowValue::Text("new".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    assert_eq!(reader.count("T").unwrap(), 1, "snapshot is frozen");
+    assert!(reader.get("T", 2).unwrap().is_none());
+    let fresh = db.begin_read().unwrap();
+    assert_eq!(fresh.count("T").unwrap(), 2, "new snapshot sees the commit");
+    drop(reader);
+    drop(fresh);
+    db.checkpoint().unwrap();
+}
+
+#[test]
+fn live_reader_defers_checkpoint_without_deadlock() {
+    // With `checkpoint_commits: 1` every commit wants to checkpoint; a live
+    // older snapshot must make the commit skip (not block on) the fold.
+    let opts = DbOptions {
+        checkpoint_commits: 1,
+        ..DbOptions::default()
+    };
+    let db = Database::in_memory_with_options(opts).unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.commit().unwrap();
+    }
+    let reader = db.begin_read().unwrap();
+    for i in 0..5u64 {
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(i + 1),
+                RowValue::Text("x".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    assert_eq!(reader.count("T").unwrap(), 0, "snapshot predates all rows");
+    drop(reader);
+    // With the old snapshot gone the deferred fold can finally run.
+    db.checkpoint().unwrap();
+    let mut tx = db.begin().unwrap();
+    assert_eq!(tx.count("T").unwrap(), 5);
 }
 
 #[test]

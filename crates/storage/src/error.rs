@@ -44,6 +44,11 @@ pub enum StorageError {
     BlobNotFound(u64),
     /// Generic invariant violation — indicates an engine bug.
     Internal(String),
+    /// The database is poisoned: a commit became visible to readers but its
+    /// WAL sync failed, so in-memory state and stable storage disagree. No
+    /// further transactions are accepted; reopen the database to recover
+    /// the durable prefix.
+    Poisoned(String),
     /// A deliberately injected fault (armed failpoint or `FaultyBackend`
     /// crash/transient error). Distinguishes simulated failures from real
     /// bugs in crash-torture harnesses; never raised in production.
@@ -72,6 +77,7 @@ impl fmt::Display for StorageError {
             StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
             StorageError::BlobNotFound(b) => write!(f, "blob {b} not found"),
             StorageError::Internal(m) => write!(f, "internal error: {m}"),
+            StorageError::Poisoned(m) => write!(f, "database poisoned: {m}"),
             StorageError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }

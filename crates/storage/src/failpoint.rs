@@ -25,9 +25,13 @@ pub const WAL_APPEND: &str = "storage.wal.append";
 pub const WAL_SYNC: &str = "storage.wal.sync";
 /// WAL truncation after checkpoint (`Wal::truncate`).
 pub const WAL_TRUNCATE: &str = "storage.wal.truncate";
-/// Pager flush of one non-meta dirty page (`BufferPool::flush_dirty`).
+/// Between the WAL append of a commit record and the publication of the
+/// committed snapshot to readers: the transaction is fully in the log but
+/// not yet visible in-process.
+pub const COMMIT_PUBLISH: &str = "storage.commit.publish";
+/// Checkpoint write of one non-meta committed page to the data file.
 pub const FLUSH_PAGE: &str = "storage.pager.flush_page";
-/// Pager flush of the meta page (`BufferPool::flush_dirty`).
+/// Checkpoint write of the meta page to the data file.
 pub const FLUSH_META: &str = "storage.pager.flush_meta";
 /// Data-file fsync (`DiskManager::sync`).
 pub const DISK_SYNC: &str = "storage.disk.sync";
@@ -40,6 +44,7 @@ pub const CHECKPOINT: &str = "storage.checkpoint";
 pub const ALL: &[&str] = &[
     WAL_APPEND,
     WAL_SYNC,
+    COMMIT_PUBLISH,
     WAL_TRUNCATE,
     FLUSH_PAGE,
     FLUSH_META,

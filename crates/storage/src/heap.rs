@@ -16,7 +16,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PageKind, PAGE_HEADER, PAGE_SIZE};
-use crate::pager::BufferPool;
+use crate::pager::{BufferPool, PageRead};
 
 const BODY: usize = PAGE_SIZE - PAGE_HEADER;
 pub(crate) const OFF_SLOT_COUNT: usize = 0;
@@ -231,8 +231,9 @@ impl Heap {
         }
     }
 
-    /// Reads a record.
-    pub fn get(&self, pool: &mut BufferPool, rid: RecordId) -> Result<Vec<u8>> {
+    /// Reads a record. Generic over the page source so snapshot readers
+    /// share the code path with the writer's pool.
+    pub fn get<P: PageRead>(&self, pool: &mut P, rid: RecordId) -> Result<Vec<u8>> {
         pool.with_page(rid.page, |p| {
             if p.kind() != PageKind::Heap {
                 return Err(StorageError::RecordNotFound {
@@ -324,7 +325,7 @@ impl Heap {
 
     /// Scans the whole chain, returning `(record id, bytes)` pairs in
     /// physical order.
-    pub fn scan(&self, pool: &mut BufferPool) -> Result<Vec<(RecordId, Vec<u8>)>> {
+    pub fn scan<P: PageRead>(&self, pool: &mut P) -> Result<Vec<(RecordId, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut current = self.first;
         while current.is_some() {
@@ -372,7 +373,7 @@ mod tests {
         let mut meta = Page::new(PageKind::Meta);
         meta.put_u64(META_FREE_HEAD, PageId::NONE.0);
         disk.write_page(PageId::META, &mut meta).unwrap();
-        BufferPool::new(disk, 64)
+        BufferPool::for_tests(disk, 64)
     }
 
     #[test]

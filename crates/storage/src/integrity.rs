@@ -76,12 +76,12 @@ impl fmt::Display for IntegrityReport {
 }
 
 impl Database {
-    /// Walks every on-disk structure and verifies the storage invariants
-    /// (see the [module docs](self)). Takes the database lock: do not call
+    /// Walks every committed structure and verifies the storage invariants
+    /// (see the [module docs](self)). Takes the writer lock: do not call
     /// while a [`Transaction`](crate::Transaction) is open on the same
-    /// thread.
+    /// thread. Snapshot readers are unaffected.
     pub fn check_integrity(&self) -> IntegrityReport {
-        let mut inner = self.inner.lock();
+        let mut inner = self.writer.lock();
         check(&mut inner)
     }
 }
@@ -111,7 +111,7 @@ impl Claims {
 
 fn check(inner: &mut Inner) -> IntegrityReport {
     let mut rep = IntegrityReport {
-        pages: inner.pool.disk_mut().num_pages(),
+        pages: inner.pool.num_pages(),
         ..IntegrityReport::default()
     };
     let mut claims = Claims {

@@ -5,25 +5,40 @@
 //! substitute substrate: a small but real storage engine with
 //!
 //! * fixed-size [pages](page) with checksums,
-//! * a [buffer pool](pager) (LRU eviction over clean frames, no-steal policy),
-//! * a redo-only [write-ahead log](wal) with crash recovery,
+//! * a [paging layer](pager): a sharded, lock-striped read cache shared by
+//!   all readers plus a private write-set buffer for the single writer
+//!   (no-steal policy),
+//! * a redo-only [write-ahead log](wal) with group commit and crash
+//!   recovery,
 //! * [slotted-page heap files](heap) for records,
 //! * a [B+tree](btree) index for `u64 → u64` mappings (primary keys),
 //! * a [chunked BLOB store](blob) for multimedia payloads of up to 4 GiB
 //!   (the paper's Oracle BLOB limit), and
-//! * a [catalog] + [database facade](db) with typed tables and
-//!   single-writer transactions.
+//! * a [catalog] + [database facade](db) with typed tables, single-writer
+//!   transactions and snapshot-isolated readers.
 //!
 //! The `rcmo-mediadb` crate builds the paper's Figure-7 schema on top.
 //!
 //! ## Durability contract
 //!
-//! Transactions are single-writer (enforced by the borrow checker: a
-//! [`db::Transaction`] holds the database lock). Commit appends after-images
-//! of all dirty pages plus a commit record to the WAL, syncs it, then writes
-//! the pages to the data file ("redo WAL, force at commit"). Recovery on
-//! open replays committed WAL transactions in order; torn or uncommitted
-//! tails are discarded by record checksums.
+//! Writes are single-writer (enforced by the borrow checker: a
+//! [`db::Transaction`] holds the writer lock). Commit appends after-images
+//! of all dirty pages plus a commit record to the WAL, *publishes* the new
+//! committed version for readers — releasing the writer lock — and then
+//! joins the shared group-commit fsync: one WAL sync covers every commit
+//! appended before it started, so concurrent committers amortize the sync
+//! ([`db::DbOptions::group_commit_window`] stretches the batch). A commit
+//! only returns `Ok` once its records are durable. Checkpoints fold
+//! committed pages into the data file and truncate the WAL when it grows
+//! past a size/commit-count threshold — or on every commit with
+//! [`db::DbOptions::eager_checkpoint`]. Recovery on open replays committed
+//! WAL transactions in order; torn, uncommitted, duplicate or
+//! non-monotonic tails are discarded by record checksums and the commit
+//! watermark.
+//!
+//! Readers ([`Database::begin_read`](db::Database::begin_read)) observe an
+//! immutable committed snapshot and never take the writer lock: a long
+//! scan cannot stall a commit, and a commit cannot tear a scan.
 //!
 //! ## Crash testing
 //!
@@ -51,13 +66,17 @@ pub mod heap;
 pub mod integrity;
 pub mod page;
 pub mod pager;
+pub(crate) mod snapshot;
 pub mod wal;
 
-pub use backend::{Backend, CrashSpec, FaultInjector, FaultyBackend, MemBackend, SimStore};
+pub use backend::{
+    Backend, CrashSpec, FaultInjector, FaultyBackend, MemBackend, SimStore, SlowSyncBackend,
+};
 pub use blob::BlobId;
 pub use catalog::{Column, ColumnType, Schema};
-pub use db::{Database, RowValue, Transaction};
+pub use db::{Database, DbOptions, ReadTransaction, RowValue, Transaction};
 pub use error::StorageError;
 pub use heap::RecordId;
 pub use integrity::IntegrityReport;
 pub use page::{PageId, PAGE_SIZE};
+pub use pager::PageRead;

@@ -152,6 +152,12 @@ impl Page {
         &self.data
     }
 
+    /// The raw image as-is, checksum field included. Only valid for writing
+    /// to storage if the page was sealed after its last mutation.
+    pub fn raw_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
     /// Read access to the page body (beyond the common header).
     pub fn body(&self) -> &[u8] {
         &self.data[PAGE_HEADER..]

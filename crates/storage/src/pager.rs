@@ -1,101 +1,286 @@
-//! The buffer pool: cached page frames over the disk manager.
+//! The paging layer: a sharded, lock-striped read cache shared by every
+//! reader, plus a private write-set buffer for the single writer.
 //!
-//! Access is closure-scoped ([`BufferPool::with_page`] /
+//! Reads are layered. The writer's [`BufferPool`] resolves a page as:
+//!
+//! 1. its own **write set** (pages dirtied by the in-flight transaction),
+//! 2. the committed **overlay** of its base snapshot (pages committed since
+//!    the last checkpoint, shared `Arc<Page>` images),
+//! 3. the shared [`ReadLayer`]: a [`PageCache`] split into K lock-striped
+//!    shards keyed by `PageId`, falling back to the data file.
+//!
+//! Concurrent snapshot readers use the same layers 2–3 through
+//! [`SnapshotReader`](crate::snapshot::SnapshotReader), so no read ever
+//! needs the writer lock, and no shard lock is ever held across disk I/O
+//! for another shard.
+//!
+//! Access is closure-scoped ([`PageRead::with_page`] /
 //! [`BufferPool::with_page_mut`]) so a page reference can never outlive one
-//! call; that makes pin counts unnecessary — eviction only ever considers
-//! frames that are not in use by construction. Eviction is LRU over *clean*
-//! frames only: dirty pages belong to the in-flight transaction and are
-//! never stolen to the data file before commit (the WAL is redo-only).
+//! call; that makes pin counts unnecessary. The write set is not evictable
+//! (the WAL is redo-only, so uncommitted pages must never reach the data
+//! file); a transaction that dirties more pages than the configured
+//! capacity grows the set past it and counts the overshoot on
+//! `storage.pool.overflow.count` instead of failing mid-transaction.
 //!
-//! Newly allocated pages live purely in the pool (`virtual_end` past the
-//! file end) until the owning transaction commits, so an abort simply drops
-//! the dirty frames and the file is untouched.
+//! Newly allocated pages live purely in the write set (`virtual_end` past
+//! the committed end) until the owning transaction commits, so an abort
+//! simply drops the write set and published state is untouched.
 
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
-use crate::failpoint;
 use crate::page::{Page, PageId, PageKind, PAGE_SIZE};
+use crate::snapshot::CommittedState;
+use parking_lot::Mutex;
 use rcmo_obs::{Counter, Metrics, Registry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Body offset (within the meta page) of the free-list head pointer.
 pub const META_FREE_HEAD: usize = 8;
 /// Body offset (within a free page) of the next-free pointer.
 const FREE_NEXT: usize = 0;
 
-/// Cache statistics: a typed view over the pool's metrics registry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Closure-scoped read access to fixed-size pages.
+///
+/// Implemented by the writer's [`BufferPool`] and by snapshot readers, so
+/// read-only structure walks (heap scans, B+tree lookups, BLOB reads) are
+/// generic over where the bytes come from.
+pub trait PageRead {
+    /// Runs `f` with read access to page `id`.
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R>;
+}
+
+/// Cache statistics: a typed view over a paging metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
-    /// Page requests served from the pool.
+    /// Page requests served from memory (write set, overlay, or cache).
     pub hits: u64,
     /// Page requests that had to read the disk.
     pub misses: u64,
-    /// Clean frames evicted to make room.
+    /// Cached frames evicted to make room.
     pub evictions: u64,
     /// Pages allocated over the pool's lifetime.
     pub allocations: u64,
+    /// Times a transaction's write set grew past the configured capacity.
+    pub overflows: u64,
 }
 
 impl PoolStats {
-    /// Reads the pool counters out of a metrics registry.
+    /// Reads the paging counters out of a metrics registry.
     pub fn from_registry(obs: &Registry) -> Self {
         PoolStats {
             hits: obs.read_counter("storage.pool.hit.count"),
             misses: obs.read_counter("storage.pool.miss.count"),
             evictions: obs.read_counter("storage.pool.eviction.count"),
             allocations: obs.read_counter("storage.pool.alloc.count"),
+            overflows: obs.read_counter("storage.pool.overflow.count"),
+        }
+    }
+
+    /// Field-wise sum. The write pool and the shared read layer keep
+    /// separate registries; a database-wide view merges them.
+    pub fn merged(self, other: PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            allocations: self.allocations + other.allocations,
+            overflows: self.overflows + other.overflows,
         }
     }
 }
 
 #[derive(Debug)]
-struct Frame {
-    page: Page,
-    dirty: bool,
+struct CacheEntry {
+    page: Arc<Page>,
     last_used: u64,
 }
 
-/// The buffer pool. All mutation happens through `&mut self`, matching the
-/// engine's single-writer design.
-#[derive(Debug)]
-pub struct BufferPool {
-    disk: DiskManager,
-    capacity: usize,
-    frames: HashMap<PageId, Frame>,
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: HashMap<PageId, CacheEntry>,
     tick: u64,
-    /// One past the highest allocated page id (≥ disk pages).
-    virtual_end: u64,
-    obs: Registry,
+}
+
+/// A cache of committed page images, split into lock-striped shards keyed
+/// by a multiplicative hash of the page id. Each shard runs its own LRU, so
+/// concurrent readers only contend when they touch the same stripe.
+#[derive(Debug)]
+pub(crate) struct PageCache {
+    shards: Vec<Mutex<CacheShard>>,
+    shard_capacity: usize,
     hits: Counter,
     misses: Counter,
     evictions: Counter,
-    allocations: Counter,
 }
 
-impl BufferPool {
-    /// Wraps `disk` with a pool of `capacity` frames (minimum 8).
-    pub fn new(disk: DiskManager, capacity: usize) -> Self {
-        let virtual_end = disk.num_pages();
-        let obs = Registry::new();
-        let hits = obs.counter("storage.pool.hit.count");
-        let misses = obs.counter("storage.pool.miss.count");
-        let evictions = obs.counter("storage.pool.eviction.count");
-        let allocations = obs.counter("storage.pool.alloc.count");
-        BufferPool {
-            disk,
-            capacity: capacity.max(8),
-            frames: HashMap::new(),
-            tick: 0,
-            virtual_end,
-            obs,
-            hits,
-            misses,
-            evictions,
-            allocations,
+impl PageCache {
+    pub(crate) fn new(shards: usize, total_frames: usize, obs: &Registry) -> PageCache {
+        let shards = shards.max(1);
+        PageCache {
+            shard_capacity: (total_frames / shards).max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            hits: obs.counter("storage.pool.hit.count"),
+            misses: obs.counter("storage.pool.miss.count"),
+            evictions: obs.counter("storage.pool.eviction.count"),
         }
     }
 
-    /// Pool statistics so far.
+    fn shard(&self, id: PageId) -> &Mutex<CacheShard> {
+        // Fibonacci hashing spreads sequential page ids across stripes.
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    pub(crate) fn get(&self, id: PageId) -> Option<Arc<Page>> {
+        let mut shard = self.shard(id).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&id) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.inc();
+                Some(Arc::clone(&entry.page))
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts (or refreshes) a committed image, evicting the shard's LRU
+    /// entry when the stripe is full.
+    pub(crate) fn insert(&self, id: PageId, page: Arc<Page>) {
+        let mut shard = self.shard(id).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&id) {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+                self.evictions.inc();
+            }
+        }
+        shard.map.insert(
+            id,
+            CacheEntry {
+                page,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn note_miss(&self) {
+        self.misses.inc();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// The shared read path below the committed overlay: the sharded
+/// [`PageCache`] over the data file. One instance per database, shared by
+/// the writer's pool and every snapshot reader via `Arc`.
+#[derive(Debug)]
+pub(crate) struct ReadLayer {
+    pub(crate) disk: Mutex<DiskManager>,
+    pub(crate) cache: PageCache,
+    obs: Registry,
+}
+
+impl ReadLayer {
+    pub(crate) fn new(disk: DiskManager, cache_shards: usize, cache_frames: usize) -> ReadLayer {
+        let obs = Registry::new();
+        let cache = PageCache::new(cache_shards, cache_frames, &obs);
+        ReadLayer {
+            disk: Mutex::new(disk),
+            cache,
+            obs,
+        }
+    }
+
+    /// Reads a committed page image: cache first, then the data file. The
+    /// disk lock is never held while touching a cache shard.
+    pub(crate) fn read(&self, id: PageId) -> Result<Arc<Page>> {
+        if let Some(page) = self.cache.get(id) {
+            return Ok(page);
+        }
+        self.cache.note_miss();
+        let page = self.disk.lock().read_page(id)?;
+        let page = Arc::new(page);
+        self.cache.insert(id, Arc::clone(&page));
+        Ok(page)
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats::from_registry(&self.obs)
+    }
+}
+
+/// The single writer's page buffer: exactly the write set of the in-flight
+/// transaction, layered over a base committed snapshot and the shared
+/// [`ReadLayer`].
+#[derive(Debug)]
+pub struct BufferPool {
+    layer: Arc<ReadLayer>,
+    base: Arc<CommittedState>,
+    capacity: usize,
+    /// The write set: every frame here belongs to the in-flight transaction.
+    frames: HashMap<PageId, Page>,
+    /// One past the highest allocated page id (≥ the committed end).
+    virtual_end: u64,
+    obs: Registry,
+    hits: Counter,
+    allocations: Counter,
+    overflows: Counter,
+}
+
+impl BufferPool {
+    /// A pool over the shared read layer, based on `base`, with a soft
+    /// write-set capacity of `capacity` frames (minimum 1).
+    pub(crate) fn new(
+        layer: Arc<ReadLayer>,
+        base: Arc<CommittedState>,
+        capacity: usize,
+    ) -> BufferPool {
+        let obs = Registry::new();
+        let hits = obs.counter("storage.pool.hit.count");
+        let allocations = obs.counter("storage.pool.alloc.count");
+        let overflows = obs.counter("storage.pool.overflow.count");
+        BufferPool {
+            virtual_end: base.num_pages,
+            layer,
+            base,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            obs,
+            hits,
+            allocations,
+            overflows,
+        }
+    }
+
+    /// Test-only: a standalone pool over `disk` with a default read layer
+    /// and an empty base snapshot.
+    #[cfg(test)]
+    pub(crate) fn for_tests(disk: DiskManager, capacity: usize) -> BufferPool {
+        let num_pages = disk.num_pages();
+        let layer = Arc::new(ReadLayer::new(disk, 4, 1024));
+        BufferPool::new(
+            layer,
+            Arc::new(CommittedState::bootstrap(num_pages)),
+            capacity,
+        )
+    }
+
+    /// This pool's statistics (write-set side only; see
+    /// [`PoolStats::merged`]).
     pub fn stats(&self) -> PoolStats {
         self.metrics()
     }
@@ -105,97 +290,83 @@ impl BufferPool {
         self.virtual_end
     }
 
-    /// Ids of all dirty frames, sorted.
+    /// Ids of all write-set frames, sorted.
     pub fn dirty_ids(&self) -> Vec<PageId> {
-        let mut ids: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut ids: Vec<PageId> = self.frames.keys().copied().collect();
         ids.sort();
         ids
     }
 
-    fn evict_if_needed(&mut self) -> Result<()> {
-        if self.frames.len() < self.capacity {
-            return Ok(());
-        }
-        let victim = self
-            .frames
-            .iter()
-            .filter(|(_, f)| !f.dirty)
-            .min_by_key(|(_, f)| f.last_used)
-            .map(|(&id, _)| id);
-        match victim {
-            Some(id) => {
-                self.frames.remove(&id);
-                self.evictions.inc();
-                Ok(())
-            }
-            None => Err(StorageError::PoolExhausted),
-        }
-    }
-
-    fn load(&mut self, id: PageId) -> Result<()> {
-        if self.frames.contains_key(&id) {
+    /// Resolves a committed (non-write-set) page image.
+    fn committed_page(&self, id: PageId) -> Result<Arc<Page>> {
+        if let Some(page) = self.base.pages.get(&id) {
             self.hits.inc();
-            return Ok(());
+            return Ok(Arc::clone(page));
         }
-        if id.0 >= self.virtual_end {
-            return Err(StorageError::PageOutOfBounds(id.0));
-        }
-        if id.0 >= self.disk.num_pages() {
-            // Allocated this transaction but missing from the pool: dirty
-            // frames are never evicted, so this indicates an engine bug.
+        if id.0 >= self.base.num_pages {
+            // Allocated by the in-flight transaction but missing from the
+            // write set: the write set is never evicted, so this indicates
+            // an engine bug.
             return Err(StorageError::Internal(format!(
                 "allocated page {id} lost from the pool"
             )));
         }
-        self.evict_if_needed()?;
-        let page = self.disk.read_page(id)?;
-        self.misses.inc();
-        self.frames.insert(
-            id,
-            Frame {
-                page,
-                dirty: false,
-                last_used: self.tick,
-            },
-        );
-        Ok(())
+        self.layer.read(id)
+    }
+
+    /// Admits a frame into the write set. The capacity is a soft cap: a
+    /// transaction larger than the pool grows past it (counted on
+    /// `storage.pool.overflow.count`) rather than failing mid-flight,
+    /// because uncommitted pages can never be stolen to the data file under
+    /// a redo-only WAL.
+    fn admit(&mut self, id: PageId, page: Page) {
+        if self.frames.len() >= self.capacity {
+            self.overflows.inc();
+        }
+        self.frames.insert(id, page);
     }
 
     /// Runs `f` with read access to page `id`.
     pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        self.load(id)?;
-        self.tick += 1;
-        let tick = self.tick;
-        let frame = self.frames.get_mut(&id).expect("just loaded");
-        frame.last_used = tick;
-        Ok(f(&frame.page))
+        if id.0 >= self.virtual_end {
+            return Err(StorageError::PageOutOfBounds(id.0));
+        }
+        if let Some(page) = self.frames.get(&id) {
+            self.hits.inc();
+            return Ok(f(page));
+        }
+        let page = self.committed_page(id)?;
+        Ok(f(&page))
     }
 
-    /// Runs `f` with write access to page `id`, marking it dirty.
+    /// Runs `f` with write access to page `id`, copying it into the write
+    /// set first if needed (copy-on-write from the committed image).
     pub fn with_page_mut<R>(&mut self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
-        self.load(id)?;
-        self.tick += 1;
-        let tick = self.tick;
-        let frame = self.frames.get_mut(&id).expect("just loaded");
-        frame.last_used = tick;
-        frame.dirty = true;
-        Ok(f(&mut frame.page))
+        if id.0 >= self.virtual_end {
+            return Err(StorageError::PageOutOfBounds(id.0));
+        }
+        if !self.frames.contains_key(&id) {
+            let page = (*self.committed_page(id)?).clone();
+            self.admit(id, page);
+        } else {
+            self.hits.inc();
+        }
+        Ok(f(self.frames.get_mut(&id).expect("just admitted")))
     }
 
-    /// The sealed image of a (resident) page, for WAL logging.
+    /// The sealed image of a write-set page, for WAL logging.
     pub fn sealed_image(&mut self, id: PageId) -> Result<[u8; PAGE_SIZE]> {
-        self.load(id)?;
-        let frame = self.frames.get_mut(&id).expect("just loaded");
-        Ok(*frame.page.sealed_bytes())
+        match self.frames.get_mut(&id) {
+            Some(page) => Ok(*page.sealed_bytes()),
+            None => Err(StorageError::Internal(format!(
+                "sealed_image of non-dirty page {id}"
+            ))),
+        }
     }
 
     /// Allocates a page: pops the free list if possible, otherwise extends
-    /// the virtual end. The new page exists only in the pool until commit.
+    /// the virtual end. The new page exists only in the write set until
+    /// commit.
     pub fn allocate(&mut self, kind: PageKind) -> Result<PageId> {
         self.allocations.inc();
         let free_head =
@@ -209,17 +380,8 @@ impl BufferPool {
             return Ok(free_head);
         }
         let id = PageId(self.virtual_end);
-        self.evict_if_needed()?;
         self.virtual_end += 1;
-        self.tick += 1;
-        self.frames.insert(
-            id,
-            Frame {
-                page: Page::new(kind),
-                dirty: true,
-                last_used: self.tick,
-            },
-        );
+        self.admit(id, Page::new(kind));
         Ok(id)
     }
 
@@ -237,48 +399,45 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Writes every dirty frame to the data file (in id order, so file
-    /// extension is contiguous), syncs, and marks the frames clean. Called
-    /// by commit *after* the WAL was synced. Each page write passes through
-    /// the [`failpoint::FLUSH_PAGE`] (or, for the meta page,
-    /// [`failpoint::FLUSH_META`]) failpoint.
-    pub fn flush_dirty(&mut self) -> Result<()> {
-        for id in self.dirty_ids() {
-            if id == PageId::META {
-                failpoint::hit(failpoint::FLUSH_META)?;
-            } else {
-                failpoint::hit(failpoint::FLUSH_PAGE)?;
-            }
-            let frame = self.frames.get_mut(&id).expect("dirty frame resident");
-            self.disk.write_page(id, &mut frame.page)?;
-            frame.dirty = false;
-        }
-        self.disk.sync()?;
-        Ok(())
+    /// Drains the write set (sorted by page id, images shared) for publish.
+    pub(crate) fn take_write_set(&mut self) -> Vec<(PageId, Arc<Page>)> {
+        let mut out: Vec<(PageId, Arc<Page>)> = self
+            .frames
+            .drain()
+            .map(|(id, page)| (id, Arc::new(page)))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
     }
 
-    /// Drops all dirty frames and rolls the virtual end back to the file
+    /// Drops the write set and rolls the virtual end back to the committed
     /// end. Called by abort.
     pub fn discard_dirty(&mut self) {
-        self.frames.retain(|_, f| !f.dirty);
-        self.virtual_end = self.disk.num_pages();
-    }
-
-    /// `true` if the pool holds uncommitted changes.
-    pub fn has_dirty(&self) -> bool {
-        self.frames.values().any(|f| f.dirty)
-    }
-
-    /// Direct access to the disk manager (recovery).
-    pub fn disk_mut(&mut self) -> &mut DiskManager {
-        &mut self.disk
-    }
-
-    /// Drops every cached frame (used after recovery rewrites the file
-    /// underneath the pool).
-    pub fn clear_cache(&mut self) {
         self.frames.clear();
-        self.virtual_end = self.disk.num_pages();
+        self.virtual_end = self.base.num_pages;
+    }
+
+    /// `true` if the write set holds uncommitted changes.
+    pub fn has_dirty(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// Rebases the (empty) pool onto a newly published committed state.
+    pub(crate) fn set_base(&mut self, base: Arc<CommittedState>) {
+        debug_assert!(self.frames.is_empty(), "rebase with a live write set");
+        self.virtual_end = base.num_pages;
+        self.base = base;
+    }
+
+    /// The base committed snapshot this pool reads through.
+    pub(crate) fn base(&self) -> &Arc<CommittedState> {
+        &self.base
+    }
+}
+
+impl PageRead for BufferPool {
+    fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        BufferPool::with_page(self, id, f)
     }
 }
 
@@ -303,7 +462,24 @@ mod tests {
         let mut meta = Page::new(PageKind::Meta);
         meta.put_u64(META_FREE_HEAD, PageId::NONE.0);
         disk.write_page(PageId::META, &mut meta).unwrap();
-        BufferPool::new(disk, capacity)
+        BufferPool::for_tests(disk, capacity)
+    }
+
+    /// Publishes the pool's write set as a new committed version, as the
+    /// database's commit path does.
+    fn publish(pool: &mut BufferPool) {
+        let old = Arc::clone(pool.base());
+        let num_pages = pool.num_pages();
+        let mut pages = old.pages.clone();
+        for (id, page) in pool.take_write_set() {
+            pages.insert(id, page);
+        }
+        pool.set_base(Arc::new(CommittedState {
+            csn: old.csn + 1,
+            pages,
+            catalog: Arc::clone(&old.catalog),
+            num_pages,
+        }));
     }
 
     #[test]
@@ -331,46 +507,42 @@ mod tests {
     }
 
     #[test]
-    fn eviction_prefers_clean_lru() {
-        let mut pool = fresh_pool(8);
-        // Create 10 committed (clean) pages, flushing as we go so dirty
-        // frames never exceed the capacity.
-        let mut ids: Vec<PageId> = Vec::new();
-        for i in 0..10u64 {
-            let id = pool.allocate(PageKind::Heap).unwrap();
-            pool.with_page_mut(id, |p| p.put_u64(0, i)).unwrap();
-            pool.flush_dirty().unwrap();
-            ids.push(id);
-        }
-        // Touch them again; the pool (cap 8) must evict to serve them all.
-        for (i, &id) in ids.iter().enumerate() {
-            assert_eq!(pool.with_page(id, |p| p.get_u64(0)).unwrap(), i as u64);
-        }
-        assert!(pool.stats().evictions > 0);
+    fn write_set_survives_publish_via_overlay() {
+        let mut pool = fresh_pool(16);
+        let a = pool.allocate(PageKind::Heap).unwrap();
+        pool.with_page_mut(a, |p| p.put_u64(0, 77)).unwrap();
+        publish(&mut pool);
+        assert!(!pool.has_dirty());
+        // The committed image now comes from the base overlay, not disk.
+        assert_eq!(pool.with_page(a, |p| p.get_u64(0)).unwrap(), 77);
+        // Mutating it again copies on write; the overlay keeps the old image.
+        pool.with_page_mut(a, |p| p.put_u64(0, 78)).unwrap();
+        assert_eq!(pool.base().pages[&a].get_u64(0), 77);
+        pool.discard_dirty();
+        assert_eq!(pool.with_page(a, |p| p.get_u64(0)).unwrap(), 77);
     }
 
     #[test]
-    fn dirty_pages_never_stolen() {
-        let mut pool = fresh_pool(8);
-        let ids: Vec<PageId> = (0..8)
+    fn overflowing_transaction_grows_with_warning() {
+        let mut pool = fresh_pool(4);
+        // One transaction dirties 64 pages in a pool of 4: every page must
+        // stay addressable (no eviction, no error), with the overshoot
+        // counted.
+        let ids: Vec<PageId> = (0..64)
             .map(|_| pool.allocate(PageKind::Heap).unwrap())
             .collect();
-        for &id in &ids {
-            pool.with_page_mut(id, |p| p.put_u64(0, 9)).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |p| p.put_u64(0, i as u64)).unwrap();
         }
-        // Pool is full of dirty pages (+meta clean); allocating one more must
-        // still work once — evicting the clean meta frame — then exhaust.
-        let extra = pool.allocate(PageKind::Heap);
-        match extra {
-            Ok(_) => {
-                assert!(matches!(
-                    pool.allocate(PageKind::Heap),
-                    Err(StorageError::PoolExhausted)
-                ));
-            }
-            Err(StorageError::PoolExhausted) => {}
-            Err(e) => panic!("unexpected error {e}"),
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pool.with_page(id, |p| p.get_u64(0)).unwrap(), i as u64);
         }
+        let stats = pool.stats();
+        assert!(
+            stats.overflows > 0,
+            "overshoot must be observable: {stats:?}"
+        );
+        assert_eq!(pool.dirty_ids().len(), 64);
     }
 
     #[test]
@@ -378,7 +550,7 @@ mod tests {
         let mut pool = fresh_pool(16);
         let a = pool.allocate(PageKind::Heap).unwrap();
         pool.with_page_mut(a, |p| p.put_u64(0, 5)).unwrap();
-        pool.flush_dirty().unwrap();
+        publish(&mut pool);
         // New txn: modify a and allocate b, then abort.
         pool.with_page_mut(a, |p| p.put_u64(0, 6)).unwrap();
         let b = pool.allocate(PageKind::Heap).unwrap();
@@ -389,15 +561,41 @@ mod tests {
     }
 
     #[test]
+    fn cache_shards_hit_miss_and_evict() {
+        // A tiny 2-shard × 2-frame cache over a 20-page disk.
+        let mut disk = DiskManager::in_memory();
+        for i in 0..20u64 {
+            let mut p = Page::new(if i == 0 {
+                PageKind::Meta
+            } else {
+                PageKind::Heap
+            });
+            p.put_u64(0, i);
+            disk.write_page(PageId(i), &mut p).unwrap();
+        }
+        let layer = ReadLayer::new(disk, 2, 4);
+        assert_eq!(layer.cache.num_shards(), 2);
+        assert_eq!(layer.read(PageId(3)).unwrap().get_u64(0), 3); // miss
+        assert_eq!(layer.read(PageId(3)).unwrap().get_u64(0), 3); // hit
+        let s = layer.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        // Stream every page through: the 4-frame cache must evict.
+        for i in 0..20u64 {
+            assert_eq!(layer.read(PageId(i)).unwrap().get_u64(0), i);
+        }
+        assert!(layer.stats().evictions > 0);
+    }
+
+    #[test]
     fn stats_track_hits_and_misses() {
         let mut pool = fresh_pool(16);
         let a = pool.allocate(PageKind::Heap).unwrap();
-        pool.flush_dirty().unwrap();
-        pool.clear_cache();
-        pool.with_page(a, |_| ()).unwrap(); // miss
-        pool.with_page(a, |_| ()).unwrap(); // hit
-        let s = pool.stats();
-        assert!(s.misses >= 1);
-        assert!(s.hits >= 1);
+        publish(&mut pool);
+        pool.with_page(a, |_| ()).unwrap(); // overlay hit
+        pool.with_page(a, |_| ()).unwrap();
+        let s = pool.stats().merged(pool.layer.stats());
+        assert!(s.hits >= 2);
+        assert!(s.allocations >= 1);
     }
 }

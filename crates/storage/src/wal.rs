@@ -34,6 +34,8 @@ const TAG_COMMIT: u8 = b'C';
 
 static WAL_QUARANTINED: rcmo_obs::LazyCounter =
     rcmo_obs::LazyCounter::new("storage.salvage.wal_quarantined.count");
+static WAL_BAD_COMMIT: rcmo_obs::LazyCounter =
+    rcmo_obs::LazyCounter::new("storage.salvage.wal_bad_commit.count");
 
 /// A decoded WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,9 +57,18 @@ pub enum WalRecord {
 }
 
 /// The write-ahead log over a byte-level [`Backend`].
+///
+/// Commit records must be strictly monotone in transaction id: the log
+/// remembers the highest committed id, [`log_commit`](Self::log_commit) is
+/// idempotent for a repeat of that id (a durability hook may already have
+/// written it) and rejects anything lower, and replay treats a duplicate or
+/// non-monotonic commit record as the end of the valid prefix rather than
+/// silently applying it.
 #[derive(Debug)]
 pub struct Wal {
     backend: Box<dyn Backend>,
+    /// Highest transaction id with a commit record in the log.
+    last_commit_txn: Option<u64>,
 }
 
 impl Wal {
@@ -129,6 +140,7 @@ impl Wal {
             .expect("in-memory write cannot fail");
         Wal {
             backend: Box::new(backend),
+            last_commit_txn: None,
         }
     }
 
@@ -173,7 +185,20 @@ impl Wal {
                 return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
             }
         }
-        Ok(Wal { backend })
+        let mut wal = Wal {
+            backend,
+            last_commit_txn: None,
+        };
+        // Resume the monotonicity watermark from the valid record prefix.
+        wal.last_commit_txn = wal
+            .records()?
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .max();
+        Ok(wal)
     }
 
     /// Direct access to the underlying backend — for tests and harnesses
@@ -208,8 +233,24 @@ impl Wal {
     }
 
     /// Appends a commit marker for `txn`.
+    ///
+    /// Idempotent for the most recently committed id (a crash-simulation
+    /// hook may have logged it already); a commit for any *lower* id would
+    /// break the log's monotonicity invariant and is rejected.
     pub fn log_commit(&mut self, txn: u64) -> Result<()> {
-        self.append(TAG_COMMIT, &txn.to_le_bytes())
+        if let Some(last) = self.last_commit_txn {
+            if txn == last {
+                return Ok(()); // already committed — idempotent
+            }
+            if txn < last {
+                return Err(StorageError::Internal(format!(
+                    "non-monotonic commit: txn {txn} after txn {last}"
+                )));
+            }
+        }
+        self.append(TAG_COMMIT, &txn.to_le_bytes())?;
+        self.last_commit_txn = Some(txn);
+        Ok(())
     }
 
     /// Forces the log to stable storage.
@@ -226,6 +267,7 @@ impl Wal {
     pub fn truncate(&mut self) -> Result<()> {
         failpoint::hit(failpoint::WAL_TRUNCATE)?;
         self.backend.set_len(MAGIC.len() as u64)?;
+        self.last_commit_txn = None;
         self.backend.sync()
     }
 
@@ -240,7 +282,10 @@ impl Wal {
         Ok(self.len()? <= MAGIC.len() as u64)
     }
 
-    /// Decodes all intact records, stopping silently at a torn tail.
+    /// Decodes all intact records, stopping silently at a torn tail. A
+    /// duplicate or non-monotonic commit record also ends the valid prefix:
+    /// a healthy log commits in strictly increasing transaction order, so
+    /// anything else is damage and must not be replayed.
     pub fn records(&mut self) -> Result<Vec<WalRecord>> {
         let len = self.backend.len()?;
         let mut bytes = vec![0u8; len as usize];
@@ -249,6 +294,7 @@ impl Wal {
             return Err(StorageError::BadHeader("WAL magic mismatch".to_string()));
         }
         let mut records = Vec::new();
+        let mut last_commit: Option<u64> = None;
         let mut pos = MAGIC.len();
         while pos < bytes.len() {
             // tag + len + crc is the minimum frame.
@@ -298,9 +344,15 @@ impl Wal {
                     }
                     let mut a = [0u8; 8];
                     a.copy_from_slice(payload);
-                    records.push(WalRecord::Commit {
-                        txn: u64::from_le_bytes(a),
-                    });
+                    let txn = u64::from_le_bytes(a);
+                    if last_commit.is_some_and(|last| txn <= last) {
+                        // Duplicate or out-of-order commit record: salvage
+                        // the prefix before it, never apply it.
+                        WAL_BAD_COMMIT.inc();
+                        break;
+                    }
+                    last_commit = Some(txn);
+                    records.push(WalRecord::Commit { txn });
                 }
                 _ => break, // unknown tag — treat as torn tail
             }
@@ -442,6 +494,85 @@ mod tests {
             assert_eq!(recs.len(), 3);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Builds a raw commit frame (tag 'C') for hand-crafted logs.
+    fn raw_commit_frame(txn: u64) -> Vec<u8> {
+        let payload = txn.to_le_bytes();
+        let mut framed = Vec::with_capacity(payload.len() + 9);
+        framed.push(TAG_COMMIT);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        let sum = crc32(&framed);
+        framed.extend_from_slice(&sum.to_le_bytes());
+        framed
+    }
+
+    #[test]
+    fn repeated_commit_is_idempotent() {
+        let mut wal = Wal::in_memory();
+        wal.log_page(7, PageId(1), &image(1)).unwrap();
+        wal.log_commit(7).unwrap();
+        let len = wal.len().unwrap();
+        // The durability hook already logged txn 7; a second commit of the
+        // same txn must not write a second record.
+        wal.log_commit(7).unwrap();
+        assert_eq!(wal.len().unwrap(), len);
+        assert_eq!(wal.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lower_commit_id_is_rejected() {
+        let mut wal = Wal::in_memory();
+        wal.log_commit(9).unwrap();
+        assert!(matches!(wal.log_commit(4), Err(StorageError::Internal(_))));
+        // The log is untouched by the rejected append.
+        assert_eq!(wal.records().unwrap().len(), 1);
+        // Truncation resets the watermark.
+        wal.truncate().unwrap();
+        wal.log_commit(4).unwrap();
+    }
+
+    #[test]
+    fn reopened_wal_resumes_the_commit_watermark() {
+        let store = crate::backend::MemBackend::new();
+        let mut wal = Wal::from_backend(Box::new(store)).unwrap();
+        wal.log_commit(11).unwrap();
+        let mut bytes = vec![0u8; wal.len().unwrap() as usize];
+        wal.backend_mut().read_at(0, &mut bytes).unwrap();
+        let mut wal2 =
+            Wal::from_backend(Box::new(crate::backend::MemBackend::from_bytes(bytes))).unwrap();
+        assert!(matches!(wal2.log_commit(5), Err(StorageError::Internal(_))));
+        wal2.log_commit(12).unwrap();
+    }
+
+    #[test]
+    fn duplicate_commit_record_ends_replay_prefix() {
+        let mut wal = Wal::in_memory();
+        wal.log_page(1, PageId(1), &image(1)).unwrap();
+        wal.log_commit(1).unwrap();
+        // Damage: a byte-for-byte duplicate commit record for txn 1, then a
+        // later legitimate-looking transaction.
+        let end = wal.len().unwrap();
+        let mut tail = raw_commit_frame(1);
+        tail.extend_from_slice(&raw_commit_frame(2));
+        wal.backend_mut().write_at(end, &tail).unwrap();
+        let records = wal.records().unwrap();
+        assert_eq!(records.len(), 2, "replay stops at the duplicate");
+        let (_, committed) = wal.committed_images().unwrap();
+        assert!(committed.contains(&1));
+        assert!(!committed.contains(&2), "nothing after the damage applies");
+    }
+
+    #[test]
+    fn non_monotonic_commit_record_ends_replay_prefix() {
+        let mut wal = Wal::in_memory();
+        wal.log_commit(5).unwrap();
+        let end = wal.len().unwrap();
+        wal.backend_mut()
+            .write_at(end, &raw_commit_frame(3))
+            .unwrap();
+        assert_eq!(wal.records().unwrap().len(), 1);
     }
 
     #[test]

@@ -20,8 +20,8 @@
 use rcmo::mediadb::{AccessLevel, ImageObject, MediaDb};
 use rcmo::storage::db::wal_path_for;
 use rcmo::storage::{
-    failpoint, Column, ColumnType, CrashSpec, Database, FaultInjector, MemBackend, RowValue,
-    Schema, SimStore, StorageError,
+    failpoint, Column, ColumnType, CrashSpec, Database, DbOptions, FaultInjector, MemBackend,
+    RowValue, Schema, SimStore, StorageError,
 };
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -520,6 +520,10 @@ fn corrupt_wal_header_is_quarantined_on_open() {
     let db = Database::open(&path).unwrap();
     let (model, _, failed) = run_plans(&db, &plans);
     assert!(!failed);
+    // Under deferred checkpointing, recent commits are durable only in the
+    // WAL; fold them into the data file so the stomp below destroys no
+    // committed state.
+    db.checkpoint().unwrap();
     drop(db);
 
     // Stomp the WAL magic: the file is unrecognizable and must be moved
@@ -598,7 +602,131 @@ fn transient_io_errors_leave_a_recoverable_store() {
 }
 
 // ---------------------------------------------------------------------------
-// 5. MediaDb object-level atomicity across the same failpoints
+// 5. Group commit under concurrent writers: a crash mid-batch keeps every
+//    acknowledged commit and recovers a per-writer prefix (all-or-prefix)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn group_commit_crash_keeps_acked_commits_and_prefix_order() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    const WRITERS: u64 = 4;
+    const TXNS_PER_WRITER: u64 = 12;
+
+    let mut total_acked = 0u64;
+    for (i, &crash_op) in [23u64, 41, 67, 97, 131].iter().enumerate() {
+        let seed = 0x6C0D_u64 + i as u64;
+        let data = SimStore::new();
+        let wal = SimStore::new();
+        let inj = FaultInjector::new(CrashSpec {
+            seed,
+            crash_at_op: Some(crash_op),
+            torn_writes: true,
+            drop_unsynced: true,
+            io_error_prob: 0.0,
+        });
+        // Deferred mode with checkpoints disabled: every commit's durability
+        // rides exclusively on the group-commit WAL fsync.
+        let opts = DbOptions {
+            group_commit_window: Duration::from_micros(200),
+            checkpoint_commits: u64::MAX,
+            checkpoint_wal_bytes: u64::MAX,
+            ..DbOptions::default()
+        };
+        let setup_ok = (|| {
+            let db = Database::open_with_backends_opts(
+                Box::new(data.backend(&inj)),
+                Box::new(wal.backend(&inj)),
+                opts,
+            )?;
+            let mut tx = db.begin()?;
+            tx.create_table(TABLE, table_schema())?;
+            tx.commit()?;
+            Ok::<_, StorageError>(db)
+        })();
+        let acked: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+        if let Ok(db) = &setup_ok {
+            std::thread::scope(|s| {
+                for w in 0..WRITERS {
+                    let acked = &acked;
+                    s.spawn(move || {
+                        for seq in 1..=TXNS_PER_WRITER {
+                            let Ok(mut tx) = db.begin() else { return };
+                            let key = w * 1_000 + seq;
+                            let row = vec![
+                                RowValue::U64(key),
+                                RowValue::I64(seq as i64),
+                                RowValue::Bytes(vec![w as u8; 16]),
+                                RowValue::Null,
+                            ];
+                            if tx.insert(TABLE, row).is_err() {
+                                return;
+                            }
+                            if tx.commit().is_err() {
+                                return;
+                            }
+                            // commit() returned Ok: this row is durable.
+                            acked[w as usize].store(seq, Ordering::Release);
+                        }
+                    });
+                }
+            });
+        }
+        drop(setup_ok);
+        assert!(
+            inj.crashed(),
+            "crash op {crash_op} never fired — workload too small"
+        );
+
+        // Reopen only what a real disk would hold, with no further faults.
+        let db = Database::open_with_backends(
+            Box::new(MemBackend::from_bytes(data.surviving_bytes())),
+            Box::new(MemBackend::from_bytes(wal.surviving_bytes())),
+            FRAMES,
+        )
+        .unwrap_or_else(|e| panic!("reopen after group-commit crash at op {crash_op}: {e}"));
+        let report = db.check_integrity();
+        assert!(
+            report.is_ok(),
+            "integrity after crash at op {crash_op}:\n{report}"
+        );
+        let mut tx = db.begin().unwrap();
+        let rows = if tx.table_names().iter().any(|t| t == TABLE) {
+            tx.scan(TABLE).unwrap()
+        } else {
+            Vec::new() // crashed during setup; nothing was acknowledged
+        };
+        let mut recovered: Vec<Vec<u64>> = vec![Vec::new(); WRITERS as usize];
+        for row in &rows {
+            let key = row[0].as_u64().unwrap();
+            recovered[(key / 1_000) as usize].push(key % 1_000);
+        }
+        for (w, seqs) in recovered.iter_mut().enumerate() {
+            seqs.sort_unstable();
+            let k = seqs.len() as u64;
+            assert_eq!(
+                *seqs,
+                (1..=k).collect::<Vec<_>>(),
+                "writer {w}: recovered commits are not a prefix (crash op {crash_op})"
+            );
+            let acked_hi = acked[w].load(Ordering::Acquire);
+            assert!(
+                k >= acked_hi,
+                "writer {w}: commit {acked_hi} was acknowledged but only {k} survived \
+                 (crash op {crash_op})"
+            );
+            total_acked += acked_hi;
+        }
+    }
+    assert!(
+        total_acked > 0,
+        "no commit was ever acknowledged before a crash — the sweep is vacuous"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 6. MediaDb object-level atomicity across the same failpoints
 // ---------------------------------------------------------------------------
 
 #[test]
@@ -627,7 +755,9 @@ fn mediadb_update_is_atomic_across_every_failpoint() {
         };
 
         {
-            let mdb = MediaDb::open(&path).unwrap();
+            // Eager checkpointing makes the single update commit cross every
+            // durability site, so arming any of them must trip it.
+            let mdb = MediaDb::open_with_options(&path, DbOptions::eager()).unwrap();
             failpoint::reset();
             failpoint::arm(site, 1);
             let res = mdb.update_image("dr-a", id, &v2);

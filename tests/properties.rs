@@ -268,6 +268,131 @@ fn table_matches_model() {
     }
 }
 
+/// Snapshot readers observe *exactly* the state a serial execution had at
+/// the moment the snapshot was taken: never a partially-applied
+/// transaction, never a later commit, never a rolled-back one — no matter
+/// how many writers commit, roll back, or checkpoint after the snapshot.
+#[test]
+fn snapshot_readers_observe_serial_states() {
+    use std::collections::BTreeMap;
+
+    fn dump_reader(tx: &rcmo::storage::ReadTransaction<'_>) -> BTreeMap<u64, i64> {
+        tx.scan("T")
+            .unwrap()
+            .into_iter()
+            .map(|r| {
+                (
+                    r[0].as_u64().unwrap(),
+                    match r[1] {
+                        RowValue::I64(v) => v,
+                        ref other => panic!("unexpected value {other:?}"),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x05EE_D5A9);
+    for case in 0..8 {
+        let db = Database::in_memory().unwrap();
+        {
+            let mut tx = db.begin().unwrap();
+            tx.create_table(
+                "T",
+                rcmo::storage::Schema::new(vec![
+                    rcmo::storage::Column::new("ID", rcmo::storage::ColumnType::U64),
+                    rcmo::storage::Column::new("V", rcmo::storage::ColumnType::I64),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+            tx.commit().unwrap();
+        }
+
+        // Committed serial state, and the snapshots pinned along the way
+        // (each paired with the model state at pin time).
+        let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+        let mut pinned: Vec<(rcmo::storage::ReadTransaction<'_>, BTreeMap<u64, i64>)> = Vec::new();
+
+        for txn in 0..24 {
+            let mut scratch = model.clone();
+            let mut tx = db.begin().unwrap();
+            for _ in 0..rng.gen_range(1..8usize) {
+                let key = rng.gen_range(1..32u64);
+                let val = rng.gen::<u16>() as i64;
+                match scratch.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        if rng.gen_bool(0.5) {
+                            tx.update("T", key, vec![RowValue::Null, RowValue::I64(val)])
+                                .unwrap();
+                            e.insert(val);
+                        } else {
+                            tx.delete("T", key).unwrap();
+                            e.remove();
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        tx.insert("T", vec![RowValue::U64(key), RowValue::I64(val)])
+                            .unwrap();
+                        e.insert(val);
+                    }
+                }
+            }
+            // A snapshot taken while the writer holds uncommitted changes
+            // must see the last *committed* state, not the scratch one.
+            if rng.gen_bool(0.3) {
+                let snap = db.begin_read().unwrap();
+                assert_eq!(
+                    dump_reader(&snap),
+                    model,
+                    "case {case} txn {txn}: mid-transaction snapshot saw dirty state"
+                );
+                drop(snap);
+            }
+            if rng.gen_bool(0.75) {
+                tx.commit().unwrap();
+                model = scratch;
+            } else {
+                tx.rollback();
+            }
+            // Occasionally pin a snapshot at this commit point and keep it
+            // alive across later commits (and skipped checkpoints).
+            if rng.gen_bool(0.35) {
+                pinned.push((db.begin_read().unwrap(), model.clone()));
+            }
+            // Occasionally release an old pin so checkpoints can fold.
+            if pinned.len() > 3 {
+                pinned.remove(0);
+            }
+        }
+
+        for (i, (snap, expect)) in pinned.iter().enumerate() {
+            assert_eq!(
+                &dump_reader(snap),
+                expect,
+                "case {case}: pinned snapshot {i} drifted from its serial state"
+            );
+            assert_eq!(snap.count("T").unwrap(), expect.len(), "case {case}");
+            for key in 1..32u64 {
+                let got = snap.get("T", key).unwrap().map(|r| match r[1] {
+                    RowValue::I64(v) => v,
+                    ref other => panic!("unexpected value {other:?}"),
+                });
+                assert_eq!(got, expect.get(&key).copied(), "case {case} key {key}");
+            }
+        }
+        drop(pinned);
+        // With every snapshot released the deferred fold must go through.
+        db.checkpoint().unwrap();
+        let final_reader = db.begin_read().unwrap();
+        assert_eq!(
+            dump_reader(&final_reader),
+            model,
+            "case {case}: final state"
+        );
+    }
+}
+
 /// BLOBs of arbitrary contents round-trip exactly, including prefixes.
 #[test]
 fn blob_roundtrip() {
