@@ -579,10 +579,17 @@ impl Database {
         // data file; only the log truncation remains.
         crate::failpoint::hit(crate::failpoint::CHECKPOINT)?;
         shared.wal.lock().truncate()?;
-        // Re-publish the same version with an empty overlay. The folded
-        // images go to the shared cache: this doubles as invalidation — a
-        // stale pre-overlay image must never survive the overlay that
-        // shadowed it.
+        // Push the folded images into the shared cache, then re-publish the
+        // same version with an empty overlay — strictly in that order. The
+        // inserts double as invalidation (the cache may still hold pre-fold
+        // images cached by readers of older versions), and they must land
+        // before the empty-overlay state becomes visible: a reader
+        // registering against the clean state resolves folded pages through
+        // the cache, so the cache must never be stale while that state is
+        // published.
+        for (id, page) in &state.pages {
+            shared.layer.cache.insert(*id, Arc::clone(page));
+        }
         let clean = Arc::new(CommittedState {
             csn: state.csn,
             pages: HashMap::new(),
@@ -594,9 +601,6 @@ impl Database {
             // With a live write set (pre-append fold) the pool keeps its
             // old base; the overlay Arcs stay valid and match the disk.
             inner.pool.set_base(clean);
-        }
-        for (id, page) in &state.pages {
-            shared.layer.cache.insert(*id, Arc::clone(page));
         }
         inner.commits_since_ckpt = 0;
         inner.force_checkpoint = false;
@@ -656,6 +660,18 @@ fn reload_catalog(inner: &mut Inner) -> Result<()> {
         .with_page(PageId::META, |p| p.get_u64(META_NEXT_TXN))?;
     inner.next_txn = inner.next_txn.max(persisted);
     Ok(())
+}
+
+/// Classifies a checkpoint error that struck after the transaction
+/// published: the commit stands (its WAL records are synced before any page
+/// flush can fail), so callers must not read the error as "not committed".
+/// Poisoning passes through — it carries the stronger "durability unknown"
+/// meaning.
+fn checkpoint_after_commit(e: StorageError) -> StorageError {
+    match e {
+        e @ (StorageError::Poisoned(_) | StorageError::CheckpointAfterCommit(_)) => e,
+        e => StorageError::CheckpointAfterCommit(e.to_string()),
+    }
 }
 
 /// A read-write transaction. All table, index, and BLOB mutations live
@@ -908,6 +924,24 @@ impl<'db> Transaction<'db> {
     /// committed version (releasing the writer lock), then waits for the
     /// shared group-commit fsync to cover this commit. Checkpoints run when
     /// due (WAL size / commit count), or on every commit in eager mode.
+    ///
+    /// If a previous commit failed after touching the WAL (or a crash hook
+    /// staged records), this commit first folds the orphaned log out,
+    /// blocking until snapshot readers of *older* versions are released —
+    /// the same wait as [`Database::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Most errors mean the transaction did **not** commit and was rolled
+    /// back. Two variants mean the opposite — the transaction *did* publish
+    /// and must not be retried:
+    ///
+    /// * [`StorageError::CheckpointAfterCommit`] — the commit is visible and
+    ///   durable; only post-commit checkpoint housekeeping failed (it is
+    ///   redone before the next commit appends).
+    /// * [`StorageError::Poisoned`] — the commit is visible in-process but
+    ///   its WAL sync failed, so durability is unknown; reopen to recover
+    ///   the durable prefix.
     pub fn commit(mut self) -> Result<()> {
         static LAT: rcmo_obs::LazyHistogram =
             rcmo_obs::LazyHistogram::new("storage.txn.commit.us", rcmo_obs::bounds::LATENCY_US);
@@ -916,13 +950,13 @@ impl<'db> Transaction<'db> {
 
         // Fold previously staged or orphaned WAL records out before
         // appending, so two generations of records can never replay
-        // together. Skipped (and retried on the next commit) while an old
-        // snapshot reader would block the fold.
+        // together. This must not be skipped: the orphaned tail may be torn,
+        // and anything appended after a tear is unreachable to replay. The
+        // fold blocks until snapshot readers of older versions drain
+        // (`checkpoint_locked` waits on the registry), exactly like an
+        // explicit [`Database::checkpoint`].
         if self.inner.force_checkpoint {
-            let base_csn = self.inner.pool.base().csn;
-            if db.shared.snapshots.none_older_than(base_csn) {
-                db.checkpoint_locked(&mut self.inner, CkptSync::Clean)?;
-            }
+            db.checkpoint_locked(&mut self.inner, CkptSync::Clean)?;
         }
 
         // Persist the txn counter so ids stay monotone across restarts.
@@ -952,17 +986,18 @@ impl<'db> Transaction<'db> {
         if db.shared.opts.eager_checkpoint {
             if let Err(e) = db.checkpoint_locked(&mut self.inner, CkptSync::Done) {
                 self.inner.force_checkpoint = true;
-                return Err(e);
+                return Err(checkpoint_after_commit(e));
             }
             return Ok(());
         }
-        let due = self.inner.force_checkpoint
-            || wal_len >= db.shared.opts.checkpoint_wal_bytes
+        // The forced fold above either ran or errored out, so only the
+        // size/interval triggers remain.
+        let due = wal_len >= db.shared.opts.checkpoint_wal_bytes
             || self.inner.commits_since_ckpt >= db.shared.opts.checkpoint_commits;
         if due && db.shared.snapshots.none_older_than(csn) {
             if let Err(e) = db.checkpoint_locked(&mut self.inner, CkptSync::Publish) {
                 self.inner.force_checkpoint = true;
-                return Err(e);
+                return Err(checkpoint_after_commit(e));
             }
             return Ok(());
         }

@@ -723,6 +723,138 @@ fn live_reader_defers_checkpoint_without_deadlock() {
 }
 
 #[test]
+fn forced_fold_blocks_commit_until_old_readers_release() {
+    // After the crash hook stages WAL records, the next commit must fold
+    // them out before appending — never append behind the orphaned tail.
+    // With a snapshot reader pinning a version older than the fold base,
+    // the commit therefore blocks until the reader is released.
+    let db = Database::in_memory().unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.commit().unwrap();
+    }
+    let reader = db.begin_read().unwrap();
+    {
+        // Bump the committed version past the reader's snapshot.
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(1),
+                RowValue::Text("committed".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.commit().unwrap();
+    }
+    {
+        let mut tx = db.begin().unwrap();
+        tx.insert(
+            "T",
+            vec![
+                RowValue::U64(2),
+                RowValue::Text("staged".into()),
+                RowValue::Null,
+                RowValue::Null,
+            ],
+        )
+        .unwrap();
+        tx.simulate_crash_after_wal().unwrap();
+    }
+    std::thread::scope(|s| {
+        let t = s.spawn(|| {
+            let mut tx = db.begin().unwrap();
+            tx.insert(
+                "T",
+                vec![
+                    RowValue::U64(3),
+                    RowValue::Text("after".into()),
+                    RowValue::Null,
+                    RowValue::Null,
+                ],
+            )
+            .unwrap();
+            tx.commit().unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !t.is_finished(),
+            "commit must wait for the forced fold, not append past it"
+        );
+        drop(reader);
+        t.join().unwrap();
+    });
+    let mut tx = db.begin().unwrap();
+    let keys: Vec<u64> = tx
+        .scan("T")
+        .unwrap()
+        .into_iter()
+        .map(|row| row[0].as_u64().unwrap())
+        .collect();
+    assert_eq!(keys, vec![1, 3], "staged txn folded away, commit landed");
+    drop(tx);
+    assert!(db.check_integrity().is_ok());
+}
+
+#[test]
+fn post_publish_checkpoint_failure_reports_committed() {
+    // A checkpoint failure after the transaction published must not read
+    // as "not committed": the dedicated variant says the commit stands.
+    let db = Database::in_memory_with_options(DbOptions::eager()).unwrap();
+    {
+        let mut tx = db.begin().unwrap();
+        tx.create_table("T", media_schema()).unwrap();
+        tx.commit().unwrap();
+    }
+    let mut tx = db.begin().unwrap();
+    tx.insert(
+        "T",
+        vec![
+            RowValue::U64(7),
+            RowValue::Text("kept".into()),
+            RowValue::Null,
+            RowValue::Null,
+        ],
+    )
+    .unwrap();
+    crate::failpoint::arm(crate::failpoint::CHECKPOINT, 1);
+    let err = tx.commit().unwrap_err();
+    crate::failpoint::reset();
+    assert!(
+        matches!(err, StorageError::CheckpointAfterCommit(_)),
+        "got {err:?}"
+    );
+    // The transaction is committed despite the error...
+    let rd = db.begin_read().unwrap();
+    assert_eq!(
+        rd.get("T", 7).unwrap().unwrap()[1],
+        RowValue::Text("kept".into())
+    );
+    drop(rd);
+    // ...and the engine recovers: the deferred fold reruns, later commits
+    // succeed, and nothing is duplicated.
+    let mut tx = db.begin().unwrap();
+    tx.insert(
+        "T",
+        vec![
+            RowValue::U64(8),
+            RowValue::Text("next".into()),
+            RowValue::Null,
+            RowValue::Null,
+        ],
+    )
+    .unwrap();
+    tx.commit().unwrap();
+    let mut tx = db.begin().unwrap();
+    assert_eq!(tx.count("T").unwrap(), 2);
+    drop(tx);
+    assert!(db.check_integrity().is_ok());
+}
+
+#[test]
 fn try_begin_is_non_blocking() {
     let db = Database::in_memory().unwrap();
     let tx = db.try_begin().expect("no other transaction");

@@ -49,6 +49,13 @@ pub enum StorageError {
     /// further transactions are accepted; reopen the database to recover
     /// the durable prefix.
     Poisoned(String),
+    /// A checkpoint step failed *after* the transaction committed: the
+    /// transaction is visible to readers and its WAL records are synced, so
+    /// it survives a reopen. Callers must **not** retry the transaction —
+    /// only checkpoint housekeeping failed, and it is retried automatically
+    /// before the next commit appends. The payload describes the underlying
+    /// checkpoint failure.
+    CheckpointAfterCommit(String),
     /// A deliberately injected fault (armed failpoint or `FaultyBackend`
     /// crash/transient error). Distinguishes simulated failures from real
     /// bugs in crash-torture harnesses; never raised in production.
@@ -78,6 +85,10 @@ impl fmt::Display for StorageError {
             StorageError::BlobNotFound(b) => write!(f, "blob {b} not found"),
             StorageError::Internal(m) => write!(f, "internal error: {m}"),
             StorageError::Poisoned(m) => write!(f, "database poisoned: {m}"),
+            StorageError::CheckpointAfterCommit(m) => write!(
+                f,
+                "checkpoint failed after commit (the transaction is committed and durable): {m}"
+            ),
             StorageError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }

@@ -32,7 +32,7 @@ use crate::page::{Page, PageId, PageKind, PAGE_SIZE};
 use crate::snapshot::CommittedState;
 use parking_lot::Mutex;
 use rcmo_obs::{Counter, Metrics, Registry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Body offset (within the meta page) of the free-list head pointer.
@@ -93,18 +93,24 @@ impl PoolStats {
 #[derive(Debug)]
 struct CacheEntry {
     page: Arc<Page>,
-    last_used: u64,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// sweeps past the entry.
+    referenced: bool,
 }
 
 #[derive(Debug, Default)]
 struct CacheShard {
     map: HashMap<PageId, CacheEntry>,
-    tick: u64,
+    /// Clock ring over the resident ids: eviction pops the front, granting
+    /// referenced entries one more lap at the back, so picking a victim is
+    /// amortized O(1) instead of a scan over the whole stripe.
+    ring: VecDeque<PageId>,
 }
 
 /// A cache of committed page images, split into lock-striped shards keyed
-/// by a multiplicative hash of the page id. Each shard runs its own LRU, so
-/// concurrent readers only contend when they touch the same stripe.
+/// by a multiplicative hash of the page id. Each shard runs its own
+/// clock/second-chance eviction, so concurrent readers only contend when
+/// they touch the same stripe.
 #[derive(Debug)]
 pub(crate) struct PageCache {
     shards: Vec<Mutex<CacheShard>>,
@@ -136,11 +142,9 @@ impl PageCache {
 
     pub(crate) fn get(&self, id: PageId) -> Option<Arc<Page>> {
         let mut shard = self.shard(id).lock();
-        shard.tick += 1;
-        let tick = shard.tick;
         match shard.map.get_mut(&id) {
             Some(entry) => {
-                entry.last_used = tick;
+                entry.referenced = true;
                 self.hits.inc();
                 Some(Arc::clone(&entry.page))
             }
@@ -148,30 +152,41 @@ impl PageCache {
         }
     }
 
-    /// Inserts (or refreshes) a committed image, evicting the shard's LRU
-    /// entry when the stripe is full.
+    /// Inserts (or refreshes) a committed image. A full stripe evicts via
+    /// the clock ring: the hand clears referenced bits until it lands on an
+    /// entry nobody touched since its last lap.
     pub(crate) fn insert(&self, id: PageId, page: Arc<Page>) {
-        let mut shard = self.shard(id).lock();
-        shard.tick += 1;
-        let tick = shard.tick;
-        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&id) {
-            let victim = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&id, _)| id);
-            if let Some(victim) = victim {
-                shard.map.remove(&victim);
-                self.evictions.inc();
+        let mut guard = self.shard(id).lock();
+        let shard = &mut *guard;
+        if let Some(entry) = shard.map.get_mut(&id) {
+            entry.page = page;
+            entry.referenced = true;
+            return;
+        }
+        while shard.map.len() >= self.shard_capacity {
+            let Some(victim) = shard.ring.pop_front() else {
+                break;
+            };
+            match shard.map.get_mut(&victim) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    shard.ring.push_back(victim);
+                }
+                Some(_) => {
+                    shard.map.remove(&victim);
+                    self.evictions.inc();
+                }
+                None => {}
             }
         }
         shard.map.insert(
             id,
             CacheEntry {
                 page,
-                last_used: tick,
+                referenced: true,
             },
         );
+        shard.ring.push_back(id);
     }
 
     fn note_miss(&self) {
