@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 20] = [
+    let all: [(&str, fn()); 21] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -61,6 +61,7 @@ fn main() {
         ("e18", e18_cluster),
         ("e19", e19_fanout),
         ("e20", e20_storage_scale),
+        ("e21", e21_sim),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -2841,4 +2842,167 @@ fn e20_storage_scale() {
     );
     println!("(readers scanned freely while every commit waited on the slow fsync:");
     println!(" the write path no longer holds the database lock across durability)");
+}
+
+/// E21 (whole-system chaos hour): the deterministic simulator drives 10k
+/// seeded rooms through a full virtual conference hour — scripted personas
+/// (lurkers, annotators, late joiners, flappy modem viewers, presenter
+/// handoff chains, room churners) plus chaos actors (shard kills, live
+/// migrations, storage crash drills) on one virtual clock. Gates: the
+/// invariant oracle must be green (gap-free per-member sequences, zero
+/// acked-event loss across failover, bounded queues, storage integrity
+/// after every crash, no dead histograms), every registered persona kind
+/// must have executed, and a same-seed double run of the small scenario
+/// must be byte-identical. Writes `BENCH_sim.json`.
+fn e21_sim() {
+    use rcmo_sim::{SimConfig, Simulator};
+
+    section("E21", "deterministic whole-system chaos simulation");
+    const SEED: u64 = 42;
+
+    // Determinism cross-check first (cheap): the small chaos scenario run
+    // twice from the same seed must reproduce trace and metrics
+    // byte-for-byte. The rcmo-sim integration test covers this too; doing
+    // it here keeps the property on the bench gate even when tests are
+    // skipped.
+    let s1 = Simulator::run(&SimConfig::small(SEED));
+    let s2 = Simulator::run(&SimConfig::small(SEED));
+    assert_eq!(
+        s1.trace_text, s2.trace_text,
+        "E21: same-seed small runs diverged (trace)"
+    );
+    assert_eq!(
+        s1.metrics_text, s2.metrics_text,
+        "E21: same-seed small runs diverged (metrics)"
+    );
+    println!(
+        "determinism cross-check: 2x small(seed={SEED}) byte-identical \
+         ({} trace lines, fingerprint {:016x})",
+        s1.trace_len, s1.trace_fingerprint
+    );
+
+    // The full scenario: a 10k-room, 100k-event virtual hour.
+    let config = SimConfig::full(SEED);
+    let t0 = Instant::now();
+    let report = Simulator::run(&config);
+    let wall_ms = t0.elapsed().as_millis();
+
+    println!(
+        "\nfull scenario: {} rooms, {} actors, {} events over {:.0}s virtual \
+         ({} epochs) in {:.1}s wall",
+        report.rooms,
+        report.actors,
+        report.events_executed,
+        report.horizon_s,
+        report.epochs,
+        wall_ms as f64 / 1000.0
+    );
+    println!(
+        "chaos: {} shard kills, {} room failovers, {} migrations, \
+         {} crash drills ({} failed), {} persona resyncs",
+        report.kills,
+        report.failovers,
+        report.migrations,
+        report.crash_drills,
+        report.crash_failures,
+        report.resyncs
+    );
+    println!("\n{:>20} {:>10}", "persona/chaos kind", "steps");
+    for (kind, count) in &report.actions {
+        println!("{:>20} {:>10}", kind, count);
+    }
+    println!(
+        "\ntrace: {} lines, fingerprint {:016x}",
+        report.trace_len, report.trace_fingerprint
+    );
+
+    // Export before gating so a red run still leaves the evidence behind.
+    let actions = report
+        .actions
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let violations = report
+        .violations
+        .iter()
+        .map(|v| format!("    {:?}", v))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"seed\": {},\n",
+            "  \"rooms\": {},\n",
+            "  \"actors\": {},\n",
+            "  \"events_executed\": {},\n",
+            "  \"horizon_s\": {},\n",
+            "  \"epochs\": {},\n",
+            "  \"wall_ms\": {},\n",
+            "  \"trace_lines\": {},\n",
+            "  \"trace_fingerprint\": \"{:016x}\",\n",
+            "  \"kills\": {},\n",
+            "  \"failovers\": {},\n",
+            "  \"migrations\": {},\n",
+            "  \"resyncs\": {},\n",
+            "  \"crash_drills\": {},\n",
+            "  \"crash_failures\": {},\n",
+            "  \"actions\": {{\n{}\n  }},\n",
+            "  \"violations\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n",
+            "}}\n"
+        ),
+        report.seed,
+        report.rooms,
+        report.actors,
+        report.events_executed,
+        report.horizon_s,
+        report.epochs,
+        wall_ms,
+        report.trace_len,
+        report.trace_fingerprint,
+        report.kills,
+        report.failovers,
+        report.migrations,
+        report.resyncs,
+        report.crash_drills,
+        report.crash_failures,
+        actions,
+        violations,
+        report.merged_metrics.to_json().trim_end()
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json ({} bytes)", json.len());
+
+    // Gates.
+    assert!(
+        report.violations.is_empty(),
+        "E21: invariant oracle red — {} violation(s):\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    assert_eq!(
+        report.crash_failures, 0,
+        "E21: {} of {} storage crash drills failed integrity",
+        report.crash_failures, report.crash_drills
+    );
+    let dead: Vec<&str> = report
+        .actions
+        .iter()
+        .filter(|(_, n)| **n == 0)
+        .map(|(k, _)| *k)
+        .collect();
+    assert!(
+        dead.is_empty(),
+        "E21: persona kinds never stepped: {dead:?}"
+    );
+    assert!(
+        report.kills >= 1 && report.failovers >= 1 && report.migrations >= 1,
+        "E21: chaos did not bite (kills={}, failovers={}, migrations={})",
+        report.kills,
+        report.failovers,
+        report.migrations
+    );
+    println!("\n(one virtual hour of 10k-room conference chaos, replayed from one");
+    println!(" seed; every invariant held through every kill, move, and crash)");
 }

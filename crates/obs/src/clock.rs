@@ -1,0 +1,157 @@
+//! The shared time source: one `Clock` trait, two implementations.
+//!
+//! Everything in the serving stack that needs "now" — lock-wait
+//! histograms, migration latency spans, retry backoff — asks a [`Clock`]
+//! instead of calling `std::time::Instant::now()` directly. In production
+//! the clock is a [`WallClock`] and nothing changes. Under the
+//! whole-system simulator (`rcmo-sim`) the clock is a [`SimClock`]: a
+//! virtual microsecond counter advanced only by the simulator's event
+//! loop. Every duration the instrumented stack records then derives from
+//! virtual time, which is what makes a simulated run's
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) byte-identical across
+//! equal-seed runs — wall-clock jitter never reaches a histogram bucket.
+//!
+//! `sleep_us` follows the same split: a `WallClock` really sleeps (retry
+//! backoff in a live cluster), a `SimClock` advances virtual time and
+//! returns immediately, so a simulated retry storm costs no wall time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic time source measured in microseconds since an arbitrary
+/// epoch (the clock's construction).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Microseconds since the clock's epoch.
+    fn now_us(&self) -> u64;
+
+    /// Blocks (or, for a virtual clock, advances time) for `us`
+    /// microseconds.
+    fn sleep_us(&self, us: u64);
+
+    /// Seconds since the clock's epoch.
+    fn now_s(&self) -> f64 {
+        self.now_us() as f64 / 1e6
+    }
+}
+
+/// A shareable clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The production clock: `Instant`-backed wall time.
+///
+/// This is the single place in the sim-reachable stack allowed to touch
+/// `std::time::Instant` / `std::thread::sleep` (the `no_wall_clock` lint
+/// test in `rcmo-sim` greps for strays everywhere else).
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A fresh wall clock behind a [`SharedClock`] handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(WallClock::new())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    fn sleep_us(&self, us: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
+
+/// The simulator's clock: a virtual microsecond counter. Time moves only
+/// when someone advances it — the discrete-event loop jumping to the next
+/// heap entry, or an instrumented `sleep_us` (virtual backoff).
+///
+/// Equal seeds drive equal advance sequences, so every timestamp (and
+/// every duration recorded into an obs histogram) is reproducible
+/// bit-for-bit.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_us: AtomicU64,
+}
+
+impl SimClock {
+    /// A virtual clock at t = 0, behind an `Arc` so the simulator and the
+    /// stack under test share it.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock::default())
+    }
+
+    /// Jumps the clock forward to `t_us`. A jump backwards is ignored —
+    /// the clock is monotonic (concurrent virtual sleeps may already have
+    /// pushed it past an older heap entry).
+    pub fn advance_to_us(&self, t_us: u64) {
+        self.now_us.fetch_max(t_us, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `dt_us`.
+    pub fn advance_us(&self, dt_us: u64) {
+        self.now_us.fetch_add(dt_us, Ordering::Relaxed);
+    }
+}
+
+impl Clock for SimClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    fn sleep_us(&self, us: u64) {
+        // Virtual sleep: the sleeper's time passes, no wall time does.
+        self.advance_us(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_moves_only_when_advanced() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_to_us(1_500);
+        assert_eq!(c.now_us(), 1_500);
+        c.advance_to_us(900); // backwards jump ignored
+        assert_eq!(c.now_us(), 1_500);
+        c.sleep_us(250); // virtual sleep advances
+        assert_eq!(c.now_us(), 1_750);
+        assert!((c.now_s() - 0.00175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_sleeps() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        c.sleep_us(1_000);
+        let b = c.now_us();
+        assert!(b >= a + 1_000);
+    }
+
+    #[test]
+    fn shared_handles_see_one_timeline() {
+        let c = SimClock::new();
+        let shared: SharedClock = c.clone();
+        c.advance_to_us(42);
+        assert_eq!(shared.now_us(), 42);
+    }
+}

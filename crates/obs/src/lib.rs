@@ -46,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod metric;
 pub mod registry;
 pub mod snapshot;
 
+pub use clock::{Clock, SharedClock, SimClock, WallClock};
 pub use metric::{bounds, Counter, Gauge, Histogram, OwnedTimer, Timer};
 pub use registry::{LazyCounter, LazyGauge, LazyHistogram, Registry};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

@@ -33,9 +33,9 @@ use rcmo_imaging::GrayImage;
 use rcmo_mediadb::MediaDb;
 use rcmo_netsim::{FaultSpec, Link};
 use rcmo_obs::{bounds, Counter, Gauge, Histogram, Metrics, MetricsSnapshot, Registry};
+use rcmo_obs::{SharedClock, WallClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
 
 use super::directory::{Placement, RoomDirectory, ShardId};
 use super::health::{HealthTracker, ShardHealth};
@@ -73,6 +73,12 @@ pub struct ClusterConfig {
     pub route_backoff_base_us: u64,
     /// Backoff cap in microseconds.
     pub route_backoff_cap_us: u64,
+    /// Maximum events a room's replica journal holds between checkpoints.
+    /// A tail that outgrows the cap is folded into the replica's
+    /// checkpoint by [`ClusterFrontend::maintain_replicas`] — the memory a
+    /// frontend spends per room stays bounded no matter how chatty the
+    /// room is between explicit checkpoints.
+    pub journal_tail_cap: usize,
 }
 
 impl ClusterConfig {
@@ -91,6 +97,7 @@ impl ClusterConfig {
             route_retries: 64,
             route_backoff_base_us: 50,
             route_backoff_cap_us: 2_000,
+            journal_tail_cap: 4_096,
         }
     }
 
@@ -154,6 +161,9 @@ pub struct ClusterFrontend {
     journals: Mutex<HashMap<RoomId, RoomJournal>>,
     next_room: AtomicU64,
     config: ClusterConfig,
+    /// Time source for every frontend latency span and backoff sleep.
+    /// Wall time in production; the simulator injects a virtual clock.
+    clock: SharedClock,
     obs: Registry,
     lookups: Counter,
     retries: Counter,
@@ -164,6 +174,9 @@ pub struct ClusterFrontend {
     failover_lossy: Counter,
     failover_lat: Histogram,
     ingress_wait: Histogram,
+    journal_compactions: Counter,
+    journal_evicted: Counter,
+    journal_compact_lossy: Counter,
     rooms_gauge: Gauge,
     shard_health_gauges: Vec<Gauge>,
 }
@@ -179,6 +192,17 @@ impl ClusterFrontend {
     /// store (every shard clones the `MediaDb` handle — the paper's
     /// database server is common infrastructure behind the reflectors).
     pub fn new(db: MediaDb, config: ClusterConfig) -> ClusterFrontend {
+        ClusterFrontend::new_with_clock(db, config, WallClock::shared())
+    }
+
+    /// Builds a cluster with an explicit time source. The clock is shared
+    /// with every shard server, so the whole cluster keeps one timeline —
+    /// the simulator's virtual one, or production's wall clock.
+    pub fn new_with_clock(
+        db: MediaDb,
+        config: ClusterConfig,
+        clock: SharedClock,
+    ) -> ClusterFrontend {
         assert!(config.shards > 0, "a cluster needs at least one shard");
         let obs = Registry::new();
         let mut faults = config.heartbeat_faults.clone();
@@ -192,7 +216,7 @@ impl ClusterFrontend {
         );
         let shards = (0..config.shards)
             .map(|_| Shard {
-                server: InteractionServer::new(db.clone()),
+                server: InteractionServer::new_with_clock(db.clone(), clock.clone()),
                 ingress: Mutex::new(()),
             })
             .collect();
@@ -214,10 +238,14 @@ impl ClusterFrontend {
             failover_lossy: obs.counter("cluster.failover.lossy.count"),
             failover_lat: obs.histogram("cluster.failover.room.us", bounds::LATENCY_US),
             ingress_wait: obs.histogram("cluster.shard.ingress.wait.us", bounds::LATENCY_US),
+            journal_compactions: obs.counter("cluster.journal.compact.count"),
+            journal_evicted: obs.counter("cluster.journal.evicted.count"),
+            journal_compact_lossy: obs.counter("cluster.journal.compact.lossy.count"),
             rooms_gauge: obs.gauge("cluster.rooms"),
             shard_health_gauges,
             obs,
             config,
+            clock,
         }
     }
 
@@ -260,6 +288,21 @@ impl ClusterFrontend {
             newly_dead
         };
         newly_dead
+    }
+
+    /// Advances the failure detector to the absolute virtual time `now_s`
+    /// (a no-op when it is already there or past). The simulator's bridge:
+    /// the detector's own interval clock and the simulator's [`SimClock`]
+    /// stay one timeline, so heartbeat deadlines land at the same seeded
+    /// instants every run.
+    ///
+    /// [`SimClock`]: rcmo_obs::SimClock
+    pub fn advance_to(&self, now_s: f64) -> Vec<ShardId> {
+        let dt = now_s - self.now_s();
+        if dt <= 0.0 {
+            return Vec::new();
+        }
+        self.advance(dt)
     }
 
     /// Kills a shard's process at the current virtual time (a seeded
@@ -337,10 +380,40 @@ impl ClusterFrontend {
         match journals.get_mut(&room) {
             Some(j) => j.reset(checkpoint, rx),
             None => {
-                journals.insert(room, RoomJournal::new(checkpoint, rx));
+                journals.insert(
+                    room,
+                    RoomJournal::new(checkpoint, rx, self.config.journal_tail_cap),
+                );
             }
         }
         Ok(())
+    }
+
+    /// Replica maintenance: drains every room's replication stream and
+    /// folds any journal tail that outgrew
+    /// [`ClusterConfig::journal_tail_cap`] into its checkpoint. Returns
+    /// the number of journals compacted. Run this periodically (the
+    /// simulator does it once per epoch) — between runs, per-room replica
+    /// memory is bounded by the cap instead of growing with room chatter.
+    ///
+    /// Counters: `cluster.journal.compact.count` (tails folded),
+    /// `cluster.journal.evicted.count` (events evicted from tails),
+    /// `cluster.journal.compact.lossy.count` (events folded without a
+    /// replayable state effect — still safe, the room checkpoints those
+    /// through [`Self::act`]'s barrier before they can reach a journal).
+    pub fn maintain_replicas(&self) -> Result<usize> {
+        let mut journals = self.journals.lock();
+        let mut compacted = 0;
+        for (&room, journal) in journals.iter_mut() {
+            journal.drain();
+            if let Some((evicted, lossy)) = journal.compact_if_over(room, self.clock.clone())? {
+                self.journal_compactions.inc();
+                self.journal_evicted.add(evicted);
+                self.journal_compact_lossy.add(lossy);
+                compacted += 1;
+            }
+        }
+        Ok(compacted)
     }
 
     /// Refreshes a room's replica checkpoint (subsumes the journal tail).
@@ -430,13 +503,12 @@ impl ClusterFrontend {
                     let h = self.health.lock().health(shard);
                     if h == ShardHealth::Alive {
                         let s = &self.shards[shard];
-                        let waited = Instant::now();
+                        let queued = self.clock.now_us();
                         let _ingress = s.ingress.lock();
-                        self.ingress_wait.record_duration(waited.elapsed());
+                        self.ingress_wait
+                            .record(self.clock.now_us().saturating_sub(queued));
                         if self.config.ingress_service_us > 0 {
-                            std::thread::sleep(Duration::from_micros(
-                                self.config.ingress_service_us,
-                            ));
+                            self.clock.sleep_us(self.config.ingress_service_us);
                         }
                         match f(&s.server) {
                             // The room left this shard between lookup and
@@ -471,7 +543,7 @@ impl ClusterFrontend {
             self.retries.inc();
             let backoff = (self.config.route_backoff_base_us << attempt.min(10))
                 .min(self.config.route_backoff_cap_us);
-            std::thread::sleep(Duration::from_micros(backoff));
+            self.clock.sleep_us(backoff);
             attempt += 1;
         }
     }
@@ -708,7 +780,7 @@ impl ClusterFrontend {
     /// thaw. The room's total order continues with gap-free sequence
     /// numbers; calls racing the handoff retry until the directory settles.
     pub fn migrate_room(&self, room: RoomId, target: ShardId) -> Result<()> {
-        let t0 = Instant::now();
+        let t0 = self.clock.now_us();
         if self.shard_health(target) != ShardHealth::Alive {
             return Err(ServerError::Invalid(format!(
                 "migration target shard {target} is not alive"
@@ -749,7 +821,8 @@ impl ClusterFrontend {
             Ok(()) => {
                 self.directory.lock().complete_migration(room, target);
                 self.migrations.inc();
-                self.migration_lat.record_duration(t0.elapsed());
+                self.migration_lat
+                    .record(self.clock.now_us().saturating_sub(t0));
                 Ok(())
             }
             Err(e) => {
@@ -789,14 +862,14 @@ impl ClusterFrontend {
         };
         let mut moved = Vec::new();
         for room in rooms {
-            let t0 = Instant::now();
+            let t0 = self.clock.now_us();
             let rebuilt = {
                 let mut journals = self.journals.lock();
                 let Some(journal) = journals.get_mut(&room) else {
                     continue;
                 };
                 journal.drain();
-                journal.rebuild_state(room)?
+                journal.rebuild_state(room, self.clock.clone())?
             };
             let (state, lossy) = rebuilt;
             let target = {
@@ -822,7 +895,8 @@ impl ClusterFrontend {
             self.attach_journal(room, target)?;
             self.failover_rooms.inc();
             self.failover_lossy.add(lossy);
-            self.failover_lat.record_duration(t0.elapsed());
+            self.failover_lat
+                .record(self.clock.now_us().saturating_sub(t0));
             moved.push((room, target));
         }
         self.failover_shards.inc();

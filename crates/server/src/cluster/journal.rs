@@ -11,12 +11,19 @@
 //! tail through [`Room::ingest_replicated`], which both extends the change
 //! log verbatim (dense, gap-free sequence numbers) and folds each event's
 //! state effect back into the room.
+//!
+//! The tail is **bounded**: a journal whose drained tail outgrows its cap
+//! is compacted — the tail is folded into the checkpoint exactly the way a
+//! failover rebuild would fold it, then cleared. A chatty room between
+//! explicit checkpoints therefore costs the frontend at most `cap` events
+//! of replica memory, never an unbounded backlog (see
+//! [`ClusterFrontend::maintain_replicas`](crate::cluster::ClusterFrontend::maintain_replicas)).
 
 use crate::error::Result;
 use crate::resync::SequencedEvent;
 use crate::room::{Room, RoomId, RoomState};
 use crossbeam::channel::Receiver;
-use rcmo_obs::Registry;
+use rcmo_obs::{Registry, SharedClock};
 use std::sync::Arc;
 
 /// A room's standby replica: checkpoint + replicated tail.
@@ -31,17 +38,26 @@ pub(crate) struct RoomJournal {
     rx: Receiver<Arc<SequencedEvent>>,
     /// Drained events with `seq > checkpoint.snapshot.seq`, dense.
     events: Vec<Arc<SequencedEvent>>,
+    /// Tail bound: [`Self::compact_if_over`] folds the tail into the
+    /// checkpoint once the drained tail exceeds this.
+    cap: usize,
 }
 
 impl RoomJournal {
-    /// A journal whose replica starts at `checkpoint`, fed by `rx`. The
-    /// tap may have been attached slightly *before* the checkpoint was
-    /// exported; the overlap is deduplicated by sequence number on drain.
-    pub(crate) fn new(checkpoint: RoomState, rx: Receiver<Arc<SequencedEvent>>) -> RoomJournal {
+    /// A journal whose replica starts at `checkpoint`, fed by `rx`, with a
+    /// drained-tail bound of `cap` events. The tap may have been attached
+    /// slightly *before* the checkpoint was exported; the overlap is
+    /// deduplicated by sequence number on drain.
+    pub(crate) fn new(
+        checkpoint: RoomState,
+        rx: Receiver<Arc<SequencedEvent>>,
+        cap: usize,
+    ) -> RoomJournal {
         RoomJournal {
             checkpoint,
             rx,
             events: Vec::new(),
+            cap: cap.max(1),
         }
     }
 
@@ -81,11 +97,15 @@ impl RoomJournal {
     /// and how many tail events were *lossy* — logged into the order but
     /// with a state effect that could not be reconstructed from the event
     /// alone (see [`Room::ingest_replicated`]).
-    pub(crate) fn rebuild_state(&self, room: RoomId) -> Result<(RoomState, u64)> {
+    pub(crate) fn rebuild_state(
+        &self,
+        room: RoomId,
+        clock: SharedClock,
+    ) -> Result<(RoomState, u64)> {
         // A scratch registry: the rebuild is a pure computation; the
         // adopted room re-registers under its destination shard.
         let scratch = Registry::new();
-        let mut r = Room::from_state(room, self.checkpoint.clone(), Vec::new(), &scratch)?;
+        let mut r = Room::from_state(room, self.checkpoint.clone(), Vec::new(), &scratch, clock)?;
         let mut lossy = 0u64;
         for ev in &self.events {
             if !r.ingest_replicated(ev) {
@@ -93,6 +113,28 @@ impl RoomJournal {
             }
         }
         Ok((r.export_state(), lossy))
+    }
+
+    /// Folds the tail into the checkpoint if it outgrew the cap — the
+    /// same computation a failover rebuild performs, done early so the
+    /// tail never holds more than `cap` events between maintenance
+    /// passes. Returns `(events folded, lossy folds)` when a compaction
+    /// ran. A compacted replica rebuilds to the identical state the
+    /// uncompacted one would have (checkpoint ∘ tail is associative);
+    /// only the memory shape changes.
+    pub(crate) fn compact_if_over(
+        &mut self,
+        room: RoomId,
+        clock: SharedClock,
+    ) -> Result<Option<(u64, u64)>> {
+        if self.events.len() <= self.cap {
+            return Ok(None);
+        }
+        let folded = self.events.len() as u64;
+        let (state, lossy) = self.rebuild_state(room, clock)?;
+        self.checkpoint = state;
+        self.events.clear();
+        Ok(Some((folded, lossy)))
     }
 
     /// Resets the replica: a fresh checkpoint (which subsumes every event

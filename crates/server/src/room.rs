@@ -11,7 +11,7 @@ use rcmo_core::{
     MultimediaDocument, Presentation, PresentationEngine, ViewerChoice, ViewerSession,
 };
 use rcmo_imaging::AnnotatedImage;
-use rcmo_obs::{bounds, Counter, Histogram, Metrics, Registry};
+use rcmo_obs::{bounds, Counter, Histogram, Metrics, Registry, SharedClock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -259,6 +259,9 @@ pub struct Room {
     /// dropped silently — it is an observer, never a member.
     tap: Option<Sender<Arc<SequencedEvent>>>,
     obs: Registry,
+    /// The time source behind `broadcast_lat`/`resync_lat` — the server's
+    /// clock, so a simulated room records virtual-time spans.
+    clock: SharedClock,
     delivered: Counter,
     delivered_bytes: Counter,
     logged: Counter,
@@ -285,6 +288,7 @@ impl Room {
         doc: MultimediaDocument,
         config: RoomConfig,
         parent: &Registry,
+        clock: SharedClock,
     ) -> Room {
         let obs = Registry::with_parent(parent);
         let delivered = obs.counter("server.room.delivered.count");
@@ -321,6 +325,7 @@ impl Room {
             frozen_for_migration: false,
             tap: None,
             obs,
+            clock,
             delivered,
             delivered_bytes,
             logged,
@@ -442,7 +447,7 @@ impl Room {
     /// failed members), but their *role stays reserved*: an involuntarily
     /// removed member reclaims their seat through the resync path.
     fn broadcast(&mut self, event: RoomEvent) {
-        let _t = self.broadcast_lat.start_timer_owned();
+        let started = self.clock.now_us();
         let mut failed = self.deliver(event);
         while let Some((user, why)) = failed.pop() {
             let before = self.members.len();
@@ -471,6 +476,8 @@ impl Room {
             }
             failed.extend(self.deliver(RoomEvent::Left { user }));
         }
+        self.broadcast_lat
+            .record(self.clock.now_us().saturating_sub(started));
     }
 
     pub(crate) fn join(&mut self, req: &JoinRequest) -> Result<EventStream> {
@@ -565,7 +572,7 @@ impl Room {
     /// order for everyone *else*, never for the resyncing client (their
     /// catch-up is computed first).
     pub(crate) fn resync(&mut self, user: &str, last_seen: u64) -> Result<(EventStream, Resync)> {
-        let _t = self.resync_lat.start_timer_owned();
+        let started = self.clock.now_us();
         if self.frozen_for_migration {
             // A resync may rejoin (a membership mutation): refused while
             // frozen, retried by the cluster after the thaw.
@@ -606,6 +613,8 @@ impl Room {
                 role,
             });
         }
+        self.resync_lat
+            .record(self.clock.now_us().saturating_sub(started));
         Ok((stream, catch_up))
     }
 
@@ -823,13 +832,22 @@ impl Room {
         state: RoomState,
         members: Vec<(String, EventQueue)>,
         parent: &Registry,
+        clock: SharedClock,
     ) -> Result<Room> {
         let doc = MultimediaDocument::from_bytes(&state.snapshot.document)?;
         let config = RoomConfig::new()
             .with_capacity(state.capacity)
             .with_change_log_capacity(state.change_log_capacity)
             .with_member_queue_bound(state.member_queue_bound);
-        let mut room = Room::new(id, &state.name, state.document_id, doc, config, parent);
+        let mut room = Room::new(
+            id,
+            &state.name,
+            state.document_id,
+            doc,
+            config,
+            parent,
+            clock,
+        );
         for (oid, bytes) in &state.snapshot.objects {
             room.objects
                 .insert(*oid, AnnotatedImage::from_bytes(bytes)?);

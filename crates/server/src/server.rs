@@ -12,10 +12,10 @@ use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
 use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
 use rcmo_obs::{bounds, Counter, Gauge, Histogram, Metrics, MetricsSnapshot, Registry};
+use rcmo_obs::{SharedClock, WallClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 /// A shareable handle to one room: the second level of the server's
 /// two-level locking scheme. Cloning is cheap; the clone keeps the room
@@ -82,6 +82,10 @@ pub struct InteractionServer {
     segmenter: OnceLock<rcmo_audio::SegmenterModel>,
     /// Server-wide metrics registry; every room parents into it.
     obs: Registry,
+    /// The time source for every latency span the server records. Wall
+    /// time in production; the simulator injects a virtual clock so the
+    /// same seed reproduces the same histograms bit-for-bit.
+    clock: SharedClock,
     rooms_active: Gauge,
     map_reads: Counter,
     map_writes: Counter,
@@ -103,8 +107,14 @@ impl std::fmt::Debug for InteractionServer {
 }
 
 impl InteractionServer {
-    /// Creates a server over a multimedia database.
+    /// Creates a server over a multimedia database, timed by wall clock.
     pub fn new(db: MediaDb) -> InteractionServer {
+        InteractionServer::new_with_clock(db, WallClock::shared())
+    }
+
+    /// Creates a server over a multimedia database with an explicit time
+    /// source — the simulator's entry point ([`rcmo_obs::SimClock`]).
+    pub fn new_with_clock(db: MediaDb, clock: SharedClock) -> InteractionServer {
         let obs = Registry::new();
         let rooms_active = obs.gauge("server.rooms.active");
         let map_reads = obs.counter("server.rooms.map.read.count");
@@ -118,6 +128,7 @@ impl InteractionServer {
             room_count: AtomicU64::new(0),
             segmenter: OnceLock::new(),
             obs,
+            clock,
             rooms_active,
             map_reads,
             map_writes,
@@ -180,7 +191,15 @@ impl InteractionServer {
         let doc = MultimediaDocument::from_bytes(&stored.data)?;
         // Keep local allocation clear of adopted ids.
         self.next_room.fetch_max(id + 1, Ordering::Relaxed);
-        let room = Room::new(id, name, document_id, doc, config, &self.obs);
+        let room = Room::new(
+            id,
+            name,
+            document_id,
+            doc,
+            config,
+            &self.obs,
+            self.clock.clone(),
+        );
         self.insert_room(id, Arc::new(Mutex::new(room)))
     }
 
@@ -310,7 +329,7 @@ impl InteractionServer {
     /// source's event order with gap-free sequence numbers.
     pub fn adopt_room(&self, detached: DetachedRoom) -> Result<()> {
         let DetachedRoom { id, state, members } = detached;
-        let room = Room::from_state(id, state, members, &self.obs)?;
+        let room = Room::from_state(id, state, members, &self.obs, self.clock.clone())?;
         self.insert_room(id, Arc::new(Mutex::new(room)))
     }
 
@@ -359,13 +378,15 @@ impl InteractionServer {
 
     fn with_room<R>(&self, room: RoomId, f: impl FnOnce(&mut Room) -> Result<R>) -> Result<R> {
         let handle = self.room_handle(room)?;
-        let waited = Instant::now();
+        let queued = self.clock.now_us();
         let mut guard = handle.lock();
-        self.room_lock_wait.record_duration(waited.elapsed());
-        // Declared after `guard`, so it drops first: the hold histogram
-        // records the span for which the room lock was actually held.
-        let _hold = self.room_lock_hold.start_timer_owned();
-        f(&mut guard)
+        let acquired = self.clock.now_us();
+        self.room_lock_wait.record(acquired.saturating_sub(queued));
+        let out = f(&mut guard);
+        drop(guard);
+        self.room_lock_hold
+            .record(self.clock.now_us().saturating_sub(acquired));
+        out
     }
 
     /// Joins a room as the role (and with the queue bound) the
@@ -632,11 +653,14 @@ impl InteractionServer {
         let handles: Vec<RoomHandle> = self.rooms.read().values().cloned().collect();
         let mut reached = 0;
         for handle in handles {
-            let waited = Instant::now();
+            let queued = self.clock.now_us();
             let mut room = handle.lock();
-            self.room_lock_wait.record_duration(waited.elapsed());
-            let _hold = self.room_lock_hold.start_timer_owned();
+            let acquired = self.clock.now_us();
+            self.room_lock_wait.record(acquired.saturating_sub(queued));
             room.announce(user, text);
+            drop(room);
+            self.room_lock_hold
+                .record(self.clock.now_us().saturating_sub(acquired));
             reached += 1;
         }
         Ok(reached)

@@ -1,0 +1,706 @@
+//! Scripted client personas: the population of a simulated conference.
+//!
+//! Each persona is an [`Actor`] the engine steps at seeded virtual times.
+//! A persona owns its connection(s), its `last_seen` sequence cursor, and
+//! its own RNG stream (split from the master seed by label, so editing one
+//! persona never perturbs another's draws). Every step feeds what the
+//! persona observed into the oracle — the personas *are* the invariant
+//! probes.
+//!
+//! The cast:
+//! * [`Lurker`] — joins as a viewer and drains the broadcast stream
+//!   (doubles as the *late joiner* when scheduled deep into the run).
+//! * [`Annotator`] — a moderator who opens a stored image (raw or
+//!   layered-codec), annotates it, chats, and flips presentation forms.
+//! * [`FlappyViewer`] — a modem viewer behind a seeded faulty link with
+//!   outage windows; skips draining while dark, falls behind, gets evicted
+//!   as a slow consumer, and recovers through resync.
+//! * [`PresenterChain`] — two users passing the presenter seat back and
+//!   forth, exercising the role handoff across migration and failover.
+//! * [`RoomChurner`] — creates a room, chats it warm, closes it, repeats —
+//!   the lifecycle path (create/close under chaos).
+
+use crate::world::World;
+use rand::prelude::*;
+use rcmo_imaging::{LineElement, TextElement};
+use rcmo_netsim::{FaultSpec, FaultyLink, Link, RetryPolicy, TransferOutcome};
+use rcmo_obs::Clock;
+use rcmo_server::{Action, ClientConnection, JoinRequest, Resync, RoomId};
+
+/// One scheduled participant of the simulation — a persona or a chaos
+/// agent. The engine pops the actor's next event off the heap, advances
+/// the virtual clock, and calls [`Actor::step`]; the returned delay (in
+/// virtual microseconds) schedules the next step, `None` retires the
+/// actor.
+pub trait Actor {
+    /// Stable kind tag (persona-coverage accounting).
+    fn kind(&self) -> &'static str;
+    /// Runs one step against the world; returns the virtual-µs delay
+    /// until the next step, or `None` when done.
+    fn step(&mut self, w: &mut World) -> Option<u64>;
+}
+
+/// Joins if not connected. Returns `false` (after tracing) when the join
+/// failed this step.
+fn ensure_joined(
+    w: &mut World,
+    label: &str,
+    room: RoomId,
+    req: &JoinRequest,
+    conn: &mut Option<ClientConnection>,
+    gen: &mut u64,
+) -> bool {
+    if conn.is_some() {
+        return true;
+    }
+    match w.cf.join(room, req) {
+        Ok(c) => {
+            *gen = w.gen_of(room);
+            *conn = Some(c);
+            w.trace(label, "join ok");
+            true
+        }
+        Err(e) => {
+            w.trace(label, &format!("join err: {e}"));
+            false
+        }
+    }
+}
+
+/// Reconnects after a lost stream (failover or slow-consumer eviction):
+/// validates the catch-up against `last_seen` through the oracle and
+/// re-anchors the cursor.
+fn resync(
+    w: &mut World,
+    label: &str,
+    room: RoomId,
+    user: &str,
+    last_seen: &mut u64,
+    conn: &mut Option<ClientConnection>,
+) {
+    match w.cf.resync(room, user, *last_seen) {
+        Ok((c, catch_up)) => {
+            w.oracle.on_resync(room, user, *last_seen, &catch_up);
+            match &catch_up {
+                Resync::Events(events) => {
+                    if let Some(last) = events.last() {
+                        *last_seen = last.seq;
+                    }
+                    w.trace(label, &format!("resync events n={}", events.len()));
+                }
+                Resync::Snapshot(snap) => {
+                    *last_seen = snap.seq;
+                    w.trace(label, &format!("resync snapshot seq={}", snap.seq));
+                }
+            }
+            *conn = Some(c);
+            w.resyncs += 1;
+        }
+        Err(e) => {
+            // Stream is gone and the reconnect failed: drop the dead
+            // connection so the next step re-joins from scratch.
+            *conn = None;
+            w.trace(label, &format!("resync err: {e}"));
+        }
+    }
+}
+
+/// Drains the old stream (events sent before the shard died are still
+/// buffered and must feed the gap checker first), then resyncs, whenever
+/// the room's failover generation moved past the persona's.
+fn catch_up_failover(
+    w: &mut World,
+    label: &str,
+    room: RoomId,
+    user: &str,
+    last_seen: &mut u64,
+    gen: &mut u64,
+    conn: &mut Option<ClientConnection>,
+) {
+    if w.gen_of(room) == *gen {
+        return;
+    }
+    if let Some(c) = conn.as_ref() {
+        let (_, last) = w.drain(c, *last_seen);
+        *last_seen = last;
+    }
+    *gen = w.gen_of(room);
+    resync(w, label, room, user, last_seen, conn);
+}
+
+/// Jittered next-step delay: uniform in `[period/2, period)`.
+fn jittered(rng: &mut StdRng, period_us: u64) -> u64 {
+    let half = (period_us / 2).max(1);
+    half + rng.gen_range(0..half)
+}
+
+// ---------------------------------------------------------------------
+// Lurker (and late joiner)
+// ---------------------------------------------------------------------
+
+/// A receive-only viewer: joins, drains, checks its queue bound. With a
+/// deep first-step delay this is the *late joiner* — its first drained
+/// event anchors mid-stream, which the oracle accepts by design.
+pub struct Lurker {
+    kind: &'static str,
+    label: String,
+    room: RoomId,
+    user: String,
+    rng: StdRng,
+    conn: Option<ClientConnection>,
+    last_seen: u64,
+    gen: u64,
+    period_us: u64,
+    queue_bound: usize,
+}
+
+impl Lurker {
+    /// A lurker (or late joiner — the `kind` tag) for `room`.
+    pub fn new(kind: &'static str, room: RoomId, w: &World, period_us: u64) -> Lurker {
+        let label = format!("{kind}-{room}");
+        let rng = w.rng.split(&label);
+        Lurker {
+            kind,
+            label,
+            room,
+            user: kind.to_string(),
+            rng,
+            conn: None,
+            last_seen: 0,
+            gen: 0,
+            period_us,
+            queue_bound: rcmo_server::DEFAULT_MEMBER_QUEUE_BOUND,
+        }
+    }
+}
+
+impl Actor for Lurker {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        let req = JoinRequest::viewer(&self.user);
+        if !ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &req,
+            &mut self.conn,
+            &mut self.gen,
+        ) {
+            return Some(jittered(&mut self.rng, self.period_us));
+        }
+        catch_up_failover(
+            w,
+            &self.label,
+            self.room,
+            &self.user,
+            &mut self.last_seen,
+            &mut self.gen,
+            &mut self.conn,
+        );
+        if let Some(c) = self.conn.as_ref() {
+            let (n, last) = w.drain(c, self.last_seen);
+            self.last_seen = last;
+            let depth = c.events.len();
+            w.oracle.check_queue(&self.label, depth, self.queue_bound);
+            w.trace(&self.label, &format!("drain n={n} last={last}"));
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Annotator
+// ---------------------------------------------------------------------
+
+/// A moderator doing the paper's cooperative work: opens a stored image
+/// into the room (raw `GIM1` or layered `LIC1` — the latter decodes
+/// through the codec), annotates it, chats, and flips presentation forms.
+pub struct Annotator {
+    label: String,
+    room: RoomId,
+    rng: StdRng,
+    conn: Option<ClientConnection>,
+    last_seen: u64,
+    gen: u64,
+    /// Stored image to open into the room, if this room is an image room.
+    image: Option<u64>,
+    opened: bool,
+    period_us: u64,
+}
+
+impl Annotator {
+    /// An annotator for `room`; `image` is the stored object it opens.
+    pub fn new(room: RoomId, image: Option<u64>, w: &World, period_us: u64) -> Annotator {
+        let label = format!("ann-{room}");
+        let rng = w.rng.split(&label);
+        Annotator {
+            label,
+            room,
+            rng,
+            conn: None,
+            last_seen: 0,
+            gen: 0,
+            image,
+            opened: false,
+            period_us,
+        }
+    }
+
+    fn pick_action(&mut self, w: &World) -> Action {
+        match self.rng.gen_range(0..10u32) {
+            5 | 6 if self.opened => {
+                let object = self.image.expect("opened implies image");
+                if self.rng.gen_bool(0.5) {
+                    Action::AddText {
+                        object,
+                        element: TextElement {
+                            x: self.rng.gen_range(0..48),
+                            y: self.rng.gen_range(0..48),
+                            text: format!("n{}", self.rng.gen_range(0..100u32)),
+                            intensity: 220,
+                            scale: 1,
+                        },
+                    }
+                } else {
+                    Action::AddLine {
+                        object,
+                        element: LineElement {
+                            x0: self.rng.gen_range(0..64),
+                            y0: self.rng.gen_range(0..64),
+                            x1: self.rng.gen_range(0..64),
+                            y1: self.rng.gen_range(0..64),
+                            intensity: 180,
+                        },
+                    }
+                }
+            }
+            7 => Action::Choose {
+                component: w.components[self.rng.gen_range(0..w.components.len())],
+                form: self.rng.gen_range(0..3),
+            },
+            8 => Action::Unchoose {
+                component: w.components[self.rng.gen_range(0..w.components.len())],
+            },
+            n => Action::Chat {
+                text: format!("msg-{n}"),
+            },
+        }
+    }
+}
+
+impl Actor for Annotator {
+    fn kind(&self) -> &'static str {
+        "annotator"
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        let req = JoinRequest::moderator("ann");
+        if !ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &req,
+            &mut self.conn,
+            &mut self.gen,
+        ) {
+            return Some(jittered(&mut self.rng, self.period_us));
+        }
+        catch_up_failover(
+            w,
+            &self.label,
+            self.room,
+            "ann",
+            &mut self.last_seen,
+            &mut self.gen,
+            &mut self.conn,
+        );
+        if let (Some(image), false) = (self.image, self.opened) {
+            match w.cf.open_image(self.room, "ann", image) {
+                Ok(()) => {
+                    self.opened = true;
+                    w.trace(&self.label, &format!("open image={image}"));
+                }
+                Err(e) => w.trace(&self.label, &format!("open err: {e}")),
+            }
+        } else {
+            let action = self.pick_action(w);
+            let what = match &action {
+                Action::Chat { .. } => "chat",
+                Action::AddText { .. } => "add-text",
+                Action::AddLine { .. } => "add-line",
+                Action::Choose { .. } => "choose",
+                Action::Unchoose { .. } => "unchoose",
+                _ => "act",
+            };
+            match w.cf.act(self.room, "ann", action) {
+                Ok(()) => w.trace(&self.label, &format!("{what} ok")),
+                Err(e) => w.trace(&self.label, &format!("{what} err: {e}")),
+            }
+        }
+        if let Some(c) = self.conn.as_ref() {
+            let (n, last) = w.drain(c, self.last_seen);
+            self.last_seen = last;
+            w.oracle.check_queue(
+                &self.label,
+                c.events.len(),
+                rcmo_server::DEFAULT_MEMBER_QUEUE_BOUND,
+            );
+            w.trace(&self.label, &format!("drain n={n} last={last}"));
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flappy modem viewer
+// ---------------------------------------------------------------------
+
+/// A viewer on a seeded faulty modem link with outage windows and a tiny
+/// send-queue bound. While the link is dark it cannot drain, falls
+/// behind, and the room evicts it as a slow consumer; it recovers through
+/// resync — the oracle validates every catch-up.
+pub struct FlappyViewer {
+    label: String,
+    room: RoomId,
+    rng: StdRng,
+    conn: Option<ClientConnection>,
+    last_seen: u64,
+    gen: u64,
+    link: FaultyLink,
+    policy: RetryPolicy,
+    queue_bound: usize,
+    period_us: u64,
+}
+
+impl FlappyViewer {
+    /// A flappy viewer for `room` with outage windows seeded across
+    /// `horizon_s` virtual seconds.
+    pub fn new(room: RoomId, w: &World, horizon_s: f64, period_us: u64) -> FlappyViewer {
+        let label = format!("flappy-{room}");
+        let mut rng = w.rng.split(&label);
+        let mut fault = FaultSpec::lossy(0.05, w.rng.derive_seed(&label));
+        let horizon = (horizon_s as u64).max(120);
+        for _ in 0..3 {
+            let start = rng.gen_range(0..horizon.saturating_sub(60)) as f64;
+            fault = fault.with_outage(start, start + 45.0);
+        }
+        FlappyViewer {
+            label,
+            room,
+            rng,
+            conn: None,
+            last_seen: 0,
+            gen: 0,
+            link: FaultyLink::new(Link::new(56_000.0, 0.2), fault),
+            policy: RetryPolicy {
+                max_retries: 2,
+                base_backoff_s: 0.5,
+                backoff_cap_s: 2.0,
+                attempt_timeout_s: 5.0,
+            },
+            queue_bound: 4,
+            period_us,
+        }
+    }
+}
+
+impl Actor for FlappyViewer {
+    fn kind(&self) -> &'static str {
+        "flappy-viewer"
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        let req = JoinRequest::viewer("flappy").with_queue_bound(self.queue_bound);
+        if !ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &req,
+            &mut self.conn,
+            &mut self.gen,
+        ) {
+            return Some(jittered(&mut self.rng, self.period_us));
+        }
+        catch_up_failover(
+            w,
+            &self.label,
+            self.room,
+            "flappy",
+            &mut self.last_seen,
+            &mut self.gen,
+            &mut self.conn,
+        );
+        // One downlink fetch over the modem decides whether this step can
+        // drain at all.
+        let now_s = w.clock.now_s();
+        match self.link.transfer(1_500, now_s, &self.policy) {
+            TransferOutcome::Delivered { retransmits, .. } => {
+                if let Some(c) = self.conn.as_ref() {
+                    let (n, last) = w.drain(c, self.last_seen);
+                    self.last_seen = last;
+                    w.oracle
+                        .check_queue(&self.label, c.events.len(), self.queue_bound);
+                    w.trace(
+                        &self.label,
+                        &format!("deliver rtx={retransmits} drain n={n}"),
+                    );
+                }
+            }
+            TransferOutcome::TimedOut { attempts, .. } => {
+                // Dark: the queue fills behind us; the room may evict us.
+                w.trace(&self.label, &format!("timeout attempts={attempts}"));
+            }
+        }
+        // Periodic reconnect: recovers from slow-consumer eviction (the
+        // stream went quiet) as well as plain lag.
+        if self.rng.gen_bool(0.34) {
+            resync(
+                w,
+                &self.label,
+                self.room,
+                "flappy",
+                &mut self.last_seen,
+                &mut self.conn,
+            );
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Presenter handoff chain
+// ---------------------------------------------------------------------
+
+/// Two users (`pA` presenter, `pB` moderator) passing the presenter seat
+/// back and forth — the role-transition path, exercised across migration
+/// and failover (roles ride the exported room state).
+pub struct PresenterChain {
+    label: String,
+    room: RoomId,
+    rng: StdRng,
+    conn_a: Option<ClientConnection>,
+    conn_b: Option<ClientConnection>,
+    last_a: u64,
+    last_b: u64,
+    gen: u64,
+    a_holds_seat: bool,
+    period_us: u64,
+}
+
+impl PresenterChain {
+    /// A handoff chain for `room`.
+    pub fn new(room: RoomId, w: &World, period_us: u64) -> PresenterChain {
+        let label = format!("chain-{room}");
+        let rng = w.rng.split(&label);
+        PresenterChain {
+            label,
+            room,
+            rng,
+            conn_a: None,
+            conn_b: None,
+            last_a: 0,
+            last_b: 0,
+            gen: 0,
+            a_holds_seat: true,
+            period_us,
+        }
+    }
+}
+
+impl Actor for PresenterChain {
+    fn kind(&self) -> &'static str {
+        "presenter-chain"
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        let join_a = JoinRequest::presenter("pA");
+        let join_b = JoinRequest::moderator("pB");
+        let mut gen_b = self.gen;
+        ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &join_a,
+            &mut self.conn_a,
+            &mut self.gen,
+        );
+        ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &join_b,
+            &mut self.conn_b,
+            &mut gen_b,
+        );
+        if w.gen_of(self.room) != self.gen {
+            if let Some(c) = self.conn_a.as_ref() {
+                let (_, last) = w.drain(c, self.last_a);
+                self.last_a = last;
+            }
+            if let Some(c) = self.conn_b.as_ref() {
+                let (_, last) = w.drain(c, self.last_b);
+                self.last_b = last;
+            }
+            self.gen = w.gen_of(self.room);
+            resync(
+                w,
+                &self.label,
+                self.room,
+                "pA",
+                &mut self.last_a,
+                &mut self.conn_a,
+            );
+            resync(
+                w,
+                &self.label,
+                self.room,
+                "pB",
+                &mut self.last_b,
+                &mut self.conn_b,
+            );
+        }
+        if self.conn_a.is_some() && self.conn_b.is_some() {
+            let (from, to) = if self.a_holds_seat {
+                ("pA", "pB")
+            } else {
+                ("pB", "pA")
+            };
+            match w.cf.hand_off_presenter(self.room, from, to) {
+                Ok(()) => {
+                    self.a_holds_seat = !self.a_holds_seat;
+                    w.trace(&self.label, &format!("handoff {from}->{to} ok"));
+                }
+                Err(e) => w.trace(&self.label, &format!("handoff {from}->{to} err: {e}")),
+            }
+        }
+        if let Some(c) = self.conn_a.as_ref() {
+            let (_, last) = w.drain(c, self.last_a);
+            self.last_a = last;
+        }
+        if let Some(c) = self.conn_b.as_ref() {
+            let (n, last) = w.drain(c, self.last_b);
+            self.last_b = last;
+            w.trace(&self.label, &format!("drain n={n} last={last}"));
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Room churner
+// ---------------------------------------------------------------------
+
+/// The room-lifecycle persona: creates a room, chats it warm, closes it,
+/// and starts over — create/close running concurrently with kills,
+/// migrations, and failovers.
+pub struct RoomChurner {
+    label: String,
+    idx: usize,
+    rng: StdRng,
+    current: Option<Churn>,
+    created: u64,
+    chats_per_room: u32,
+    period_us: u64,
+}
+
+struct Churn {
+    room: RoomId,
+    conn: Option<ClientConnection>,
+    last_seen: u64,
+    gen: u64,
+    chats_left: u32,
+}
+
+impl RoomChurner {
+    /// Churner number `idx`.
+    pub fn new(idx: usize, w: &World, chats_per_room: u32, period_us: u64) -> RoomChurner {
+        let label = format!("churn-{idx}");
+        let rng = w.rng.split(&label);
+        RoomChurner {
+            label,
+            idx,
+            rng,
+            current: None,
+            created: 0,
+            chats_per_room,
+            period_us,
+        }
+    }
+}
+
+impl Actor for RoomChurner {
+    fn kind(&self) -> &'static str {
+        "room-churner"
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        match self.current.as_mut() {
+            None => {
+                let name = format!("churn-{}-{}", self.idx, self.created);
+                let doc_id = w.doc_id;
+                match w.cf.create_room("churn", &name, doc_id) {
+                    Ok(room) => {
+                        self.created += 1;
+                        w.trace(&self.label, &format!("create room={room}"));
+                        let mut churn = Churn {
+                            room,
+                            conn: None,
+                            last_seen: 0,
+                            gen: 0,
+                            chats_left: self.chats_per_room,
+                        };
+                        let req = JoinRequest::moderator("churn");
+                        ensure_joined(w, &self.label, room, &req, &mut churn.conn, &mut churn.gen);
+                        self.current = Some(churn);
+                    }
+                    Err(e) => w.trace(&self.label, &format!("create err: {e}")),
+                }
+            }
+            Some(churn) => {
+                let room = churn.room;
+                catch_up_failover(
+                    w,
+                    &self.label,
+                    room,
+                    "churn",
+                    &mut churn.last_seen,
+                    &mut churn.gen,
+                    &mut churn.conn,
+                );
+                if churn.chats_left > 0 {
+                    churn.chats_left -= 1;
+                    let text = format!("c{}", self.rng.gen_range(0..1000u32));
+                    match w.cf.act(room, "churn", Action::Chat { text }) {
+                        Ok(()) => w.trace(&self.label, "chat ok"),
+                        Err(e) => w.trace(&self.label, &format!("chat err: {e}")),
+                    }
+                    if let Some(c) = churn.conn.as_ref() {
+                        let (_, last) = w.drain(c, churn.last_seen);
+                        churn.last_seen = last;
+                    }
+                } else {
+                    if let Some(c) = churn.conn.as_ref() {
+                        let (_, last) = w.drain(c, churn.last_seen);
+                        churn.last_seen = last;
+                    }
+                    if let Err(e) = w.cf.leave(room, "churn") {
+                        w.trace(&self.label, &format!("leave err: {e}"));
+                    }
+                    match w.cf.close_room(room) {
+                        Ok(()) => w.trace(&self.label, &format!("close room={room}")),
+                        Err(e) => w.trace(&self.label, &format!("close err: {e}")),
+                    }
+                    // Either way the room is done for this persona; the
+                    // oracle stops holding it to the acked-loss invariant.
+                    w.oracle.on_room_closed(room);
+                    w.failover_gen.remove(&room);
+                    self.current = None;
+                }
+            }
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}

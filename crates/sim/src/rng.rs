@@ -1,0 +1,81 @@
+//! Seeded, splittable randomness for the simulator.
+//!
+//! One master seed drives the whole run. Every actor (persona or chaos
+//! agent) gets its *own* independent stream derived from the master seed
+//! and the actor's stable label, so adding, removing, or reordering actors
+//! never perturbs the draws any other actor sees — the property that keeps
+//! scenario edits localized instead of rippling through the entire trace.
+
+use rand::prelude::*;
+
+/// FNV-1a over a label: a cheap stable string hash for stream derivation
+/// (the same function the room directory uses for placement).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The run's root randomness: a master seed that splits into per-actor
+/// streams by label.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRng {
+    seed: u64,
+}
+
+impl SimRng {
+    /// A splittable source rooted at `seed`.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng { seed }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// An independent stream for `label`. Equal `(seed, label)` pairs give
+    /// equal streams; distinct labels give (for all practical purposes)
+    /// uncorrelated ones.
+    pub fn split(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ fnv1a(label.as_bytes()).rotate_left(17))
+    }
+
+    /// A derived 64-bit seed for subsystems that take a raw seed (fault
+    /// specs, storage crash drills).
+    pub fn derive_seed(&self, label: &str) -> u64 {
+        self.split(label).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_are_deterministic_and_independent() {
+        let root = SimRng::new(0xC0FFEE);
+        let a1: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(root.split("a"), |r, _| Some(r.next_u64()))
+            .collect();
+        let a2: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(root.split("a"), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(root.split("b"), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(
+            SimRng::new(1).derive_seed("x"),
+            SimRng::new(2).derive_seed("x")
+        );
+        assert_eq!(root.derive_seed("x"), root.derive_seed("x"));
+    }
+}

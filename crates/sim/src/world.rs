@@ -1,0 +1,206 @@
+//! The simulated world: the system under test plus everything the actors
+//! and the engine share — the virtual clock, the root randomness, the
+//! trace, the oracle, and the fixture ids (document, stored images,
+//! pre-created rooms).
+
+use crate::oracle::Oracle;
+use crate::rng::SimRng;
+use crate::trace::EventTrace;
+use rcmo_core::{ComponentId, FormKind, MediaRef, MultimediaDocument, PresentationForm};
+use rcmo_mediadb::{AccessLevel, DocumentObject, ImageObject, MediaDb};
+use rcmo_obs::{Clock, SimClock};
+use rcmo_server::{ClientConnection, ClusterConfig, ClusterFrontend, RoomId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything one simulated run shares. Actors receive `&mut World` per
+/// step; the engine owns it for the run.
+pub struct World {
+    /// The system under test: the full sharded cluster over one store.
+    pub cf: ClusterFrontend,
+    /// The run's single virtual timeline (also injected into `cf`).
+    pub clock: Arc<SimClock>,
+    /// The root randomness every actor splits its stream from.
+    pub rng: SimRng,
+    /// The determinism witness.
+    pub trace: EventTrace,
+    /// The invariant checker.
+    pub oracle: Oracle,
+    /// The stored shared document every room opens.
+    pub doc_id: u64,
+    /// A stored raw (`GIM1`) CT image.
+    pub gim_image: u64,
+    /// The same phantom stored layered-codec (`LIC1`) encoded — opening it
+    /// exercises the codec decode path inside the server.
+    pub lic_image: u64,
+    /// Primitive component ids of the shared document (for `Choose`).
+    pub components: Vec<ComponentId>,
+    /// The pre-created room population, index-addressable by personas.
+    pub rooms: Vec<RoomId>,
+    /// Failover generation per room: bumped when a room is rebuilt on a
+    /// new shard. A persona whose remembered generation is stale lost its
+    /// event stream with the dead shard and must resync.
+    pub failover_gen: BTreeMap<RoomId, u64>,
+    /// Chaos tallies (exported in the report; also gate which histograms
+    /// the final no-dead-instrumentation check requires).
+    pub kills: u64,
+    /// Rooms failed over.
+    pub failovers: u64,
+    /// Live migrations completed.
+    pub migrations: u64,
+    /// Resyncs personas performed.
+    pub resyncs: u64,
+}
+
+impl World {
+    /// Builds the fixture (users, document, both image encodings), the
+    /// cluster, and `rooms` pre-created rooms, all on one virtual clock.
+    pub fn new(seed: u64, shards: usize, journal_tail_cap: usize, rooms: usize) -> World {
+        let clock = SimClock::new();
+        let db = MediaDb::in_memory().expect("in-memory media db");
+        for user in ["ann", "pA", "pB", "churn"] {
+            db.put_user("admin", user, AccessLevel::Write)
+                .expect("fixture user");
+        }
+        let (doc, components) = conference_document();
+        let doc_id = db
+            .insert_document(
+                "admin",
+                &DocumentObject {
+                    title: doc.title().into(),
+                    data: doc.to_bytes(),
+                },
+            )
+            .expect("document stored");
+        let phantom = rcmo_imaging::ct_phantom(64, 2, 1).expect("phantom");
+        let gim_image = db
+            .insert_image(
+                "admin",
+                &ImageObject {
+                    name: "ct-raw".into(),
+                    quality: 0,
+                    texts: String::new(),
+                    cm: Vec::new(),
+                    data: phantom.to_bytes(),
+                },
+            )
+            .expect("raw image stored");
+        let layered = rcmo_codec::encode(&phantom, &rcmo_codec::EncoderConfig::default())
+            .expect("layered encode");
+        let lic_image = db
+            .insert_image(
+                "admin",
+                &ImageObject {
+                    name: "ct-layered".into(),
+                    quality: 0,
+                    texts: String::new(),
+                    cm: Vec::new(),
+                    data: layered,
+                },
+            )
+            .expect("layered image stored");
+
+        let mut config = ClusterConfig::new(shards);
+        config.journal_tail_cap = journal_tail_cap;
+        // The simulator sleeps in virtual time, so retries are free in wall
+        // time — but a tight budget keeps exhausted-retry errors readable.
+        config.route_retries = 16;
+        let cf = ClusterFrontend::new_with_clock(db, config, clock.clone());
+
+        let mut world = World {
+            cf,
+            clock,
+            rng: SimRng::new(seed),
+            trace: EventTrace::new(),
+            oracle: Oracle::new(),
+            doc_id,
+            gim_image,
+            lic_image,
+            components,
+            rooms: Vec::new(),
+            failover_gen: BTreeMap::new(),
+            kills: 0,
+            failovers: 0,
+            migrations: 0,
+            resyncs: 0,
+        };
+        for i in 0..rooms {
+            let id = world
+                .cf
+                .create_room("admin", &format!("room-{i}"), doc_id)
+                .expect("room created");
+            world.rooms.push(id);
+            world.failover_gen.insert(id, 0);
+        }
+        world
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// Appends a trace line at the current virtual time.
+    pub fn trace(&mut self, actor: &str, what: &str) {
+        let t = self.clock.now_us();
+        self.trace.push(t, actor, what);
+    }
+
+    /// The room's failover generation (0 if never failed over or unknown —
+    /// churner-created rooms enter the map lazily).
+    pub fn gen_of(&self, room: RoomId) -> u64 {
+        self.failover_gen.get(&room).copied().unwrap_or(0)
+    }
+
+    /// Records that `room` was rebuilt on a new shard: every member's
+    /// stream died with the old one.
+    pub fn bump_failover(&mut self, room: RoomId) {
+        *self.failover_gen.entry(room).or_insert(0) += 1;
+        self.failovers += 1;
+    }
+
+    /// Drains a connection's stream into the oracle's gap checker.
+    /// Returns `(events drained, highest sequence seen)` — the caller
+    /// advances its `last_seen` cursor with the latter.
+    pub fn drain(&mut self, conn: &ClientConnection, last_seen: u64) -> (usize, u64) {
+        let mut n = 0;
+        let mut last = last_seen;
+        for ev in conn.events.try_iter() {
+            self.oracle.on_event(conn.room, &conn.user, ev.seq);
+            last = ev.seq;
+            n += 1;
+        }
+        (n, last)
+    }
+}
+
+/// A small shared conference document: two folders of three primitives
+/// each (flat/icon/hidden forms), the shape of the bench fixture scaled
+/// for a 10k-room population. Returns the document and its primitive
+/// component ids.
+fn conference_document() -> (MultimediaDocument, Vec<ComponentId>) {
+    let mut doc = MultimediaDocument::new("Conference agenda");
+    let mut primitives = Vec::new();
+    for f in 0..2 {
+        let folder = doc
+            .add_composite(doc.root(), &format!("topic-{f}"))
+            .expect("root is composite");
+        for l in 0..3 {
+            let c = doc
+                .add_primitive(
+                    folder,
+                    &format!("slide-{f}-{l}"),
+                    MediaRef::None,
+                    vec![
+                        PresentationForm::new("flat", FormKind::Flat, 20_000),
+                        PresentationForm::new("icon", FormKind::Icon, 2_000),
+                        PresentationForm::hidden(),
+                    ],
+                )
+                .expect("valid primitive");
+            primitives.push(c);
+        }
+    }
+    doc.validate().expect("valid document");
+    (doc, primitives)
+}

@@ -1,0 +1,81 @@
+//! Lint-style sweep: no wall-clock escape hatches in simulated paths.
+//!
+//! Determinism holds only if every time source the simulator can reach is
+//! the injected clock. This test greps the sim-reachable crates
+//! (`netsim`, `server`, `sim`) for the banned constructs:
+//!
+//! * `Instant::now` / `SystemTime` — wall time (the one allowed site is
+//!   `rcmo_obs::WallClock`, outside the swept set);
+//! * `thread::sleep` — wall-time blocking (virtual sleeps go through
+//!   `Clock::sleep_us`);
+//! * `start_timer` — the obs `Timer` embeds `Instant::now` internally, so
+//!   simulated code must record explicit clock deltas instead.
+//!
+//! Test files (`tests.rs`, `tests/`) are excluded: tests may use wall
+//! time for timeouts without touching determinism.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const BANNED: [&str; 4] = ["Instant::now", "SystemTime", "thread::sleep", "start_timer"];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).unwrap_or_else(|e| panic!("read {}: {e}", dir.display())) {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "tests" {
+                rust_sources(&path, out);
+            }
+        } else if name.ends_with(".rs") && name != "tests.rs" {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn simulated_paths_use_no_wall_clock() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates dir")
+        .parent()
+        .expect("repo root")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for crate_dir in ["crates/netsim/src", "crates/server/src", "crates/sim/src"] {
+        rust_sources(&root.join(crate_dir), &mut files);
+    }
+    assert!(files.len() > 10, "sweep found too few sources: {files:?}");
+    files.sort();
+
+    let mut offenders = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file:?}: {e}"));
+        for (lineno, line) in text.lines().enumerate() {
+            // Doc comments and comments may *mention* the banned names
+            // (e.g. to document this very rule).
+            let code = line.trim_start();
+            if code.starts_with("//") {
+                continue;
+            }
+            for banned in BANNED {
+                if code.contains(banned) {
+                    offenders.push(format!(
+                        "{}:{}: {}",
+                        file.strip_prefix(&root).unwrap_or(file).display(),
+                        lineno + 1,
+                        code
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "wall-clock constructs in simulated paths (route them through \
+         rcmo_obs::Clock):\n{}",
+        offenders.join("\n")
+    );
+}
