@@ -40,7 +40,7 @@ fn main() {
         .skip(1)
         .map(|a| a.to_ascii_lowercase())
         .collect();
-    let all: [(&str, fn()); 21] = [
+    let all: [(&str, fn()); 22] = [
         ("e1", e1_architecture),
         ("e2", e2_cpnet_example),
         ("e3", e3_usecases),
@@ -62,6 +62,7 @@ fn main() {
         ("e19", e19_fanout),
         ("e20", e20_storage_scale),
         ("e21", e21_sim),
+        ("e22", e22_delivery),
     ];
     if let Some(bad) = selected.iter().find(|s| !all.iter().any(|(id, _)| id == s)) {
         eprintln!(
@@ -1135,6 +1136,23 @@ fn e14_workload() -> rcmo::Result<()> {
     let _c0 = srv.join_default(room, "user-0")?;
     let c1 = srv.join_default(room, "user-1")?;
     srv.open_image(room, "user-0", image_id)?;
+    // Adaptive delivery: a layered image served through the room object
+    // cache at a bandwidth-chosen depth. `open_image` registers the
+    // delivery-depth histogram, so the workload must also record into it —
+    // and only a layered (`LIC1`) payload does; the fixture image is raw.
+    let lic_id = srv.database().insert_image(
+        "admin",
+        &rcmo_mediadb::ImageObject {
+            name: "ct-layered".into(),
+            quality: 0,
+            texts: String::new(),
+            cm: Vec::new(),
+            data: stream.clone(),
+        },
+    )?;
+    let first = srv.deliver_image(room, "user-1", lic_id)?;
+    srv.report_transfer(room, "user-1", first.payload.len() as u64, 0.5)?;
+    std::hint::black_box(srv.deliver_image(room, "user-1", lic_id)?);
     srv.act(
         room,
         "user-0",
@@ -3005,4 +3023,225 @@ fn e21_sim() {
     );
     println!("\n(one virtual hour of 10k-room conference chaos, replayed from one");
     println!(" seed; every invariant held through every kill, move, and crash)");
+}
+
+/// E22 (adaptive delivery): bandwidth-adaptive layered delivery through the
+/// shared room object cache vs. fixed full-quality serving, over a
+/// heterogeneous modem→LAN viewer population. Three CI gates:
+///
+/// 1. adaptive p99 time-to-first-render beats fixed-quality serving,
+/// 2. storage reads stay O(objects × rooms), never O(viewers) — the room
+///    cache absorbs every repeat fetch,
+/// 3. every delivery of the layered stream chose a depth from its real
+///    prefix ladder (`server.delivery.full_payload.count` stays 0).
+///
+/// Writes `BENCH_delivery.json`.
+fn e22_delivery() {
+    use rcmo_server::DeliveryConfig;
+
+    section(
+        "E22",
+        "bandwidth-adaptive layered delivery vs fixed quality",
+    );
+
+    const ROOMS: usize = 8;
+    const VIEWERS_PER_ROOM: usize = 120;
+    /// Render budget tight enough that a 256×256 CT discriminates the
+    /// slow link classes (a modem moves ~1.8 KB in it, the LAN ~312 KB).
+    const TTFR_BUDGET_S: f64 = 0.25;
+
+    // (name, bandwidth bits/s, one-way latency s), round-robin across the
+    // viewer population — the paper's ISDN-era mix stretched to a LAN.
+    let classes: [(&str, f64, f64); 4] = [
+        ("modem-56k", 56_000.0, 0.200),
+        ("isdn-128k", 128_000.0, 0.080),
+        ("dsl-1m", 1_000_000.0, 0.030),
+        ("lan-10m", 10_000_000.0, 0.005),
+    ];
+
+    let viewers = ROOMS * VIEWERS_PER_ROOM;
+    let (srv, doc_id, _image_id) = consultation_fixture(viewers);
+    srv.set_delivery_config(DeliveryConfig {
+        ttfr_budget_s: TTFR_BUDGET_S,
+        ..DeliveryConfig::default()
+    });
+    let ct = ct_phantom(256, 3, 7).expect("phantom");
+    let stream = encode(&ct, &EncoderConfig::default()).expect("layered encode");
+    let full_bytes = stream.len() as u64;
+    let lic_id = srv
+        .database()
+        .insert_image(
+            "admin",
+            &rcmo_mediadb::ImageObject {
+                name: "ct-layered".into(),
+                quality: 0,
+                texts: String::new(),
+                cm: Vec::new(),
+                data: stream,
+            },
+        )
+        .expect("layered image stored");
+
+    // Per link class: adaptive and fixed TTFR samples, layer tallies.
+    struct ClassStats {
+        adaptive: Vec<f64>,
+        fixed: Vec<f64>,
+        layers: usize,
+        full_depth: usize,
+    }
+    let mut stats: Vec<ClassStats> = classes
+        .iter()
+        .map(|_| ClassStats {
+            adaptive: Vec::new(),
+            fixed: Vec::new(),
+            layers: 0,
+            full_depth: 0,
+        })
+        .collect();
+
+    let mut conns = Vec::new();
+    let mut total_layers = 0usize;
+    for r in 0..ROOMS {
+        let room = srv
+            .create_room("user-0", &format!("e22-{r}"), doc_id)
+            .expect("room");
+        for i in 0..VIEWERS_PER_ROOM {
+            let v = r * VIEWERS_PER_ROOM + i;
+            let user = format!("user-{v}");
+            let (_, bps, latency_s) = classes[v % classes.len()];
+            let link = Link::new(bps, latency_s);
+            conns.push(srv.join(room, &JoinRequest::viewer(&user)).expect("join"));
+            // Seed the estimator with one probe transfer at the link's real
+            // rate — the client-side feedback loop's first report.
+            srv.report_transfer(room, &user, (bps / 8.0 * 0.5) as u64, 0.5)
+                .expect("report");
+            let d = srv.deliver_image(room, &user, lic_id).expect("deliver");
+            total_layers = total_layers.max(d.total_layers);
+            let c = &mut stats[v % classes.len()];
+            c.adaptive.push(link.transfer_secs(d.payload.len() as u64));
+            c.fixed.push(link.transfer_secs(d.full_bytes));
+            c.layers += d.layers;
+            c.full_depth += usize::from(d.is_full_depth());
+        }
+    }
+
+    fn pctl(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite TTFR"));
+        samples[((samples.len() - 1) as f64 * q).round() as usize]
+    }
+
+    println!(
+        "{viewers} viewers in {ROOMS} rooms, one {full_bytes}-byte \
+         {total_layers}-layer CT, {TTFR_BUDGET_S} s render budget\n"
+    );
+    println!(
+        "{:<12} {:>7} {:>11} {:>11} {:>13} {:>13}",
+        "link class", "viewers", "avg layers", "full depth", "adaptive p99", "fixed p99"
+    );
+    let mut class_rows = Vec::new();
+    for (ci, (name, _, _)) in classes.iter().enumerate() {
+        let c = &mut stats[ci];
+        let n = c.adaptive.len();
+        let avg_layers = c.layers as f64 / n as f64;
+        let a_p99 = pctl(&mut c.adaptive, 0.99);
+        let f_p99 = pctl(&mut c.fixed, 0.99);
+        println!(
+            "{:<12} {:>7} {:>11.2} {:>11} {:>12.3}s {:>12.3}s",
+            name, n, avg_layers, c.full_depth, a_p99, f_p99
+        );
+        class_rows.push(format!(
+            concat!(
+                "    {{\"class\": \"{}\", \"viewers\": {}, \"avg_layers\": {:.3}, ",
+                "\"full_depth\": {}, \"adaptive_p99_s\": {:.6}, \"fixed_p99_s\": {:.6}}}"
+            ),
+            name, n, avg_layers, c.full_depth, a_p99, f_p99
+        ));
+    }
+
+    let mut all_adaptive: Vec<f64> = stats.iter().flat_map(|c| c.adaptive.clone()).collect();
+    let mut all_fixed: Vec<f64> = stats.iter().flat_map(|c| c.fixed.clone()).collect();
+    let (a_p50, a_p99) = (pctl(&mut all_adaptive, 0.5), pctl(&mut all_adaptive, 0.99));
+    let (f_p50, f_p99) = (pctl(&mut all_fixed, 0.5), pctl(&mut all_fixed, 0.99));
+
+    let snap = srv.metrics();
+    let misses = snap.counters["server.delivery.cache.miss.count"];
+    let hits = snap.counters["server.delivery.cache.hit.count"];
+    let saved = snap.counters["server.delivery.saved.bytes"];
+    let full_payloads = snap.counters["server.delivery.full_payload.count"];
+    println!(
+        "\npopulation TTFR: adaptive p50 {a_p50:.3}s p99 {a_p99:.3}s | \
+         fixed p50 {f_p50:.3}s p99 {f_p99:.3}s"
+    );
+    println!(
+        "cache: {misses} storage reads for {viewers} deliveries ({hits} hits), \
+         {saved} bytes saved vs full quality"
+    );
+
+    // Export before gating so a red run still leaves the evidence behind.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"viewers\": {},\n",
+            "  \"rooms\": {},\n",
+            "  \"full_bytes\": {},\n",
+            "  \"total_layers\": {},\n",
+            "  \"ttfr_budget_s\": {},\n",
+            "  \"adaptive_p50_s\": {:.6},\n",
+            "  \"adaptive_p99_s\": {:.6},\n",
+            "  \"fixed_p50_s\": {:.6},\n",
+            "  \"fixed_p99_s\": {:.6},\n",
+            "  \"cache_misses\": {},\n",
+            "  \"cache_hits\": {},\n",
+            "  \"saved_bytes\": {},\n",
+            "  \"full_payload_fallbacks\": {},\n",
+            "  \"classes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        viewers,
+        ROOMS,
+        full_bytes,
+        total_layers,
+        TTFR_BUDGET_S,
+        a_p50,
+        a_p99,
+        f_p50,
+        f_p99,
+        misses,
+        hits,
+        saved,
+        full_payloads,
+        class_rows.join(",\n")
+    );
+    std::fs::write("BENCH_delivery.json", &json).expect("write BENCH_delivery.json");
+    println!("wrote BENCH_delivery.json ({} bytes)", json.len());
+
+    // Gates.
+    assert!(
+        a_p99 < f_p99,
+        "E22: adaptive p99 TTFR {a_p99:.3}s did not beat fixed serving {f_p99:.3}s"
+    );
+    assert_eq!(
+        misses, ROOMS as u64,
+        "E22: storage reads must be one per (room, object), not per viewer"
+    );
+    assert!(
+        hits >= (viewers - ROOMS) as u64,
+        "E22: the room cache must absorb every repeat delivery ({hits} hits)"
+    );
+    assert_eq!(
+        full_payloads, 0,
+        "E22: a layered stream must never fall back to the blind full-payload path"
+    );
+    assert_eq!(
+        stats[0].full_depth, 0,
+        "E22: modem viewers cannot render full depth inside the budget"
+    );
+    assert_eq!(
+        stats[3].full_depth,
+        stats[3].adaptive.len(),
+        "E22: LAN viewers must get the complete stream"
+    );
+    assert!(saved > 0, "E22: adaptive depths saved no bytes");
+    println!("\n(slow links got coarse layers inside the render budget, fast links the");
+    println!(" full stream; one storage read per room fed every viewer from the cache)");
 }

@@ -134,17 +134,58 @@ pub struct StreamInfo {
 }
 
 impl StreamInfo {
-    /// Bytes needed to decode layers `0..=k`.
+    /// Number of layer sections whose headers are present in the stream
+    /// (for a complete stream, the `nlayers` of the file header).
+    pub fn num_layers(&self) -> usize {
+        self.layer_bytes.len()
+    }
+
+    /// Bytes needed to decode layers `0..=k` (`k` is a layer *index*, so
+    /// `prefix_for_layers(0)` covers the stream header plus the base
+    /// layer).
+    ///
+    /// Out-of-range contract: for `k >= num_layers()` the result
+    /// **saturates** at the full stream length — every known section is
+    /// counted, never more. The old implementation had the same numeric
+    /// behaviour but silently, so callers probing "one more layer" could
+    /// not tell a real deeper prefix from the clamp; the saturation is now
+    /// part of the documented contract, and [`Self::prefix_for_layer_count`]
+    /// offers the count-based form whose `0` case is the bare header.
     pub fn prefix_for_layers(&self, k: usize) -> usize {
+        self.prefix_for_layer_count(k.saturating_add(1))
+    }
+
+    /// Bytes needed to decode the first `n` layers. Unlike the index-based
+    /// [`Self::prefix_for_layers`], `n` is a *count*: `n == 0` returns the
+    /// header-only size (`header_bytes` — a prefix that parses but renders
+    /// nothing), and `n >= num_layers()` saturates at the full stream
+    /// length.
+    pub fn prefix_for_layer_count(&self, n: usize) -> usize {
         let sections: usize = self
             .layer_bytes
             .iter()
-            .take(k + 1)
+            .take(n)
             .map(|b| b + LAYER_HEADER)
             .sum();
         self.header_bytes + sections
     }
+
+    /// The byte ladder of this stream: element `i` is the prefix length
+    /// that decodes `i + 1` layers (`ladder.len() == num_layers()`, and the
+    /// last rung is the full stream length). This is the real per-object
+    /// size table adaptive delivery chooses depths from — the replacement
+    /// for the old fixed-fraction degradation guess.
+    pub fn layer_prefixes(&self) -> Vec<u64> {
+        (1..=self.num_layers())
+            .map(|n| self.prefix_for_layer_count(n) as u64)
+            .collect()
+    }
 }
+
+/// The parsed LIC1 stream header. The adaptive-delivery tier and the
+/// netsim degradation path talk about the codec header under this name;
+/// it is the same type as [`StreamInfo`].
+pub type LayeredHeader = StreamInfo;
 
 const MAGIC: &[u8; 4] = b"LIC1";
 const LAYER_HEADER: usize = 1 + 8 + 4;
@@ -612,6 +653,54 @@ mod tests {
         ));
         assert!(decode_prefix(&bytes[..5]).is_err());
         assert!(decode(b"????").is_err());
+    }
+
+    #[test]
+    fn prefix_for_layers_saturates_past_the_last_layer() {
+        let img = test_image();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        let si = info(&bytes).unwrap();
+        let full = si.prefix_for_layers(si.num_layers() - 1);
+        assert_eq!(full, bytes.len(), "last rung is the full stream");
+        // The documented out-of-range contract: any deeper index clamps to
+        // the full stream length, never beyond it.
+        for k in [si.num_layers(), si.num_layers() + 1, usize::MAX] {
+            assert_eq!(si.prefix_for_layers(k), full);
+        }
+        assert_eq!(si.prefix_for_layer_count(si.num_layers() + 7), full);
+    }
+
+    #[test]
+    fn zero_layer_count_is_the_bare_header() {
+        let img = test_image();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        let si = info(&bytes).unwrap();
+        // A zero-layer prefix is exactly the stream header: it parses
+        // (info succeeds) but carries no decodable section.
+        assert_eq!(si.prefix_for_layer_count(0), si.header_bytes);
+        let reparsed = info(&bytes[..si.prefix_for_layer_count(0)]).unwrap();
+        assert_eq!(reparsed.num_layers(), 0);
+        // And the index-based form with k = 0 includes the base layer.
+        assert_eq!(si.prefix_for_layers(0), si.prefix_for_layer_count(1));
+        assert!(si.prefix_for_layers(0) > si.header_bytes);
+    }
+
+    #[test]
+    fn layer_prefix_ladder_is_monotonic_and_ends_at_full_length() {
+        let img = test_image();
+        let bytes = encode(&img, &EncoderConfig::default()).unwrap();
+        let si = info(&bytes).unwrap();
+        let ladder = si.layer_prefixes();
+        assert_eq!(ladder.len(), si.num_layers());
+        for w in ladder.windows(2) {
+            assert!(w[0] < w[1], "ladder must be strictly increasing");
+        }
+        assert_eq!(*ladder.last().unwrap() as usize, bytes.len());
+        // Each rung decodes exactly its layer count.
+        for (i, &rung) in ladder.iter().enumerate() {
+            let (_, used) = decode_prefix(&bytes[..rung as usize]).unwrap();
+            assert_eq!(used, i + 1);
+        }
     }
 
     #[test]

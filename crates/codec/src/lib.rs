@@ -34,6 +34,6 @@ pub mod quant;
 
 pub use layered::{
     decode, decode_prefix, decode_resolution, encode, encode_to_budget, Basis, CodecError,
-    EncoderConfig, LayerSpec, StreamInfo, Wavelet,
+    EncoderConfig, LayerSpec, LayeredHeader, StreamInfo, Wavelet,
 };
 pub use plane::Plane;

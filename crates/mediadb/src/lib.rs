@@ -123,6 +123,14 @@ impl MediaDb {
         objects::get_image(&self.db, id)
     }
 
+    /// Fetches only an image's payload bytes, skipping the metadata
+    /// columns — the one-`begin_read` storage fetch behind the server's
+    /// room object cache (counted in `mediadb.image.data_read.count`).
+    pub fn get_image_data(&self, user: &str, id: u64) -> Result<Vec<u8>> {
+        acl::require(&self.db, user, AccessLevel::Read)?;
+        objects::get_image_data(&self.db, id)
+    }
+
     /// Fetches only a prefix of an image payload (progressive transfer of a
     /// layered bitstream).
     pub fn get_image_prefix(&self, user: &str, id: u64, bytes: usize) -> Result<Vec<u8>> {

@@ -131,6 +131,23 @@ pub fn get_image(db: &Database, id: u64) -> Result<ImageObject> {
     })
 }
 
+/// Fetches only an image's payload bytes (`FLD_DATA`), skipping the
+/// name/texts/overlay columns — the storage read behind the server's
+/// room-level object cache. Each call is one `begin_read`, counted in
+/// `mediadb.image.data_read.count` so the delivery experiments can gate
+/// "storage reads per room stay O(components), not O(viewers)".
+pub fn get_image_data(db: &Database, id: u64) -> Result<Vec<u8>> {
+    static READS: rcmo_obs::LazyCounter =
+        rcmo_obs::LazyCounter::new("mediadb.image.data_read.count");
+    READS.inc();
+    let tx = db.begin_read()?;
+    let row = tx.get(IMAGE_TABLE, id)?.ok_or(MediaError::NotFound {
+        table: IMAGE_TABLE,
+        id,
+    })?;
+    Ok(tx.get_blob(row[5].as_blob()?)?)
+}
+
 /// Fetches only the first `n` bytes of an image payload.
 pub fn get_image_prefix(db: &Database, id: u64, n: usize) -> Result<Vec<u8>> {
     let tx = db.begin_read()?;

@@ -1,0 +1,196 @@
+//! Per-client bandwidth estimation from observed transfers.
+//!
+//! The adaptive-delivery tier (server `DeliveryPolicy`) needs to know how
+//! fast each client's link currently is. Nothing measures that directly —
+//! the server only sees *transfers*: `bytes` delivered in `elapsed`
+//! seconds of virtual (or wall) time. The estimator folds those samples
+//! into an exponentially weighted moving average of goodput:
+//!
+//! ```text
+//! sample_bps = bytes * 8 / elapsed
+//! estimate  ← alpha * sample_bps + (1 - alpha) * estimate
+//! ```
+//!
+//! Everything is driven by caller-provided timestamps — there is no
+//! `Instant::now()` in here — so rcmo-sim can exercise the estimator on
+//! its virtual clock and a seeded run reproduces the same estimates
+//! bit-for-bit.
+//!
+//! The estimator is deliberately pessimistic on staleness: if no sample
+//! has arrived for [`BandwidthEstimator::STALE_AFTER_S`], the estimate
+//! *decays* toward zero with the silence (half the estimate per stale
+//! interval) — a link that went quiet after an outage should not keep its
+//! pre-outage reputation forever, but a recovering client also should not
+//! need many samples to climb back (EWMA with a healthy `alpha` recovers
+//! in a handful of observations).
+
+/// EWMA bandwidth estimator over observed transfer times. One instance
+/// per (room, client); see the server's delivery module for the wiring.
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    alpha: f64,
+    estimate_bps: Option<f64>,
+    samples: u64,
+    last_sample_s: f64,
+}
+
+impl Default for BandwidthEstimator {
+    fn default() -> Self {
+        BandwidthEstimator::new(Self::DEFAULT_ALPHA)
+    }
+}
+
+impl BandwidthEstimator {
+    /// Default smoothing factor: heavy enough that a few samples move the
+    /// estimate decisively (a modem viewer recovering onto a LAN should
+    /// reach full depth within a handful of transfers), light enough that
+    /// one jittery sample does not whipsaw the chosen layer depth.
+    pub const DEFAULT_ALPHA: f64 = 0.4;
+
+    /// Seconds of silence after which the estimate starts decaying: per
+    /// elapsed multiple of this interval the estimate halves.
+    pub const STALE_AFTER_S: f64 = 60.0;
+
+    /// Creates an estimator with smoothing factor `alpha` (clamped into
+    /// `(0, 1]`).
+    pub fn new(alpha: f64) -> BandwidthEstimator {
+        BandwidthEstimator {
+            alpha: if alpha > 0.0 {
+                alpha.min(1.0)
+            } else {
+                Self::DEFAULT_ALPHA
+            },
+            estimate_bps: None,
+            samples: 0,
+            last_sample_s: 0.0,
+        }
+    }
+
+    /// Folds one observed transfer into the estimate: `bytes` delivered in
+    /// `elapsed_s` seconds, observed at `now_s` on the caller's clock
+    /// (virtual seconds in the simulator). Zero-byte or non-positive
+    /// duration samples are ignored — they carry no goodput information
+    /// (a zero-byte transfer's time is pure latency).
+    pub fn observe(&mut self, bytes: u64, elapsed_s: f64, now_s: f64) {
+        if bytes == 0 || elapsed_s.is_nan() || elapsed_s <= 0.0 {
+            return;
+        }
+        let sample = (bytes as f64 * 8.0) / elapsed_s;
+        let decayed = self.estimate_at(now_s);
+        self.estimate_bps = Some(match decayed {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        });
+        self.samples += 1;
+        self.last_sample_s = now_s;
+    }
+
+    /// The current estimate in bits/s as of `now_s`, staleness-decayed:
+    /// every [`Self::STALE_AFTER_S`] of silence past the last sample
+    /// halves it. `None` until the first sample.
+    pub fn estimate_at(&self, now_s: f64) -> Option<f64> {
+        let est = self.estimate_bps?;
+        let silence = (now_s - self.last_sample_s).max(0.0);
+        if silence <= Self::STALE_AFTER_S {
+            return Some(est);
+        }
+        let halvings = silence / Self::STALE_AFTER_S;
+        Some(est * 0.5f64.powf(halvings))
+    }
+
+    /// The raw (undecayed) estimate in bits/s; `None` until the first
+    /// sample.
+    pub fn estimate_bps(&self) -> Option<f64> {
+        self.estimate_bps
+    }
+
+    /// Number of samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+
+    #[test]
+    fn first_sample_seeds_the_estimate() {
+        let mut est = BandwidthEstimator::default();
+        assert_eq!(est.estimate_bps(), None);
+        // 125 000 bytes in 1 s = 1 Mbit/s.
+        est.observe(125_000, 1.0, 0.0);
+        assert!((est.estimate_bps().unwrap() - 1_000_000.0).abs() < 1e-6);
+        assert_eq!(est.samples(), 1);
+    }
+
+    #[test]
+    fn ewma_converges_toward_the_true_rate() {
+        let mut est = BandwidthEstimator::new(0.4);
+        // Start on a modem…
+        est.observe(7_000, 1.0, 0.0); // 56 kbit/s
+                                      // …then recover onto a LAN: a handful of samples must carry the
+                                      // estimate most of the way (this is what lets a clinic viewer
+                                      // reach full depth soon after their outage clears).
+        for i in 1..=8 {
+            est.observe(1_250_000, 1.0, i as f64);
+        }
+        let e = est.estimate_at(8.0).unwrap();
+        assert!(e > 9_000_000.0, "estimate {e} still stuck near the modem");
+    }
+
+    #[test]
+    fn stale_estimates_decay_instead_of_lingering() {
+        let mut est = BandwidthEstimator::default();
+        est.observe(1_250_000, 1.0, 0.0); // 10 Mbit/s
+        let fresh = est.estimate_at(10.0).unwrap();
+        assert!((fresh - 10_000_000.0).abs() < 1.0);
+        // Two stale intervals of silence → quartered.
+        let stale = est
+            .estimate_at(2.0 * BandwidthEstimator::STALE_AFTER_S)
+            .unwrap();
+        assert!((stale - 2_500_000.0).abs() < 1.0);
+        // A fresh sample re-anchors from the decayed value, not the stale
+        // pre-silence one.
+        est.observe(1_250_000, 1.0, 2.0 * BandwidthEstimator::STALE_AFTER_S);
+        assert!(est.estimate_bps().unwrap() < 10_000_000.0);
+    }
+
+    #[test]
+    fn uninformative_samples_are_ignored() {
+        let mut est = BandwidthEstimator::default();
+        est.observe(0, 1.0, 0.0);
+        est.observe(100, 0.0, 0.0);
+        est.observe(100, -1.0, 0.0);
+        assert_eq!(est.estimate_bps(), None);
+        assert_eq!(est.samples(), 0);
+    }
+
+    #[test]
+    fn estimates_track_link_transfers_deterministically() {
+        // Feeding the estimator the exact transfer times a Link computes
+        // converges on that link's goodput (below nominal bandwidth — the
+        // latency term is part of what the client actually experiences).
+        let link = Link::new(56_000.0, 0.15);
+        let mut est = BandwidthEstimator::default();
+        let mut now = 0.0;
+        for _ in 0..20 {
+            let t = link.transfer_secs(1_500);
+            est.observe(1_500, t, now);
+            now += t;
+        }
+        let e = est.estimate_at(now).unwrap();
+        assert!(e < 56_000.0, "goodput {e} cannot beat the wire");
+        assert!(e > 25_000.0, "goodput {e} implausibly low for 56k");
+        // Same feed, same numbers: determinism the simulator depends on.
+        let mut est2 = BandwidthEstimator::default();
+        let mut now2 = 0.0;
+        for _ in 0..20 {
+            let t = link.transfer_secs(1_500);
+            est2.observe(1_500, t, now2);
+            now2 += t;
+        }
+        assert_eq!(est.estimate_bps(), est2.estimate_bps());
+    }
+}

@@ -226,16 +226,41 @@ impl FaultyLink {
     }
 }
 
-/// Fraction of a rendition's bytes that the coarse `LIC1` base layer
-/// carries. E8's layer ladder puts the base layer at roughly a fifth of the
-/// full progressive stream; a session that keeps timing out on the full
-/// rendition falls back to this prefix instead of failing the request.
+/// **Fallback only**: the fraction of a rendition's bytes assumed for the
+/// coarse `LIC1` base layer *when no codec header is available* — a
+/// rendition with no layered stream behind it (inline payloads, the netsim
+/// doc fixtures) still degrades to something. The real degradation path
+/// uses the object's actual header ladder via
+/// [`degraded_bytes_with_ladder`]; every bandwidth number derived from
+/// this constant on an object that *has* a decodable header is fiction,
+/// which is exactly the bug the adaptive-delivery tier fixed.
 pub const DEGRADED_FRACTION: f64 = 0.2;
 
-/// The byte cost of the degraded (base-layer) rendition of a `bytes`-sized
-/// transfer — at least one byte so the transfer is still exercised.
+/// The **fallback** byte cost of the degraded (base-layer) rendition of a
+/// `bytes`-sized transfer — at least one byte so the transfer is still
+/// exercised. Used only when the object's layered header is unknown;
+/// prefer [`degraded_bytes_with_ladder`] whenever the `LIC1` header (its
+/// `layer_prefixes` ladder) has been plumbed through.
 pub fn degraded_bytes(bytes: u64) -> u64 {
     ((bytes as f64 * DEGRADED_FRACTION) as u64).max(1)
+}
+
+/// The byte cost of the degraded (base-layer) rendition, from the object's
+/// **real** codec header when one is available.
+///
+/// `ladder` is the `LIC1` byte ladder
+/// (`rcmo_codec::LayeredHeader::layer_prefixes`): element `i` is the
+/// prefix length decoding `i + 1` layers. The degraded transfer is the
+/// first rung — the stream header plus the base layer — clamped to
+/// `[1, bytes]` (a ladder can never make degradation *larger* than the
+/// full rendition it degrades). With no ladder (`None` or empty: no
+/// decodable header) this falls back to the documented
+/// [`DEGRADED_FRACTION`] guess.
+pub fn degraded_bytes_with_ladder(bytes: u64, ladder: Option<&[u64]>) -> u64 {
+    match ladder.and_then(|l| l.first()) {
+        Some(&base) => base.clamp(1, bytes.max(1)),
+        None => degraded_bytes(bytes),
+    }
 }
 
 #[cfg(test)]
@@ -365,9 +390,24 @@ mod tests {
     }
 
     #[test]
-    fn degraded_bytes_are_a_small_fraction() {
+    fn degraded_bytes_are_a_small_fraction_only_as_fallback() {
         assert_eq!(degraded_bytes(100_000), 20_000);
         assert_eq!(degraded_bytes(1), 1);
         assert!(degraded_bytes(0) >= 1);
+        // With no ladder the ladder-aware form is the same fallback.
+        assert_eq!(degraded_bytes_with_ladder(100_000, None), 20_000);
+        assert_eq!(degraded_bytes_with_ladder(100_000, Some(&[])), 20_000);
+    }
+
+    #[test]
+    fn degraded_bytes_use_the_real_base_layer_when_plumbed() {
+        // A real LIC1 ladder: base layer is whatever the header says it
+        // is, not a fifth of the stream.
+        let ladder = [1_741u64, 9_004, 100_000];
+        assert_eq!(degraded_bytes_with_ladder(100_000, Some(&ladder)), 1_741);
+        // The base layer can never exceed the rendition it degrades.
+        assert_eq!(degraded_bytes_with_ladder(500, Some(&ladder)), 500);
+        // …and is at least one byte so the transfer is still exercised.
+        assert_eq!(degraded_bytes_with_ladder(0, Some(&[0])), 1);
     }
 }

@@ -17,7 +17,13 @@
 //!   hit rates, response times, and wasted prefetch bytes per policy;
 //! * [`fault`] — deterministic fault injection (packet loss, latency
 //!   jitter, outage windows) with bounded retry/backoff and graceful
-//!   degradation to the coarse `LIC1` layer;
+//!   degradation to the coarse `LIC1` layer (the object's *real* header
+//!   ladder when plumbed through, a documented fixed-fraction fallback
+//!   otherwise);
+//! * [`estimator`] — per-client EWMA bandwidth estimation over observed
+//!   transfer times, virtual-clock driven so the chaos simulator can
+//!   exercise it deterministically — the signal the server's adaptive
+//!   [`DeliveryPolicy`](../rcmo_server) chooses layer depths from;
 //! * [`heartbeat`] — fire-and-forget heartbeat streams over a faulty
 //!   shard control link, the raw signal the cluster's failure detector
 //!   consumes (a [`FaultSpec`] outage models a stalled or partitioned
@@ -27,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod estimator;
 pub mod fault;
 pub mod heartbeat;
 pub mod link;
@@ -34,8 +41,11 @@ pub mod policy;
 pub mod session;
 
 pub use buffer::ClientBuffer;
-pub use fault::{degraded_bytes, FaultSpec, FaultyLink, RetryPolicy, TransferOutcome};
+pub use estimator::BandwidthEstimator;
+pub use fault::{
+    degraded_bytes, degraded_bytes_with_ladder, FaultSpec, FaultyLink, RetryPolicy, TransferOutcome,
+};
 pub use heartbeat::HeartbeatLink;
-pub use link::Link;
+pub use link::{Link, LinkError, MIN_BANDWIDTH_BPS};
 pub use policy::{PolicyKind, PrefetchPolicy};
 pub use session::{simulate_session, SessionConfig, SessionStats};

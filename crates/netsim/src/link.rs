@@ -1,5 +1,37 @@
 //! A point-to-point link in virtual time.
 
+use std::fmt;
+
+/// A [`Link`] configuration that cannot describe a physical link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// Bandwidth was zero, negative, or not a number.
+    NonPositiveBandwidth(f64),
+    /// Latency was negative or not a number.
+    NegativeLatency(f64),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::NonPositiveBandwidth(b) => {
+                write!(f, "link bandwidth must be positive, got {b} bps")
+            }
+            LinkError::NegativeLatency(l) => {
+                write!(f, "link latency must be non-negative, got {l} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The floor [`Link::new`] clamps a non-positive bandwidth to: 1 bit/s, a
+/// link that is effectively dead but still yields finite (huge) transfer
+/// times instead of dividing by zero.
+pub const MIN_BANDWIDTH_BPS: f64 = 1.0;
+
 /// A network link with fixed bandwidth and propagation latency. Transfers
 /// are serialised (one outstanding transfer at a time), matching a single
 /// client connection.
@@ -12,14 +44,39 @@ pub struct Link {
 }
 
 impl Link {
-    /// A link; bandwidth must be positive.
+    /// A link. Out-of-range parameters are **clamped**, not panicked on:
+    /// a non-positive (or NaN) bandwidth becomes [`MIN_BANDWIDTH_BPS`] and
+    /// a negative (or NaN) latency becomes `0` — a simulator-driven config
+    /// can describe an arbitrarily bad link but can never abort the
+    /// process. (The old `assert!` here turned a bad scenario file into a
+    /// panic.) Use [`Link::try_new`] to surface the error instead.
     pub fn new(bandwidth_bps: f64, latency_s: f64) -> Link {
-        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        assert!(latency_s >= 0.0, "latency must be non-negative");
-        Link {
+        match Link::try_new(bandwidth_bps, latency_s) {
+            Ok(link) => link,
+            Err(_) => Link {
+                bandwidth_bps: if bandwidth_bps > 0.0 {
+                    bandwidth_bps
+                } else {
+                    MIN_BANDWIDTH_BPS
+                },
+                latency_s: if latency_s >= 0.0 { latency_s } else { 0.0 },
+            },
+        }
+    }
+
+    /// A link, rejecting impossible configurations with a structured
+    /// [`LinkError`] instead of clamping.
+    pub fn try_new(bandwidth_bps: f64, latency_s: f64) -> Result<Link, LinkError> {
+        if bandwidth_bps.is_nan() || bandwidth_bps <= 0.0 {
+            return Err(LinkError::NonPositiveBandwidth(bandwidth_bps));
+        }
+        if latency_s.is_nan() || latency_s < 0.0 {
+            return Err(LinkError::NegativeLatency(latency_s));
+        }
+        Ok(Link {
             bandwidth_bps,
             latency_s,
-        }
+        })
     }
 
     /// Common profiles used by the experiments: (name, link).
@@ -43,7 +100,9 @@ impl Link {
             .count()
     }
 
-    /// Seconds to deliver `bytes` over this link.
+    /// Seconds to deliver `bytes` over this link. A zero-byte transfer
+    /// costs exactly the propagation latency (no serialisation term) — a
+    /// control message still pays the round onto the wire.
     pub fn transfer_secs(&self, bytes: u64) -> f64 {
         self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
     }
@@ -75,6 +134,17 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_transfer_is_bare_latency() {
+        // The audit the Link bugfix asked for, pinned: zero bytes cost
+        // exactly the latency on every profile, including zero-latency
+        // links where the cost is exactly zero.
+        for (_, link) in Link::profiles() {
+            assert!((link.transfer_secs(0) - link.latency_s).abs() < 1e-12);
+        }
+        assert_eq!(Link::new(56_000.0, 0.0).transfer_secs(0), 0.0);
+    }
+
+    #[test]
     fn bytes_within_inverts_transfer() {
         let link = Link::new(800_000.0, 0.0);
         assert_eq!(link.bytes_within(1.0), 100_000);
@@ -100,8 +170,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bandwidth must be positive")]
-    fn zero_bandwidth_rejected() {
-        Link::new(0.0, 0.1);
+    fn zero_bandwidth_rejected_structurally_and_clamped_infallibly() {
+        // try_new reports the structured error…
+        assert_eq!(
+            Link::try_new(0.0, 0.1),
+            Err(LinkError::NonPositiveBandwidth(0.0))
+        );
+        assert!(matches!(
+            Link::try_new(-3.0, 0.1),
+            Err(LinkError::NonPositiveBandwidth(_))
+        ));
+        assert_eq!(
+            Link::try_new(56_000.0, -1.0),
+            Err(LinkError::NegativeLatency(-1.0))
+        );
+        assert!(Link::try_new(f64::NAN, 0.0).is_err());
+        // …while the infallible constructor clamps instead of panicking,
+        // so a simulator scenario with a bad link keeps running.
+        let dead = Link::new(0.0, 0.1);
+        assert_eq!(dead.bandwidth_bps, MIN_BANDWIDTH_BPS);
+        assert!(dead.transfer_secs(1).is_finite());
+        let negative_latency = Link::new(56_000.0, -0.5);
+        assert_eq!(negative_latency.latency_s, 0.0);
+        let nan = Link::new(f64::NAN, f64::NAN);
+        assert_eq!(nan.bandwidth_bps, MIN_BANDWIDTH_BPS);
+        assert_eq!(nan.latency_s, 0.0);
     }
 }

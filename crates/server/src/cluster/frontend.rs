@@ -659,6 +659,47 @@ impl ClusterFrontend {
         self.checkpoint_room(room)
     }
 
+    /// Serves a stored image at a bandwidth-adapted layer depth through
+    /// the room's object cache. Not a checkpoint barrier: a delivery
+    /// mutates no room state (the cache and estimators rebuild wherever
+    /// the room lands after a migration or failover).
+    pub fn deliver_image(
+        &self,
+        room: RoomId,
+        user: &str,
+        object_id: u64,
+    ) -> Result<crate::delivery::ImageDelivery> {
+        let user = user.to_string();
+        self.route(room, move |srv| srv.deliver_image(room, &user, object_id))
+    }
+
+    /// Reports one client-observed transfer into the member's bandwidth
+    /// estimator on whichever shard serves the room.
+    pub fn report_transfer(
+        &self,
+        room: RoomId,
+        user: &str,
+        bytes: u64,
+        elapsed_s: f64,
+    ) -> Result<()> {
+        let user = user.to_string();
+        self.route(room, move |srv| {
+            srv.report_transfer(room, &user, bytes, elapsed_s)
+        })
+    }
+
+    /// The member's current bandwidth estimate in the room, if any.
+    pub fn estimated_bandwidth(&self, room: RoomId, user: &str) -> Result<Option<f64>> {
+        let user = user.to_string();
+        self.route(room, move |srv| srv.estimated_bandwidth(room, &user))
+    }
+
+    /// Warms the room's object cache from the CP-net prefetch planner.
+    pub fn warm_room_cache(&self, room: RoomId, user: &str) -> Result<usize> {
+        let user = user.to_string();
+        self.route(room, move |srv| srv.warm_room_cache(room, &user))
+    }
+
     /// Persists the room's document back to the database.
     pub fn save_document(&self, room: RoomId, user: &str) -> Result<()> {
         let user = user.to_string();

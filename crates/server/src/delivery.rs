@@ -1,0 +1,519 @@
+//! Bandwidth-adaptive layered delivery: the per-client depth policy and
+//! the room-level object cache (DESIGN.md §16).
+//!
+//! The paper's Fig. 9 multi-resolution serving used to exist here only as
+//! a *failure* fallback: LIC1 degradation kicked in when a FaultyLink
+//! misbehaved, sized by a hardcoded "base layer ≈ 1/5 of the bytes" guess.
+//! This module inverts that into a first-class delivery tier:
+//!
+//! * a per-client [`rcmo_netsim::BandwidthEstimator`] (EWMA over observed
+//!   transfer times, fed by client reports through
+//!   [`report_transfer`](crate::server::InteractionServer::report_transfer));
+//! * a [`DeliveryPolicy`] mapping the estimate onto an LIC1 layer depth
+//!   using the **actual** per-object byte ladder from the codec header
+//!   ([`rcmo_codec::LayeredHeader::layer_prefixes`]) — the deepest prefix
+//!   whose transfer fits the time-to-first-render budget;
+//! * a room-level [`ObjectCache`] in front of mediadb, keyed by
+//!   `(object, layer-prefix)`, holding `Arc`-shared payloads that fan out
+//!   through the same shared-pointer discipline as the PR 7 encode-once
+//!   broadcast — N viewers of one CT image cost one `begin_read`, not N.
+//!
+//! Cache scope and authorisation: the cache is per *room*, like the
+//! serialised snapshot caches — the database ACL is checked for the user
+//! whose miss populates an entry, and subsequent hits are served to any
+//! member whose room capability allows opening objects (room membership
+//! already implies read access to room objects; snapshot resyncs ship the
+//! same bytes to every member). Entries are invalidated whenever the
+//! stored object is updated
+//! ([`save_and_close_image`](crate::server::InteractionServer::save_and_close_image)).
+
+use crate::error::Result;
+use parking_lot::Mutex;
+use rcmo_netsim::BandwidthEstimator;
+use rcmo_obs::{bounds, Counter, Histogram, Registry};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The adaptive-delivery knobs, server-wide (every room's delivery state
+/// is created from the server's current config).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryConfig {
+    /// Time-to-first-render budget in seconds: the policy picks the
+    /// deepest layer prefix whose estimated transfer fits this budget.
+    pub ttfr_budget_s: f64,
+    /// Bandwidth assumed for a client with no samples yet (bits/s). The
+    /// default is deliberately modest — a first render errs coarse-but-
+    /// fast, and the estimator replaces the assumption within a transfer
+    /// or two.
+    pub default_bps: f64,
+    /// EWMA smoothing factor handed to each client's
+    /// [`BandwidthEstimator`].
+    pub ewma_alpha: f64,
+    /// Byte budget of each room's [`ObjectCache`]; least-recently-used
+    /// entries are evicted past it.
+    pub cache_capacity_bytes: u64,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> DeliveryConfig {
+        DeliveryConfig {
+            ttfr_budget_s: 2.0,
+            default_bps: 256_000.0,
+            ewma_alpha: BandwidthEstimator::DEFAULT_ALPHA,
+            cache_capacity_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Maps an estimated bandwidth onto an LIC1 layer depth using the
+/// object's real byte ladder. Pure and deterministic — the simulator
+/// exercises it on virtual-clock estimates.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryPolicy {
+    cfg: DeliveryConfig,
+}
+
+impl DeliveryPolicy {
+    /// A policy over the given knobs.
+    pub fn new(cfg: DeliveryConfig) -> DeliveryPolicy {
+        DeliveryPolicy { cfg }
+    }
+
+    /// Chooses how many layers to serve: the largest count whose ladder
+    /// rung transfers within the TTFR budget at `estimate_bps` (falling
+    /// back to the configured default before the first sample). Always at
+    /// least one layer — a render, however coarse, beats a stall — and at
+    /// most `ladder.len()`. Returns `0` only for an empty ladder (no
+    /// layered header: the caller serves the full payload).
+    pub fn choose_layers(&self, estimate_bps: Option<f64>, ladder: &[u64]) -> usize {
+        if ladder.is_empty() {
+            return 0;
+        }
+        let bps = estimate_bps
+            .unwrap_or(self.cfg.default_bps)
+            .max(rcmo_netsim::MIN_BANDWIDTH_BPS);
+        let mut chosen = 1;
+        for (i, &rung) in ladder.iter().enumerate() {
+            let secs = (rung as f64 * 8.0) / bps;
+            if i == 0 || secs <= self.cfg.ttfr_budget_s {
+                chosen = i + 1;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+}
+
+/// Key of one cached payload: the object id and the number of layers the
+/// entry's bytes decode (`FULL_PAYLOAD` = the whole stored payload,
+/// layered or not).
+pub type CacheKey = (u64, usize);
+
+/// The `layers` component of a [`CacheKey`] denoting the full payload.
+pub const FULL_PAYLOAD: usize = usize::MAX;
+
+struct CacheInner {
+    entries: HashMap<CacheKey, Arc<Vec<u8>>>,
+    /// Recency list, oldest first (small: a room shows a handful of
+    /// objects × a handful of depths).
+    recency: Vec<CacheKey>,
+    bytes: u64,
+}
+
+/// A room-level byte cache in front of mediadb, keyed by
+/// `(object, layer-prefix)`. Entries are `Arc`-shared: serving a cached
+/// payload to another viewer moves a pointer, exactly like the encode-once
+/// broadcast fan-out.
+///
+/// Loads are single-flight by construction: the cache lock is held across
+/// the miss loader, so a late-join storm of viewers opening the same CT
+/// image performs one storage read while the rest wait for the pointer.
+/// (The lock is the *cache's*, not the room's — the broadcast hot path is
+/// never behind a storage fetch.)
+pub struct ObjectCache {
+    inner: Mutex<CacheInner>,
+    capacity: u64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+impl std::fmt::Debug for ObjectCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "ObjectCache(entries={}, bytes={})",
+            inner.entries.len(),
+            inner.bytes
+        )
+    }
+}
+
+impl ObjectCache {
+    /// A cache bounded at `capacity` bytes, counting into `obs`
+    /// (`server.delivery.cache.*`).
+    pub fn new(capacity: u64, obs: &Registry) -> ObjectCache {
+        ObjectCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                recency: Vec::new(),
+                bytes: 0,
+            }),
+            capacity,
+            hits: obs.counter("server.delivery.cache.hit.count"),
+            misses: obs.counter("server.delivery.cache.miss.count"),
+            evictions: obs.counter("server.delivery.cache.evict.count"),
+            invalidations: obs.counter("server.delivery.cache.invalidate.count"),
+        }
+    }
+
+    /// The full payload of `object`, loading through `load` on a miss
+    /// (one storage `begin_read`; concurrent callers of the same room wait
+    /// on the cache lock and hit).
+    pub fn get_or_load(
+        &self,
+        object: u64,
+        load: impl FnOnce() -> Result<Vec<u8>>,
+    ) -> Result<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock();
+        let key = (object, FULL_PAYLOAD);
+        if let Some(bytes) = inner.entries.get(&key) {
+            self.hits.inc();
+            let bytes = bytes.clone();
+            Self::touch(&mut inner, key);
+            return Ok(bytes);
+        }
+        self.misses.inc();
+        let bytes = Arc::new(load()?);
+        self.insert(&mut inner, key, bytes.clone());
+        Ok(bytes)
+    }
+
+    /// The `layers`-deep prefix (`prefix_len` bytes) of an object whose
+    /// full payload is `full`. Cached per `(object, layers)`; the slice is
+    /// materialised once and `Arc`-shared afterwards.
+    pub fn prefix(
+        &self,
+        object: u64,
+        layers: usize,
+        prefix_len: usize,
+        full: &Arc<Vec<u8>>,
+    ) -> Arc<Vec<u8>> {
+        if prefix_len >= full.len() {
+            return full.clone();
+        }
+        let mut inner = self.inner.lock();
+        let key = (object, layers);
+        if let Some(bytes) = inner.entries.get(&key) {
+            self.hits.inc();
+            let bytes = bytes.clone();
+            Self::touch(&mut inner, key);
+            return bytes;
+        }
+        // A prefix cut is not a storage read: the miss counters track
+        // `begin_read`s, so only the full-payload path counts them.
+        let bytes = Arc::new(full[..prefix_len].to_vec());
+        self.insert(&mut inner, key, bytes.clone());
+        bytes
+    }
+
+    /// Drops every entry of `object` (all layer depths and the full
+    /// payload) — the stored object changed.
+    pub fn invalidate(&self, object: u64) {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<CacheKey> = inner
+            .entries
+            .keys()
+            .filter(|(o, _)| *o == object)
+            .copied()
+            .collect();
+        if doomed.is_empty() {
+            return;
+        }
+        self.invalidations.inc();
+        for key in doomed {
+            if let Some(bytes) = inner.entries.remove(&key) {
+                inner.bytes = inner.bytes.saturating_sub(bytes.len() as u64);
+            }
+            inner.recency.retain(|k| *k != key);
+        }
+    }
+
+    /// Current cached bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn touch(inner: &mut CacheInner, key: CacheKey) {
+        inner.recency.retain(|k| *k != key);
+        inner.recency.push(key);
+    }
+
+    fn insert(&self, inner: &mut CacheInner, key: CacheKey, bytes: Arc<Vec<u8>>) {
+        inner.bytes += bytes.len() as u64;
+        if let Some(old) = inner.entries.insert(key, bytes) {
+            inner.bytes = inner.bytes.saturating_sub(old.len() as u64);
+        }
+        Self::touch(inner, key);
+        // Evict past the byte budget, oldest first — but never the entry
+        // just inserted (a single oversized object may overshoot rather
+        // than thrash).
+        while inner.bytes > self.capacity && inner.recency.len() > 1 {
+            let victim = inner.recency.remove(0);
+            if let Some(old) = inner.entries.remove(&victim) {
+                inner.bytes = inner.bytes.saturating_sub(old.len() as u64);
+                self.evictions.inc();
+            }
+        }
+    }
+}
+
+/// One room's adaptive-delivery state: the policy, the object cache, and
+/// the per-member bandwidth estimators. Created lazily on first use (a
+/// room that never delivers registers no delivery metrics) and *not*
+/// migrated — a cache rebuilds where the room lands, and estimators
+/// re-learn in a transfer or two.
+pub struct DeliveryState {
+    policy: DeliveryPolicy,
+    cache: ObjectCache,
+    estimators: Mutex<HashMap<String, BandwidthEstimator>>,
+    alpha: f64,
+    depth_hist: Histogram,
+    saved_bytes: Counter,
+    served_bytes: Counter,
+    full_payloads: Counter,
+}
+
+impl std::fmt::Debug for DeliveryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeliveryState({:?})", self.cache)
+    }
+}
+
+impl DeliveryState {
+    /// Builds a room's delivery state from the server's current config,
+    /// registering its metrics under the room's registry (which parents
+    /// into the server's).
+    pub fn new(cfg: DeliveryConfig, obs: &Registry) -> DeliveryState {
+        DeliveryState {
+            policy: DeliveryPolicy::new(cfg),
+            cache: ObjectCache::new(cfg.cache_capacity_bytes, obs),
+            estimators: Mutex::new(HashMap::new()),
+            alpha: cfg.ewma_alpha,
+            depth_hist: obs.histogram("server.delivery.depth.layers", bounds::SMALL_COUNT),
+            saved_bytes: obs.counter("server.delivery.saved.bytes"),
+            served_bytes: obs.counter("server.delivery.served.bytes"),
+            full_payloads: obs.counter("server.delivery.full_payload.count"),
+        }
+    }
+
+    /// The depth policy.
+    pub fn policy(&self) -> &DeliveryPolicy {
+        &self.policy
+    }
+
+    /// The room's object cache.
+    pub fn cache(&self) -> &ObjectCache {
+        &self.cache
+    }
+
+    /// Folds one observed client transfer into `user`'s estimator
+    /// (`now_s` in the server clock's seconds — virtual under the
+    /// simulator).
+    pub fn observe_transfer(&self, user: &str, bytes: u64, elapsed_s: f64, now_s: f64) {
+        let mut estimators = self.estimators.lock();
+        let alpha = self.alpha;
+        estimators
+            .entry(user.to_string())
+            .or_insert_with(|| BandwidthEstimator::new(alpha))
+            .observe(bytes, elapsed_s, now_s);
+    }
+
+    /// `user`'s staleness-decayed bandwidth estimate at `now_s`, if any
+    /// sample arrived yet.
+    pub fn estimate_bps(&self, user: &str, now_s: f64) -> Option<f64> {
+        self.estimators
+            .lock()
+            .get(user)
+            .and_then(|e| e.estimate_at(now_s))
+    }
+
+    /// Records one adaptive delivery: the chosen depth, the bytes served,
+    /// and the bytes the prefix saved against the full payload.
+    pub fn record_delivery(&self, layers: usize, served: u64, full: u64) {
+        self.depth_hist.record(layers as u64);
+        self.served_bytes.add(served);
+        self.saved_bytes.add(full.saturating_sub(served));
+    }
+
+    /// Records a full-payload delivery (no decodable layered header — the
+    /// honest path for raw `GIM1` objects; never a fixed-fraction guess).
+    pub fn record_full_payload(&self, served: u64) {
+        self.full_payloads.inc();
+        self.served_bytes.add(served);
+    }
+}
+
+/// What [`deliver_image`](crate::server::InteractionServer::deliver_image)
+/// hands back: the payload prefix to put on the wire (shared, not copied)
+/// plus how it was chosen.
+#[derive(Debug, Clone)]
+pub struct ImageDelivery {
+    /// The bytes to send — an `Arc` into the room cache, shared with
+    /// every other viewer served the same prefix.
+    pub payload: Arc<Vec<u8>>,
+    /// Layers the payload decodes (`0` for a non-layered full payload).
+    pub layers: usize,
+    /// Layers the full stream holds (`0` for a non-layered payload).
+    pub total_layers: usize,
+    /// Size of the full stored payload in bytes.
+    pub full_bytes: u64,
+    /// The bandwidth estimate the choice was made from (`None` = no
+    /// sample yet; the policy used its configured default).
+    pub estimate_bps: Option<f64>,
+}
+
+impl ImageDelivery {
+    /// `true` when the client got the complete stored payload (all layers
+    /// of a layered stream, or a non-layered object).
+    pub fn is_full_depth(&self) -> bool {
+        self.payload.len() as u64 == self.full_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(budget_s: f64, default_bps: f64) -> DeliveryPolicy {
+        DeliveryPolicy::new(DeliveryConfig {
+            ttfr_budget_s: budget_s,
+            default_bps,
+            ..DeliveryConfig::default()
+        })
+    }
+
+    #[test]
+    fn depth_tracks_bandwidth_over_a_real_ladder() {
+        // A 3-layer ladder: 2 KB base, 10 KB mid, 100 KB full.
+        let ladder = [2_000u64, 10_000, 100_000];
+        let p = policy(2.0, 256_000.0);
+        // 56k modem: 10 KB = 1.43 s fits, 100 KB = 14.3 s does not.
+        assert_eq!(p.choose_layers(Some(56_000.0), &ladder), 2);
+        // LAN: everything fits.
+        assert_eq!(p.choose_layers(Some(10_000_000.0), &ladder), 3);
+        // A dead-slow link still gets the base layer.
+        assert_eq!(p.choose_layers(Some(10.0), &ladder), 1);
+        // No estimate: the configured default (256 kbit/s) carries the
+        // mid rung (0.3 s) but not the full stream (3.1 s).
+        assert_eq!(p.choose_layers(None, &ladder), 2);
+        // No ladder (no decodable header): the caller serves full bytes.
+        assert_eq!(p.choose_layers(Some(56_000.0), &[]), 0);
+    }
+
+    #[test]
+    fn cache_serves_shared_pointers_and_counts_one_load() {
+        let obs = Registry::detached();
+        let cache = ObjectCache::new(1 << 20, &obs);
+        let mut loads = 0;
+        for _ in 0..10 {
+            let bytes = cache
+                .get_or_load(7, || {
+                    loads += 1;
+                    Ok(vec![0xAB; 4096])
+                })
+                .unwrap();
+            assert_eq!(bytes.len(), 4096);
+        }
+        assert_eq!(loads, 1, "N viewers, one storage read");
+        assert_eq!(obs.read_counter("server.delivery.cache.miss.count"), 1);
+        assert_eq!(obs.read_counter("server.delivery.cache.hit.count"), 9);
+        // Prefix entries share with the full payload when they cover it.
+        let full = cache.get_or_load(7, || unreachable!()).unwrap();
+        let p = cache.prefix(7, 1, 1024, &full);
+        assert_eq!(p.len(), 1024);
+        let p2 = cache.prefix(7, 1, 1024, &full);
+        assert!(Arc::ptr_eq(&p, &p2), "same prefix, same allocation");
+        let whole = cache.prefix(7, 3, 4096, &full);
+        assert!(
+            Arc::ptr_eq(&whole, &full),
+            "full-length prefix is the full entry"
+        );
+    }
+
+    #[test]
+    fn eviction_is_lru_and_never_the_newest() {
+        let obs = Registry::detached();
+        let cache = ObjectCache::new(10_000, &obs);
+        cache.get_or_load(1, || Ok(vec![1; 4_000])).unwrap();
+        cache.get_or_load(2, || Ok(vec![2; 4_000])).unwrap();
+        // Touch 1 so 2 is the LRU victim.
+        cache.get_or_load(1, || unreachable!()).unwrap();
+        cache.get_or_load(3, || Ok(vec![3; 4_000])).unwrap();
+        assert_eq!(obs.read_counter("server.delivery.cache.evict.count"), 1);
+        // 2 was evicted; 1 and 3 remain.
+        let mut loads = 0;
+        cache
+            .get_or_load(2, || {
+                loads += 1;
+                Ok(vec![2; 4_000])
+            })
+            .unwrap();
+        assert_eq!(loads, 1);
+        // An oversized single entry overshoots rather than thrashes.
+        let big = ObjectCache::new(10, &obs);
+        let b = big.get_or_load(9, || Ok(vec![9; 1_000])).unwrap();
+        assert_eq!(b.len(), 1_000);
+        assert_eq!(big.len(), 1);
+    }
+
+    #[test]
+    fn invalidation_drops_every_depth_of_the_object() {
+        let obs = Registry::detached();
+        let cache = ObjectCache::new(1 << 20, &obs);
+        let full = cache.get_or_load(5, || Ok(vec![5; 8_192])).unwrap();
+        cache.prefix(5, 1, 1_000, &full);
+        cache.prefix(5, 2, 4_000, &full);
+        cache.get_or_load(6, || Ok(vec![6; 100])).unwrap();
+        assert_eq!(cache.len(), 4);
+        cache.invalidate(5);
+        assert_eq!(cache.len(), 1, "object 6 survives");
+        assert_eq!(
+            obs.read_counter("server.delivery.cache.invalidate.count"),
+            1
+        );
+        let mut reloaded = false;
+        cache
+            .get_or_load(5, || {
+                reloaded = true;
+                Ok(vec![55; 8_192])
+            })
+            .unwrap();
+        assert!(reloaded, "invalidated entry must re-read storage");
+    }
+
+    #[test]
+    fn estimators_are_per_member_and_clock_driven() {
+        let obs = Registry::detached();
+        let st = DeliveryState::new(DeliveryConfig::default(), &obs);
+        assert_eq!(st.estimate_bps("ann", 0.0), None);
+        st.observe_transfer("ann", 125_000, 1.0, 0.0); // 1 Mbit/s
+        st.observe_transfer("bob", 7_000, 1.0, 0.0); // 56 kbit/s
+        let ann = st.estimate_bps("ann", 1.0).unwrap();
+        let bob = st.estimate_bps("bob", 1.0).unwrap();
+        assert!(ann > 900_000.0 && bob < 60_000.0, "{ann} vs {bob}");
+    }
+}

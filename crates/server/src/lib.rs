@@ -24,6 +24,11 @@
 //! * [`fanout`] — encode-once broadcast: each event is encoded once into
 //!   a shared `Arc` payload and fanned out through bounded per-member
 //!   queues; slow consumers are evicted and re-enter via snapshot resync.
+//! * [`delivery`] — bandwidth-adaptive layered delivery: per-member EWMA
+//!   bandwidth estimates drive a [`delivery::DeliveryPolicy`] that picks
+//!   an LIC1 layer depth from each object's *real* byte ladder, served
+//!   out of a room-level [`delivery::ObjectCache`] so N viewers of one CT
+//!   image cost one storage read.
 //! * [`server`] — the [`server::InteractionServer`]
 //!   facade gluing rooms, the presentation engine, and the multimedia
 //!   database together.
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod delivery;
 pub mod error;
 pub mod events;
 pub mod fanout;
@@ -46,6 +52,7 @@ pub mod room;
 pub mod server;
 
 pub use cluster::{ClusterConfig, ClusterFrontend, ClusterStats, ShardHealth, ShardId};
+pub use delivery::{DeliveryConfig, DeliveryPolicy, DeliveryState, ImageDelivery, ObjectCache};
 pub use error::{JoinRejectCause, ServerError};
 pub use events::{Action, Delta, RoomEvent};
 pub use fanout::{EventStream, DEFAULT_MEMBER_QUEUE_BOUND};

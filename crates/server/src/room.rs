@@ -258,6 +258,12 @@ pub struct Room {
     /// cluster journal that failover rebuilds from). A broken tap is
     /// dropped silently — it is an observer, never a member.
     tap: Option<Sender<Arc<SequencedEvent>>>,
+    /// Adaptive-delivery state (policy + object cache + per-member
+    /// bandwidth estimators), created lazily on the room's first delivery
+    /// so rooms that never serve layered objects register no delivery
+    /// metrics. Deliberately *not* migrated or replicated: caches rebuild
+    /// where the room lands and estimators re-learn in a transfer or two.
+    delivery: Option<Arc<crate::delivery::DeliveryState>>,
     obs: Registry,
     /// The time source behind `broadcast_lat`/`resync_lat` — the server's
     /// clock, so a simulated room records virtual-time spans.
@@ -324,6 +330,7 @@ impl Room {
             object_bytes: HashMap::new(),
             frozen_for_migration: false,
             tap: None,
+            delivery: None,
             obs,
             clock,
             delivered,
@@ -1016,6 +1023,27 @@ impl Room {
                 holder: holder.clone(),
             }),
             _ => Ok(()),
+        }
+    }
+
+    /// The room's adaptive-delivery state, created from `cfg` on first
+    /// use (under the room's own metrics registry) and shared thereafter.
+    /// The returned `Arc` lets callers run cache loads and estimator math
+    /// *outside* the room lock.
+    pub(crate) fn delivery_state(
+        &mut self,
+        cfg: crate::delivery::DeliveryConfig,
+    ) -> Arc<crate::delivery::DeliveryState> {
+        self.delivery
+            .get_or_insert_with(|| Arc::new(crate::delivery::DeliveryState::new(cfg, &self.obs)))
+            .clone()
+    }
+
+    /// Drops any cached delivery payloads of a stored object (all layer
+    /// depths) — called after the object is updated in the database.
+    pub(crate) fn invalidate_cached_object(&mut self, object_id: u64) {
+        if let Some(delivery) = &self.delivery {
+            delivery.cache().invalidate(object_id);
         }
     }
 

@@ -1,5 +1,6 @@
 //! The interaction server facade: rooms + presentation module + database.
 
+use crate::delivery::{DeliveryConfig, ImageDelivery};
 use crate::error::{Result, ServerError};
 use crate::events::{Action, TriggerCondition};
 use crate::fanout::{EventQueue, EventStream};
@@ -10,7 +11,7 @@ use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
 use rcmo_core::{MultimediaDocument, Presentation};
 use rcmo_imaging::{AnnotatedImage, GrayImage};
-use rcmo_mediadb::{DocumentObject, ImageObject, MediaDb};
+use rcmo_mediadb::{DocumentObject, MediaDb};
 use rcmo_obs::{bounds, Counter, Gauge, Histogram, Metrics, MetricsSnapshot, Registry};
 use rcmo_obs::{SharedClock, WallClock};
 use std::collections::HashMap;
@@ -86,6 +87,10 @@ pub struct InteractionServer {
     /// time in production; the simulator injects a virtual clock so the
     /// same seed reproduces the same histograms bit-for-bit.
     clock: SharedClock,
+    /// The adaptive-delivery knobs each room's [`DeliveryState`] is built
+    /// from on its first delivery (changing them affects rooms that have
+    /// not delivered yet).
+    delivery_cfg: Mutex<DeliveryConfig>,
     rooms_active: Gauge,
     map_reads: Counter,
     map_writes: Counter,
@@ -129,6 +134,7 @@ impl InteractionServer {
             segmenter: OnceLock::new(),
             obs,
             clock,
+            delivery_cfg: Mutex::new(DeliveryConfig::default()),
             rooms_active,
             map_reads,
             map_writes,
@@ -500,16 +506,158 @@ impl InteractionServer {
     pub fn open_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<()> {
         // Authorise before the (possibly expensive) database fetch and
         // decode: a viewer is refused without costing the server anything.
-        self.with_room(room, |r| {
-            r.require_capability(user, Capability::OpenObjects)
+        // The payload comes through the room's object cache, so a storm of
+        // members opening the same CT image costs one storage read; the
+        // database ACL is checked for the user whose miss loads the entry,
+        // and the room capability gates every cached serve (room members
+        // already share object bytes through snapshot resyncs).
+        let cfg = self.delivery_config();
+        let delivery = self.with_room(room, |r| {
+            r.require_capability(user, Capability::OpenObjects)?;
+            Ok(r.delivery_state(cfg))
         })?;
-        let obj = self.db.get_image(user, object_id)?;
-        let image = decode_image_payload(&obj)?;
+        let data = delivery
+            .cache()
+            .get_or_load(object_id, || Ok(self.db.get_image_data(user, object_id)?))?;
+        let image = decode_image_payload(&data)?;
         self.with_room(room, |r| {
             r.require_capability(user, Capability::OpenObjects)?;
             r.insert_object(object_id, AnnotatedImage::new(image));
             Ok(())
         })
+    }
+
+    /// The current adaptive-delivery knobs.
+    pub fn delivery_config(&self) -> DeliveryConfig {
+        *self.delivery_cfg.lock()
+    }
+
+    /// Replaces the adaptive-delivery knobs. Applies to rooms whose
+    /// delivery state has not been created yet (a room's policy, cache
+    /// bound, and estimator smoothing are fixed at its first delivery).
+    pub fn set_delivery_config(&self, cfg: DeliveryConfig) {
+        *self.delivery_cfg.lock() = cfg;
+    }
+
+    /// Serves a stored image to `user` at a bandwidth-adapted layer depth
+    /// (DESIGN.md §16): the payload is fetched once per room through the
+    /// room's object cache, the depth is chosen by the room's
+    /// [`DeliveryPolicy`](crate::delivery::DeliveryPolicy) from the
+    /// member's EWMA bandwidth estimate and the object's **real** LIC1
+    /// byte ladder, and the returned prefix is an `Arc` shared with every
+    /// other member served the same depth. A payload without a decodable
+    /// layered header (raw `GIM1`) is served whole — never a
+    /// fixed-fraction guess.
+    pub fn deliver_image(&self, room: RoomId, user: &str, object_id: u64) -> Result<ImageDelivery> {
+        // `AdjustOwnView`, not `OpenObjects`: a delivery renders an object
+        // for the requesting member only — every role can do that, just as
+        // every role receives broadcast object bytes — whereas opening
+        // brings a new shared working copy into the room.
+        let cfg = self.delivery_config();
+        let delivery = self.with_room(room, |r| {
+            r.require_capability(user, Capability::AdjustOwnView)?;
+            Ok(r.delivery_state(cfg))
+        })?;
+        // Cache load and policy math run outside the room lock: the
+        // broadcast hot path never waits behind a storage fetch.
+        let full = delivery
+            .cache()
+            .get_or_load(object_id, || Ok(self.db.get_image_data(user, object_id)?))?;
+        let full_bytes = full.len() as u64;
+        let estimate_bps = delivery.estimate_bps(user, self.clock.now_s());
+        let ladder = rcmo_codec::layered::info(&full)
+            .map(|h| h.layer_prefixes())
+            .unwrap_or_default();
+        let layers = delivery.policy().choose_layers(estimate_bps, &ladder);
+        if layers == 0 {
+            delivery.record_full_payload(full_bytes);
+            return Ok(ImageDelivery {
+                payload: full,
+                layers: 0,
+                total_layers: 0,
+                full_bytes,
+                estimate_bps,
+            });
+        }
+        let prefix_len = ladder[layers - 1] as usize;
+        let payload = delivery
+            .cache()
+            .prefix(object_id, layers, prefix_len, &full);
+        delivery.record_delivery(layers, payload.len() as u64, full_bytes);
+        Ok(ImageDelivery {
+            payload,
+            layers,
+            total_layers: ladder.len(),
+            full_bytes,
+            estimate_bps,
+        })
+    }
+
+    /// Folds one client-observed transfer (`bytes` over `elapsed_s`
+    /// seconds) into `user`'s bandwidth estimator for this room — the
+    /// feedback signal [`deliver_image`](Self::deliver_image) adapts to.
+    pub fn report_transfer(
+        &self,
+        room: RoomId,
+        user: &str,
+        bytes: u64,
+        elapsed_s: f64,
+    ) -> Result<()> {
+        let cfg = self.delivery_config();
+        let delivery = self.with_room(room, |r| {
+            r.require_capability(user, Capability::AdjustOwnView)?;
+            Ok(r.delivery_state(cfg))
+        })?;
+        delivery.observe_transfer(user, bytes, elapsed_s, self.clock.now_s());
+        Ok(())
+    }
+
+    /// `user`'s current (staleness-decayed) bandwidth estimate in this
+    /// room, if any transfer has been reported yet.
+    pub fn estimated_bandwidth(&self, room: RoomId, user: &str) -> Result<Option<f64>> {
+        let cfg = self.delivery_config();
+        let delivery = self.with_room(room, |r| {
+            r.require_capability(user, Capability::AdjustOwnView)?;
+            Ok(r.delivery_state(cfg))
+        })?;
+        Ok(delivery.estimate_bps(user, self.clock.now_s()))
+    }
+
+    /// Warms the room's object cache from the CP-net prefetch planner:
+    /// the stored images of the components most likely to be requested
+    /// (under the document's own preference order) are loaded — one
+    /// storage read each — before any viewer asks. Returns how many
+    /// objects were newly warmed or already cached.
+    pub fn warm_room_cache(&self, room: RoomId, user: &str) -> Result<usize> {
+        let cfg = self.delivery_config();
+        let (delivery, targets) = self.with_room(room, |r| {
+            r.require_capability(user, Capability::OpenObjects)?;
+            let doc = r.document();
+            let planner = rcmo_core::PrefetchPlanner::default();
+            let evidence = rcmo_core::PartialAssignment::empty(doc.net().len());
+            let plan = planner.plan(doc, &evidence, cfg.cache_capacity_bytes)?;
+            let mut targets: Vec<u64> = Vec::new();
+            for item in &plan.items {
+                if let rcmo_core::MediaRef::Stored {
+                    media_type,
+                    object_id,
+                } = doc.media(item.component)?
+                {
+                    if media_type.eq_ignore_ascii_case("image") && !targets.contains(object_id) {
+                        targets.push(*object_id);
+                    }
+                }
+            }
+            Ok((r.delivery_state(cfg), targets))
+        })?;
+        let mut warmed = 0;
+        for id in targets {
+            delivery
+                .cache()
+                .get_or_load(id, || Ok(self.db.get_image_data(user, id)?))?;
+            warmed += 1;
+        }
+        Ok(warmed)
     }
 
     /// Renders a shared object's current state (base + annotations).
@@ -546,6 +694,14 @@ impl InteractionServer {
             // Failed save: restore the working copy so nothing is lost.
             let _ = self.with_room(room, |r| {
                 r.insert_object(object_id, annotated);
+                Ok(())
+            });
+        } else {
+            // The stored object changed: drop every cached delivery
+            // payload of it (all layer depths) so the next viewer reads
+            // the new bytes.
+            let _ = self.with_room(room, |r| {
+                r.invalidate_cached_object(object_id);
                 Ok(())
             });
         }
@@ -721,11 +877,11 @@ impl Metrics for InteractionServer {
 }
 
 /// Decodes an image object payload: raw (`GIM1`) or layered (`LIC1`).
-fn decode_image_payload(obj: &ImageObject) -> Result<GrayImage> {
-    if obj.data.starts_with(b"GIM1") {
-        Ok(GrayImage::from_bytes(&obj.data)?)
-    } else if obj.data.starts_with(b"LIC1") {
-        rcmo_codec::decode(&obj.data).map_err(|e| ServerError::Invalid(format!("codec: {e}")))
+fn decode_image_payload(data: &[u8]) -> Result<GrayImage> {
+    if data.starts_with(b"GIM1") {
+        Ok(GrayImage::from_bytes(data)?)
+    } else if data.starts_with(b"LIC1") {
+        rcmo_codec::decode(data).map_err(|e| ServerError::Invalid(format!("codec: {e}")))
     } else {
         Err(ServerError::Invalid(
             "image payload is neither GIM1 nor LIC1".to_string(),

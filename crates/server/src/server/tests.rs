@@ -2,6 +2,7 @@ use super::*;
 use crate::events::{Action, Delta, RoomEvent};
 use rcmo_core::{ComponentId, FormKind, MediaRef, PresentationForm};
 use rcmo_imaging::{ct_phantom, LineElement, TextElement};
+use rcmo_mediadb::ImageObject;
 
 /// Builds a database with one document (CT + X-ray under "Images") and one
 /// stored image object; returns (server, document id, image object id,
@@ -1622,4 +1623,127 @@ fn shared_payload_is_encoded_once_per_event() {
         assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
         assert_eq!(*seqs.last().unwrap(), srv.last_seq(room).unwrap());
     }
+}
+
+// ---------------------------------------------------------------------
+// Bandwidth-adaptive delivery (DESIGN.md §16).
+
+/// Adds a layered LIC1 image to the database and returns its id.
+fn insert_lic_image(srv: &InteractionServer) -> u64 {
+    let img = ct_phantom(64, 2, 5).unwrap();
+    let data = rcmo_codec::encode(&img, &rcmo_codec::EncoderConfig::default()).unwrap();
+    srv.database()
+        .insert_image(
+            "admin",
+            &ImageObject {
+                name: "ct-layered".to_string(),
+                quality: 0,
+                texts: String::new(),
+                cm: Vec::new(),
+                data,
+            },
+        )
+        .unwrap()
+}
+
+#[test]
+fn delivery_depth_tracks_the_members_bandwidth() {
+    let (srv, doc_id, _, _, _) = setup();
+    let lic_id = insert_lic_image(&srv);
+    // A tight render budget so a 64×64 phantom still discriminates: at
+    // 50 ms, a modem carries only the base layer and a LAN all of them.
+    srv.set_delivery_config(crate::delivery::DeliveryConfig {
+        ttfr_budget_s: 0.05,
+        ..crate::delivery::DeliveryConfig::default()
+    });
+    let room = srv.create_room("dr-a", "clinic", doc_id).unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+
+    // No estimate yet: the policy's default bandwidth applies; the chosen
+    // depth comes from the object's real ladder.
+    let first = srv.deliver_image(room, "dr-a", lic_id).unwrap();
+    assert!(first.layers >= 1 && first.layers <= first.total_layers);
+    assert!(first.estimate_bps.is_none());
+    assert!(first.payload.starts_with(b"LIC1"));
+
+    // A 56k-modem transfer report drags the estimate down to base depth…
+    srv.report_transfer(room, "dr-a", 7_000, 1.0).unwrap();
+    let slow = srv.deliver_image(room, "dr-a", lic_id).unwrap();
+    assert_eq!(slow.layers, 1, "modem viewer gets the base layer");
+    assert!(slow.payload.len() < slow.full_bytes as usize);
+    // …and the prefix decodes to a coarse render.
+    assert!(rcmo_codec::decode(&slow.payload).is_ok());
+
+    // Repeated LAN-speed reports recover full depth.
+    for _ in 0..8 {
+        srv.report_transfer(room, "dr-a", 1_250_000, 1.0).unwrap();
+    }
+    assert!(srv.estimated_bandwidth(room, "dr-a").unwrap().unwrap() > 1_000_000.0);
+    let fast = srv.deliver_image(room, "dr-a", lic_id).unwrap();
+    assert_eq!(fast.layers, fast.total_layers);
+    assert!(fast.is_full_depth());
+}
+
+#[test]
+fn room_cache_makes_storage_reads_per_object_not_per_viewer() {
+    let (srv, doc_id, _, _, _) = setup();
+    let lic_id = insert_lic_image(&srv);
+    let room = srv.create_room("dr-a", "lecture", doc_id).unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    let viewers: Vec<String> = (0..20).map(|i| format!("student-{i}")).collect();
+    // Keep the connections alive: a dropped stream gets its member reaped.
+    let mut conns = Vec::new();
+    for v in &viewers {
+        srv.database()
+            .put_user("admin", v, rcmo_mediadb::AccessLevel::Read)
+            .unwrap();
+        conns.push(srv.join(room, &JoinRequest::viewer(v)).unwrap());
+    }
+    for v in &viewers {
+        srv.deliver_image(room, v, lic_id).unwrap();
+    }
+    let snap = srv.metrics();
+    // 20 viewers, one storage miss; everyone else rode the Arc.
+    assert_eq!(snap.counters["server.delivery.cache.miss.count"], 1);
+    assert!(snap.counters["server.delivery.cache.hit.count"] >= 19);
+    // Same full payload: same allocation, shared across deliveries.
+    let d1 = srv.deliver_image(room, "student-0", lic_id).unwrap();
+    let d2 = srv.deliver_image(room, "student-1", lic_id).unwrap();
+    assert!(Arc::ptr_eq(&d1.payload, &d2.payload));
+}
+
+#[test]
+fn saving_an_object_invalidates_its_cached_payloads() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    let before = srv.metrics().counters["server.delivery.cache.miss.count"];
+    srv.save_and_close_image(room, "dr-a", image_id).unwrap();
+    // The cache dropped the stale payload: reopening re-reads storage.
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    let snap = srv.metrics();
+    assert_eq!(
+        snap.counters["server.delivery.cache.miss.count"],
+        before + 1
+    );
+    assert!(snap.counters["server.delivery.cache.invalidate.count"] >= 1);
+}
+
+#[test]
+fn warm_cache_prefetches_the_documents_stored_images() {
+    let (srv, doc_id, image_id, _, _) = setup();
+    let room = srv.create_room("dr-a", "consult", doc_id).unwrap();
+    let _a = srv.join_default(room, "dr-a").unwrap();
+    // The document's CT component references the stored image; warming
+    // loads it before anyone asks.
+    let warmed = srv.warm_room_cache(room, "dr-a").unwrap();
+    assert_eq!(warmed, 1);
+    srv.open_image(room, "dr-a", image_id).unwrap();
+    let snap = srv.metrics();
+    assert_eq!(
+        snap.counters["server.delivery.cache.miss.count"], 1,
+        "the open after warming is a pure cache hit"
+    );
+    assert!(snap.counters["server.delivery.cache.hit.count"] >= 1);
 }

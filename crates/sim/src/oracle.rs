@@ -41,6 +41,9 @@ pub struct Oracle {
     room_max_seen: BTreeMap<RoomId, u64>,
     /// Steps executed per actor kind (persona coverage).
     actions: BTreeMap<&'static str, u64>,
+    /// Deepest render each clinic viewer reached: `label → (max layers
+    /// delivered, total layers of the stream)`.
+    clinic_depth: BTreeMap<String, (usize, usize)>,
     /// Injected storage crash drills run / failed.
     crash_drills: u64,
     crash_failures: u64,
@@ -161,6 +164,47 @@ impl Oracle {
                 )),
                 Some(_) => {}
             }
+        }
+    }
+
+    /// Records a clinic viewer's rendered delivery (layers served of
+    /// total). The running maximum is what [`Oracle::clinic_check`]
+    /// holds to the eventual-full-depth invariant.
+    pub fn on_clinic_render(&mut self, label: &str, layers: usize, total: usize) {
+        let entry = self
+            .clinic_depth
+            .entry(label.to_string())
+            .or_insert((0, total));
+        entry.0 = entry.0.max(layers);
+        entry.1 = entry.1.max(total);
+    }
+
+    /// The clinic sweep (run only for scenarios with clinic viewers):
+    /// every clinic viewer that rendered at all must have reached the
+    /// stream's full layer depth by the end of the run (bandwidth
+    /// recovered ⇒ the adaptive policy climbed back), a viewer that never
+    /// rendered is itself a violation, and the warmed room cache must
+    /// have served at least one hit.
+    pub fn clinic_check(&mut self, snapshot: &MetricsSnapshot) {
+        if self.clinic_depth.is_empty() {
+            self.violations
+                .push("clinic: no viewer ever rendered a delivery".to_string());
+        }
+        for (label, &(max, total)) in &self.clinic_depth {
+            if total == 0 || max < total {
+                self.violations.push(format!(
+                    "clinic: {label} peaked at {max}/{total} layers, never full depth"
+                ));
+            }
+        }
+        let hits = snapshot
+            .counters
+            .get("server.delivery.cache.hit.count")
+            .copied()
+            .unwrap_or(0);
+        if hits == 0 {
+            self.violations
+                .push("clinic: warmed object cache served zero hits".to_string());
         }
     }
 

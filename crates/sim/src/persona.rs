@@ -471,6 +471,149 @@ impl Actor for FlappyViewer {
 }
 
 // ---------------------------------------------------------------------
+// Modem-clinic viewer
+// ---------------------------------------------------------------------
+
+/// The modem-heavy clinic (DESIGN.md §16): a 56k viewer behind a seeded
+/// faulty link with an early outage window, repeatedly asking the server
+/// for a bandwidth-adapted delivery of the layered CT image. Each
+/// delivered transfer is reported back (the estimator's feedback loop) and
+/// the deepest render reached feeds the oracle — after the link recovers,
+/// every clinic viewer must eventually see the image at full layer depth,
+/// and the room cache must be serving hits once warmed.
+pub struct ClinicViewer {
+    label: String,
+    room: RoomId,
+    rng: StdRng,
+    conn: Option<ClientConnection>,
+    last_seen: u64,
+    gen: u64,
+    link: FaultyLink,
+    policy: RetryPolicy,
+    /// Whether this persona already warmed the room cache through the
+    /// room's moderator (retried until the moderator has joined).
+    warmed: bool,
+    period_us: u64,
+}
+
+impl ClinicViewer {
+    /// A clinic viewer for `room`, dark for one outage window in the
+    /// first half of `horizon_s`.
+    pub fn new(room: RoomId, w: &World, horizon_s: f64, period_us: u64) -> ClinicViewer {
+        let label = format!("clinic-{room}");
+        let mut rng = w.rng.split(&label);
+        let horizon = (horizon_s as u64).max(240);
+        let start = rng.gen_range(0..horizon / 4) as f64;
+        let fault =
+            FaultSpec::lossy(0.02, w.rng.derive_seed(&label)).with_outage(start, start + 60.0);
+        ClinicViewer {
+            label,
+            room,
+            rng,
+            conn: None,
+            last_seen: 0,
+            gen: 0,
+            link: FaultyLink::new(Link::new(56_000.0, 0.2), fault),
+            policy: RetryPolicy {
+                max_retries: 2,
+                base_backoff_s: 0.5,
+                backoff_cap_s: 2.0,
+                attempt_timeout_s: 5.0,
+            },
+            warmed: false,
+            period_us,
+        }
+    }
+}
+
+impl Actor for ClinicViewer {
+    fn kind(&self) -> &'static str {
+        "clinic-viewer"
+    }
+
+    fn step(&mut self, w: &mut World) -> Option<u64> {
+        let req = JoinRequest::viewer("clinic");
+        if !ensure_joined(
+            w,
+            &self.label,
+            self.room,
+            &req,
+            &mut self.conn,
+            &mut self.gen,
+        ) {
+            return Some(jittered(&mut self.rng, self.period_us));
+        }
+        catch_up_failover(
+            w,
+            &self.label,
+            self.room,
+            "clinic",
+            &mut self.last_seen,
+            &mut self.gen,
+            &mut self.conn,
+        );
+        // Warm the room cache once through the room's moderator (the
+        // CP-net prefetch plan); retried until the moderator has joined.
+        if !self.warmed {
+            match w.cf.warm_room_cache(self.room, "ann") {
+                Ok(n) => {
+                    self.warmed = true;
+                    w.trace(&self.label, &format!("warm n={n}"));
+                }
+                Err(e) => w.trace(&self.label, &format!("warm err: {e}")),
+            }
+        }
+        // Ask for a bandwidth-adapted delivery of the layered CT image,
+        // then simulate the client-side transfer over the modem.
+        let lic = w.lic_image;
+        match w.cf.deliver_image(self.room, "clinic", lic) {
+            Ok(d) => {
+                let now_s = w.clock.now_s();
+                match self
+                    .link
+                    .transfer(d.payload.len() as u64, now_s, &self.policy)
+                {
+                    TransferOutcome::Delivered {
+                        elapsed_s,
+                        retransmits,
+                    } => {
+                        let bytes = d.payload.len() as u64;
+                        if let Err(e) = w.cf.report_transfer(self.room, "clinic", bytes, elapsed_s)
+                        {
+                            w.trace(&self.label, &format!("report err: {e}"));
+                        }
+                        w.oracle
+                            .on_clinic_render(&self.label, d.layers, d.total_layers);
+                        w.trace(
+                            &self.label,
+                            &format!(
+                                "render layers={}/{} bytes={bytes} rtx={retransmits}",
+                                d.layers, d.total_layers
+                            ),
+                        );
+                    }
+                    TransferOutcome::TimedOut { attempts, .. } => {
+                        w.trace(&self.label, &format!("dark attempts={attempts}"));
+                    }
+                }
+            }
+            Err(e) => w.trace(&self.label, &format!("deliver err: {e}")),
+        }
+        if let Some(c) = self.conn.as_ref() {
+            let (n, last) = w.drain(c, self.last_seen);
+            self.last_seen = last;
+            w.oracle.check_queue(
+                &self.label,
+                c.events.len(),
+                rcmo_server::DEFAULT_MEMBER_QUEUE_BOUND,
+            );
+            w.trace(&self.label, &format!("drain n={n} last={last}"));
+        }
+        Some(jittered(&mut self.rng, self.period_us))
+    }
+}
+
+// ---------------------------------------------------------------------
 // Presenter handoff chain
 // ---------------------------------------------------------------------
 

@@ -20,7 +20,9 @@
 //! [`SimClock`]: rcmo_obs::SimClock
 
 use crate::chaos::{MigrationChaos, ShardKiller, StorageCrasher};
-use crate::persona::{Actor, Annotator, FlappyViewer, Lurker, PresenterChain, RoomChurner};
+use crate::persona::{
+    Actor, Annotator, ClinicViewer, FlappyViewer, Lurker, PresenterChain, RoomChurner,
+};
 use crate::world::World;
 use rcmo_obs::{Metrics, MetricsSnapshot};
 use std::cmp::Reverse;
@@ -50,6 +52,9 @@ pub struct SimConfig {
     pub late_stride: usize,
     /// Every `flappy_stride`-th room gets a flappy modem viewer.
     pub flappy_stride: usize,
+    /// Every `clinic_stride`-th room gets a modem-clinic viewer asking
+    /// for bandwidth-adapted layered deliveries (`0` = none).
+    pub clinic_stride: usize,
     /// Every `presenter_stride`-th room gets a presenter handoff chain.
     pub presenter_stride: usize,
     /// Room-churner personas (create/chat/close loops).
@@ -79,6 +84,7 @@ impl SimConfig {
             image_room_stride: 5,
             late_stride: 7,
             flappy_stride: 11,
+            clinic_stride: 0,
             presenter_stride: 13,
             churners: 2,
             chats_per_churn_room: 4,
@@ -101,12 +107,41 @@ impl SimConfig {
             image_room_stride: 5,
             late_stride: 7,
             flappy_stride: 11,
+            clinic_stride: 0,
             presenter_stride: 13,
             churners: 20,
             chats_per_churn_room: 6,
             shard_kills: 3,
             migrations: 40,
             storage_drills: 6,
+        }
+    }
+
+    /// The modem-heavy clinic scenario (DESIGN.md §16): every room has a
+    /// 56k clinic viewer behind a faulty link with an early outage,
+    /// repeatedly fetching the layered CT image through the adaptive
+    /// delivery tier. Chaos is off — the scenario isolates the
+    /// estimator → policy → cache loop, and the oracle's clinic sweep
+    /// demands every viewer reach full depth once its link recovers.
+    pub fn modem_clinic(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            shards: 2,
+            rooms: 12,
+            max_events: 2_000,
+            horizon_s: 600.0,
+            epoch_s: 30.0,
+            journal_tail_cap: 64,
+            image_room_stride: 2,
+            late_stride: 0,
+            flappy_stride: 0,
+            clinic_stride: 1,
+            presenter_stride: 0,
+            churners: 0,
+            chats_per_churn_room: 0,
+            shard_kills: 0,
+            migrations: 0,
+            storage_drills: 0,
         }
     }
 }
@@ -180,6 +215,7 @@ impl Simulator {
         let est_actors = (2 * config.rooms
             + config.rooms / config.late_stride.max(1)
             + config.rooms / config.flappy_stride.max(1)
+            + config.rooms.checked_div(config.clinic_stride).unwrap_or(0)
             + config.rooms / config.presenter_stride.max(1)
             + config.churners)
             .max(1) as u64;
@@ -216,6 +252,15 @@ impl Simulator {
             if config.flappy_stride > 0 && i % config.flappy_stride == 0 {
                 first_at.push(stagger(actors.len()));
                 actors.push(Box::new(FlappyViewer::new(
+                    room,
+                    &w,
+                    config.horizon_s,
+                    period_us,
+                )));
+            }
+            if config.clinic_stride > 0 && i % config.clinic_stride == 0 {
+                first_at.push(stagger(actors.len()));
+                actors.push(Box::new(ClinicViewer::new(
                     room,
                     &w,
                     config.horizon_s,
@@ -341,7 +386,16 @@ impl Simulator {
         if w.resyncs > 0 {
             required.push("server.room.resync.us");
         }
+        if config.clinic_stride > 0 {
+            // The adaptive tier must have chosen depths (the histogram is
+            // created lazily with the first DeliveryState, so a clinic
+            // scenario that never delivered shows up as a dead histogram).
+            required.push("server.delivery.depth.layers");
+        }
         w.oracle.final_check(&merged, &required);
+        if config.clinic_stride > 0 {
+            w.oracle.clinic_check(&merged);
+        }
 
         w.trace(
             "engine",

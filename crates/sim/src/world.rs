@@ -62,6 +62,10 @@ impl World {
             db.put_user("admin", user, AccessLevel::Write)
                 .expect("fixture user");
         }
+        // The modem-clinic viewer: read-only in the database, a plain
+        // viewer in its room (adaptive deliveries need nothing more).
+        db.put_user("admin", "clinic", AccessLevel::Read)
+            .expect("fixture user");
         let (doc, components) = conference_document();
         let doc_id = db
             .insert_document(

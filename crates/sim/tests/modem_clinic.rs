@@ -1,0 +1,53 @@
+//! The modem-heavy clinic scenario (DESIGN.md §16): 56k viewers behind
+//! faulty links fetch a layered CT image through the adaptive delivery
+//! tier. The oracle's clinic sweep demands every viewer eventually render
+//! at full layer depth after its link recovers, and that the warmed room
+//! cache actually serves hits — and the whole scenario must stay
+//! deterministic like every other.
+
+use rcmo_sim::{SimConfig, Simulator};
+
+#[test]
+fn modem_clinic_recovers_to_full_depth_and_hits_the_cache() {
+    let a = Simulator::run(&SimConfig::modem_clinic(7));
+    let b = Simulator::run(&SimConfig::modem_clinic(7));
+
+    assert_eq!(
+        a.trace_text, b.trace_text,
+        "same seed must replay an identical clinic trace"
+    );
+    assert_eq!(a.metrics_text, b.metrics_text);
+
+    assert!(
+        a.violations.is_empty(),
+        "clinic oracle must be green:\n{}",
+        a.violations.join("\n")
+    );
+    assert!(
+        a.actions.get("clinic-viewer").copied().unwrap_or(0) > 0,
+        "clinic viewers never stepped"
+    );
+
+    // The adaptive tier really ran: depths were chosen from real ladders
+    // (no full-payload fallback on the layered image), the cache took a
+    // bounded number of storage misses, and hits dominate.
+    let m = &a.merged_metrics;
+    let depth = m
+        .histograms
+        .get("server.delivery.depth.layers")
+        .expect("depth histogram recorded");
+    assert!(depth.count > 0, "no adaptive depth was ever chosen");
+    let hits = m.counters["server.delivery.cache.hit.count"];
+    let misses = m.counters["server.delivery.cache.miss.count"];
+    assert!(hits > 0, "warmed cache served no hits");
+    // Misses are O(objects per room), never O(deliveries): every room
+    // holds at most the raw and the layered fixture image.
+    assert!(
+        misses <= (a.rooms as u64) * 2,
+        "cache misses {misses} exceed objects-per-room bound"
+    );
+    assert!(
+        hits > misses,
+        "cache hits ({hits}) should dominate misses ({misses})"
+    );
+}
